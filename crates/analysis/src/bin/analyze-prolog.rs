@@ -1,0 +1,108 @@
+//! Static-analysis report for a Prolog file — everything the reordering
+//! system learns before it touches a program (paper Fig. 3's information
+//! flows, made visible).
+//!
+//! ```text
+//! usage: analyze-prolog FILE.pl
+//! ```
+
+use prolog_analysis::{Mode, ModeInference, ProgramAnalysis};
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: analyze-prolog FILE.pl");
+        std::process::exit(2);
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let program = match prolog_syntax::parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let analysis = ProgramAnalysis::analyze(&program);
+    let inference = ModeInference::new(&program)
+        .with_declarations(analysis.declarations.legal_modes.clone());
+
+    println!("% analysis of {path}\n");
+
+    let entries = analysis.callgraph.entry_points();
+    println!("entry points ({}):", entries.len());
+    for p in &entries {
+        println!("  {p}");
+    }
+
+    let recursive = analysis.recursion.recursive_predicates();
+    println!("\nrecursive predicates ({}):", recursive.len());
+    for p in &recursive {
+        println!("  {p}");
+    }
+    for group in analysis.recursion.mutual_groups() {
+        let names: Vec<String> = group.iter().map(|p| p.to_string()).collect();
+        println!("  mutual group: {}", names.join(" <-> "));
+    }
+
+    let fixed: Vec<_> = analysis
+        .fixity
+        .fixed_predicates()
+        .into_iter()
+        .filter(|p| program.predicates().contains(p))
+        .collect();
+    println!("\nfixed predicates ({}):", fixed.len());
+    for p in &fixed {
+        println!("  {p}");
+    }
+
+    println!("\nsemifixed predicates:");
+    let mut any = false;
+    for pred in program.predicates() {
+        if analysis.semifixity.is_semifixed(pred) {
+            any = true;
+            let positions: Vec<String> = analysis
+                .semifixity
+                .culprit_positions(pred)
+                .iter()
+                .map(|i| (i + 1).to_string())
+                .collect();
+            println!("  {pred}  culprit argument(s): {}", positions.join(", "));
+        }
+    }
+    if !any {
+        println!("  (none)");
+    }
+
+    println!("\ninferred legal +/- modes (per predicate):");
+    for pred in program.predicates() {
+        let legal: Vec<String> = Mode::enumerate_plus_minus(pred.arity)
+            .into_iter()
+            .filter_map(|m| {
+                let s = inference.call(pred, &m);
+                if s.clean {
+                    Some(format!("{} -> {}", m, s.output))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if legal.is_empty() {
+            println!("  {pred}: none provable (declare with :- legal_mode/2)");
+        } else {
+            println!("  {pred}: {}", legal.join("; "));
+        }
+    }
+
+    if !analysis.declarations.warnings.is_empty() {
+        println!("\ndeclaration warnings:");
+        for w in &analysis.declarations.warnings {
+            println!("  {w}");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The program call graph: which predicates call which.
+//!
+//! Built once from the source program; the fixity, recursion, and
+//! cost-propagation analyses all walk it. Edges include calls made inside
+//! control constructs (disjunctions, negations, if-then-else) because a
+//! side effect or recursion anywhere in a body matters (§IV-B).
+
+use prolog_syntax::{PredId, SourceProgram};
+use std::collections::{HashMap, HashSet};
+
+/// Directed call graph over predicate indicators.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Predicates defined in the program, in definition order.
+    defined: Vec<PredId>,
+    /// pred → predicates its clauses call (user and built-in).
+    callees: HashMap<PredId, Vec<PredId>>,
+    /// pred → predicates that call it.
+    callers: HashMap<PredId, Vec<PredId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    pub fn build(program: &SourceProgram) -> CallGraph {
+        let mut graph = CallGraph { defined: program.predicates(), ..Default::default() };
+        for clause in &program.clauses {
+            let caller = clause.pred_id();
+            for callee in clause.body.called_preds() {
+                let outs = graph.callees.entry(caller).or_default();
+                if !outs.contains(&callee) {
+                    outs.push(callee);
+                }
+                let ins = graph.callers.entry(callee).or_default();
+                if !ins.contains(&caller) {
+                    ins.push(caller);
+                }
+            }
+        }
+        graph
+    }
+
+    /// Predicates defined by the program.
+    pub fn defined(&self) -> &[PredId] {
+        &self.defined
+    }
+
+    /// Direct callees of `pred` (empty if none).
+    pub fn callees(&self, pred: PredId) -> &[PredId] {
+        self.callees.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Direct callers of `pred`.
+    pub fn callers(&self, pred: PredId) -> &[PredId] {
+        self.callers.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Entry points: defined predicates no other predicate calls (§IV-B
+    /// "a predicate which is not called by any other predicates of the
+    /// program").
+    pub fn entry_points(&self) -> Vec<PredId> {
+        self.defined
+            .iter()
+            .copied()
+            .filter(|p| self.callers(*p).is_empty())
+            .collect()
+    }
+
+    /// All predicates reachable from `start` (including itself), i.e. its
+    /// descendants in the AND/OR graph.
+    pub fn reachable_from(&self, start: PredId) -> HashSet<PredId> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(p) = stack.pop() {
+            if seen.insert(p) {
+                stack.extend(self.callees(p).iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// All predicates that can (transitively) reach any predicate in
+    /// `targets`: the *ancestors* that inherit fixity (§IV-B).
+    pub fn ancestors_of(&self, targets: &HashSet<PredId>) -> HashSet<PredId> {
+        let mut seen: HashSet<PredId> = HashSet::new();
+        let mut stack: Vec<PredId> = targets.iter().copied().collect();
+        while let Some(p) = stack.pop() {
+            for &caller in self.callers(p) {
+                if seen.insert(caller) {
+                    stack.push(caller);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Strongly connected components (Tarjan), in reverse topological
+    /// order: callees come before callers, which is the bottom-up order
+    /// the reorderer processes predicates in (§VI-B.2 "working upwards").
+    pub fn sccs(&self) -> Vec<Vec<PredId>> {
+        Tarjan::run(self)
+    }
+
+    /// Predicates in bottom-up (reverse topological) processing order.
+    pub fn bottom_up_order(&self) -> Vec<PredId> {
+        self.sccs().into_iter().flatten().filter(|p| self.defined.contains(p)).collect()
+    }
+}
+
+/// Iterative Tarjan SCC over the call graph (defined predicates plus any
+/// called predicate, so built-ins show up as singleton components).
+struct Tarjan<'g> {
+    graph: &'g CallGraph,
+    index: HashMap<PredId, usize>,
+    lowlink: HashMap<PredId, usize>,
+    on_stack: HashSet<PredId>,
+    stack: Vec<PredId>,
+    next_index: usize,
+    output: Vec<Vec<PredId>>,
+}
+
+impl<'g> Tarjan<'g> {
+    fn run(graph: &'g CallGraph) -> Vec<Vec<PredId>> {
+        let mut t = Tarjan {
+            graph,
+            index: HashMap::new(),
+            lowlink: HashMap::new(),
+            on_stack: HashSet::new(),
+            stack: Vec::new(),
+            next_index: 0,
+            output: Vec::new(),
+        };
+        for &p in &graph.defined {
+            if !t.index.contains_key(&p) {
+                t.strongconnect(p);
+            }
+        }
+        t.output
+    }
+
+    fn visit(&mut self, v: PredId) {
+        self.index.insert(v, self.next_index);
+        self.lowlink.insert(v, self.next_index);
+        self.next_index += 1;
+        self.stack.push(v);
+        self.on_stack.insert(v);
+    }
+
+    /// Iterative Tarjan (explicit call stack), immune to deep call chains.
+    fn strongconnect(&mut self, root: PredId) {
+        self.visit(root);
+        let mut call_stack: Vec<(PredId, usize)> = vec![(root, 0)];
+        while let Some((v, i)) = call_stack.pop() {
+            let callees = self.graph.callees(v);
+            if i < callees.len() {
+                call_stack.push((v, i + 1));
+                let w = callees[i];
+                match self.index.get(&w) {
+                    None => {
+                        self.visit(w);
+                        call_stack.push((w, 0));
+                    }
+                    Some(&wi) => {
+                        if self.on_stack.contains(&w) {
+                            let low = self.lowlink[&v].min(wi);
+                            self.lowlink.insert(v, low);
+                        }
+                    }
+                }
+            } else {
+                // v is finished: fold its lowlink into its parent's and pop
+                // a component if v is a root.
+                if let Some(&(parent, _)) = call_stack.last() {
+                    let low = self.lowlink[&parent].min(self.lowlink[&v]);
+                    self.lowlink.insert(parent, low);
+                }
+                if self.lowlink[&v] == self.index[&v] {
+                    let mut component = Vec::new();
+                    while let Some(w) = self.stack.pop() {
+                        self.on_stack.remove(&w);
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.reverse();
+                    self.output.push(component);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+
+    fn graph(src: &str) -> CallGraph {
+        CallGraph::build(&parse_program(src).unwrap())
+    }
+
+    fn id(name: &str, arity: usize) -> PredId {
+        PredId::new(name, arity)
+    }
+
+    #[test]
+    fn edges_from_bodies() {
+        let g = graph("a(X) :- b(X), c(X). b(X) :- c(X). c(1).");
+        assert_eq!(g.callees(id("a", 1)), &[id("b", 1), id("c", 1)]);
+        assert_eq!(g.callers(id("c", 1)), &[id("a", 1), id("b", 1)]);
+        assert!(g.callees(id("c", 1)).is_empty());
+    }
+
+    #[test]
+    fn calls_inside_control_are_edges() {
+        let g = graph("a(X) :- (b(X) -> c(X) ; d(X)), \\+ e(X).");
+        let callees = g.callees(id("a", 1));
+        for n in ["b", "c", "d", "e"] {
+            assert!(callees.contains(&id(n, 1)), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn entry_points_are_uncalled_defined_predicates() {
+        let g = graph("main :- helper(1). helper(X) :- other(X). other(1).");
+        assert_eq!(g.entry_points(), vec![id("main", 0)]);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = graph("a :- b. b :- c. c. d.");
+        let r = g.reachable_from(id("a", 0));
+        assert!(r.contains(&id("c", 0)));
+        assert!(!r.contains(&id("d", 0)));
+    }
+
+    #[test]
+    fn ancestors() {
+        let g = graph("a :- b. b :- c. c. d :- c.");
+        let mut targets = HashSet::new();
+        targets.insert(id("c", 0));
+        let anc = g.ancestors_of(&targets);
+        assert!(anc.contains(&id("a", 0)));
+        assert!(anc.contains(&id("b", 0)));
+        assert!(anc.contains(&id("d", 0)));
+        assert!(!anc.contains(&id("c", 0)));
+    }
+
+    #[test]
+    fn sccs_group_mutual_recursion() {
+        let g = graph(
+            "even(0). even(X) :- X > 0, Y is X - 1, odd(Y).
+             odd(X) :- X > 0, Y is X - 1, even(Y).",
+        );
+        let sccs = g.sccs();
+        let big: Vec<_> = sccs.iter().filter(|c| c.len() == 2).collect();
+        assert_eq!(big.len(), 1);
+        assert!(big[0].contains(&id("even", 1)));
+        assert!(big[0].contains(&id("odd", 1)));
+    }
+
+    #[test]
+    fn bottom_up_order_puts_callees_first() {
+        let g = graph("a :- b. b :- c. c.");
+        let order = g.bottom_up_order();
+        let pos = |p: PredId| order.iter().position(|&x| x == p).unwrap();
+        assert!(pos(id("c", 0)) < pos(id("b", 0)));
+        assert!(pos(id("b", 0)) < pos(id("a", 0)));
+    }
+
+    #[test]
+    fn self_loop_is_singleton_scc() {
+        let g = graph("r(X) :- r(X). s.");
+        let sccs = g.sccs();
+        assert!(sccs.iter().any(|c| c == &vec![id("r", 1)]));
+    }
+}

@@ -1,0 +1,276 @@
+//! Programmer declarations, read from directives (paper §VI-B.2).
+//!
+//! The reordering system accepts the following directives, mirroring the
+//! "Prolog facts, declared in the source file" the paper enumerates:
+//!
+//! ```prolog
+//! :- entry(main/0).                    % entry points
+//! :- legal_mode(p(+, -), p(+, +)).     % input/output legal-mode pair
+//! :- legal_modes(q(?, +)).             % input-only shorthand (output = input
+//! :-                                   %  with + preserved)
+//! :- mode(p(+, -)).                    % DEC-10 style: treated as legal input
+//! :- fixed(log/1).                     % extra side-effecting predicates
+//! :- recursive(append/3).              % declared recursive (§IV-D.7)
+//! :- cost(p/2, '+-', 12.5, 0.3).       % measured/estimated cost & success
+//! :- unify_prob(p/2, 1, 0.05).         % head-match probability of arg 1
+//! ```
+
+use crate::modes::{LegalModes, Mode, ModeItem, ModePair};
+use prolog_syntax::{PredId, SourceProgram, Term};
+use std::collections::{HashMap, HashSet};
+
+/// Declared cost/probability of calling a predicate in a specific mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeclaredCost {
+    pub cost: f64,
+    pub probability: f64,
+}
+
+/// All user declarations found in a program's directives.
+#[derive(Debug, Default)]
+pub struct Declarations {
+    pub entries: Vec<PredId>,
+    pub legal_modes: HashMap<PredId, LegalModes>,
+    pub fixed: HashSet<PredId>,
+    pub recursive: HashSet<PredId>,
+    pub costs: HashMap<(PredId, Mode), DeclaredCost>,
+    /// Per-argument head-unification probabilities.
+    pub unify_probs: HashMap<(PredId, usize), f64>,
+    /// Diagnostics for declarations that could not be understood — the
+    /// paper's system "informs the programmer … when declarations are
+    /// inconsistent".
+    pub warnings: Vec<String>,
+}
+
+impl Declarations {
+    /// Extracts declarations from the program's directives.
+    pub fn from_program(program: &SourceProgram) -> Declarations {
+        let mut d = Declarations::default();
+        for directive in &program.directives {
+            d.interpret(&directive.goal);
+        }
+        d
+    }
+
+    fn interpret(&mut self, goal: &Term) {
+        let Some(id) = goal.pred_id() else {
+            self.warn(format!("uninterpretable directive: {goal}"));
+            return;
+        };
+        match (id.name.as_str(), id.arity) {
+            ("entry", 1) => match parse_pred_indicator(&goal.args()[0]) {
+                Some(p) => self.entries.push(p),
+                None => self.warn(format!("entry/1 expects name/arity: {goal}")),
+            },
+            ("legal_mode", 2) => {
+                let (input, output) = (&goal.args()[0], &goal.args()[1]);
+                match (parse_mode_term(input), parse_mode_term(output)) {
+                    (Some((p1, min)), Some((p2, mout))) if p1 == p2 => {
+                        self.legal_modes
+                            .entry(p1)
+                            .or_default()
+                            .pairs
+                            .push(ModePair::new(min, mout));
+                    }
+                    _ => self.warn(format!("bad legal_mode/2 declaration: {goal}")),
+                }
+            }
+            ("legal_modes", _) | ("mode", _) => {
+                // Input-only forms: each argument is p(<modes>); output
+                // defaults to the input with every `-` promoted to `?`
+                // (callers may not rely on outputs the user didn't state).
+                for arg in goal.args() {
+                    match parse_mode_term(arg) {
+                        Some((p, input)) => {
+                            let output = Mode::new(
+                                input
+                                    .items()
+                                    .iter()
+                                    .map(|m| match m {
+                                        ModeItem::Plus => ModeItem::Plus,
+                                        _ => ModeItem::Any,
+                                    })
+                                    .collect(),
+                            );
+                            self.legal_modes
+                                .entry(p)
+                                .or_default()
+                                .pairs
+                                .push(ModePair::new(input, output));
+                        }
+                        None => self.warn(format!("bad mode declaration: {arg}")),
+                    }
+                }
+            }
+            ("fixed", 1) => match parse_pred_indicator(&goal.args()[0]) {
+                Some(p) => {
+                    self.fixed.insert(p);
+                }
+                None => self.warn(format!("fixed/1 expects name/arity: {goal}")),
+            },
+            ("recursive", 1) => match parse_pred_indicator(&goal.args()[0]) {
+                Some(p) => {
+                    self.recursive.insert(p);
+                }
+                None => self.warn(format!("recursive/1 expects name/arity: {goal}")),
+            },
+            ("cost", 4) => {
+                let args = goal.args();
+                let pred = parse_pred_indicator(&args[0]);
+                let mode = match &args[1] {
+                    Term::Atom(a) => Mode::parse(a.as_str()),
+                    _ => None,
+                };
+                let cost = as_f64(&args[2]);
+                let prob = as_f64(&args[3]);
+                match (pred, mode, cost, prob) {
+                    (Some(p), Some(m), Some(c), Some(pr)) if m.arity() == p.arity => {
+                        self.costs
+                            .insert((p, m), DeclaredCost { cost: c, probability: pr });
+                    }
+                    _ => self.warn(format!("bad cost/4 declaration: {goal}")),
+                }
+            }
+            ("unify_prob", 3) => {
+                let args = goal.args();
+                match (parse_pred_indicator(&args[0]), &args[1], as_f64(&args[2])) {
+                    (Some(p), Term::Int(pos), Some(prob)) if *pos >= 1 => {
+                        self.unify_probs.insert((p, *pos as usize - 1), prob);
+                    }
+                    _ => self.warn(format!("bad unify_prob/3 declaration: {goal}")),
+                }
+            }
+            _ => {
+                // Unknown directives (op/3, ensure_loaded, …) are not ours.
+            }
+        }
+    }
+
+    fn warn(&mut self, msg: String) {
+        self.warnings.push(msg);
+    }
+
+    /// Declared legal modes of a predicate, if any.
+    pub fn legal_modes_of(&self, pred: PredId) -> Option<&LegalModes> {
+        self.legal_modes.get(&pred)
+    }
+
+    /// Declared cost/probability of `pred` called in `mode`.
+    pub fn cost_of(&self, pred: PredId, mode: &Mode) -> Option<DeclaredCost> {
+        self.costs.get(&(pred, mode.clone())).copied()
+    }
+}
+
+/// Parses `name/arity`.
+fn parse_pred_indicator(t: &Term) -> Option<PredId> {
+    match t {
+        Term::Struct(slash, args) if slash.as_str() == "/" && args.len() == 2 => {
+            match (&args[0], &args[1]) {
+                (Term::Atom(name), Term::Int(arity)) if *arity >= 0 => {
+                    Some(PredId { name: *name, arity: *arity as usize })
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Parses `p(+, -, ?)` into a predicate id and mode.
+fn parse_mode_term(t: &Term) -> Option<(PredId, Mode)> {
+    let id = t.pred_id()?;
+    let items = t
+        .args()
+        .iter()
+        .map(|a| match a {
+            Term::Atom(s) => ModeItem::parse(s.as_str()),
+            _ => None,
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some((id, Mode::new(items)))
+}
+
+fn as_f64(t: &Term) -> Option<f64> {
+    match t {
+        Term::Int(n) => Some(*n as f64),
+        Term::Float(x) => Some(*x),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+
+    fn decls(src: &str) -> Declarations {
+        Declarations::from_program(&parse_program(src).unwrap())
+    }
+
+    fn id(name: &str, arity: usize) -> PredId {
+        PredId::new(name, arity)
+    }
+
+    #[test]
+    fn entry_points() {
+        let d = decls(":- entry(main/0). :- entry(aunt/2). main.");
+        assert_eq!(d.entries, vec![id("main", 0), id("aunt", 2)]);
+    }
+
+    #[test]
+    fn legal_mode_pairs() {
+        let d = decls(":- legal_mode(delete(?, +, ?), delete(+, +, +)). delete(a,b,c).");
+        let lm = d.legal_modes_of(id("delete", 3)).unwrap();
+        assert_eq!(lm.pairs.len(), 1);
+        assert_eq!(lm.pairs[0], ModePair::parse("?+?", "+++"));
+    }
+
+    #[test]
+    fn input_only_mode_promotes_minus_to_any_output() {
+        let d = decls(":- legal_modes(p(+, -)). p(1, 2).");
+        let lm = d.legal_modes_of(id("p", 2)).unwrap();
+        assert_eq!(lm.pairs[0].input, Mode::parse("+-").unwrap());
+        assert_eq!(lm.pairs[0].output, Mode::parse("+?").unwrap());
+    }
+
+    #[test]
+    fn dec10_mode_directive_also_accepted() {
+        let d = decls(":- mode(conc(+, ?, ?)). conc(a, b, c).");
+        assert!(d.legal_modes_of(id("conc", 3)).is_some());
+    }
+
+    #[test]
+    fn fixed_and_recursive() {
+        let d = decls(":- fixed(log/1). :- recursive(walk/2). x.");
+        assert!(d.fixed.contains(&id("log", 1)));
+        assert!(d.recursive.contains(&id("walk", 2)));
+    }
+
+    #[test]
+    fn cost_declarations() {
+        let d = decls(":- cost(p/2, '+-', 12.5, 0.3). x.");
+        let c = d.cost_of(id("p", 2), &Mode::parse("+-").unwrap()).unwrap();
+        assert_eq!(c.cost, 12.5);
+        assert_eq!(c.probability, 0.3);
+        assert!(d.cost_of(id("p", 2), &Mode::parse("--").unwrap()).is_none());
+    }
+
+    #[test]
+    fn unify_prob_positions_are_one_based_in_source() {
+        let d = decls(":- unify_prob(f/1, 1, 0.05). x.");
+        assert_eq!(d.unify_probs[&(id("f", 1), 0)], 0.05);
+    }
+
+    #[test]
+    fn malformed_declarations_warn_not_panic() {
+        let d = decls(":- entry(oops). :- legal_mode(p(+), q(-)). :- cost(p/1, zz, 1, 1). x.");
+        assert_eq!(d.warnings.len(), 3);
+        assert!(d.entries.is_empty());
+    }
+
+    #[test]
+    fn unknown_directives_ignored_silently() {
+        let d = decls(":- ensure_loaded(library(lists)). x.");
+        assert!(d.warnings.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Warren-style domain estimation (paper §I-E, §VI-A.4).
+//!
+//! For fact predicates, the probability that a call with instantiated
+//! arguments matches a given fact is estimated as
+//! `Π |domain_i|⁻¹` over every position `i` holding a constant in **both**
+//! the fact and the call; the expected number of matching tuples is the
+//! fact count times that product (Warren's function: tuples divided by the
+//! product of instantiated-position domain sizes).
+
+use crate::modes::{Mode, ModeItem};
+use prolog_syntax::{PredId, SourceProgram};
+use std::collections::{HashMap, HashSet};
+
+/// Per-predicate, per-argument domain sizes harvested from the fact base.
+/// Constants are keyed by their printed form (atomic terms print
+/// canonically, so this is a faithful identity).
+#[derive(Debug, Default)]
+pub struct DomainEstimator {
+    /// (pred, position) → distinct constants seen in facts.
+    domains: HashMap<(PredId, usize), HashSet<String>>,
+    /// pred → number of facts.
+    fact_counts: HashMap<PredId, usize>,
+    /// Distinct constants anywhere in the program (fallback domain).
+    universe: HashSet<String>,
+}
+
+impl DomainEstimator {
+    /// Scans all facts of `program`.
+    pub fn build(program: &SourceProgram) -> DomainEstimator {
+        let mut est = DomainEstimator::default();
+        for clause in &program.clauses {
+            if !clause.is_fact() {
+                continue;
+            }
+            let pred = clause.pred_id();
+            *est.fact_counts.entry(pred).or_insert(0) += 1;
+            for (i, arg) in clause.head.args().iter().enumerate() {
+                if arg.is_atomic() {
+                    let key = arg.to_string();
+                    est.domains.entry((pred, i)).or_default().insert(key.clone());
+                    est.universe.insert(key);
+                }
+            }
+        }
+        est
+    }
+
+    /// Number of facts of `pred`.
+    pub fn fact_count(&self, pred: PredId) -> usize {
+        self.fact_counts.get(&pred).copied().unwrap_or(0)
+    }
+
+    /// Domain size of one argument position; falls back to the program's
+    /// constant universe when the position never held a constant (the
+    /// paper notes domain choice "is problematic even for database
+    /// programs").
+    pub fn domain_size(&self, pred: PredId, position: usize) -> usize {
+        self.domains
+            .get(&(pred, position))
+            .map(|s| s.len())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| self.universe.len().max(1))
+    }
+
+    /// Warren's selectivity: `Π 1/|domain_i|` over the instantiated
+    /// positions of `mode`.
+    pub fn selectivity(&self, pred: PredId, mode: &Mode) -> f64 {
+        let mut sel = 1.0;
+        for (i, item) in mode.items().iter().enumerate() {
+            if *item == ModeItem::Plus {
+                sel /= self.domain_size(pred, i) as f64;
+            }
+        }
+        sel
+    }
+
+    /// Warren's number: expected matching tuples for a call in `mode` —
+    /// fact count × selectivity. (The paper's `borders/2` example: 900
+    /// tuples, domains of 150 ⇒ 900 uninstantiated, 6 half-instantiated,
+    /// 0.04 fully instantiated.)
+    pub fn expected_tuples(&self, pred: PredId, mode: &Mode) -> f64 {
+        self.fact_count(pred) as f64 * self.selectivity(pred, mode)
+    }
+
+    /// Probability that a call in `mode` succeeds at least once:
+    /// `min(1, expected_tuples)`.
+    pub fn success_probability(&self, pred: PredId, mode: &Mode) -> f64 {
+        self.expected_tuples(pred, mode).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+
+    fn id(name: &str, arity: usize) -> PredId {
+        PredId::new(name, arity)
+    }
+
+    /// The paper's borders/2-style shape, scaled down: n country pairs.
+    fn estimator(src: &str) -> DomainEstimator {
+        DomainEstimator::build(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn fact_counts_and_domains() {
+        let e = estimator("wife(a, b). wife(c, d). wife(e, b). mother(a, m).");
+        assert_eq!(e.fact_count(id("wife", 2)), 3);
+        assert_eq!(e.domain_size(id("wife", 2), 0), 3); // a, c, e
+        assert_eq!(e.domain_size(id("wife", 2), 1), 2); // b, d
+    }
+
+    #[test]
+    fn warren_selectivity_shape() {
+        // 4 tuples, each argument domain size 2:
+        let e = estimator("b(x1, y1). b(x1, y2). b(x2, y1). b(x2, y2).");
+        let p = id("b", 2);
+        assert_eq!(e.expected_tuples(p, &Mode::parse("--").unwrap()), 4.0);
+        assert_eq!(e.expected_tuples(p, &Mode::parse("+-").unwrap()), 2.0);
+        assert_eq!(e.expected_tuples(p, &Mode::parse("++").unwrap()), 1.0);
+    }
+
+    #[test]
+    fn success_probability_caps_at_one() {
+        let e = estimator("f(a). f(b). f(c).");
+        let p = id("f", 1);
+        assert_eq!(e.success_probability(p, &Mode::parse("-").unwrap()), 1.0);
+        let half = e.success_probability(p, &Mode::parse("+").unwrap());
+        assert!((half - 1.0).abs() < 1e-12); // 3 tuples / domain 3 = 1.0
+    }
+
+    #[test]
+    fn selective_predicate_has_low_bound_probability() {
+        let e = estimator("g(a, 1). g(b, 2). g(c, 3). g(d, 4).");
+        let p = id("g", 2);
+        // bound first argument: 4 facts / domain 4 = 1 expected tuple
+        assert_eq!(e.expected_tuples(p, &Mode::parse("+-").unwrap()), 1.0);
+        // both bound: 4 / (4*4) = 0.25
+        assert_eq!(e.expected_tuples(p, &Mode::parse("++").unwrap()), 0.25);
+    }
+
+    #[test]
+    fn positions_without_constants_fall_back_to_universe() {
+        let e = estimator("h(X, a). h(Y, b). k(c).");
+        let p = id("h", 2);
+        // position 0 never held a constant: falls back to universe {a,b,c}
+        assert_eq!(e.domain_size(p, 0), 3);
+        assert_eq!(e.domain_size(p, 1), 2);
+    }
+
+    #[test]
+    fn rules_do_not_contribute_facts() {
+        let e = estimator("p(a). p(X) :- q(X). q(b).");
+        assert_eq!(e.fact_count(id("p", 1)), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Fixity analysis (paper §IV-B).
+//!
+//! A predicate with a side effect (I/O built-ins) is *fixed*: goals
+//! calling it are immobile within their clauses, and its clauses are
+//! immobile within their predicates. Crucially, "any predicate that has a
+//! fixed predicate as a descendant is itself fixed" — a single `write/1`
+//! contaminates every ancestor. The analysis seeds from the side-effecting
+//! built-ins (plus user declarations) and propagates up the call graph.
+
+use crate::callgraph::CallGraph;
+use prolog_syntax::{Body, PredId, SourceProgram};
+use std::collections::HashSet;
+
+/// Result of the fixity analysis.
+#[derive(Debug)]
+pub struct FixityAnalysis {
+    fixed: HashSet<PredId>,
+}
+
+impl FixityAnalysis {
+    /// Computes fixity for `program`, seeding from side-effecting built-ins
+    /// (see [`prolog_engine_builtin_seeds`]).
+    pub fn compute(program: &SourceProgram, graph: &CallGraph) -> FixityAnalysis {
+        Self::compute_with_seeds(program, graph, &prolog_engine_builtin_seeds())
+    }
+
+    /// Computes fixity with explicit seed predicates (side-effecting
+    /// built-ins plus any `:- fixed(p/n)` declarations).
+    pub fn compute_with_seeds(
+        _program: &SourceProgram,
+        graph: &CallGraph,
+        seeds: &HashSet<PredId>,
+    ) -> FixityAnalysis {
+        // A predicate is fixed iff it is a seed or can reach a seed.
+        let mut fixed = graph.ancestors_of(seeds);
+        fixed.extend(seeds.iter().copied());
+        FixityAnalysis { fixed }
+    }
+
+    /// Is the predicate fixed?
+    pub fn is_fixed(&self, pred: PredId) -> bool {
+        self.fixed.contains(&pred)
+    }
+
+    /// Is this goal (body element) immobile within its clause? Cuts are
+    /// handled separately by the block splitter; here a goal is fixed if
+    /// it calls a fixed predicate anywhere inside it (a disjunction
+    /// containing a write is as immobile as the write itself).
+    pub fn goal_is_fixed(&self, goal: &Body) -> bool {
+        match goal {
+            Body::Call(t) => t.pred_id().is_some_and(|id| self.is_fixed(id)),
+            Body::And(a, b) | Body::Or(a, b) => {
+                self.goal_is_fixed(a) || self.goal_is_fixed(b)
+            }
+            Body::IfThenElse(c, t, e) => {
+                self.goal_is_fixed(c) || self.goal_is_fixed(t) || self.goal_is_fixed(e)
+            }
+            Body::Not(g) => self.goal_is_fixed(g),
+            Body::Cut => true, // immobile, though it does not fix ancestors
+            Body::True | Body::Fail => false,
+        }
+    }
+
+    /// All fixed predicates (for reports).
+    pub fn fixed_predicates(&self) -> Vec<PredId> {
+        let mut v: Vec<PredId> = self.fixed.iter().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// The built-in side-effect seeds.
+pub fn prolog_engine_builtin_seeds() -> HashSet<PredId> {
+    [
+        PredId::new("write", 1),
+        PredId::new("print", 1),
+        PredId::new("writeln", 1),
+        PredId::new("write_canonical", 1),
+        PredId::new("nl", 0),
+        PredId::new("tab", 1),
+        // Input consumes a stream position backtracking cannot restore.
+        PredId::new("read", 1),
+        PredId::new("get", 1),
+        PredId::new("put", 1),
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+
+    fn analyze(src: &str) -> (FixityAnalysis, SourceProgram) {
+        let p = parse_program(src).unwrap();
+        let g = CallGraph::build(&p);
+        (FixityAnalysis::compute(&p, &g), p)
+    }
+
+    fn id(name: &str, arity: usize) -> PredId {
+        PredId::new(name, arity)
+    }
+
+    #[test]
+    fn io_builtins_are_fixed_seeds() {
+        let (f, _) = analyze("w(X) :- write(X).");
+        assert!(f.is_fixed(id("write", 1)));
+        assert!(f.is_fixed(id("w", 1)));
+    }
+
+    #[test]
+    fn fixity_contaminates_all_ancestors() {
+        // §IV-B: w writes; x calls w; y calls x — all fixed.
+        let (f, _) = analyze(
+            "w(X) :- write(X).
+             x(X) :- w(X).
+             y(X) :- x(X).
+             clean(X) :- pure(X).
+             pure(1).",
+        );
+        assert!(f.is_fixed(id("w", 1)));
+        assert!(f.is_fixed(id("x", 1)));
+        assert!(f.is_fixed(id("y", 1)));
+        assert!(!f.is_fixed(id("clean", 1)));
+        assert!(!f.is_fixed(id("pure", 1)));
+    }
+
+    #[test]
+    fn side_effect_inside_control_still_fixes() {
+        let (f, _) = analyze("p(X) :- (X > 0 -> write(X) ; true).");
+        assert!(f.is_fixed(id("p", 1)));
+    }
+
+    #[test]
+    fn goal_level_fixity() {
+        let (f, p) = analyze("p(X) :- q(X), write(X), r(X). q(1). r(1).");
+        let goals = p.clauses[0].body.conjuncts();
+        assert!(!f.goal_is_fixed(goals[0]));
+        assert!(f.goal_is_fixed(goals[1]));
+        assert!(!f.goal_is_fixed(goals[2]));
+    }
+
+    #[test]
+    fn disjunction_with_write_is_fixed_goal() {
+        let (f, p) = analyze("p(X) :- q(X), (r(X) ; write(X)). q(1). r(1).");
+        let goals = p.clauses[0].body.conjuncts();
+        assert!(f.goal_is_fixed(goals[1]));
+    }
+
+    #[test]
+    fn recursive_fixed_predicate() {
+        let (f, _) = analyze("show([]). show([H|T]) :- write(H), show(T).");
+        assert!(f.is_fixed(id("show", 1)));
+    }
+
+    #[test]
+    fn user_declared_seeds() {
+        let p = parse_program("ext(X) :- magic(X). magic(1). top(X) :- ext(X).").unwrap();
+        let g = CallGraph::build(&p);
+        let mut seeds = prolog_engine_builtin_seeds();
+        seeds.insert(id("magic", 1));
+        let f = FixityAnalysis::compute_with_seeds(&p, &g, &seeds);
+        assert!(f.is_fixed(id("ext", 1)));
+        assert!(f.is_fixed(id("top", 1)));
+    }
+
+    #[test]
+    fn pure_program_has_no_fixed_user_predicates() {
+        let (f, _) = analyze(
+            "parent(C, P) :- mother(C, P).
+             mother(a, b).",
+        );
+        assert!(!f.is_fixed(id("parent", 2)));
+        assert!(!f.is_fixed(id("mother", 2)));
+        assert!(f.fixed_predicates().iter().all(|p| {
+            prolog_engine_builtin_seeds().contains(p) || p.name.as_str() != "parent"
+        }));
+    }
+}

@@ -1,0 +1,480 @@
+//! Mode inference by abstract interpretation (paper §V-E).
+//!
+//! The program is executed symbolically over the three-point instantiation
+//! domain `{+, -, ?}` (bound / free / unknown-or-partial). For a call
+//! pattern `(predicate, input mode)` the analysis abstractly runs every
+//! clause — binding head variables from the call mode, stepping through the
+//! body goals in order, consulting the built-in legal-mode table and
+//! memoised results for user predicates — and joins the clause results into
+//! a success (output) pattern.
+//!
+//! Recursive call patterns are cut off with the conservative assumption
+//! "output = input with free arguments widened to `?`", which never claims
+//! more instantiation than real execution delivers (safe for rejecting
+//! reorderings). The analysis also reports whether a pattern was *clean* —
+//! no abstractly-illegal built-in call was encountered — which is how
+//! [`ModeInference::infer_legal_modes`] proposes legal input modes for
+//! non-recursive predicates.
+
+use crate::modes::{builtin_legal_modes, LegalModes, Mode, ModeItem, ModePair};
+use prolog_syntax::{Body, PredId, SourceProgram, Term};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+/// Result of abstractly calling one pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallSummary {
+    pub output: Mode,
+    /// `false` if some built-in was called in a mode its table forbids —
+    /// the input pattern is not demonstrably legal.
+    pub clean: bool,
+}
+
+/// The inference engine. Create once per program; queries are memoised.
+pub struct ModeInference<'p> {
+    program: &'p SourceProgram,
+    builtins: HashMap<PredId, LegalModes>,
+    /// User-declared legal modes take precedence over inference (the
+    /// paper's position for recursive predicates, §IV-D.7).
+    declared: HashMap<PredId, LegalModes>,
+    memo: RefCell<HashMap<(PredId, Mode), CallSummary>>,
+    in_progress: RefCell<HashSet<(PredId, Mode)>>,
+}
+
+impl<'p> ModeInference<'p> {
+    pub fn new(program: &'p SourceProgram) -> ModeInference<'p> {
+        ModeInference {
+            program,
+            builtins: builtin_legal_modes(),
+            declared: HashMap::new(),
+            memo: RefCell::new(HashMap::new()),
+            in_progress: RefCell::new(HashSet::new()),
+        }
+    }
+
+    /// Registers declared legal modes (consulted before inference).
+    pub fn with_declarations(
+        mut self,
+        declared: HashMap<PredId, LegalModes>,
+    ) -> ModeInference<'p> {
+        self.declared = declared;
+        self
+    }
+
+    /// Abstractly calls `pred` with `input`, returning the output mode and
+    /// cleanliness.
+    pub fn call(&self, pred: PredId, input: &Mode) -> CallSummary {
+        // Declared modes win.
+        if let Some(lm) = self.declared.get(&pred) {
+            return match lm.call(input) {
+                Some(output) => CallSummary { output, clean: true },
+                None => CallSummary { output: conservative_output(input), clean: false },
+            };
+        }
+        // Built-ins from the table.
+        if let Some(lm) = self.builtins.get(&pred) {
+            return match lm.call(input) {
+                Some(output) => CallSummary { output, clean: true },
+                None => CallSummary { output: conservative_output(input), clean: false },
+            };
+        }
+        let key = (pred, input.clone());
+        if let Some(hit) = self.memo.borrow().get(&key) {
+            return hit.clone();
+        }
+        // Recursion cut-off.
+        if self.in_progress.borrow().contains(&key) {
+            return CallSummary { output: conservative_output(input), clean: true };
+        }
+        let clauses = self.program.clauses_of(pred);
+        if clauses.is_empty() {
+            // Unknown predicate: assume nothing.
+            return CallSummary { output: conservative_output(input), clean: false };
+        }
+        self.in_progress.borrow_mut().insert(key.clone());
+        let mut output: Option<Mode> = None;
+        let mut clean = true;
+        for clause in clauses {
+            let (mode, ok) = self.abstract_clause(clause, input);
+            clean &= ok;
+            output = Some(match output {
+                None => mode,
+                Some(acc) => acc.join(&mode),
+            });
+        }
+        let summary = CallSummary {
+            output: output.unwrap_or_else(|| conservative_output(input)),
+            clean,
+        };
+        self.in_progress.borrow_mut().remove(&key);
+        self.memo.borrow_mut().insert(key, summary.clone());
+        summary
+    }
+
+    /// Abstractly runs one clause against an input mode; returns the
+    /// clause's success pattern and cleanliness.
+    fn abstract_clause(
+        &self,
+        clause: &prolog_syntax::Clause,
+        input: &Mode,
+    ) -> (Mode, bool) {
+        let mut state = AbstractState::default();
+        // Head binding: `+` positions first so aliased variables pick up
+        // instantiation regardless of argument order.
+        let args = clause.head.args();
+        for pass in [ModeItem::Plus, ModeItem::Minus, ModeItem::Any] {
+            for (arg, item) in args.iter().zip(input.items()) {
+                if *item != pass {
+                    continue;
+                }
+                state.bind_head_arg(arg, *item);
+            }
+        }
+        let clean = self.abstract_body(&clause.body, &mut state);
+        let out = Mode::new(args.iter().map(|a| state.abstraction(a)).collect());
+        (out, clean)
+    }
+
+    /// Abstractly executes a body, updating `state`; returns cleanliness.
+    fn abstract_body(&self, body: &Body, state: &mut AbstractState) -> bool {
+        match body {
+            Body::True | Body::Fail | Body::Cut => true,
+            Body::Call(goal) => {
+                let Some(callee) = goal.pred_id() else { return false };
+                let mode = Mode::new(goal.args().iter().map(|a| state.abstraction(a)).collect());
+                let summary = self.call(callee, &mode);
+                for (arg, item) in goal.args().iter().zip(summary.output.items()) {
+                    state.apply_output(arg, *item);
+                }
+                summary.clean
+            }
+            Body::And(a, b) => {
+                let ok = self.abstract_body(a, state);
+                ok & self.abstract_body(b, state)
+            }
+            Body::Or(a, b) => {
+                let mut sa = state.clone();
+                let mut sb = state.clone();
+                let ok = self.abstract_body(a, &mut sa) & self.abstract_body(b, &mut sb);
+                *state = sa.join(&sb);
+                ok
+            }
+            Body::IfThenElse(c, t, e) => {
+                let mut st = state.clone();
+                let ok_ct =
+                    self.abstract_body(c, &mut st) & self.abstract_body(t, &mut st);
+                let mut se = state.clone();
+                let ok_e = self.abstract_body(e, &mut se);
+                *state = st.join(&se);
+                ok_ct & ok_e
+            }
+            Body::Not(g) => {
+                // Negation exports no bindings; still check legality inside.
+                let mut s = state.clone();
+                self.abstract_body(g, &mut s)
+            }
+        }
+    }
+
+    /// Proposes legal modes for `pred`: every `+`/`-` input pattern whose
+    /// abstract execution is clean, paired with its inferred output.
+    /// (For recursive predicates the result is still safe — recursion is
+    /// cut off conservatively — but the paper recommends declaring them;
+    /// termination is not checked, see §V-B.)
+    pub fn infer_legal_modes(&self, pred: PredId) -> LegalModes {
+        let mut pairs = Vec::new();
+        for input in Mode::enumerate_plus_minus(pred.arity) {
+            let summary = self.call(pred, &input);
+            if summary.clean {
+                pairs.push(ModePair::new(input, summary.output));
+            }
+        }
+        LegalModes::new(pairs)
+    }
+}
+
+/// Widens `-` to `?`: the no-information output assumption.
+fn conservative_output(input: &Mode) -> Mode {
+    Mode::new(
+        input
+            .items()
+            .iter()
+            .map(|m| match m {
+                ModeItem::Plus => ModeItem::Plus,
+                _ => ModeItem::Any,
+            })
+            .collect(),
+    )
+}
+
+/// Abstract variable states of one clause activation. Public because the
+/// reorderer's legality scanner (§VI-B.1) threads the same abstraction
+/// through candidate goal orders.
+#[derive(Debug, Clone, Default)]
+pub struct AbstractState {
+    vars: HashMap<usize, ModeItem>,
+}
+
+impl AbstractState {
+    pub fn get(&self, v: usize) -> ModeItem {
+        // A variable not yet seen is a fresh free variable.
+        self.vars.get(&v).copied().unwrap_or(ModeItem::Minus)
+    }
+
+    pub fn set(&mut self, v: usize, item: ModeItem) {
+        self.vars.insert(v, item);
+    }
+
+    /// Incorporates a head argument bound from the call mode.
+    pub fn bind_head_arg(&mut self, arg: &Term, item: ModeItem) {
+        match arg {
+            Term::Var(v) => {
+                let new = match (self.vars.get(v), item) {
+                    // Aliased with an already-bound occurrence: stays bound.
+                    (Some(ModeItem::Plus), _) | (_, ModeItem::Plus) => ModeItem::Plus,
+                    (Some(ModeItem::Any), _) | (_, ModeItem::Any) => ModeItem::Any,
+                    _ => ModeItem::Minus,
+                };
+                self.set(*v, new);
+            }
+            Term::Struct(_, args) => {
+                // The call argument unifies with a structure: if the call
+                // was `+` the structure's variables may or may not be
+                // bound; if `-`, the caller's variable is bound to this
+                // structure and its variables stay free.
+                let inner = match item {
+                    ModeItem::Plus | ModeItem::Any => ModeItem::Any,
+                    ModeItem::Minus => ModeItem::Minus,
+                };
+                for a in args.iter() {
+                    self.bind_head_arg(a, inner);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The abstraction (`+`/`-`/`?`) of a term under the current state.
+    pub fn abstraction(&self, t: &Term) -> ModeItem {
+        match t {
+            Term::Var(v) => self.get(*v),
+            Term::Atom(_) | Term::Int(_) | Term::Float(_) => ModeItem::Plus,
+            Term::Struct(_, args) => {
+                // A structure is bound; it is `+` (fully usable) only if
+                // every variable inside is bound, `?` otherwise — matching
+                // the paper's treatment of partial structures (§V-D).
+                if args.iter().all(|a| self.abstraction(a) == ModeItem::Plus) {
+                    ModeItem::Plus
+                } else {
+                    ModeItem::Any
+                }
+            }
+        }
+    }
+
+    /// Applies a callee's output mode item to a goal argument.
+    pub fn apply_output(&mut self, arg: &Term, item: ModeItem) {
+        match arg {
+            Term::Var(v) => {
+                let new = match (self.get(*v), item) {
+                    (ModeItem::Plus, _) => ModeItem::Plus, // never downgrade
+                    (_, out) => out,
+                };
+                self.set(*v, new);
+            }
+            Term::Struct(_, args) => {
+                // If the callee promises a fully instantiated result, the
+                // structure's free variables may now be bound — but only
+                // "may": widen them to `?`. (`+` here means non-var, and
+                // the structure was already non-var.)
+                if item == ModeItem::Plus {
+                    for a in args.iter() {
+                        if self.abstraction(a) == ModeItem::Minus {
+                            self.widen(a);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    pub fn widen(&mut self, t: &Term) {
+        match t {
+            Term::Var(v) => {
+                if self.get(*v) == ModeItem::Minus {
+                    self.set(*v, ModeItem::Any);
+                }
+            }
+            Term::Struct(_, args) => {
+                for a in args.iter() {
+                    self.widen(a);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Pointwise join of two branch states.
+    pub fn join(&self, other: &AbstractState) -> AbstractState {
+        let mut out = AbstractState::default();
+        let keys: HashSet<usize> =
+            self.vars.keys().chain(other.vars.keys()).copied().collect();
+        for v in keys {
+            out.set(v, self.get(v).join(other.get(v)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+
+    fn id(name: &str, arity: usize) -> PredId {
+        PredId::new(name, arity)
+    }
+
+    fn m(s: &str) -> Mode {
+        Mode::parse(s).unwrap()
+    }
+
+    #[test]
+    fn facts_ground_their_arguments() {
+        let p = parse_program("mother(john, joan). mother(jane, joan).").unwrap();
+        let inf = ModeInference::new(&p);
+        let s = inf.call(id("mother", 2), &m("--"));
+        assert_eq!(s.output, m("++"));
+        assert!(s.clean);
+    }
+
+    #[test]
+    fn rules_propagate_through_bodies() {
+        let p = parse_program(
+            "parent(C, P) :- mother(C, P).
+             mother(john, joan).",
+        )
+        .unwrap();
+        let inf = ModeInference::new(&p);
+        let s = inf.call(id("parent", 2), &m("--"));
+        assert_eq!(s.output, m("++"));
+    }
+
+    #[test]
+    fn is_demands_its_expression() {
+        let p = parse_program("inc(X, Y) :- Y is X + 1.").unwrap();
+        let inf = ModeInference::new(&p);
+        // (+,-): X bound, expression legal, Y comes out bound.
+        let s = inf.call(id("inc", 2), &m("+-"));
+        assert!(s.clean);
+        assert_eq!(s.output, m("++"));
+        // (-,-): X free → `is` called with a `?` expression → not clean.
+        let s = inf.call(id("inc", 2), &m("--"));
+        assert!(!s.clean);
+    }
+
+    #[test]
+    fn infer_legal_modes_filters_illegal_inputs() {
+        let p = parse_program("inc(X, Y) :- Y is X + 1.").unwrap();
+        let inf = ModeInference::new(&p);
+        let lm = inf.infer_legal_modes(id("inc", 2));
+        let inputs: Vec<String> =
+            lm.pairs.iter().map(|pr| pr.input.to_string()).collect();
+        assert!(inputs.contains(&"(+,-)".to_string()));
+        assert!(inputs.contains(&"(+,+)".to_string()));
+        assert!(!inputs.contains(&"(-,-)".to_string()));
+        assert!(!inputs.contains(&"(-,+)".to_string()));
+    }
+
+    #[test]
+    fn aliased_head_variables_share_instantiation() {
+        let p = parse_program("same(X, X).").unwrap();
+        let inf = ModeInference::new(&p);
+        let s = inf.call(id("same", 2), &m("+-"));
+        assert_eq!(s.output, m("++"));
+    }
+
+    #[test]
+    fn disjunction_joins_branches() {
+        let p = parse_program(
+            "d(X) :- X = a ; q(X).
+             q(_).",
+        )
+        .unwrap();
+        let inf = ModeInference::new(&p);
+        // branch 1 binds X (+), branch 2 leaves it unknown (? via q's
+        // conservative fact head) → join is `?`.
+        let s = inf.call(id("d", 1), &m("-"));
+        assert_eq!(s.output, m("?"));
+    }
+
+    #[test]
+    fn negation_exports_no_bindings() {
+        let p = parse_program("n(X) :- \\+ eq(X). eq(a).").unwrap();
+        let inf = ModeInference::new(&p);
+        let s = inf.call(id("n", 1), &m("-"));
+        assert_eq!(s.output, m("-"));
+    }
+
+    #[test]
+    fn recursive_predicates_get_conservative_outputs() {
+        let p = parse_program(
+            "app([], X, X).
+             app([H|T], Y, [H|Z]) :- app(T, Y, Z).",
+        )
+        .unwrap();
+        let inf = ModeInference::new(&p);
+        let s = inf.call(id("app", 3), &m("++-"));
+        assert!(s.clean);
+        // sound: the result is at least as weak as the truth (+,+,+)
+        assert!(m("+++").satisfies(&Mode::new(
+            s.output
+                .items()
+                .iter()
+                .map(|i| match i {
+                    ModeItem::Plus => ModeItem::Plus,
+                    _ => ModeItem::Any,
+                })
+                .collect()
+        )));
+    }
+
+    #[test]
+    fn declared_modes_take_precedence() {
+        let p = parse_program("mystery(X) :- helper(X). helper(a).").unwrap();
+        let mut declared = HashMap::new();
+        declared.insert(
+            id("helper", 1),
+            LegalModes::new(vec![ModePair::parse("+", "+")]),
+        );
+        let inf = ModeInference::new(&p).with_declarations(declared);
+        // helper now demands `+`: calling mystery with `-` is unclean.
+        let s = inf.call(id("mystery", 1), &m("-"));
+        assert!(!s.clean);
+        let s = inf.call(id("mystery", 1), &m("+"));
+        assert!(s.clean);
+    }
+
+    #[test]
+    fn unknown_predicates_are_unclean() {
+        let p = parse_program("top(X) :- ghost(X).").unwrap();
+        let inf = ModeInference::new(&p);
+        assert!(!inf.call(id("top", 1), &m("-")).clean);
+    }
+
+    #[test]
+    fn partial_structures_abstract_to_any() {
+        // append(+,-,-) should yield a `?` third argument (difference
+        // list, §V-D), not `+`.
+        let p = parse_program(
+            "app([], X, X).
+             app([H|T], Y, [H|Z]) :- app(T, Y, Z).",
+        )
+        .unwrap();
+        let inf = ModeInference::new(&p);
+        let s = inf.call(id("app", 3), &m("+--"));
+        let third = s.output.items()[2];
+        assert_ne!(third, ModeItem::Plus, "partial list must not be +");
+    }
+}

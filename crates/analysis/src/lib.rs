@@ -1,0 +1,59 @@
+//! Static analyses for safe reordering (paper §IV–§V).
+//!
+//! Reordering a Prolog program is only correct when the mover knows:
+//!
+//! * which predicates are **fixed** (have side effects, directly or through
+//!   descendants — §IV-B): fixed goals are immobile and fix their clauses;
+//! * which predicates are **semifixed** (behave differently in different
+//!   modes because of cuts or instantiation tests — §IV-C): their goals
+//!   must not cross goals that change their *culprit* variables;
+//! * which predicates are **recursive** (§IV-D.7): goal reordering inside
+//!   them is unsafe without declarations;
+//! * which calling **modes are legal** for every predicate (§V): an order
+//!   that calls a goal in an illegal mode is rejected.
+//!
+//! This crate computes all of the above from the source program plus
+//! user directives, and provides the abstract-interpretation mode
+//! inference (§V-E) that reduces how much the programmer must declare.
+
+pub mod callgraph;
+pub mod declarations;
+pub mod domains;
+pub mod fixity;
+pub mod inference;
+pub mod modes;
+pub mod recursion;
+pub mod semifixity;
+
+pub use callgraph::CallGraph;
+pub use declarations::Declarations;
+pub use domains::DomainEstimator;
+pub use fixity::FixityAnalysis;
+pub use inference::{AbstractState, CallSummary, ModeInference};
+pub use modes::{builtin_legal_modes, LegalModes, Mode, ModeItem, ModePair};
+pub use recursion::RecursionAnalysis;
+pub use semifixity::SemifixityAnalysis;
+
+use prolog_syntax::SourceProgram;
+
+/// Everything the reorderer needs to know about a program, bundled.
+#[derive(Debug)]
+pub struct ProgramAnalysis {
+    pub callgraph: CallGraph,
+    pub fixity: FixityAnalysis,
+    pub semifixity: SemifixityAnalysis,
+    pub recursion: RecursionAnalysis,
+    pub declarations: Declarations,
+}
+
+impl ProgramAnalysis {
+    /// Runs every analysis over `program`.
+    pub fn analyze(program: &SourceProgram) -> ProgramAnalysis {
+        let declarations = Declarations::from_program(program);
+        let callgraph = CallGraph::build(program);
+        let recursion = RecursionAnalysis::compute(&callgraph);
+        let fixity = FixityAnalysis::compute(program, &callgraph);
+        let semifixity = SemifixityAnalysis::compute(program, &callgraph);
+        ProgramAnalysis { callgraph, fixity, semifixity, recursion, declarations }
+    }
+}

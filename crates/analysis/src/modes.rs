@@ -1,0 +1,441 @@
+//! The legal-mode system (paper §V).
+//!
+//! A *mode* is a tuple of instantiation symbols, one per argument:
+//! `+` instantiated, `-` uninstantiated, `?` either/partial. A predicate's
+//! *legal modes* are input/output pairs: calls whose mode is covered by a
+//! legal input mode are safe, and return at least as instantiated as the
+//! paired output mode. This differs from DEC-10 `mode` declarations, which
+//! describe the modes that *arise* in the original program; legal modes
+//! must be a (preferably improper) **subset** of the modes in which the
+//! predicate actually functions — "any illegal mode makes a program
+//! wrong".
+
+use prolog_syntax::{PredId, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One argument's instantiation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModeItem {
+    /// `+`: instantiated (bound to a non-variable).
+    Plus,
+    /// `-`: uninstantiated (an unbound variable).
+    Minus,
+    /// `?`: unknown or partially instantiated.
+    Any,
+}
+
+impl ModeItem {
+    /// Parses `+`/`-`/`?`.
+    pub fn parse(s: &str) -> Option<ModeItem> {
+        match s {
+            "+" => Some(ModeItem::Plus),
+            "-" => Some(ModeItem::Minus),
+            "?" => Some(ModeItem::Any),
+            _ => None,
+        }
+    }
+
+    /// Does a call argument in state `self` satisfy a *demand* of `want`?
+    /// `+` demands bound, `-` demands unbound, `?` accepts anything.
+    pub fn satisfies(self, want: ModeItem) -> bool {
+        match want {
+            ModeItem::Any => true,
+            ModeItem::Plus => self == ModeItem::Plus,
+            ModeItem::Minus => self == ModeItem::Minus,
+        }
+    }
+
+    /// Least upper bound in the 3-point lattice with `?` on top.
+    pub fn join(self, other: ModeItem) -> ModeItem {
+        if self == other {
+            self
+        } else {
+            ModeItem::Any
+        }
+    }
+
+    pub fn symbol(self) -> char {
+        match self {
+            ModeItem::Plus => '+',
+            ModeItem::Minus => '-',
+            ModeItem::Any => '?',
+        }
+    }
+}
+
+impl fmt::Display for ModeItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// A mode tuple, e.g. `(+, -, ?)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Mode(pub Vec<ModeItem>);
+
+impl Mode {
+    pub fn new(items: Vec<ModeItem>) -> Mode {
+        Mode(items)
+    }
+
+    /// The all-`?` mode of the given arity.
+    pub fn any(arity: usize) -> Mode {
+        Mode(vec![ModeItem::Any; arity])
+    }
+
+    /// The all-`-` mode.
+    pub fn all_free(arity: usize) -> Mode {
+        Mode(vec![ModeItem::Minus; arity])
+    }
+
+    /// The all-`+` mode.
+    pub fn all_bound(arity: usize) -> Mode {
+        Mode(vec![ModeItem::Plus; arity])
+    }
+
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn items(&self) -> &[ModeItem] {
+        &self.0
+    }
+
+    /// Does a call in mode `self` satisfy the demands of input mode
+    /// `pattern`? (Pointwise [`ModeItem::satisfies`].)
+    pub fn satisfies(&self, pattern: &Mode) -> bool {
+        self.0.len() == pattern.0.len()
+            && self.0.iter().zip(&pattern.0).all(|(c, w)| c.satisfies(*w))
+    }
+
+    /// Pointwise join.
+    pub fn join(&self, other: &Mode) -> Mode {
+        assert_eq!(self.arity(), other.arity());
+        Mode(self.0.iter().zip(&other.0).map(|(a, b)| a.join(*b)).collect())
+    }
+
+    /// Parses a compact string like `"+-?"`.
+    pub fn parse(s: &str) -> Option<Mode> {
+        s.chars()
+            .map(|c| ModeItem::parse(&c.to_string()))
+            .collect::<Option<Vec<_>>>()
+            .map(Mode)
+    }
+
+    /// Mode of a goal's arguments given a predicate that reports per-term
+    /// instantiation (`+` ground-or-bound, `-` free).
+    pub fn of_args(args: &[Term], is_bound: impl Fn(&Term) -> ModeItem) -> Mode {
+        Mode(args.iter().map(is_bound).collect())
+    }
+
+    /// Enumerates all 2^arity +/- modes, used by the specializer to name
+    /// per-mode versions.
+    pub fn enumerate_plus_minus(arity: usize) -> Vec<Mode> {
+        let mut out = Vec::with_capacity(1 << arity);
+        for bits in 0..(1u32 << arity) {
+            let items = (0..arity)
+                .map(|i| {
+                    if bits & (1 << i) == 0 {
+                        ModeItem::Minus
+                    } else {
+                        ModeItem::Plus
+                    }
+                })
+                .collect();
+            out.push(Mode(items));
+        }
+        out
+    }
+
+    /// The paper's terminal-letter suffix: `u` for uninstantiated, `i` for
+    /// instantiated (e.g. `aunt_ui`). `?` maps to `u` conservatively (a
+    /// possibly-unbound argument must be treated as unbound for safety).
+    pub fn suffix(&self) -> String {
+        self.0
+            .iter()
+            .map(|m| match m {
+                ModeItem::Plus => 'i',
+                ModeItem::Minus | ModeItem::Any => 'u',
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, m) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// An input/output mode pair: calls covered by `input` are legal and
+/// return at least as instantiated as `output`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModePair {
+    pub input: Mode,
+    pub output: Mode,
+}
+
+impl ModePair {
+    pub fn new(input: Mode, output: Mode) -> ModePair {
+        assert_eq!(input.arity(), output.arity());
+        ModePair { input, output }
+    }
+
+    /// Both halves from compact strings, e.g. `pair("?+?", "+++")`.
+    pub fn parse(input: &str, output: &str) -> ModePair {
+        ModePair::new(
+            Mode::parse(input).expect("valid input mode"),
+            Mode::parse(output).expect("valid output mode"),
+        )
+    }
+}
+
+impl fmt::Display for ModePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.input, self.output)
+    }
+}
+
+/// The set of legal modes of one predicate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LegalModes {
+    pub pairs: Vec<ModePair>,
+}
+
+impl LegalModes {
+    pub fn new(pairs: Vec<ModePair>) -> LegalModes {
+        LegalModes { pairs }
+    }
+
+    /// A predicate that works in every mode (e.g. `=/2` or pure facts) and
+    /// may leave arguments as they were.
+    pub fn unrestricted(arity: usize) -> LegalModes {
+        LegalModes {
+            pairs: vec![ModePair::new(Mode::any(arity), Mode::any(arity))],
+        }
+    }
+
+    /// Is a call in `mode` legal, and if so what is the strongest output
+    /// mode we can assume? When several pairs cover the call, their
+    /// outputs are joined pointwise with the call mode folded in:
+    /// arguments the call already bound stay `+`.
+    pub fn call(&self, mode: &Mode) -> Option<Mode> {
+        let mut result: Option<Mode> = None;
+        for pair in &self.pairs {
+            if mode.satisfies(&pair.input) {
+                let out = strengthen(mode, &pair.output);
+                result = Some(match result {
+                    None => out,
+                    Some(acc) => acc.join(&out),
+                });
+            }
+        }
+        result
+    }
+
+    /// `true` if no call is legal (used to flag missing declarations).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Folds a call mode into a declared output mode: arguments that were
+/// already `+` at call time remain `+` on return, whatever the declaration
+/// says (instantiation is never lost).
+fn strengthen(call: &Mode, output: &Mode) -> Mode {
+    Mode(
+        call.0
+            .iter()
+            .zip(&output.0)
+            .map(|(c, o)| if *c == ModeItem::Plus { ModeItem::Plus } else { *o })
+            .collect(),
+    )
+}
+
+/// Legal modes of the built-in predicates the reorderer reasons about —
+/// the "hand-written file of information about built-in predicates"
+/// (§VI-B.2).
+pub fn builtin_legal_modes() -> HashMap<PredId, LegalModes> {
+    let mut out = HashMap::new();
+    let mut add = |name: &str, pairs: &[(&str, &str)]| {
+        let arity = pairs
+            .first()
+            .map(|(i, _)| i.len())
+            .expect("at least one mode pair");
+        out.insert(
+            PredId::new(name, arity),
+            LegalModes::new(pairs.iter().map(|(i, o)| ModePair::parse(i, o)).collect()),
+        );
+    };
+
+    // Unification: any mode; output unknown without deeper analysis
+    // except that `+ = -` grounds the right side and vice versa.
+    add("=", &[("+?", "++"), ("?+", "++"), ("??", "??")]);
+    add("\\=", &[("??", "??")]);
+    // Identity and order comparisons never bind.
+    for name in ["==", "\\==", "@<", "@>", "@=<", "@>="] {
+        add(name, &[("??", "??")]);
+    }
+    add("compare", &[("???", "+??")]);
+    // Type tests never bind and accept anything.
+    for name in [
+        "var", "nonvar", "atom", "number", "integer", "float", "atomic", "compound",
+        "callable", "is_list", "ground",
+    ] {
+        add(name, &[("?", "?")]);
+    }
+    // Arithmetic demands its expression arguments.
+    add("is", &[("?+", "++")]);
+    for name in ["=:=", "=\\=", "<", ">", "=<", ">="] {
+        add(name, &[("++", "++")]);
+    }
+    // Term inspection: functor/3 demands Term, or Name and Arity (§V-B).
+    add("functor", &[("+??", "+++"), ("?++", "+++")]);
+    add("arg", &[("++?", "++?")]);
+    add("=..", &[("+?", "++"), ("?+", "+?")]);
+    add("copy_term", &[("??", "??")]);
+    // Lists.
+    add("length", &[("+?", "++"), ("?+", "?+")]);
+    add("between", &[("++?", "+++")]);
+    add("sort", &[("+?", "++")]);
+    add("msort", &[("+?", "++")]);
+    // Set predicates: the goal argument is textually present (variable
+    // goals are forbidden, §I-C) and may be a partially-instantiated
+    // structure, so its demand is `?`; the list comes out bound.
+    add("findall", &[("???", "??+")]);
+    add("bagof", &[("???", "??+")]);
+    add("setof", &[("???", "??+")]);
+    // Control. Same reasoning for the meta-called goal arguments.
+    add("call", &[("?", "?")]);
+    add("not", &[("?", "?")]);
+    add("\\+", &[("?", "?")]);
+    add("forall", &[("??", "??")]);
+    // I/O.
+    add("write", &[("?", "?")]);
+    add("print", &[("?", "?")]);
+    add("writeln", &[("?", "?")]);
+    add("write_canonical", &[("?", "?")]);
+    add("tab", &[("+", "+")]);
+    add("read", &[("?", "?")]);
+    add("get", &[("?", "+")]);
+    add("put", &[("+", "+")]);
+    out.insert(PredId::new("nl", 0), LegalModes::unrestricted(0));
+    out.insert(PredId::new("true", 0), LegalModes::unrestricted(0));
+    out.insert(PredId::new("fail", 0), LegalModes::unrestricted(0));
+    out.insert(PredId::new("false", 0), LegalModes::unrestricted(0));
+    out.insert(PredId::new("!", 0), LegalModes::unrestricted(0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_item_satisfaction() {
+        use ModeItem::*;
+        assert!(Plus.satisfies(Plus));
+        assert!(Plus.satisfies(Any));
+        assert!(!Plus.satisfies(Minus));
+        assert!(Minus.satisfies(Minus));
+        assert!(!Minus.satisfies(Plus));
+        assert!(Any.satisfies(Any));
+        // `?` does not satisfy a `+` demand: the argument might be free.
+        assert!(!Any.satisfies(Plus));
+    }
+
+    #[test]
+    fn mode_parsing_and_display() {
+        let m = Mode::parse("+-?").unwrap();
+        assert_eq!(m.to_string(), "(+,-,?)");
+        assert_eq!(m.arity(), 3);
+        assert!(Mode::parse("+x").is_none());
+    }
+
+    #[test]
+    fn suffixes_match_paper_naming() {
+        assert_eq!(Mode::parse("--").unwrap().suffix(), "uu");
+        assert_eq!(Mode::parse("-+").unwrap().suffix(), "ui");
+        assert_eq!(Mode::parse("+-").unwrap().suffix(), "iu");
+        assert_eq!(Mode::parse("++").unwrap().suffix(), "ii");
+    }
+
+    #[test]
+    fn join_goes_to_any() {
+        let a = Mode::parse("+-").unwrap();
+        let b = Mode::parse("++").unwrap();
+        assert_eq!(a.join(&b), Mode::parse("+?").unwrap());
+    }
+
+    #[test]
+    fn legal_mode_call_and_strengthen() {
+        // delete/3's legal modes from the paper (§V-C).
+        let lm = LegalModes::new(vec![
+            ModePair::parse("?+?", "+++"),
+            ModePair::parse("+?+", "+++"),
+            ModePair::parse("--+", "-?+"),
+        ]);
+        // (+,+,-) satisfies (?,+,?): legal, output all +.
+        let out = lm.call(&Mode::parse("++-").unwrap()).unwrap();
+        assert_eq!(out, Mode::parse("+++").unwrap());
+        // (+,-,-) satisfies none: illegal.
+        assert!(lm.call(&Mode::parse("+--").unwrap()).is_none());
+        // (-,-,+) satisfies the third pair; output keeps arg 3 bound.
+        let out = lm.call(&Mode::parse("--+").unwrap()).unwrap();
+        assert_eq!(out, Mode::parse("-?+").unwrap());
+    }
+
+    #[test]
+    fn strengthen_preserves_input_instantiation() {
+        // Even if the declared output says `?`, a `+` call argument stays `+`.
+        let lm = LegalModes::new(vec![ModePair::parse("??", "??")]);
+        let out = lm.call(&Mode::parse("+-").unwrap()).unwrap();
+        assert_eq!(out, Mode::parse("+?").unwrap());
+    }
+
+    #[test]
+    fn multiple_covering_pairs_join_outputs() {
+        let lm = LegalModes::new(vec![
+            ModePair::parse("?-", "?+"),
+            ModePair::parse("-?", "+?"),
+        ]);
+        // (-,-) satisfies both; outputs (?,+) and (+,?) join to (?,?) then
+        // strengthen does nothing (no + inputs).
+        let out = lm.call(&Mode::parse("--").unwrap()).unwrap();
+        assert_eq!(out, Mode::parse("??").unwrap());
+    }
+
+    #[test]
+    fn builtin_table_smoke() {
+        let table = builtin_legal_modes();
+        let is = &table[&PredId::new("is", 2)];
+        assert!(is.call(&Mode::parse("-+").unwrap()).is_some());
+        assert!(is.call(&Mode::parse("--").unwrap()).is_none());
+        let functor = &table[&PredId::new("functor", 3)];
+        assert!(functor.call(&Mode::parse("+--").unwrap()).is_some());
+        assert!(functor.call(&Mode::parse("-+-").unwrap()).is_none()); // the paper's error case
+        assert!(functor.call(&Mode::parse("-++").unwrap()).is_some());
+    }
+
+    #[test]
+    fn enumerate_plus_minus_covers_all() {
+        let modes = Mode::enumerate_plus_minus(2);
+        assert_eq!(modes.len(), 4);
+        assert!(modes.contains(&Mode::parse("--").unwrap()));
+        assert!(modes.contains(&Mode::parse("++").unwrap()));
+    }
+}

@@ -1,0 +1,120 @@
+//! Recursion detection (paper §IV-D.7).
+//!
+//! "We can easily detect recursion automatically … traverse the program
+//! top-down, keeping a list of predicates being scanned, and check if each
+//! new goal is a member of the list." We get the same answer from the call
+//! graph's strongly connected components: a predicate is recursive iff it
+//! sits in a multi-member SCC (mutual recursion) or calls itself
+//! (self-recursion). Goal reordering inside recursive predicates is unsafe
+//! without declarations, so the reorderer consults this analysis.
+
+use crate::callgraph::CallGraph;
+use prolog_syntax::PredId;
+use std::collections::HashSet;
+
+/// Result of recursion detection.
+#[derive(Debug)]
+pub struct RecursionAnalysis {
+    recursive: HashSet<PredId>,
+    /// SCCs with more than one member: mutually recursive groups.
+    groups: Vec<Vec<PredId>>,
+}
+
+impl RecursionAnalysis {
+    pub fn compute(graph: &CallGraph) -> RecursionAnalysis {
+        let mut recursive = HashSet::new();
+        let mut groups = Vec::new();
+        for scc in graph.sccs() {
+            if scc.len() > 1 {
+                recursive.extend(scc.iter().copied());
+                groups.push(scc);
+            } else {
+                let p = scc[0];
+                if graph.callees(p).contains(&p) {
+                    recursive.insert(p);
+                }
+            }
+        }
+        RecursionAnalysis { recursive, groups }
+    }
+
+    pub fn is_recursive(&self, pred: PredId) -> bool {
+        self.recursive.contains(&pred)
+    }
+
+    /// Mutually recursive groups (size > 1).
+    pub fn mutual_groups(&self) -> &[Vec<PredId>] {
+        &self.groups
+    }
+
+    pub fn recursive_predicates(&self) -> Vec<PredId> {
+        let mut v: Vec<PredId> = self.recursive.iter().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+
+    fn analyze(src: &str) -> RecursionAnalysis {
+        RecursionAnalysis::compute(&CallGraph::build(&parse_program(src).unwrap()))
+    }
+
+    fn id(name: &str, arity: usize) -> PredId {
+        PredId::new(name, arity)
+    }
+
+    #[test]
+    fn self_recursion() {
+        let r = analyze(
+            "append_([], X, X).
+             append_([H|T], Y, [H|Z]) :- append_(T, Y, Z).
+             flat(X) :- append_(X, X, _).",
+        );
+        assert!(r.is_recursive(id("append_", 3)));
+        assert!(!r.is_recursive(id("flat", 1)));
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        let r = analyze(
+            "even(0). even(X) :- X > 0, Y is X - 1, odd(Y).
+             odd(X) :- X > 0, Y is X - 1, even(Y).",
+        );
+        assert!(r.is_recursive(id("even", 1)));
+        assert!(r.is_recursive(id("odd", 1)));
+        assert_eq!(r.mutual_groups().len(), 1);
+    }
+
+    #[test]
+    fn recursion_through_control_constructs() {
+        let r = analyze("walk(X) :- (stop(X) -> true ; walk(X)). stop(0).");
+        assert!(r.is_recursive(id("walk", 1)));
+        assert!(!r.is_recursive(id("stop", 1)));
+    }
+
+    #[test]
+    fn nonrecursive_database_program() {
+        let r = analyze(
+            "grandparent(GC, GP) :- parent(P, GP), parent(GC, P).
+             parent(C, P) :- mother(C, P).
+             mother(a, b). mother(b, c).",
+        );
+        assert!(r.recursive_predicates().is_empty());
+    }
+
+    #[test]
+    fn paper_permutation_example_is_recursive() {
+        let r = analyze(
+            "select_(X, [X|Xs], Xs).
+             select_(X, [Y|Xs], [Y|Ys]) :- select_(X, Xs, Ys).
+             permutation([], []).
+             permutation(Xs, [X|Ys]) :- select_(X, Xs, Zs), permutation(Zs, Ys).",
+        );
+        assert!(r.is_recursive(id("select_", 3)));
+        assert!(r.is_recursive(id("permutation", 2)));
+    }
+}

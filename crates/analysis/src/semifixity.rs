@@ -1,0 +1,360 @@
+//! Semifixity analysis (paper §IV-C).
+//!
+//! A predicate is *semifixed* when it "returns very different results in
+//! different modes" — typically because a cut commits to a clause whose
+//! selection depends on an argument's instantiation, or because the body
+//! tests instantiation directly (`var/1`, `==/2`, negation, the set
+//! predicates). The paper's example:
+//!
+//! ```prolog
+//! a(X, Y, b) :- !.
+//! a(X, Y, Z) :- c(X, Y), d(Y, Z).
+//! ```
+//!
+//! matches only its first clause when the third argument is free, but
+//! (probably) only its second when it is bound: the third argument is the
+//! *culprit position*, and a free variable passed there is a *culprit
+//! variable*. The reorderer must not let goals that instantiate a culprit
+//! variable cross the semifixed goal.
+//!
+//! Detection has a syntactic part and a flow-sensitive part:
+//!
+//! * if any clause of the predicate contains a cut, every argument
+//!   position where some clause head carries a non-variable term is a
+//!   culprit position (head matching + cut = mode-dependent commitment);
+//! * a head variable that can **reach an instantiation-sensitive goal
+//!   still unbound** makes its position a culprit. Sensitive goals are
+//!   the test built-ins (`var/1`, `==/2`, …), negation (§IV-D.5), the
+//!   set predicates (§IV-D.6), and culprit positions of user predicates
+//!   (propagation "to ancestors if a culprit variable also appears in the
+//!   head of a clause").
+//!
+//! The reachability check runs the clause abstractly from the weakest
+//! (all-free) entry mode: if a variable is already bound (`+`) at the
+//! sensitive goal even then, earlier body goals bind it in *every* mode,
+//! so the caller's instantiation cannot influence the sensitive goal and
+//! the position is **not** a culprit — this keeps e.g.
+//! `siblings(X, Y) :- mother(X, M), mother(Y, M), X \== Y` fully mobile
+//! for its callers while still pinning the `\==` behind the two `mother`
+//! goals inside the clause.
+
+use crate::callgraph::CallGraph;
+use crate::inference::{AbstractState, ModeInference};
+use crate::modes::{Mode, ModeItem};
+use prolog_syntax::{Body, PredId, SourceProgram, Term};
+use std::collections::{HashMap, HashSet};
+
+/// Per-predicate semifixity: the set of culprit argument positions
+/// (0-based).
+#[derive(Debug, Default)]
+pub struct SemifixityAnalysis {
+    culprit_positions: HashMap<PredId, HashSet<usize>>,
+}
+
+/// Built-ins whose success depends on argument instantiation.
+pub fn sensitive_builtin(id: PredId) -> bool {
+    let name = id.name.as_str();
+    matches!(name, "var" | "nonvar") && id.arity == 1
+        || matches!(
+            name,
+            "atom" | "atomic" | "number" | "integer" | "float" | "compound" | "callable"
+                | "ground" | "is_list"
+        ) && id.arity == 1
+        || matches!(name, "==" | "\\==" | "\\=" | "@<" | "@>" | "@=<" | "@>=") && id.arity == 2
+        || matches!(name, "findall" | "bagof" | "setof") && id.arity == 3
+        || matches!(name, "forall") && id.arity == 2
+        || matches!(name, "copy_term") && id.arity == 2
+        || matches!(name, "not" | "\\+" | "call") && id.arity == 1
+}
+
+impl SemifixityAnalysis {
+    pub fn compute(program: &SourceProgram, graph: &CallGraph) -> SemifixityAnalysis {
+        let _ = graph;
+        let inference = ModeInference::new(program);
+        let mut culprit_positions: HashMap<PredId, HashSet<usize>> = HashMap::new();
+
+        // Syntactic rule: cut + non-variable head argument.
+        for pred in program.predicates() {
+            let clauses = program.clauses_of(pred);
+            let any_cut = clauses.iter().any(|c| c.body.contains_cut());
+            if !any_cut {
+                continue;
+            }
+            let mut positions: HashSet<usize> = HashSet::new();
+            for clause in &clauses {
+                for (i, arg) in clause.head.args().iter().enumerate() {
+                    if !arg.is_var() {
+                        positions.insert(i);
+                    }
+                }
+            }
+            if !positions.is_empty() {
+                culprit_positions.insert(pred, positions);
+            }
+        }
+
+        // Flow rule, to a fixpoint: a head variable reaching a sensitive
+        // goal (or a culprit position of a callee) while still possibly
+        // unbound marks its own position. Marks are collected per pass and
+        // applied between passes.
+        loop {
+            let mut new_marks: Vec<(PredId, usize)> = Vec::new();
+            for pred in program.predicates() {
+                for clause in program.clauses_of(pred) {
+                    let head_var_pos: HashMap<usize, usize> = clause
+                        .head
+                        .args()
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, a)| match a {
+                            Term::Var(v) => Some((*v, i)),
+                            _ => None,
+                        })
+                        .collect();
+                    // Weakest entry: every argument unbound.
+                    let mut state = AbstractState::default();
+                    for arg in clause.head.args() {
+                        state.bind_head_arg(arg, ModeItem::Minus);
+                    }
+                    let mut mark = |v: usize, state: &AbstractState| {
+                        if state.get(v) == ModeItem::Plus {
+                            return; // bound in every mode: harmless
+                        }
+                        if let Some(&i) = head_var_pos.get(&v) {
+                            new_marks.push((pred, i));
+                        }
+                    };
+                    scan_body(
+                        &clause.body,
+                        &mut state,
+                        &inference,
+                        &culprit_positions,
+                        &mut mark,
+                    );
+                }
+            }
+            let mut changed = false;
+            for (p, i) in new_marks {
+                changed |= culprit_positions.entry(p).or_default().insert(i);
+            }
+            if !changed {
+                break;
+            }
+        }
+        SemifixityAnalysis { culprit_positions }
+    }
+
+    /// Is the predicate semifixed at all?
+    pub fn is_semifixed(&self, pred: PredId) -> bool {
+        self.culprit_positions.contains_key(&pred)
+    }
+
+    /// Culprit argument positions (0-based) of a predicate.
+    pub fn culprit_positions(&self, pred: PredId) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .culprit_positions
+            .get(&pred)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Variables of a goal that land in culprit positions — the variables
+    /// whose instantiation must not change across this goal.
+    pub fn culprit_vars_of_goal(&self, goal: &Term) -> Vec<usize> {
+        let Some(id) = goal.pred_id() else { return Vec::new() };
+        let positions = self.culprit_positions(id);
+        let mut out = Vec::new();
+        for &i in &positions {
+            if let Some(arg) = goal.args().get(i) {
+                for v in arg.variables() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Walks a body in execution order, reporting culprit variables via
+/// `mark` and threading instantiation through `state`.
+fn scan_body(
+    body: &Body,
+    state: &mut AbstractState,
+    inference: &ModeInference<'_>,
+    culprits: &HashMap<PredId, HashSet<usize>>,
+    mark: &mut impl FnMut(usize, &AbstractState),
+) {
+    match body {
+        Body::True | Body::Fail | Body::Cut => {}
+        Body::Call(t) => {
+            let Some(callee) = t.pred_id() else { return };
+            // Sensitive built-in: every variable matters.
+            if sensitive_builtin(callee) {
+                for v in t.variables() {
+                    mark(v, state);
+                }
+            } else if let Some(positions) = culprits.get(&callee) {
+                for &i in positions {
+                    if let Some(arg) = t.args().get(i) {
+                        for v in arg.variables() {
+                            mark(v, state);
+                        }
+                    }
+                }
+            }
+            // Advance the abstract state through the call.
+            let mode = Mode::new(t.args().iter().map(|a| state.abstraction(a)).collect());
+            let summary = inference.call(callee, &mode);
+            for (arg, item) in t.args().iter().zip(summary.output.items()) {
+                state.apply_output(arg, *item);
+            }
+        }
+        Body::And(a, b) => {
+            scan_body(a, state, inference, culprits, mark);
+            scan_body(b, state, inference, culprits, mark);
+        }
+        Body::Or(a, b) => {
+            let mut sa = state.clone();
+            let mut sb = state.clone();
+            scan_body(a, &mut sa, inference, culprits, mark);
+            scan_body(b, &mut sb, inference, culprits, mark);
+            *state = sa.join(&sb);
+        }
+        Body::IfThenElse(c, t, e) => {
+            let mut sct = state.clone();
+            scan_body(c, &mut sct, inference, culprits, mark);
+            scan_body(t, &mut sct, inference, culprits, mark);
+            let mut se = state.clone();
+            scan_body(e, &mut se, inference, culprits, mark);
+            *state = sct.join(&se);
+        }
+        Body::Not(g) => {
+            // Negation is semifixed in all its variables (§IV-D.5).
+            for v in g.to_term().variables() {
+                mark(v, state);
+            }
+            // No bindings are exported.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+
+    fn analyze(src: &str) -> SemifixityAnalysis {
+        let p = parse_program(src).unwrap();
+        let g = CallGraph::build(&p);
+        SemifixityAnalysis::compute(&p, &g)
+    }
+
+    fn id(name: &str, arity: usize) -> PredId {
+        PredId::new(name, arity)
+    }
+
+    #[test]
+    fn paper_cut_example_is_semifixed_in_third_argument() {
+        let s = analyze(
+            "a(_, _, b) :- !.
+             a(X, Y, Z) :- c(X, Y), d(Y, Z).
+             c(1, 2). d(2, 3).",
+        );
+        assert!(s.is_semifixed(id("a", 3)));
+        assert_eq!(s.culprit_positions(id("a", 3)), vec![2]);
+    }
+
+    #[test]
+    fn no_cut_means_no_head_culprits() {
+        let s = analyze(
+            "a(_, _, b).
+             a(X, Y, Z) :- c(X, Y), d(Y, Z).
+             c(1, 2). d(2, 3).",
+        );
+        assert!(!s.is_semifixed(id("a", 3)));
+    }
+
+    #[test]
+    fn var_test_makes_position_culprit() {
+        let s = analyze("p(X, Y) :- var(X), q(Y). q(1).");
+        assert!(s.is_semifixed(id("p", 2)));
+        assert_eq!(s.culprit_positions(id("p", 2)), vec![0]);
+    }
+
+    #[test]
+    fn identity_test_makes_positions_culprit() {
+        let s = analyze("eq(X, Y) :- X == Y.");
+        assert_eq!(s.culprit_positions(id("eq", 2)), vec![0, 1]);
+    }
+
+    #[test]
+    fn negation_marks_its_variables() {
+        let s = analyze("male(X) :- not(female(X)). female(f).");
+        assert!(s.is_semifixed(id("male", 1)));
+        assert_eq!(s.culprit_positions(id("male", 1)), vec![0]);
+    }
+
+    #[test]
+    fn bound_before_the_test_is_not_a_culprit() {
+        // The flow refinement: X and Y are always bound by the mother/2
+        // goals before reaching \==, in every calling mode — siblings/2 is
+        // NOT semifixed, exactly what lets the reorderer hoist sister/2 in
+        // the paper's aunt/2 (Fig. 7).
+        let s = analyze(
+            "siblings(X, Y) :- mother(X, M), mother(Y, M), X \\== Y.
+             mother(a, m). mother(b, m).",
+        );
+        assert!(!s.is_semifixed(id("siblings", 2)));
+    }
+
+    #[test]
+    fn propagation_through_still_unbound_flows_only() {
+        // t passes its head variable X into s's culprit position while X
+        // may still be unbound → culprit. u binds it first → clean.
+        let s = analyze(
+            "s(X) :- var(X).
+             t(X) :- q(_), s(X).
+             u(X) :- b(X), s(X).
+             q(1). b(1).",
+        );
+        assert!(s.is_semifixed(id("s", 1)));
+        assert!(s.is_semifixed(id("t", 1)));
+        assert!(!s.is_semifixed(id("u", 1)));
+    }
+
+    #[test]
+    fn set_predicates_mark_unbound_variables() {
+        let s = analyze("collect(X, L) :- findall(Y, p(X, Y), L). p(1, a).");
+        // X may be unbound at the findall → culprit; L likewise.
+        let pos = s.culprit_positions(id("collect", 2));
+        assert!(pos.contains(&0));
+    }
+
+    #[test]
+    fn culprit_vars_of_goal_maps_positions_to_variables() {
+        let s = analyze("p(X, Y) :- var(Y), q(X). q(1).");
+        let goal = prolog_syntax::parse_term("p(A, B)").unwrap().0;
+        assert_eq!(s.culprit_vars_of_goal(&goal), vec![1]);
+    }
+
+    #[test]
+    fn pure_database_predicates_are_not_semifixed() {
+        let s = analyze(
+            "parent(C, P) :- mother(C, P).
+             parent(C, P) :- mother(C, M), wife(P, M).
+             mother(a, b). wife(c, b).",
+        );
+        assert!(!s.is_semifixed(id("parent", 2)));
+        assert!(!s.is_semifixed(id("mother", 2)));
+    }
+
+    #[test]
+    fn cut_with_all_variable_heads_is_not_position_semifixed() {
+        let s = analyze("first(X) :- gen(X), !. gen(1). gen(2).");
+        assert!(!s.is_semifixed(id("first", 1)));
+    }
+}

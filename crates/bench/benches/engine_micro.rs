@@ -1,0 +1,59 @@
+//! Engine microbenchmarks: unification, list recursion, clause indexing
+//! on/off — the substrate costs underlying every table.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prolog_engine::{Engine, MachineConfig};
+
+fn engine_micro(c: &mut Criterion) {
+    // Deterministic list recursion (append).
+    let mut append_engine = Engine::new();
+    append_engine
+        .consult(
+            "app([], X, X).
+             app([H|T], Y, [H|Z]) :- app(T, Y, Z).",
+        )
+        .unwrap();
+    let list: String = (0..64).map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
+    let query = format!("app([{list}], [end], L)");
+    c.bench_function("engine/append_64", |b| {
+        b.iter(|| append_engine.query(black_box(&query)).unwrap())
+    });
+
+    // Backtracking-heavy: naive permutations of a 5-list.
+    let mut perm_engine = Engine::new();
+    perm_engine
+        .consult(
+            "sel(X, [X|Xs], Xs).
+             sel(X, [Y|Xs], [Y|Ys]) :- sel(X, Xs, Ys).
+             perm([], []).
+             perm(Xs, [X|Ys]) :- sel(X, Xs, Zs), perm(Zs, Ys).",
+        )
+        .unwrap();
+    c.bench_function("engine/permutations_5", |b| {
+        b.iter(|| perm_engine.query(black_box("perm([1,2,3,4,5], P)")).unwrap())
+    });
+
+    // Indexing on vs off over a 200-fact table.
+    let facts: String = (0..200).map(|i| format!("t(k{i}, {i}).\n")).collect();
+    let mut indexed = Engine::new();
+    indexed.consult(&facts).unwrap();
+    let mut scanning =
+        Engine::with_config(MachineConfig { indexing: false, ..Default::default() });
+    scanning.consult(&facts).unwrap();
+    c.bench_function("engine/indexed_lookup", |b| {
+        b.iter(|| indexed.query(black_box("t(k150, V)")).unwrap())
+    });
+    c.bench_function("engine/scanning_lookup", |b| {
+        b.iter(|| scanning.query(black_box("t(k150, V)")).unwrap())
+    });
+
+    // findall over a generator.
+    let mut fa = Engine::new();
+    fa.consult("n(X) :- between(1, 100, X).").unwrap();
+    c.bench_function("engine/findall_100", |b| {
+        b.iter(|| fa.query(black_box("findall(X, n(X), L)")).unwrap())
+    });
+}
+
+criterion_group!(benches, engine_micro);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 1: clause ordering by p/c and its expected
+//! cost computation (single-solution chain + first-pass expansion).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prolog_markov::{ClauseChain, GoalStats};
+use reorder::clause_order::order_clauses;
+
+fn fig1(c: &mut Criterion) {
+    let p = [0.7, 0.8, 0.5, 0.9];
+    let cost = [100.0, 80.0, 100.0, 40.0];
+    let stats: Vec<(f64, f64)> = p.iter().zip(&cost).map(|(&p, &c)| (p, c)).collect();
+    let goals: Vec<GoalStats> =
+        p.iter().zip(&cost).map(|(&p, &c)| GoalStats::new(p, c)).collect();
+
+    c.bench_function("fig1/order_clauses_by_p_over_c", |b| {
+        b.iter(|| order_clauses(black_box(&stats), &[true; 4]))
+    });
+    c.bench_function("fig1/expected_success_cost", |b| {
+        b.iter(|| {
+            let chain = ClauseChain::new(black_box(&goals));
+            chain.expected_success_cost_first_pass()
+        })
+    });
+    c.bench_function("fig1/single_solution_chain_matrix", |b| {
+        b.iter(|| {
+            let chain = ClauseChain::new(black_box(&goals));
+            chain.success_probability()
+        })
+    });
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for Fig. 2: goal ordering by q/c and the failure-cost
+//! expansion, plus the full best-order search on the paper's intro
+//! example.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prolog_markov::{ClauseChain, GoalStats};
+use prolog_syntax::parse_program;
+use reorder::{ReorderConfig, Reorderer};
+
+fn fig2(c: &mut Criterion) {
+    let q = [0.8, 0.1, 0.3, 0.6];
+    let cost = [70.0, 100.0, 100.0, 60.0];
+    let goals: Vec<GoalStats> =
+        q.iter().zip(&cost).map(|(&q, &c)| GoalStats::new(1.0 - q, c)).collect();
+
+    c.bench_function("fig2/expected_failure_cost", |b| {
+        b.iter(|| {
+            let chain = ClauseChain::new(black_box(&goals));
+            chain.expected_failure_cost_first_pass()
+        })
+    });
+    c.bench_function("fig2/all_solutions_closed_form", |b| {
+        b.iter(|| {
+            let chain = ClauseChain::new(black_box(&goals));
+            chain.all_solutions_cost_closed_form()
+        })
+    });
+
+    // The §I-D grandmother example end-to-end: analysis + search.
+    let program = parse_program(
+        "
+        grandmother(GC, GM) :- grandparent(GC, GM), female(GM).
+        grandparent(GC, GP) :- parent(P, GP), parent(GC, P).
+        parent(C, P) :- mother(C, P).
+        parent(C, P) :- mother(C, M), wife(P, M).
+        female(W) :- girl(W).
+        female(W) :- wife(_, W).
+        girl(g1). girl(g2). girl(g3).
+        wife(h1, w1). wife(h2, w2). wife(h3, w3).
+        mother(c1, m1). mother(c2, m2). mother(c3, w1). mother(c4, w2).
+        ",
+    )
+    .unwrap();
+    c.bench_function("fig2/reorder_grandmother_program", |b| {
+        b.iter(|| Reorderer::new(black_box(&program), ReorderConfig::default()).run())
+    });
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Markov-model microbenchmarks: matrix solving and the clause-chain
+//! computations, matrix vs closed form — the ablation behind the paper's
+//! remark that the reorderer calls out to a matrix routine (§VI-A.2)
+//! while the search's inner loop can use the "tidy form".
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use prolog_markov::{ClauseChain, GoalStats, Matrix};
+
+fn markov_micro(c: &mut Criterion) {
+    // Matrix inversion scaling.
+    let mut group = c.benchmark_group("markov_invert");
+    for n in [4usize, 8, 16, 32] {
+        let mut m = Matrix::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    m[(i, j)] = 1.0 / ((i + j + 2) as f64);
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| black_box(m).inverse().unwrap())
+        });
+    }
+    group.finish();
+
+    // Chain cost: fundamental matrix vs closed form, for an 8-goal body.
+    let goals: Vec<GoalStats> = (0..8)
+        .map(|i| GoalStats::new(0.3 + 0.05 * i as f64, 10.0 + i as f64))
+        .collect();
+    c.bench_function("markov/all_solutions_cost_matrix", |b| {
+        b.iter(|| ClauseChain::new(black_box(&goals)).all_solutions_cost())
+    });
+    c.bench_function("markov/all_solutions_cost_closed_form", |b| {
+        b.iter(|| ClauseChain::new(black_box(&goals)).all_solutions_cost_closed_form())
+    });
+    c.bench_function("markov/success_probability", |b| {
+        b.iter(|| ClauseChain::new(black_box(&goals)).success_probability())
+    });
+}
+
+criterion_group!(benches, markov_micro);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench over the design-choice ablations DESIGN.md calls out:
+//! exhaustive vs. best-first search, Markov-chain vs. generator-tree cost
+//! model, and unfolding — measured as reorderer runtime on the family
+//! tree (result quality is reported by `--bin ablation`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prolog_workloads::family::{family_program, FamilyConfig};
+use reorder::{CostModelKind, ReorderConfig, Reorderer, UnfoldConfig};
+
+fn search_ablation(c: &mut Criterion) {
+    let (program, _) = family_program(&FamilyConfig::default());
+
+    c.bench_function("ablation/reorder_exhaustive", |b| {
+        let config = ReorderConfig { exhaustive_threshold: 9, ..Default::default() };
+        b.iter(|| Reorderer::new(black_box(&program), config.clone()).run())
+    });
+    c.bench_function("ablation/reorder_best_first", |b| {
+        let config = ReorderConfig { exhaustive_threshold: 0, ..Default::default() };
+        b.iter(|| Reorderer::new(black_box(&program), config.clone()).run())
+    });
+    c.bench_function("ablation/reorder_markov_model", |b| {
+        let config = ReorderConfig {
+            cost_model: CostModelKind::MarkovChain,
+            ..Default::default()
+        };
+        b.iter(|| Reorderer::new(black_box(&program), config.clone()).run())
+    });
+    c.bench_function("ablation/reorder_generator_model", |b| {
+        let config = ReorderConfig {
+            cost_model: CostModelKind::GeneratorTree,
+            ..Default::default()
+        };
+        b.iter(|| Reorderer::new(black_box(&program), config.clone()).run())
+    });
+    c.bench_function("ablation/unfold_pass", |b| {
+        b.iter(|| reorder::unfold_program(black_box(&program), &UnfoldConfig::default()))
+    });
+}
+
+criterion_group!(benches, search_ablation);
+criterion_main!(benches);

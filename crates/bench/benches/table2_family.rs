@@ -1,0 +1,36 @@
+//! Criterion bench for Table II: the family-tree pipeline — reorderer
+//! runtime, and engine execution of original vs reordered programs on the
+//! paper's query modes.
+
+use bench_harness::{measure_queries, reorder_default};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prolog_analysis::Mode;
+use prolog_workloads::family::{family_program, FamilyConfig};
+use prolog_workloads::queries::{mode_queries, QuerySpec};
+
+fn table2(c: &mut Criterion) {
+    let (program, people) = family_program(&FamilyConfig::default());
+    let reordered = reorder_default(&program);
+
+    c.bench_function("table2/reorder_family_program", |b| {
+        b.iter(|| reorder_default(black_box(&program)))
+    });
+
+    for (pred, mode) in [("aunt", "--"), ("grandmother", "--"), ("cousins", "--")] {
+        let spec = QuerySpec {
+            name: pred.to_string(),
+            mode: Mode::parse(mode).unwrap(),
+            universe: people.clone(),
+        };
+        let queries = mode_queries(&spec);
+        c.bench_function(&format!("table2/original/{pred}({mode})"), |b| {
+            b.iter(|| measure_queries(black_box(&program), &queries))
+        });
+        c.bench_function(&format!("table2/reordered/{pred}({mode})"), |b| {
+            b.iter(|| measure_queries(black_box(&reordered.program), &queries))
+        });
+    }
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

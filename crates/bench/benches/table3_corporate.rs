@@ -1,0 +1,32 @@
+//! Criterion bench for Table III: the corporate-database rules before and
+//! after reordering.
+
+use bench_harness::{measure_queries, parse_queries, reorder_default};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prolog_workloads::corporate::{corporate_program, CorporateConfig};
+
+fn table3(c: &mut Criterion) {
+    let (program, _) = corporate_program(&CorporateConfig::default());
+    let reordered = reorder_default(&program);
+
+    c.bench_function("table3/reorder_corporate_program", |b| {
+        b.iter(|| reorder_default(black_box(&program)))
+    });
+
+    for (name, query) in [
+        ("benefits", "benefits(E, B)"),
+        ("maternity", "maternity(E, N)"),
+        ("tax", "tax(E, T)"),
+    ] {
+        let queries = parse_queries(&[query]);
+        c.bench_function(&format!("table3/original/{name}"), |b| {
+            b.iter(|| measure_queries(black_box(&program), &queries))
+        });
+        c.bench_function(&format!("table3/reordered/{name}"), |b| {
+            b.iter(|| measure_queries(black_box(&reordered.program), &queries))
+        });
+    }
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Table IV: `p58`, `meal`, `team`, `kmbench`.
+
+use bench_harness::{measure_queries, parse_queries, reorder_default};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prolog_workloads::kmbench::{kmbench_program, KmbenchConfig};
+use prolog_workloads::puzzles::{meal_program, p58_program, team_program};
+
+fn table4(c: &mut Criterion) {
+    let cases = [
+        ("p58", p58_program(), "p58(X, Y)"),
+        ("meal", meal_program(), "meal(A, M, D)"),
+        ("team", team_program(), "team(L, M)"),
+        ("kmbench", kmbench_program(&KmbenchConfig::default()), "run_all"),
+    ];
+    for (name, program, query) in cases {
+        let reordered = reorder_default(&program);
+        let queries = parse_queries(&[query]);
+        c.bench_function(&format!("table4/original/{name}"), |b| {
+            b.iter(|| measure_queries(black_box(&program), &queries))
+        });
+        c.bench_function(&format!("table4/reordered/{name}"), |b| {
+            b.iter(|| measure_queries(black_box(&reordered.program), &queries))
+        });
+        c.bench_function(&format!("table4/reorder/{name}"), |b| {
+            b.iter(|| reorder_default(black_box(&program)))
+        });
+    }
+}
+
+criterion_group!(benches, table4);
+criterion_main!(benches);

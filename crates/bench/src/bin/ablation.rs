@@ -1,0 +1,113 @@
+//! Ablation study: which parts of the reordering system contribute what.
+//!
+//! Dimensions (each measured on the family tree's headline queries):
+//!
+//! * goal reordering on/off, clause reordering on/off (§III's claim that
+//!   the two are "synergistic");
+//! * mode specialisation on/off (§III-B);
+//! * exhaustive vs. best-first search (§VI-A.3) — must agree on optima;
+//! * static Markov estimates vs. empirical calibration (§I-E);
+//! * unfolding before reordering (§VIII);
+//! * engine clause indexing on/off (§III-A's interaction remark).
+
+use bench_harness::{measure_queries, parse_queries};
+use prolog_engine::MachineConfig;
+use prolog_syntax::{SourceProgram, Term};
+use prolog_workloads::family::{family_program, FamilyConfig};
+use reorder::{calibrate, CalibrationConfig, ReorderConfig, Reorderer, UnfoldConfig};
+
+fn measure(program: &SourceProgram, queries: &[Term]) -> u64 {
+    measure_queries(program, queries).calls()
+}
+
+fn main() {
+    let (program, people) = family_program(&FamilyConfig::default());
+    let queries = parse_queries(&[
+        "aunt(X, Y)",
+        "cousins(X, Y)",
+        "grandmother(X, Y)",
+        "brother(X, Y)",
+        "sister(X, Y)",
+    ]);
+    let baseline = measure(&program, &queries);
+    println!("family-tree ablation, headline (-,-) queries; baseline = {baseline} calls\n");
+    println!("{:<44} {:>10} {:>8}", "configuration", "calls", "ratio");
+    let print_row = |label: &str, calls: u64| {
+        println!("{label:<44} {calls:>10} {:>8.2}", baseline as f64 / calls as f64);
+    };
+
+    // Full system.
+    let full = Reorderer::new(&program, ReorderConfig::default()).run();
+    print_row("full system", measure(&full.program, &queries));
+
+    // Goal reordering only.
+    let config = ReorderConfig { reorder_clauses: false, ..Default::default() };
+    let goals_only = Reorderer::new(&program, config).run();
+    print_row("goal reordering only", measure(&goals_only.program, &queries));
+
+    // Clause reordering only.
+    let config = ReorderConfig { reorder_goals: false, ..Default::default() };
+    let clauses_only = Reorderer::new(&program, config).run();
+    print_row("clause reordering only", measure(&clauses_only.program, &queries));
+
+    // No specialisation (single all-free version in place).
+    let config = ReorderConfig { specialize_modes: false, ..Default::default() };
+    let no_spec = Reorderer::new(&program, config).run();
+    print_row("no mode specialisation", measure(&no_spec.program, &queries));
+
+    // Search strategy: force best-first everywhere; optima must agree
+    // with the default (exhaustive for short bodies).
+    let config = ReorderConfig { exhaustive_threshold: 0, ..Default::default() };
+    let astar = Reorderer::new(&program, config).run();
+    let astar_calls = measure(&astar.program, &queries);
+    print_row("best-first search only", astar_calls);
+
+    // Cost model: the paper's Markov chain vs the generator-tree
+    // refinement (the default).
+    let config = ReorderConfig {
+        cost_model: reorder::CostModelKind::MarkovChain,
+        ..Default::default()
+    };
+    let markov = Reorderer::new(&program, config).run();
+    print_row("paper's Markov-chain cost model", measure(&markov.program, &queries));
+
+    // Empirical calibration replacing the static estimates.
+    let universe: Vec<Term> = people.iter().map(|p| Term::atom(p)).collect();
+    let preds: Vec<prolog_syntax::PredId> = program
+        .predicates()
+        .into_iter()
+        .filter(|p| p.arity <= 2)
+        .collect();
+    let measured = calibrate(&program, &preds, &universe, &CalibrationConfig {
+        max_queries_per_mode: 16,
+        max_calls_per_query: 500_000,
+    });
+    let calibrated = Reorderer::new(&program, ReorderConfig::default())
+        .with_measured_costs(measured)
+        .run();
+    print_row("empirically calibrated costs", measure(&calibrated.program, &queries));
+
+    // Unfold, then reorder.
+    let (unfolded, n) = reorder::unfold_program(&program, &UnfoldConfig::default());
+    let unfolded_reordered = Reorderer::new(&unfolded, ReorderConfig::default()).run();
+    print_row(
+        &format!("unfold ({n} goals) + reorder"),
+        measure(&unfolded_reordered.program, &queries),
+    );
+
+    // Engine-level: indexing off (both programs unchanged).
+    let mut engine = prolog_engine::Engine::with_config(MachineConfig {
+        indexing: false,
+        ..Default::default()
+    });
+    engine.load(&program);
+    let mut noindex_calls = 0u64;
+    for q in &queries {
+        let names: Vec<String> = (0..q.variables().len()).map(|i| format!("V{i}")).collect();
+        noindex_calls += engine.query_term(q, &names, usize::MAX).unwrap().counters.user_calls;
+    }
+    println!(
+        "\nnote: first-argument indexing off changes unifications, not calls: {noindex_calls} calls \
+         (calls are counted at the call port, so indexing shows up in unification counts)"
+    );
+}

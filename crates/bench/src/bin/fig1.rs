@@ -1,0 +1,42 @@
+//! Figure 1: reordering a predicate's clauses by decreasing `p/c`.
+//!
+//! Reproduces the exact analytic numbers the paper prints: for clauses
+//! with p = (0.7, 0.8, 0.5, 0.9) and c = (100, 80, 100, 40), the expected
+//! single-solution cost drops from 130.24 to 49.64.
+
+use prolog_markov::{ClauseChain, GoalStats};
+use reorder::clause_order::order_clauses;
+
+fn main() {
+    let p = [0.7, 0.8, 0.5, 0.9];
+    let c = [100.0, 80.0, 100.0, 40.0];
+
+    println!("Figure 1 — reordering a predicate (clauses as OR-branches)");
+    println!("clause   p      c      p/c");
+    for i in 0..4 {
+        println!("  {}    {:.2}  {:>6.1}  {:.4}", i + 1, p[i], c[i], p[i] / c[i]);
+    }
+
+    let original = ClauseChain::new(
+        &p.iter().zip(&c).map(|(&p, &c)| GoalStats::new(p, c)).collect::<Vec<_>>(),
+    );
+    let original_cost = original.expected_success_cost_first_pass();
+
+    let stats: Vec<(f64, f64)> = p.iter().zip(&c).map(|(&p, &c)| (p, c)).collect();
+    let order = order_clauses(&stats, &[true; 4]);
+    let reordered = ClauseChain::new(
+        &order
+            .iter()
+            .map(|&i| GoalStats::new(p[i], c[i]))
+            .collect::<Vec<_>>(),
+    );
+    let reordered_cost = reordered.expected_success_cost_first_pass();
+
+    println!("\nchosen order (by decreasing p/c): {:?}", order.iter().map(|i| i + 1).collect::<Vec<_>>());
+    println!("expected single-solution cost, original : {original_cost:.2}  (paper: 130.24)");
+    println!("expected single-solution cost, reordered: {reordered_cost:.2}  (paper: 49.64)");
+
+    assert!((original_cost - 130.24).abs() < 1e-9);
+    assert!((reordered_cost - 49.64).abs() < 1e-9);
+    println!("\nboth values match the paper exactly.");
+}

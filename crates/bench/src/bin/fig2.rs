@@ -1,0 +1,45 @@
+//! Figure 2: reordering a clause's goals by decreasing `q/c`.
+//!
+//! Reproduces the exact analytic numbers: for goals with failure
+//! probabilities q = (0.8, 0.1, 0.3, 0.6) and costs c = (70, 100, 100,
+//! 60), the expected failure cost drops from 98.928 to 78.968.
+
+use prolog_markov::{ClauseChain, GoalStats};
+
+fn main() {
+    let q = [0.8, 0.1, 0.3, 0.6];
+    let c = [70.0, 100.0, 100.0, 60.0];
+
+    println!("Figure 2 — reordering a clause (goals as AND-branches)");
+    println!("goal   q      c      q/c");
+    for i in 0..4 {
+        println!("  {}   {:.2}  {:>6.1}  {:.5}", i + 1, q[i], c[i], q[i] / c[i]);
+    }
+
+    let chain = |idx: &[usize]| {
+        ClauseChain::new(
+            &idx.iter()
+                .map(|&i| GoalStats::new(1.0 - q[i], c[i]))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let original_cost = chain(&[0, 1, 2, 3]).expected_failure_cost_first_pass();
+
+    // Order by decreasing q/c.
+    let mut order: Vec<usize> = (0..4).collect();
+    order.sort_by(|&a, &b| {
+        (q[b] / c[b]).partial_cmp(&(q[a] / c[a])).expect("finite ratios")
+    });
+    let reordered_cost = chain(&order).expected_failure_cost_first_pass();
+
+    println!(
+        "\nchosen order (by decreasing q/c): {:?}",
+        order.iter().map(|i| i + 1).collect::<Vec<_>>()
+    );
+    println!("expected failure cost, original : {original_cost:.3}  (paper: 98.928)");
+    println!("expected failure cost, reordered: {reordered_cost:.3}  (paper: 78.968)");
+
+    assert!((original_cost - 98.928).abs() < 1e-9);
+    assert!((reordered_cost - 78.968).abs() < 1e-9);
+    println!("\nboth values match the paper exactly.");
+}

@@ -1,0 +1,33 @@
+//! Writes the generated workload programs to `samples/` as plain Prolog
+//! files, for use with the command-line tools:
+//!
+//! ```text
+//! cargo run -p bench-harness --bin gen_samples
+//! cargo run -p reorder --bin reorder-prolog samples/family.pl --report
+//! ```
+
+fn main() {
+    std::fs::create_dir_all("samples").expect("create samples/");
+    let (family, _) = prolog_workloads::family::family_program(
+        &prolog_workloads::family::FamilyConfig::default(),
+    );
+    std::fs::write(
+        "samples/family.pl",
+        prolog_syntax::pretty::program_to_string(&family),
+    )
+    .expect("write family.pl");
+    let (corporate, _) =
+        prolog_workloads::corporate::corporate_program(&Default::default());
+    std::fs::write(
+        "samples/corporate.pl",
+        prolog_syntax::pretty::program_to_string(&corporate),
+    )
+    .expect("write corporate.pl");
+    let geo = prolog_workloads::geography::geography(&Default::default());
+    std::fs::write(
+        "samples/geography.pl",
+        prolog_syntax::pretty::program_to_string(&geo.program),
+    )
+    .expect("write geography.pl");
+    println!("samples written: family.pl, corporate.pl, geography.pl");
+}

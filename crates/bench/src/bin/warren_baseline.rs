@@ -1,0 +1,98 @@
+//! The Warren-1981 baseline comparison (paper §I-E).
+//!
+//! Warren reordered "only top-level conjunctive queries" using the
+//! tuples-over-domains number; the paper's system reorders whole
+//! programs. This harness replays English-word-order geography questions
+//! (the shape of Warren's workload) three ways:
+//!
+//!   1. as asked (question order),
+//!   2. Warren-reordered query, original program,
+//!   3. the question wrapped as a program predicate (`q0/1`, `q1/1`, …)
+//!      and handed to the full reorderer — "our extension" of §I-E.
+//!
+//! Expected shape (§I-E): Warren's method wins big on queries ("speedups
+//! up to several hundred times" on his 150-country database — smaller
+//! here, on a 40-country one); the program-level system matches or beats
+//! it because it can also exploit per-mode specialisation.
+
+use bench_harness::reorder_default;
+use prolog_engine::Engine;
+use prolog_syntax::{Body, SourceProgram, Term};
+use prolog_workloads::geography::{geography, question_queries, GeographyConfig};
+use reorder::warren::reorder_query;
+
+fn run(program: &SourceProgram, query: &Term, names: &[String]) -> (u64, Vec<String>) {
+    let mut e = Engine::new();
+    e.load(program);
+    let out = e.query_term(query, names, usize::MAX).expect("query runs");
+    (out.counters.user_calls, out.solution_set())
+}
+
+fn main() {
+    let config = GeographyConfig::default();
+    let geo = geography(&config);
+    println!(
+        "geography database: {} countries, {} borders tuples (seed {})",
+        geo.countries.len(),
+        geo.program
+            .clauses_of(prolog_syntax::PredId::new("borders", 2))
+            .len(),
+        config.seed
+    );
+    // Wrap each question as a program predicate qN(Vars) so the full
+    // reorderer can work on it, then reorder the whole program.
+    let questions = question_queries(&geo);
+    let mut wrapped = geo.program.clone();
+    for (i, (query, names)) in questions.iter().enumerate() {
+        let vars: Vec<Term> = (0..names.len()).map(Term::Var).collect();
+        let head = Term::app(&format!("q{i}"), vars);
+        wrapped.clauses.push(prolog_syntax::Clause {
+            head,
+            body: Body::from_term(query),
+            var_names: names.clone(),
+        });
+    }
+    let reordered = reorder_default(&wrapped);
+
+    println!(
+        "\n{:<58} {:>9} {:>9} {:>9} {:>7} {:>7}",
+        "query (question order)", "as-asked", "warren", "program", "w-ratio", "p-ratio"
+    );
+    let mut warren_total = 0.0;
+    let mut n = 0;
+    for (i, (query, names)) in questions.iter().enumerate() {
+        let names = names.clone();
+        let body = Body::from_term(query);
+        let (asked, expected) = run(&geo.program, query, &names);
+        let warren_body = reorder_query(&geo.program, &body);
+        let (warren, got_w) = run(&geo.program, &warren_body.to_term(), &names);
+        // Query the wrapped predicate through its dispatcher; subtract the
+        // wrapper's own activation so counts stay comparable.
+        let vars: Vec<Term> = (0..names.len()).map(Term::Var).collect();
+        let wrapped_goal = Term::app(&format!("q{i}"), vars);
+        let (program_calls, got_p) = run(&reordered.program, &wrapped_goal, &names);
+        let program_level = program_calls.saturating_sub(1);
+        assert_eq!(expected, got_w, "Warren reordering must be set-equivalent");
+        assert_eq!(expected, got_p, "program reordering must be set-equivalent");
+        let mut label = query.to_string();
+        label.truncate(56);
+        println!(
+            "{:<58} {:>9} {:>9} {:>9} {:>7.2} {:>7.2}",
+            label,
+            asked,
+            warren,
+            program_level,
+            asked as f64 / warren as f64,
+            asked as f64 / program_level as f64,
+        );
+        warren_total += asked as f64 / warren as f64;
+        n += 1;
+    }
+    println!(
+        "\nmean Warren speedup: {:.2}x over {} queries (the paper reports up to\n\
+         several hundred on a 150-country database; the magnitude scales with\n\
+         database size, the shape — selective goals first — is the same).",
+        warren_total / n as f64,
+        n
+    );
+}

@@ -1,0 +1,99 @@
+//! The reordering system as a command-line tool — the paper's Fig. 3
+//! pipeline: program in, reordered program out, with the decision report
+//! on stderr.
+//!
+//! ```text
+//! usage: reorder-prolog INPUT.pl [-o OUTPUT.pl] [--report] [--no-specialize]
+//!                       [--no-goals] [--no-clauses] [--unfold] [--markov-model]
+//! ```
+
+use reorder::{ReorderConfig, Reorderer, UnfoldConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut report = false;
+    let mut unfold = false;
+    let mut config = ReorderConfig::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                i += 1;
+                output = args.get(i).cloned();
+                if output.is_none() {
+                    eprintln!("error: -o needs a path");
+                    std::process::exit(2);
+                }
+            }
+            "--report" => report = true,
+            "--no-specialize" => config.specialize_modes = false,
+            "--no-goals" => config.reorder_goals = false,
+            "--no-clauses" => config.reorder_clauses = false,
+            "--unfold" => unfold = true,
+            "--markov-model" => config.cost_model = reorder::CostModelKind::MarkovChain,
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: reorder-prolog INPUT.pl [-o OUTPUT.pl] [--report] \
+                     [--no-specialize] [--no-goals] [--no-clauses] [--unfold] \
+                     [--markov-model]"
+                );
+                return;
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let Some(input) = input else {
+        eprintln!("error: no input file (try --help)");
+        std::process::exit(2);
+    };
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {input}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let program = match prolog_syntax::parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {input}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let program = if unfold {
+        let (unfolded, n) = reorder::unfold_program(&program, &UnfoldConfig::default());
+        eprintln!("% unfolded {n} goals");
+        unfolded
+    } else {
+        program
+    };
+    let result = Reorderer::new(&program, config).run();
+    if report {
+        eprintln!("{}", result.report);
+    }
+    for warning in &result.report.warnings {
+        eprintln!("warning: {warning}");
+    }
+
+    let text = prolog_syntax::pretty::program_to_string(&result.program);
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("% wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+}

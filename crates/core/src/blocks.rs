@@ -1,0 +1,149 @@
+//! Mobility blocks (paper §IV, Table I).
+//!
+//! A clause body is split into *blocks*: maximal runs of mobile goals
+//! (reorderable among themselves) separated by immobile goals. The rules,
+//! straight from Table I:
+//!
+//! * a goal calling a **fixed** predicate is immobile (§IV-B);
+//! * the **cut** immobilizes itself *and every goal preceding it*
+//!   (§IV-D.1) — reordering them would preserve only tree-equivalence;
+//! * explicit **disjunctions** and **if-then-else** are semipermeable:
+//!   goals may not cross their boundary, so the construct is kept as one
+//!   immobile unit (its internal conjunctions are reordered separately);
+//! * **negation** moves as a unit (its argument's goals stay inside), and
+//!   its crossing constraints (semifixed in all its variables, §IV-D.5)
+//!   are enforced by the order search.
+
+use prolog_analysis::FixityAnalysis;
+use prolog_syntax::Body;
+
+/// One block of a clause body.
+#[derive(Debug, Clone)]
+pub struct Block {
+    pub goals: Vec<Body>,
+    /// May the goals in this block be permuted?
+    pub mobile: bool,
+}
+
+/// Splits the top-level conjunction of a body into blocks.
+pub fn split_blocks(conjuncts: &[&Body], fixity: &FixityAnalysis) -> Vec<Block> {
+    let mut blocks: Vec<Block> = Vec::new();
+    // Everything up to and including the last top-level cut is frozen.
+    let frozen_prefix = conjuncts
+        .iter()
+        .rposition(|g| matches!(g, Body::Cut))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    if frozen_prefix > 0 {
+        blocks.push(Block {
+            goals: conjuncts[..frozen_prefix].iter().map(|g| (*g).clone()).collect(),
+            mobile: false,
+        });
+    }
+    let mut run: Vec<Body> = Vec::new();
+    for goal in &conjuncts[frozen_prefix..] {
+        if is_mobile(goal, fixity) {
+            run.push((*goal).clone());
+        } else {
+            if !run.is_empty() {
+                blocks.push(Block { goals: std::mem::take(&mut run), mobile: true });
+            }
+            blocks.push(Block { goals: vec![(*goal).clone()], mobile: false });
+        }
+    }
+    if !run.is_empty() {
+        blocks.push(Block { goals: run, mobile: true });
+    }
+    blocks
+}
+
+/// May this goal be moved within its clause?
+pub fn is_mobile(goal: &Body, fixity: &FixityAnalysis) -> bool {
+    match goal {
+        // Fixed goals (side effects anywhere inside) are immobile.
+        g if fixity.goal_is_fixed(g) => false,
+        // Plain calls and negations move (negation's crossing constraints
+        // are enforced during the search).
+        Body::Call(_) | Body::Not(_) => true,
+        // Disjunctions and if-then-else stay put (conservative: the paper
+        // allows moving a whole side-effect-free disjunction, but the
+        // interactions with duplicated goals are subtle; see §IV-D.2).
+        Body::Or(_, _) | Body::IfThenElse(_, _, _) | Body::And(_, _) => false,
+        Body::True | Body::Fail | Body::Cut => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_analysis::CallGraph;
+    use prolog_syntax::parse_program;
+
+    fn blocks_of(src: &str) -> Vec<(usize, bool)> {
+        let p = parse_program(src).unwrap();
+        let g = CallGraph::build(&p);
+        let fixity = FixityAnalysis::compute(&p, &g);
+        let body = &p.clauses[0].body;
+        split_blocks(&body.conjuncts(), &fixity)
+            .into_iter()
+            .map(|b| (b.goals.len(), b.mobile))
+            .collect()
+    }
+
+    #[test]
+    fn pure_body_is_one_mobile_block() {
+        let b = blocks_of("p(X) :- a(X), b(X), c(X). a(1). b(1). c(1).");
+        assert_eq!(b, vec![(3, true)]);
+    }
+
+    #[test]
+    fn fixed_goal_splits_blocks() {
+        // §VI-B.1: "if the third goal of a five-goal clause is fixed, the
+        // number [of permutations] plummets from 5! = 120 to 2!·2! = 4."
+        let b = blocks_of(
+            "p(X) :- a(X), b(X), write(X), c(X), d(X).
+             a(1). b(1). c(1). d(1).",
+        );
+        assert_eq!(b, vec![(2, true), (1, false), (2, true)]);
+    }
+
+    #[test]
+    fn cut_freezes_its_prefix() {
+        let b = blocks_of("p(X) :- a(X), b(X), !, c(X), d(X). a(1). b(1). c(1). d(1).");
+        assert_eq!(b, vec![(3, false), (2, true)]);
+    }
+
+    #[test]
+    fn last_cut_governs() {
+        let b = blocks_of("p(X) :- a(X), !, b(X), !, c(X). a(1). b(1). c(1).");
+        assert_eq!(b, vec![(4, false), (1, true)]);
+    }
+
+    #[test]
+    fn disjunction_is_an_immobile_unit() {
+        let b = blocks_of("p(X) :- a(X), (b(X) ; c(X)), d(X). a(1). b(1). c(1). d(1).");
+        assert_eq!(b, vec![(1, true), (1, false), (1, true)]);
+    }
+
+    #[test]
+    fn negation_is_mobile() {
+        let b = blocks_of("p(X) :- a(X), \\+ b(X), c(X). a(1). b(1). c(1).");
+        assert_eq!(b, vec![(3, true)]);
+    }
+
+    #[test]
+    fn negation_containing_write_is_fixed() {
+        let b = blocks_of("p(X) :- a(X), \\+ (b(X), write(X)), c(X). a(1). b(1). c(1).");
+        assert_eq!(b, vec![(1, true), (1, false), (1, true)]);
+    }
+
+    #[test]
+    fn predicate_calling_writer_is_fixed_goal() {
+        let b = blocks_of(
+            "p(X) :- a(X), logger(X), c(X).
+             logger(X) :- write(X), nl.
+             a(1). c(1).",
+        );
+        assert_eq!(b, vec![(1, true), (1, false), (1, true)]);
+    }
+}

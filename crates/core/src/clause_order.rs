@@ -1,0 +1,120 @@
+//! Clause reordering (paper §III-A).
+//!
+//! Clauses of a predicate are OR-branches: Li & Wah's result orders them
+//! by decreasing `p/c` to minimise the expected cost of a first solution.
+//! Restrictions (§IV): a clause is *fixed* — immobile within its predicate
+//! — if it contains a cut or calls a fixed predicate anywhere in its body.
+//! Mobile clauses are permuted only within contiguous runs between fixed
+//! clauses, so a fixed clause never changes its position relative to any
+//! other clause.
+
+use prolog_analysis::FixityAnalysis;
+use prolog_syntax::Clause;
+
+/// Is this clause mobile within its predicate?
+pub fn clause_is_mobile(clause: &Clause, fixity: &FixityAnalysis) -> bool {
+    !clause.body.contains_cut() && !fixity.goal_is_fixed(&clause.body)
+}
+
+/// Chooses a clause order given per-clause `(p, cost)` stats. Returns the
+/// permutation: `result[k]` is the original index of the clause that
+/// should run `k`-th.
+pub fn order_clauses(stats: &[(f64, f64)], mobile: &[bool]) -> Vec<usize> {
+    assert_eq!(stats.len(), mobile.len());
+    let n = stats.len();
+    let mut result: Vec<usize> = (0..n).collect();
+    let mut run_start = 0;
+    for i in 0..=n {
+        let boundary = i == n || !mobile[i];
+        if boundary {
+            sort_run(&mut result[run_start..i], stats);
+            run_start = i + 1;
+        }
+    }
+    result
+}
+
+/// Sorts one run of mobile clause indices by decreasing `p/c` (stable:
+/// equal ratios keep source order, so reordering is deterministic).
+fn sort_run(run: &mut [usize], stats: &[(f64, f64)]) {
+    run.sort_by(|&a, &b| {
+        let ra = ratio(stats[a]);
+        let rb = ratio(stats[b]);
+        rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+fn ratio((p, c): (f64, f64)) -> f64 {
+    if c <= 0.0 {
+        f64::INFINITY
+    } else {
+        p / c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_analysis::CallGraph;
+    use prolog_syntax::parse_program;
+
+    #[test]
+    fn orders_by_decreasing_p_over_c() {
+        // Fig. 1: p = (0.7, 0.8, 0.5, 0.9), c = (100, 80, 100, 40).
+        // p/c = (0.007, 0.01, 0.005, 0.0225) → order 4, 2, 1, 3.
+        let stats = [(0.7, 100.0), (0.8, 80.0), (0.5, 100.0), (0.9, 40.0)];
+        let order = order_clauses(&stats, &[true; 4]);
+        assert_eq!(order, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn fixed_clauses_partition_the_runs() {
+        // clause 2 (index 2) fixed: runs are [0, 1] and [3, 4].
+        let stats = [
+            (0.1, 10.0), // 0.01
+            (0.9, 10.0), // 0.09
+            (0.5, 1.0),  // fixed, would otherwise be first
+            (0.2, 10.0), // 0.02
+            (0.8, 10.0), // 0.08
+        ];
+        let mobile = [true, true, false, true, true];
+        let order = order_clauses(&stats, &mobile);
+        assert_eq!(order, vec![1, 0, 2, 4, 3]);
+    }
+
+    #[test]
+    fn all_fixed_keeps_source_order() {
+        let stats = [(0.5, 1.0), (0.9, 1.0)];
+        let order = order_clauses(&stats, &[false, false]);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn stability_on_ties() {
+        let stats = [(0.5, 10.0), (0.5, 10.0), (0.5, 10.0)];
+        let order = order_clauses(&stats, &[true; 3]);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_cost_sorts_first() {
+        let stats = [(0.5, 10.0), (0.9, 0.0)];
+        let order = order_clauses(&stats, &[true, true]);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn clause_mobility_detection() {
+        let p = parse_program(
+            "a(X) :- b(X).
+             a(X) :- b(X), !.
+             a(X) :- write(X).
+             b(1).",
+        )
+        .unwrap();
+        let fixity = FixityAnalysis::compute(&p, &CallGraph::build(&p));
+        assert!(clause_is_mobile(&p.clauses[0], &fixity));
+        assert!(!clause_is_mobile(&p.clauses[1], &fixity)); // cut
+        assert!(!clause_is_mobile(&p.clauses[2], &fixity)); // write
+    }
+}

@@ -1,0 +1,325 @@
+//! Cost and probability estimation (paper §VI-A.4, §VI-B).
+//!
+//! Every goal needs a [`GoalStats`]: its expected cost (in predicate
+//! calls) and a success probability whose odds encode its expected number
+//! of solutions. The estimator combines, in priority order:
+//!
+//! 1. `:- cost(p/n, Mode, Cost, Prob)` declarations (the paper's
+//!    "probabilities and costs for recursive predicates");
+//! 2. a hand-written table for built-ins;
+//! 3. Warren-style domain estimation for fact predicates (§VI-A.4);
+//! 4. bottom-up propagation through clause bodies with the Markov-chain
+//!    model for rule predicates, with a bounded fixpoint for recursive
+//!    ones (an extension — the paper requires declarations there).
+//!
+//! # Probability encoding
+//!
+//! The chain model's `p` plays two roles: chance of succeeding at least
+//! once *and*, through the redo arc, the multiplicity of solutions
+//! (`E = p/(1−p)` on the all-solutions chain). We therefore encode an
+//! expected solution count `E` as `p = E/(1+E)`: a pure test with a 4%
+//! match chance gets `p ≈ 0.04`, a generator with 34 tuples gets
+//! `p ≈ 0.97` whose odds are exactly 34. This keeps the chain algebra
+//! consistent: expected solutions of a conjunction multiply.
+
+use crate::config::ReorderConfig;
+use crate::oracle::ModeOracle;
+use crate::scan;
+use prolog_analysis::{
+    AbstractState, Declarations, DomainEstimator, Mode, ModeItem, RecursionAnalysis,
+};
+use prolog_markov::{ClauseChain, GoalStats};
+use prolog_syntax::{Clause, PredId, SourceProgram, Term};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+/// Converts an expected solution count into the chain probability.
+pub fn solutions_to_p(e: f64) -> f64 {
+    let e = e.max(0.0);
+    e / (1.0 + e)
+}
+
+/// The inverse: expected solutions encoded by a probability.
+pub fn p_to_solutions(p: f64) -> f64 {
+    let p = p.clamp(0.0, 1.0 - 1e-9);
+    p / (1.0 - p)
+}
+
+/// Bottom-up cost/probability estimator.
+pub struct Estimator<'p> {
+    program: &'p SourceProgram,
+    pub oracle: &'p ModeOracle<'p>,
+    declarations: &'p Declarations,
+    recursion: &'p RecursionAnalysis,
+    domains: DomainEstimator,
+    config: &'p ReorderConfig,
+    memo: RefCell<HashMap<(PredId, Mode), GoalStats>>,
+    /// Stats of already-reordered versions, installed by the driver so
+    /// callers see the improved numbers ("working upwards", §VI-B.2).
+    overrides: RefCell<HashMap<(PredId, Mode), GoalStats>>,
+    in_progress: RefCell<HashSet<(PredId, Mode)>>,
+    /// Current fixpoint assumption for in-progress recursive patterns.
+    seeds: RefCell<HashMap<(PredId, Mode), GoalStats>>,
+}
+
+impl<'p> Estimator<'p> {
+    pub fn new(
+        program: &'p SourceProgram,
+        oracle: &'p ModeOracle<'p>,
+        declarations: &'p Declarations,
+        recursion: &'p RecursionAnalysis,
+        config: &'p ReorderConfig,
+    ) -> Estimator<'p> {
+        Estimator {
+            program,
+            oracle,
+            declarations,
+            recursion,
+            domains: DomainEstimator::build(program),
+            config,
+            memo: RefCell::new(HashMap::new()),
+            overrides: RefCell::new(HashMap::new()),
+            in_progress: RefCell::new(HashSet::new()),
+            seeds: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Installs the stats of a reordered version so later (upward)
+    /// estimates use them.
+    pub fn install_override(&self, pred: PredId, mode: Mode, stats: GoalStats) {
+        self.overrides.borrow_mut().insert((pred, mode), stats);
+    }
+
+    /// Stats for calling `pred` in `mode`.
+    pub fn stats(&self, pred: PredId, mode: &Mode) -> GoalStats {
+        if let Some(s) = self.overrides.borrow().get(&(pred, mode.clone())) {
+            return *s;
+        }
+        if let Some(c) = self.declarations.cost_of(pred, mode) {
+            return GoalStats::new(c.probability, c.cost);
+        }
+        if prolog_engine::builtins::is_builtin(pred) && self.program.clauses_of(pred).is_empty()
+        {
+            return builtin_stats(pred, mode);
+        }
+        if let Some(s) = self.memo.borrow().get(&(pred, mode.clone())) {
+            return *s;
+        }
+        let key = (pred, mode.clone());
+        if self.in_progress.borrow().contains(&key) {
+            return self
+                .seeds
+                .borrow()
+                .get(&key)
+                .copied()
+                .unwrap_or_else(|| self.default_recursive_stats());
+        }
+        let stats = if self.recursion.is_recursive(pred) {
+            // Bounded fixpoint: start from the default assumption and
+            // iterate the clause equations.
+            let mut cur = self.default_recursive_stats();
+            for _ in 0..self.config.recursive_fixpoint_iterations.max(1) {
+                self.seeds.borrow_mut().insert(key.clone(), cur);
+                self.in_progress.borrow_mut().insert(key.clone());
+                cur = self.compute_once(pred, mode);
+                self.in_progress.borrow_mut().remove(&key);
+            }
+            self.seeds.borrow_mut().remove(&key);
+            cur
+        } else {
+            self.in_progress.borrow_mut().insert(key.clone());
+            let s = self.compute_once(pred, mode);
+            self.in_progress.borrow_mut().remove(&key);
+            s
+        };
+        self.memo.borrow_mut().insert(key, stats);
+        stats
+    }
+
+    fn default_recursive_stats(&self) -> GoalStats {
+        GoalStats::new(
+            solutions_to_p(self.config.default_recursive_solutions),
+            self.config.default_recursive_cost,
+        )
+    }
+
+    /// One evaluation of the predicate equations: cost = 1 (the call) plus
+    /// each clause's head-match probability times its body's all-solutions
+    /// cost; expected solutions sum across clauses.
+    fn compute_once(&self, pred: PredId, mode: &Mode) -> GoalStats {
+        let clauses = self.program.clauses_of(pred);
+        if clauses.is_empty() {
+            // Unknown predicate: one call, coin-flip success.
+            return GoalStats::new(0.5, 1.0);
+        }
+        let mut cost = 1.0;
+        let mut e_total = 0.0;
+        for clause in clauses {
+            let match_p = self.head_match_probability(pred, clause, mode);
+            if match_p <= 0.0 {
+                continue;
+            }
+            if clause.is_fact() {
+                e_total += match_p;
+                continue;
+            }
+            let mut state = scan::head_state(&clause.head, mode);
+            match scan::scan_sequence(&clause.body.conjuncts(), &mut state, self) {
+                Some(scanned) => {
+                    if scanned.is_empty() {
+                        e_total += match_p;
+                        continue;
+                    }
+                    let stats: Vec<GoalStats> = scanned.iter().map(|g| g.stats).collect();
+                    let chain = ClauseChain::new(&stats);
+                    e_total += match_p * chain.expected_solutions().min(1.0e6);
+                    cost += match_p * self.conjunction_cost(&chain);
+                }
+                None => {
+                    // The clause is abstractly illegal in this mode: charge
+                    // a nominal cost and assume it fails.
+                    cost += match_p;
+                }
+            }
+        }
+        GoalStats::new(solutions_to_p(e_total), cost)
+    }
+
+    /// Probability that a call in `mode` unifies with this clause's head:
+    /// the product over bound argument positions of the per-position match
+    /// probability (declared `unify_prob`, else Warren's `1/|domain|` for
+    /// constants, else a coin flip for structures).
+    pub fn head_match_probability(&self, pred: PredId, clause: &Clause, mode: &Mode) -> f64 {
+        let mut p = 1.0;
+        for (i, (arg, item)) in clause.head.args().iter().zip(mode.items()).enumerate() {
+            if *item != ModeItem::Plus {
+                continue;
+            }
+            if let Some(&declared) = self.declarations.unify_probs.get(&(pred, i)) {
+                p *= declared;
+                continue;
+            }
+            match arg {
+                Term::Var(_) => {}
+                Term::Atom(_) | Term::Int(_) | Term::Float(_) => {
+                    p /= self.domains.domain_size(pred, i) as f64;
+                }
+                Term::Struct(..) => p *= 0.5,
+            }
+        }
+        p
+    }
+
+    /// The configured conjunction cost model.
+    pub fn cost_model(&self) -> crate::config::CostModelKind {
+        self.config.cost_model
+    }
+
+    /// All-solutions cost of a conjunction under the configured model.
+    pub fn conjunction_cost(&self, chain: &ClauseChain) -> f64 {
+        match self.config.cost_model {
+            crate::config::CostModelKind::MarkovChain => {
+                chain.all_solutions_cost_closed_form()
+            }
+            crate::config::CostModelKind::GeneratorTree => chain.generator_cost(),
+        }
+    }
+
+    /// The domain estimator (shared with reports and tests).
+    pub fn domains(&self) -> &DomainEstimator {
+        &self.domains
+    }
+
+    pub fn program(&self) -> &'p SourceProgram {
+        self.program
+    }
+
+    /// Entry state for a clause activated in `mode`.
+    pub fn clause_entry_state(&self, clause: &Clause, mode: &Mode) -> AbstractState {
+        scan::head_state(&clause.head, mode)
+    }
+}
+
+/// Hand-written stats for built-ins (the paper's "probabilities and costs
+/// for built-in predicates" fact file). Costs are 1 call; probabilities
+/// encode expected solutions as odds.
+pub fn builtin_stats(pred: PredId, mode: &Mode) -> GoalStats {
+    let name = pred.name.as_str();
+    let bound = |i: usize| mode.items().get(i) == Some(&ModeItem::Plus);
+    let e: f64 = match (name, pred.arity) {
+        ("true", 0) | ("!", 0) => 1.0,
+        ("fail", 0) | ("false", 0) => 0.0,
+        // Unification: both sides bound = a test that usually fails;
+        // otherwise it binds and succeeds once.
+        ("=", 2) => {
+            if bound(0) && bound(1) {
+                0.25
+            } else {
+                1.0
+            }
+        }
+        ("\\=", 2) => 0.75,
+        // Identity / order tests.
+        ("==", 2) => 0.25,
+        ("\\==", 2) => 0.75,
+        ("@<", 2) | ("@>", 2) | ("@=<", 2) | ("@>=", 2) => 0.5,
+        ("compare", 3) => 1.0,
+        // Type tests: treated as coin flips absent better information.
+        ("var", 1) | ("nonvar", 1) | ("atom", 1) | ("number", 1) | ("integer", 1)
+        | ("float", 1) | ("atomic", 1) | ("compound", 1) | ("callable", 1)
+        | ("is_list", 1) | ("ground", 1) => 0.5,
+        // Arithmetic: `is` always delivers exactly one solution;
+        // comparisons are tests.
+        ("is", 2) => 1.0,
+        ("=:=", 2) | ("=\\=", 2) | ("<", 2) | (">", 2) | ("=<", 2) | (">=", 2) => 0.5,
+        // Term inspection is deterministic.
+        ("functor", 3) | ("arg", 3) | ("=..", 2) | ("copy_term", 2) => 1.0,
+        ("length", 2) | ("sort", 2) | ("msort", 2) => 1.0,
+        // between with a free third argument generates; guess 10 values.
+        ("between", 3) => {
+            if bound(2) {
+                0.5
+            } else {
+                10.0
+            }
+        }
+        // Set predicates and I/O are deterministic single-solution.
+        ("findall", 3) => 1.0,
+        ("bagof", 3) | ("setof", 3) => 0.75,
+        ("write", 1) | ("print", 1) | ("writeln", 1) | ("write_canonical", 1)
+        | ("nl", 0) | ("tab", 1) => 1.0,
+        ("call", 1) => 0.5,
+        ("not", 1) | ("\\+", 1) => 0.5,
+        ("forall", 2) => 0.5,
+        _ => 0.5,
+    };
+    GoalStats::new(solutions_to_p(e), 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_encoding_round_trips() {
+        for e in [0.0, 0.04, 0.5, 1.0, 6.0, 34.0] {
+            let p = solutions_to_p(e);
+            assert!((p_to_solutions(p) - e).abs() < 1e-9, "e = {e}");
+        }
+        assert_eq!(solutions_to_p(-3.0), 0.0);
+    }
+
+    #[test]
+    fn builtin_stats_shapes() {
+        let m2 = Mode::parse("++").unwrap();
+        let is = builtin_stats(PredId::new("is", 2), &Mode::parse("-+").unwrap());
+        assert_eq!(is.cost, 1.0);
+        assert!((p_to_solutions(is.p) - 1.0).abs() < 1e-9);
+        let eq = builtin_stats(PredId::new("=", 2), &m2);
+        assert!(eq.p < is.p); // bound = bound is a test
+        let gen = builtin_stats(PredId::new("between", 3), &Mode::parse("++-").unwrap());
+        assert!(p_to_solutions(gen.p) > 1.0); // a generator
+        let fail = builtin_stats(PredId::new("fail", 0), &Mode::parse("").unwrap());
+        assert_eq!(fail.p, 0.0);
+    }
+}

@@ -1,0 +1,505 @@
+//! The whole-program reordering driver (paper §VI-B.2, Fig. 3).
+//!
+//! "The reorderer loads the program and the extra facts. … Working
+//! upwards, the reorderer handles every user predicate in the program,
+//! changing goal names as necessary to correspond to the new predicate
+//! names." Predicates are processed in bottom-up call-graph order; each
+//! specialisable predicate gets one tuned version per legal `+`/`-` mode,
+//! identical versions are merged, callers are renamed to the version
+//! matching each call site's mode, and a `var/1` dispatcher is emitted
+//! under the original name. Fixed, recursive, and fact predicates are
+//! copied unchanged (with the reason recorded in the report).
+
+use crate::blocks::split_blocks;
+use crate::clause_order::{clause_is_mobile, order_clauses};
+use crate::config::ReorderConfig;
+use crate::costs::{solutions_to_p, Estimator};
+use crate::oracle::ModeOracle;
+use crate::report::{ModeReport, PredicateReport, ReorderReport};
+use crate::scan::{self, ScannedGoal};
+use crate::search;
+use crate::specialize::{
+    collapse_for_version, dedup_versions, dispatcher, rename_top_level_calls,
+};
+use prolog_analysis::fixity::{prolog_engine_builtin_seeds, FixityAnalysis};
+use prolog_analysis::{Mode, ProgramAnalysis, SemifixityAnalysis};
+use prolog_markov::{ClauseChain, GoalStats};
+use prolog_syntax::{Body, Clause, PredId, SourceProgram, Symbol, Term};
+use std::collections::{HashMap, HashSet};
+
+/// The reordering system.
+pub struct Reorderer<'p> {
+    program: &'p SourceProgram,
+    config: ReorderConfig,
+    /// Empirically measured per-mode costs (see [`crate::empirical`]),
+    /// installed as estimator overrides before reordering.
+    measured: crate::empirical::MeasuredCosts,
+}
+
+/// Output of a run: the transformed program plus the decision report.
+#[derive(Debug)]
+pub struct ReorderResult {
+    pub program: SourceProgram,
+    pub report: ReorderReport,
+}
+
+impl<'p> Reorderer<'p> {
+    pub fn new(program: &'p SourceProgram, config: ReorderConfig) -> Reorderer<'p> {
+        Reorderer { program, config, measured: Default::default() }
+    }
+
+    /// Supplies measured costs from a calibration pass (the paper's
+    /// "extended Warren's method", §I-E): they replace the static
+    /// estimates for the measured predicates and modes.
+    pub fn with_measured_costs(
+        mut self,
+        measured: crate::empirical::MeasuredCosts,
+    ) -> Reorderer<'p> {
+        self.measured = measured;
+        self
+    }
+
+    /// Runs analysis, estimation, reordering, and specialisation.
+    pub fn run(&self) -> ReorderResult {
+        let analysis = ProgramAnalysis::analyze(self.program);
+        let mut seeds = prolog_engine_builtin_seeds();
+        seeds.extend(analysis.declarations.fixed.iter().copied());
+        let fixity =
+            FixityAnalysis::compute_with_seeds(self.program, &analysis.callgraph, &seeds);
+        let oracle = ModeOracle::new(self.program, &analysis.declarations);
+        let est = Estimator::new(
+            self.program,
+            &oracle,
+            &analysis.declarations,
+            &analysis.recursion,
+            &self.config,
+        );
+        for ((pred, mode), stats) in &self.measured {
+            est.install_override(*pred, mode.clone(), *stats);
+        }
+        let is_recursive = |p: PredId| {
+            analysis.recursion.is_recursive(p) || analysis.declarations.recursive.contains(&p)
+        };
+
+        // Which predicates get per-mode versions?
+        let defined: Vec<PredId> = self.program.predicates();
+        let mut specializable: HashSet<PredId> = HashSet::new();
+        for &pred in &defined {
+            let clauses = self.program.clauses_of(pred);
+            let has_rule = clauses.iter().any(|c| !c.is_fact());
+            if self.config.specialize_modes
+                && has_rule
+                && pred.arity >= 1
+                && pred.arity <= 6
+                && !fixity.is_fixed(pred)
+                && !is_recursive(pred)
+                && !oracle.legal_plus_minus_modes(pred).is_empty()
+            {
+                specializable.insert(pred);
+            }
+        }
+
+        let mut out = SourceProgram {
+            directives: self.program.directives.clone(),
+            ..Default::default()
+        };
+        let mut report = ReorderReport {
+            warnings: analysis.declarations.warnings.clone(),
+            ..Default::default()
+        };
+        // (callee, suffix) → emitted version name, filled bottom-up.
+        let mut version_names: HashMap<(PredId, String), Symbol> = HashMap::new();
+
+        for pred in analysis.callgraph.bottom_up_order() {
+            if !defined.contains(&pred) {
+                continue;
+            }
+            let clauses = self.program.clauses_of(pred);
+            if !specializable.contains(&pred) {
+                for c in &clauses {
+                    out.clauses.push((*c).clone());
+                }
+                let reason = if fixity.is_fixed(pred) {
+                    "fixed: it (or a descendant) has side effects".to_string()
+                } else if is_recursive(pred) {
+                    "recursive: reordering needs declarations (§IV-D.7)".to_string()
+                } else if clauses.iter().all(|c| c.is_fact()) {
+                    "facts only".to_string()
+                } else if pred.arity == 0 || pred.arity > 6 {
+                    "arity outside specialisation range".to_string()
+                } else if !self.config.specialize_modes {
+                    "mode specialisation disabled".to_string()
+                } else {
+                    "no legal modes could be established".to_string()
+                };
+                report
+                    .predicates
+                    .push(PredicateReport { pred, skipped: Some(reason), modes: Vec::new() });
+                continue;
+            }
+
+            let mut per_mode: Vec<(Mode, Vec<Clause>)> = Vec::new();
+            let mut mode_infos: Vec<(Mode, GoalStats, GoalStats, Vec<usize>, Vec<Vec<usize>>, usize)> =
+                Vec::new();
+            for mode in oracle.legal_plus_minus_modes(pred) {
+                let original = est.stats(pred, &mode);
+                let outcome = self.reorder_mode(
+                    pred,
+                    &clauses,
+                    &mode,
+                    &fixity,
+                    &analysis.semifixity,
+                    &est,
+                    &oracle,
+                    &specializable,
+                    &version_names,
+                );
+                est.install_override(pred, mode.clone(), outcome.stats);
+                per_mode.push((mode.clone(), outcome.clauses));
+                mode_infos.push((
+                    mode,
+                    original,
+                    outcome.stats,
+                    outcome.clause_order,
+                    outcome.goal_orders,
+                    outcome.explored,
+                ));
+            }
+
+            let (versions, mut suffix_map) = dedup_versions(pred, per_mode);
+            if versions.len() == 1 {
+                // Every legal mode produced identical code: keep the single
+                // version under the original name and skip the dispatcher
+                // entirely — the common case the paper notes ("the
+                // reorderer produces only one or two distinct versions").
+                let (_, version_clauses) = versions.into_iter().next().expect("one version");
+                for clause in version_clauses {
+                    out.clauses.push(crate::specialize::rename_head(&clause, pred.name));
+                }
+                for name in suffix_map.values_mut() {
+                    *name = pred.name;
+                }
+            } else {
+                for (name, version_clauses) in versions {
+                    out.clauses.extend(version_clauses);
+                    let _ = name;
+                }
+                out.clauses.push(dispatcher(pred, &suffix_map));
+            }
+            for (suffix, name) in &suffix_map {
+                version_names.insert((pred, suffix.clone()), *name);
+            }
+
+            let modes = mode_infos
+                .into_iter()
+                .map(|(mode, original, reordered, clause_order, goal_orders, explored)| {
+                    let version = suffix_map
+                        .get(&mode.suffix())
+                        .map(|s| s.as_str().to_string())
+                        .unwrap_or_else(|| mode.suffix());
+                    ModeReport {
+                        mode,
+                        version,
+                        original,
+                        reordered,
+                        clause_order,
+                        goal_orders,
+                        explored,
+                    }
+                })
+                .collect();
+            report.predicates.push(PredicateReport { pred, skipped: None, modes });
+        }
+
+        ReorderResult { program: out, report }
+    }
+
+    fn reorder_mode(
+        &self,
+        pred: PredId,
+        clauses: &[&Clause],
+        mode: &Mode,
+        fixity: &FixityAnalysis,
+        semifix: &SemifixityAnalysis,
+        est: &Estimator<'_>,
+        oracle: &ModeOracle<'_>,
+        specializable: &HashSet<PredId>,
+        version_names: &HashMap<(PredId, String), Symbol>,
+    ) -> ModeOutcome {
+        let mut new_clauses: Vec<Clause> = Vec::new();
+        let mut clause_stats: Vec<(f64, f64)> = Vec::new();
+        let mut goal_orders: Vec<Vec<usize>> = Vec::new();
+        let mut e_total = 0.0;
+        let mut total_cost = 1.0;
+        let mut explored = 0;
+
+        for clause in clauses {
+            let match_p = est.head_match_probability(pred, clause, mode).min(1.0);
+            if clause.is_fact() {
+                new_clauses.push((*clause).clone());
+                clause_stats.push((match_p, 1.0));
+                goal_orders.push(Vec::new());
+                e_total += match_p;
+                continue;
+            }
+            let conjuncts = clause.body.conjuncts();
+            let mut state = scan::head_state(&clause.head, mode);
+            let blocks = split_blocks(&conjuncts, fixity);
+            let mut assembled: Vec<ScannedGoal> = Vec::new();
+            let mut order_map: Vec<usize> = Vec::new();
+            let mut base = 0;
+            let mut failed = false;
+            for block in blocks {
+                let k = block.goals.len();
+                if block.mobile && self.config.reorder_goals && k > 1 {
+                    match search::best_order(&block.goals, &state, est, semifix, &self.config)
+                    {
+                        Some(out) => {
+                            state = out.exit_state.clone();
+                            explored += out.explored;
+                            order_map.extend(out.order.iter().map(|i| base + i));
+                            assembled.extend(out.scanned);
+                        }
+                        None => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                } else {
+                    let refs: Vec<&Body> = block.goals.iter().collect();
+                    match scan::scan_sequence(&refs, &mut state, est) {
+                        Some(sg) => {
+                            order_map.extend(base..base + k);
+                            assembled.extend(sg);
+                        }
+                        None => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+                base += k;
+            }
+            if failed {
+                // This clause cannot be verified in this mode (it would be
+                // abstractly illegal — typically the head never matches such
+                // calls). Keep it verbatim; charge a nominal cost.
+                new_clauses.push((*clause).clone());
+                clause_stats.push((match_p * 0.5, 1.0));
+                goal_orders.push((0..conjuncts.len()).collect());
+                total_cost += match_p;
+                continue;
+            }
+            let stats_seq: Vec<GoalStats> = assembled.iter().map(|g| g.stats).collect();
+            let chain = ClauseChain::new(&stats_seq);
+            let e_clause = chain.expected_solutions().min(1.0e6);
+            let cost_clause = est.conjunction_cost(&chain);
+            let p_single = chain.success_probability();
+            e_total += match_p * e_clause;
+            total_cost += match_p * cost_clause;
+            clause_stats.push((match_p * p_single, 1.0 + match_p * cost_clause));
+            goal_orders.push(order_map);
+
+            // Rebuild the body with callee renaming (top-level plain calls
+            // only; control constructs reach callees via dispatchers).
+            let per_goal: Vec<Body> = assembled
+                .iter()
+                .map(|sg| rename_scanned_goal(sg, oracle, specializable, version_names))
+                .collect();
+            new_clauses.push(Clause {
+                head: clause.head.clone(),
+                body: Body::conjoin(&per_goal),
+                var_names: clause.var_names.clone(),
+            });
+        }
+
+        let mobile: Vec<bool> =
+            clauses.iter().map(|c| clause_is_mobile(c, fixity)).collect();
+        let clause_order = if self.config.reorder_clauses {
+            order_clauses(&clause_stats, &mobile)
+        } else {
+            (0..clauses.len()).collect()
+        };
+        let ordered: Vec<Clause> =
+            clause_order.iter().map(|&i| new_clauses[i].clone()).collect();
+        ModeOutcome {
+            clauses: ordered,
+            stats: GoalStats::new(solutions_to_p(e_total), total_cost),
+            clause_order,
+            goal_orders,
+            explored,
+        }
+    }
+}
+
+struct ModeOutcome {
+    clauses: Vec<Clause>,
+    stats: GoalStats,
+    clause_order: Vec<usize>,
+    goal_orders: Vec<Vec<usize>>,
+    explored: usize,
+}
+
+/// Renames one scanned goal's call to the specialised version matching its
+/// call-site mode, when such a version exists.
+fn rename_scanned_goal(
+    sg: &ScannedGoal,
+    oracle: &ModeOracle<'_>,
+    specializable: &HashSet<PredId>,
+    version_names: &HashMap<(PredId, String), Symbol>,
+) -> Body {
+    let (Body::Call(_), Some(call_mode)) = (&sg.goal, &sg.call_mode) else {
+        return sg.goal.clone();
+    };
+    let call_mode = call_mode.clone();
+    rename_top_level_calls(&sg.goal, &mut |t: &Term| {
+        let Some(callee) = t.pred_id() else { return t.clone() };
+        if !specializable.contains(&callee) {
+            return t.clone();
+        }
+        let collapsed = collapse_for_version(&call_mode);
+        if oracle.call(callee, &collapsed).is_none() {
+            return t.clone();
+        }
+        match version_names.get(&(callee, collapsed.suffix())) {
+            Some(&name) => Term::struct_(name, t.args().to_vec()),
+            None => t.clone(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+
+    fn run(src: &str) -> ReorderResult {
+        let program = parse_program(src).unwrap();
+        Reorderer::new(&program, ReorderConfig::default()).run()
+    }
+
+    const FAMILY: &str = "
+        girl(g1). girl(g2). girl(g3).
+        wife(h1, w1). wife(h2, w2). wife(h3, w3). wife(h4, w4).
+        mother(c1, m1). mother(c2, m2). mother(c3, m3). mother(c4, m4).
+        mother(c5, m1). mother(c6, m2). mother(c7, w1). mother(c8, w2).
+        female(X) :- girl(X).
+        female(X) :- wife(_, X).
+        parent(C, P) :- mother(C, P).
+        parent(C, P) :- mother(C, M), wife(P, M).
+        grandparent(GC, GP) :- parent(P, GP), parent(GC, P).
+        grandmother(GC, GM) :- grandparent(GC, GM), female(GM).
+    ";
+
+    #[test]
+    fn produces_versions_and_dispatchers() {
+        let result = run(FAMILY);
+        let names: Vec<String> = result
+            .program
+            .predicates()
+            .iter()
+            .map(|p| format!("{p}"))
+            .collect();
+        // specialised versions exist
+        assert!(names.iter().any(|n| n == "grandmother_uu/2"), "{names:?}");
+        // the dispatcher keeps the original name
+        assert!(names.iter().any(|n| n == "grandmother/2"));
+        // fact predicates are copied verbatim
+        assert!(names.iter().any(|n| n == "mother/2"));
+    }
+
+    #[test]
+    fn grandmother_uu_runs_female_first() {
+        let result = run(FAMILY);
+        let gm_uu = result
+            .program
+            .clauses_of(PredId::new("grandmother_uu", 2));
+        assert_eq!(gm_uu.len(), 1);
+        let goals = gm_uu[0].body.conjuncts();
+        let first = match goals[0] {
+            Body::Call(t) => t.pred_id().unwrap().name.as_str().to_string(),
+            other => panic!("expected call, got {other:?}"),
+        };
+        assert!(
+            first.starts_with("female"),
+            "female should lead in mode (-,-), got {first}"
+        );
+    }
+
+    #[test]
+    fn callees_are_renamed_to_resolvable_versions() {
+        let result = run(FAMILY);
+        let gm_uu = result.program.clauses_of(PredId::new("grandmother_uu", 2));
+        let called: Vec<PredId> = gm_uu[0].body.called_preds();
+        // every callee resolves inside the emitted program (version or
+        // collapsed original — single-version predicates keep their name)
+        for callee in &called {
+            assert!(
+                result.program.predicates().contains(callee),
+                "unresolvable callee {callee}"
+            );
+        }
+        // grandparent has several distinct versions, so the call to it
+        // must be mode-specialised
+        assert!(
+            called.iter().any(|p| p.name.as_str().starts_with("grandparent_")),
+            "expected a specialised grandparent call: {called:?}"
+        );
+    }
+
+    #[test]
+    fn report_predicts_improvement_for_grandmother_uu() {
+        let result = run(FAMILY);
+        let pr = result.report.predicate(PredId::new("grandmother", 2)).unwrap();
+        assert!(pr.skipped.is_none());
+        let uu = pr
+            .modes
+            .iter()
+            .find(|m| m.mode == Mode::parse("--").unwrap())
+            .unwrap();
+        assert!(
+            uu.predicted_speedup() >= 1.0,
+            "speedup {}",
+            uu.predicted_speedup()
+        );
+    }
+
+    #[test]
+    fn recursive_predicates_are_skipped_with_reason() {
+        let result = run("app([], X, X). app([H|T], Y, [H|Z]) :- app(T, Y, Z).
+                          use_(A, B) :- app(A, A, B).");
+        let pr = result.report.predicate(PredId::new("app", 3)).unwrap();
+        assert!(pr.skipped.as_deref().unwrap().contains("recursive"));
+        // clauses preserved verbatim
+        assert_eq!(result.program.clauses_of(PredId::new("app", 3)).len(), 2);
+    }
+
+    #[test]
+    fn fixed_predicates_are_skipped_with_reason() {
+        let result = run("log(X) :- write(X), nl. top(X) :- gen(X), log(X). gen(1).");
+        let pr = result.report.predicate(PredId::new("log", 1)).unwrap();
+        assert!(pr.skipped.as_deref().unwrap().contains("side effects"));
+        let pr = result.report.predicate(PredId::new("top", 1)).unwrap();
+        assert!(pr.skipped.is_some()); // contaminated ancestor
+    }
+
+    #[test]
+    fn reordered_program_parses_and_prints() {
+        let result = run(FAMILY);
+        let text = prolog_syntax::pretty::program_to_string(&result.program);
+        let reparsed = parse_program(&text).expect("emitted program must re-parse");
+        assert_eq!(reparsed.clauses.len(), result.program.clauses.len());
+    }
+
+    #[test]
+    fn specialisation_can_be_disabled() {
+        let program = parse_program(FAMILY).unwrap();
+        let config = ReorderConfig { specialize_modes: false, ..Default::default() };
+        let result = Reorderer::new(&program, config).run();
+        assert!(result
+            .program
+            .predicates()
+            .iter()
+            .all(|p| !p.name.as_str().contains("_u") && !p.name.as_str().contains("_i")));
+    }
+}

@@ -1,0 +1,118 @@
+//! The mode oracle: one place that answers "is this call legal, and what
+//! comes back?" for the legality scanner and the cost estimator.
+//!
+//! Priority: user declarations, then the built-in table, then abstract
+//! interpretation (§V-E). A call is legal only when one of the three
+//! vouches for it — the paper's rule that legal modes must be a *subset*
+//! of the modes in which the predicate functions.
+
+use prolog_analysis::{Declarations, Mode, ModeInference, ModeItem};
+use prolog_syntax::{PredId, SourceProgram};
+
+/// Answers mode-legality queries for every predicate in the program.
+pub struct ModeOracle<'p> {
+    inference: ModeInference<'p>,
+}
+
+impl<'p> ModeOracle<'p> {
+    /// Builds the oracle from the program and its declarations.
+    pub fn new(program: &'p SourceProgram, declarations: &Declarations) -> ModeOracle<'p> {
+        let inference =
+            ModeInference::new(program).with_declarations(declarations.legal_modes.clone());
+        ModeOracle { inference }
+    }
+
+    /// If calling `pred` in `mode` is legal, the output mode; else `None`.
+    pub fn call(&self, pred: PredId, mode: &Mode) -> Option<Mode> {
+        let summary = self.inference.call(pred, mode);
+        if summary.clean {
+            Some(summary.output)
+        } else {
+            None
+        }
+    }
+
+    /// The legal `+`/`-` input modes of `pred` (used by the specialiser to
+    /// decide which versions to emit).
+    pub fn legal_plus_minus_modes(&self, pred: PredId) -> Vec<Mode> {
+        Mode::enumerate_plus_minus(pred.arity)
+            .into_iter()
+            .filter(|m| self.call(pred, m).is_some())
+            .collect()
+    }
+
+    /// Expected number of distinct `u`/`i` version suffixes for `pred`.
+    pub fn version_count(&self, pred: PredId) -> usize {
+        let mut suffixes: Vec<String> = self
+            .legal_plus_minus_modes(pred)
+            .iter()
+            .map(Mode::suffix)
+            .collect();
+        suffixes.sort();
+        suffixes.dedup();
+        suffixes.len()
+    }
+
+    /// Collapses a `?` mode to the `+`/`-` mode its specialised version
+    /// must serve: `?` is treated as `-` (the version must cope with an
+    /// unbound argument).
+    pub fn collapse(mode: &Mode) -> Mode {
+        Mode::new(
+            mode.items()
+                .iter()
+                .map(|m| match m {
+                    ModeItem::Plus => ModeItem::Plus,
+                    _ => ModeItem::Minus,
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+
+    fn id(name: &str, arity: usize) -> PredId {
+        PredId::new(name, arity)
+    }
+
+    #[test]
+    fn oracle_accepts_fact_predicates_in_all_modes() {
+        let p = parse_program("mother(a, b). mother(c, d).").unwrap();
+        let d = Declarations::default();
+        let oracle = ModeOracle::new(&p, &d);
+        assert_eq!(oracle.legal_plus_minus_modes(id("mother", 2)).len(), 4);
+    }
+
+    #[test]
+    fn oracle_rejects_illegal_arithmetic_modes() {
+        let p = parse_program("inc(X, Y) :- Y is X + 1.").unwrap();
+        let d = Declarations::default();
+        let oracle = ModeOracle::new(&p, &d);
+        let legal = oracle.legal_plus_minus_modes(id("inc", 2));
+        assert_eq!(legal.len(), 2); // (+,-) and (+,+)
+        assert!(oracle.call(id("inc", 2), &Mode::parse("--").unwrap()).is_none());
+    }
+
+    #[test]
+    fn declarations_override_inference() {
+        let p = parse_program(
+            ":- legal_mode(len(+, -), len(+, +)).
+             len([], 0).
+             len([_|T], N) :- len(T, M), N is M + 1.",
+        )
+        .unwrap();
+        let d = Declarations::from_program(&p);
+        let oracle = ModeOracle::new(&p, &d);
+        assert!(oracle.call(id("len", 2), &Mode::parse("+-").unwrap()).is_some());
+        assert!(oracle.call(id("len", 2), &Mode::parse("-+").unwrap()).is_none());
+    }
+
+    #[test]
+    fn collapse_maps_any_to_minus() {
+        let m = Mode::parse("+?-").unwrap();
+        assert_eq!(ModeOracle::collapse(&m), Mode::parse("+--").unwrap());
+    }
+}

@@ -1,0 +1,130 @@
+//! Reorderer reports: what was changed, why, and the predicted payoff.
+
+use prolog_analysis::Mode;
+use prolog_markov::GoalStats;
+use prolog_syntax::PredId;
+use std::fmt;
+
+/// The full report for one reordering run.
+#[derive(Debug, Default)]
+pub struct ReorderReport {
+    pub predicates: Vec<PredicateReport>,
+    /// Problems the system wants the programmer to know about (the paper's
+    /// "informs the programmer when it cannot infer properties").
+    pub warnings: Vec<String>,
+}
+
+impl ReorderReport {
+    pub fn predicate(&self, pred: PredId) -> Option<&PredicateReport> {
+        self.predicates.iter().find(|p| p.pred == pred)
+    }
+}
+
+/// Decisions for one predicate.
+#[derive(Debug)]
+pub struct PredicateReport {
+    pub pred: PredId,
+    /// `Some(reason)` when the predicate was left untouched.
+    pub skipped: Option<String>,
+    pub modes: Vec<ModeReport>,
+}
+
+/// Decisions for one calling mode of one predicate.
+#[derive(Debug)]
+pub struct ModeReport {
+    pub mode: Mode,
+    /// Name of the specialised version serving this mode.
+    pub version: String,
+    /// Estimated stats of the predicate in this mode before reordering.
+    pub original: GoalStats,
+    /// … and after.
+    pub reordered: GoalStats,
+    /// Chosen clause order (original indices).
+    pub clause_order: Vec<usize>,
+    /// Per clause (in *original* clause order): the permutation applied to
+    /// its top-level goals.
+    pub goal_orders: Vec<Vec<usize>>,
+    /// Orders examined by the search (ablation metric).
+    pub explored: usize,
+}
+
+impl ModeReport {
+    /// Predicted cost improvement factor (>1 means the reordered version
+    /// is predicted cheaper).
+    pub fn predicted_speedup(&self) -> f64 {
+        if self.reordered.cost <= 0.0 {
+            1.0
+        } else {
+            self.original.cost / self.reordered.cost
+        }
+    }
+
+    /// Did the reorderer change anything for this mode?
+    pub fn changed(&self) -> bool {
+        let identity_clauses = self.clause_order.iter().copied().eq(0..self.clause_order.len());
+        let identity_goals = self
+            .goal_orders
+            .iter()
+            .all(|o| o.iter().copied().eq(0..o.len()));
+        !(identity_clauses && identity_goals)
+    }
+}
+
+impl fmt::Display for ReorderReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for pred in &self.predicates {
+            match &pred.skipped {
+                Some(reason) => writeln!(f, "{}: unchanged ({reason})", pred.pred)?,
+                None => {
+                    writeln!(f, "{}:", pred.pred)?;
+                    for m in &pred.modes {
+                        writeln!(
+                            f,
+                            "  mode {} -> {}  cost {:.2} -> {:.2}  (x{:.2}, {} orders examined)",
+                            m.mode,
+                            m.version,
+                            m.original.cost,
+                            m.reordered.cost,
+                            m.predicted_speedup(),
+                            m.explored,
+                        )?;
+                    }
+                }
+            }
+        }
+        for w in &self.warnings {
+            writeln!(f, "warning: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_changed() {
+        let m = ModeReport {
+            mode: Mode::parse("--").unwrap(),
+            version: "p_uu".into(),
+            original: GoalStats::new(0.5, 100.0),
+            reordered: GoalStats::new(0.5, 25.0),
+            clause_order: vec![0, 1],
+            goal_orders: vec![vec![1, 0]],
+            explored: 3,
+        };
+        assert!((m.predicted_speedup() - 4.0).abs() < 1e-12);
+        assert!(m.changed());
+        let id = ModeReport {
+            mode: Mode::parse("-").unwrap(),
+            version: "q_u".into(),
+            original: GoalStats::new(0.5, 10.0),
+            reordered: GoalStats::new(0.5, 10.0),
+            clause_order: vec![0, 1, 2],
+            goal_orders: vec![vec![0, 1], vec![0]],
+            explored: 1,
+        };
+        assert!(!id.changed());
+    }
+}

@@ -1,0 +1,326 @@
+//! The legality scanner (paper §VI-B.1).
+//!
+//! "We generate a potential order by instantiating a clause head with the
+//! mode and scanning the clause goal by goal, keeping track of the
+//! variables each goal demands and instantiates. As soon as an illegal
+//! mode arises, we backtrack to generate another order, so that we test
+//! only legal orders."
+//!
+//! [`scan_sequence`] walks a candidate order threading an
+//! [`AbstractState`]; each goal is checked against the mode oracle and
+//! annotated with its calling mode and [`GoalStats`]. Control constructs
+//! are handled "as if they were bodies of short clauses" (§VI-B.1).
+
+use crate::costs::{p_to_solutions, solutions_to_p, Estimator};
+use prolog_analysis::{AbstractState, Mode, ModeItem};
+use prolog_markov::{ClauseChain, GoalStats};
+use prolog_syntax::{Body, Term};
+
+/// A goal annotated by the scan.
+#[derive(Debug, Clone)]
+pub struct ScannedGoal {
+    pub goal: Body,
+    /// The mode the goal calls its predicate in (plain calls only).
+    pub call_mode: Option<Mode>,
+    pub stats: GoalStats,
+}
+
+/// The abstract state a clause starts in when called with `mode`:
+/// head variables bound per the mode items, `+` positions first so
+/// aliased variables pick up instantiation.
+pub fn head_state(head: &Term, mode: &Mode) -> AbstractState {
+    let mut state = AbstractState::default();
+    let args = head.args();
+    for pass in [ModeItem::Plus, ModeItem::Minus, ModeItem::Any] {
+        for (arg, item) in args.iter().zip(mode.items()) {
+            if *item == pass {
+                state.bind_head_arg(arg, *item);
+            }
+        }
+    }
+    state
+}
+
+/// Scans `goals` in the given order. Returns `None` as soon as any goal
+/// would be called in an illegal mode; otherwise the annotated goals, with
+/// `state` updated to the post-sequence instantiations.
+pub fn scan_sequence(
+    goals: &[&Body],
+    state: &mut AbstractState,
+    est: &Estimator<'_>,
+) -> Option<Vec<ScannedGoal>> {
+    let mut out = Vec::with_capacity(goals.len());
+    for goal in goals {
+        out.push(scan_goal(goal, state, est)?);
+    }
+    Some(out)
+}
+
+/// Scans one goal (which may be a control construct).
+pub fn scan_goal(
+    goal: &Body,
+    state: &mut AbstractState,
+    est: &Estimator<'_>,
+) -> Option<ScannedGoal> {
+    match goal {
+        Body::True => Some(ScannedGoal {
+            goal: goal.clone(),
+            call_mode: None,
+            stats: GoalStats::new(solutions_to_p(1.0), 0.0),
+        }),
+        Body::Fail => Some(ScannedGoal {
+            goal: goal.clone(),
+            call_mode: None,
+            stats: GoalStats::new(0.0, 0.0),
+        }),
+        Body::Cut => Some(ScannedGoal {
+            goal: goal.clone(),
+            call_mode: None,
+            stats: GoalStats::new(solutions_to_p(1.0), 0.0),
+        }),
+        Body::Call(t) => {
+            let pred = t.pred_id()?;
+            let mode = Mode::new(t.args().iter().map(|a| state.abstraction(a)).collect());
+            let output = est.oracle.call(pred, &mode)?;
+            let stats = est.stats(pred, &mode);
+            for (arg, item) in t.args().iter().zip(output.items()) {
+                state.apply_output(arg, *item);
+            }
+            Some(ScannedGoal { goal: goal.clone(), call_mode: Some(mode), stats })
+        }
+        Body::Not(g) => {
+            // Negation: inner goals run in their own scope and export no
+            // bindings. Succeeds iff the inner conjunction fails.
+            let mut inner_state = state.clone();
+            let inner = scan_sequence(&g.conjuncts(), &mut inner_state, est)?;
+            let (p_inner, cost) = sequence_once_stats(&inner);
+            Some(ScannedGoal {
+                goal: goal.clone(),
+                call_mode: None,
+                stats: GoalStats::new(1.0 - p_inner, cost),
+            })
+        }
+        Body::Or(a, b) => {
+            // Both halves scanned from the same entry state; results join.
+            let mut sa = state.clone();
+            let ga = scan_sequence(&a.conjuncts(), &mut sa, est)?;
+            let mut sb = state.clone();
+            let gb = scan_sequence(&b.conjuncts(), &mut sb, est)?;
+            *state = sa.join(&sb);
+            let (ea, ca) = sequence_all_stats(&ga, est);
+            let (eb, cb) = sequence_all_stats(&gb, est);
+            Some(ScannedGoal {
+                goal: goal.clone(),
+                call_mode: None,
+                stats: GoalStats::new(solutions_to_p(ea + eb), ca + cb),
+            })
+        }
+        Body::IfThenElse(c, t, e) => {
+            let mut sct = state.clone();
+            let gc = scan_sequence(&c.conjuncts(), &mut sct, est)?;
+            let gt = scan_sequence(&t.conjuncts(), &mut sct, est)?;
+            let mut se = state.clone();
+            let ge = scan_sequence(&e.conjuncts(), &mut se, est)?;
+            *state = sct.join(&se);
+            let (p_c, cost_c) = sequence_once_stats(&gc);
+            let (e_t, cost_t) = sequence_all_stats(&gt, est);
+            let (e_e, cost_e) = sequence_all_stats(&ge, est);
+            let e = p_c * e_t + (1.0 - p_c) * e_e;
+            let cost = cost_c + p_c * cost_t + (1.0 - p_c) * cost_e;
+            Some(ScannedGoal {
+                goal: goal.clone(),
+                call_mode: None,
+                stats: GoalStats::new(solutions_to_p(e), cost),
+            })
+        }
+        Body::And(_, _) => {
+            // Conjunction at goal position (inside a construct): treat as
+            // a sub-clause.
+            let inner = scan_sequence(&goal.conjuncts(), state, est)?;
+            let (e, cost) = sequence_all_stats(&inner, est);
+            Some(ScannedGoal {
+                goal: goal.clone(),
+                call_mode: None,
+                stats: GoalStats::new(solutions_to_p(e), cost),
+            })
+        }
+    }
+}
+
+/// Single-solution view of a scanned sequence: (success probability,
+/// expected cost to first success or failure).
+pub fn sequence_once_stats(goals: &[ScannedGoal]) -> (f64, f64) {
+    if goals.is_empty() {
+        return (1.0, 0.0);
+    }
+    let stats: Vec<GoalStats> = goals.iter().map(|g| g.stats).collect();
+    let chain = ClauseChain::new(&stats);
+    (chain.success_probability(), chain.single_solution_cost())
+}
+
+/// All-solutions view: (expected number of solutions, expected total cost)
+/// under the estimator's configured cost model.
+pub fn sequence_all_stats(goals: &[ScannedGoal], est: &Estimator<'_>) -> (f64, f64) {
+    if goals.is_empty() {
+        return (1.0, 0.0);
+    }
+    let stats: Vec<GoalStats> = goals.iter().map(|g| g.stats).collect();
+    let chain = ClauseChain::new(&stats);
+    (
+        chain.expected_solutions().min(1.0e9),
+        est.conjunction_cost(&chain),
+    )
+}
+
+/// Expected solutions of one scanned goal.
+pub fn goal_solutions(g: &ScannedGoal) -> f64 {
+    p_to_solutions(g.stats.p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReorderConfig;
+    use crate::oracle::ModeOracle;
+    use prolog_analysis::{CallGraph, Declarations, RecursionAnalysis};
+    use prolog_syntax::parse_program;
+
+    struct Fixture {
+        program: prolog_syntax::SourceProgram,
+        declarations: Declarations,
+        recursion: RecursionAnalysis,
+        config: ReorderConfig,
+    }
+
+    impl Fixture {
+        fn new(src: &str) -> Fixture {
+            let program = parse_program(src).unwrap();
+            let declarations = Declarations::from_program(&program);
+            let recursion = RecursionAnalysis::compute(&CallGraph::build(&program));
+            Fixture { program, declarations, recursion, config: ReorderConfig::default() }
+        }
+
+        fn with<R>(&self, f: impl FnOnce(&Estimator<'_>) -> R) -> R {
+            let oracle = ModeOracle::new(&self.program, &self.declarations);
+            let est = Estimator::new(
+                &self.program,
+                &oracle,
+                &self.declarations,
+                &self.recursion,
+                &self.config,
+            );
+            f(&est)
+        }
+    }
+
+    #[test]
+    fn scan_accepts_legal_orders_and_rejects_illegal() {
+        let fx = Fixture::new("inc(X, Y) :- Y is X + 1. p(1). q(2).");
+        fx.with(|est| {
+            let program = est.program();
+            let clause = &program.clauses_of(prolog_syntax::PredId::new("inc", 2))[0];
+            // legal: head mode (+,-)
+            let mut st = head_state(&clause.head, &Mode::parse("+-").unwrap());
+            assert!(scan_sequence(&clause.body.conjuncts(), &mut st, est).is_some());
+            // illegal: head mode (-,-) makes `is` unclean
+            let mut st = head_state(&clause.head, &Mode::parse("--").unwrap());
+            assert!(scan_sequence(&clause.body.conjuncts(), &mut st, est).is_none());
+        });
+    }
+
+    #[test]
+    fn scan_threads_instantiations_left_to_right() {
+        let fx = Fixture::new(
+            "chain(X, Z) :- step(X, Y), step(Y, Z).
+             step(a, b). step(b, c).",
+        );
+        fx.with(|est| {
+            let program = est.program();
+            let clause = &program.clauses_of(prolog_syntax::PredId::new("chain", 2))[0];
+            let mut st = head_state(&clause.head, &Mode::parse("+-").unwrap());
+            let scanned =
+                scan_sequence(&clause.body.conjuncts(), &mut st, est).expect("legal");
+            // first step called (+,-), second (+,-) because Y is now bound
+            assert_eq!(scanned[0].call_mode, Some(Mode::parse("+-").unwrap()));
+            assert_eq!(scanned[1].call_mode, Some(Mode::parse("+-").unwrap()));
+        });
+    }
+
+    #[test]
+    fn bound_calls_are_cheaper_tests_than_free_generators() {
+        let fx = Fixture::new("f(a). f(b). f(c). f(d).");
+        fx.with(|est| {
+            let pred = prolog_syntax::PredId::new("f", 1);
+            let free = est.stats(pred, &Mode::parse("-").unwrap());
+            let bound = est.stats(pred, &Mode::parse("+").unwrap());
+            // free call: ~4 expected solutions; bound call: ~1
+            assert!(p_to_solutions(free.p) > p_to_solutions(bound.p));
+        });
+    }
+
+    #[test]
+    fn negation_scans_inner_goals_without_exporting() {
+        let fx = Fixture::new("m(X) :- \\+ f(X). f(a).");
+        fx.with(|est| {
+            let clause = &est.program().clauses_of(prolog_syntax::PredId::new("m", 1))[0];
+            let mut st = head_state(&clause.head, &Mode::parse("+").unwrap());
+            let scanned = scan_sequence(&clause.body.conjuncts(), &mut st, est).unwrap();
+            assert_eq!(scanned.len(), 1);
+            assert!(scanned[0].call_mode.is_none());
+            assert!(scanned[0].stats.p < 1.0);
+        });
+    }
+
+    #[test]
+    fn rule_costs_exceed_fact_costs() {
+        let fx = Fixture::new(
+            "direct(a, b).
+             indirect(X, Z) :- direct(X, Y), direct(Y, Z).",
+        );
+        fx.with(|est| {
+            let fact = est.stats(
+                prolog_syntax::PredId::new("direct", 2),
+                &Mode::parse("--").unwrap(),
+            );
+            let rule = est.stats(
+                prolog_syntax::PredId::new("indirect", 2),
+                &Mode::parse("--").unwrap(),
+            );
+            assert_eq!(fact.cost, 1.0);
+            assert!(rule.cost > fact.cost);
+        });
+    }
+
+    #[test]
+    fn recursive_predicates_get_finite_stats() {
+        let fx = Fixture::new(
+            "app([], X, X).
+             app([H|T], Y, [H|Z]) :- app(T, Y, Z).",
+        );
+        fx.with(|est| {
+            let s = est.stats(
+                prolog_syntax::PredId::new("app", 3),
+                &Mode::parse("++-").unwrap(),
+            );
+            assert!(s.cost.is_finite() && s.cost > 0.0);
+            assert!(s.p > 0.0 && s.p < 1.0);
+        });
+    }
+
+    #[test]
+    fn declared_costs_win() {
+        let fx = Fixture::new(
+            ":- cost(magic/1, '-', 123.0, 0.9).
+             magic(X) :- slow(X), slow(X), slow(X).
+             slow(1).",
+        );
+        fx.with(|est| {
+            let s = est.stats(
+                prolog_syntax::PredId::new("magic", 1),
+                &Mode::parse("-").unwrap(),
+            );
+            assert_eq!(s.cost, 123.0);
+            assert_eq!(s.p, 0.9);
+        });
+    }
+}

@@ -1,0 +1,274 @@
+//! Mode specialisation and dispatcher generation (paper §III-B, §VII).
+//!
+//! "We provide a different version of each predicate for each mode … Note
+//! the new names for the versions of predicates that are tuned to a
+//! particular mode: the terminal letters are `u` for uninstantiated and
+//! `i` for instantiated." Callers inside specialised clauses are renamed
+//! to the version matching the callee's mode at that call site; a
+//! dispatcher under the original name tests `var/1` on each argument and
+//! routes to the right version ("the Prolog engine needs merely to test
+//! two tag bits").
+
+use prolog_analysis::{Mode, ModeItem};
+use prolog_syntax::{sym, Body, Clause, PredId, Symbol, Term};
+use std::collections::HashMap;
+
+/// The specialised name for `pred` called in (collapsed) `mode`:
+/// `name_suffix`, e.g. `aunt` + `(-,+)` → `aunt_ui`. Arity-0 predicates
+/// have nothing to specialise on and keep their name.
+pub fn version_name(pred: PredId, mode: &Mode) -> Symbol {
+    if pred.arity == 0 {
+        pred.name
+    } else {
+        sym(&format!("{}_{}", pred.name, mode.suffix()))
+    }
+}
+
+/// Renames a clause head to its version name.
+pub fn rename_head(clause: &Clause, version: Symbol) -> Clause {
+    let head = match &clause.head {
+        Term::Struct(_, args) => Term::Struct(version, args.clone()),
+        Term::Atom(_) => Term::Atom(version),
+        other => other.clone(),
+    };
+    Clause { head, body: clause.body.clone(), var_names: clause.var_names.clone() }
+}
+
+/// Rewrites the plain calls of a body, goal by goal: `rename(goal_term)`
+/// returns the replacement term (or the original). Goals inside control
+/// constructs are *not* rewritten — they reach their callees through the
+/// dispatchers instead.
+pub fn rename_top_level_calls(body: &Body, rename: &mut impl FnMut(&Term) -> Term) -> Body {
+    match body {
+        Body::Call(t) => Body::Call(rename(t)),
+        Body::And(a, b) => Body::And(
+            Box::new(rename_top_level_calls(a, rename)),
+            Box::new(rename_top_level_calls(b, rename)),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Builds the dispatcher clause for `pred`: nested `var/1` if-then-elses
+/// routing to per-suffix versions. `versions` maps a `u`/`i` suffix to the
+/// version name serving it; missing suffixes (illegal modes) route to
+/// `fail`. Subtrees whose versions all coincide are collapsed to a direct
+/// call, which is why most dispatchers are short (§VII: "the reorderer
+/// produces only one or two distinct versions").
+pub fn dispatcher(pred: PredId, versions: &HashMap<String, Symbol>) -> Clause {
+    let args: Vec<Term> = (0..pred.arity).map(Term::Var).collect();
+    let head = Term::struct_(pred.name, args.clone());
+    let body = dispatch_tree(&args, String::new(), versions);
+    Clause {
+        head,
+        body,
+        var_names: (0..pred.arity).map(|i| format!("A{}", i + 1)).collect(),
+    }
+}
+
+/// Recursive dispatcher construction over argument positions.
+fn dispatch_tree(
+    args: &[Term],
+    suffix: String,
+    versions: &HashMap<String, Symbol>,
+) -> Body {
+    let depth = suffix.len();
+    if depth == args.len() {
+        return match versions.get(&suffix) {
+            Some(name) => Body::Call(Term::struct_(*name, args.to_vec())),
+            None => Body::Fail,
+        };
+    }
+    // If every completion of this suffix routes to the same version, call
+    // it directly without further tests.
+    let completions: Vec<&Symbol> = versions
+        .iter()
+        .filter(|(k, _)| k.starts_with(&suffix))
+        .map(|(_, v)| v)
+        .collect();
+    if let Some((first, rest)) = completions.split_first() {
+        if rest.iter().all(|v| v == first)
+            && versions.keys().filter(|k| k.starts_with(&suffix)).count()
+                == 1 << (args.len() - depth)
+        {
+            return Body::Call(Term::struct_(**first, args.to_vec()));
+        }
+    }
+    let test = Body::Call(Term::app("var", vec![args[depth].clone()]));
+    let unbound = dispatch_tree(args, format!("{suffix}u"), versions);
+    let bound = dispatch_tree(args, format!("{suffix}i"), versions);
+    Body::IfThenElse(Box::new(test), Box::new(unbound), Box::new(bound))
+}
+
+/// Deduplicates version bodies: modes whose reordered clauses are
+/// identical share one version. Returns `(distinct versions to emit,
+/// suffix → version name)`.
+pub fn dedup_versions(
+    pred: PredId,
+    per_mode: Vec<(Mode, Vec<Clause>)>,
+) -> (Vec<(Symbol, Vec<Clause>)>, HashMap<String, Symbol>) {
+    let mut emitted: Vec<(Symbol, Vec<Clause>)> = Vec::new();
+    let mut by_shape: HashMap<String, Symbol> = HashMap::new();
+    let mut suffix_map: HashMap<String, Symbol> = HashMap::new();
+    for (mode, clauses) in per_mode {
+        let shape = clauses
+            .iter()
+            .map(|c| format!("{:?}|{:?}", c.head.args(), c.body))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let suffix = mode.suffix();
+        match by_shape.get(&shape) {
+            Some(&existing) => {
+                suffix_map.insert(suffix, existing);
+            }
+            None => {
+                let name = version_name(pred, &mode);
+                by_shape.insert(shape, name);
+                suffix_map.insert(suffix, name);
+                let renamed = clauses.iter().map(|c| rename_head(c, name)).collect();
+                emitted.push((name, renamed));
+            }
+        }
+    }
+    (emitted, suffix_map)
+}
+
+/// Collapses a (possibly `?`-bearing) call mode to the `+`/`-` version
+/// suffix mode it must be served by (`?` → `-`: the version must tolerate
+/// an unbound argument).
+pub fn collapse_for_version(mode: &Mode) -> Mode {
+    Mode::new(
+        mode.items()
+            .iter()
+            .map(|m| match m {
+                ModeItem::Plus => ModeItem::Plus,
+                _ => ModeItem::Minus,
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+    use prolog_syntax::pretty::clause_to_string;
+
+    fn id(name: &str, arity: usize) -> PredId {
+        PredId::new(name, arity)
+    }
+
+    #[test]
+    fn version_names_follow_paper_convention() {
+        assert_eq!(
+            version_name(id("aunt", 2), &Mode::parse("--").unwrap()).as_str(),
+            "aunt_uu"
+        );
+        assert_eq!(
+            version_name(id("aunt", 2), &Mode::parse("-+").unwrap()).as_str(),
+            "aunt_ui"
+        );
+        assert_eq!(
+            version_name(id("aunt", 2), &Mode::parse("++").unwrap()).as_str(),
+            "aunt_ii"
+        );
+        assert_eq!(version_name(id("main", 0), &Mode::parse("").unwrap()).as_str(), "main");
+    }
+
+    #[test]
+    fn rename_head_keeps_args_and_body() {
+        let p = parse_program("aunt(X, Y) :- parent(X, Z), sister(Z, Y).").unwrap();
+        let renamed = rename_head(&p.clauses[0], sym("aunt_uu"));
+        assert_eq!(
+            clause_to_string(&renamed),
+            "aunt_uu(X, Y) :- parent(X, Z), sister(Z, Y)."
+        );
+    }
+
+    /// Compares a dispatcher clause against expected source, structurally
+    /// (the printer may drop redundant parentheses).
+    fn assert_clause_eq(clause: &Clause, expected_src: &str) {
+        let printed = clause_to_string(clause);
+        let reparsed = parse_program(&printed).expect("dispatcher must re-parse");
+        let expected = parse_program(expected_src).expect("expected source parses");
+        assert_eq!(
+            reparsed.clauses[0].body, expected.clauses[0].body,
+            "printed as: {printed}"
+        );
+        assert_eq!(reparsed.clauses[0].head, expected.clauses[0].head);
+    }
+
+    #[test]
+    fn full_dispatcher_shape_matches_paper() {
+        // The aunt/2 dummy predicate of §VII.
+        let mut versions = HashMap::new();
+        versions.insert("uu".to_string(), sym("aunt_uu"));
+        versions.insert("ui".to_string(), sym("aunt_ui"));
+        versions.insert("iu".to_string(), sym("aunt_iu"));
+        versions.insert("ii".to_string(), sym("aunt_ii"));
+        let clause = dispatcher(id("aunt", 2), &versions);
+        assert_clause_eq(
+            &clause,
+            "aunt(A1, A2) :- (var(A1) -> (var(A2) -> aunt_uu(A1, A2) ; aunt_ui(A1, A2)) ; (var(A2) -> aunt_iu(A1, A2) ; aunt_ii(A1, A2))).",
+        );
+    }
+
+    #[test]
+    fn dispatcher_collapses_shared_versions() {
+        // Only one distinct version: no tests at all.
+        let mut versions = HashMap::new();
+        for s in ["uu", "ui", "iu", "ii"] {
+            versions.insert(s.to_string(), sym("p_uu"));
+        }
+        let clause = dispatcher(id("p", 2), &versions);
+        assert_clause_eq(&clause, "p(A1, A2) :- p_uu(A1, A2).");
+        // Two versions split on the first argument only.
+        let mut versions = HashMap::new();
+        versions.insert("uu".to_string(), sym("p_uu"));
+        versions.insert("ui".to_string(), sym("p_uu"));
+        versions.insert("iu".to_string(), sym("p_ii"));
+        versions.insert("ii".to_string(), sym("p_ii"));
+        let clause = dispatcher(id("p", 2), &versions);
+        assert_clause_eq(
+            &clause,
+            "p(A1, A2) :- (var(A1) -> p_uu(A1, A2) ; p_ii(A1, A2)).",
+        );
+    }
+
+    #[test]
+    fn missing_modes_route_to_fail() {
+        let mut versions = HashMap::new();
+        versions.insert("i".to_string(), sym("q_i"));
+        let clause = dispatcher(id("q", 1), &versions);
+        assert_clause_eq(&clause, "q(A1) :- (var(A1) -> fail ; q_i(A1)).");
+    }
+
+    #[test]
+    fn dedup_merges_identical_versions() {
+        let p = parse_program("p(X) :- q(X). p(X) :- r(X).").unwrap();
+        let clauses = p.clauses.clone();
+        let per_mode = vec![
+            (Mode::parse("-").unwrap(), clauses.clone()),
+            (Mode::parse("+").unwrap(), clauses),
+        ];
+        let (emitted, map) = dedup_versions(id("p", 1), per_mode);
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(map["u"], map["i"]);
+        assert_eq!(map["u"].as_str(), "p_u");
+    }
+
+    #[test]
+    fn rename_top_level_only() {
+        let p = parse_program("p(X) :- q(X), (r(X) ; s(X)).").unwrap();
+        let body = rename_top_level_calls(&p.clauses[0].body, &mut |t| {
+            if t.pred_id().unwrap().name.as_str() == "q" {
+                Term::struct_(sym("q_u"), t.args().to_vec())
+            } else {
+                t.clone()
+            }
+        });
+        let preds = body.called_preds();
+        assert!(preds.iter().any(|p| p.name.as_str() == "q_u"));
+        assert!(preds.iter().any(|p| p.name.as_str() == "r")); // untouched
+    }
+}

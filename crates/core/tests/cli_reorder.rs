@@ -1,0 +1,89 @@
+//! End-to-end tests for the `reorder-prolog` command-line tool.
+
+use std::process::Command;
+
+const PROGRAM: &str = "
+girl(g1). girl(g2).
+wife(h1, w1). wife(h2, w2).
+mother(c1, m1). mother(c2, m1). mother(c3, w1).
+female(X) :- girl(X).
+female(X) :- wife(_, X).
+grandmother(GC, GM) :- grandparent(GC, GM), female(GM).
+grandparent(GC, GP) :- parent(P, GP), parent(GC, P).
+parent(C, P) :- mother(C, P).
+parent(C, P) :- mother(C, M), wife(P, M).
+";
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("reorder-cli-{}-{}", std::process::id(), name))
+}
+
+#[test]
+fn reorders_a_file_to_stdout() {
+    let input = tmp("in.pl");
+    std::fs::write(&input, PROGRAM).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_reorder-prolog"))
+        .arg(&input)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("grandmother_uu"), "output: {text}");
+    // the emitted text is valid Prolog
+    prolog_syntax::parse_program(&text).expect("output parses");
+}
+
+#[test]
+fn writes_output_file_and_report() {
+    let input = tmp("in2.pl");
+    let output = tmp("out2.pl");
+    std::fs::write(&input, PROGRAM).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_reorder-prolog"))
+        .arg(&input)
+        .arg("-o")
+        .arg(&output)
+        .arg("--report")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("grandmother/2"), "stderr: {stderr}");
+    let written = std::fs::read_to_string(&output).unwrap();
+    prolog_syntax::parse_program(&written).expect("written file parses");
+}
+
+#[test]
+fn flags_disable_passes() {
+    let input = tmp("in3.pl");
+    std::fs::write(&input, PROGRAM).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_reorder-prolog"))
+        .arg(&input)
+        .arg("--no-specialize")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("_uu"), "no versions expected: {text}");
+}
+
+#[test]
+fn missing_input_is_an_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_reorder-prolog"))
+        .arg("/nonexistent/path.pl")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn parse_errors_are_reported_with_positions() {
+    let input = tmp("bad.pl");
+    std::fs::write(&input, "p(.\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_reorder-prolog"))
+        .arg(&input)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "stderr: {stderr}");
+}

@@ -1,0 +1,128 @@
+//! The reorderer's headline property, checked on randomly generated
+//! programs: **set-equivalence** (§II). For any program drawn from a
+//! family of pure-plus-negation database programs, and any query, the
+//! reordered program produces exactly the same set of answers.
+
+use proptest::prelude::*;
+use prolog_engine::Engine;
+use prolog_syntax::parse_program;
+use reorder::{ReorderConfig, Reorderer};
+
+/// A random two-layer database program: fact tables f/2 and g/2, and rule
+/// predicates combining them with joins, tests, and (sometimes) negation.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    f: Vec<(u8, u8)>,
+    g: Vec<(u8, u8)>,
+    rules: Vec<RuleShape>,
+}
+
+#[derive(Debug, Clone)]
+enum RuleShape {
+    /// r(X,Y) :- f(X,Z), g(Z,Y).
+    Join,
+    /// r(X,Y) :- g(X,Z), f(Z,Y).
+    JoinFlipped,
+    /// r(X,Y) :- f(X,Y), g(Y,X).
+    Cross,
+    /// r(X,Y) :- f(X,Z), g(Z,Y), X \== Y.
+    JoinWithTest,
+    /// r(X,Y) :- f(X,Z), g(Z,Y), \+ f(Y,X).
+    JoinWithNegation,
+}
+
+fn rule_shape() -> impl Strategy<Value = RuleShape> {
+    prop_oneof![
+        Just(RuleShape::Join),
+        Just(RuleShape::JoinFlipped),
+        Just(RuleShape::Cross),
+        Just(RuleShape::JoinWithTest),
+        Just(RuleShape::JoinWithNegation),
+    ]
+}
+
+fn random_program() -> impl Strategy<Value = RandomProgram> {
+    (
+        prop::collection::vec((0u8..6, 0u8..6), 1..10),
+        prop::collection::vec((0u8..6, 0u8..6), 1..10),
+        prop::collection::vec(rule_shape(), 1..4),
+    )
+        .prop_map(|(f, g, rules)| RandomProgram { f, g, rules })
+}
+
+impl RandomProgram {
+    fn source(&self) -> String {
+        let mut src = String::new();
+        for (a, b) in &self.f {
+            src.push_str(&format!("f(k{a}, k{b}).\n"));
+        }
+        for (a, b) in &self.g {
+            src.push_str(&format!("g(k{a}, k{b}).\n"));
+        }
+        for (i, shape) in self.rules.iter().enumerate() {
+            let body = match shape {
+                RuleShape::Join => "f(X, Z), g(Z, Y)",
+                RuleShape::JoinFlipped => "g(X, Z), f(Z, Y)",
+                RuleShape::Cross => "f(X, Y), g(Y, X)",
+                RuleShape::JoinWithTest => "f(X, Z), g(Z, Y), X \\== Y",
+                RuleShape::JoinWithNegation => "f(X, Z), g(Z, Y), \\+ f(Y, X)",
+            };
+            src.push_str(&format!("r{i}(X, Y) :- {body}.\n"));
+        }
+        // a second layer joining the rules
+        src.push_str("top(X, Y) :- r0(X, Z), r0(Z, Y).\n");
+        src
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reordering_preserves_solution_sets(prog in random_program()) {
+        let program = parse_program(&prog.source()).unwrap();
+        let result = Reorderer::new(&program, ReorderConfig::default()).run();
+
+        let mut original = Engine::new();
+        original.load(&program);
+        let mut reordered = Engine::new();
+        reordered.load(&result.program);
+
+        let mut queries = vec![
+            "top(X, Y)".to_string(),
+            "top(k0, Y)".to_string(),
+            "top(X, k1)".to_string(),
+            "top(k2, k3)".to_string(),
+        ];
+        for i in 0..prog.rules.len() {
+            queries.push(format!("r{i}(X, Y)"));
+            queries.push(format!("r{i}(k1, Y)"));
+            queries.push(format!("r{i}(X, k0)"));
+            queries.push(format!("r{i}(k2, k2)"));
+        }
+        for q in &queries {
+            let a = original.query(q).expect("original runs").solution_set();
+            let b = reordered.query(q).expect("reordered runs").solution_set();
+            prop_assert_eq!(a, b, "query {} on\n{}", q, prog.source());
+        }
+    }
+
+    #[test]
+    fn reordering_never_makes_queries_error(prog in random_program()) {
+        let program = parse_program(&prog.source()).unwrap();
+        let result = Reorderer::new(&program, ReorderConfig::default()).run();
+        let mut engine = Engine::new();
+        engine.load(&result.program);
+        for q in ["top(X, Y)", "r0(X, Y)"] {
+            prop_assert!(engine.query(q).is_ok(), "query {} errored", q);
+        }
+    }
+
+    #[test]
+    fn emitted_programs_always_reparse(prog in random_program()) {
+        let program = parse_program(&prog.source()).unwrap();
+        let result = Reorderer::new(&program, ReorderConfig::default()).run();
+        let text = prolog_syntax::pretty::program_to_string(&result.program);
+        prop_assert!(parse_program(&text).is_ok(), "unparseable output:\n{}", text);
+    }
+}

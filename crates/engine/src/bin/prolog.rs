@@ -1,0 +1,84 @@
+//! A minimal interactive Prolog top level over `prolog-engine`.
+//!
+//! ```text
+//! usage: prolog [FILE...]
+//!
+//! ?- aunt(X, Y).          run a query, all solutions
+//! ?- :counters            show accumulated call counters
+//! ?- :listing             print the loaded program
+//! ?- :halt                exit (also Ctrl-D)
+//! ```
+
+use prolog_engine::{Engine, QueryError};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut engine = Engine::new();
+    let mut loaded_any = false;
+    for path in std::env::args().skip(1) {
+        match std::fs::read_to_string(&path) {
+            Ok(src) => match engine.consult(&src) {
+                Ok(()) => {
+                    eprintln!("% consulted {path}");
+                    loaded_any = true;
+                }
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if !loaded_any {
+        eprintln!("% no files consulted; queries run against built-ins only");
+    }
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("?- ");
+        std::io::stdout().flush().ok();
+        let Some(Ok(line)) = lines.next() else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ":halt" | "halt." => break,
+            ":counters" => {
+                println!("{}", engine.total_counters());
+                continue;
+            }
+            ":listing" => {
+                println!(
+                    "{}",
+                    prolog_syntax::pretty::program_to_string(&engine.db().to_source())
+                );
+                continue;
+            }
+            _ => {}
+        }
+        let query = line.strip_suffix('.').unwrap_or(line);
+        match engine.query(query) {
+            Ok(outcome) => {
+                if !outcome.output.is_empty() {
+                    print!("{}", outcome.output);
+                }
+                if outcome.solutions.is_empty() {
+                    println!("false.");
+                } else {
+                    for s in &outcome.solutions {
+                        println!("{s} ;");
+                    }
+                    println!("true.  % {} solutions, {}", outcome.solutions.len(), outcome.counters);
+                }
+            }
+            Err(QueryError::Parse(e)) => println!("syntax error: {e}"),
+            Err(QueryError::Engine(e)) => println!("error: {e}"),
+        }
+    }
+}

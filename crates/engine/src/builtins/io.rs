@@ -1,0 +1,98 @@
+//! Side-effecting output built-ins.
+//!
+//! Output goes to the machine's `output` buffer, not straight to stdout:
+//! the equivalence tests compare the output of original and reordered
+//! programs, because side effects are the one thing backtracking cannot
+//! undo — the root of the fixity restriction (§IV-B).
+
+use super::Cont;
+use crate::error::EngineError;
+use crate::machine::{Ctl, Machine};
+use prolog_syntax::pretty::term_to_string;
+use prolog_syntax::Term;
+
+/// `write(+Term)` (also serving `print/1` and `write_canonical/1`).
+pub fn write1<'db>(m: &mut Machine<'db>, t: &Term, k: Cont<'_, 'db>) -> Ctl {
+    let resolved = m.store.resolve(t);
+    m.output.push_str(&term_to_string(&resolved, &[]));
+    k(m)
+}
+
+/// `writeln(+Term)`.
+pub fn writeln1<'db>(m: &mut Machine<'db>, t: &Term, k: Cont<'_, 'db>) -> Ctl {
+    let resolved = m.store.resolve(t);
+    m.output.push_str(&term_to_string(&resolved, &[]));
+    m.output.push('\n');
+    k(m)
+}
+
+/// `nl/0`.
+pub fn nl<'db>(m: &mut Machine<'db>, k: Cont<'_, 'db>) -> Ctl {
+    m.output.push('\n');
+    k(m)
+}
+
+/// `tab(+N)`: writes N spaces.
+pub fn tab<'db>(m: &mut Machine<'db>, n: &Term, k: Cont<'_, 'db>) -> Ctl {
+    match super::eval_arith(&m.store, n) {
+        Ok(super::Num::I(n)) if n >= 0 => {
+            for _ in 0..n {
+                m.output.push(' ');
+            }
+            k(m)
+        }
+        Ok(other) => Ctl::Err(EngineError::Type {
+            expected: "non-negative integer",
+            found: other.to_term(),
+        }),
+        Err(e) => Ctl::Err(e),
+    }
+}
+
+/// `read(?Term)`: consumes the next pending input term; at end of input,
+/// unifies with the atom `end_of_file`. Consumption is a side effect that
+/// backtracking cannot undo — `read/1` is a fixity seed (§IV-B).
+pub fn read1<'db>(m: &mut Machine<'db>, t: &Term, k: Cont<'_, 'db>) -> Ctl {
+    let next = match m.input_terms.pop_front() {
+        Some(term) => {
+            // Rebase the term's variables onto fresh store cells.
+            let base = m.store.len();
+            let nvars = term.max_var().map_or(0, |v| v + 1);
+            m.store.alloc(nvars);
+            term.offset_vars(base)
+        }
+        None => Term::atom("end_of_file"),
+    };
+    if crate::unify::unify(&mut m.store, t, &next, m.config.occurs_check) {
+        k(m)
+    } else {
+        Ctl::Fail
+    }
+}
+
+/// `get(?Code)`: consumes the next input character code; -1 at EOF.
+pub fn get1<'db>(m: &mut Machine<'db>, t: &Term, k: Cont<'_, 'db>) -> Ctl {
+    let code = m.input_chars.pop_front().map(|c| c as i64).unwrap_or(-1);
+    if crate::unify::unify(&mut m.store, t, &Term::Int(code), m.config.occurs_check) {
+        k(m)
+    } else {
+        Ctl::Fail
+    }
+}
+
+/// `put(+Code)`: writes one character.
+pub fn put1<'db>(m: &mut Machine<'db>, t: &Term, k: Cont<'_, 'db>) -> Ctl {
+    match super::eval_arith(&m.store, t) {
+        Ok(super::Num::I(code)) => {
+            if let Some(c) = char::from_u32(code as u32) {
+                m.output.push(c);
+            }
+            k(m)
+        }
+        Ok(other) => Ctl::Err(EngineError::Type {
+            expected: "character code",
+            found: other.to_term(),
+        }),
+        Err(e) => Ctl::Err(e),
+    }
+}

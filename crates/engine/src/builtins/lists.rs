@@ -1,0 +1,124 @@
+//! List-related built-ins: `length/2`, `between/3`, `sort/2`, `msort/2`.
+
+use super::Cont;
+use crate::error::EngineError;
+use crate::machine::{Ctl, Machine};
+use crate::unify::unify;
+use prolog_syntax::Term;
+
+/// `length(?List, ?N)`.
+///
+/// Modes `(+,?)` (count) and `(-,+)` (build a list of fresh variables) are
+/// supported; `(-,-)` raises an instantiation error rather than enumerating
+/// forever — the engine-level guard the paper's legal-mode machinery exists
+/// to make unnecessary.
+pub fn length2<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
+    // Walk the list as far as it is instantiated.
+    let mut n: i64 = 0;
+    let mut cur = m.store.deref(&args[0]);
+    loop {
+        match cur {
+            Term::Atom(a) if a.as_str() == "[]" => {
+                let ok = unify(&mut m.store, &args[1], &Term::Int(n), false);
+                return if ok { k(m) } else { Ctl::Fail };
+            }
+            Term::Struct(dot, ref dargs) if dot.as_str() == "." && dargs.len() == 2 => {
+                n += 1;
+                cur = m.store.deref(&dargs[1]);
+            }
+            Term::Var(_) => {
+                // Partial or unbound list: need N instantiated.
+                let want = match m.store.deref(&args[1]) {
+                    Term::Int(w) if w >= n => w,
+                    Term::Int(_) => return Ctl::Fail,
+                    Term::Var(_) => {
+                        return Ctl::Err(EngineError::Instantiation(
+                            "length/2 needs the list or the length instantiated".into(),
+                        ))
+                    }
+                    other => {
+                        return Ctl::Err(EngineError::Type { expected: "integer", found: other })
+                    }
+                };
+                let remaining = (want - n) as usize;
+                let fresh: Vec<Term> =
+                    (0..remaining).map(|_| Term::Var(m.store.new_var())).collect();
+                let tail = Term::list(fresh);
+                let ok = unify(&mut m.store, &cur, &tail, false);
+                return if ok { k(m) } else { Ctl::Fail };
+            }
+            other => {
+                return Ctl::Err(EngineError::Type { expected: "list", found: other })
+            }
+        }
+    }
+}
+
+/// `between(+Low, +High, ?X)`: enumerates or tests.
+pub fn between3<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
+    let lo = match m.store.deref(&args[0]) {
+        Term::Int(n) => n,
+        Term::Var(_) => {
+            return Ctl::Err(EngineError::Instantiation("between/3 needs Low".into()))
+        }
+        other => return Ctl::Err(EngineError::Type { expected: "integer", found: other }),
+    };
+    let hi = match m.store.deref(&args[1]) {
+        Term::Int(n) => n,
+        Term::Var(_) => {
+            return Ctl::Err(EngineError::Instantiation("between/3 needs High".into()))
+        }
+        other => return Ctl::Err(EngineError::Type { expected: "integer", found: other }),
+    };
+    match m.store.deref(&args[2]) {
+        Term::Int(x) => {
+            if lo <= x && x <= hi {
+                k(m)
+            } else {
+                Ctl::Fail
+            }
+        }
+        Term::Var(_) => {
+            for x in lo..=hi {
+                let mark = m.store.mark();
+                if unify(&mut m.store, &args[2], &Term::Int(x), false) {
+                    match k(m) {
+                        Ctl::Fail => m.store.undo_to(mark),
+                        other => return other,
+                    }
+                } else {
+                    m.store.undo_to(mark);
+                }
+            }
+            Ctl::Fail
+        }
+        other => Ctl::Err(EngineError::Type { expected: "integer", found: other }),
+    }
+}
+
+/// `sort/2` (dedup = true) and `msort/2` (dedup = false).
+pub fn sort2<'db>(
+    m: &mut Machine<'db>,
+    args: &[Term],
+    k: Cont<'_, 'db>,
+    dedup: bool,
+) -> Ctl {
+    let list = m.store.resolve(&args[0]);
+    let Some(items) = list.as_list() else {
+        return match list {
+            Term::Var(_) => Ctl::Err(EngineError::Instantiation("sort/2 needs a list".into())),
+            other => Ctl::Err(EngineError::Type { expected: "list", found: other }),
+        };
+    };
+    let mut owned: Vec<Term> = items.into_iter().cloned().collect();
+    owned.sort_by(|a, b| a.compare(b));
+    if dedup {
+        owned.dedup_by(|a, b| a.compare(b).is_eq());
+    }
+    let sorted = Term::list(owned);
+    if unify(&mut m.store, &args[1], &sorted, false) {
+        k(m)
+    } else {
+        Ctl::Fail
+    }
+}

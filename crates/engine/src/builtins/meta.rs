@@ -1,0 +1,151 @@
+//! Meta-call built-ins: `call/1`, `not/1`, `forall/2`, and the set
+//! predicates `findall/3`, `bagof/3`, `setof/3`.
+//!
+//! The paper (§IV-D.5–6) treats the set predicates and negation as
+//! *semifixed*: the engine executes them; the reorderer refuses to move
+//! goals across them (but may reorder the conjunction inside their goal
+//! argument).
+
+use super::Cont;
+use crate::error::EngineError;
+use crate::machine::{Ctl, Machine};
+use crate::unify::unify;
+use prolog_syntax::{sym, Body, Term};
+
+/// Converts a (dereferenced) term into an executable body, rejecting
+/// unbound goals as the paper requires (§I-C).
+fn term_to_body(m: &Machine<'_>, t: &Term) -> Result<Body, EngineError> {
+    let resolved = m.store.resolve(t);
+    if matches!(resolved, Term::Var(_)) {
+        return Err(EngineError::VariableGoal);
+    }
+    Ok(Body::from_term(&resolved))
+}
+
+/// `call(+Goal)`: meta-call with a fresh cut scope.
+pub fn call1<'db>(m: &mut Machine<'db>, goal: &Term, k: Cont<'_, 'db>) -> Ctl {
+    let body = match term_to_body(m, goal) {
+        Ok(b) => b,
+        Err(e) => return Ctl::Err(e),
+    };
+    let level = m.fresh_level();
+    match m.solve(&body, level, k) {
+        Ctl::CutTo(l) if l == level => Ctl::Fail,
+        other => other,
+    }
+}
+
+/// `not(+Goal)` / `\+ Goal` when invoked as a term-level goal.
+pub fn negation<'db>(m: &mut Machine<'db>, goal: &Term, k: Cont<'_, 'db>) -> Ctl {
+    let body = match term_to_body(m, goal) {
+        Ok(b) => b,
+        Err(e) => return Ctl::Err(e),
+    };
+    let level = m.fresh_level();
+    m.solve(&Body::Not(Box::new(body)), level, k)
+}
+
+/// `forall(+Cond, +Action)`: `\+ (Cond, \+ Action)`.
+pub fn forall<'db>(
+    m: &mut Machine<'db>,
+    cond: &Term,
+    action: &Term,
+    k: Cont<'_, 'db>,
+) -> Ctl {
+    let c = match term_to_body(m, cond) {
+        Ok(b) => b,
+        Err(e) => return Ctl::Err(e),
+    };
+    let a = match term_to_body(m, action) {
+        Ok(b) => b,
+        Err(e) => return Ctl::Err(e),
+    };
+    let body = Body::Not(Box::new(Body::And(
+        Box::new(c),
+        Box::new(Body::Not(Box::new(a))),
+    )));
+    let level = m.fresh_level();
+    m.solve(&body, level, k)
+}
+
+/// `findall(+Template, +Goal, ?List)`.
+pub fn findall<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
+    match collect(m, &args[0], &args[1]) {
+        Ok(items) => {
+            let list = Term::list(items);
+            if unify(&mut m.store, &args[2], &list, false) {
+                k(m)
+            } else {
+                Ctl::Fail
+            }
+        }
+        Err(e) => Ctl::Err(e),
+    }
+}
+
+/// `bagof/3` and `setof/3`, with the common simplification: `^/2`
+/// witnesses are stripped and solutions are not grouped by free variables
+/// (i.e. behaves as `findall` that fails on the empty set, plus sorting and
+/// deduplication for `setof`). The paper treats both as semifixed opaque
+/// calls, so grouping semantics never influence reordering decisions.
+pub fn bagof<'db>(
+    m: &mut Machine<'db>,
+    args: &[Term],
+    k: Cont<'_, 'db>,
+    sorted: bool,
+) -> Ctl {
+    // Strip `Var^Goal` witnesses.
+    let mut goal = m.store.deref(&args[1]);
+    loop {
+        match &goal {
+            Term::Struct(hat, hargs) if *hat == sym("^") && hargs.len() == 2 => {
+                goal = m.store.deref(&hargs[1]);
+            }
+            _ => break,
+        }
+    }
+    match collect(m, &args[0], &goal) {
+        Ok(mut items) => {
+            if items.is_empty() {
+                return Ctl::Fail; // bagof/setof fail where findall gives []
+            }
+            if sorted {
+                items.sort_by(|a, b| a.compare(b));
+                items.dedup_by(|a, b| a.compare(b).is_eq());
+            }
+            let list = Term::list(items);
+            if unify(&mut m.store, &args[2], &list, false) {
+                k(m)
+            } else {
+                Ctl::Fail
+            }
+        }
+        Err(e) => Ctl::Err(e),
+    }
+}
+
+/// Proves `goal`, collecting a detached copy of `template` per solution.
+fn collect(
+    m: &mut Machine<'_>,
+    template: &Term,
+    goal: &Term,
+) -> Result<Vec<Term>, EngineError> {
+    let body = term_to_body(m, goal)?;
+    let mark = m.store.mark();
+    let mut items = Vec::new();
+    let template = template.clone();
+    let level = m.fresh_level();
+    let mut collector = |mm: &mut Machine<'_>| {
+        // Detach from the trail: fresh variables survive the undo below.
+        let copy = mm.copy_with_fresh_vars(&template);
+        items.push(copy);
+        Ctl::Fail // keep enumerating
+    };
+    let r = m.solve(&body, level, &mut collector);
+    m.store.undo_to(mark);
+    match r {
+        Ctl::Fail | Ctl::CutTo(_) => Ok(items),
+        Ctl::Err(e) => Err(e),
+        Ctl::Stop => unreachable!("collector never stops"),
+    }
+}

@@ -1,0 +1,231 @@
+//! Built-in predicates.
+//!
+//! The set mirrors what the paper's host systems (C-Prolog 1.5, SB-Prolog
+//! 2.3) provide and what its programs use: unification and identity tests,
+//! type tests (`var/1` drives the reorderer's generated dispatchers),
+//! arithmetic, term construction/inspection (`functor/3` is the paper's
+//! running example of a mode-demanding built-in), the set predicates
+//! (`findall/3`, `bagof/3`, `setof/3`, §IV-D.6), and side-effecting I/O
+//! (`write/1`, `nl/0` — the source of *fixity*, §IV-B).
+
+mod arith;
+mod io;
+mod lists;
+mod meta;
+mod terms;
+
+use crate::machine::{Ctl, Machine};
+use prolog_syntax::{sym, PredId, Term};
+
+pub use arith::{eval_arith, Num};
+
+/// The continuation type used by built-in implementations.
+pub type Cont<'a, 'db> = &'a mut dyn FnMut(&mut Machine<'db>) -> Ctl;
+
+/// All built-in predicate indicators.
+pub fn builtin_ids() -> Vec<PredId> {
+    let mut out = Vec::new();
+    let table: &[(&str, usize)] = &[
+        // control
+        ("true", 0),
+        ("fail", 0),
+        ("false", 0),
+        ("!", 0),
+        ("call", 1),
+        ("not", 1),
+        ("\\+", 1),
+        ("forall", 2),
+        // unification & identity
+        ("=", 2),
+        ("\\=", 2),
+        ("==", 2),
+        ("\\==", 2),
+        ("@<", 2),
+        ("@>", 2),
+        ("@=<", 2),
+        ("@>=", 2),
+        ("compare", 3),
+        // type tests
+        ("var", 1),
+        ("nonvar", 1),
+        ("atom", 1),
+        ("number", 1),
+        ("integer", 1),
+        ("float", 1),
+        ("atomic", 1),
+        ("compound", 1),
+        ("callable", 1),
+        ("is_list", 1),
+        ("ground", 1),
+        // arithmetic
+        ("is", 2),
+        ("=:=", 2),
+        ("=\\=", 2),
+        ("<", 2),
+        (">", 2),
+        ("=<", 2),
+        (">=", 2),
+        // term construction/inspection
+        ("functor", 3),
+        ("arg", 3),
+        ("=..", 2),
+        ("copy_term", 2),
+        // lists & solutions
+        ("length", 2),
+        ("between", 3),
+        ("sort", 2),
+        ("msort", 2),
+        ("findall", 3),
+        ("bagof", 3),
+        ("setof", 3),
+        // I/O (side effects: these predicates are *fixed*, §IV-B)
+        ("write", 1),
+        ("print", 1),
+        ("writeln", 1),
+        ("write_canonical", 1),
+        ("nl", 0),
+        ("tab", 1),
+        ("read", 1),
+        ("get", 1),
+        ("put", 1),
+    ];
+    for &(name, arity) in table {
+        out.push(PredId::new(name, arity));
+    }
+    out
+}
+
+/// `true` if `id` names a built-in.
+pub fn is_builtin(id: PredId) -> bool {
+    use std::collections::HashSet;
+    use std::sync::OnceLock;
+    static SET: OnceLock<HashSet<PredId>> = OnceLock::new();
+    SET.get_or_init(|| builtin_ids().into_iter().collect()).contains(&id)
+}
+
+/// Built-ins with side effects that backtracking cannot undo — the seeds of
+/// the fixity analysis (§IV-B).
+pub fn has_side_effect(id: PredId) -> bool {
+    matches!(
+        id.name.as_str(),
+        "write" | "print" | "writeln" | "write_canonical" | "nl" | "tab" | "read" | "get"
+            | "put"
+    ) && is_builtin(id)
+}
+
+/// Executes built-in `id` on `args`, calling `k` per solution.
+pub fn dispatch<'db>(
+    m: &mut Machine<'db>,
+    id: PredId,
+    args: &[Term],
+    k: Cont<'_, 'db>,
+) -> Ctl {
+    let name = id.name;
+    // control
+    if name == sym("true") {
+        return k(m);
+    }
+    if name == sym("fail") || name == sym("false") {
+        return Ctl::Fail;
+    }
+    if name == sym("!") {
+        // A meta-called cut (`call(!)` or a `!` smuggled through a term) is
+        // local: it succeeds and cuts nothing outside itself.
+        return k(m);
+    }
+    match (name.as_str(), args.len()) {
+        ("call", 1) => meta::call1(m, &args[0], k),
+        ("not", 1) | ("\\+", 1) => meta::negation(m, &args[0], k),
+        ("forall", 2) => meta::forall(m, &args[0], &args[1], k),
+        ("=", 2) => {
+            let ok = crate::unify::unify(&mut m.store, &args[0], &args[1], m.config.occurs_check);
+            if ok {
+                k(m)
+            } else {
+                Ctl::Fail
+            }
+        }
+        ("\\=", 2) => {
+            let mark = m.store.mark();
+            let ok = crate::unify::unify(&mut m.store, &args[0], &args[1], m.config.occurs_check);
+            m.store.undo_to(mark);
+            if ok {
+                Ctl::Fail
+            } else {
+                k(m)
+            }
+        }
+        ("==", 2) => det(m, crate::unify::identical(&m.store, &args[0], &args[1]), k),
+        ("\\==", 2) => det(m, !crate::unify::identical(&m.store, &args[0], &args[1]), k),
+        ("@<", 2) => det(m, order(m, args).is_lt(), k),
+        ("@>", 2) => det(m, order(m, args).is_gt(), k),
+        ("@=<", 2) => det(m, order(m, args).is_le(), k),
+        ("@>=", 2) => det(m, order(m, args).is_ge(), k),
+        ("compare", 3) => terms::compare3(m, args, k),
+        ("var", 1) => det(m, m.store.is_unbound(&args[0]), k),
+        ("nonvar", 1) => det(m, !m.store.is_unbound(&args[0]), k),
+        ("atom", 1) => det(m, matches!(m.store.deref(&args[0]), Term::Atom(_)), k),
+        ("number", 1) => det(
+            m,
+            matches!(m.store.deref(&args[0]), Term::Int(_) | Term::Float(_)),
+            k,
+        ),
+        ("integer", 1) => det(m, matches!(m.store.deref(&args[0]), Term::Int(_)), k),
+        ("float", 1) => det(m, matches!(m.store.deref(&args[0]), Term::Float(_)), k),
+        ("atomic", 1) => det(
+            m,
+            matches!(
+                m.store.deref(&args[0]),
+                Term::Atom(_) | Term::Int(_) | Term::Float(_)
+            ),
+            k,
+        ),
+        ("compound", 1) => det(m, matches!(m.store.deref(&args[0]), Term::Struct(..)), k),
+        ("callable", 1) => det(
+            m,
+            matches!(m.store.deref(&args[0]), Term::Atom(_) | Term::Struct(..)),
+            k,
+        ),
+        ("is_list", 1) => det(m, m.store.resolve(&args[0]).as_list().is_some(), k),
+        ("ground", 1) => det(m, m.store.is_ground(&args[0]), k),
+        ("is", 2) => arith::is2(m, args, k),
+        ("=:=", 2) => arith::num_compare(m, args, k, |o| o.is_eq()),
+        ("=\\=", 2) => arith::num_compare(m, args, k, |o| o.is_ne()),
+        ("<", 2) => arith::num_compare(m, args, k, |o| o.is_lt()),
+        (">", 2) => arith::num_compare(m, args, k, |o| o.is_gt()),
+        ("=<", 2) => arith::num_compare(m, args, k, |o| o.is_le()),
+        (">=", 2) => arith::num_compare(m, args, k, |o| o.is_ge()),
+        ("functor", 3) => terms::functor3(m, args, k),
+        ("arg", 3) => terms::arg3(m, args, k),
+        ("=..", 2) => terms::univ(m, args, k),
+        ("copy_term", 2) => terms::copy_term(m, args, k),
+        ("length", 2) => lists::length2(m, args, k),
+        ("between", 3) => lists::between3(m, args, k),
+        ("sort", 2) => lists::sort2(m, args, k, true),
+        ("msort", 2) => lists::sort2(m, args, k, false),
+        ("findall", 3) => meta::findall(m, args, k),
+        ("bagof", 3) => meta::bagof(m, args, k, false),
+        ("setof", 3) => meta::bagof(m, args, k, true),
+        ("write", 1) | ("print", 1) | ("write_canonical", 1) => io::write1(m, &args[0], k),
+        ("writeln", 1) => io::writeln1(m, &args[0], k),
+        ("nl", 0) => io::nl(m, k),
+        ("tab", 1) => io::tab(m, &args[0], k),
+        ("read", 1) => io::read1(m, &args[0], k),
+        ("get", 1) => io::get1(m, &args[0], k),
+        ("put", 1) => io::put1(m, &args[0], k),
+        _ => unreachable!("dispatch called for non-builtin {id}"),
+    }
+}
+
+/// Deterministic test helper: succeed (calling `k` once) or fail.
+fn det<'db>(m: &mut Machine<'db>, ok: bool, k: Cont<'_, 'db>) -> Ctl {
+    if ok {
+        k(m)
+    } else {
+        Ctl::Fail
+    }
+}
+
+fn order(m: &Machine<'_>, args: &[Term]) -> std::cmp::Ordering {
+    crate::unify::compare(&m.store, &args[0], &args[1])
+}

@@ -1,0 +1,171 @@
+//! Term construction and inspection: `functor/3`, `arg/3`, `=../2`,
+//! `copy_term/2`, `compare/3`.
+//!
+//! `functor/3` is the paper's example of a built-in that *demands* modes
+//! (§V-B): given only a name or only an arity it raises an error, exactly
+//! as SB-Prolog does.
+
+use super::Cont;
+use crate::error::EngineError;
+use crate::machine::{Ctl, Machine};
+use crate::unify::unify;
+use prolog_syntax::{sym, Term};
+
+fn unify_k<'db>(m: &mut Machine<'db>, a: &Term, b: &Term, k: Cont<'_, 'db>) -> Ctl {
+    if unify(&mut m.store, a, b, m.config.occurs_check) {
+        k(m)
+    } else {
+        Ctl::Fail
+    }
+}
+
+/// `functor(?Term, ?Name, ?Arity)`.
+pub fn functor3<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
+    let t = m.store.deref(&args[0]);
+    match &t {
+        Term::Var(_) => {
+            // Construction mode: both Name and Arity must be instantiated.
+            let name = m.store.deref(&args[1]);
+            let arity = m.store.deref(&args[2]);
+            let n = match arity {
+                Term::Int(n) if n >= 0 => n as usize,
+                Term::Int(_) => {
+                    return Ctl::Err(EngineError::Type { expected: "non-negative integer", found: arity })
+                }
+                Term::Var(_) => {
+                    return Ctl::Err(EngineError::Instantiation(
+                        "functor/3 needs Term, or Name and Arity, instantiated".into(),
+                    ))
+                }
+                other => return Ctl::Err(EngineError::Type { expected: "integer", found: other }),
+            };
+            let built = match (&name, n) {
+                (Term::Atom(_) | Term::Int(_) | Term::Float(_), 0) => name.clone(),
+                (Term::Atom(a), n) => {
+                    let vars = (0..n).map(|_| Term::Var(m.store.new_var())).collect();
+                    Term::struct_(*a, vars)
+                }
+                (Term::Var(_), _) => {
+                    return Ctl::Err(EngineError::Instantiation(
+                        "functor/3 needs Term, or Name and Arity, instantiated".into(),
+                    ))
+                }
+                (other, _) => {
+                    return Ctl::Err(EngineError::Type { expected: "atom", found: other.clone() })
+                }
+            };
+            unify_k(m, &args[0], &built, k)
+        }
+        Term::Struct(f, fargs) => {
+            let name = Term::Atom(*f);
+            let arity = Term::Int(fargs.len() as i64);
+            let mark = m.store.mark();
+            if unify(&mut m.store, &args[1], &name, false)
+                && unify(&mut m.store, &args[2], &arity, false)
+            {
+                k(m)
+            } else {
+                m.store.undo_to(mark);
+                Ctl::Fail
+            }
+        }
+        atomic => {
+            let name = atomic.clone();
+            let mark = m.store.mark();
+            if unify(&mut m.store, &args[1], &name, false)
+                && unify(&mut m.store, &args[2], &Term::Int(0), false)
+            {
+                k(m)
+            } else {
+                m.store.undo_to(mark);
+                Ctl::Fail
+            }
+        }
+    }
+}
+
+/// `arg(+N, +Term, ?Arg)`.
+pub fn arg3<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
+    let n = match m.store.deref(&args[0]) {
+        Term::Int(n) => n,
+        Term::Var(_) => {
+            return Ctl::Err(EngineError::Instantiation("arg/3 needs N instantiated".into()))
+        }
+        other => return Ctl::Err(EngineError::Type { expected: "integer", found: other }),
+    };
+    let t = m.store.deref(&args[1]);
+    match &t {
+        Term::Struct(_, fargs) => {
+            if n < 1 || n as usize > fargs.len() {
+                return Ctl::Fail;
+            }
+            let arg = fargs[n as usize - 1].clone();
+            unify_k(m, &args[2], &arg, k)
+        }
+        Term::Var(_) => {
+            Ctl::Err(EngineError::Instantiation("arg/3 needs Term instantiated".into()))
+        }
+        other => Ctl::Err(EngineError::Type { expected: "compound", found: other.clone() }),
+    }
+}
+
+/// `?Term =.. ?List`.
+pub fn univ<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
+    let t = m.store.deref(&args[0]);
+    match &t {
+        Term::Struct(f, fargs) => {
+            let list = Term::list(
+                std::iter::once(Term::Atom(*f)).chain(fargs.iter().cloned()),
+            );
+            unify_k(m, &args[1], &list, k)
+        }
+        Term::Atom(_) | Term::Int(_) | Term::Float(_) => {
+            let list = Term::list(std::iter::once(t.clone()));
+            unify_k(m, &args[1], &list, k)
+        }
+        Term::Var(_) => {
+            // Construction mode: the list must be a proper list with an
+            // atomic head.
+            let list = m.store.resolve(&args[1]);
+            let Some(items) = list.as_list() else {
+                return Ctl::Err(EngineError::Instantiation(
+                    "=../2 needs Term or a proper List instantiated".into(),
+                ));
+            };
+            let built = match items.split_first() {
+                None => {
+                    return Ctl::Err(EngineError::Type { expected: "non-empty list", found: list.clone() })
+                }
+                Some((head, rest)) => match head {
+                    Term::Atom(a) if !rest.is_empty() => {
+                        Term::struct_(*a, rest.iter().map(|t| (*t).clone()).collect())
+                    }
+                    Term::Atom(_) | Term::Int(_) | Term::Float(_) if rest.is_empty() => {
+                        (*head).clone()
+                    }
+                    other => {
+                        return Ctl::Err(EngineError::Type { expected: "atom", found: (*other).clone() })
+                    }
+                },
+            };
+            unify_k(m, &args[0], &built, k)
+        }
+    }
+}
+
+/// `copy_term(+Term, ?Copy)`.
+pub fn copy_term<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
+    let copy = m.copy_with_fresh_vars(&args[0]);
+    unify_k(m, &args[1], &copy, k)
+}
+
+/// `compare(?Order, +A, +B)`.
+pub fn compare3<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
+    let ord = crate::unify::compare(&m.store, &args[1], &args[2]);
+    let atom = match ord {
+        std::cmp::Ordering::Less => Term::Atom(sym("<")),
+        std::cmp::Ordering::Equal => Term::Atom(sym("=")),
+        std::cmp::Ordering::Greater => Term::Atom(sym(">")),
+    };
+    unify_k(m, &args[0], &atom, k)
+}

@@ -1,0 +1,76 @@
+//! Execution counters — the paper's cost metric.
+//!
+//! The paper measures "the number of predicate calls or unifications; CPU
+//! time is too coarse a measure and sometimes misleading" (§I-B). The
+//! engine increments these at exactly the points an instrumented C-Prolog
+//! would: one *call* per goal invocation (the call port of the box model)
+//! and one *unification* per head-match attempt against a clause.
+
+use std::fmt;
+
+/// Counts of the events the paper uses to measure program cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Invocations of user-defined predicates (call port only; redos into
+    /// later clauses of the same activation are not new calls).
+    pub user_calls: u64,
+    /// Invocations of built-in predicates.
+    pub builtin_calls: u64,
+    /// Head-unification attempts against program clauses (whether or not
+    /// they succeed).
+    pub unifications: u64,
+}
+
+impl Counters {
+    /// Total predicate calls, user and built-in — the number reported in
+    /// the paper's tables.
+    pub fn calls(&self) -> u64 {
+        self.user_calls + self.builtin_calls
+    }
+
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            user_calls: self.user_calls - earlier.user_calls,
+            builtin_calls: self.builtin_calls - earlier.builtin_calls,
+            unifications: self.unifications - earlier.unifications,
+        }
+    }
+
+    /// Adds another snapshot into this one.
+    pub fn add(&mut self, other: &Counters) {
+        self.user_calls += other.user_calls;
+        self.builtin_calls += other.builtin_calls;
+        self.unifications += other.unifications;
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} calls ({} user, {} builtin), {} unifications",
+            self.calls(),
+            self.user_calls,
+            self.builtin_calls,
+            self.unifications
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_differences() {
+        let a = Counters { user_calls: 10, builtin_calls: 5, unifications: 30 };
+        let b = Counters { user_calls: 4, builtin_calls: 2, unifications: 9 };
+        assert_eq!(a.calls(), 15);
+        let d = a.since(&b);
+        assert_eq!(d, Counters { user_calls: 6, builtin_calls: 3, unifications: 21 });
+        let mut c = b;
+        c.add(&d);
+        assert_eq!(c, a);
+    }
+}

@@ -1,0 +1,287 @@
+//! The user-facing engine: load programs, run queries, read counters.
+
+use crate::counters::Counters;
+use crate::database::Database;
+use crate::error::EngineError;
+use crate::machine::{Flow, Machine, MachineConfig};
+use prolog_syntax::{parse_program, parse_term, Body, ParseError, SourceProgram, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One solution to a query: the query's variables (by name) bound to
+/// resolved terms. Unbound variables are canonically renumbered `0, 1, …`
+/// in order of appearance, so solutions compare structurally across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    pub bindings: Vec<(String, Term)>,
+}
+
+impl Solution {
+    /// The binding of a variable, by source name.
+    pub fn get(&self, name: &str) -> Option<&Term> {
+        self.bindings.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bindings.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, (name, term)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name} = {term}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of running a query to completion (or to its solution limit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    pub solutions: Vec<Solution>,
+    /// Counters for this query alone.
+    pub counters: Counters,
+    /// Text written by the query.
+    pub output: String,
+    /// `true` if enumeration stopped at the solution limit rather than by
+    /// exhausting the search space.
+    pub truncated: bool,
+}
+
+impl QueryOutcome {
+    pub fn succeeded(&self) -> bool {
+        !self.solutions.is_empty()
+    }
+
+    /// Solutions as a multiset-comparable, order-insensitive key — used by
+    /// the set-equivalence checks (§II).
+    pub fn solution_set(&self) -> Vec<String> {
+        let mut keys: Vec<String> =
+            self.solutions.iter().map(|s| s.to_string()).collect();
+        keys.sort();
+        keys
+    }
+}
+
+/// A loaded Prolog system: database + configuration + accumulated counters.
+pub struct Engine {
+    db: Database,
+    pub config: MachineConfig,
+    /// Counters accumulated over every query run on this engine.
+    total: Counters,
+    /// Terms served to `read/1` by the next query (then cleared).
+    pending_input_terms: Vec<Term>,
+    /// Characters served to `get/1` by the next query (then cleared).
+    pending_input_chars: Vec<char>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    pub fn new() -> Engine {
+        Engine {
+            db: Database::new(),
+            config: MachineConfig::default(),
+            total: Counters::default(),
+            pending_input_terms: Vec::new(),
+            pending_input_chars: Vec::new(),
+        }
+    }
+
+    pub fn with_config(config: MachineConfig) -> Engine {
+        Engine { config, ..Engine::new() }
+    }
+
+    /// Queues terms for the next query's `read/1` calls.
+    pub fn set_input_terms(&mut self, terms: Vec<Term>) {
+        self.pending_input_terms = terms;
+    }
+
+    /// Queues text for the next query's `get/1` calls.
+    pub fn set_input_text(&mut self, text: &str) {
+        self.pending_input_chars = text.chars().collect();
+    }
+
+    /// Parses and loads Prolog source text.
+    pub fn consult(&mut self, src: &str) -> Result<(), ParseError> {
+        let program = parse_program(src)?;
+        self.db.load(&program);
+        Ok(())
+    }
+
+    /// Loads an already-parsed program.
+    pub fn load(&mut self, program: &SourceProgram) {
+        self.db.load(program);
+    }
+
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Counters accumulated across all queries so far.
+    pub fn total_counters(&self) -> Counters {
+        self.total
+    }
+
+    /// Runs a textual query (e.g. `"aunt(X, Y)"`), collecting all solutions.
+    pub fn query(&mut self, goal_src: &str) -> Result<QueryOutcome, QueryError> {
+        self.query_limit(goal_src, usize::MAX)
+    }
+
+    /// Runs a textual query collecting at most `max_solutions`.
+    pub fn query_limit(
+        &mut self,
+        goal_src: &str,
+        max_solutions: usize,
+    ) -> Result<QueryOutcome, QueryError> {
+        let (goal, var_names) = parse_term(goal_src).map_err(QueryError::Parse)?;
+        self.query_term(&goal, &var_names, max_solutions).map_err(QueryError::Engine)
+    }
+
+    /// Runs a parsed query term whose variables `Var(i)` are named
+    /// `var_names[i]`.
+    ///
+    /// The query runs on a dedicated thread with a large stack: the solver
+    /// is recursive, so a deep Prolog proof needs a deep Rust stack. The
+    /// logical guard is still [`MachineConfig::max_depth`].
+    pub fn query_term(
+        &mut self,
+        goal: &Term,
+        var_names: &[String],
+        max_solutions: usize,
+    ) -> Result<QueryOutcome, EngineError> {
+        const QUERY_STACK_BYTES: usize = 1 << 30; // virtual; pages commit on use
+        let input_terms = std::mem::take(&mut self.pending_input_terms);
+        let input_chars = std::mem::take(&mut self.pending_input_chars);
+        let (outcome, counters) = std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .stack_size(QUERY_STACK_BYTES)
+                .name("prolog-query".into())
+                .spawn_scoped(scope, || {
+                    self.query_term_inline(goal, var_names, max_solutions, input_terms, input_chars)
+                })
+                .expect("spawn query thread")
+                .join()
+                .expect("query thread panicked")
+        });
+        self.total.add(&counters);
+        outcome
+    }
+
+    /// Like [`Engine::query_term`] but on the caller's stack.
+    fn query_term_inline(
+        &self,
+        goal: &Term,
+        var_names: &[String],
+        max_solutions: usize,
+        input_terms: Vec<Term>,
+        input_chars: Vec<char>,
+    ) -> (Result<QueryOutcome, EngineError>, Counters) {
+        let body = Body::from_term(goal);
+        let mut machine = Machine::new(&self.db, self.config);
+        machine.input_terms = input_terms.into_iter().collect();
+        machine.input_chars = input_chars.into_iter().collect();
+        // Allocate the query's variables as the first store cells, so
+        // `Var(i)` in the query term refers to cell `i`.
+        let nvars = var_names.len();
+        machine.store.alloc(nvars);
+
+        let mut solutions = Vec::new();
+        let mut truncated = false;
+        // Skip anonymous `_Axx` variables in reported solutions, as a
+        // top-level would.
+        let reported: Vec<(usize, String)> = var_names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.starts_with('_'))
+            .map(|(i, n)| (i, n.clone()))
+            .collect();
+
+        let run = machine.run(&body, &mut |m| {
+            let mut canon = Canonicalizer::default();
+            let bindings = reported
+                .iter()
+                .map(|(i, name)| {
+                    let t = m.store.resolve(&Term::Var(*i));
+                    (name.clone(), canon.apply(&t))
+                })
+                .collect();
+            solutions.push(Solution { bindings });
+            if solutions.len() >= max_solutions {
+                truncated = true;
+                Flow::Stop
+            } else {
+                Flow::Continue
+            }
+        });
+        let counters = machine.counters;
+        match run {
+            Ok(_) => (
+                Ok(QueryOutcome {
+                    solutions,
+                    counters,
+                    output: machine.output,
+                    truncated,
+                }),
+                counters,
+            ),
+            Err(e) => (Err(e), counters),
+        }
+    }
+
+    /// `true` if the query has at least one solution.
+    pub fn has_solution(&mut self, goal_src: &str) -> Result<bool, QueryError> {
+        Ok(self.query_limit(goal_src, 1)?.succeeded())
+    }
+}
+
+/// Renumbers residual free variables `0, 1, …` in order of appearance so
+/// solutions are comparable across runs with different store layouts.
+#[derive(Default)]
+struct Canonicalizer {
+    map: HashMap<usize, usize>,
+}
+
+impl Canonicalizer {
+    fn apply(&mut self, t: &Term) -> Term {
+        match t {
+            Term::Var(v) => {
+                let next = self.map.len();
+                Term::Var(*self.map.entry(*v).or_insert(next))
+            }
+            Term::Struct(name, args) => {
+                Term::struct_(*name, args.iter().map(|a| self.apply(a)).collect())
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+/// Error from a textual query: parse or run-time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    Parse(ParseError),
+    Engine(EngineError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

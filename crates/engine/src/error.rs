@@ -1,0 +1,51 @@
+//! Run-time errors raised by the engine.
+
+use prolog_syntax::{PredId, Term};
+use std::fmt;
+
+/// A run-time error. Mirrors the DEC-10/SB-Prolog behaviour the paper
+/// assumes: calling a predicate in an illegal mode "produces a run-time
+/// error or an infinite recursion" (§I-C); the resource limits turn the
+/// latter into a reportable error as well.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A goal was insufficiently instantiated (e.g. `X is Y+1` with `Y`
+    /// unbound, or `functor(F, N, A)` with all arguments free).
+    Instantiation(String),
+    /// An argument had the wrong type (e.g. `X is foo`).
+    Type { expected: &'static str, found: Term },
+    /// A goal called a predicate with no clauses and no built-in meaning.
+    Existence(PredId),
+    /// A variable was used as a goal — forbidden by the paper (§I-C).
+    VariableGoal,
+    /// The configured call budget was exhausted (guards runaway loops,
+    /// e.g. `delete/3` called in an illegal mode).
+    CallLimit(u64),
+    /// The configured recursion depth was exhausted (guards infinite
+    /// recursions such as `permutation/2` called backwards).
+    DepthLimit(usize),
+    /// Division by zero or other arithmetic fault.
+    Arithmetic(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Instantiation(what) => {
+                write!(f, "instantiation error: {what}")
+            }
+            EngineError::Type { expected, found } => {
+                write!(f, "type error: expected {expected}, found {found}")
+            }
+            EngineError::Existence(id) => write!(f, "existence error: unknown predicate {id}"),
+            EngineError::VariableGoal => write!(f, "variable used as a goal"),
+            EngineError::CallLimit(n) => write!(f, "call limit of {n} exceeded"),
+            EngineError::DepthLimit(n) => write!(f, "depth limit of {n} exceeded"),
+            EngineError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,197 @@
+//! The binding store: variable cells plus a trail for backtracking.
+//!
+//! Variables are store indices. Binding records the old cell on the trail;
+//! undoing to a trail mark restores every cell bound since. This is the
+//! structure a real Prolog engine keeps on its (global) stack; here it is a
+//! flat `Vec` because the interpreter's correctness — not its raw speed —
+//! is what the reproduction depends on.
+
+use prolog_syntax::Term;
+
+/// A point in the trail to undo back to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TrailMark(usize);
+
+/// Binding store with trail.
+#[derive(Debug, Default)]
+pub struct Store {
+    bindings: Vec<Option<Term>>,
+    trail: Vec<usize>,
+}
+
+impl Store {
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Number of variable cells allocated.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Allocates one fresh unbound variable, returning its index.
+    pub fn new_var(&mut self) -> usize {
+        self.bindings.push(None);
+        self.bindings.len() - 1
+    }
+
+    /// Allocates `n` fresh variables, returning the index of the first.
+    pub fn alloc(&mut self, n: usize) -> usize {
+        let base = self.bindings.len();
+        self.bindings.resize(base + n, None);
+        base
+    }
+
+    /// Binds variable `v` (which must be unbound) to `t`, trailing the
+    /// binding.
+    pub fn bind(&mut self, v: usize, t: Term) {
+        debug_assert!(self.bindings[v].is_none(), "rebinding variable _{v}");
+        self.bindings[v] = Some(t);
+        self.trail.push(v);
+    }
+
+    /// Current trail position.
+    pub fn mark(&self) -> TrailMark {
+        TrailMark(self.trail.len())
+    }
+
+    /// Undoes all bindings made since `mark`.
+    pub fn undo_to(&mut self, mark: TrailMark) {
+        while self.trail.len() > mark.0 {
+            let v = self.trail.pop().expect("trail underflow");
+            self.bindings[v] = None;
+        }
+    }
+
+    /// Shallow dereference: follows variable chains until an unbound
+    /// variable or a non-variable term. Returns a clone of the binding (the
+    /// structure one level deep may still contain bound variables).
+    pub fn deref(&self, t: &Term) -> Term {
+        let mut cur = t.clone();
+        loop {
+            match cur {
+                Term::Var(v) => match &self.bindings[v] {
+                    Some(next) => cur = next.clone(),
+                    None => return Term::Var(v),
+                },
+                other => return other,
+            }
+        }
+    }
+
+    /// Full resolution: replaces every bound variable in `t` by its value,
+    /// recursively. Unbound variables remain as `Var` with their store
+    /// index.
+    pub fn resolve(&self, t: &Term) -> Term {
+        match self.deref(t) {
+            Term::Struct(name, args) => {
+                Term::struct_(name, args.iter().map(|a| self.resolve(a)).collect())
+            }
+            other => other,
+        }
+    }
+
+    /// `true` if `t` dereferences to an unbound variable.
+    pub fn is_unbound(&self, t: &Term) -> bool {
+        matches!(self.deref(t), Term::Var(_))
+    }
+
+    /// `true` if `t` is fully instantiated (no unbound variable anywhere).
+    pub fn is_ground(&self, t: &Term) -> bool {
+        match self.deref(t) {
+            Term::Var(_) => false,
+            Term::Struct(_, args) => args.iter().all(|a| self.is_ground(a)),
+            _ => true,
+        }
+    }
+
+    /// Truncates the store to `len` cells. Only valid when every cell at or
+    /// beyond `len` is unbound and untrailed (used by the machine to reclaim
+    /// query-local space between top-level solutions).
+    pub fn truncate(&mut self, len: usize) {
+        debug_assert!(self.trail.iter().all(|&v| v < len));
+        self.bindings.truncate(len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::Term;
+
+    #[test]
+    fn bind_and_deref() {
+        let mut s = Store::new();
+        let v = s.new_var();
+        assert!(s.is_unbound(&Term::Var(v)));
+        s.bind(v, Term::atom("a"));
+        assert_eq!(s.deref(&Term::Var(v)), Term::atom("a"));
+    }
+
+    #[test]
+    fn chains_deref_to_the_end() {
+        let mut s = Store::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.bind(a, Term::Var(b));
+        assert_eq!(s.deref(&Term::Var(a)), Term::Var(b));
+        s.bind(b, Term::Int(7));
+        assert_eq!(s.deref(&Term::Var(a)), Term::Int(7));
+    }
+
+    #[test]
+    fn undo_restores_unbound_state() {
+        let mut s = Store::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let m = s.mark();
+        s.bind(a, Term::Int(1));
+        s.bind(b, Term::Int(2));
+        s.undo_to(m);
+        assert!(s.is_unbound(&Term::Var(a)));
+        assert!(s.is_unbound(&Term::Var(b)));
+    }
+
+    #[test]
+    fn nested_undo_marks() {
+        let mut s = Store::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let m1 = s.mark();
+        s.bind(a, Term::Int(1));
+        let m2 = s.mark();
+        s.bind(b, Term::Int(2));
+        s.undo_to(m2);
+        assert_eq!(s.deref(&Term::Var(a)), Term::Int(1));
+        assert!(s.is_unbound(&Term::Var(b)));
+        s.undo_to(m1);
+        assert!(s.is_unbound(&Term::Var(a)));
+    }
+
+    #[test]
+    fn resolve_substitutes_deeply() {
+        let mut s = Store::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.bind(x, Term::app("f", vec![Term::Var(y)]));
+        s.bind(y, Term::atom("a"));
+        assert_eq!(
+            s.resolve(&Term::Var(x)),
+            Term::app("f", vec![Term::atom("a")])
+        );
+    }
+
+    #[test]
+    fn groundness_through_bindings() {
+        let mut s = Store::new();
+        let x = s.new_var();
+        let t = Term::app("f", vec![Term::Var(x)]);
+        assert!(!s.is_ground(&t));
+        s.bind(x, Term::Int(3));
+        assert!(s.is_ground(&t));
+    }
+}

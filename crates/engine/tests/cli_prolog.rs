@@ -1,0 +1,67 @@
+//! End-to-end tests for the `prolog` top-level binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_repl(files: &[(&str, &str)], stdin_text: &str) -> (String, String) {
+    let dir = std::env::temp_dir().join(format!("prolog-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut args = Vec::new();
+    for (name, content) in files {
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        args.push(path.to_string_lossy().to_string());
+    }
+    let mut child = Command::new(env!("CARGO_BIN_EXE_prolog"))
+        .args(&args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(stdin_text.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn consults_a_file_and_answers_queries() {
+    let (stdout, stderr) = run_repl(
+        &[("fam.pl", "mother(a, b). mother(c, b).")],
+        "mother(X, b).\n:halt\n",
+    );
+    assert!(stderr.contains("consulted"), "stderr: {stderr}");
+    assert!(stdout.contains("X = a"), "stdout: {stdout}");
+    assert!(stdout.contains("X = c"), "stdout: {stdout}");
+    assert!(stdout.contains("2 solutions"), "stdout: {stdout}");
+}
+
+#[test]
+fn reports_failure_and_syntax_errors() {
+    let (stdout, _) = run_repl(
+        &[("p.pl", "p(1).")],
+        "p(2).\np((.\n:halt\n",
+    );
+    assert!(stdout.contains("false."), "stdout: {stdout}");
+    assert!(stdout.contains("syntax error"), "stdout: {stdout}");
+}
+
+#[test]
+fn listing_prints_the_program() {
+    let (stdout, _) = run_repl(&[("q.pl", "q(7).")], ":listing\n:halt\n");
+    assert!(stdout.contains("q(7)."), "stdout: {stdout}");
+}
+
+#[test]
+fn counters_accumulate() {
+    let (stdout, _) = run_repl(&[("r.pl", "r(1). r(2).")], "r(X).\n:counters\n:halt\n");
+    assert!(stdout.contains("calls"), "stdout: {stdout}");
+}

@@ -1,0 +1,151 @@
+//! Generic absorbing Markov chains: fundamental matrix, expected visits,
+//! absorption probabilities (Kemeny & Snell, the paper's reference [12]).
+
+use crate::matrix::Matrix;
+
+/// An absorbing Markov chain in canonical form.
+///
+/// With `s` transient and `r − s` absorbing states, the transition matrix
+/// is partitioned as the paper writes it (§VI-A.2):
+///
+/// ```text
+///     P = | I  0 |
+///         | R  Q |
+/// ```
+///
+/// `Q` (`s × s`) holds transitions between transient states and `R`
+/// (`s × (r−s)`) transitions into absorbing states.
+#[derive(Debug, Clone)]
+pub struct AbsorbingChain {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl AbsorbingChain {
+    /// Builds a chain from its `Q` and `R` blocks. Panics if shapes are
+    /// inconsistent or any row's total outgoing probability exceeds 1 by
+    /// more than rounding error.
+    pub fn new(q: Matrix, r: Matrix) -> AbsorbingChain {
+        assert_eq!(q.rows(), q.cols(), "Q must be square");
+        assert_eq!(q.rows(), r.rows(), "Q and R must have equal heights");
+        for i in 0..q.rows() {
+            let total: f64 =
+                q.row(i).iter().sum::<f64>() + r.row(i).iter().sum::<f64>();
+            assert!(
+                total <= 1.0 + 1e-9,
+                "row {i} has outgoing probability {total} > 1"
+            );
+        }
+        AbsorbingChain { q, r }
+    }
+
+    pub fn num_transient(&self) -> usize {
+        self.q.rows()
+    }
+
+    pub fn num_absorbing(&self) -> usize {
+        self.r.cols()
+    }
+
+    /// The fundamental matrix `N = (I − Q)⁻¹`. `N[(i, j)]` is the expected
+    /// number of visits to transient state `j` starting from transient
+    /// state `i`. `None` if the chain is not actually absorbing (some
+    /// transient state never reaches absorption).
+    pub fn fundamental(&self) -> Option<Matrix> {
+        Matrix::identity(self.q.rows()).sub(&self.q).inverse()
+    }
+
+    /// Expected visits to each transient state, starting from `start`.
+    pub fn visits_from(&self, start: usize) -> Option<Vec<f64>> {
+        let n = self.fundamental()?;
+        Some(n.row(start).to_vec())
+    }
+
+    /// Probability of being absorbed into each absorbing state, starting
+    /// from `start`: the rows of `B = N·R`.
+    pub fn absorption_probs(&self, start: usize) -> Option<Vec<f64>> {
+        let n = self.fundamental()?;
+        let b = n.mul(&self.r);
+        Some(b.row(start).to_vec())
+    }
+
+    /// Expected total accumulated cost before absorption, starting from
+    /// `start`, where entering transient state `i` costs `costs[i]`:
+    /// `Σ_i costs[i] · v_i`.
+    pub fn expected_cost(&self, start: usize, costs: &[f64]) -> Option<f64> {
+        assert_eq!(costs.len(), self.num_transient());
+        let visits = self.visits_from(start)?;
+        Some(visits.iter().zip(costs).map(|(v, c)| v * c).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The textbook gambler's-ruin chain with 3 transient states and
+    /// p = 0.5 each way; absorbing at both ends.
+    fn gamblers_ruin() -> AbsorbingChain {
+        let q = Matrix::from_rows(&[
+            &[0.0, 0.5, 0.0],
+            &[0.5, 0.0, 0.5],
+            &[0.0, 0.5, 0.0],
+        ]);
+        // columns: ruin (from state 0), win (from state 2)
+        let r = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 0.0], &[0.0, 0.5]]);
+        AbsorbingChain::new(q, r)
+    }
+
+    #[test]
+    fn gamblers_ruin_absorption_probabilities() {
+        let chain = gamblers_ruin();
+        let probs = chain.absorption_probs(1).unwrap();
+        // symmetric start: equal chance of ruin and win
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[1] - 0.5).abs() < 1e-12);
+        let probs = chain.absorption_probs(0).unwrap();
+        assert!((probs[0] - 0.75).abs() < 1e-12);
+        assert!((probs[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamblers_ruin_expected_duration() {
+        let chain = gamblers_ruin();
+        // classic result: expected steps from the middle of {0..4} is
+        // k*(N-k) = 2*2 = 4... here positions 1..3 of a length-4 walk:
+        // from the middle state, expected steps = 3 (sum of visits with
+        // unit costs: 1 + 1.5 + ... ) — verify against N directly.
+        let visits = chain.visits_from(1).unwrap();
+        let total: f64 = visits.iter().sum();
+        assert!((total - 4.0).abs() < 1e-12);
+        let cost = chain.expected_cost(1, &[1.0, 1.0, 1.0]).unwrap();
+        assert!((cost - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorption_probabilities_sum_to_one() {
+        let chain = gamblers_ruin();
+        for start in 0..3 {
+            let probs = chain.absorption_probs(start).unwrap();
+            let total: f64 = probs.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "start {start}: {total}");
+        }
+    }
+
+    #[test]
+    fn non_absorbing_chain_is_rejected() {
+        // A transient state that loops forever: I - Q singular.
+        let q = Matrix::from_rows(&[&[1.0]]);
+        let r = Matrix::from_rows(&[&[0.0]]);
+        let chain = AbsorbingChain::new(q, r);
+        assert!(chain.fundamental().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "outgoing probability")]
+    fn overfull_rows_panic() {
+        let q = Matrix::from_rows(&[&[0.9]]);
+        let r = Matrix::from_rows(&[&[0.3]]);
+        AbsorbingChain::new(q, r);
+    }
+}

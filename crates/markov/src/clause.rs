@@ -1,0 +1,379 @@
+//! The paper's clause-body chains (Figs. 4 and 5) and their closed forms.
+//!
+//! Given per-goal success probabilities `p_i` and costs `c_i`, a clause
+//! body `:- g1, …, gn` becomes a chain whose transient states are the
+//! goals: from goal `i` the process moves forward with probability `p_i`
+//! (to goal `i+1`, or to success `S` after the last goal) and backtracks
+//! with probability `1 − p_i` (to goal `i−1`, or to failure `F` from the
+//! first goal).
+
+use crate::chain::AbsorbingChain;
+use crate::matrix::Matrix;
+
+/// Success probability and expected cost of one goal in its calling mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoalStats {
+    /// Probability that a call to the goal succeeds (at least once).
+    pub p: f64,
+    /// Expected cost (predicate calls) of one activation of the goal.
+    pub cost: f64,
+}
+
+impl GoalStats {
+    pub fn new(p: f64, cost: f64) -> GoalStats {
+        GoalStats { p, cost }
+    }
+
+    /// Failure probability `q = 1 − p`.
+    pub fn q(&self) -> f64 {
+        1.0 - self.p
+    }
+
+    /// Probabilities clamped away from 0 and 1 so the chains stay
+    /// absorbing. The Markov model treats every re-entry to a goal as an
+    /// independent trial, so a goal with `p = 1` would enumerate forever;
+    /// real deterministic goals fail on redo. Clamping keeps the model
+    /// finite while preserving the ordering heuristic (§VI-A.1 notes the
+    /// model "only approximates" execution).
+    pub fn clamped(&self) -> GoalStats {
+        const EPS: f64 = 1e-6;
+        GoalStats { p: self.p.clamp(EPS, 1.0 - EPS), cost: self.cost.max(0.0) }
+    }
+}
+
+/// The Markov model of one clause body.
+#[derive(Debug, Clone)]
+pub struct ClauseChain {
+    goals: Vec<GoalStats>,
+}
+
+impl ClauseChain {
+    /// Builds the model; probabilities are clamped (see
+    /// [`GoalStats::clamped`]).
+    pub fn new(goals: &[GoalStats]) -> ClauseChain {
+        assert!(!goals.is_empty(), "clause chain needs at least one goal");
+        ClauseChain { goals: goals.iter().map(GoalStats::clamped).collect() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.goals.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The single-solution chain (Fig. 4): goals transient; `S`, `F`
+    /// absorbing (columns 0 = S, 1 = F in `R`).
+    pub fn single_solution_chain(&self) -> AbsorbingChain {
+        let n = self.goals.len();
+        let mut q = Matrix::zeros(n, n);
+        let mut r = Matrix::zeros(n, 2);
+        for (i, g) in self.goals.iter().enumerate() {
+            // forward
+            if i + 1 < n {
+                q[(i, i + 1)] = g.p;
+            } else {
+                r[(i, 0)] = g.p; // success
+            }
+            // backtrack
+            if i == 0 {
+                r[(i, 1)] = g.q(); // failure
+            } else {
+                q[(i, i - 1)] = g.q();
+            }
+        }
+        AbsorbingChain::new(q, r)
+    }
+
+    /// The all-solutions chain (Fig. 5): `S` becomes transient with a
+    /// probability-1 arc back to the last goal; only `F` is absorbing.
+    /// Transient states: goals `0..n`, then `S` at index `n`.
+    pub fn all_solutions_chain(&self) -> AbsorbingChain {
+        let n = self.goals.len();
+        let mut q = Matrix::zeros(n + 1, n + 1);
+        let mut r = Matrix::zeros(n + 1, 1);
+        for (i, g) in self.goals.iter().enumerate() {
+            q[(i, i + 1)] = g.p; // forward (last goal's "i+1" is S)
+            if i == 0 {
+                r[(i, 0)] = g.q();
+            } else {
+                q[(i, i - 1)] = g.q();
+            }
+        }
+        q[(n, n - 1)] = 1.0; // S returns to the last goal to look for more
+        AbsorbingChain::new(q, r)
+    }
+
+    /// `p_body`: probability the clause body succeeds at least once —
+    /// absorption into `S` of the single-solution chain (§VI-A.2).
+    pub fn success_probability(&self) -> f64 {
+        self.single_solution_chain()
+            .absorption_probs(0)
+            .expect("single-solution chain is absorbing")[0]
+    }
+
+    /// Expected cost of running the body to its first success or final
+    /// failure: `Σ c_i v_i` on the single-solution chain.
+    pub fn single_solution_cost(&self) -> f64 {
+        let costs: Vec<f64> = self.goals.iter().map(|g| g.cost).collect();
+        self.single_solution_chain()
+            .expected_cost(0, &costs)
+            .expect("single-solution chain is absorbing")
+    }
+
+    /// Expected total cost of enumerating *all* solutions: `Σ c_i v_i` on
+    /// the all-solutions chain (visits to `S` itself cost nothing).
+    pub fn all_solutions_cost(&self) -> f64 {
+        let mut costs: Vec<f64> = self.goals.iter().map(|g| g.cost).collect();
+        costs.push(0.0); // S
+        self.all_solutions_chain()
+            .expected_cost(0, &costs)
+            .expect("all-solutions chain is absorbing")
+    }
+
+    /// Expected number of solutions: visits to `S` in the all-solutions
+    /// chain — closed form `Π p_i / (1 − p_i)`.
+    pub fn expected_solutions(&self) -> f64 {
+        self.goals.iter().map(|g| g.p / g.q()).product()
+    }
+
+    /// `c_multiple` (§VI-A.2): expected cost per solution on the
+    /// all-solutions chain, `(1/v_S) Σ c_i v_i`.
+    pub fn cost_per_solution(&self) -> f64 {
+        self.all_solutions_cost() / self.expected_solutions()
+    }
+
+    /// Closed form for the all-solutions visit counts:
+    /// `v_i = (Π_{j<i} p_j) / (Π_{j≤i} (1 − p_j))` (the "tidy form" of
+    /// §VI-A.2). Returns goal visits only (not `v_S`).
+    pub fn all_solutions_visits_closed_form(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.goals.len());
+        let mut num = 1.0; // Π_{j<i} p_j
+        let mut den = 1.0; // Π_{j≤i} (1 − p_j)
+        for g in &self.goals {
+            den *= g.q();
+            out.push(num / den);
+            num *= g.p;
+        }
+        out
+    }
+
+    /// Closed-form all-solutions cost `Σ c_i v_i` — must agree with
+    /// [`ClauseChain::all_solutions_cost`]; cheap enough for the inner loop
+    /// of permutation search.
+    pub fn all_solutions_cost_closed_form(&self) -> f64 {
+        self.all_solutions_visits_closed_form()
+            .iter()
+            .zip(&self.goals)
+            .map(|(v, g)| v * g.cost)
+            .sum()
+    }
+
+    /// The *generator-tree* cost refinement: each goal's full-enumeration
+    /// cost is charged **once per fresh activation** — and goal `i` is
+    /// freshly activated once per solution tuple of its predecessors:
+    /// `Σ c_i · Π_{j<i} E_j` with `E_j = p_j/(1−p_j)`.
+    ///
+    /// The paper's chain (Fig. 5) instead charges `c_i` on every visit,
+    /// including redo visits whose real call cost is already part of a
+    /// goal's enumeration cost — an over-count that grows with solution
+    /// multiplicity. Both are available so the reorderer can be run (and
+    /// ablated) under either model.
+    pub fn generator_cost(&self) -> f64 {
+        let mut total = 0.0;
+        let mut activations = 1.0;
+        for g in &self.goals {
+            total += activations * g.cost;
+            activations *= g.p / g.q();
+        }
+        total
+    }
+
+    /// Expected cost of the *failure* of the whole conjunction, as used in
+    /// the paper's Fig. 2 walk-through: the cost accumulated assuming the
+    /// clause is entered and every prefix of goals that succeeds is paid
+    /// for, weighted by where the first failure happens. Computed on the
+    /// explicit expansion the paper prints:
+    /// `q1·c1 + p1·q2·(c1+c2) + p1·p2·q3·(c1+c2+c3) + …`.
+    pub fn expected_failure_cost_first_pass(&self) -> f64 {
+        let mut total = 0.0;
+        let mut prefix_p = 1.0;
+        let mut prefix_cost = 0.0;
+        for g in &self.goals {
+            prefix_cost += g.cost;
+            total += prefix_p * g.q() * prefix_cost;
+            prefix_p *= g.p;
+        }
+        total
+    }
+
+    /// Expected cost of reaching the first success, on the paper's Fig. 1
+    /// expansion for clause (OR-node) ordering:
+    /// `p1·c1 + q1·p2·(c1+c2) + q1·q2·p3·(c1+c2+c3) + …`.
+    /// (For OR-nodes the roles of p and q swap relative to
+    /// [`ClauseChain::expected_failure_cost_first_pass`].)
+    pub fn expected_success_cost_first_pass(&self) -> f64 {
+        let mut total = 0.0;
+        let mut prefix_q = 1.0;
+        let mut prefix_cost = 0.0;
+        for g in &self.goals {
+            prefix_cost += g.cost;
+            total += prefix_q * g.p * prefix_cost;
+            prefix_q *= g.q();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn goals(ps: &[f64], cs: &[f64]) -> Vec<GoalStats> {
+        ps.iter().zip(cs).map(|(&p, &c)| GoalStats::new(p, c)).collect()
+    }
+
+    #[test]
+    fn single_goal_success_probability_is_p() {
+        let chain = ClauseChain::new(&[GoalStats::new(0.3, 10.0)]);
+        assert!((chain.success_probability() - 0.3).abs() < 1e-9);
+        assert!((chain.single_solution_cost() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_goals_multiply_no_that_is_wrong_backtracking_matters() {
+        // With backtracking the process can retry: p_body for two goals is
+        // NOT p1*p2 in this chain — failure of goal 2 retries goal 1.
+        // For p = (0.5, 0.5): from g1: S prob satisfies
+        // x = p1*(p2 + q2*x') pattern; verify against the matrix and a
+        // hand computation: absorption into S from state 1 of the
+        // birth-death chain = (p1 p2)/(1 - p2 q1)… derive numerically.
+        let chain = ClauseChain::new(&goals(&[0.5, 0.5], &[1.0, 1.0]));
+        let p = chain.success_probability();
+        // Hand: let a = P(S | at g1), b = P(S | at g2).
+        // a = 0.5*b;  b = 0.5 + 0.5*a  =>  a = 0.5*(0.5+0.5a) => a = 1/3...
+        // a = 0.25 + 0.25a => a = 1/3.
+        assert!((p - 1.0 / 3.0).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn matrix_and_closed_form_visits_agree() {
+        let chain = ClauseChain::new(&goals(&[0.7, 0.8, 0.5, 0.9], &[100.0, 80.0, 100.0, 40.0]));
+        let closed = chain.all_solutions_visits_closed_form();
+        let matrix = chain
+            .all_solutions_chain()
+            .visits_from(0)
+            .expect("chain absorbs");
+        for (i, (a, b)) in closed.iter().zip(&matrix).enumerate() {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "visit {i}: {a} vs {b}");
+        }
+        // v_S from matrix equals the closed-form product
+        assert!(
+            (matrix[4] - chain.expected_solutions()).abs()
+                < 1e-6 * (1.0 + matrix[4].abs())
+        );
+    }
+
+    #[test]
+    fn matrix_and_closed_form_costs_agree() {
+        let chain = ClauseChain::new(&goals(&[0.2, 0.9, 0.7, 0.4], &[70.0, 100.0, 100.0, 60.0]));
+        let a = chain.all_solutions_cost();
+        let b = chain.all_solutions_cost_closed_form();
+        assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn fig4_single_solution_matrix_structure() {
+        // For k :- a, b, c, d the single-solution P has the structure the
+        // paper prints (§VI-A.2): from a: F w.p. 1-p_a, b w.p. p_a; etc.
+        let ps = [0.7, 0.8, 0.5, 0.9];
+        let chain = ClauseChain::new(&goals(&ps, &[1.0; 4]));
+        let ab = chain.single_solution_chain();
+        let probs = ab.absorption_probs(0).unwrap();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // success probability is strictly above the no-backtracking product
+        let product: f64 = ps.iter().product();
+        assert!(probs[0] > product);
+        assert!(probs[0] < 1.0);
+    }
+
+    #[test]
+    fn paper_fig2_failure_cost_numbers() {
+        // Fig. 2: q = (0.8, 0.1, 0.3, 0.6), c = (70, 100, 100, 60):
+        // original order expected failure cost 98.928.
+        let ps: Vec<f64> = [0.8, 0.1, 0.3, 0.6].iter().map(|q| 1.0 - q).collect();
+        let chain = ClauseChain::new(&goals(&ps, &[70.0, 100.0, 100.0, 60.0]));
+        let cost = chain.expected_failure_cost_first_pass();
+        assert!((cost - 98.928).abs() < 1e-9, "cost = {cost}");
+    }
+
+    #[test]
+    fn paper_fig1_success_cost_numbers() {
+        // Fig. 1: p = (0.7, 0.8, 0.5, 0.9), c = (100, 80, 100, 40):
+        // original order expected single-solution cost 130.24.
+        let chain = ClauseChain::new(&goals(&[0.7, 0.8, 0.5, 0.9], &[100.0, 80.0, 100.0, 40.0]));
+        let cost = chain.expected_success_cost_first_pass();
+        assert!((cost - 130.24).abs() < 1e-9, "cost = {cost}");
+    }
+
+    #[test]
+    fn expected_solutions_for_generators() {
+        // A goal with p near 1 clamps rather than diverging.
+        let chain = ClauseChain::new(&[GoalStats::new(1.0, 1.0)]);
+        assert!(chain.expected_solutions().is_finite());
+        // p/q for p = 0.5 is exactly 1 solution expected
+        let chain = ClauseChain::new(&[GoalStats::new(0.5, 1.0)]);
+        assert!((chain.expected_solutions() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generator_cost_charges_once_per_activation() {
+        // Deterministic conjunction (E = 1 each): generator cost is the
+        // plain sum of goal costs; the chain model would charge each goal
+        // twice (call + final backtracking sweep).
+        let det = ClauseChain::new(&goals(&[0.5, 0.5, 0.5], &[10.0, 20.0, 30.0]));
+        assert!((det.generator_cost() - 60.0).abs() < 1e-9);
+        assert!(det.all_solutions_cost_closed_form() > det.generator_cost());
+        // A 3-solution generator activates its successor 3 times.
+        let chain = ClauseChain::new(&[
+            GoalStats::new(0.75, 1.0), // E = 3
+            GoalStats::new(0.5, 10.0),
+        ]);
+        assert!((chain.generator_cost() - (1.0 + 3.0 * 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generator_cost_is_monotone_in_prefix() {
+        let gs = goals(&[0.3, 0.9, 0.6, 0.2], &[5.0, 7.0, 11.0, 3.0]);
+        for k in 1..gs.len() {
+            let a = ClauseChain::new(&gs[..k]).generator_cost();
+            let b = ClauseChain::new(&gs[..k + 1]).generator_cost();
+            assert!(a <= b + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cost_per_solution_consistency() {
+        let chain = ClauseChain::new(&goals(&[0.6, 0.4], &[5.0, 7.0]));
+        let per = chain.cost_per_solution();
+        let total = chain.all_solutions_cost();
+        let sols = chain.expected_solutions();
+        assert!((per - total / sols).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_by_q_over_c_lowers_failure_cost() {
+        // The paper's Fig. 2 example: reordering to decreasing q/c lowers
+        // the expected failure cost from 98.928 to 78.968.
+        let _qs = [0.8, 0.1, 0.3, 0.6];
+        let _cs = [70.0, 100.0, 100.0, 60.0];
+        // order by decreasing q/c: indices by q/c = (0.01143, 0.001, 0.003, 0.01)
+        // => order 0 (a), 3 (d), 2 (c), 1 (b)
+        let ps_new: Vec<f64> = [0.8, 0.6, 0.3, 0.1].iter().map(|q| 1.0 - q).collect();
+        let cs_new = [70.0, 60.0, 100.0, 100.0];
+        let reordered = ClauseChain::new(&goals(&ps_new, &cs_new));
+        let cost = reordered.expected_failure_cost_first_pass();
+        assert!((cost - 78.968).abs() < 1e-9, "cost = {cost}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Absorbing Markov chain cost/probability model for Prolog clause bodies.
+//!
+//! The paper (§VI, after Li & Wah) models the body of a clause as an
+//! absorbing Markov chain whose states are the goals plus success/failure
+//! absorbing states. Two chains are used:
+//!
+//! * the **single-solution** chain (Fig. 4): `S` and `F` both absorbing —
+//!   its absorption probability into `S` is the clause's success
+//!   probability `p_body`, and the visit counts give the expected cost of
+//!   finding the *first* solution;
+//! * the **all-solutions** chain (Fig. 5): an arc of probability 1 from `S`
+//!   back to the last goal — its visit counts give the total expected cost
+//!   of enumerating every solution, and `v_S` the expected number of
+//!   solutions.
+//!
+//! This crate provides the dense-matrix machinery (`N = (I − Q)⁻¹`, the
+//! fundamental matrix), the clause-specific chain constructions, and the
+//! closed forms the paper prints, cross-checked against each other in the
+//! test suites. It replaces the external C matrix routine the authors call.
+
+pub mod chain;
+pub mod clause;
+pub mod matrix;
+
+pub use chain::AbsorbingChain;
+pub use clause::{ClauseChain, GoalStats};
+pub use matrix::Matrix;

@@ -1,0 +1,256 @@
+//! Small dense matrices over `f64` with LU-based solving.
+//!
+//! Clause bodies have a handful of goals, so the matrices here are tiny
+//! (n ≤ ~20). Partial-pivoted LU decomposition is numerically ample for
+//! transition matrices whose entries are probabilities.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from rows; panics if the rows are ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged matrix rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix product.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in matrix product");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+        out
+    }
+
+    /// Solves `self * X = B` by LU decomposition with partial pivoting.
+    /// Returns `None` if the matrix is singular to working precision.
+    pub fn solve(&self, b: &Matrix) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
+        assert_eq!(self.rows, b.rows, "right-hand side has wrong height");
+        let n = self.rows;
+        let mut lu = self.clone();
+        let mut x = b.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for col in 0..n {
+            // pivot
+            let mut pivot = col;
+            let mut best = lu[(perm[col], col)].abs();
+            for row in col + 1..n {
+                let v = lu[(perm[row], col)].abs();
+                if v > best {
+                    best = v;
+                    pivot = row;
+                }
+            }
+            if best < 1e-12 {
+                return None;
+            }
+            perm.swap(col, pivot);
+            let p = perm[col];
+            // eliminate
+            for row in col + 1..n {
+                let r = perm[row];
+                let factor = lu[(r, col)] / lu[(p, col)];
+                lu[(r, col)] = factor;
+                for j in col + 1..n {
+                    let v = lu[(p, j)];
+                    lu[(r, j)] -= factor * v;
+                }
+                for j in 0..x.cols {
+                    let v = x[(p, j)];
+                    x[(r, j)] -= factor * v;
+                }
+            }
+        }
+        // back substitution
+        let mut out = Matrix::zeros(n, b.cols);
+        for j in 0..b.cols {
+            for row in (0..n).rev() {
+                let r = perm[row];
+                let mut sum = x[(r, j)];
+                for col in row + 1..n {
+                    sum -= lu[(r, col)] * out[(col, j)];
+                }
+                out[(row, j)] = sum / lu[(r, row)];
+            }
+        }
+        Some(out)
+    }
+
+    /// Matrix inverse via [`Matrix::solve`] against the identity.
+    pub fn inverse(&self) -> Option<Matrix> {
+        self.solve(&Matrix::identity(self.rows))
+    }
+
+    /// Maximum absolute elementwise difference.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:10.6} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_anything() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(i.mul(&a), a);
+        assert_eq!(a.mul(&i), a);
+    }
+
+    #[test]
+    fn product_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.mul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn solve_2x2() {
+        // x + 2y = 5; 3x + 4y = 11  =>  x = 1, y = 2
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0], &[11.0]]);
+        let x = a.solve(&b).unwrap();
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // zero on the diagonal forces a row swap
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[7.0]]);
+        let x = a.solve(&b).unwrap();
+        assert!((x[(0, 0)] - 7.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 7.0, 2.0],
+            &[3.0, 6.0, 1.0],
+            &[2.0, 5.0, 3.0],
+        ]);
+        let inv = a.inverse().unwrap();
+        let prod = a.mul(&inv);
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn sub_elementwise() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 0.25]]);
+        let d = a.sub(&b);
+        assert_eq!(d[(0, 0)], 0.5);
+        assert_eq!(d[(1, 1)], 0.75);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the Markov model: the matrix computations and the
+//! paper's closed forms must agree on arbitrary inputs, and the cost
+//! function must be monotone in prefix extension (the admissibility
+//! requirement for the A* search, §VI-A.3).
+
+use proptest::prelude::*;
+use prolog_markov::{ClauseChain, GoalStats, Matrix};
+
+fn goal_vec() -> impl Strategy<Value = Vec<GoalStats>> {
+    prop::collection::vec(
+        (0.01f64..0.99, 0.1f64..200.0).prop_map(|(p, c)| GoalStats::new(p, c)),
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn closed_form_matches_fundamental_matrix(goals in goal_vec()) {
+        let chain = ClauseChain::new(&goals);
+        let matrix = chain.all_solutions_cost();
+        let closed = chain.all_solutions_cost_closed_form();
+        let scale = 1.0 + matrix.abs();
+        prop_assert!((matrix - closed).abs() / scale < 1e-6,
+            "matrix {matrix} vs closed {closed}");
+    }
+
+    #[test]
+    fn closed_form_visits_match(goals in goal_vec()) {
+        let chain = ClauseChain::new(&goals);
+        let visits = chain.all_solutions_chain().visits_from(0).unwrap();
+        let closed = chain.all_solutions_visits_closed_form();
+        for (i, (m, c)) in visits.iter().zip(&closed).enumerate() {
+            prop_assert!((m - c).abs() / (1.0 + c.abs()) < 1e-6, "visit {i}: {m} vs {c}");
+        }
+        // v_S equals the product form
+        let vs = visits[goals.len()];
+        prop_assert!((vs - chain.expected_solutions()).abs() / (1.0 + vs.abs()) < 1e-6);
+    }
+
+    #[test]
+    fn absorption_probabilities_sum_to_one(goals in goal_vec()) {
+        let chain = ClauseChain::new(&goals).single_solution_chain();
+        for start in 0..chain.num_transient() {
+            let probs = chain.absorption_probs(start).unwrap();
+            let total: f64 = probs.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-8, "start {start}: {total}");
+        }
+    }
+
+    #[test]
+    fn success_probability_is_a_probability(goals in goal_vec()) {
+        let chain = ClauseChain::new(&goals);
+        let p = chain.success_probability();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn cost_is_monotone_in_prefix_extension(goals in goal_vec()) {
+        // Admissibility for A*: the all-solutions cost of a prefix never
+        // exceeds the cost of any extension.
+        for k in 1..goals.len() {
+            let prefix = ClauseChain::new(&goals[..k]).all_solutions_cost_closed_form();
+            let longer = ClauseChain::new(&goals[..k + 1]).all_solutions_cost_closed_form();
+            prop_assert!(prefix <= longer + 1e-9,
+                "prefix {k}: {prefix} > extension {longer}");
+        }
+    }
+
+    #[test]
+    fn success_probability_exceeds_independent_product(goals in goal_vec()) {
+        // Backtracking can only help: absorption into S is at least the
+        // no-retry product Π p_i.
+        let chain = ClauseChain::new(&goals);
+        let product: f64 = goals.iter().map(|g| g.p).product();
+        prop_assert!(chain.success_probability() >= product - 1e-9);
+    }
+
+    #[test]
+    fn matrix_inverse_round_trips(n in 1usize..6, seed in 0u64..1000) {
+        // Build a diagonally dominant (hence invertible) matrix.
+        let mut m = Matrix::zeros(n, n);
+        let mut x = seed;
+        let mut rnd = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) as f64) / (u32::MAX as f64)
+        };
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v = rnd() - 0.5;
+                    m[(i, j)] = v;
+                    row_sum += v.abs();
+                }
+            }
+            m[(i, i)] = row_sum + 1.0;
+        }
+        let inv = m.inverse().expect("diagonally dominant matrices invert");
+        let prod = m.mul(&inv);
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(n)) < 1e-8);
+    }
+}

@@ -1,0 +1,443 @@
+//! Clause-level AST: clause heads, typed bodies, and whole source programs.
+//!
+//! The reorderer's mobility rules (paper §IV) are stated over control
+//! constructs — conjunction, disjunction, if-then-else, negation, and the
+//! cut — so bodies are kept as a typed tree rather than raw `','/2` terms.
+//! [`Body::from_term`] and [`Body::to_term`] convert between the two views.
+
+use crate::symbol::sym;
+use crate::term::{PredId, Term};
+use std::fmt;
+
+/// The body of a clause (or a goal argument of `\+`, `findall/3`, …).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Body {
+    /// The trivially succeeding goal `true`.
+    True,
+    /// The trivially failing goal `fail`.
+    Fail,
+    /// The cut `!`.
+    Cut,
+    /// A plain goal: an atom or structure naming a user or built-in
+    /// predicate.
+    Call(Term),
+    /// Conjunction `a, b`.
+    And(Box<Body>, Box<Body>),
+    /// Disjunction `a ; b`.
+    Or(Box<Body>, Box<Body>),
+    /// If-then-else `(c -> t ; e)`. A bare `c -> t` is represented with an
+    /// `else` of [`Body::Fail`], matching its operational semantics.
+    IfThenElse(Box<Body>, Box<Body>, Box<Body>),
+    /// Negation as failure `\+ g` (also written `not(g)`).
+    Not(Box<Body>),
+}
+
+impl Body {
+    /// Converts a term (as produced by the reader) into a typed body.
+    /// `','`, `';'`, `'->'`, `'\+'`/`not`, `'!'`, `true`, and `fail`/`false`
+    /// are given structure; everything else becomes a [`Body::Call`].
+    pub fn from_term(term: &Term) -> Body {
+        match term {
+            Term::Atom(a) if *a == sym("true") => Body::True,
+            Term::Atom(a) if *a == sym("fail") || *a == sym("false") => Body::Fail,
+            Term::Atom(a) if *a == sym("!") => Body::Cut,
+            Term::Struct(f, args) if *f == sym(",") && args.len() == 2 => Body::And(
+                Box::new(Body::from_term(&args[0])),
+                Box::new(Body::from_term(&args[1])),
+            ),
+            Term::Struct(f, args) if *f == sym(";") && args.len() == 2 => {
+                // (C -> T ; E) is an if-then-else, not a disjunction whose
+                // left branch happens to be an implication.
+                if let Term::Struct(arrow, ct) = &args[0] {
+                    if *arrow == sym("->") && ct.len() == 2 {
+                        return Body::IfThenElse(
+                            Box::new(Body::from_term(&ct[0])),
+                            Box::new(Body::from_term(&ct[1])),
+                            Box::new(Body::from_term(&args[1])),
+                        );
+                    }
+                }
+                Body::Or(
+                    Box::new(Body::from_term(&args[0])),
+                    Box::new(Body::from_term(&args[1])),
+                )
+            }
+            Term::Struct(f, args) if *f == sym("->") && args.len() == 2 => Body::IfThenElse(
+                Box::new(Body::from_term(&args[0])),
+                Box::new(Body::from_term(&args[1])),
+                Box::new(Body::Fail),
+            ),
+            Term::Struct(f, args)
+                if (*f == sym("\\+") || *f == sym("not")) && args.len() == 1 =>
+            {
+                Body::Not(Box::new(Body::from_term(&args[0])))
+            }
+            other => Body::Call(other.clone()),
+        }
+    }
+
+    /// Converts the body back into a term, the inverse of [`Body::from_term`]
+    /// up to the `fail`/`false` and `\+`/`not` synonym choices.
+    pub fn to_term(&self) -> Term {
+        match self {
+            Body::True => Term::atom("true"),
+            Body::Fail => Term::atom("fail"),
+            Body::Cut => Term::atom("!"),
+            Body::Call(t) => t.clone(),
+            Body::And(a, b) => Term::app(",", vec![a.to_term(), b.to_term()]),
+            Body::Or(a, b) => Term::app(";", vec![a.to_term(), b.to_term()]),
+            Body::IfThenElse(c, t, e) => {
+                let ct = Term::app("->", vec![c.to_term(), t.to_term()]);
+                match **e {
+                    Body::Fail => ct,
+                    _ => Term::app(";", vec![ct, e.to_term()]),
+                }
+            }
+            Body::Not(g) => Term::app("\\+", vec![g.to_term()]),
+        }
+    }
+
+    /// Flattens a conjunction into its top-level goals, left to right.
+    /// `(a, (b, c))` and `((a, b), c)` both yield `[a, b, c]`.
+    pub fn conjuncts(&self) -> Vec<&Body> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a Body>) {
+        match self {
+            Body::And(a, b) => {
+                a.collect_conjuncts(out);
+                b.collect_conjuncts(out);
+            }
+            other => out.push(other),
+        }
+    }
+
+    /// Rebuilds a conjunction from goals; an empty slice yields `true`.
+    pub fn conjoin(goals: &[Body]) -> Body {
+        match goals.split_last() {
+            None => Body::True,
+            Some((last, rest)) => rest
+                .iter()
+                .rev()
+                .fold(last.clone(), |acc, g| Body::And(Box::new(g.clone()), Box::new(acc))),
+        }
+    }
+
+    /// All predicate calls made anywhere in the body, including inside
+    /// control constructs. Used by the call-graph and fixity analyses.
+    pub fn called_preds(&self) -> Vec<PredId> {
+        let mut out = Vec::new();
+        self.collect_called(&mut out);
+        out
+    }
+
+    fn collect_called(&self, out: &mut Vec<PredId>) {
+        match self {
+            Body::Call(t) => {
+                if let Some(id) = t.pred_id() {
+                    if !out.contains(&id) {
+                        out.push(id);
+                    }
+                }
+            }
+            Body::And(a, b) | Body::Or(a, b) => {
+                a.collect_called(out);
+                b.collect_called(out);
+            }
+            Body::IfThenElse(c, t, e) => {
+                c.collect_called(out);
+                t.collect_called(out);
+                e.collect_called(out);
+            }
+            Body::Not(g) => g.collect_called(out),
+            Body::True | Body::Fail | Body::Cut => {}
+        }
+    }
+
+    /// Distinct variable indices in first-occurrence order.
+    pub fn variables(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<usize>) {
+        match self {
+            Body::Call(t) => {
+                for v in t.variables() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            Body::And(a, b) | Body::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Body::IfThenElse(c, t, e) => {
+                c.collect_vars(out);
+                t.collect_vars(out);
+                e.collect_vars(out);
+            }
+            Body::Not(g) => g.collect_vars(out),
+            Body::True | Body::Fail | Body::Cut => {}
+        }
+    }
+
+    /// `true` if a cut occurs anywhere in the body, including inside
+    /// disjunctions (where it still cuts the enclosing clause in DEC-10
+    /// semantics).
+    pub fn contains_cut(&self) -> bool {
+        match self {
+            Body::Cut => true,
+            Body::And(a, b) | Body::Or(a, b) => a.contains_cut() || b.contains_cut(),
+            // The condition of an if-then-else and the argument of `\+` run
+            // in their own cut scope.
+            Body::IfThenElse(_, t, e) => t.contains_cut() || e.contains_cut(),
+            Body::Not(_) | Body::True | Body::Fail | Body::Call(_) => false,
+        }
+    }
+
+    /// Applies `f` to every variable index in the body.
+    pub fn map_vars(&self, f: &mut impl FnMut(usize) -> Term) -> Body {
+        match self {
+            Body::Call(t) => Body::Call(t.map_vars(f)),
+            Body::And(a, b) => Body::And(Box::new(a.map_vars(f)), Box::new(b.map_vars(f))),
+            Body::Or(a, b) => Body::Or(Box::new(a.map_vars(f)), Box::new(b.map_vars(f))),
+            Body::IfThenElse(c, t, e) => Body::IfThenElse(
+                Box::new(c.map_vars(f)),
+                Box::new(t.map_vars(f)),
+                Box::new(e.map_vars(f)),
+            ),
+            Body::Not(g) => Body::Not(Box::new(g.map_vars(f))),
+            other => other.clone(),
+        }
+    }
+}
+
+/// A program clause `Head :- Body.` (facts have body `true`).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Clause {
+    pub head: Term,
+    pub body: Body,
+    /// Source names of the clause's variables; index `i` names `Term::Var(i)`.
+    /// Fresh variables introduced by transformations get generated names.
+    pub var_names: Vec<String>,
+}
+
+impl Clause {
+    /// A fact with the given head.
+    pub fn fact(head: Term) -> Clause {
+        let nvars = head.max_var().map_or(0, |v| v + 1);
+        Clause {
+            head,
+            body: Body::True,
+            var_names: (0..nvars).map(|i| format!("_G{i}")).collect(),
+        }
+    }
+
+    /// A rule with the given head and body, generating placeholder names for
+    /// all variables.
+    pub fn rule(head: Term, body: Body) -> Clause {
+        let mut nvars = head.max_var().map_or(0, |v| v + 1);
+        if let Some(v) = body.variables().into_iter().max() {
+            nvars = nvars.max(v + 1);
+        }
+        Clause {
+            head,
+            body,
+            var_names: (0..nvars).map(|i| format!("_G{i}")).collect(),
+        }
+    }
+
+    /// The predicate this clause belongs to.
+    pub fn pred_id(&self) -> PredId {
+        self.head
+            .pred_id()
+            .expect("clause head must be an atom or structure")
+    }
+
+    /// `true` if the clause is a fact (body `true`).
+    pub fn is_fact(&self) -> bool {
+        matches!(self.body, Body::True)
+    }
+
+    /// Number of variables used by the clause.
+    pub fn num_vars(&self) -> usize {
+        let mut max = self.head.max_var();
+        if let Some(v) = self.body.variables().into_iter().max() {
+            max = Some(max.map_or(v, |m| m.max(v)));
+        }
+        max.map_or(0, |v| v + 1)
+    }
+}
+
+/// A source-level directive `:- Goal.` kept verbatim; the analysis crate
+/// interprets `mode/1`, `legal_mode/1`, `entry/1`, and friends.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Directive {
+    pub goal: Term,
+}
+
+/// A parsed Prolog source file: clauses in textual order plus directives.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SourceProgram {
+    pub clauses: Vec<Clause>,
+    pub directives: Vec<Directive>,
+}
+
+impl SourceProgram {
+    /// Clauses of one predicate, in textual order.
+    pub fn clauses_of(&self, pred: PredId) -> Vec<&Clause> {
+        self.clauses.iter().filter(|c| c.pred_id() == pred).collect()
+    }
+
+    /// The distinct predicates defined by this program, in order of first
+    /// definition.
+    pub fn predicates(&self) -> Vec<PredId> {
+        let mut out = Vec::new();
+        for clause in &self.clauses {
+            let id = clause.pred_id();
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Appends all clauses and directives of `other`.
+    pub fn extend(&mut self, other: SourceProgram) {
+        self.clauses.extend(other.clauses);
+        self.directives.extend(other.directives);
+    }
+}
+
+impl fmt::Display for SourceProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::pretty::program_to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(name: &str, args: Vec<Term>) -> Body {
+        Body::Call(Term::app(name, args))
+    }
+
+    #[test]
+    fn body_round_trip_through_terms() {
+        let b = Body::And(
+            Box::new(call("a", vec![Term::Var(0)])),
+            Box::new(Body::Or(
+                Box::new(call("b", vec![])),
+                Box::new(Body::Not(Box::new(call("c", vec![])))),
+            )),
+        );
+        assert_eq!(Body::from_term(&b.to_term()), b);
+    }
+
+    #[test]
+    fn if_then_else_recognised() {
+        // (c -> t ; e)
+        let t = Term::app(
+            ";",
+            vec![
+                Term::app("->", vec![Term::atom("c"), Term::atom("t")]),
+                Term::atom("e"),
+            ],
+        );
+        match Body::from_term(&t) {
+            Body::IfThenElse(c, th, e) => {
+                assert_eq!(*c, call("c", vec![]));
+                assert_eq!(*th, call("t", vec![]));
+                assert_eq!(*e, call("e", vec![]));
+            }
+            other => panic!("expected if-then-else, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_if_then_gets_fail_else() {
+        let t = Term::app("->", vec![Term::atom("c"), Term::atom("t")]);
+        match Body::from_term(&t) {
+            Body::IfThenElse(_, _, e) => assert_eq!(*e, Body::Fail),
+            other => panic!("expected if-then-else, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conjuncts_flatten_both_associations() {
+        let abc_right = Body::And(
+            Box::new(call("a", vec![])),
+            Box::new(Body::And(Box::new(call("b", vec![])), Box::new(call("c", vec![])))),
+        );
+        let abc_left = Body::And(
+            Box::new(Body::And(Box::new(call("a", vec![])), Box::new(call("b", vec![])))),
+            Box::new(call("c", vec![])),
+        );
+        assert_eq!(abc_right.conjuncts().len(), 3);
+        assert_eq!(abc_left.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn conjoin_inverts_conjuncts() {
+        let goals = vec![call("a", vec![]), call("b", vec![]), call("c", vec![])];
+        let body = Body::conjoin(&goals);
+        let parts: Vec<Body> = body.conjuncts().into_iter().cloned().collect();
+        assert_eq!(parts, goals);
+        assert_eq!(Body::conjoin(&[]), Body::True);
+    }
+
+    #[test]
+    fn called_preds_sees_through_control() {
+        let b = Body::IfThenElse(
+            Box::new(call("c", vec![])),
+            Box::new(call("t", vec![])),
+            Box::new(Body::Not(Box::new(call("e", vec![])))),
+        );
+        let preds = b.called_preds();
+        assert_eq!(preds.len(), 3);
+        assert!(preds.contains(&PredId::new("e", 0)));
+    }
+
+    #[test]
+    fn contains_cut_respects_scopes() {
+        // cut inside a disjunction cuts the clause
+        let b = Body::Or(Box::new(Body::Cut), Box::new(call("a", vec![])));
+        assert!(b.contains_cut());
+        // cut inside the condition of if-then-else is local
+        let b = Body::IfThenElse(Box::new(Body::Cut), Box::new(Body::True), Box::new(Body::Fail));
+        assert!(!b.contains_cut());
+        // cut inside \+ is local
+        let b = Body::Not(Box::new(Body::Cut));
+        assert!(!b.contains_cut());
+    }
+
+    #[test]
+    fn clause_constructors_count_vars() {
+        let head = Term::app("p", vec![Term::Var(0), Term::Var(2)]);
+        let clause = Clause::rule(head, call("q", vec![Term::Var(1)]));
+        assert_eq!(clause.num_vars(), 3);
+        assert_eq!(clause.var_names.len(), 3);
+        assert!(!clause.is_fact());
+        assert_eq!(clause.pred_id(), PredId::new("p", 2));
+    }
+
+    #[test]
+    fn program_predicates_in_definition_order() {
+        let mut p = SourceProgram::default();
+        p.clauses.push(Clause::fact(Term::app("b", vec![Term::atom("x")])));
+        p.clauses.push(Clause::fact(Term::app("a", vec![Term::atom("y")])));
+        p.clauses.push(Clause::fact(Term::app("b", vec![Term::atom("z")])));
+        assert_eq!(
+            p.predicates(),
+            vec![PredId::new("b", 1), PredId::new("a", 1)]
+        );
+        assert_eq!(p.clauses_of(PredId::new("b", 1)).len(), 2);
+    }
+}

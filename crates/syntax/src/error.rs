@@ -1,0 +1,39 @@
+//! Reader errors with line/column positions.
+
+use std::fmt;
+
+/// Position of an error in the input text (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error raised while tokenizing or parsing Prolog text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: Pos,
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(pos: Pos, message: impl Into<String>) -> Self {
+        ParseError { pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub type Result<T> = std::result::Result<T, ParseError>;

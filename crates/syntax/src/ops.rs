@@ -1,0 +1,187 @@
+//! The operator table: DEC-10 Prolog's standard operators plus `op/3`-style
+//! extension, consumed by both the reader and the printer.
+
+use std::collections::HashMap;
+
+/// Operator fixity and argument-precedence constraints, as in DEC-10 Prolog.
+///
+/// For an operator of precedence `p`: an `x` argument must have precedence
+/// `< p`, a `y` argument `≤ p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpType {
+    Xfx,
+    Xfy,
+    Yfx,
+    Fy,
+    Fx,
+    Xf,
+    Yf,
+}
+
+impl OpType {
+    pub fn is_prefix(self) -> bool {
+        matches!(self, OpType::Fy | OpType::Fx)
+    }
+
+    pub fn is_infix(self) -> bool {
+        matches!(self, OpType::Xfx | OpType::Xfy | OpType::Yfx)
+    }
+
+    pub fn is_postfix(self) -> bool {
+        matches!(self, OpType::Xf | OpType::Yf)
+    }
+}
+
+/// A single operator definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpDef {
+    pub prec: u32,
+    pub op_type: OpType,
+}
+
+impl OpDef {
+    /// Maximum precedence allowed for the left argument of an infix/postfix
+    /// operator.
+    pub fn left_max(self) -> u32 {
+        match self.op_type {
+            OpType::Xfx | OpType::Xfy | OpType::Xf => self.prec - 1,
+            OpType::Yfx | OpType::Yf => self.prec,
+            _ => 0,
+        }
+    }
+
+    /// Maximum precedence allowed for the right argument of an infix/prefix
+    /// operator.
+    pub fn right_max(self) -> u32 {
+        match self.op_type {
+            OpType::Xfx | OpType::Yfx | OpType::Fx => self.prec - 1,
+            OpType::Xfy | OpType::Fy => self.prec,
+            _ => 0,
+        }
+    }
+}
+
+/// All operators known to the reader/printer. One name can have at most one
+/// prefix and one infix-or-postfix definition (as in the standard).
+#[derive(Debug, Clone)]
+pub struct OpTable {
+    prefix: HashMap<String, OpDef>,
+    infix: HashMap<String, OpDef>,
+    postfix: HashMap<String, OpDef>,
+}
+
+impl Default for OpTable {
+    fn default() -> Self {
+        OpTable::standard()
+    }
+}
+
+impl OpTable {
+    /// An empty table (no operators at all).
+    pub fn empty() -> Self {
+        OpTable { prefix: HashMap::new(), infix: HashMap::new(), postfix: HashMap::new() }
+    }
+
+    /// The standard DEC-10 operator table.
+    pub fn standard() -> Self {
+        let mut t = OpTable::empty();
+        let defs: &[(u32, OpType, &[&str])] = &[
+            (1200, OpType::Xfx, &[":-", "-->"]),
+            (1200, OpType::Fx, &[":-", "?-"]),
+            (1100, OpType::Xfy, &[";"]),
+            (1050, OpType::Xfy, &["->"]),
+            (1000, OpType::Xfy, &[","]),
+            (900, OpType::Fy, &["\\+"]),
+            (
+                700,
+                OpType::Xfx,
+                &[
+                    "=", "\\=", "==", "\\==", "@<", "@>", "@=<", "@>=", "is", "=:=", "=\\=", "<",
+                    ">", "=<", ">=", "=..",
+                ],
+            ),
+            (500, OpType::Yfx, &["+", "-", "/\\", "\\/", "xor"]),
+            (400, OpType::Yfx, &["*", "/", "//", "mod", "rem", "<<", ">>"]),
+            (200, OpType::Xfx, &["**"]),
+            (200, OpType::Xfy, &["^"]),
+            (200, OpType::Fy, &["-", "+", "\\"]),
+        ];
+        for &(prec, op_type, names) in defs {
+            for name in names {
+                t.add(name, prec, op_type);
+            }
+        }
+        t
+    }
+
+    /// Adds (or replaces) an operator definition, like `op/3`.
+    pub fn add(&mut self, name: &str, prec: u32, op_type: OpType) {
+        let def = OpDef { prec, op_type };
+        let map = if op_type.is_prefix() {
+            &mut self.prefix
+        } else if op_type.is_infix() {
+            &mut self.infix
+        } else {
+            &mut self.postfix
+        };
+        map.insert(name.to_owned(), def);
+    }
+
+    pub fn prefix(&self, name: &str) -> Option<OpDef> {
+        self.prefix.get(name).copied()
+    }
+
+    pub fn infix(&self, name: &str) -> Option<OpDef> {
+        self.infix.get(name).copied()
+    }
+
+    pub fn postfix(&self, name: &str) -> Option<OpDef> {
+        self.postfix.get(name).copied()
+    }
+
+    /// `true` if the name is an operator of any fixity.
+    pub fn is_op(&self, name: &str) -> bool {
+        self.prefix.contains_key(name)
+            || self.infix.contains_key(name)
+            || self.postfix.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_table_has_core_ops() {
+        let t = OpTable::standard();
+        assert_eq!(t.infix(":-").unwrap().prec, 1200);
+        assert_eq!(t.prefix(":-").unwrap().prec, 1200);
+        assert_eq!(t.infix(",").unwrap().op_type, OpType::Xfy);
+        assert_eq!(t.prefix("\\+").unwrap().op_type, OpType::Fy);
+        assert_eq!(t.infix("is").unwrap().prec, 700);
+        assert!(t.infix("nosuchop").is_none());
+    }
+
+    #[test]
+    fn argument_precedence_bounds() {
+        let xfx = OpDef { prec: 700, op_type: OpType::Xfx };
+        assert_eq!(xfx.left_max(), 699);
+        assert_eq!(xfx.right_max(), 699);
+        let yfx = OpDef { prec: 500, op_type: OpType::Yfx };
+        assert_eq!(yfx.left_max(), 500);
+        assert_eq!(yfx.right_max(), 499);
+        let xfy = OpDef { prec: 1000, op_type: OpType::Xfy };
+        assert_eq!(xfy.left_max(), 999);
+        assert_eq!(xfy.right_max(), 1000);
+        let fy = OpDef { prec: 900, op_type: OpType::Fy };
+        assert_eq!(fy.right_max(), 900);
+    }
+
+    #[test]
+    fn user_ops_can_be_added() {
+        let mut t = OpTable::standard();
+        t.add("===", 700, OpType::Xfx);
+        assert!(t.is_op("==="));
+        assert_eq!(t.infix("===").unwrap().prec, 700);
+    }
+}

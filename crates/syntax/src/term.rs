@@ -1,0 +1,378 @@
+//! The Prolog term representation shared by every crate in the workspace.
+//!
+//! Variables are clause-local indices; the engine rebases them onto its
+//! binding store when a clause is activated. Lists are ordinary `'.'/2`
+//! structures terminated by the atom `[]`, exactly as in DEC-10 Prolog.
+
+use crate::symbol::{sym, Symbol};
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared argument vector of a compound term. `Arc` makes `Term::clone`
+/// O(1) on compounds — the interpreter clones terms constantly (dereference,
+/// clause renaming, solution extraction), and deep clones made those paths
+/// quadratic.
+pub type Args = Arc<Vec<Term>>;
+
+/// A predicate indicator: `name/arity`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId {
+    pub name: Symbol,
+    pub arity: usize,
+}
+
+impl PredId {
+    pub fn new(name: impl Into<PredName>, arity: usize) -> PredId {
+        PredId { name: name.into().0, arity }
+    }
+}
+
+/// Helper so [`PredId::new`] accepts both `&str` and [`Symbol`].
+pub struct PredName(pub Symbol);
+
+impl From<&str> for PredName {
+    fn from(s: &str) -> Self {
+        PredName(sym(s))
+    }
+}
+
+impl From<Symbol> for PredName {
+    fn from(s: Symbol) -> Self {
+        PredName(s)
+    }
+}
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+impl fmt::Debug for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A Prolog term.
+#[derive(Clone, PartialEq)]
+pub enum Term {
+    /// A variable, identified by a clause-local (or store-local) index.
+    Var(usize),
+    /// An atom such as `john` or `[]`.
+    Atom(Symbol),
+    /// An integer.
+    Int(i64),
+    /// A float. Rarely used by the paper's programs, but part of the
+    /// substrate's arithmetic.
+    Float(f64),
+    /// A compound term `name(arg1, …, argN)` with `N ≥ 1`.
+    Struct(Symbol, Args),
+}
+
+impl Term {
+    /// The atom `[]`.
+    pub fn nil() -> Term {
+        Term::Atom(sym("[]"))
+    }
+
+    /// An atom from a string.
+    pub fn atom(name: &str) -> Term {
+        Term::Atom(sym(name))
+    }
+
+    /// A compound term from a name and arguments. With zero arguments this
+    /// degenerates to an atom, mirroring `=../2`.
+    pub fn app(name: &str, args: Vec<Term>) -> Term {
+        if args.is_empty() {
+            Term::atom(name)
+        } else {
+            Term::Struct(sym(name), Arc::new(args))
+        }
+    }
+
+    /// A cons cell `'.'(head, tail)`.
+    pub fn cons(head: Term, tail: Term) -> Term {
+        Term::Struct(sym("."), Arc::new(vec![head, tail]))
+    }
+
+    /// A proper list of the given elements.
+    pub fn list<I: IntoIterator<Item = Term>>(items: I) -> Term
+    where
+        I::IntoIter: DoubleEndedIterator,
+    {
+        items
+            .into_iter()
+            .rev()
+            .fold(Term::nil(), |tail, head| Term::cons(head, tail))
+    }
+
+    /// A partial list ending in `tail`.
+    pub fn partial_list<I: IntoIterator<Item = Term>>(items: I, tail: Term) -> Term
+    where
+        I::IntoIter: DoubleEndedIterator,
+    {
+        items
+            .into_iter()
+            .rev()
+            .fold(tail, |tail, head| Term::cons(head, tail))
+    }
+
+    /// The functor of this term viewed as a predicate indicator, if it is
+    /// callable (an atom or a structure).
+    pub fn pred_id(&self) -> Option<PredId> {
+        match self {
+            Term::Atom(name) => Some(PredId { name: *name, arity: 0 }),
+            Term::Struct(name, args) => Some(PredId { name: *name, arity: args.len() }),
+            _ => None,
+        }
+    }
+
+    /// Builds a compound term from an interned symbol and arguments.
+    pub fn struct_(name: Symbol, args: Vec<Term>) -> Term {
+        if args.is_empty() {
+            Term::Atom(name)
+        } else {
+            Term::Struct(name, Arc::new(args))
+        }
+    }
+
+    /// Arguments of a callable term (empty slice for atoms).
+    pub fn args(&self) -> &[Term] {
+        match self {
+            Term::Struct(_, args) => args.as_slice(),
+            _ => &[],
+        }
+    }
+
+    /// `true` if no variable occurs in the term.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Atom(_) | Term::Int(_) | Term::Float(_) => true,
+            Term::Struct(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// `true` if the term is exactly a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// `true` if the term is an atom.
+    pub fn is_atom(&self) -> bool {
+        matches!(self, Term::Atom(_))
+    }
+
+    /// `true` for atoms, integers, and floats.
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, Term::Atom(_) | Term::Int(_) | Term::Float(_))
+    }
+
+    /// Collects the distinct variable indices of the term, in first-occurrence
+    /// order.
+    pub fn variables(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<usize>) {
+        match self {
+            Term::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Term::Struct(_, args) => {
+                for arg in args.iter() {
+                    arg.collect_variables(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The largest variable index occurring in the term, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Struct(_, args) => args.iter().filter_map(Term::max_var).max(),
+            _ => None,
+        }
+    }
+
+    /// Renames every variable index by adding `offset`. Used by the engine
+    /// to rebase a clause template onto fresh store cells.
+    pub fn offset_vars(&self, offset: usize) -> Term {
+        match self {
+            Term::Var(v) => Term::Var(v + offset),
+            Term::Struct(name, args) => Term::Struct(
+                *name,
+                Arc::new(args.iter().map(|a| a.offset_vars(offset)).collect()),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    /// Applies `f` to every variable index, rebuilding the term.
+    pub fn map_vars(&self, f: &mut impl FnMut(usize) -> Term) -> Term {
+        match self {
+            Term::Var(v) => f(*v),
+            Term::Struct(name, args) => {
+                Term::Struct(*name, Arc::new(args.iter().map(|a| a.map_vars(f)).collect()))
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// If the term is a proper list, returns its elements.
+    pub fn as_list(&self) -> Option<Vec<&Term>> {
+        let mut items = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Term::Atom(a) if *a == sym("[]") => return Some(items),
+                Term::Struct(dot, args) if *dot == sym(".") && args.len() == 2 => {
+                    items.push(&args[0]);
+                    cur = &args[1];
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Total size of the term (number of nodes), used by tests and as a
+    /// crude structure-size estimate.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Struct(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+            _ => 1,
+        }
+    }
+
+    /// Standard order of terms: Var < Number < Atom < Struct, then by value,
+    /// then by arity, name, and arguments.
+    pub fn compare(&self, other: &Term) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        use Term::*;
+        fn rank(t: &Term) -> u8 {
+            match t {
+                Var(_) => 0,
+                Float(_) | Int(_) => 1,
+                Atom(_) => 2,
+                Struct(..) => 3,
+            }
+        }
+        match (self, other) {
+            (Var(a), Var(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.partial_cmp(b).unwrap_or(Equal),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Greater).then(Greater),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Less).then(Less),
+            (Atom(a), Atom(b)) => a.as_str().cmp(b.as_str()),
+            (Struct(n1, a1), Struct(n2, a2)) => a1
+                .len()
+                .cmp(&a2.len())
+                .then_with(|| n1.as_str().cmp(n2.as_str()))
+                .then_with(|| {
+                    for (x, y) in a1.iter().zip(a2.iter()) {
+                        let ord = x.compare(y);
+                        if ord != Equal {
+                            return ord;
+                        }
+                    }
+                    Equal
+                }),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_term(f, self, &[])
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_term(f, self, &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_round_trip() {
+        let l = Term::list(vec![Term::Int(1), Term::Int(2), Term::Int(3)]);
+        let items = l.as_list().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(*items[0], Term::Int(1));
+        assert_eq!(*items[2], Term::Int(3));
+    }
+
+    #[test]
+    fn partial_list_is_not_proper() {
+        let l = Term::partial_list(vec![Term::Int(1)], Term::Var(0));
+        assert!(l.as_list().is_none());
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Term::atom("a").is_ground());
+        assert!(!Term::Var(0).is_ground());
+        assert!(!Term::app("f", vec![Term::atom("a"), Term::Var(1)]).is_ground());
+    }
+
+    #[test]
+    fn variables_in_first_occurrence_order() {
+        let t = Term::app(
+            "f",
+            vec![Term::Var(2), Term::app("g", vec![Term::Var(0), Term::Var(2)])],
+        );
+        assert_eq!(t.variables(), vec![2, 0]);
+        assert_eq!(t.max_var(), Some(2));
+    }
+
+    #[test]
+    fn offset_vars_shifts_all() {
+        let t = Term::app("f", vec![Term::Var(0), Term::Var(3)]);
+        let shifted = t.offset_vars(10);
+        assert_eq!(shifted.variables(), vec![10, 13]);
+    }
+
+    #[test]
+    fn pred_id_of_atom_and_struct() {
+        assert_eq!(Term::atom("a").pred_id(), Some(PredId::new("a", 0)));
+        let t = Term::app("mother", vec![Term::atom("x"), Term::atom("y")]);
+        assert_eq!(t.pred_id(), Some(PredId::new("mother", 2)));
+        assert_eq!(Term::Int(1).pred_id(), None);
+    }
+
+    #[test]
+    fn standard_order() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Term::Var(0).compare(&Term::Int(1)), Less);
+        assert_eq!(Term::Int(1).compare(&Term::atom("a")), Less);
+        assert_eq!(Term::atom("a").compare(&Term::atom("b")), Less);
+        assert_eq!(
+            Term::app("f", vec![Term::Int(1)]).compare(&Term::app("f", vec![Term::Int(2)])),
+            Less
+        );
+        // arity dominates name
+        assert_eq!(
+            Term::app("z", vec![Term::Int(1)])
+                .compare(&Term::app("a", vec![Term::Int(1), Term::Int(2)])),
+            Less
+        );
+    }
+
+    #[test]
+    fn term_size() {
+        let t = Term::app("f", vec![Term::Int(1), Term::app("g", vec![Term::Int(2)])]);
+        assert_eq!(t.size(), 4);
+    }
+}

@@ -1,0 +1,547 @@
+//! Tokenizer for Edinburgh-syntax Prolog.
+//!
+//! Follows the DEC-10 lexical conventions: `%` line comments, `/* */` block
+//! comments, quoted atoms with `''` and backslash escapes, symbolic atoms
+//! built from the glue characters `+-*/\^<>=~:.?@#&`, solo characters
+//! `! ; ,`, and `0'c` character codes. The tokenizer distinguishes a `(`
+//! that immediately follows an atom (a functor application) from a bare
+//! grouping `(`.
+
+use crate::error::{ParseError, Pos, Result};
+
+/// One lexical token, tagged with its starting position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: Pos,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An unquoted or quoted atom, or a symbolic atom like `:-`.
+    Atom(String),
+    /// A variable name (starts with a capital or `_`).
+    Var(String),
+    Int(i64),
+    Float(f64),
+    /// A double-quoted string, read as a list of character codes by the
+    /// parser.
+    Str(String),
+    /// `(` immediately following an atom: functor application.
+    OpenCT,
+    /// Grouping `(`.
+    Open,
+    Close,
+    OpenList,
+    CloseList,
+    OpenCurly,
+    CloseCurly,
+    Comma,
+    Bar,
+    /// Clause terminator `.` (followed by layout or EOF).
+    End,
+}
+
+/// `true` for characters that form symbolic atoms (`:-`, `=..`, `\+`, …).
+pub fn is_symbol_char(c: char) -> bool {
+    matches!(
+        c,
+        '+' | '-' | '*' | '/' | '\\' | '^' | '<' | '>' | '=' | '~' | ':' | '.' | '?' | '@' | '#'
+            | '&' | '$'
+    )
+}
+
+/// Whether an atom needs quoting when printed.
+pub fn atom_needs_quotes(name: &str) -> bool {
+    if name.is_empty() {
+        return true;
+    }
+    // Solo atoms and symbolic atoms print bare.
+    if matches!(name, "[]" | "{}" | "!" | ";" | ",") {
+        return false;
+    }
+    if name.chars().all(is_symbol_char) {
+        return false;
+    }
+    let mut chars = name.chars();
+    let first = chars.next().unwrap();
+    if !first.is_ascii_lowercase() {
+        return true;
+    }
+    !chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Streaming tokenizer over source text.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// `true` when the previous token can be followed by a functor `(`.
+    prev_was_name: bool,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, prev_was_name: false }
+    }
+
+    fn here(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(ParseError::new(self.here(), msg))
+    }
+
+    /// Skips whitespace and comments. Returns `true` if any layout was
+    /// consumed (needed to distinguish `f(` from `f (`).
+    fn skip_layout(&mut self) -> Result<bool> {
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(c) if (c as char).is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => return self.error("unterminated block comment"),
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(self.pos != start)
+    }
+
+    /// Produces the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token>> {
+        let had_layout = self.skip_layout()?;
+        let pos = self.here();
+        let Some(c) = self.peek() else { return Ok(None) };
+        let was_name = std::mem::replace(&mut self.prev_was_name, false);
+
+        let kind = match c {
+            b'(' => {
+                self.bump();
+                if was_name && !had_layout {
+                    TokenKind::OpenCT
+                } else {
+                    TokenKind::Open
+                }
+            }
+            b')' => {
+                self.bump();
+                TokenKind::Close
+            }
+            b'[' => {
+                self.bump();
+                TokenKind::OpenList
+            }
+            b']' => {
+                self.bump();
+                self.prev_was_name = true;
+                TokenKind::CloseList
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::OpenCurly
+            }
+            b'}' => {
+                self.bump();
+                self.prev_was_name = true;
+                TokenKind::CloseCurly
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'|' => {
+                self.bump();
+                TokenKind::Bar
+            }
+            b'!' => {
+                self.bump();
+                self.prev_was_name = true;
+                TokenKind::Atom("!".into())
+            }
+            b';' => {
+                self.bump();
+                self.prev_was_name = true;
+                TokenKind::Atom(";".into())
+            }
+            b'\'' => {
+                self.bump();
+                let text = self.quoted(b'\'')?;
+                self.prev_was_name = true;
+                TokenKind::Atom(text)
+            }
+            b'"' => {
+                self.bump();
+                let text = self.quoted(b'"')?;
+                TokenKind::Str(text)
+            }
+            b'0'..=b'9' => self.number()?,
+            b'_' | b'A'..=b'Z' => {
+                let name = self.ident();
+                TokenKind::Var(name)
+            }
+            b'a'..=b'z' => {
+                let name = self.ident();
+                self.prev_was_name = true;
+                TokenKind::Atom(name)
+            }
+            c if is_symbol_char(c as char) => {
+                let mut text = String::new();
+                while let Some(c) = self.peek() {
+                    if is_symbol_char(c as char) {
+                        text.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // A lone `.` followed by layout or EOF ends a clause.
+                if text == "." {
+                    match self.peek() {
+                        None => TokenKind::End,
+                        Some(c) if (c as char).is_ascii_whitespace() || c == b'%' => {
+                            TokenKind::End
+                        }
+                        _ => {
+                            self.prev_was_name = true;
+                            TokenKind::Atom(text)
+                        }
+                    }
+                } else {
+                    self.prev_was_name = true;
+                    TokenKind::Atom(text)
+                }
+            }
+            other => {
+                return self.error(format!("unexpected character {:?}", other as char));
+            }
+        };
+        Ok(Some(Token { kind, pos }))
+    }
+
+    fn ident(&mut self) -> String {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if (c as char).is_ascii_alphanumeric() || c == b'_' {
+                name.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        name
+    }
+
+    fn number(&mut self) -> Result<TokenKind> {
+        // 0'c character code
+        if self.peek() == Some(b'0') && self.peek2() == Some(b'\'') {
+            self.bump();
+            self.bump();
+            let Some(c) = self.bump() else {
+                return self.error("end of input in character code");
+            };
+            let code = if c == b'\\' {
+                let Some(esc) = self.bump() else {
+                    return self.error("end of input in character escape");
+                };
+                escape_char(esc as char)
+                    .ok_or_else(|| ParseError::new(self.here(), "bad character escape"))?
+                    as i64
+            } else {
+                c as i64
+            };
+            return Ok(TokenKind::Int(code));
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part only if `.` is followed by a digit; else the dot
+        // is a clause terminator or symbolic atom.
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c as char);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E'))
+            && self
+                .peek2()
+                .is_some_and(|c| c.is_ascii_digit() || c == b'-' || c == b'+')
+        {
+            is_float = true;
+            text.push('e');
+            self.bump();
+            if matches!(self.peek(), Some(b'-') | Some(b'+')) {
+                text.push(self.bump().unwrap() as char);
+            }
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c as char);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .or_else(|_| self.error("malformed float"))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .or_else(|_| self.error("integer overflow"))
+        }
+    }
+
+    fn quoted(&mut self, quote: u8) -> Result<String> {
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None => return self.error("unterminated quoted token"),
+                Some(c) if c == quote => {
+                    // doubled quote = literal quote
+                    if self.peek() == Some(quote) {
+                        self.bump();
+                        text.push(quote as char);
+                    } else {
+                        return Ok(text);
+                    }
+                }
+                Some(b'\\') => match self.bump() {
+                    None => return self.error("unterminated escape"),
+                    Some(b'\n') => {} // line continuation
+                    Some(c) => match escape_char(c as char) {
+                        Some(e) => text.push(e),
+                        None => return self.error("bad escape sequence"),
+                    },
+                },
+                Some(c) => text.push(c as char),
+            }
+        }
+    }
+}
+
+fn escape_char(c: char) -> Option<char> {
+    Some(match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        'a' => '\x07',
+        'b' => '\x08',
+        'f' => '\x0c',
+        'v' => '\x0b',
+        '0' => '\0',
+        '\\' => '\\',
+        '\'' => '\'',
+        '"' => '"',
+        '`' => '`',
+        _ => return None,
+    })
+}
+
+/// Tokenizes the whole input eagerly.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut lexer = Lexer::new(src);
+    let mut out = Vec::new();
+    while let Some(tok) = lexer.next_token()? {
+        out.push(tok);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_fact() {
+        assert_eq!(
+            kinds("mother(john, joan)."),
+            vec![
+                TokenKind::Atom("mother".into()),
+                TokenKind::OpenCT,
+                TokenKind::Atom("john".into()),
+                TokenKind::Comma,
+                TokenKind::Atom("joan".into()),
+                TokenKind::Close,
+                TokenKind::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn functor_paren_vs_group_paren() {
+        let ks = kinds("f (x)");
+        assert_eq!(ks[1], TokenKind::Open);
+        let ks = kinds("f(x)");
+        assert_eq!(ks[1], TokenKind::OpenCT);
+    }
+
+    #[test]
+    fn symbolic_atoms() {
+        assert_eq!(
+            kinds("X :- Y = Z"),
+            vec![
+                TokenKind::Var("X".into()),
+                TokenKind::Atom(":-".into()),
+                TokenKind::Var("Y".into()),
+                TokenKind::Atom("=".into()),
+                TokenKind::Var("Z".into()),
+            ]
+        );
+        assert_eq!(kinds("=.."), vec![TokenKind::Atom("=..".into())]);
+    }
+
+    #[test]
+    fn end_token_needs_layout() {
+        // `.` inside a symbolic atom run does not end the clause
+        assert_eq!(kinds("a.b")[1], TokenKind::Atom(".".into()));
+        assert_eq!(*kinds("a.").last().unwrap(), TokenKind::End);
+        assert_eq!(*kinds("a. ").last().unwrap(), TokenKind::End);
+    }
+
+    #[test]
+    fn comments_are_layout() {
+        assert_eq!(
+            kinds("a % comment\n/* block \n comment */ b"),
+            vec![TokenKind::Atom("a".into()), TokenKind::Atom("b".into())]
+        );
+    }
+
+    #[test]
+    fn quoted_atoms_and_escapes() {
+        assert_eq!(
+            kinds(r"'hello world'"),
+            vec![TokenKind::Atom("hello world".into())]
+        );
+        assert_eq!(
+            kinds("'don''t'"),
+            vec![TokenKind::Atom("don't".into())]
+        );
+        assert_eq!(
+            kinds(r"'a\nb'"),
+            vec![TokenKind::Atom("a\nb".into())]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42)]);
+        assert_eq!(kinds("3.25"), vec![TokenKind::Float(3.25)]);
+        assert_eq!(kinds("0'a"), vec![TokenKind::Int(97)]);
+        assert_eq!(kinds(r"0'\n"), vec![TokenKind::Int(10)]);
+        // `2.` is the integer 2 followed by End
+        assert_eq!(kinds("2."), vec![TokenKind::Int(2), TokenKind::End]);
+    }
+
+    #[test]
+    fn variables() {
+        assert_eq!(
+            kinds("X _foo _ Abc"),
+            vec![
+                TokenKind::Var("X".into()),
+                TokenKind::Var("_foo".into()),
+                TokenKind::Var("_".into()),
+                TokenKind::Var("Abc".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lists_and_bars() {
+        assert_eq!(
+            kinds("[H|T]"),
+            vec![
+                TokenKind::OpenList,
+                TokenKind::Var("H".into()),
+                TokenKind::Bar,
+                TokenKind::Var("T".into()),
+                TokenKind::CloseList,
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = tokenize("a\n  \u{1}").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn atom_quoting_predicate() {
+        assert!(!atom_needs_quotes("abc"));
+        assert!(!atom_needs_quotes("a_b1"));
+        assert!(!atom_needs_quotes(":-"));
+        assert!(!atom_needs_quotes("[]"));
+        assert!(!atom_needs_quotes("!"));
+        assert!(atom_needs_quotes("Abc"));
+        assert!(atom_needs_quotes("hello world"));
+        assert!(atom_needs_quotes(""));
+        assert!(atom_needs_quotes("a-b"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the reader/printer pair: any term we can build must
+//! survive `print → parse` unchanged, with operators, lists, quoting, and
+//! variables all in play.
+
+use proptest::prelude::*;
+use prolog_syntax::pretty::term_to_string;
+use prolog_syntax::{parse_term, Term};
+
+/// Strategy over atom names: unquoted, operator-looking, and
+/// quote-requiring ones.
+fn atom_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,6}",
+        Just("[]".to_string()),
+        Just("{}".to_string()),
+        Just("hello world".to_string()),
+        Just("don't".to_string()),
+        Just("Capitalised".to_string()),
+        Just("=..".to_string()),
+        Just("+".to_string()),
+        Just("mod".to_string()),
+    ]
+}
+
+/// Recursive term strategy.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        atom_name().prop_map(|n| Term::atom(&n)),
+        any::<i32>().prop_map(|n| Term::Int(n as i64)),
+        (0usize..6).prop_map(Term::Var),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            // plain structures
+            ("[a-z][a-z0-9_]{0,5}", prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(name, args)| Term::app(&name, args)),
+            // operator structures
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::app("+", vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::app("=", vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::app(",", vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::app(";", vec![a, b])),
+            inner.clone().prop_map(|a| Term::app("-", vec![a])),
+            inner.clone().prop_map(|a| Term::app("\\+", vec![a])),
+            // lists, proper and partial
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Term::list),
+            (prop::collection::vec(inner.clone(), 1..3), inner)
+                .prop_map(|(items, tail)| Term::partial_list(items, tail)),
+        ]
+    })
+}
+
+/// Renames variables to a canonical dense numbering so parsed terms (whose
+/// variable indices are assigned in first-occurrence order) compare equal
+/// to generated ones.
+fn canonicalize(t: &Term) -> Term {
+    let mut map = std::collections::HashMap::new();
+    t.map_vars(&mut |v| {
+        let next = map.len();
+        Term::Var(*map.entry(v).or_insert(next))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn print_parse_round_trip(t in term_strategy()) {
+        let canonical = canonicalize(&t);
+        let names: Vec<String> =
+            (0..canonical.max_var().map_or(0, |v| v + 1)).map(|i| format!("V{i}")).collect();
+        let printed = term_to_string(&canonical, &names);
+        let (reparsed, _) = parse_term(&printed)
+            .unwrap_or_else(|e| panic!("printed term does not parse: {printed}: {e}"));
+        prop_assert_eq!(canonicalize(&reparsed), canonical, "printed as {}", printed);
+    }
+
+    #[test]
+    fn printing_is_deterministic(t in term_strategy()) {
+        let a = term_to_string(&t, &[]);
+        let b = term_to_string(&t, &[]);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ground_terms_have_no_variables(t in term_strategy()) {
+        prop_assert_eq!(t.is_ground(), t.variables().is_empty());
+    }
+
+    #[test]
+    fn compare_is_a_total_order(a in term_strategy(), b in term_strategy(), c in term_strategy()) {
+        use std::cmp::Ordering;
+        // antisymmetry
+        let ab = a.compare(&b);
+        let ba = b.compare(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        // transitivity (on the ordering outcomes we can check cheaply)
+        if a.compare(&b) == Ordering::Less && b.compare(&c) == Ordering::Less {
+            prop_assert_eq!(a.compare(&c), Ordering::Less);
+        }
+        // reflexivity
+        prop_assert_eq!(a.compare(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn offset_vars_shifts_every_variable(t in term_strategy(), off in 1usize..100) {
+        let shifted = t.offset_vars(off);
+        let before = t.variables();
+        let after = shifted.variables();
+        prop_assert_eq!(before.len(), after.len());
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert_eq!(b + off, *a);
+        }
+    }
+}

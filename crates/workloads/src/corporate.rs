@@ -1,0 +1,195 @@
+//! The corporate-database program (paper Table III).
+//!
+//! "We also restructured some rules from a corporate database (over 100
+//! employees) written in Prolog. … The facts in this database are indexed
+//! on the employee identification number; once that is instantiated, many
+//! goals of the rules become trivial. Reordering essentially becomes a way
+//! to make the rules find, as quickly and inexpensively as possible, the
+//! smallest superset of these numbers whose owners satisfy the rule."
+//!
+//! The original database is proprietary; this generator rebuilds its
+//! shape: id-indexed attribute facts over 120 employees and the five rule
+//! families of Table III — `benefits/2` and `maternity/2` written with a
+//! broad generator first (so reordering pays ≈2×), `pay/3` and
+//! `average_pay/2` already in good order or dominated by a semifixed
+//! `findall` (ratio 1.00), and `tax/2` mildly improvable.
+
+use prolog_syntax::{parse_program, SourceProgram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Generator parameters; the default matches the paper's "over 100
+/// employees".
+#[derive(Debug, Clone)]
+pub struct CorporateConfig {
+    pub seed: u64,
+    pub employees: usize,
+}
+
+impl Default for CorporateConfig {
+    fn default() -> Self {
+        CorporateConfig { seed: 42, employees: 120 }
+    }
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi", "ivan", "judy",
+    "ken", "laura", "mallory", "nick", "olivia", "peggy", "quentin", "rupert", "sybil",
+    "trent", "ursula", "victor", "wendy", "xavier", "yolanda", "zach", "amy", "brian",
+    "cathy", "derek", "ella", "fred", "gina", "hank", "iris", "jack", "kate", "liam",
+    "mona",
+];
+
+const DEPARTMENTS: &[&str] =
+    &["sales", "engineering", "accounting", "hr", "legal", "support", "research", "ops"];
+
+/// The generated database plus its employee-id universe.
+#[derive(Debug, Clone)]
+pub struct CorporateFacts {
+    pub source: String,
+    pub ids: Vec<String>,
+}
+
+/// Generates the id-indexed fact base. Employee `e1` is always `jane`
+/// (female, 6 years, engineering) so the paper's `pay(-, jane, -)` and
+/// `maternity(-, jane)` queries have a stable target.
+pub fn corporate_facts(config: &CorporateConfig) -> CorporateFacts {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut source = String::new();
+    let mut ids = Vec::with_capacity(config.employees);
+    for i in 1..=config.employees {
+        let id = format!("e{i}");
+        let name = if i == 1 {
+            "jane".to_string()
+        } else {
+            // Names repeat across employees, as in any real directory.
+            FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())].to_string()
+        };
+        let female = if i == 1 { true } else { rng.gen_bool(0.45) };
+        let dept = DEPARTMENTS[rng.gen_range(0..DEPARTMENTS.len())];
+        let years: u32 = if i == 1 { 6 } else { rng.gen_range(0..30) };
+        let salary: u32 = 20_000 + 1_000 * rng.gen_range(0..60u32) + 500 * years;
+        let manager = rng.gen_bool(0.12);
+        let _ = writeln!(source, "employee({id}).");
+        let _ = writeln!(source, "name({id}, {name}).");
+        let _ = writeln!(
+            source,
+            "gender({id}, {}).",
+            if female { "female" } else { "male" }
+        );
+        let _ = writeln!(source, "dept({id}, {dept}).");
+        let _ = writeln!(source, "years({id}, {years}).");
+        let _ = writeln!(source, "salary({id}, {salary}).");
+        if manager {
+            let _ = writeln!(source, "position({id}, manager).");
+        } else {
+            let _ = writeln!(source, "position({id}, staff).");
+        }
+        ids.push(id);
+    }
+    CorporateFacts { source, ids }
+}
+
+/// The rule base. Orders are deliberately "as a programmer would write
+/// them" — generator first, tests after — leaving room for the reorderer.
+pub fn corporate_rules() -> &'static str {
+    "
+    % Full benefits: written broad-generator-first; the selective
+    % position/2 and years/2 goals should lead.
+    benefits(E, full) :- employee(E), years(E, Y), Y >= 10, position(E, manager).
+    benefits(E, standard) :- employee(E), years(E, Y), Y >= 3, gender(E, _).
+    benefits(E, probationary) :- employee(E), years(E, Y), Y < 3.
+
+    % Pay: already in a good order (id-indexed chain), ratio ~1.
+    pay(E, N, P) :- name(E, N), salary(E, S), years(E, Y), P is S + 100 * Y.
+
+    % Maternity eligibility: employee/1 first is wasteful; the gender test
+    % sits last although it halves the candidates.
+    maternity(E, N) :- employee(E), name(E, N), years(E, Y), Y >= 1, gender(E, female).
+
+    % Average pay per department: dominated by a set predicate, which is
+    % semifixed — the reorderer must leave it alone.
+    average_pay(D, A) :- dept_name(D), findall(S, dept_salary(D, S), L),
+                         sum_list(L, T), length(L, N), N > 0, A is T // N.
+    dept_salary(D, S) :- dept(E, D), salary(E, S).
+    dept_name(sales). dept_name(engineering). dept_name(accounting).
+    dept_name(hr). dept_name(legal). dept_name(support).
+    dept_name(research). dept_name(ops).
+    sum_list([], 0).
+    sum_list([X|Xs], T) :- sum_list(Xs, T0), T is T0 + X.
+
+    % Tax band: the arithmetic test can move ahead of the years lookup.
+    tax(E, T) :- employee(E), years(E, Y), Y >= 0, salary(E, S), S > 45000, T is S // 4.
+    tax(E, T) :- employee(E), salary(E, S), S =< 45000, T is S // 5.
+    "
+}
+
+/// Full program: rules + facts.
+pub fn corporate_program(config: &CorporateConfig) -> (SourceProgram, Vec<String>) {
+    let facts = corporate_facts(config);
+    let src = format!("{}\n{}", corporate_rules(), facts.source);
+    let program = parse_program(&src).expect("corporate program parses");
+    (program, facts.ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_engine::Engine;
+    use prolog_syntax::PredId;
+
+    #[test]
+    fn default_has_over_100_employees() {
+        let (program, ids) = corporate_program(&CorporateConfig::default());
+        assert_eq!(ids.len(), 120);
+        assert_eq!(program.clauses_of(PredId::new("employee", 1)).len(), 120);
+        assert_eq!(program.clauses_of(PredId::new("salary", 2)).len(), 120);
+    }
+
+    #[test]
+    fn jane_is_employee_one() {
+        let (program, _) = corporate_program(&CorporateConfig::default());
+        let mut e = Engine::new();
+        e.load(&program);
+        assert!(e.has_solution("name(e1, jane)").unwrap());
+        assert!(e.has_solution("gender(e1, female)").unwrap());
+    }
+
+    #[test]
+    fn rules_produce_answers() {
+        let (program, _) = corporate_program(&CorporateConfig::default());
+        let mut e = Engine::new();
+        e.load(&program);
+        assert!(e.query("benefits(E, B)").unwrap().succeeded());
+        assert!(e.query("pay(E, jane, P)").unwrap().succeeded());
+        assert!(e.query("maternity(E, N)").unwrap().succeeded());
+        assert!(e.query("tax(E, T)").unwrap().succeeded());
+        let avg = e.query("average_pay(engineering, A)").unwrap();
+        assert!(avg.succeeded());
+    }
+
+    #[test]
+    fn average_pay_is_consistent_with_raw_facts() {
+        let (program, _) = corporate_program(&CorporateConfig::default());
+        let mut e = Engine::new();
+        e.load(&program);
+        let avg = e.query("average_pay(sales, A)").unwrap();
+        let a = avg.solutions[0].get("A").unwrap().to_string();
+        let salaries = e.query("dept_salary(sales, S)").unwrap();
+        let total: i64 = salaries
+            .solutions
+            .iter()
+            .map(|s| s.get("S").unwrap().to_string().parse::<i64>().unwrap())
+            .sum();
+        let n = salaries.solutions.len() as i64;
+        assert_eq!(a, (total / n).to_string());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = corporate_facts(&CorporateConfig::default());
+        let b = corporate_facts(&CorporateConfig::default());
+        assert_eq!(a.source, b.source);
+    }
+}

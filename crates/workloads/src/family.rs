@@ -1,0 +1,236 @@
+//! The family-tree program (paper Fig. 6 + Table II).
+//!
+//! "55 constants in the program represent people. … There are also 10
+//! facts for girl/1, 19 for wife/2, and 34 for mother/2." The generator
+//! reproduces exactly those counts with a consistent three-generation
+//! structure:
+//!
+//! * 19 couples (38 people): 6 founder couples (generation 0) and 13
+//!   generation-1 couples whose members may have recorded mothers;
+//! * 17 single children (10 girls, 7 boys) in generation 2;
+//! * 34 `mother/2` facts: every single child (17) plus 17 of the 26
+//!   generation-1 couple members.
+//!
+//! Which mother each child gets is drawn from a seeded RNG, so different
+//! seeds give different trees with identical aggregate shape.
+
+use prolog_syntax::{parse_program, SourceProgram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Shape parameters of the generated tree. The default reproduces the
+/// paper's counts.
+#[derive(Debug, Clone)]
+pub struct FamilyConfig {
+    pub seed: u64,
+    /// Total couples (each contributes one `wife/2` fact).
+    pub couples: usize,
+    /// Founder couples with no recorded parents.
+    pub founder_couples: usize,
+    /// Single (unmarried, childless) girls — the `girl/1` facts.
+    pub girls: usize,
+    /// Single boys.
+    pub boys: usize,
+    /// Total `mother/2` facts to emit.
+    pub mother_facts: usize,
+}
+
+impl Default for FamilyConfig {
+    fn default() -> Self {
+        FamilyConfig {
+            seed: 1988, // year of the paper
+            couples: 19,
+            founder_couples: 6,
+            girls: 10,
+            boys: 7,
+            mother_facts: 34,
+        }
+    }
+}
+
+impl FamilyConfig {
+    /// Number of distinct person constants the configuration yields.
+    pub fn people(&self) -> usize {
+        2 * self.couples + self.girls + self.boys
+    }
+}
+
+/// The generated fact base, plus the person list for query generation.
+#[derive(Debug, Clone)]
+pub struct FamilyFacts {
+    pub source: String,
+    pub people: Vec<String>,
+}
+
+/// Generates the `wife/2`, `mother/2`, and `girl/1` facts.
+pub fn family_facts(config: &FamilyConfig) -> FamilyFacts {
+    assert!(config.founder_couples <= config.couples);
+    let gen1_members = 2 * (config.couples - config.founder_couples);
+    let singles = config.girls + config.boys;
+    assert!(
+        config.mother_facts <= gen1_members + singles,
+        "not enough candidate children for {} mother facts",
+        config.mother_facts
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let husbands: Vec<String> = (1..=config.couples).map(|i| format!("h{i}")).collect();
+    let wives: Vec<String> = (1..=config.couples).map(|i| format!("w{i}")).collect();
+    let girls: Vec<String> = (1..=config.girls).map(|i| format!("g{i}")).collect();
+    let boys: Vec<String> = (1..=config.boys).map(|i| format!("b{i}")).collect();
+
+    let mut source = String::new();
+    for (h, w) in husbands.iter().zip(&wives) {
+        let _ = writeln!(source, "wife({h}, {w}).");
+    }
+    for g in &girls {
+        let _ = writeln!(source, "girl({g}).");
+    }
+
+    // Candidate children: generation-1 couple members (mothers are founder
+    // wives), then singles (mothers are generation-1 wives).
+    let founder_wives = &wives[..config.founder_couples];
+    let gen1_wives = &wives[config.founder_couples..];
+    let mut mothers_emitted = 0;
+    let mut gen1_children: Vec<&String> = husbands[config.founder_couples..]
+        .iter()
+        .chain(&wives[config.founder_couples..])
+        .collect();
+    // Singles always get mothers (they are the youngest generation).
+    let single_children: Vec<&String> = girls.iter().chain(&boys).collect();
+    for child in &single_children {
+        if mothers_emitted >= config.mother_facts {
+            break;
+        }
+        let m = &gen1_wives[rng.gen_range(0..gen1_wives.len().max(1))];
+        let _ = writeln!(source, "mother({child}, {m}).");
+        mothers_emitted += 1;
+    }
+    // Fill the remainder from generation-1 members.
+    while mothers_emitted < config.mother_facts && !gen1_children.is_empty() {
+        let idx = rng.gen_range(0..gen1_children.len());
+        let child = gen1_children.swap_remove(idx);
+        let m = &founder_wives[rng.gen_range(0..founder_wives.len().max(1))];
+        let _ = writeln!(source, "mother({child}, {m}).");
+        mothers_emitted += 1;
+    }
+    assert_eq!(mothers_emitted, config.mother_facts);
+
+    let mut people = Vec::with_capacity(config.people());
+    people.extend(husbands);
+    people.extend(wives);
+    people.extend(girls);
+    people.extend(boys);
+    FamilyFacts { source, people }
+}
+
+/// The rule base of Fig. 6, verbatim modulo `unequal/2` (which the paper
+/// uses but does not list; it is `\==/2`).
+pub fn family_rules() -> &'static str {
+    "
+    female(X) :- girl(X).
+    female(X) :- wife(_, X).
+    male(X) :- not(female(X)).
+    father(X, Y) :- mother(X, M), wife(Y, M).
+    parent(X, Y) :- mother(X, Y).
+    parent(X, Y) :- father(X, Y).
+    married(X, Y) :- wife(X, Y).
+    married(X, Y) :- wife(Y, X).
+    siblings(X, Y) :- mother(X, M), mother(Y, M), unequal(X, Y).
+    sister(X, Y) :- siblings(X, Y), female(Y).
+    brother(X, Y) :- siblings(X, Y), male(Y).
+    grandmother(X, Y) :- parent(X, Z), mother(Z, Y).
+    cousins(X, Y) :- parent(X, Z), parent(Y, W), siblings(W, Z).
+    cousins(X, Y) :- parent(X, Z), parent(Y, W), siblings(W, V), married(V, Z).
+    aunt(X, Y) :- parent(X, P), sister(P, Y).
+    aunt(X, Y) :- parent(X, P), brother(P, B), wife(B, Y).
+    unequal(X, Y) :- X \\== Y.
+    "
+}
+
+/// The full program: rules + generated facts.
+pub fn family_program(config: &FamilyConfig) -> (SourceProgram, Vec<String>) {
+    let facts = family_facts(config);
+    let src = format!("{}\n{}", family_rules(), facts.source);
+    let program = parse_program(&src).expect("family program parses");
+    (program, facts.people)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_engine::Engine;
+    use prolog_syntax::PredId;
+
+    #[test]
+    fn default_counts_match_the_paper() {
+        let config = FamilyConfig::default();
+        let (program, people) = family_program(&config);
+        assert_eq!(people.len(), 55, "55 constants represent people");
+        let count = |name: &str, arity: usize| {
+            program.clauses_of(PredId::new(name, arity)).len()
+        };
+        assert_eq!(count("girl", 1), 10);
+        assert_eq!(count("wife", 2), 19);
+        assert_eq!(count("mother", 2), 34);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = family_facts(&FamilyConfig::default());
+        let b = family_facts(&FamilyConfig::default());
+        assert_eq!(a.source, b.source);
+        let c = family_facts(&FamilyConfig { seed: 7, ..Default::default() });
+        assert_ne!(a.source, c.source);
+    }
+
+    #[test]
+    fn no_one_is_their_own_mother() {
+        let (program, _) = family_program(&FamilyConfig::default());
+        for clause in program.clauses_of(PredId::new("mother", 2)) {
+            assert_ne!(clause.head.args()[0], clause.head.args()[1]);
+        }
+    }
+
+    #[test]
+    fn queries_run_and_find_relatives() {
+        let (program, _) = family_program(&FamilyConfig::default());
+        let mut engine = Engine::new();
+        engine.load(&program);
+        let gm = engine.query("grandmother(X, Y)").unwrap();
+        assert!(gm.succeeded(), "the tree has grandmothers");
+        let siblings = engine.query("siblings(X, Y)").unwrap();
+        assert!(siblings.succeeded(), "the tree has siblings");
+        // siblings is symmetric
+        let s0 = &siblings.solutions[0];
+        let x = s0.get("X").unwrap().to_string();
+        let y = s0.get("Y").unwrap().to_string();
+        assert!(engine.has_solution(&format!("siblings({y}, {x})")).unwrap());
+    }
+
+    #[test]
+    fn aunts_exist_with_default_seed() {
+        let (program, _) = family_program(&FamilyConfig::default());
+        let mut engine = Engine::new();
+        engine.load(&program);
+        assert!(engine.query("aunt(X, Y)").unwrap().succeeded());
+        assert!(engine.query("cousins(X, Y)").unwrap().succeeded());
+        assert!(engine.query("brother(X, Y)").unwrap().succeeded());
+    }
+
+    #[test]
+    fn smaller_trees_scale_down() {
+        let config = FamilyConfig {
+            seed: 3,
+            couples: 5,
+            founder_couples: 2,
+            girls: 3,
+            boys: 2,
+            mother_facts: 9,
+        };
+        let (program, people) = family_program(&config);
+        assert_eq!(people.len(), 15);
+        assert_eq!(program.clauses_of(PredId::new("mother", 2)).len(), 9);
+    }
+}

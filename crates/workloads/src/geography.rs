@@ -1,0 +1,149 @@
+//! A geography database in the style of Warren's CHAT-80 setting — the
+//! domain of the queries the paper's §I-E discusses ("a user typed in a
+//! question on geography, and a parser generated a query. The order of
+//! the goals in the query corresponded to the order of the words in the
+//! question. Such orders were often inefficient.").
+//!
+//! The generator builds `country/1`, `borders/2`, `capital/2`,
+//! `population/2` (in units of 100k), and `continent/2` facts, plus a set
+//! of English-word-order conjunctive queries whose goal order is
+//! deliberately the "question order", not a good execution order.
+
+use prolog_syntax::{parse_program, parse_term, SourceProgram, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Generator parameters. The default is a laptop-scale version of
+/// Warren's database ("about 150 countries", "borders/2 … 900 tuples").
+#[derive(Debug, Clone)]
+pub struct GeographyConfig {
+    pub seed: u64,
+    pub countries: usize,
+    /// Average borders per country.
+    pub mean_borders: usize,
+}
+
+impl Default for GeographyConfig {
+    fn default() -> Self {
+        GeographyConfig { seed: 80, countries: 40, mean_borders: 5 }
+    }
+}
+
+const CONTINENTS: &[&str] = &["europe", "asia", "africa", "america", "oceania"];
+
+/// The generated database and its constants.
+#[derive(Debug, Clone)]
+pub struct Geography {
+    pub program: SourceProgram,
+    pub countries: Vec<String>,
+}
+
+/// Generates the database.
+pub fn geography(config: &GeographyConfig) -> Geography {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let countries: Vec<String> =
+        (1..=config.countries).map(|i| format!("c{i:02}")).collect();
+    let mut src = String::new();
+    for (i, c) in countries.iter().enumerate() {
+        let _ = writeln!(src, "country({c}).");
+        let _ = writeln!(src, "capital({c}, cap_{c}).");
+        let _ = writeln!(src, "population({c}, {}).", rng.gen_range(5..1500));
+        let _ = writeln!(
+            src,
+            "continent({c}, {}).",
+            CONTINENTS[i % CONTINENTS.len()]
+        );
+    }
+    // Borders: symmetric random pairs, ~mean_borders per country.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let target = config.countries * config.mean_borders / 2;
+    while pairs.len() < target {
+        let a = rng.gen_range(0..config.countries);
+        let b = rng.gen_range(0..config.countries);
+        if a != b && !pairs.contains(&(a, b)) && !pairs.contains(&(b, a)) {
+            pairs.push((a, b));
+        }
+    }
+    for (a, b) in pairs {
+        let _ = writeln!(src, "borders({}, {}).", countries[a], countries[b]);
+        let _ = writeln!(src, "borders({}, {}).", countries[b], countries[a]);
+    }
+    let program = parse_program(&src).expect("geography parses");
+    Geography { program, countries }
+}
+
+/// English-word-order conjunctive queries (goal order = question order),
+/// as `(query_text, variable_names)` — the shapes Warren's parser
+/// produced. `{cap}` is replaced by the capital of the first country so
+/// half-instantiated queries exist.
+pub fn question_queries(geo: &Geography) -> Vec<(Term, Vec<String>)> {
+    let c1 = &geo.countries[0];
+    let c2 = &geo.countries[1];
+    let texts = [
+        // "Which countries border c1?"
+        format!("(country(X), borders(X, {c1}))"),
+        // "Which country's capital is cap_c2?"
+        format!("(country(X), capital(X, cap_{c2}))"),
+        // "Which countries in europe border an asian country?"
+        "(country(X), continent(X, europe), borders(X, Y), continent(Y, asia))"
+            .to_string(),
+        // "Which countries with population above 800 border c1?"
+        format!("(country(X), population(X, P), P > 800, borders(X, {c1}))"),
+        // "Which pairs of bordering countries share a continent?"
+        "(country(X), country(Y), borders(X, Y), continent(X, K), continent(Y, K))"
+            .to_string(),
+        // "Which European countries border two different countries?"
+        "(country(X), continent(X, europe), borders(X, Y), borders(X, Z), Y \\== Z)"
+            .to_string(),
+    ];
+    texts
+        .iter()
+        .map(|t| {
+            let (term, names) = parse_term(t).expect("query parses");
+            (term, names)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_engine::Engine;
+    use prolog_syntax::PredId;
+
+    #[test]
+    fn generated_shape() {
+        let geo = geography(&GeographyConfig::default());
+        assert_eq!(geo.countries.len(), 40);
+        assert_eq!(
+            geo.program.clauses_of(PredId::new("country", 1)).len(),
+            40
+        );
+        let borders = geo.program.clauses_of(PredId::new("borders", 2)).len();
+        assert_eq!(borders, 2 * (40 * 5 / 2)); // symmetric closure
+    }
+
+    #[test]
+    fn queries_run_and_have_answers() {
+        let geo = geography(&GeographyConfig::default());
+        let mut e = Engine::new();
+        e.load(&geo.program);
+        let mut any = false;
+        for (q, names) in question_queries(&geo) {
+            let out = e.query_term(&q, &names, usize::MAX).expect("query runs");
+            any |= out.succeeded();
+        }
+        assert!(any, "at least one question should have answers");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = geography(&GeographyConfig::default());
+        let b = geography(&GeographyConfig::default());
+        assert_eq!(
+            prolog_syntax::pretty::program_to_string(&a.program),
+            prolog_syntax::pretty::program_to_string(&b.program)
+        );
+    }
+}

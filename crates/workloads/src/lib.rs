@@ -1,0 +1,30 @@
+//! The benchmark programs of the paper's evaluation (§VII), plus the
+//! geography domain of the Warren-1981 baseline (§I-E).
+//!
+//! The paper's exact fact bases are unpublished; these generators rebuild
+//! them to the published aggregate shapes (documented per module), with a
+//! seeded RNG so every run is deterministic. See DESIGN.md §2 for the
+//! substitution rationale.
+//!
+//! * [`family`] — the family-tree program of Fig. 6: 55 constants,
+//!   10 `girl/1`, 19 `wife/2`, 34 `mother/2` facts (Table II).
+//! * [`corporate`] — a corporate database with 100+ employees indexed by
+//!   id (Table III).
+//! * [`puzzles`] — `p58`, `meal`, and `team` (Table IV).
+//! * [`kmbench`] — a small Horn-clause theorem prover running a benchmark
+//!   set (Table IV's `kmbench`).
+//! * [`geography`] — a CHAT-80-style country database with
+//!   English-word-order conjunctive questions (the Warren baseline's
+//!   workload, §I-E).
+//! * [`queries`] — helpers that enumerate the per-mode query sets the
+//!   paper uses ("one call for each possible instantiation").
+
+pub mod corporate;
+pub mod family;
+pub mod geography;
+pub mod kmbench;
+pub mod puzzles;
+pub mod queries;
+
+pub use family::{family_program, family_rules, FamilyConfig, FamilyFacts};
+pub use queries::{mode_queries, QuerySpec};

@@ -1,0 +1,174 @@
+//! The small query programs of Table IV: `p58`, `meal`, and `team`.
+//!
+//! The paper cites "How to solve it in Prolog" for `p58`, and describes
+//! `meal` ("plans meals") and `team` ("generates project teams") in one
+//! line each; none of the sources are reproduced. These are faithful
+//! stand-ins with the properties the paper reports:
+//!
+//! * `p58(+,+)` — a single reorderable clause whose cheap test trails the
+//!   generators (ratio ≈ 1.5);
+//! * `meal(-,-,-)` / `meal(+,+,-)` — generators of similar size, so
+//!   reordering helps only marginally (ratio ≈ 1.06);
+//! * `team(-,-)` / `team(+,+)` — expensive candidate×candidate generation
+//!   ahead of highly selective skill tests (ratio ≈ 3.5).
+
+use prolog_syntax::{parse_program, SourceProgram};
+
+/// `p58`: connected-places puzzle over a small transport network. The
+/// clause is written generators-first, with the cheap `shorter/2` test
+/// last — exactly the shape Warren's English-generated queries had.
+pub fn p58_program() -> SourceProgram {
+    parse_program(
+        "
+        p58(X, Y) :- rail(X, Z), road(Z, Y), shorter(X, Y).
+
+        rail(a, b). rail(a, c). rail(b, d). rail(b, e). rail(c, f).
+        rail(d, g). rail(e, h). rail(f, h). rail(g, h). rail(h, a).
+        rail(c, d). rail(e, f).
+
+        road(b, c). road(b, f). road(c, g). road(d, a). road(d, h).
+        road(e, a). road(e, g). road(f, b). road(f, d). road(g, e).
+        road(h, c). road(h, f). road(g, a). road(a, e). road(c, a).
+
+        shorter(a, c). shorter(a, e). shorter(b, g). shorter(c, a).
+        shorter(d, h). shorter(e, a). shorter(f, b). shorter(h, f).
+        ",
+    )
+    .expect("p58 parses")
+}
+
+/// The place constants of `p58` (its query universe).
+pub fn p58_universe() -> Vec<String> {
+    "abcdefgh".chars().map(|c| c.to_string()).collect()
+}
+
+/// `meal`: three-course planning under a calorie budget. All three
+/// generators have similar fan-out, so there is little for the reorderer
+/// to exploit — the paper's point about this program.
+pub fn meal_program() -> SourceProgram {
+    parse_program(
+        "
+        meal(A, M, D) :- appetizer(A, Ca), main_course(M, Cm), dessert(D, Cd),
+                         T is Ca + Cm + Cd, T =< 800.
+
+        appetizer(soup, 150). appetizer(salad, 100). appetizer(pate, 250).
+        appetizer(melon, 80). appetizer(prawns, 200). appetizer(bread, 120).
+
+        main_course(steak, 500). main_course(chicken, 400). main_course(sole, 350).
+        main_course(pasta, 450). main_course(risotto, 420). main_course(tofu, 300).
+        main_course(lamb, 550). main_course(pork, 480).
+
+        dessert(cake, 350). dessert(fruit, 120). dessert(ice_cream, 250).
+        dessert(cheese, 300). dessert(sorbet, 150).
+        ",
+    )
+    .expect("meal parses")
+}
+
+/// The dish constants of `meal`, by course.
+pub fn meal_universe() -> (Vec<String>, Vec<String>, Vec<String>) {
+    let v = |names: &[&str]| names.iter().map(|s| s.to_string()).collect();
+    (
+        v(&["soup", "salad", "pate", "melon", "prawns", "bread"]),
+        v(&["steak", "chicken", "sole", "pasta", "risotto", "tofu", "lamb", "pork"]),
+        v(&["cake", "fruit", "ice_cream", "cheese", "sorbet"]),
+    )
+}
+
+/// `team`: pair a designer with a coder. Written the worst way — generate
+/// all candidate pairs, then test — so reordering pays well (the paper
+/// reports ≈3.5× on both modes).
+pub fn team_program() -> SourceProgram {
+    parse_program(
+        "
+        team(L, M) :- candidate(L), candidate(M), L \\== M,
+                      available(L), available(M),
+                      skill(L, design), skill(M, coding), compatible(L, M).
+
+        candidate(c01). candidate(c02). candidate(c03). candidate(c04).
+        candidate(c05). candidate(c06). candidate(c07). candidate(c08).
+        candidate(c09). candidate(c10). candidate(c11). candidate(c12).
+        candidate(c13). candidate(c14). candidate(c15). candidate(c16).
+        candidate(c17). candidate(c18). candidate(c19). candidate(c20).
+
+        skill(c01, design). skill(c04, design). skill(c09, design).
+        skill(c12, design). skill(c17, design).
+        skill(c02, coding). skill(c03, coding). skill(c07, coding).
+        skill(c09, coding). skill(c14, coding). skill(c18, coding).
+        skill(c20, coding).
+
+        available(c01). available(c02). available(c03). available(c04).
+        available(c07). available(c09). available(c11). available(c12).
+        available(c14). available(c15). available(c18).
+
+        compatible(c01, c02). compatible(c01, c07). compatible(c04, c03).
+        compatible(c04, c14). compatible(c09, c18). compatible(c12, c02).
+        compatible(c12, c14). compatible(c17, c20). compatible(c01, c14).
+        compatible(c09, c02).
+        ",
+    )
+    .expect("team parses")
+}
+
+/// The candidate constants of `team`.
+pub fn team_universe() -> Vec<String> {
+    (1..=20).map(|i| format!("c{i:02}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_engine::Engine;
+
+    fn engine(p: SourceProgram) -> Engine {
+        let mut e = Engine::new();
+        e.load(&p);
+        e
+    }
+
+    #[test]
+    fn p58_has_solutions_in_both_modes() {
+        let mut e = engine(p58_program());
+        let all = e.query("p58(X, Y)").unwrap();
+        assert!(all.succeeded());
+        // every reported pair is also confirmed in (+,+) mode
+        for s in &all.solutions {
+            let x = s.get("X").unwrap();
+            let y = s.get("Y").unwrap();
+            assert!(e.has_solution(&format!("p58({x}, {y})")).unwrap());
+        }
+    }
+
+    #[test]
+    fn meal_respects_the_calorie_budget() {
+        let mut e = engine(meal_program());
+        let meals = e.query("meal(A, M, D)").unwrap();
+        assert!(meals.succeeded());
+        // spot-check: the heaviest combination is excluded
+        assert!(!e.has_solution("meal(pate, lamb, cake)").unwrap());
+        // and a light one is included
+        assert!(e.has_solution("meal(melon, tofu, fruit)").unwrap());
+    }
+
+    #[test]
+    fn team_pairs_designers_with_coders() {
+        let mut e = engine(team_program());
+        let teams = e.query("team(L, M)").unwrap();
+        assert!(teams.succeeded());
+        for s in &teams.solutions {
+            let l = s.get("L").unwrap();
+            let m = s.get("M").unwrap();
+            assert!(e.has_solution(&format!("skill({l}, design)")).unwrap());
+            assert!(e.has_solution(&format!("skill({m}, coding)")).unwrap());
+            assert!(e.has_solution(&format!("compatible({l}, {m})")).unwrap());
+        }
+    }
+
+    #[test]
+    fn universes_cover_the_programs() {
+        assert_eq!(p58_universe().len(), 8);
+        let (a, m, d) = meal_universe();
+        assert_eq!((a.len(), m.len(), d.len()), (6, 8, 5));
+        assert_eq!(team_universe().len(), 20);
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-mode query generation (paper §VII).
+//!
+//! "We called each predicate in each mode, with one call for each possible
+//! instantiation. Therefore, testing mode (-,-) required one call, modes
+//! (-,+) and (+,-) required 55 apiece, and modes (+,+) required 3025."
+//! [`mode_queries`] reproduces that enumeration for any predicate over a
+//! constant universe.
+
+use prolog_analysis::{Mode, ModeItem};
+use prolog_engine::{Counters, Engine, QueryError};
+use prolog_syntax::Term;
+
+/// A predicate to exercise in a mode, over a universe of constants.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    pub name: String,
+    pub mode: Mode,
+    pub universe: Vec<String>,
+}
+
+/// Enumerates the query goals for a spec: every combination of constants
+/// in the `+` positions, fresh variables elsewhere.
+pub fn mode_queries(spec: &QuerySpec) -> Vec<Term> {
+    let arity = spec.mode.arity();
+    let bound_positions: Vec<usize> = spec
+        .mode
+        .items()
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| **m == ModeItem::Plus)
+        .map(|(i, _)| i)
+        .collect();
+    let k = bound_positions.len();
+    let n = spec.universe.len();
+    let total = n.pow(k as u32);
+    let mut out = Vec::with_capacity(total.max(1));
+    for mut combo in 0..total.max(1) {
+        let mut args: Vec<Term> = Vec::with_capacity(arity);
+        let mut var_idx = 0;
+        let mut choices = Vec::with_capacity(k);
+        for _ in 0..k {
+            choices.push(combo % n.max(1));
+            combo /= n.max(1);
+        }
+        let mut choice_iter = choices.into_iter();
+        for (i, item) in spec.mode.items().iter().enumerate() {
+            let _ = i;
+            match item {
+                ModeItem::Plus => {
+                    let c = choice_iter.next().expect("one choice per + position");
+                    args.push(Term::atom(&spec.universe[c]));
+                }
+                _ => {
+                    args.push(Term::Var(var_idx));
+                    var_idx += 1;
+                }
+            }
+        }
+        out.push(Term::app(&spec.name, args));
+    }
+    out
+}
+
+/// Runs every query of a spec on `engine`, returning the total counters
+/// and the multiset of solution sets (for equivalence checking).
+pub fn run_mode_queries(
+    engine: &mut Engine,
+    spec: &QuerySpec,
+) -> Result<(Counters, Vec<Vec<String>>), QueryError> {
+    let mut total = Counters::default();
+    let mut all_solutions = Vec::new();
+    for goal in mode_queries(spec) {
+        let nvars = goal.variables().len();
+        let names: Vec<String> = (0..nvars).map(|i| format!("V{i}")).collect();
+        let outcome = engine
+            .query_term(&goal, &names, usize::MAX)
+            .map_err(QueryError::Engine)?;
+        total.add(&outcome.counters);
+        all_solutions.push(outcome.solution_set());
+    }
+    Ok((total, all_solutions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, mode: &str, universe: &[&str]) -> QuerySpec {
+        QuerySpec {
+            name: name.into(),
+            mode: Mode::parse(mode).unwrap(),
+            universe: universe.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn query_counts_match_the_paper_formula() {
+        let u: Vec<&str> = (0..55).map(|_| "p").collect::<Vec<_>>();
+        assert_eq!(mode_queries(&spec("aunt", "--", &u)).len(), 1);
+        assert_eq!(mode_queries(&spec("aunt", "-+", &u)).len(), 55);
+        assert_eq!(mode_queries(&spec("aunt", "+-", &u)).len(), 55);
+        assert_eq!(mode_queries(&spec("aunt", "++", &u)).len(), 3025);
+    }
+
+    #[test]
+    fn bound_positions_enumerate_all_combinations() {
+        let qs = mode_queries(&spec("p", "++", &["a", "b"]));
+        let printed: Vec<String> = qs.iter().map(|t| t.to_string()).collect();
+        assert_eq!(qs.len(), 4);
+        assert!(printed.contains(&"p(a, a)".to_string()));
+        assert!(printed.contains(&"p(b, a)".to_string()));
+        assert!(printed.contains(&"p(a, b)".to_string()));
+        assert!(printed.contains(&"p(b, b)".to_string()));
+    }
+
+    #[test]
+    fn free_positions_get_distinct_variables() {
+        let qs = mode_queries(&spec("p", "--", &["a"]));
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0].variables().len(), 2);
+    }
+
+    #[test]
+    fn run_mode_queries_accumulates_counters() {
+        let mut e = Engine::new();
+        e.consult("p(a, 1). p(b, 2).").unwrap();
+        let (counters, solutions) =
+            run_mode_queries(&mut e, &spec("p", "+-", &["a", "b"])).unwrap();
+        assert_eq!(solutions.len(), 2);
+        assert_eq!(counters.user_calls, 2);
+        assert!(solutions.iter().all(|s| s.len() == 1));
+    }
+}

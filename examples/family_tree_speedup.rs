@@ -1,0 +1,66 @@
+//! The Table II experiment in miniature: generate the paper's 55-person
+//! family tree, reorder it, and compare per-mode call counts for a chosen
+//! predicate.
+//!
+//! Run with:
+//! `cargo run --release -p reorder --example family_tree_speedup [predicate]`
+
+use prolog_analysis::Mode;
+use prolog_engine::Engine;
+use prolog_workloads::family::{family_program, FamilyConfig};
+use prolog_workloads::queries::{mode_queries, QuerySpec};
+use reorder::{ReorderConfig, Reorderer};
+
+fn main() {
+    let pred = std::env::args().nth(1).unwrap_or_else(|| "aunt".to_string());
+    let config = FamilyConfig::default();
+    let (program, people) = family_program(&config);
+    println!(
+        "family tree: {} people, {} girl/1, {} wife/2, {} mother/2",
+        people.len(),
+        config.girls,
+        config.couples,
+        config.mother_facts
+    );
+
+    let result = Reorderer::new(&program, ReorderConfig::default()).run();
+    if let Some(report) =
+        result.report.predicate(prolog_syntax::PredId::new(pred.as_str(), 2))
+    {
+        println!("\npredicted improvements for {pred}/2:");
+        for m in &report.modes {
+            println!(
+                "  mode {}: predicted {:.2}x (version {})",
+                m.mode,
+                m.predicted_speedup(),
+                m.version
+            );
+        }
+    }
+
+    println!("\nmeasured user-predicate calls for {pred}/2 (every instantiation per mode):");
+    println!("{:<8} {:>10} {:>10} {:>8}", "mode", "original", "reordered", "ratio");
+    for mode_s in ["--", "-+", "+-", "++"] {
+        let spec = QuerySpec {
+            name: pred.clone(),
+            mode: Mode::parse(mode_s).unwrap(),
+            universe: people.clone(),
+        };
+        let queries = mode_queries(&spec);
+        let run = |p: &prolog_syntax::SourceProgram| {
+            let mut e = Engine::new();
+            e.load(p);
+            let mut calls = 0u64;
+            for q in &queries {
+                let names: Vec<String> =
+                    (0..q.variables().len()).map(|i| format!("V{i}")).collect();
+                calls +=
+                    e.query_term(q, &names, usize::MAX).expect("runs").counters.user_calls;
+            }
+            calls
+        };
+        let a = run(&program);
+        let b = run(&result.program);
+        println!("{:<8} {:>10} {:>10} {:>8.2}", mode_s, a, b, a as f64 / b as f64);
+    }
+}

@@ -1,0 +1,1706 @@
+benefits(E, full) :- employee(E), years(E, Y), Y >= 10, position(E, manager).
+benefits(E, standard) :- employee(E), years(E, Y), Y >= 3, gender(E, _A2).
+benefits(E, probationary) :- employee(E), years(E, Y), Y < 3.
+
+pay(E, N, P) :- name(E, N), salary(E, S), years(E, Y), P is S + 100 * Y.
+
+maternity(E, N) :- employee(E), name(E, N), years(E, Y), Y >= 1, gender(E, female).
+
+average_pay(D, A) :- dept_name(D), findall(S, dept_salary(D, S), L), sum_list(L, T), length(L, N), N > 0, A is T // N.
+
+dept_salary(D, S) :- dept(E, D), salary(E, S).
+
+dept_name(sales).
+dept_name(engineering).
+dept_name(accounting).
+dept_name(hr).
+dept_name(legal).
+dept_name(support).
+dept_name(research).
+dept_name(ops).
+
+sum_list([], 0).
+sum_list([X|Xs], T) :- sum_list(Xs, T0), T is T0 + X.
+
+tax(E, T) :- employee(E), years(E, Y), Y >= 0, salary(E, S), S > 45000, T is S // 4.
+tax(E, T) :- employee(E), salary(E, S), S =< 45000, T is S // 5.
+
+employee(e1).
+
+name(e1, jane).
+
+gender(e1, female).
+
+dept(e1, legal).
+
+years(e1, 6).
+
+salary(e1, 37000).
+
+position(e1, staff).
+
+employee(e2).
+
+name(e2, yolanda).
+
+gender(e2, female).
+
+dept(e2, engineering).
+
+years(e2, 25).
+
+salary(e2, 69500).
+
+position(e2, staff).
+
+employee(e3).
+
+name(e3, gina).
+
+gender(e3, male).
+
+dept(e3, research).
+
+years(e3, 15).
+
+salary(e3, 76500).
+
+position(e3, staff).
+
+employee(e4).
+
+name(e4, grace).
+
+gender(e4, male).
+
+dept(e4, support).
+
+years(e4, 19).
+
+salary(e4, 44500).
+
+position(e4, staff).
+
+employee(e5).
+
+name(e5, mona).
+
+gender(e5, female).
+
+dept(e5, accounting).
+
+years(e5, 13).
+
+salary(e5, 34500).
+
+position(e5, staff).
+
+employee(e6).
+
+name(e6, ursula).
+
+gender(e6, female).
+
+dept(e6, ops).
+
+years(e6, 27).
+
+salary(e6, 58500).
+
+position(e6, staff).
+
+employee(e7).
+
+name(e7, fred).
+
+gender(e7, female).
+
+dept(e7, hr).
+
+years(e7, 11).
+
+salary(e7, 29500).
+
+position(e7, staff).
+
+employee(e8).
+
+name(e8, mona).
+
+gender(e8, male).
+
+dept(e8, sales).
+
+years(e8, 26).
+
+salary(e8, 42000).
+
+position(e8, staff).
+
+employee(e9).
+
+name(e9, trent).
+
+gender(e9, male).
+
+dept(e9, legal).
+
+years(e9, 28).
+
+salary(e9, 80000).
+
+position(e9, staff).
+
+employee(e10).
+
+name(e10, wendy).
+
+gender(e10, female).
+
+dept(e10, hr).
+
+years(e10, 29).
+
+salary(e10, 57500).
+
+position(e10, staff).
+
+employee(e11).
+
+name(e11, judy).
+
+gender(e11, male).
+
+dept(e11, engineering).
+
+years(e11, 22).
+
+salary(e11, 58000).
+
+position(e11, staff).
+
+employee(e12).
+
+name(e12, erin).
+
+gender(e12, female).
+
+dept(e12, support).
+
+years(e12, 8).
+
+salary(e12, 27000).
+
+position(e12, staff).
+
+employee(e13).
+
+name(e13, wendy).
+
+gender(e13, male).
+
+dept(e13, ops).
+
+years(e13, 1).
+
+salary(e13, 35500).
+
+position(e13, staff).
+
+employee(e14).
+
+name(e14, laura).
+
+gender(e14, male).
+
+dept(e14, ops).
+
+years(e14, 20).
+
+salary(e14, 52000).
+
+position(e14, staff).
+
+employee(e15).
+
+name(e15, heidi).
+
+gender(e15, male).
+
+dept(e15, accounting).
+
+years(e15, 2).
+
+salary(e15, 29000).
+
+position(e15, staff).
+
+employee(e16).
+
+name(e16, trent).
+
+gender(e16, female).
+
+dept(e16, ops).
+
+years(e16, 26).
+
+salary(e16, 52000).
+
+position(e16, staff).
+
+employee(e17).
+
+name(e17, laura).
+
+gender(e17, male).
+
+dept(e17, accounting).
+
+years(e17, 19).
+
+salary(e17, 37500).
+
+position(e17, staff).
+
+employee(e18).
+
+name(e18, peggy).
+
+gender(e18, male).
+
+dept(e18, ops).
+
+years(e18, 6).
+
+salary(e18, 31000).
+
+position(e18, staff).
+
+employee(e19).
+
+name(e19, sybil).
+
+gender(e19, male).
+
+dept(e19, legal).
+
+years(e19, 5).
+
+salary(e19, 75500).
+
+position(e19, manager).
+
+employee(e20).
+
+name(e20, liam).
+
+gender(e20, male).
+
+dept(e20, engineering).
+
+years(e20, 28).
+
+salary(e20, 92000).
+
+position(e20, staff).
+
+employee(e21).
+
+name(e21, ella).
+
+gender(e21, female).
+
+dept(e21, hr).
+
+years(e21, 2).
+
+salary(e21, 49000).
+
+position(e21, staff).
+
+employee(e22).
+
+name(e22, carol).
+
+gender(e22, female).
+
+dept(e22, legal).
+
+years(e22, 16).
+
+salary(e22, 36000).
+
+position(e22, staff).
+
+employee(e23).
+
+name(e23, mallory).
+
+gender(e23, female).
+
+dept(e23, engineering).
+
+years(e23, 3).
+
+salary(e23, 64500).
+
+position(e23, staff).
+
+employee(e24).
+
+name(e24, ken).
+
+gender(e24, male).
+
+dept(e24, hr).
+
+years(e24, 7).
+
+salary(e24, 75500).
+
+position(e24, staff).
+
+employee(e25).
+
+name(e25, yolanda).
+
+gender(e25, female).
+
+dept(e25, support).
+
+years(e25, 4).
+
+salary(e25, 29000).
+
+position(e25, staff).
+
+employee(e26).
+
+name(e26, alice).
+
+gender(e26, female).
+
+dept(e26, support).
+
+years(e26, 24).
+
+salary(e26, 86000).
+
+position(e26, staff).
+
+employee(e27).
+
+name(e27, rupert).
+
+gender(e27, female).
+
+dept(e27, support).
+
+years(e27, 19).
+
+salary(e27, 45500).
+
+position(e27, manager).
+
+employee(e28).
+
+name(e28, kate).
+
+gender(e28, female).
+
+dept(e28, sales).
+
+years(e28, 23).
+
+salary(e28, 34500).
+
+position(e28, staff).
+
+employee(e29).
+
+name(e29, mallory).
+
+gender(e29, male).
+
+dept(e29, legal).
+
+years(e29, 29).
+
+salary(e29, 80500).
+
+position(e29, staff).
+
+employee(e30).
+
+name(e30, alice).
+
+gender(e30, female).
+
+dept(e30, hr).
+
+years(e30, 21).
+
+salary(e30, 59500).
+
+position(e30, manager).
+
+employee(e31).
+
+name(e31, alice).
+
+gender(e31, male).
+
+dept(e31, support).
+
+years(e31, 8).
+
+salary(e31, 32000).
+
+position(e31, staff).
+
+employee(e32).
+
+name(e32, carol).
+
+gender(e32, male).
+
+dept(e32, support).
+
+years(e32, 24).
+
+salary(e32, 73000).
+
+position(e32, staff).
+
+employee(e33).
+
+name(e33, olivia).
+
+gender(e33, female).
+
+dept(e33, accounting).
+
+years(e33, 26).
+
+salary(e33, 48000).
+
+position(e33, manager).
+
+employee(e34).
+
+name(e34, victor).
+
+gender(e34, male).
+
+dept(e34, accounting).
+
+years(e34, 22).
+
+salary(e34, 66000).
+
+position(e34, staff).
+
+employee(e35).
+
+name(e35, ivan).
+
+gender(e35, male).
+
+dept(e35, hr).
+
+years(e35, 26).
+
+salary(e35, 79000).
+
+position(e35, staff).
+
+employee(e36).
+
+name(e36, fred).
+
+gender(e36, female).
+
+dept(e36, research).
+
+years(e36, 20).
+
+salary(e36, 35000).
+
+position(e36, staff).
+
+employee(e37).
+
+name(e37, heidi).
+
+gender(e37, male).
+
+dept(e37, legal).
+
+years(e37, 17).
+
+salary(e37, 39500).
+
+position(e37, staff).
+
+employee(e38).
+
+name(e38, mallory).
+
+gender(e38, male).
+
+dept(e38, research).
+
+years(e38, 16).
+
+salary(e38, 42000).
+
+position(e38, manager).
+
+employee(e39).
+
+name(e39, rupert).
+
+gender(e39, male).
+
+dept(e39, legal).
+
+years(e39, 6).
+
+salary(e39, 56000).
+
+position(e39, staff).
+
+employee(e40).
+
+name(e40, iris).
+
+gender(e40, male).
+
+dept(e40, support).
+
+years(e40, 0).
+
+salary(e40, 48000).
+
+position(e40, staff).
+
+employee(e41).
+
+name(e41, iris).
+
+gender(e41, female).
+
+dept(e41, legal).
+
+years(e41, 14).
+
+salary(e41, 69000).
+
+position(e41, staff).
+
+employee(e42).
+
+name(e42, heidi).
+
+gender(e42, female).
+
+dept(e42, research).
+
+years(e42, 11).
+
+salary(e42, 32500).
+
+position(e42, staff).
+
+employee(e43).
+
+name(e43, trent).
+
+gender(e43, male).
+
+dept(e43, hr).
+
+years(e43, 1).
+
+salary(e43, 71500).
+
+position(e43, staff).
+
+employee(e44).
+
+name(e44, carol).
+
+gender(e44, male).
+
+dept(e44, sales).
+
+years(e44, 3).
+
+salary(e44, 78500).
+
+position(e44, staff).
+
+employee(e45).
+
+name(e45, liam).
+
+gender(e45, female).
+
+dept(e45, ops).
+
+years(e45, 16).
+
+salary(e45, 68000).
+
+position(e45, staff).
+
+employee(e46).
+
+name(e46, mona).
+
+gender(e46, female).
+
+dept(e46, sales).
+
+years(e46, 11).
+
+salary(e46, 81500).
+
+position(e46, staff).
+
+employee(e47).
+
+name(e47, derek).
+
+gender(e47, male).
+
+dept(e47, hr).
+
+years(e47, 26).
+
+salary(e47, 48000).
+
+position(e47, manager).
+
+employee(e48).
+
+name(e48, cathy).
+
+gender(e48, male).
+
+dept(e48, legal).
+
+years(e48, 24).
+
+salary(e48, 80000).
+
+position(e48, staff).
+
+employee(e49).
+
+name(e49, peggy).
+
+gender(e49, male).
+
+dept(e49, legal).
+
+years(e49, 15).
+
+salary(e49, 68500).
+
+position(e49, staff).
+
+employee(e50).
+
+name(e50, cathy).
+
+gender(e50, male).
+
+dept(e50, ops).
+
+years(e50, 19).
+
+salary(e50, 71500).
+
+position(e50, staff).
+
+employee(e51).
+
+name(e51, judy).
+
+gender(e51, female).
+
+dept(e51, ops).
+
+years(e51, 7).
+
+salary(e51, 69500).
+
+position(e51, staff).
+
+employee(e52).
+
+name(e52, erin).
+
+gender(e52, male).
+
+dept(e52, hr).
+
+years(e52, 17).
+
+salary(e52, 55500).
+
+position(e52, staff).
+
+employee(e53).
+
+name(e53, xavier).
+
+gender(e53, male).
+
+dept(e53, support).
+
+years(e53, 2).
+
+salary(e53, 30000).
+
+position(e53, staff).
+
+employee(e54).
+
+name(e54, ursula).
+
+gender(e54, female).
+
+dept(e54, sales).
+
+years(e54, 6).
+
+salary(e54, 82000).
+
+position(e54, staff).
+
+employee(e55).
+
+name(e55, ivan).
+
+gender(e55, male).
+
+dept(e55, support).
+
+years(e55, 4).
+
+salary(e55, 63000).
+
+position(e55, staff).
+
+employee(e56).
+
+name(e56, mallory).
+
+gender(e56, female).
+
+dept(e56, sales).
+
+years(e56, 2).
+
+salary(e56, 49000).
+
+position(e56, staff).
+
+employee(e57).
+
+name(e57, heidi).
+
+gender(e57, male).
+
+dept(e57, support).
+
+years(e57, 23).
+
+salary(e57, 62500).
+
+position(e57, staff).
+
+employee(e58).
+
+name(e58, ursula).
+
+gender(e58, female).
+
+dept(e58, support).
+
+years(e58, 0).
+
+salary(e58, 47000).
+
+position(e58, staff).
+
+employee(e59).
+
+name(e59, cathy).
+
+gender(e59, female).
+
+dept(e59, legal).
+
+years(e59, 6).
+
+salary(e59, 31000).
+
+position(e59, staff).
+
+employee(e60).
+
+name(e60, frank).
+
+gender(e60, female).
+
+dept(e60, legal).
+
+years(e60, 12).
+
+salary(e60, 76000).
+
+position(e60, staff).
+
+employee(e61).
+
+name(e61, victor).
+
+gender(e61, male).
+
+dept(e61, hr).
+
+years(e61, 14).
+
+salary(e61, 38000).
+
+position(e61, staff).
+
+employee(e62).
+
+name(e62, sybil).
+
+gender(e62, male).
+
+dept(e62, engineering).
+
+years(e62, 2).
+
+salary(e62, 64000).
+
+position(e62, staff).
+
+employee(e63).
+
+name(e63, mona).
+
+gender(e63, female).
+
+dept(e63, support).
+
+years(e63, 4).
+
+salary(e63, 55000).
+
+position(e63, staff).
+
+employee(e64).
+
+name(e64, mona).
+
+gender(e64, female).
+
+dept(e64, legal).
+
+years(e64, 21).
+
+salary(e64, 37500).
+
+position(e64, staff).
+
+employee(e65).
+
+name(e65, iris).
+
+gender(e65, male).
+
+dept(e65, support).
+
+years(e65, 26).
+
+salary(e65, 77000).
+
+position(e65, staff).
+
+employee(e66).
+
+name(e66, zach).
+
+gender(e66, female).
+
+dept(e66, engineering).
+
+years(e66, 11).
+
+salary(e66, 67500).
+
+position(e66, staff).
+
+employee(e67).
+
+name(e67, iris).
+
+gender(e67, female).
+
+dept(e67, ops).
+
+years(e67, 10).
+
+salary(e67, 31000).
+
+position(e67, manager).
+
+employee(e68).
+
+name(e68, laura).
+
+gender(e68, female).
+
+dept(e68, hr).
+
+years(e68, 5).
+
+salary(e68, 78500).
+
+position(e68, staff).
+
+employee(e69).
+
+name(e69, nick).
+
+gender(e69, male).
+
+dept(e69, support).
+
+years(e69, 19).
+
+salary(e69, 62500).
+
+position(e69, staff).
+
+employee(e70).
+
+name(e70, rupert).
+
+gender(e70, female).
+
+dept(e70, hr).
+
+years(e70, 22).
+
+salary(e70, 77000).
+
+position(e70, staff).
+
+employee(e71).
+
+name(e71, judy).
+
+gender(e71, female).
+
+dept(e71, support).
+
+years(e71, 4).
+
+salary(e71, 48000).
+
+position(e71, staff).
+
+employee(e72).
+
+name(e72, gina).
+
+gender(e72, female).
+
+dept(e72, sales).
+
+years(e72, 17).
+
+salary(e72, 39500).
+
+position(e72, staff).
+
+employee(e73).
+
+name(e73, cathy).
+
+gender(e73, female).
+
+dept(e73, engineering).
+
+years(e73, 9).
+
+salary(e73, 44500).
+
+position(e73, staff).
+
+employee(e74).
+
+name(e74, ken).
+
+gender(e74, male).
+
+dept(e74, support).
+
+years(e74, 23).
+
+salary(e74, 72500).
+
+position(e74, staff).
+
+employee(e75).
+
+name(e75, peggy).
+
+gender(e75, male).
+
+dept(e75, research).
+
+years(e75, 13).
+
+salary(e75, 29500).
+
+position(e75, staff).
+
+employee(e76).
+
+name(e76, nick).
+
+gender(e76, male).
+
+dept(e76, research).
+
+years(e76, 29).
+
+salary(e76, 82500).
+
+position(e76, staff).
+
+employee(e77).
+
+name(e77, trent).
+
+gender(e77, female).
+
+dept(e77, engineering).
+
+years(e77, 13).
+
+salary(e77, 77500).
+
+position(e77, manager).
+
+employee(e78).
+
+name(e78, alice).
+
+gender(e78, female).
+
+dept(e78, legal).
+
+years(e78, 10).
+
+salary(e78, 51000).
+
+position(e78, staff).
+
+employee(e79).
+
+name(e79, trent).
+
+gender(e79, female).
+
+dept(e79, research).
+
+years(e79, 28).
+
+salary(e79, 58000).
+
+position(e79, staff).
+
+employee(e80).
+
+name(e80, mallory).
+
+gender(e80, female).
+
+dept(e80, hr).
+
+years(e80, 23).
+
+salary(e80, 76500).
+
+position(e80, staff).
+
+employee(e81).
+
+name(e81, wendy).
+
+gender(e81, female).
+
+dept(e81, legal).
+
+years(e81, 28).
+
+salary(e81, 54000).
+
+position(e81, staff).
+
+employee(e82).
+
+name(e82, rupert).
+
+gender(e82, male).
+
+dept(e82, support).
+
+years(e82, 9).
+
+salary(e82, 70500).
+
+position(e82, staff).
+
+employee(e83).
+
+name(e83, victor).
+
+gender(e83, male).
+
+dept(e83, research).
+
+years(e83, 19).
+
+salary(e83, 60500).
+
+position(e83, manager).
+
+employee(e84).
+
+name(e84, laura).
+
+gender(e84, female).
+
+dept(e84, legal).
+
+years(e84, 10).
+
+salary(e84, 80000).
+
+position(e84, staff).
+
+employee(e85).
+
+name(e85, victor).
+
+gender(e85, male).
+
+dept(e85, engineering).
+
+years(e85, 20).
+
+salary(e85, 67000).
+
+position(e85, staff).
+
+employee(e86).
+
+name(e86, wendy).
+
+gender(e86, female).
+
+dept(e86, research).
+
+years(e86, 13).
+
+salary(e86, 31500).
+
+position(e86, staff).
+
+employee(e87).
+
+name(e87, quentin).
+
+gender(e87, male).
+
+dept(e87, legal).
+
+years(e87, 16).
+
+salary(e87, 42000).
+
+position(e87, staff).
+
+employee(e88).
+
+name(e88, mona).
+
+gender(e88, male).
+
+dept(e88, research).
+
+years(e88, 15).
+
+salary(e88, 52500).
+
+position(e88, staff).
+
+employee(e89).
+
+name(e89, yolanda).
+
+gender(e89, male).
+
+dept(e89, engineering).
+
+years(e89, 2).
+
+salary(e89, 44000).
+
+position(e89, staff).
+
+employee(e90).
+
+name(e90, yolanda).
+
+gender(e90, female).
+
+dept(e90, sales).
+
+years(e90, 26).
+
+salary(e90, 63000).
+
+position(e90, staff).
+
+employee(e91).
+
+name(e91, fred).
+
+gender(e91, female).
+
+dept(e91, legal).
+
+years(e91, 29).
+
+salary(e91, 56500).
+
+position(e91, staff).
+
+employee(e92).
+
+name(e92, jack).
+
+gender(e92, female).
+
+dept(e92, hr).
+
+years(e92, 18).
+
+salary(e92, 86000).
+
+position(e92, staff).
+
+employee(e93).
+
+name(e93, fred).
+
+gender(e93, female).
+
+dept(e93, legal).
+
+years(e93, 7).
+
+salary(e93, 79500).
+
+position(e93, staff).
+
+employee(e94).
+
+name(e94, quentin).
+
+gender(e94, female).
+
+dept(e94, engineering).
+
+years(e94, 27).
+
+salary(e94, 60500).
+
+position(e94, staff).
+
+employee(e95).
+
+name(e95, derek).
+
+gender(e95, female).
+
+dept(e95, support).
+
+years(e95, 27).
+
+salary(e95, 71500).
+
+position(e95, staff).
+
+employee(e96).
+
+name(e96, victor).
+
+gender(e96, male).
+
+dept(e96, sales).
+
+years(e96, 5).
+
+salary(e96, 77500).
+
+position(e96, staff).
+
+employee(e97).
+
+name(e97, gina).
+
+gender(e97, female).
+
+dept(e97, research).
+
+years(e97, 7).
+
+salary(e97, 75500).
+
+position(e97, staff).
+
+employee(e98).
+
+name(e98, gina).
+
+gender(e98, female).
+
+dept(e98, hr).
+
+years(e98, 11).
+
+salary(e98, 43500).
+
+position(e98, staff).
+
+employee(e99).
+
+name(e99, ken).
+
+gender(e99, male).
+
+dept(e99, research).
+
+years(e99, 6).
+
+salary(e99, 49000).
+
+position(e99, staff).
+
+employee(e100).
+
+name(e100, nick).
+
+gender(e100, male).
+
+dept(e100, accounting).
+
+years(e100, 22).
+
+salary(e100, 71000).
+
+position(e100, staff).
+
+employee(e101).
+
+name(e101, derek).
+
+gender(e101, male).
+
+dept(e101, accounting).
+
+years(e101, 4).
+
+salary(e101, 39000).
+
+position(e101, staff).
+
+employee(e102).
+
+name(e102, erin).
+
+gender(e102, female).
+
+dept(e102, research).
+
+years(e102, 20).
+
+salary(e102, 56000).
+
+position(e102, staff).
+
+employee(e103).
+
+name(e103, trent).
+
+gender(e103, male).
+
+dept(e103, legal).
+
+years(e103, 15).
+
+salary(e103, 60500).
+
+position(e103, staff).
+
+employee(e104).
+
+name(e104, ken).
+
+gender(e104, male).
+
+dept(e104, accounting).
+
+years(e104, 9).
+
+salary(e104, 74500).
+
+position(e104, staff).
+
+employee(e105).
+
+name(e105, quentin).
+
+gender(e105, female).
+
+dept(e105, accounting).
+
+years(e105, 27).
+
+salary(e105, 66500).
+
+position(e105, staff).
+
+employee(e106).
+
+name(e106, wendy).
+
+gender(e106, male).
+
+dept(e106, legal).
+
+years(e106, 21).
+
+salary(e106, 62500).
+
+position(e106, staff).
+
+employee(e107).
+
+name(e107, nick).
+
+gender(e107, male).
+
+dept(e107, hr).
+
+years(e107, 15).
+
+salary(e107, 29500).
+
+position(e107, staff).
+
+employee(e108).
+
+name(e108, heidi).
+
+gender(e108, male).
+
+dept(e108, legal).
+
+years(e108, 25).
+
+salary(e108, 42500).
+
+position(e108, staff).
+
+employee(e109).
+
+name(e109, iris).
+
+gender(e109, male).
+
+dept(e109, sales).
+
+years(e109, 3).
+
+salary(e109, 57500).
+
+position(e109, staff).
+
+employee(e110).
+
+name(e110, frank).
+
+gender(e110, male).
+
+dept(e110, support).
+
+years(e110, 6).
+
+salary(e110, 27000).
+
+position(e110, staff).
+
+employee(e111).
+
+name(e111, olivia).
+
+gender(e111, female).
+
+dept(e111, support).
+
+years(e111, 7).
+
+salary(e111, 81500).
+
+position(e111, staff).
+
+employee(e112).
+
+name(e112, jack).
+
+gender(e112, female).
+
+dept(e112, research).
+
+years(e112, 15).
+
+salary(e112, 71500).
+
+position(e112, manager).
+
+employee(e113).
+
+name(e113, rupert).
+
+gender(e113, female).
+
+dept(e113, accounting).
+
+years(e113, 9).
+
+salary(e113, 39500).
+
+position(e113, staff).
+
+employee(e114).
+
+name(e114, nick).
+
+gender(e114, female).
+
+dept(e114, research).
+
+years(e114, 9).
+
+salary(e114, 44500).
+
+position(e114, staff).
+
+employee(e115).
+
+name(e115, derek).
+
+gender(e115, female).
+
+dept(e115, support).
+
+years(e115, 3).
+
+salary(e115, 53500).
+
+position(e115, staff).
+
+employee(e116).
+
+name(e116, laura).
+
+gender(e116, male).
+
+dept(e116, accounting).
+
+years(e116, 8).
+
+salary(e116, 74000).
+
+position(e116, staff).
+
+employee(e117).
+
+name(e117, hank).
+
+gender(e117, female).
+
+dept(e117, support).
+
+years(e117, 13).
+
+salary(e117, 33500).
+
+position(e117, staff).
+
+employee(e118).
+
+name(e118, quentin).
+
+gender(e118, male).
+
+dept(e118, hr).
+
+years(e118, 22).
+
+salary(e118, 43000).
+
+position(e118, staff).
+
+employee(e119).
+
+name(e119, amy).
+
+gender(e119, male).
+
+dept(e119, accounting).
+
+years(e119, 9).
+
+salary(e119, 68500).
+
+position(e119, staff).
+
+employee(e120).
+
+name(e120, ella).
+
+gender(e120, female).
+
+dept(e120, legal).
+
+years(e120, 10).
+
+salary(e120, 71000).
+
+position(e120, staff).

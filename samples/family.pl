@@ -1,0 +1,94 @@
+female(X) :- girl(X).
+female(X) :- wife(_A1, X).
+
+male(X) :- \+ female(X).
+
+father(X, Y) :- mother(X, M), wife(Y, M).
+
+parent(X, Y) :- mother(X, Y).
+parent(X, Y) :- father(X, Y).
+
+married(X, Y) :- wife(X, Y).
+married(X, Y) :- wife(Y, X).
+
+siblings(X, Y) :- mother(X, M), mother(Y, M), unequal(X, Y).
+
+sister(X, Y) :- siblings(X, Y), female(Y).
+
+brother(X, Y) :- siblings(X, Y), male(Y).
+
+grandmother(X, Y) :- parent(X, Z), mother(Z, Y).
+
+cousins(X, Y) :- parent(X, Z), parent(Y, W), siblings(W, Z).
+cousins(X, Y) :- parent(X, Z), parent(Y, W), siblings(W, V), married(V, Z).
+
+aunt(X, Y) :- parent(X, P), sister(P, Y).
+aunt(X, Y) :- parent(X, P), brother(P, B), wife(B, Y).
+
+unequal(X, Y) :- X \== Y.
+
+wife(h1, w1).
+wife(h2, w2).
+wife(h3, w3).
+wife(h4, w4).
+wife(h5, w5).
+wife(h6, w6).
+wife(h7, w7).
+wife(h8, w8).
+wife(h9, w9).
+wife(h10, w10).
+wife(h11, w11).
+wife(h12, w12).
+wife(h13, w13).
+wife(h14, w14).
+wife(h15, w15).
+wife(h16, w16).
+wife(h17, w17).
+wife(h18, w18).
+wife(h19, w19).
+
+girl(g1).
+girl(g2).
+girl(g3).
+girl(g4).
+girl(g5).
+girl(g6).
+girl(g7).
+girl(g8).
+girl(g9).
+girl(g10).
+
+mother(g1, w8).
+mother(g2, w19).
+mother(g3, w14).
+mother(g4, w19).
+mother(g5, w18).
+mother(g6, w13).
+mother(g7, w18).
+mother(g8, w19).
+mother(g9, w15).
+mother(g10, w10).
+mother(b1, w18).
+mother(b2, w13).
+mother(b3, w11).
+mother(b4, w16).
+mother(b5, w19).
+mother(b6, w12).
+mother(b7, w19).
+mother(w7, w1).
+mother(h12, w4).
+mother(h10, w1).
+mother(w14, w1).
+mother(w16, w3).
+mother(h19, w6).
+mother(h9, w3).
+mother(w8, w6).
+mother(w19, w1).
+mother(h16, w1).
+mother(h7, w5).
+mother(w11, w1).
+mother(h13, w6).
+mother(h17, w3).
+mother(h14, w6).
+mother(h11, w1).
+mother(w9, w3).

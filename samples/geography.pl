@@ -1,0 +1,520 @@
+country(c01).
+
+capital(c01, cap_c01).
+
+population(c01, 770).
+
+continent(c01, europe).
+
+country(c02).
+
+capital(c02, cap_c02).
+
+population(c02, 1084).
+
+continent(c02, asia).
+
+country(c03).
+
+capital(c03, cap_c03).
+
+population(c03, 1293).
+
+continent(c03, africa).
+
+country(c04).
+
+capital(c04, cap_c04).
+
+population(c04, 388).
+
+continent(c04, america).
+
+country(c05).
+
+capital(c05, cap_c05).
+
+population(c05, 73).
+
+continent(c05, oceania).
+
+country(c06).
+
+capital(c06, cap_c06).
+
+population(c06, 685).
+
+continent(c06, europe).
+
+country(c07).
+
+capital(c07, cap_c07).
+
+population(c07, 951).
+
+continent(c07, asia).
+
+country(c08).
+
+capital(c08, cap_c08).
+
+population(c08, 284).
+
+continent(c08, africa).
+
+country(c09).
+
+capital(c09, cap_c09).
+
+population(c09, 1193).
+
+continent(c09, america).
+
+country(c10).
+
+capital(c10, cap_c10).
+
+population(c10, 1060).
+
+continent(c10, oceania).
+
+country(c11).
+
+capital(c11, cap_c11).
+
+population(c11, 1242).
+
+continent(c11, europe).
+
+country(c12).
+
+capital(c12, cap_c12).
+
+population(c12, 864).
+
+continent(c12, asia).
+
+country(c13).
+
+capital(c13, cap_c13).
+
+population(c13, 329).
+
+continent(c13, africa).
+
+country(c14).
+
+capital(c14, cap_c14).
+
+population(c14, 247).
+
+continent(c14, america).
+
+country(c15).
+
+capital(c15, cap_c15).
+
+population(c15, 124).
+
+continent(c15, oceania).
+
+country(c16).
+
+capital(c16, cap_c16).
+
+population(c16, 125).
+
+continent(c16, europe).
+
+country(c17).
+
+capital(c17, cap_c17).
+
+population(c17, 700).
+
+continent(c17, asia).
+
+country(c18).
+
+capital(c18, cap_c18).
+
+population(c18, 1249).
+
+continent(c18, africa).
+
+country(c19).
+
+capital(c19, cap_c19).
+
+population(c19, 787).
+
+continent(c19, america).
+
+country(c20).
+
+capital(c20, cap_c20).
+
+population(c20, 73).
+
+continent(c20, oceania).
+
+country(c21).
+
+capital(c21, cap_c21).
+
+population(c21, 1003).
+
+continent(c21, europe).
+
+country(c22).
+
+capital(c22, cap_c22).
+
+population(c22, 711).
+
+continent(c22, asia).
+
+country(c23).
+
+capital(c23, cap_c23).
+
+population(c23, 1159).
+
+continent(c23, africa).
+
+country(c24).
+
+capital(c24, cap_c24).
+
+population(c24, 34).
+
+continent(c24, america).
+
+country(c25).
+
+capital(c25, cap_c25).
+
+population(c25, 944).
+
+continent(c25, oceania).
+
+country(c26).
+
+capital(c26, cap_c26).
+
+population(c26, 967).
+
+continent(c26, europe).
+
+country(c27).
+
+capital(c27, cap_c27).
+
+population(c27, 1392).
+
+continent(c27, asia).
+
+country(c28).
+
+capital(c28, cap_c28).
+
+population(c28, 202).
+
+continent(c28, africa).
+
+country(c29).
+
+capital(c29, cap_c29).
+
+population(c29, 180).
+
+continent(c29, america).
+
+country(c30).
+
+capital(c30, cap_c30).
+
+population(c30, 1424).
+
+continent(c30, oceania).
+
+country(c31).
+
+capital(c31, cap_c31).
+
+population(c31, 1207).
+
+continent(c31, europe).
+
+country(c32).
+
+capital(c32, cap_c32).
+
+population(c32, 483).
+
+continent(c32, asia).
+
+country(c33).
+
+capital(c33, cap_c33).
+
+population(c33, 1169).
+
+continent(c33, africa).
+
+country(c34).
+
+capital(c34, cap_c34).
+
+population(c34, 338).
+
+continent(c34, america).
+
+country(c35).
+
+capital(c35, cap_c35).
+
+population(c35, 958).
+
+continent(c35, oceania).
+
+country(c36).
+
+capital(c36, cap_c36).
+
+population(c36, 972).
+
+continent(c36, europe).
+
+country(c37).
+
+capital(c37, cap_c37).
+
+population(c37, 703).
+
+continent(c37, asia).
+
+country(c38).
+
+capital(c38, cap_c38).
+
+population(c38, 1466).
+
+continent(c38, africa).
+
+country(c39).
+
+capital(c39, cap_c39).
+
+population(c39, 742).
+
+continent(c39, america).
+
+country(c40).
+
+capital(c40, cap_c40).
+
+population(c40, 547).
+
+continent(c40, oceania).
+
+borders(c23, c36).
+borders(c36, c23).
+borders(c21, c31).
+borders(c31, c21).
+borders(c07, c25).
+borders(c25, c07).
+borders(c15, c32).
+borders(c32, c15).
+borders(c14, c24).
+borders(c24, c14).
+borders(c11, c06).
+borders(c06, c11).
+borders(c29, c21).
+borders(c21, c29).
+borders(c39, c14).
+borders(c14, c39).
+borders(c29, c19).
+borders(c19, c29).
+borders(c03, c26).
+borders(c26, c03).
+borders(c19, c16).
+borders(c16, c19).
+borders(c19, c27).
+borders(c27, c19).
+borders(c20, c30).
+borders(c30, c20).
+borders(c17, c38).
+borders(c38, c17).
+borders(c34, c06).
+borders(c06, c34).
+borders(c03, c05).
+borders(c05, c03).
+borders(c25, c38).
+borders(c38, c25).
+borders(c13, c02).
+borders(c02, c13).
+borders(c02, c14).
+borders(c14, c02).
+borders(c01, c30).
+borders(c30, c01).
+borders(c06, c01).
+borders(c01, c06).
+borders(c06, c13).
+borders(c13, c06).
+borders(c22, c07).
+borders(c07, c22).
+borders(c27, c36).
+borders(c36, c27).
+borders(c08, c07).
+borders(c07, c08).
+borders(c21, c30).
+borders(c30, c21).
+borders(c28, c20).
+borders(c20, c28).
+borders(c18, c05).
+borders(c05, c18).
+borders(c16, c39).
+borders(c39, c16).
+borders(c16, c38).
+borders(c38, c16).
+borders(c07, c01).
+borders(c01, c07).
+borders(c29, c34).
+borders(c34, c29).
+borders(c04, c29).
+borders(c29, c04).
+borders(c39, c29).
+borders(c29, c39).
+borders(c40, c01).
+borders(c01, c40).
+borders(c38, c12).
+borders(c12, c38).
+borders(c30, c06).
+borders(c06, c30).
+borders(c14, c06).
+borders(c06, c14).
+borders(c15, c06).
+borders(c06, c15).
+borders(c35, c31).
+borders(c31, c35).
+borders(c14, c26).
+borders(c26, c14).
+borders(c40, c27).
+borders(c27, c40).
+borders(c30, c39).
+borders(c39, c30).
+borders(c19, c30).
+borders(c30, c19).
+borders(c24, c33).
+borders(c33, c24).
+borders(c08, c32).
+borders(c32, c08).
+borders(c10, c36).
+borders(c36, c10).
+borders(c16, c21).
+borders(c21, c16).
+borders(c22, c05).
+borders(c05, c22).
+borders(c26, c16).
+borders(c16, c26).
+borders(c18, c16).
+borders(c16, c18).
+borders(c08, c21).
+borders(c21, c08).
+borders(c30, c38).
+borders(c38, c30).
+borders(c29, c38).
+borders(c38, c29).
+borders(c27, c32).
+borders(c32, c27).
+borders(c27, c07).
+borders(c07, c27).
+borders(c04, c14).
+borders(c14, c04).
+borders(c17, c33).
+borders(c33, c17).
+borders(c34, c35).
+borders(c35, c34).
+borders(c35, c23).
+borders(c23, c35).
+borders(c12, c22).
+borders(c22, c12).
+borders(c26, c09).
+borders(c09, c26).
+borders(c14, c09).
+borders(c09, c14).
+borders(c29, c25).
+borders(c25, c29).
+borders(c20, c34).
+borders(c34, c20).
+borders(c29, c28).
+borders(c28, c29).
+borders(c09, c24).
+borders(c24, c09).
+borders(c33, c26).
+borders(c26, c33).
+borders(c23, c07).
+borders(c07, c23).
+borders(c24, c17).
+borders(c17, c24).
+borders(c25, c12).
+borders(c12, c25).
+borders(c35, c33).
+borders(c33, c35).
+borders(c32, c25).
+borders(c25, c32).
+borders(c29, c12).
+borders(c12, c29).
+borders(c11, c15).
+borders(c15, c11).
+borders(c14, c18).
+borders(c18, c14).
+borders(c26, c40).
+borders(c40, c26).
+borders(c25, c19).
+borders(c19, c25).
+borders(c33, c39).
+borders(c39, c33).
+borders(c14, c19).
+borders(c19, c14).
+borders(c30, c04).
+borders(c04, c30).
+borders(c18, c04).
+borders(c04, c18).
+borders(c22, c39).
+borders(c39, c22).
+borders(c36, c11).
+borders(c11, c36).
+borders(c15, c19).
+borders(c19, c15).
+borders(c35, c01).
+borders(c01, c35).
+borders(c21, c03).
+borders(c03, c21).
+borders(c09, c33).
+borders(c33, c09).
+borders(c23, c04).
+borders(c04, c23).
+borders(c24, c07).
+borders(c07, c24).
+borders(c06, c07).
+borders(c07, c06).
+borders(c12, c06).
+borders(c06, c12).
+borders(c23, c18).
+borders(c18, c23).
+borders(c05, c08).
+borders(c08, c05).
+borders(c20, c22).
+borders(c22, c20).
+borders(c31, c28).
+borders(c28, c31).
+borders(c01, c02).
+borders(c02, c01).
+borders(c23, c29).
+borders(c29, c23).
+borders(c30, c36).
+borders(c36, c30).
+borders(c20, c19).
+borders(c19, c20).

@@ -1,0 +1,196 @@
+//! Set-equivalence (§II) across the whole pipeline: for every workload the
+//! paper evaluates, the reordered program must produce exactly the same
+//! *set* of answers as the original on every query — answers may arrive
+//! in a different order, but none may appear or disappear, and queries
+//! must fail on the same inputs.
+
+use prolog_analysis::Mode;
+use prolog_engine::Engine;
+use prolog_syntax::{parse_program, SourceProgram, Term};
+use prolog_workloads::corporate::{corporate_program, CorporateConfig};
+use prolog_workloads::family::{family_program, FamilyConfig};
+use prolog_workloads::kmbench::{kmbench_program, KmbenchConfig};
+use prolog_workloads::puzzles::{meal_program, p58_program, team_program};
+use prolog_workloads::queries::{mode_queries, QuerySpec};
+use reorder::{ReorderConfig, Reorderer};
+
+/// Runs every query on both programs and compares solution sets and
+/// outputs.
+fn assert_set_equivalent(original: &SourceProgram, queries: &[Term]) {
+    let result = Reorderer::new(original, ReorderConfig::default()).run();
+    let mut orig_engine = Engine::new();
+    orig_engine.load(original);
+    let mut reord_engine = Engine::new();
+    reord_engine.load(&result.program);
+    for goal in queries {
+        let names: Vec<String> =
+            (0..goal.variables().len()).map(|i| format!("V{i}")).collect();
+        let a = orig_engine
+            .query_term(goal, &names, usize::MAX)
+            .unwrap_or_else(|e| panic!("original failed on {goal}: {e}"));
+        let b = reord_engine
+            .query_term(goal, &names, usize::MAX)
+            .unwrap_or_else(|e| panic!("reordered failed on {goal}: {e}"));
+        assert_eq!(
+            a.solution_set(),
+            b.solution_set(),
+            "solution sets differ on {goal}"
+        );
+        assert_eq!(a.succeeded(), b.succeeded(), "success differs on {goal}");
+        assert_eq!(a.output, b.output, "side-effect output differs on {goal}");
+    }
+}
+
+fn all_mode_queries(name: &str, arity: usize, universe: &[String]) -> Vec<Term> {
+    let mut out = Vec::new();
+    // Use a universe sample to keep (+,+) modes affordable in tests.
+    let sample: Vec<String> = universe.iter().take(8).cloned().collect();
+    for bits in 0..(1u32 << arity) {
+        let mode = Mode::new(
+            (0..arity)
+                .map(|i| {
+                    if bits & (1 << i) != 0 {
+                        prolog_analysis::ModeItem::Plus
+                    } else {
+                        prolog_analysis::ModeItem::Minus
+                    }
+                })
+                .collect(),
+        );
+        let spec = QuerySpec { name: name.to_string(), mode, universe: sample.clone() };
+        out.extend(mode_queries(&spec));
+    }
+    out
+}
+
+#[test]
+fn family_tree_all_predicates_all_modes() {
+    let (program, people) = family_program(&FamilyConfig::default());
+    let mut queries = Vec::new();
+    for pred in [
+        "female", "male", "father", "parent", "married", "siblings", "sister", "brother",
+        "grandmother", "cousins", "aunt",
+    ] {
+        let arity = if pred == "female" || pred == "male" { 1 } else { 2 };
+        queries.extend(all_mode_queries(pred, arity, &people));
+    }
+    assert_set_equivalent(&program, &queries);
+}
+
+#[test]
+fn corporate_database_rules() {
+    let (program, _) = corporate_program(&CorporateConfig::default());
+    let queries: Vec<Term> = [
+        "benefits(E, B)",
+        "pay(E, N, P)",
+        "pay(E, jane, P)",
+        "maternity(E, N)",
+        "maternity(E, jane)",
+        "average_pay(D, A)",
+        "average_pay(engineering, A)",
+        "tax(E, T)",
+        "tax(e1, T)",
+        "benefits(e7, B)",
+    ]
+    .iter()
+    .map(|s| prolog_syntax::parse_term(s).unwrap().0)
+    .collect();
+    assert_set_equivalent(&program, &queries);
+}
+
+#[test]
+fn p58_all_modes() {
+    let program = p58_program();
+    let universe = prolog_workloads::puzzles::p58_universe();
+    assert_set_equivalent(&program, &all_mode_queries("p58", 2, &universe));
+}
+
+#[test]
+fn meal_all_modes() {
+    let program = meal_program();
+    let (a, m, d) = prolog_workloads::puzzles::meal_universe();
+    let mut queries = vec![prolog_syntax::parse_term("meal(A, M, D)").unwrap().0];
+    for ai in a.iter().take(3) {
+        for mi in m.iter().take(3) {
+            queries.push(
+                prolog_syntax::parse_term(&format!("meal({ai}, {mi}, D)")).unwrap().0,
+            );
+            for di in d.iter().take(2) {
+                queries.push(
+                    prolog_syntax::parse_term(&format!("meal({ai}, {mi}, {di})"))
+                        .unwrap()
+                        .0,
+                );
+            }
+        }
+    }
+    assert_set_equivalent(&program, &queries);
+}
+
+#[test]
+fn team_all_modes() {
+    let program = team_program();
+    let universe = prolog_workloads::puzzles::team_universe();
+    assert_set_equivalent(&program, &all_mode_queries("team", 2, &universe));
+}
+
+#[test]
+fn kmbench_driver_and_problems() {
+    let config = KmbenchConfig::default();
+    let program = kmbench_program(&config);
+    let mut queries = vec![
+        prolog_syntax::parse_term("run_all").unwrap().0,
+        prolog_syntax::parse_term("run_problem(Id)").unwrap().0,
+    ];
+    for id in prolog_workloads::kmbench::kmbench_problem_ids(&config).iter().take(6) {
+        queries.push(prolog_syntax::parse_term(&format!("run_problem({id})")).unwrap().0);
+    }
+    assert_set_equivalent(&program, &queries);
+}
+
+#[test]
+fn side_effecting_program_output_is_preserved() {
+    // Fixity must keep the write where it is: outputs compared verbatim.
+    let program = parse_program(
+        "
+        report(X) :- item(X, L), write(X), nl, large(L).
+        large(L) :- L > 10.
+        item(a, 5). item(b, 15). item(c, 25).
+        show_all :- item(X, _), write(X), fail.
+        show_all.
+        ",
+    )
+    .unwrap();
+    let queries: Vec<Term> = ["report(X)", "show_all", "report(b)"]
+        .iter()
+        .map(|s| prolog_syntax::parse_term(s).unwrap().0)
+        .collect();
+    assert_set_equivalent(&program, &queries);
+}
+
+#[test]
+fn cut_bearing_programs_are_preserved() {
+    let program = parse_program(
+        "
+        classify(X, small) :- X < 10, !.
+        classify(X, medium) :- X < 100, !.
+        classify(_, large).
+        first_even([X|_], X) :- 0 is X mod 2, !.
+        first_even([_|T], X) :- first_even(T, X).
+        pick(X) :- gen(Y), Y > 2, !, X = Y.
+        gen(1). gen(2). gen(3). gen(4).
+        ",
+    )
+    .unwrap();
+    let queries: Vec<Term> = [
+        "classify(5, C)",
+        "classify(50, C)",
+        "classify(500, C)",
+        "first_even([1,3,4,6], X)",
+        "pick(X)",
+    ]
+    .iter()
+    .map(|s| prolog_syntax::parse_term(s).unwrap().0)
+    .collect();
+    assert_set_equivalent(&program, &queries);
+}

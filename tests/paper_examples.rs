@@ -1,0 +1,311 @@
+//! Every worked example the paper's prose walks through, as executable
+//! tests: §I-D (grandmother), §III-A (length clause order / Fig. 1),
+//! §III-B (Fig. 2), §IV-B (fixity barriers), §IV-D (show_all, citizen,
+//! permutation), §V-B (delete, functor), §V-C (mode pairs), §VI-A
+//! (Markov numbers), §VII (aunt dispatcher naming).
+
+use prolog_engine::{Engine, EngineError, QueryError};
+use prolog_markov::{ClauseChain, GoalStats};
+use prolog_syntax::{parse_program, Body, PredId};
+use reorder::{ReorderConfig, Reorderer};
+
+// ----------------------------------------------------------- §I-D --------
+
+#[test]
+fn intro_grandmother_reordering_pays() {
+    // "Unless only a tiny fraction of the females in the database are
+    // grandmothers, the reordering pays."
+    let src = "
+        female(W) :- girl(W).
+        female(W) :- wife(_, W).
+        grandmother(GC, GM) :- grandparent(GC, GM), female(GM).
+        grandparent(GC, GP) :- parent(P, GP), parent(GC, P).
+        parent(C, P) :- mother(C, P).
+        parent(C, P) :- mother(C, M), wife(P, M).
+        girl(a1). girl(a2). girl(a3). girl(a4).
+        wife(h1, w1). wife(h2, w2). wife(h3, w3). wife(h4, w4). wife(h5, w5).
+        mother(h1, gm1). mother(w1, gm2). mother(h2, gm1). mother(w2, gm2).
+        mother(k1, w1). mother(k2, w1). mother(k3, w2). mother(k4, w2).
+        mother(k5, w3). mother(k6, w3).
+        girl(gm1). girl(gm2).
+    ";
+    let program = parse_program(src).unwrap();
+    let result = Reorderer::new(&program, ReorderConfig::default()).run();
+
+    // The (-,-) version must lead with female/1.
+    let report = result.report.predicate(PredId::new("grandmother", 2)).unwrap();
+    let uu = report
+        .modes
+        .iter()
+        .find(|m| m.mode == prolog_analysis::Mode::parse("--").unwrap())
+        .unwrap();
+    assert_eq!(uu.goal_orders[0], vec![1, 0], "female first in mode (-,-)");
+
+    // And it measures cheaper.
+    let mut orig = Engine::new();
+    orig.load(&program);
+    let a = orig.query("grandmother(X, Y)").unwrap();
+    let mut reord = Engine::new();
+    reord.load(&result.program);
+    let b = reord.query(&format!("{}(X, Y)", uu.version)).unwrap();
+    assert_eq!(a.solution_set(), b.solution_set());
+    assert!(b.counters.user_calls < a.counters.user_calls);
+}
+
+// ----------------------------------------------------- §III-A / Fig. 1 ---
+
+#[test]
+fn fig1_expected_costs_match_exactly() {
+    let goals: Vec<GoalStats> = [(0.7, 100.0), (0.8, 80.0), (0.5, 100.0), (0.9, 40.0)]
+        .iter()
+        .map(|&(p, c)| GoalStats::new(p, c))
+        .collect();
+    let chain = ClauseChain::new(&goals);
+    assert!((chain.expected_success_cost_first_pass() - 130.24).abs() < 1e-9);
+    let order = reorder::clause_order::order_clauses(
+        &[(0.7, 100.0), (0.8, 80.0), (0.5, 100.0), (0.9, 40.0)],
+        &[true; 4],
+    );
+    let reordered: Vec<GoalStats> = order.iter().map(|&i| goals[i]).collect();
+    let chain = ClauseChain::new(&reordered);
+    assert!((chain.expected_success_cost_first_pass() - 49.64).abs() < 1e-9);
+}
+
+#[test]
+fn length_clause_order_is_good_and_preserved() {
+    // §III-A: the recursive clause first is "good" — and since len/3 is
+    // recursive, the reorderer must leave it untouched.
+    let src = "
+        len([_|List], C, L) :- C1 is C + 1, len(List, C1, L).
+        len([], L, L).
+        use_(X, N) :- len(X, 0, N).
+    ";
+    let program = parse_program(src).unwrap();
+    let result = Reorderer::new(&program, ReorderConfig::default()).run();
+    let before: Vec<_> = program
+        .clauses_of(PredId::new("len", 3))
+        .iter()
+        .map(|c| prolog_syntax::pretty::clause_to_string(c))
+        .collect();
+    let after: Vec<_> = result
+        .program
+        .clauses_of(PredId::new("len", 3))
+        .iter()
+        .map(|c| prolog_syntax::pretty::clause_to_string(c))
+        .collect();
+    assert_eq!(before, after);
+    // and it still runs
+    let mut e = Engine::new();
+    e.load(&result.program);
+    assert_eq!(
+        e.query("use_([a, b, c], N)").unwrap().solutions[0].to_string(),
+        "N = 3"
+    );
+}
+
+// ----------------------------------------------------- §III-B / Fig. 2 ---
+
+#[test]
+fn fig2_expected_failure_costs_match_exactly() {
+    let mk = |qs: &[f64], cs: &[f64]| {
+        ClauseChain::new(
+            &qs.iter()
+                .zip(cs)
+                .map(|(&q, &c)| GoalStats::new(1.0 - q, c))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let original = mk(&[0.8, 0.1, 0.3, 0.6], &[70.0, 100.0, 100.0, 60.0]);
+    assert!((original.expected_failure_cost_first_pass() - 98.928).abs() < 1e-9);
+    let reordered = mk(&[0.8, 0.6, 0.3, 0.1], &[70.0, 60.0, 100.0, 100.0]);
+    assert!((reordered.expected_failure_cost_first_pass() - 78.968).abs() < 1e-9);
+}
+
+// --------------------------------------------------------------- §IV-B ---
+
+#[test]
+fn fixity_example_b_cannot_move() {
+    // "Imagine three goals a, b, and c … b has a side-effect. …
+    // Unless a or c is certain to succeed, we cannot move b."
+    let src = "
+        clause_(X) :- a(X), b(X), c(X).
+        a(1). a(2).
+        b(X) :- write(X).
+        c(2).
+    ";
+    let program = parse_program(src).unwrap();
+    let result = Reorderer::new(&program, ReorderConfig::default()).run();
+    // b must stay in the middle in every emitted version of clause_/1.
+    for pred in result.program.predicates() {
+        if pred.name.as_str().starts_with("clause_") {
+            for clause in result.program.clauses_of(pred) {
+                let order: Vec<String> = clause
+                    .body
+                    .conjuncts()
+                    .iter()
+                    .filter_map(|g| match g {
+                        Body::Call(t) => {
+                            Some(t.pred_id().unwrap().name.as_str().to_string())
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                let pos = |n: &str| {
+                    order.iter().position(|x| x.starts_with(n)).unwrap()
+                };
+                assert!(pos("a") < pos("b") && pos("b") < pos("c"), "{order:?}");
+            }
+        }
+    }
+    // And the printed output of the program is unchanged.
+    let mut orig = Engine::new();
+    orig.load(&program);
+    let mut reord = Engine::new();
+    reord.load(&result.program);
+    let a = orig.query("clause_(X)").unwrap();
+    let b = reord.query("clause_(X)").unwrap();
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.solution_set(), b.solution_set());
+}
+
+// --------------------------------------------------------------- §IV-D ---
+
+#[test]
+fn citizen_disjunction_example() {
+    // The citizen/1 disjunction shorthand behaves like two clauses.
+    let two_clauses = "
+        citizen(X) :- native_born(X).
+        citizen(X) :- naturalized(X).
+        native_born(ann). naturalized(boris).
+    ";
+    let disjunctive = "
+        citizen(X) :- native_born(X) ; naturalized(X).
+        native_born(ann). naturalized(boris).
+    ";
+    let mut a = Engine::new();
+    a.consult(two_clauses).unwrap();
+    let mut b = Engine::new();
+    b.consult(disjunctive).unwrap();
+    assert_eq!(
+        a.query("citizen(X)").unwrap().solution_set(),
+        b.query("citizen(X)").unwrap().solution_set()
+    );
+}
+
+#[test]
+fn show_all_failure_driven_loop() {
+    // §IV-D.4 verbatim (modulo t/3 contents).
+    let src = "
+        t(1, a, x). t(2, b, y).
+        show_all :- t(X, Y, Z), write((X, Y, Z)), nl, fail.
+        show_all.
+    ";
+    let mut e = Engine::new();
+    e.consult(src).unwrap();
+    let out = e.query("show_all").unwrap();
+    assert!(out.succeeded());
+    assert_eq!(out.output.lines().count(), 2);
+    // the loop's goals stay inside it under reordering
+    let program = parse_program(src).unwrap();
+    let result = Reorderer::new(&program, ReorderConfig::default()).run();
+    let mut e2 = Engine::new();
+    e2.load(&result.program);
+    assert_eq!(e2.query("show_all").unwrap().output, out.output);
+}
+
+#[test]
+fn permutation_safe_mode_works_unsafe_mode_guarded() {
+    // §IV-D.7: "Given a variable instead, it will go into an infinite
+    // loop." The engine's depth limit catches the unsafe mode.
+    let src = "
+        select_(X, [X|Xs], Xs).
+        select_(X, [Y|Xs], [Y|Ys]) :- select_(X, Xs, Ys).
+        permutation([], []).
+        permutation(Xs, [X|Ys]) :- select_(X, Xs, Zs), permutation(Zs, Ys).
+    ";
+    let mut e = Engine::new();
+    e.consult(src).unwrap();
+    assert_eq!(e.query("permutation([1,2,3], P)").unwrap().solutions.len(), 6);
+    // unsafe: first argument free — swapping the goals of the second
+    // clause of permutation/2 would loop; even unswapped, mode (-,+) with
+    // a partial second argument enumerates forever, with ever-longer
+    // answers. Bound both the call budget and the solutions collected
+    // (collecting all answers of an infinite enumeration is itself
+    // quadratic in the budget) and check the guard fires.
+    e.config.max_calls = 2_000;
+    match e.query_limit("permutation(X, [1|T])", 25) {
+        Err(QueryError::Engine(EngineError::CallLimit(_)))
+        | Err(QueryError::Engine(EngineError::DepthLimit(_))) => {}
+        Ok(out) => assert!(out.truncated, "must stop at the solution cap"),
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+// ---------------------------------------------------------------- §V-B ---
+
+#[test]
+fn delete_modes_from_the_paper() {
+    let src = "
+        delete(X, [X|Y], Y).
+        delete(U, [X|Y], [X|V]) :- delete(U, Y, V).
+    ";
+    let mut e = Engine::new();
+    e.consult(src).unwrap();
+    // (+,+,-): deletes one instance
+    assert_eq!(
+        e.query("delete(b, [a,b,c], R)").unwrap().solutions[0].to_string(),
+        "R = [a, c]"
+    );
+    // (-,+,-): enumerates deletions
+    assert_eq!(e.query("delete(X, [a,b], R)").unwrap().solutions.len(), 2);
+    // (-,-,+): "delete inserts its first argument into a copy of its
+    // third, and returns the result in its second."
+    let out = e.query_limit("delete(X, L, [a, b])", 3).unwrap();
+    assert_eq!(out.solutions.len(), 3);
+    // (+,-,-): infinite solutions; guarded by the call budget.
+    e.config.max_calls = 1_000;
+    assert!(e.query("delete(a, L, R)").is_err());
+}
+
+// ---------------------------------------------------------------- §VII ---
+
+#[test]
+fn aunt_versions_use_paper_naming_and_dispatch() {
+    let src = "
+        aunt(X, Y) :- parent(X, P), sister(P, Y).
+        sister(X, Y) :- siblings(X, Y), female(Y).
+        siblings(X, Y) :- mother(X, M), mother(Y, M), X \\== Y.
+        female(X) :- girl(X).
+        parent(C, P) :- mother(C, P).
+        girl(g1). girl(s1).
+        mother(c1, s1). mother(s1, gm). mother(g1, gm).
+    ";
+    let program = parse_program(src).unwrap();
+    let result = Reorderer::new(&program, ReorderConfig::default()).run();
+    let names: Vec<String> = result
+        .program
+        .predicates()
+        .iter()
+        .map(|p| p.name.as_str().to_string())
+        .collect();
+    // aunt has at least two distinct versions or a collapsed single one;
+    // either way the dispatcher (or the collapsed version) answers under
+    // the original name.
+    assert!(names.contains(&"aunt".to_string()));
+    let mut e = Engine::new();
+    e.load(&result.program);
+    let out = e.query("aunt(X, Y)").unwrap();
+    let mut orig = Engine::new();
+    orig.load(&program);
+    assert_eq!(out.solution_set(), orig.query("aunt(X, Y)").unwrap().solution_set());
+}
+
+#[test]
+fn version_suffixes_follow_terminal_letter_convention() {
+    // u = uninstantiated, i = instantiated.
+    use prolog_analysis::Mode;
+    assert_eq!(Mode::parse("--").unwrap().suffix(), "uu");
+    assert_eq!(Mode::parse("-+").unwrap().suffix(), "ui");
+    assert_eq!(Mode::parse("+-").unwrap().suffix(), "iu");
+    assert_eq!(Mode::parse("++").unwrap().suffix(), "ii");
+}

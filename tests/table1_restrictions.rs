@@ -1,0 +1,306 @@
+//! Table I encoded as tests: every restriction class the paper's taxonomy
+//! lists — modes, fixity, semifixity, cut immobility, control constructs,
+//! recursion — with the effect and propagation behaviour it specifies.
+
+use prolog_analysis::fixity::{prolog_engine_builtin_seeds, FixityAnalysis};
+use prolog_analysis::{
+    CallGraph, Declarations, Mode, ProgramAnalysis, RecursionAnalysis, SemifixityAnalysis,
+};
+use prolog_syntax::{parse_program, Body, PredId, SourceProgram};
+use reorder::blocks::split_blocks;
+use reorder::{ModeOracle, ReorderConfig, Reorderer};
+
+fn id(name: &str, arity: usize) -> PredId {
+    PredId::new(name, arity)
+}
+
+fn analyze(src: &str) -> (SourceProgram, ProgramAnalysis) {
+    let p = parse_program(src).unwrap();
+    let a = ProgramAnalysis::analyze(&p);
+    (p, a)
+}
+
+// ---------------------------------------------------------------- modes --
+
+#[test]
+fn row_modes_builtins_must_satisfy_demands() {
+    // "Causes: built-in predicates; recursions. Effect on goals: order
+    // must satisfy demands."
+    let (p, a) = analyze("double(X, Y) :- Y is X * 2.");
+    let oracle = ModeOracle::new(&p, &a.declarations);
+    assert!(oracle.call(id("double", 2), &Mode::parse("+-").unwrap()).is_some());
+    assert!(oracle.call(id("double", 2), &Mode::parse("-+").unwrap()).is_none());
+}
+
+#[test]
+fn row_modes_propagate_to_ancestors() {
+    // "Propagation: demands pass to ancestors."
+    let (p, a) = analyze(
+        "outer(X, Y) :- middle(X, Y).
+         middle(X, Y) :- double(X, Y).
+         double(X, Y) :- Y is X * 2.",
+    );
+    let oracle = ModeOracle::new(&p, &a.declarations);
+    assert!(oracle.call(id("outer", 2), &Mode::parse("--").unwrap()).is_none());
+    assert!(oracle.call(id("outer", 2), &Mode::parse("+-").unwrap()).is_some());
+}
+
+// --------------------------------------------------------------- fixity --
+
+#[test]
+fn row_fixity_goal_immobile_within_clause() {
+    // "Effect on goals of clauses: goal immobile within clause."
+    let (p, _) = analyze("p(X) :- a(X), write(X), b(X). a(1). b(1).");
+    let g = CallGraph::build(&p);
+    let fixity = FixityAnalysis::compute(&p, &g);
+    let blocks = split_blocks(&p.clauses[0].body.conjuncts(), &fixity);
+    assert_eq!(blocks.len(), 3);
+    assert!(!blocks[1].mobile, "the write goal is its own immobile block");
+}
+
+#[test]
+fn row_fixity_clause_immobile_within_predicate() {
+    // "Effect on clauses of predicates: clause immobile within predicate."
+    let (p, _) = analyze(
+        "p(X) :- a(X).
+         p(X) :- write(X).
+         p(X) :- b(X).
+         a(1). b(1).",
+    );
+    let g = CallGraph::build(&p);
+    let fixity = FixityAnalysis::compute(&p, &g);
+    assert!(reorder::clause_order::clause_is_mobile(&p.clauses[0], &fixity));
+    assert!(!reorder::clause_order::clause_is_mobile(&p.clauses[1], &fixity));
+}
+
+#[test]
+fn row_fixity_ancestors_become_fixed() {
+    // "Propagation: ancestors become fixed."
+    let (p, _) = analyze(
+        "top(X) :- mid(X). mid(X) :- leaf(X). leaf(X) :- write(X).",
+    );
+    let g = CallGraph::build(&p);
+    let fixity = FixityAnalysis::compute(&p, &g);
+    for name in ["top", "mid", "leaf"] {
+        assert!(fixity.is_fixed(id(name, 1)), "{name} must be fixed");
+    }
+}
+
+// ----------------------------------------------------------- semifixity --
+
+#[test]
+fn row_semifixity_cut_and_mode_dependent_clause_selection() {
+    // "Causes: differing success (failure) in some modes."
+    let (p, _) = analyze(
+        "a(_, _, b) :- !.
+         a(X, Y, Z) :- c(X, Y), d(Y, Z).
+         c(1, 2). d(2, 3).",
+    );
+    let g = CallGraph::build(&p);
+    let s = SemifixityAnalysis::compute(&p, &g);
+    assert!(s.is_semifixed(id("a", 3)));
+    assert_eq!(s.culprit_positions(id("a", 3)), vec![2]);
+}
+
+#[test]
+fn row_semifixity_ancestors_depend_on_culprit_variables() {
+    // "Propagation: ancestors become semi-fixed (depends on variables)."
+    let (p, _) = analyze(
+        "s(X) :- var(X).
+         t(X, Y) :- q(Y), s(X).
+         q(1).",
+    );
+    let g = CallGraph::build(&p);
+    let s = SemifixityAnalysis::compute(&p, &g);
+    assert!(s.is_semifixed(id("t", 2)));
+    assert_eq!(s.culprit_positions(id("t", 2)), vec![0]);
+}
+
+#[test]
+fn row_semifixity_negation_all_variables() {
+    // §IV-D.5: "we treat a negation as semifixed in all its variables".
+    let (p, _) = analyze("male(X) :- not(female(X)). female(f).");
+    let g = CallGraph::build(&p);
+    let s = SemifixityAnalysis::compute(&p, &g);
+    assert!(s.is_semifixed(id("male", 1)));
+}
+
+#[test]
+fn semifixed_goals_keep_their_binders_ahead_end_to_end() {
+    // brother/2 calls male/2 (negation inside): siblings must stay first.
+    let src = "
+        siblings(X, Y) :- mother(X, M), mother(Y, M), X \\== Y.
+        brother(X, Y) :- siblings(X, Y), male(Y).
+        male(X) :- not(female(X)).
+        female(X) :- girl(X).
+        girl(g1). girl(g2).
+        mother(g1, m1). mother(b1, m1). mother(g2, m2). mother(b2, m2).
+    ";
+    let program = parse_program(src).unwrap();
+    let result = Reorderer::new(&program, ReorderConfig::default()).run();
+    // In versions where Y is unbound at entry (suffix ending in `u`),
+    // male(Y) must stay after its binder. When Y is bound at entry
+    // (`_ui`, `_ii`), hoisting the male test IS the legal optimisation —
+    // the culprit variable is already instantiated.
+    for pred in result.program.predicates() {
+        let name = pred.name.as_str();
+        if name.starts_with("brother") && pred.arity == 2 && !name.ends_with('i') {
+            for clause in result.program.clauses_of(pred) {
+                let goals = clause.body.conjuncts();
+                let pos = |name: &str| {
+                    goals.iter().position(|g| match g {
+                        Body::Call(t) => t
+                            .pred_id()
+                            .is_some_and(|p| p.name.as_str().starts_with(name)),
+                        _ => false,
+                    })
+                };
+                if let (Some(s), Some(m)) = (pos("siblings"), pos("male")) {
+                    assert!(s < m, "male may not cross its binder in {pred}");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- cut ----
+
+#[test]
+fn row_cut_freezes_preceding_goals() {
+    // "Immobility: can't reorder goals before cut."
+    let (p, _) = analyze("p(X) :- a(X), b(X), !, c(X), d(X). a(1). b(1). c(1). d(1).");
+    let g = CallGraph::build(&p);
+    let fixity = FixityAnalysis::compute(&p, &g);
+    let blocks = split_blocks(&p.clauses[0].body.conjuncts(), &fixity);
+    assert!(!blocks[0].mobile);
+    assert_eq!(blocks[0].goals.len(), 3); // a, b, !
+    assert!(blocks[1].mobile);
+    assert_eq!(blocks[1].goals.len(), 2); // c, d
+}
+
+#[test]
+fn row_cut_bearing_clause_fixed_within_predicate() {
+    let (p, _) = analyze("p(X) :- a(X), !. p(X) :- b(X). a(1). b(1).");
+    let g = CallGraph::build(&p);
+    let fixity = FixityAnalysis::compute(&p, &g);
+    assert!(!reorder::clause_order::clause_is_mobile(&p.clauses[0], &fixity));
+    assert!(reorder::clause_order::clause_is_mobile(&p.clauses[1], &fixity));
+}
+
+// ----------------------------------------------------------- control ----
+
+#[test]
+fn row_disjunction_confines_goals_to_their_halves() {
+    // "goals confined to halves of disjunction."
+    let (p, _) = analyze("p(X) :- a(X), (b(X) ; c(X)), d(X). a(1). b(1). c(1). d(1).");
+    let g = CallGraph::build(&p);
+    let fixity = FixityAnalysis::compute(&p, &g);
+    let blocks = split_blocks(&p.clauses[0].body.conjuncts(), &fixity);
+    // the disjunction is one immobile unit between mobile singletons
+    assert_eq!(
+        blocks.iter().map(|b| b.mobile).collect::<Vec<_>>(),
+        vec![true, false, true]
+    );
+}
+
+#[test]
+fn row_implication_premise_immobile() {
+    // "if immobile; then, else confined."
+    let (p, _) = analyze("p(X) :- a(X), (b(X) -> c(X) ; d(X)). a(1). b(1). c(1). d(1).");
+    let g = CallGraph::build(&p);
+    let fixity = FixityAnalysis::compute(&p, &g);
+    let blocks = split_blocks(&p.clauses[0].body.conjuncts(), &fixity);
+    assert!(!blocks[1].mobile, "if-then-else is an immobile unit");
+}
+
+// ---------------------------------------------------------- recursion ---
+
+#[test]
+fn row_recursion_detected_and_left_alone() {
+    // "avoid orders that cause infinite loops" — we skip recursive bodies.
+    let (p, a) = analyze(
+        "select_(X, [X|Xs], Xs).
+         select_(X, [Y|Xs], [Y|Ys]) :- select_(X, Xs, Ys).
+         permutation([], []).
+         permutation(Xs, [X|Ys]) :- select_(X, Xs, Zs), permutation(Zs, Ys).",
+    );
+    assert!(a.recursion.is_recursive(id("permutation", 2)));
+    let result = Reorderer::new(&p, ReorderConfig::default()).run();
+    // permutation/2 must be byte-identical in the output
+    let before: Vec<String> = p
+        .clauses_of(id("permutation", 2))
+        .iter()
+        .map(|c| prolog_syntax::pretty::clause_to_string(c))
+        .collect();
+    let after: Vec<String> = result
+        .program
+        .clauses_of(id("permutation", 2))
+        .iter()
+        .map(|c| prolog_syntax::pretty::clause_to_string(c))
+        .collect();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn row_recursion_declared_recursive_also_skipped() {
+    let (p, a) = analyze(
+        ":- recursive(helper/1).
+         helper(X) :- base(X).
+         base(1).
+         caller(X) :- helper(X), base(X).",
+    );
+    assert!(a.declarations.recursive.contains(&id("helper", 1)));
+    let result = Reorderer::new(&p, ReorderConfig::default()).run();
+    let report = result.report.predicate(id("helper", 1)).unwrap();
+    assert!(report.skipped.as_deref().unwrap().contains("recursive"));
+}
+
+#[test]
+fn recursion_detection_matches_paper_method() {
+    // Detecting recursion "top-down, keeping a list of predicates being
+    // scanned": our SCC formulation must agree on mutual recursion.
+    let (p, _) = analyze(
+        "e(0). e(X) :- X > 0, Y is X - 1, o(Y).
+         o(X) :- X > 0, Y is X - 1, e(Y).",
+    );
+    let r = RecursionAnalysis::compute(&CallGraph::build(&p));
+    assert!(r.is_recursive(id("e", 1)));
+    assert!(r.is_recursive(id("o", 1)));
+    assert_eq!(r.mutual_groups().len(), 1);
+}
+
+// ------------------------------------------------------- declared fixed --
+
+#[test]
+fn declared_fixed_predicates_extend_the_seeds() {
+    let (p, a) = analyze(
+        ":- fixed(audit/1).
+         audit(X) :- record(X).
+         record(1).
+         process(X) :- gen(X), audit(X).
+         gen(1). gen(2).",
+    );
+    let g = CallGraph::build(&p);
+    let mut seeds = prolog_engine_builtin_seeds();
+    seeds.extend(a.declarations.fixed.iter().copied());
+    let fixity = FixityAnalysis::compute_with_seeds(&p, &g, &seeds);
+    assert!(fixity.is_fixed(id("audit", 1)));
+    assert!(fixity.is_fixed(id("process", 1)));
+}
+
+#[test]
+fn declarations_are_collected() {
+    let d = Declarations::from_program(
+        &parse_program(
+            ":- entry(main/0).
+             :- legal_mode(p(+, -), p(+, +)).
+             :- cost(p/2, '+-', 3.5, 0.8).
+             main :- p(1, _).
+             p(X, X).",
+        )
+        .unwrap(),
+    );
+    assert_eq!(d.entries.len(), 1);
+    assert!(d.legal_modes.contains_key(&id("p", 2)));
+    assert!(d.cost_of(id("p", 2), &Mode::parse("+-").unwrap()).is_some());
+}
