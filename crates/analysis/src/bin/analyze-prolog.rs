@@ -29,8 +29,8 @@ fn main() {
     };
 
     let analysis = ProgramAnalysis::analyze(&program);
-    let inference = ModeInference::new(&program)
-        .with_declarations(analysis.declarations.legal_modes.clone());
+    let inference =
+        ModeInference::new(&program).with_declarations(analysis.declarations.legal_modes.clone());
 
     println!("% analysis of {path}\n");
 

@@ -1,0 +1,143 @@
+//! A sharded, lock-striped memo cache.
+//!
+//! The mode inference and the reorderer's cost estimator both memoise
+//! per-`(predicate, mode)` results. Once the reordering stage runs one
+//! worker per `(predicate, mode)` task, those memo tables are shared
+//! across threads; a single mutex would serialise every estimator lookup,
+//! so the table is split into shards, each behind its own lock, selected
+//! by the key's hash. Hit/miss counters are kept in atomics so the driver
+//! can report cache effectiveness without touching any lock.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+/// A concurrent map striped over [`SHARDS`] mutexes.
+#[derive(Debug)]
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
+    pub fn new() -> ShardedCache<K, V> {
+        ShardedCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % SHARDS]
+    }
+
+    /// Looks up `key`, counting the access as a hit or miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) an entry. Concurrent inserts for the same key
+    /// are benign here: both caches only store values that are functions
+    /// of the key, so racing writers carry equal values.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        ShardedCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_insert_round_trip() {
+        let cache: ShardedCache<u64, String> = ShardedCache::new();
+        assert_eq!(cache.get(&7), None);
+        cache.insert(7, "seven".into());
+        assert_eq!(cache.get(&7).as_deref(), Some("seven"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        for k in 0..256 {
+            cache.insert(k, k * k);
+        }
+        assert_eq!(cache.len(), 256);
+        let used = cache
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
+        assert!(used > 1, "striping should use more than one shard");
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for k in 0..100 {
+                        cache.insert(k, k + t - t);
+                        assert_eq!(cache.get(&k), Some(k));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 100);
+    }
+}

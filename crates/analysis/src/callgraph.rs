@@ -22,7 +22,10 @@ pub struct CallGraph {
 impl CallGraph {
     /// Builds the call graph of `program`.
     pub fn build(program: &SourceProgram) -> CallGraph {
-        let mut graph = CallGraph { defined: program.predicates(), ..Default::default() };
+        let mut graph = CallGraph {
+            defined: program.predicates(),
+            ..Default::default()
+        };
         for clause in &program.clauses {
             let caller = clause.pred_id();
             for callee in clause.body.called_preds() {
@@ -102,7 +105,11 @@ impl CallGraph {
 
     /// Predicates in bottom-up (reverse topological) processing order.
     pub fn bottom_up_order(&self) -> Vec<PredId> {
-        self.sccs().into_iter().flatten().filter(|p| self.defined.contains(p)).collect()
+        self.sccs()
+            .into_iter()
+            .flatten()
+            .filter(|p| self.defined.contains(p))
+            .collect()
     }
 }
 

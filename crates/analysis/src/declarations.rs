@@ -125,8 +125,13 @@ impl Declarations {
                 let prob = as_f64(&args[3]);
                 match (pred, mode, cost, prob) {
                     (Some(p), Some(m), Some(c), Some(pr)) if m.arity() == p.arity => {
-                        self.costs
-                            .insert((p, m), DeclaredCost { cost: c, probability: pr });
+                        self.costs.insert(
+                            (p, m),
+                            DeclaredCost {
+                                cost: c,
+                                probability: pr,
+                            },
+                        );
                     }
                     _ => self.warn(format!("bad cost/4 declaration: {goal}")),
                 }
@@ -166,9 +171,10 @@ fn parse_pred_indicator(t: &Term) -> Option<PredId> {
     match t {
         Term::Struct(slash, args) if slash.as_str() == "/" && args.len() == 2 => {
             match (&args[0], &args[1]) {
-                (Term::Atom(name), Term::Int(arity)) if *arity >= 0 => {
-                    Some(PredId { name: *name, arity: *arity as usize })
-                }
+                (Term::Atom(name), Term::Int(arity)) if *arity >= 0 => Some(PredId {
+                    name: *name,
+                    arity: *arity as usize,
+                }),
                 _ => None,
             }
         }

@@ -37,7 +37,10 @@ impl DomainEstimator {
             for (i, arg) in clause.head.args().iter().enumerate() {
                 if arg.is_atomic() {
                     let key = arg.to_string();
-                    est.domains.entry((pred, i)).or_default().insert(key.clone());
+                    est.domains
+                        .entry((pred, i))
+                        .or_default()
+                        .insert(key.clone());
                     est.universe.insert(key);
                 }
             }

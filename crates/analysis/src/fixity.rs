@@ -49,9 +49,7 @@ impl FixityAnalysis {
     pub fn goal_is_fixed(&self, goal: &Body) -> bool {
         match goal {
             Body::Call(t) => t.pred_id().is_some_and(|id| self.is_fixed(id)),
-            Body::And(a, b) | Body::Or(a, b) => {
-                self.goal_is_fixed(a) || self.goal_is_fixed(b)
-            }
+            Body::And(a, b) | Body::Or(a, b) => self.goal_is_fixed(a) || self.goal_is_fixed(b),
             Body::IfThenElse(c, t, e) => {
                 self.goal_is_fixed(c) || self.goal_is_fixed(t) || self.goal_is_fixed(e)
             }
@@ -173,8 +171,9 @@ mod tests {
         );
         assert!(!f.is_fixed(id("parent", 2)));
         assert!(!f.is_fixed(id("mother", 2)));
-        assert!(f.fixed_predicates().iter().all(|p| {
-            prolog_engine_builtin_seeds().contains(p) || p.name.as_str() != "parent"
-        }));
+        assert!(f
+            .fixed_predicates()
+            .iter()
+            .all(|p| { prolog_engine_builtin_seeds().contains(p) || p.name.as_str() != "parent" }));
     }
 }

@@ -16,10 +16,29 @@
 //! [`ModeInference::infer_legal_modes`] proposes legal input modes for
 //! non-recursive predicates.
 
+use crate::cache::ShardedCache;
 use crate::modes::{builtin_legal_modes, LegalModes, Mode, ModeItem, ModePair};
 use prolog_syntax::{Body, PredId, SourceProgram, Term};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+
+/// One in-flight `call` activation on the current thread. `tainted` is set
+/// when a recursion cut-off for a key *below* this frame fires while this
+/// frame is open: the frame's result then depends on which ancestors were
+/// in progress, so it must not be memoised (a later standalone call will
+/// recompute the context-free value).
+struct Frame {
+    key: (PredId, Mode),
+    tainted: bool,
+}
+
+thread_local! {
+    /// Per-thread stack of in-flight call patterns. Thread-local rather
+    /// than a field so `ModeInference` stays `Sync`: recursion state is
+    /// private to the worker evaluating the pattern, while finished
+    /// summaries are shared through the sharded memo table.
+    static IN_FLIGHT: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Result of abstractly calling one pattern.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,8 +56,7 @@ pub struct ModeInference<'p> {
     /// User-declared legal modes take precedence over inference (the
     /// paper's position for recursive predicates, §IV-D.7).
     declared: HashMap<PredId, LegalModes>,
-    memo: RefCell<HashMap<(PredId, Mode), CallSummary>>,
-    in_progress: RefCell<HashSet<(PredId, Mode)>>,
+    memo: ShardedCache<(PredId, Mode), CallSummary>,
 }
 
 impl<'p> ModeInference<'p> {
@@ -47,16 +65,12 @@ impl<'p> ModeInference<'p> {
             program,
             builtins: builtin_legal_modes(),
             declared: HashMap::new(),
-            memo: RefCell::new(HashMap::new()),
-            in_progress: RefCell::new(HashSet::new()),
+            memo: ShardedCache::new(),
         }
     }
 
     /// Registers declared legal modes (consulted before inference).
-    pub fn with_declarations(
-        mut self,
-        declared: HashMap<PredId, LegalModes>,
-    ) -> ModeInference<'p> {
+    pub fn with_declarations(mut self, declared: HashMap<PredId, LegalModes>) -> ModeInference<'p> {
         self.declared = declared;
         self
     }
@@ -67,31 +81,70 @@ impl<'p> ModeInference<'p> {
         // Declared modes win.
         if let Some(lm) = self.declared.get(&pred) {
             return match lm.call(input) {
-                Some(output) => CallSummary { output, clean: true },
-                None => CallSummary { output: conservative_output(input), clean: false },
+                Some(output) => CallSummary {
+                    output,
+                    clean: true,
+                },
+                None => CallSummary {
+                    output: conservative_output(input),
+                    clean: false,
+                },
             };
         }
         // Built-ins from the table.
         if let Some(lm) = self.builtins.get(&pred) {
             return match lm.call(input) {
-                Some(output) => CallSummary { output, clean: true },
-                None => CallSummary { output: conservative_output(input), clean: false },
+                Some(output) => CallSummary {
+                    output,
+                    clean: true,
+                },
+                None => CallSummary {
+                    output: conservative_output(input),
+                    clean: false,
+                },
             };
         }
         let key = (pred, input.clone());
-        if let Some(hit) = self.memo.borrow().get(&key) {
-            return hit.clone();
+        if let Some(hit) = self.memo.get(&key) {
+            return hit;
         }
-        // Recursion cut-off.
-        if self.in_progress.borrow().contains(&key) {
-            return CallSummary { output: conservative_output(input), clean: true };
+        // Recursion cut-off: the pattern is already open somewhere below
+        // on this thread. Every frame above it now carries a result that
+        // depends on the cut-off assumption, so taint them — only the
+        // frame that owns the pattern keeps its (canonical, context-free)
+        // result cacheable.
+        let cut_off = IN_FLIGHT.with(|frames| {
+            let mut frames = frames.borrow_mut();
+            match frames.iter().position(|f| f.key == key) {
+                Some(j) => {
+                    for f in frames[j + 1..].iter_mut() {
+                        f.tainted = true;
+                    }
+                    true
+                }
+                None => false,
+            }
+        });
+        if cut_off {
+            return CallSummary {
+                output: conservative_output(input),
+                clean: true,
+            };
         }
         let clauses = self.program.clauses_of(pred);
         if clauses.is_empty() {
             // Unknown predicate: assume nothing.
-            return CallSummary { output: conservative_output(input), clean: false };
+            return CallSummary {
+                output: conservative_output(input),
+                clean: false,
+            };
         }
-        self.in_progress.borrow_mut().insert(key.clone());
+        IN_FLIGHT.with(|frames| {
+            frames.borrow_mut().push(Frame {
+                key: key.clone(),
+                tainted: false,
+            })
+        });
         let mut output: Option<Mode> = None;
         let mut clean = true;
         for clause in clauses {
@@ -106,18 +159,23 @@ impl<'p> ModeInference<'p> {
             output: output.unwrap_or_else(|| conservative_output(input)),
             clean,
         };
-        self.in_progress.borrow_mut().remove(&key);
-        self.memo.borrow_mut().insert(key, summary.clone());
+        let pure = IN_FLIGHT
+            .with(|frames| frames.borrow_mut().pop().map(|f| !f.tainted))
+            .unwrap_or(false);
+        if pure {
+            self.memo.insert(key, summary.clone());
+        }
         summary
+    }
+
+    /// (hits, misses) of the pattern memo table so far.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (self.memo.hits(), self.memo.misses())
     }
 
     /// Abstractly runs one clause against an input mode; returns the
     /// clause's success pattern and cleanliness.
-    fn abstract_clause(
-        &self,
-        clause: &prolog_syntax::Clause,
-        input: &Mode,
-    ) -> (Mode, bool) {
+    fn abstract_clause(&self, clause: &prolog_syntax::Clause, input: &Mode) -> (Mode, bool) {
         let mut state = AbstractState::default();
         // Head binding: `+` positions first so aliased variables pick up
         // instantiation regardless of argument order.
@@ -140,7 +198,9 @@ impl<'p> ModeInference<'p> {
         match body {
             Body::True | Body::Fail | Body::Cut => true,
             Body::Call(goal) => {
-                let Some(callee) = goal.pred_id() else { return false };
+                let Some(callee) = goal.pred_id() else {
+                    return false;
+                };
                 let mode = Mode::new(goal.args().iter().map(|a| state.abstraction(a)).collect());
                 let summary = self.call(callee, &mode);
                 for (arg, item) in goal.args().iter().zip(summary.output.items()) {
@@ -161,8 +221,7 @@ impl<'p> ModeInference<'p> {
             }
             Body::IfThenElse(c, t, e) => {
                 let mut st = state.clone();
-                let ok_ct =
-                    self.abstract_body(c, &mut st) & self.abstract_body(t, &mut st);
+                let ok_ct = self.abstract_body(c, &mut st) & self.abstract_body(t, &mut st);
                 let mut se = state.clone();
                 let ok_e = self.abstract_body(e, &mut se);
                 *state = st.join(&se);
@@ -282,16 +341,14 @@ impl AbstractState {
                 };
                 self.set(*v, new);
             }
-            Term::Struct(_, args) => {
+            Term::Struct(_, args) if item == ModeItem::Plus => {
                 // If the callee promises a fully instantiated result, the
                 // structure's free variables may now be bound — but only
                 // "may": widen them to `?`. (`+` here means non-var, and
                 // the structure was already non-var.)
-                if item == ModeItem::Plus {
-                    for a in args.iter() {
-                        if self.abstraction(a) == ModeItem::Minus {
-                            self.widen(a);
-                        }
+                for a in args.iter() {
+                    if self.abstraction(a) == ModeItem::Minus {
+                        self.widen(a);
                     }
                 }
             }
@@ -301,10 +358,8 @@ impl AbstractState {
 
     pub fn widen(&mut self, t: &Term) {
         match t {
-            Term::Var(v) => {
-                if self.get(*v) == ModeItem::Minus {
-                    self.set(*v, ModeItem::Any);
-                }
+            Term::Var(v) if self.get(*v) == ModeItem::Minus => {
+                self.set(*v, ModeItem::Any);
             }
             Term::Struct(_, args) => {
                 for a in args.iter() {
@@ -318,8 +373,7 @@ impl AbstractState {
     /// Pointwise join of two branch states.
     pub fn join(&self, other: &AbstractState) -> AbstractState {
         let mut out = AbstractState::default();
-        let keys: HashSet<usize> =
-            self.vars.keys().chain(other.vars.keys()).copied().collect();
+        let keys: HashSet<usize> = self.vars.keys().chain(other.vars.keys()).copied().collect();
         for v in keys {
             out.set(v, self.get(v).join(other.get(v)));
         }
@@ -379,8 +433,7 @@ mod tests {
         let p = parse_program("inc(X, Y) :- Y is X + 1.").unwrap();
         let inf = ModeInference::new(&p);
         let lm = inf.infer_legal_modes(id("inc", 2));
-        let inputs: Vec<String> =
-            lm.pairs.iter().map(|pr| pr.input.to_string()).collect();
+        let inputs: Vec<String> = lm.pairs.iter().map(|pr| pr.input.to_string()).collect();
         assert!(inputs.contains(&"(+,-)".to_string()));
         assert!(inputs.contains(&"(+,+)".to_string()));
         assert!(!inputs.contains(&"(-,-)".to_string()));

@@ -16,6 +16,7 @@
 //! user directives, and provides the abstract-interpretation mode
 //! inference (§V-E) that reduces how much the programmer must declare.
 
+pub mod cache;
 pub mod callgraph;
 pub mod declarations;
 pub mod domains;
@@ -25,6 +26,7 @@ pub mod modes;
 pub mod recursion;
 pub mod semifixity;
 
+pub use cache::ShardedCache;
 pub use callgraph::CallGraph;
 pub use declarations::Declarations;
 pub use domains::DomainEstimator;
@@ -54,6 +56,12 @@ impl ProgramAnalysis {
         let recursion = RecursionAnalysis::compute(&callgraph);
         let fixity = FixityAnalysis::compute(program, &callgraph);
         let semifixity = SemifixityAnalysis::compute(program, &callgraph);
-        ProgramAnalysis { callgraph, fixity, semifixity, recursion, declarations }
+        ProgramAnalysis {
+            callgraph,
+            fixity,
+            semifixity,
+            recursion,
+            declarations,
+        }
     }
 }

@@ -112,7 +112,13 @@ impl Mode {
     /// Pointwise join.
     pub fn join(&self, other: &Mode) -> Mode {
         assert_eq!(self.arity(), other.arity());
-        Mode(self.0.iter().zip(&other.0).map(|(a, b)| a.join(*b)).collect())
+        Mode(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a.join(*b))
+                .collect(),
+        )
     }
 
     /// Parses a compact string like `"+-?"`.
@@ -261,7 +267,13 @@ fn strengthen(call: &Mode, output: &Mode) -> Mode {
         call.0
             .iter()
             .zip(&output.0)
-            .map(|(c, o)| if *c == ModeItem::Plus { ModeItem::Plus } else { *o })
+            .map(|(c, o)| {
+                if *c == ModeItem::Plus {
+                    ModeItem::Plus
+                } else {
+                    *o
+                }
+            })
             .collect(),
     )
 }
@@ -293,8 +305,8 @@ pub fn builtin_legal_modes() -> HashMap<PredId, LegalModes> {
     add("compare", &[("???", "+??")]);
     // Type tests never bind and accept anything.
     for name in [
-        "var", "nonvar", "atom", "number", "integer", "float", "atomic", "compound",
-        "callable", "is_list", "ground",
+        "var", "nonvar", "atom", "number", "integer", "float", "atomic", "compound", "callable",
+        "is_list", "ground",
     ] {
         add(name, &[("?", "?")]);
     }

@@ -54,12 +54,20 @@ pub struct SemifixityAnalysis {
 /// Built-ins whose success depends on argument instantiation.
 pub fn sensitive_builtin(id: PredId) -> bool {
     let name = id.name.as_str();
-    matches!(name, "var" | "nonvar") && id.arity == 1
-        || matches!(
-            name,
-            "atom" | "atomic" | "number" | "integer" | "float" | "compound" | "callable"
-                | "ground" | "is_list"
-        ) && id.arity == 1
+    matches!(
+        name,
+        "var"
+            | "nonvar"
+            | "atom"
+            | "atomic"
+            | "number"
+            | "integer"
+            | "float"
+            | "compound"
+            | "callable"
+            | "ground"
+            | "is_list"
+    ) && id.arity == 1
         || matches!(name, "==" | "\\==" | "\\=" | "@<" | "@>" | "@=<" | "@>=") && id.arity == 2
         || matches!(name, "findall" | "bagof" | "setof") && id.arity == 3
         || matches!(name, "forall") && id.arity == 2
@@ -163,7 +171,9 @@ impl SemifixityAnalysis {
     /// Variables of a goal that land in culprit positions — the variables
     /// whose instantiation must not change across this goal.
     pub fn culprit_vars_of_goal(&self, goal: &Term) -> Vec<usize> {
-        let Some(id) = goal.pred_id() else { return Vec::new() };
+        let Some(id) = goal.pred_id() else {
+            return Vec::new();
+        };
         let positions = self.culprit_positions(id);
         let mut out = Vec::new();
         for &i in &positions {

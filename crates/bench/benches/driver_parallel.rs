@@ -1,0 +1,70 @@
+//! Scaling of the reordering pipeline's parallel stage: the same program
+//! reordered with `jobs = 1` (the serial path) versus `jobs = N` (all
+//! cores). The table-4 programs give the realistic-workload numbers; the
+//! `wide` case — many independent same-level predicates — shows the
+//! ceiling when the level schedule can actually fan out.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use prolog_syntax::{parse_program, SourceProgram};
+use prolog_workloads::kmbench::{kmbench_program, KmbenchConfig};
+use prolog_workloads::puzzles::{meal_program, p58_program, team_program};
+use reorder::{ReorderConfig, Reorderer};
+
+/// A flat program with `width` independent rule predicates over shared
+/// fact tables: every rule lands on the same scheduling level, so the
+/// worker pool gets `width × modes` tasks with no level barriers between
+/// them — the best case for the parallel stage.
+fn wide_program(width: usize) -> SourceProgram {
+    let mut src = String::new();
+    for t in 0..4 {
+        for v in 0..12 {
+            src.push_str(&format!("f{t}(a{v}, b{}).\n", (v * 7 + t) % 12));
+        }
+    }
+    for i in 0..width {
+        let (t1, t2, t3) = (i % 4, (i + 1) % 4, (i + 2) % 4);
+        src.push_str(&format!(
+            "rule{i}(X, Y) :- f{t1}(X, Z), f{t2}(Z, W), f{t3}(W, Y).\n"
+        ));
+    }
+    parse_program(&src).expect("wide program parses")
+}
+
+fn reorder_with_jobs(program: &SourceProgram, jobs: usize) -> usize {
+    let config = ReorderConfig {
+        jobs,
+        ..Default::default()
+    };
+    let result = Reorderer::new(program, config).run();
+    result.program.clauses.len()
+}
+
+fn driver_parallel(c: &mut Criterion) {
+    // At least two workers, so the pooled path is exercised even on a
+    // single-core host (where it can only tie, not win).
+    let all = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let cases = [
+        ("p58", p58_program()),
+        ("meal", meal_program()),
+        ("team", team_program()),
+        ("kmbench", kmbench_program(&KmbenchConfig::default())),
+        ("wide64", wide_program(64)),
+    ];
+    let mut group = c.benchmark_group("driver_parallel");
+    for (name, program) in &cases {
+        for jobs in [1, all] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/jobs"), jobs),
+                &jobs,
+                |b, &jobs| b.iter(|| reorder_with_jobs(black_box(program), jobs)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, driver_parallel);
+criterion_main!(benches);

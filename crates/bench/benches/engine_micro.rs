@@ -13,7 +13,10 @@ fn engine_micro(c: &mut Criterion) {
              app([H|T], Y, [H|Z]) :- app(T, Y, Z).",
         )
         .unwrap();
-    let list: String = (0..64).map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
+    let list: String = (0..64)
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
     let query = format!("app([{list}], [end], L)");
     c.bench_function("engine/append_64", |b| {
         b.iter(|| append_engine.query(black_box(&query)).unwrap())
@@ -30,15 +33,21 @@ fn engine_micro(c: &mut Criterion) {
         )
         .unwrap();
     c.bench_function("engine/permutations_5", |b| {
-        b.iter(|| perm_engine.query(black_box("perm([1,2,3,4,5], P)")).unwrap())
+        b.iter(|| {
+            perm_engine
+                .query(black_box("perm([1,2,3,4,5], P)"))
+                .unwrap()
+        })
     });
 
     // Indexing on vs off over a 200-fact table.
     let facts: String = (0..200).map(|i| format!("t(k{i}, {i}).\n")).collect();
     let mut indexed = Engine::new();
     indexed.consult(&facts).unwrap();
-    let mut scanning =
-        Engine::with_config(MachineConfig { indexing: false, ..Default::default() });
+    let mut scanning = Engine::with_config(MachineConfig {
+        indexing: false,
+        ..Default::default()
+    });
     scanning.consult(&facts).unwrap();
     c.bench_function("engine/indexed_lookup", |b| {
         b.iter(|| indexed.query(black_box("t(k150, V)")).unwrap())

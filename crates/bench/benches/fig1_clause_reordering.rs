@@ -9,8 +9,11 @@ fn fig1(c: &mut Criterion) {
     let p = [0.7, 0.8, 0.5, 0.9];
     let cost = [100.0, 80.0, 100.0, 40.0];
     let stats: Vec<(f64, f64)> = p.iter().zip(&cost).map(|(&p, &c)| (p, c)).collect();
-    let goals: Vec<GoalStats> =
-        p.iter().zip(&cost).map(|(&p, &c)| GoalStats::new(p, c)).collect();
+    let goals: Vec<GoalStats> = p
+        .iter()
+        .zip(&cost)
+        .map(|(&p, &c)| GoalStats::new(p, c))
+        .collect();
 
     c.bench_function("fig1/order_clauses_by_p_over_c", |b| {
         b.iter(|| order_clauses(black_box(&stats), &[true; 4]))

@@ -10,8 +10,11 @@ use reorder::{ReorderConfig, Reorderer};
 fn fig2(c: &mut Criterion) {
     let q = [0.8, 0.1, 0.3, 0.6];
     let cost = [70.0, 100.0, 100.0, 60.0];
-    let goals: Vec<GoalStats> =
-        q.iter().zip(&cost).map(|(&q, &c)| GoalStats::new(1.0 - q, c)).collect();
+    let goals: Vec<GoalStats> = q
+        .iter()
+        .zip(&cost)
+        .map(|(&q, &c)| GoalStats::new(1.0 - q, c))
+        .collect();
 
     c.bench_function("fig2/expected_failure_cost", |b| {
         b.iter(|| {

@@ -11,11 +11,17 @@ fn search_ablation(c: &mut Criterion) {
     let (program, _) = family_program(&FamilyConfig::default());
 
     c.bench_function("ablation/reorder_exhaustive", |b| {
-        let config = ReorderConfig { exhaustive_threshold: 9, ..Default::default() };
+        let config = ReorderConfig {
+            exhaustive_threshold: 9,
+            ..Default::default()
+        };
         b.iter(|| Reorderer::new(black_box(&program), config.clone()).run())
     });
     c.bench_function("ablation/reorder_best_first", |b| {
-        let config = ReorderConfig { exhaustive_threshold: 0, ..Default::default() };
+        let config = ReorderConfig {
+            exhaustive_threshold: 0,
+            ..Default::default()
+        };
         b.iter(|| Reorderer::new(black_box(&program), config.clone()).run())
     });
     c.bench_function("ablation/reorder_markov_model", |b| {

@@ -10,7 +10,11 @@ fn table4(c: &mut Criterion) {
         ("p58", p58_program(), "p58(X, Y)"),
         ("meal", meal_program(), "meal(A, M, D)"),
         ("team", team_program(), "team(L, M)"),
-        ("kmbench", kmbench_program(&KmbenchConfig::default()), "run_all"),
+        (
+            "kmbench",
+            kmbench_program(&KmbenchConfig::default()),
+            "run_all",
+        ),
     ];
     for (name, program, query) in cases {
         let reordered = reorder_default(&program);

@@ -33,7 +33,10 @@ fn main() {
     println!("family-tree ablation, headline (-,-) queries; baseline = {baseline} calls\n");
     println!("{:<44} {:>10} {:>8}", "configuration", "calls", "ratio");
     let print_row = |label: &str, calls: u64| {
-        println!("{label:<44} {calls:>10} {:>8.2}", baseline as f64 / calls as f64);
+        println!(
+            "{label:<44} {calls:>10} {:>8.2}",
+            baseline as f64 / calls as f64
+        );
     };
 
     // Full system.
@@ -41,23 +44,44 @@ fn main() {
     print_row("full system", measure(&full.program, &queries));
 
     // Goal reordering only.
-    let config = ReorderConfig { reorder_clauses: false, ..Default::default() };
+    let config = ReorderConfig {
+        reorder_clauses: false,
+        ..Default::default()
+    };
     let goals_only = Reorderer::new(&program, config).run();
-    print_row("goal reordering only", measure(&goals_only.program, &queries));
+    print_row(
+        "goal reordering only",
+        measure(&goals_only.program, &queries),
+    );
 
     // Clause reordering only.
-    let config = ReorderConfig { reorder_goals: false, ..Default::default() };
+    let config = ReorderConfig {
+        reorder_goals: false,
+        ..Default::default()
+    };
     let clauses_only = Reorderer::new(&program, config).run();
-    print_row("clause reordering only", measure(&clauses_only.program, &queries));
+    print_row(
+        "clause reordering only",
+        measure(&clauses_only.program, &queries),
+    );
 
     // No specialisation (single all-free version in place).
-    let config = ReorderConfig { specialize_modes: false, ..Default::default() };
+    let config = ReorderConfig {
+        specialize_modes: false,
+        ..Default::default()
+    };
     let no_spec = Reorderer::new(&program, config).run();
-    print_row("no mode specialisation", measure(&no_spec.program, &queries));
+    print_row(
+        "no mode specialisation",
+        measure(&no_spec.program, &queries),
+    );
 
     // Search strategy: force best-first everywhere; optima must agree
     // with the default (exhaustive for short bodies).
-    let config = ReorderConfig { exhaustive_threshold: 0, ..Default::default() };
+    let config = ReorderConfig {
+        exhaustive_threshold: 0,
+        ..Default::default()
+    };
     let astar = Reorderer::new(&program, config).run();
     let astar_calls = measure(&astar.program, &queries);
     print_row("best-first search only", astar_calls);
@@ -69,7 +93,10 @@ fn main() {
         ..Default::default()
     };
     let markov = Reorderer::new(&program, config).run();
-    print_row("paper's Markov-chain cost model", measure(&markov.program, &queries));
+    print_row(
+        "paper's Markov-chain cost model",
+        measure(&markov.program, &queries),
+    );
 
     // Empirical calibration replacing the static estimates.
     let universe: Vec<Term> = people.iter().map(|p| Term::atom(p)).collect();
@@ -78,14 +105,22 @@ fn main() {
         .into_iter()
         .filter(|p| p.arity <= 2)
         .collect();
-    let measured = calibrate(&program, &preds, &universe, &CalibrationConfig {
-        max_queries_per_mode: 16,
-        max_calls_per_query: 500_000,
-    });
+    let measured = calibrate(
+        &program,
+        &preds,
+        &universe,
+        &CalibrationConfig {
+            max_queries_per_mode: 16,
+            max_calls_per_query: 500_000,
+        },
+    );
     let calibrated = Reorderer::new(&program, ReorderConfig::default())
         .with_measured_costs(measured)
         .run();
-    print_row("empirically calibrated costs", measure(&calibrated.program, &queries));
+    print_row(
+        "empirically calibrated costs",
+        measure(&calibrated.program, &queries),
+    );
 
     // Unfold, then reorder.
     let (unfolded, n) = reorder::unfold_program(&program, &UnfoldConfig::default());
@@ -104,7 +139,11 @@ fn main() {
     let mut noindex_calls = 0u64;
     for q in &queries {
         let names: Vec<String> = (0..q.variables().len()).map(|i| format!("V{i}")).collect();
-        noindex_calls += engine.query_term(q, &names, usize::MAX).unwrap().counters.user_calls;
+        noindex_calls += engine
+            .query_term(q, &names, usize::MAX)
+            .unwrap()
+            .counters
+            .user_calls;
     }
     println!(
         "\nnote: first-argument indexing off changes unifications, not calls: {noindex_calls} calls \

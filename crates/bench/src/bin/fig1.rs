@@ -14,11 +14,20 @@ fn main() {
     println!("Figure 1 — reordering a predicate (clauses as OR-branches)");
     println!("clause   p      c      p/c");
     for i in 0..4 {
-        println!("  {}    {:.2}  {:>6.1}  {:.4}", i + 1, p[i], c[i], p[i] / c[i]);
+        println!(
+            "  {}    {:.2}  {:>6.1}  {:.4}",
+            i + 1,
+            p[i],
+            c[i],
+            p[i] / c[i]
+        );
     }
 
     let original = ClauseChain::new(
-        &p.iter().zip(&c).map(|(&p, &c)| GoalStats::new(p, c)).collect::<Vec<_>>(),
+        &p.iter()
+            .zip(&c)
+            .map(|(&p, &c)| GoalStats::new(p, c))
+            .collect::<Vec<_>>(),
     );
     let original_cost = original.expected_success_cost_first_pass();
 
@@ -32,7 +41,10 @@ fn main() {
     );
     let reordered_cost = reordered.expected_success_cost_first_pass();
 
-    println!("\nchosen order (by decreasing p/c): {:?}", order.iter().map(|i| i + 1).collect::<Vec<_>>());
+    println!(
+        "\nchosen order (by decreasing p/c): {:?}",
+        order.iter().map(|i| i + 1).collect::<Vec<_>>()
+    );
     println!("expected single-solution cost, original : {original_cost:.2}  (paper: 130.24)");
     println!("expected single-solution cost, reordered: {reordered_cost:.2}  (paper: 49.64)");
 

@@ -13,7 +13,13 @@ fn main() {
     println!("Figure 2 — reordering a clause (goals as AND-branches)");
     println!("goal   q      c      q/c");
     for i in 0..4 {
-        println!("  {}   {:.2}  {:>6.1}  {:.5}", i + 1, q[i], c[i], q[i] / c[i]);
+        println!(
+            "  {}   {:.2}  {:>6.1}  {:.5}",
+            i + 1,
+            q[i],
+            c[i],
+            q[i] / c[i]
+        );
     }
 
     let chain = |idx: &[usize]| {
@@ -28,7 +34,9 @@ fn main() {
     // Order by decreasing q/c.
     let mut order: Vec<usize> = (0..4).collect();
     order.sort_by(|&a, &b| {
-        (q[b] / c[b]).partial_cmp(&(q[a] / c[a])).expect("finite ratios")
+        (q[b] / c[b])
+            .partial_cmp(&(q[a] / c[a]))
+            .expect("finite ratios")
     });
     let reordered_cost = chain(&order).expected_failure_cost_first_pass();
 

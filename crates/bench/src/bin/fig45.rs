@@ -12,8 +12,11 @@ fn main() {
     let p = [0.7, 0.8, 0.5, 0.9];
     let labels = ["a", "b", "c", "d"];
     let costs = [10.0, 20.0, 15.0, 5.0];
-    let goals: Vec<GoalStats> =
-        p.iter().zip(&costs).map(|(&p, &c)| GoalStats::new(p, c)).collect();
+    let goals: Vec<GoalStats> = p
+        .iter()
+        .zip(&costs)
+        .map(|(&p, &c)| GoalStats::new(p, c))
+        .collect();
     let chain = ClauseChain::new(&goals);
 
     println!("k :- a, b, c, d.   with p = {p:?}\n");
@@ -34,7 +37,10 @@ fn main() {
     let single = chain.single_solution_chain();
     let probs = single.absorption_probs(0).expect("absorbing");
     println!("\n  p_body (absorption into S from a) = {:.6}", probs[0]);
-    println!("  expected first-solution cost      = {:.4}", chain.single_solution_cost());
+    println!(
+        "  expected first-solution cost      = {:.4}",
+        chain.single_solution_cost()
+    );
 
     println!("\nFigure 5 — all-solutions chain (S transient, arc S -> d w.p. 1):");
     let visits = chain
@@ -44,17 +50,38 @@ fn main() {
     let closed = chain.all_solutions_visits_closed_form();
     println!("  state   visits (N matrix)   visits (closed form)");
     for i in 0..4 {
-        println!("    {}        {:>10.6}        {:>10.6}", labels[i], visits[i], closed[i]);
+        println!(
+            "    {}        {:>10.6}        {:>10.6}",
+            labels[i], visits[i], closed[i]
+        );
         assert!((visits[i] - closed[i]).abs() < 1e-6 * (1.0 + closed[i]));
     }
-    println!("    S        {:>10.6}        {:>10.6}", visits[4], chain.expected_solutions());
-    println!("\n  expected solutions v_S        = {:.6}", chain.expected_solutions());
-    println!("  total all-solutions cost      = {:.4}", chain.all_solutions_cost());
-    println!("  closed-form all-solutions cost= {:.4}", chain.all_solutions_cost_closed_form());
-    println!("  cost per solution (c_multiple)= {:.4}", chain.cost_per_solution());
+    println!(
+        "    S        {:>10.6}        {:>10.6}",
+        visits[4],
+        chain.expected_solutions()
+    );
+    println!(
+        "\n  expected solutions v_S        = {:.6}",
+        chain.expected_solutions()
+    );
+    println!(
+        "  total all-solutions cost      = {:.4}",
+        chain.all_solutions_cost()
+    );
+    println!(
+        "  closed-form all-solutions cost= {:.4}",
+        chain.all_solutions_cost_closed_form()
+    );
+    println!(
+        "  cost per solution (c_multiple)= {:.4}",
+        chain.cost_per_solution()
+    );
 
-    let diff =
-        (chain.all_solutions_cost() - chain.all_solutions_cost_closed_form()).abs();
-    assert!(diff < 1e-6, "matrix and closed form must agree (diff {diff})");
+    let diff = (chain.all_solutions_cost() - chain.all_solutions_cost_closed_form()).abs();
+    assert!(
+        diff < 1e-6,
+        "matrix and closed form must agree (diff {diff})"
+    );
     println!("\nmatrix computation and closed forms agree.");
 }

@@ -16,8 +16,7 @@ fn main() {
         prolog_syntax::pretty::program_to_string(&family),
     )
     .expect("write family.pl");
-    let (corporate, _) =
-        prolog_workloads::corporate::corporate_program(&Default::default());
+    let (corporate, _) = prolog_workloads::corporate::corporate_program(&Default::default());
     std::fs::write(
         "samples/corporate.pl",
         prolog_syntax::pretty::program_to_string(&corporate),

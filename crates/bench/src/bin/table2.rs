@@ -90,9 +90,15 @@ fn main() {
         "predicate (mode)",
         &rows,
     );
-    assert!(rows.iter().all(|r| r.equivalent), "set-equivalence must hold");
+    assert!(
+        rows.iter().all(|r| r.equivalent),
+        "set-equivalence must hold"
+    );
 }
 
 fn pretty_mode(m: &str) -> String {
-    m.chars().map(|c| c.to_string()).collect::<Vec<_>>().join(",")
+    m.chars()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }

@@ -12,7 +12,11 @@ use prolog_workloads::corporate::{corporate_program, CorporateConfig};
 fn main() {
     let config = CorporateConfig::default();
     let (program, ids) = corporate_program(&config);
-    println!("corporate database: {} employees (seed {})", ids.len(), config.seed);
+    println!(
+        "corporate database: {} employees (seed {})",
+        ids.len(),
+        config.seed
+    );
 
     let result = reorder_default(&program);
     println!("\nreorderer decisions:\n{}", result.report);
@@ -38,5 +42,8 @@ fn main() {
         "rule (mode)",
         &rows,
     );
-    assert!(rows.iter().all(|r| r.equivalent), "set-equivalence must hold");
+    assert!(
+        rows.iter().all(|r| r.equivalent),
+        "set-equivalence must hold"
+    );
 }

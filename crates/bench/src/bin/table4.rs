@@ -11,12 +11,12 @@ use bench_harness::{
 };
 use prolog_analysis::Mode;
 use prolog_syntax::{PredId, SourceProgram, Term};
-use reorder::ReorderResult;
 use prolog_workloads::kmbench::{kmbench_program, KmbenchConfig};
 use prolog_workloads::puzzles::{
     meal_program, meal_universe, p58_program, p58_universe, team_program, team_universe,
 };
 use prolog_workloads::queries::{mode_queries, QuerySpec};
+use reorder::ReorderResult;
 
 /// Resolves the version name serving `mode` (the paper enters the tuned
 /// version directly; the dispatcher is for interactive use).
@@ -26,7 +26,10 @@ fn version_of(result: &ReorderResult, pred: PredId, mode: &str) -> String {
         .predicate(pred)
         .and_then(|pr| {
             let mode = Mode::parse(mode).unwrap();
-            pr.modes.iter().find(|m| m.mode == mode).map(|m| m.version.clone())
+            pr.modes
+                .iter()
+                .find(|m| m.mode == mode)
+                .map(|m| m.version.clone())
         })
         .unwrap_or_else(|| pred.name.as_str().to_string())
 }
@@ -71,30 +74,58 @@ fn main() {
     };
     let qs = mode_queries(&spec);
     let v = version_of(&p58_re, PredId::new("p58", 2), "++");
-    rows.push(compare("p58(+,+)", &p58, &p58_re.program, &qs, &retarget(&qs, &v)));
+    rows.push(compare(
+        "p58(+,+)",
+        &p58,
+        &p58_re.program,
+        &qs,
+        &retarget(&qs, &v),
+    ));
 
     // --- meal ---
     let meal = meal_program();
     let meal_re = reorder_default(&meal);
     let qs = parse_queries(&["meal(A, M, D)"]);
     let v = version_of(&meal_re, PredId::new("meal", 3), "---");
-    rows.push(compare("meal(-,-,-)", &meal, &meal_re.program, &qs, &retarget(&qs, &v)));
+    rows.push(compare(
+        "meal(-,-,-)",
+        &meal,
+        &meal_re.program,
+        &qs,
+        &retarget(&qs, &v),
+    ));
     let (apps, mains, _) = meal_universe();
     let mut partial = Vec::new();
     for a in &apps {
         for m in &mains {
-            partial.push(prolog_syntax::parse_term(&format!("meal({a}, {m}, D)")).unwrap().0);
+            partial.push(
+                prolog_syntax::parse_term(&format!("meal({a}, {m}, D)"))
+                    .unwrap()
+                    .0,
+            );
         }
     }
     let v = version_of(&meal_re, PredId::new("meal", 3), "++-");
-    rows.push(compare("meal(+,+,-)", &meal, &meal_re.program, &partial, &retarget(&partial, &v)));
+    rows.push(compare(
+        "meal(+,+,-)",
+        &meal,
+        &meal_re.program,
+        &partial,
+        &retarget(&partial, &v),
+    ));
 
     // --- team ---
     let team = team_program();
     let team_re = reorder_default(&team);
     let qs = parse_queries(&["team(L, M)"]);
     let v = version_of(&team_re, PredId::new("team", 2), "--");
-    rows.push(compare("team(-,-)", &team, &team_re.program, &qs, &retarget(&qs, &v)));
+    rows.push(compare(
+        "team(-,-)",
+        &team,
+        &team_re.program,
+        &qs,
+        &retarget(&qs, &v),
+    ));
     let spec = QuerySpec {
         name: "team".into(),
         mode: Mode::parse("++").unwrap(),
@@ -102,7 +133,13 @@ fn main() {
     };
     let qs = mode_queries(&spec);
     let v = version_of(&team_re, PredId::new("team", 2), "++");
-    rows.push(compare("team(+,+)", &team, &team_re.program, &qs, &retarget(&qs, &v)));
+    rows.push(compare(
+        "team(+,+)",
+        &team,
+        &team_re.program,
+        &qs,
+        &retarget(&qs, &v),
+    ));
 
     // --- kmbench ---
     let km = kmbench_program(&KmbenchConfig::default());
@@ -115,5 +152,8 @@ fn main() {
         "program (mode)",
         &rows,
     );
-    assert!(rows.iter().all(|r| r.equivalent), "set-equivalence must hold");
+    assert!(
+        rows.iter().all(|r| r.equivalent),
+        "set-equivalence must hold"
+    );
 }

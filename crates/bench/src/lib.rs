@@ -53,7 +53,10 @@ pub fn measure_queries(program: &SourceProgram, queries: &[Term]) -> Measurement
         counters.add(&outcome.counters);
         solutions.push(outcome.solution_set());
     }
-    Measurement { counters, solutions }
+    Measurement {
+        counters,
+        solutions,
+    }
 }
 
 /// Runs the per-mode query enumeration of a [`QuerySpec`].
@@ -123,11 +126,14 @@ pub fn set_equivalent(a: &Measurement, b: &Measurement) -> bool {
 pub fn print_table(title: &str, header: &str, rows: &[Row]) {
     println!("\n=== {title} ===");
     println!(
-        "{:<28} {:>12} {:>12} {:>10} {:>8}  {}",
-        header, "original", "reordered", "best", "ratio", "set-equal"
+        "{header:<28} {:>12} {:>12} {:>10} {:>8}  set-equal",
+        "original", "reordered", "best", "ratio"
     );
     for row in rows {
-        let best = row.best.map(|b| b.to_string()).unwrap_or_else(|| "-".into());
+        let best = row
+            .best
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "-".into());
         println!(
             "{:<28} {:>12} {:>12} {:>10} {:>8.2}  {}",
             row.label,
@@ -354,8 +360,11 @@ mod tests {
 
     #[test]
     fn measured_best_respects_variant_budget() {
-        let program = parse_program("q(X) :- a(X), b(X), c(X), d(X), e(X), f(X), g(X).
-            a(1). b(1). c(1). d(1). e(1). f(1). g(1).").unwrap();
+        let program = parse_program(
+            "q(X) :- a(X), b(X), c(X), d(X), e(X), f(X), g(X).
+            a(1). b(1). c(1). d(1). e(1). f(1). g(1).",
+        )
+        .unwrap();
         let queries = parse_queries(&["q(1)"]);
         assert!(measured_best(&program, PredId::new("q", 1), &queries, 100).is_none());
     }

@@ -3,8 +3,9 @@
 //! on stderr.
 //!
 //! ```text
-//! usage: reorder-prolog INPUT.pl [-o OUTPUT.pl] [--report] [--no-specialize]
-//!                       [--no-goals] [--no-clauses] [--unfold] [--markov-model]
+//! usage: reorder-prolog INPUT.pl [-o OUTPUT.pl] [--report] [--timings]
+//!                       [--jobs N] [--no-specialize] [--no-goals]
+//!                       [--no-clauses] [--unfold] [--markov-model]
 //! ```
 
 use reorder::{ReorderConfig, Reorderer, UnfoldConfig};
@@ -14,6 +15,7 @@ fn main() {
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
     let mut report = false;
+    let mut timings = false;
     let mut unfold = false;
     let mut config = ReorderConfig::default();
 
@@ -28,7 +30,18 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--jobs" | "-j" => {
+                i += 1;
+                config.jobs = match args.get(i).map(|s| s.parse::<usize>()) {
+                    Some(Ok(n)) => n,
+                    _ => {
+                        eprintln!("error: --jobs needs a number (0 = auto)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--report" => report = true,
+            "--timings" => timings = true,
             "--no-specialize" => config.specialize_modes = false,
             "--no-goals" => config.reorder_goals = false,
             "--no-clauses" => config.reorder_clauses = false,
@@ -37,8 +50,13 @@ fn main() {
             "-h" | "--help" => {
                 eprintln!(
                     "usage: reorder-prolog INPUT.pl [-o OUTPUT.pl] [--report] \
-                     [--no-specialize] [--no-goals] [--no-clauses] [--unfold] \
-                     [--markov-model]"
+                     [--timings] [--jobs N] [--no-specialize] [--no-goals] \
+                     [--no-clauses] [--unfold] [--markov-model]\n\
+                     \n\
+                     --jobs N     worker threads for the reordering stage \
+                     (0 = all cores, 1 = serial; output is identical either way)\n\
+                     --timings    print per-stage wall-clock and cache counters \
+                     on stderr"
                 );
                 return;
             }
@@ -80,6 +98,9 @@ fn main() {
     let result = Reorderer::new(&program, config).run();
     if report {
         eprintln!("{}", result.report);
+    }
+    if timings {
+        eprint!("{}", result.report.stats.render());
     }
     for warning in &result.report.warnings {
         eprintln!("warning: {warning}");

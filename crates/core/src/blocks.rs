@@ -36,7 +36,10 @@ pub fn split_blocks(conjuncts: &[&Body], fixity: &FixityAnalysis) -> Vec<Block> 
         .unwrap_or(0);
     if frozen_prefix > 0 {
         blocks.push(Block {
-            goals: conjuncts[..frozen_prefix].iter().map(|g| (*g).clone()).collect(),
+            goals: conjuncts[..frozen_prefix]
+                .iter()
+                .map(|g| (*g).clone())
+                .collect(),
             mobile: false,
         });
     }
@@ -46,13 +49,22 @@ pub fn split_blocks(conjuncts: &[&Body], fixity: &FixityAnalysis) -> Vec<Block> 
             run.push((*goal).clone());
         } else {
             if !run.is_empty() {
-                blocks.push(Block { goals: std::mem::take(&mut run), mobile: true });
+                blocks.push(Block {
+                    goals: std::mem::take(&mut run),
+                    mobile: true,
+                });
             }
-            blocks.push(Block { goals: vec![(*goal).clone()], mobile: false });
+            blocks.push(Block {
+                goals: vec![(*goal).clone()],
+                mobile: false,
+            });
         }
     }
     if !run.is_empty() {
-        blocks.push(Block { goals: run, mobile: true });
+        blocks.push(Block {
+            goals: run,
+            mobile: true,
+        });
     }
     blocks
 }

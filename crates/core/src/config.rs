@@ -45,6 +45,25 @@ pub struct ReorderConfig {
     /// call-count workloads; set `MarkovChain` for the paper-faithful
     /// model (compared in the ablation harness).
     pub cost_model: CostModelKind,
+    /// Worker threads for the per-`(predicate, mode)` reordering stage.
+    /// `0` (default) uses the machine's available parallelism; `1` runs
+    /// the serial path with no thread pool. Output is byte-identical
+    /// regardless of the setting.
+    pub jobs: usize,
+}
+
+impl ReorderConfig {
+    /// The effective worker count: `jobs`, with `0` resolved to the
+    /// machine's available parallelism.
+    pub fn resolved_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
 }
 
 impl Default for ReorderConfig {
@@ -59,6 +78,7 @@ impl Default for ReorderConfig {
             default_recursive_solutions: 1.0,
             recursive_fixpoint_iterations: 2,
             cost_model: CostModelKind::GeneratorTree,
+            jobs: 0,
         }
     }
 }

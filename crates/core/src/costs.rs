@@ -26,12 +26,13 @@ use crate::config::ReorderConfig;
 use crate::oracle::ModeOracle;
 use crate::scan;
 use prolog_analysis::{
-    AbstractState, Declarations, DomainEstimator, Mode, ModeItem, RecursionAnalysis,
+    AbstractState, Declarations, DomainEstimator, Mode, ModeItem, RecursionAnalysis, ShardedCache,
 };
 use prolog_markov::{ClauseChain, GoalStats};
 use prolog_syntax::{Clause, PredId, SourceProgram, Term};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Converts an expected solution count into the chain probability.
 pub fn solutions_to_p(e: f64) -> f64 {
@@ -45,7 +46,34 @@ pub fn p_to_solutions(p: f64) -> f64 {
     p / (1.0 - p)
 }
 
-/// Bottom-up cost/probability estimator.
+/// Cache key of one conjunction-cost evaluation: the cost model plus the
+/// (clamped) per-goal stats, bit-exact.
+type ChainKey = (u8, Vec<(u64, u64)>);
+
+/// One in-flight `stats` computation on the current thread. `seed` is the
+/// current fixpoint assumption handed to recursive calls of `key`;
+/// `tainted` is set when a recursion cut-off for a key below this frame
+/// fires while it is open — the frame's result then depends on the
+/// enclosing computation and must not be memoised (standalone calls
+/// recompute the context-free value, keeping the shared cache
+/// deterministic no matter which worker populates it first).
+struct Frame {
+    key: (PredId, Mode),
+    tainted: bool,
+    seed: Option<GoalStats>,
+}
+
+thread_local! {
+    /// Per-thread stack of in-flight `(predicate, mode)` computations.
+    /// Thread-local so the `Estimator` stays `Sync`: recursion state
+    /// belongs to the worker walking the clause equations, while finished
+    /// stats are shared through the sharded memo table.
+    static IN_FLIGHT: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Bottom-up cost/probability estimator. Shared by every reordering
+/// worker: the memo tables are sharded and lock-striped, recursion state
+/// is thread-local, so concurrent `stats` calls are both safe and cheap.
 pub struct Estimator<'p> {
     program: &'p SourceProgram,
     pub oracle: &'p ModeOracle<'p>,
@@ -53,13 +81,16 @@ pub struct Estimator<'p> {
     recursion: &'p RecursionAnalysis,
     domains: DomainEstimator,
     config: &'p ReorderConfig,
-    memo: RefCell<HashMap<(PredId, Mode), GoalStats>>,
+    memo: ShardedCache<(PredId, Mode), GoalStats>,
     /// Stats of already-reordered versions, installed by the driver so
     /// callers see the improved numbers ("working upwards", §VI-B.2).
-    overrides: RefCell<HashMap<(PredId, Mode), GoalStats>>,
-    in_progress: RefCell<HashSet<(PredId, Mode)>>,
-    /// Current fixpoint assumption for in-progress recursive patterns.
-    seeds: RefCell<HashMap<(PredId, Mode), GoalStats>>,
+    /// Written only between parallel stages, read concurrently within
+    /// them.
+    overrides: RwLock<HashMap<(PredId, Mode), GoalStats>>,
+    /// Memoised conjunction-cost evaluations, keyed by the scanned goals'
+    /// stats: candidate orders across clauses (and A* prefix re-expansions)
+    /// frequently rebuild identical chains.
+    chain_costs: ShardedCache<ChainKey, f64>,
 }
 
 impl<'p> Estimator<'p> {
@@ -77,63 +108,101 @@ impl<'p> Estimator<'p> {
             recursion,
             domains: DomainEstimator::build(program),
             config,
-            memo: RefCell::new(HashMap::new()),
-            overrides: RefCell::new(HashMap::new()),
-            in_progress: RefCell::new(HashSet::new()),
-            seeds: RefCell::new(HashMap::new()),
+            memo: ShardedCache::new(),
+            overrides: RwLock::new(HashMap::new()),
+            chain_costs: ShardedCache::new(),
         }
     }
 
     /// Installs the stats of a reordered version so later (upward)
     /// estimates use them.
     pub fn install_override(&self, pred: PredId, mode: Mode, stats: GoalStats) {
-        self.overrides.borrow_mut().insert((pred, mode), stats);
+        self.overrides
+            .write()
+            .expect("override table poisoned")
+            .insert((pred, mode), stats);
     }
 
     /// Stats for calling `pred` in `mode`.
     pub fn stats(&self, pred: PredId, mode: &Mode) -> GoalStats {
-        if let Some(s) = self.overrides.borrow().get(&(pred, mode.clone())) {
+        if let Some(s) = self
+            .overrides
+            .read()
+            .expect("override table poisoned")
+            .get(&(pred, mode.clone()))
+        {
             return *s;
         }
         if let Some(c) = self.declarations.cost_of(pred, mode) {
             return GoalStats::new(c.probability, c.cost);
         }
-        if prolog_engine::builtins::is_builtin(pred) && self.program.clauses_of(pred).is_empty()
-        {
+        if prolog_engine::builtins::is_builtin(pred) && self.program.clauses_of(pred).is_empty() {
             return builtin_stats(pred, mode);
         }
-        if let Some(s) = self.memo.borrow().get(&(pred, mode.clone())) {
-            return *s;
-        }
         let key = (pred, mode.clone());
-        if self.in_progress.borrow().contains(&key) {
-            return self
-                .seeds
-                .borrow()
-                .get(&key)
-                .copied()
-                .unwrap_or_else(|| self.default_recursive_stats());
+        if let Some(s) = self.memo.get(&key) {
+            return s;
         }
-        let stats = if self.recursion.is_recursive(pred) {
+        // Recursion cut-off: the pattern is already open below on this
+        // thread. Answer with its current fixpoint seed, and taint every
+        // frame above the owner — their results depend on the seed, so
+        // only the owning frame's (canonical) result may be memoised.
+        let cut = IN_FLIGHT.with(|frames| {
+            let mut frames = frames.borrow_mut();
+            frames.iter().position(|f| f.key == key).map(|j| {
+                let seed = frames[j].seed;
+                for f in frames[j + 1..].iter_mut() {
+                    f.tainted = true;
+                }
+                seed
+            })
+        });
+        if let Some(seed) = cut {
+            return seed.unwrap_or_else(|| self.default_recursive_stats());
+        }
+        let push = |seed: Option<GoalStats>| {
+            IN_FLIGHT.with(|frames| {
+                frames.borrow_mut().push(Frame {
+                    key: key.clone(),
+                    tainted: false,
+                    seed,
+                })
+            })
+        };
+        let pop_pure = || {
+            IN_FLIGHT
+                .with(|frames| frames.borrow_mut().pop().map(|f| !f.tainted))
+                .unwrap_or(false)
+        };
+        let (stats, pure) = if self.recursion.is_recursive(pred) {
             // Bounded fixpoint: start from the default assumption and
             // iterate the clause equations.
             let mut cur = self.default_recursive_stats();
+            let mut pure = true;
             for _ in 0..self.config.recursive_fixpoint_iterations.max(1) {
-                self.seeds.borrow_mut().insert(key.clone(), cur);
-                self.in_progress.borrow_mut().insert(key.clone());
+                push(Some(cur));
                 cur = self.compute_once(pred, mode);
-                self.in_progress.borrow_mut().remove(&key);
+                pure = pop_pure();
             }
-            self.seeds.borrow_mut().remove(&key);
-            cur
+            (cur, pure)
         } else {
-            self.in_progress.borrow_mut().insert(key.clone());
+            push(None);
             let s = self.compute_once(pred, mode);
-            self.in_progress.borrow_mut().remove(&key);
-            s
+            (s, pop_pure())
         };
-        self.memo.borrow_mut().insert(key, stats);
+        if pure {
+            self.memo.insert(key, stats);
+        }
         stats
+    }
+
+    /// Hit/miss counters of the two memo tables:
+    /// `((estimate hits, misses), (chain-cost hits, misses))`.
+    pub fn cache_counters(&self) -> ((u64, u64), (u64, u64)) {
+        (
+            (self.memo.hits(), self.memo.misses()),
+            (self.chain_costs.hits(), self.chain_costs.misses()),
+        )
     }
 
     fn default_recursive_stats(&self) -> GoalStats {
@@ -215,14 +284,27 @@ impl<'p> Estimator<'p> {
         self.config.cost_model
     }
 
-    /// All-solutions cost of a conjunction under the configured model.
+    /// All-solutions cost of a conjunction under the configured model,
+    /// memoised on the goals' (clamped) stats — the same chains recur
+    /// across candidate orders and clauses.
     pub fn conjunction_cost(&self, chain: &ClauseChain) -> f64 {
-        match self.config.cost_model {
-            crate::config::CostModelKind::MarkovChain => {
-                chain.all_solutions_cost_closed_form()
-            }
-            crate::config::CostModelKind::GeneratorTree => chain.generator_cost(),
+        let key: ChainKey = (
+            self.config.cost_model as u8,
+            chain
+                .goals()
+                .iter()
+                .map(|g| (g.p.to_bits(), g.cost.to_bits()))
+                .collect(),
+        );
+        if let Some(cost) = self.chain_costs.get(&key) {
+            return cost;
         }
+        let cost = match self.config.cost_model {
+            crate::config::CostModelKind::MarkovChain => chain.all_solutions_cost_closed_form(),
+            crate::config::CostModelKind::GeneratorTree => chain.generator_cost(),
+        };
+        self.chain_costs.insert(key, cost);
+        cost
     }
 
     /// The domain estimator (shared with reports and tests).
@@ -265,9 +347,17 @@ pub fn builtin_stats(pred: PredId, mode: &Mode) -> GoalStats {
         ("@<", 2) | ("@>", 2) | ("@=<", 2) | ("@>=", 2) => 0.5,
         ("compare", 3) => 1.0,
         // Type tests: treated as coin flips absent better information.
-        ("var", 1) | ("nonvar", 1) | ("atom", 1) | ("number", 1) | ("integer", 1)
-        | ("float", 1) | ("atomic", 1) | ("compound", 1) | ("callable", 1)
-        | ("is_list", 1) | ("ground", 1) => 0.5,
+        ("var", 1)
+        | ("nonvar", 1)
+        | ("atom", 1)
+        | ("number", 1)
+        | ("integer", 1)
+        | ("float", 1)
+        | ("atomic", 1)
+        | ("compound", 1)
+        | ("callable", 1)
+        | ("is_list", 1)
+        | ("ground", 1) => 0.5,
         // Arithmetic: `is` always delivers exactly one solution;
         // comparisons are tests.
         ("is", 2) => 1.0,
@@ -286,8 +376,12 @@ pub fn builtin_stats(pred: PredId, mode: &Mode) -> GoalStats {
         // Set predicates and I/O are deterministic single-solution.
         ("findall", 3) => 1.0,
         ("bagof", 3) | ("setof", 3) => 0.75,
-        ("write", 1) | ("print", 1) | ("writeln", 1) | ("write_canonical", 1)
-        | ("nl", 0) | ("tab", 1) => 1.0,
+        ("write", 1)
+        | ("print", 1)
+        | ("writeln", 1)
+        | ("write_canonical", 1)
+        | ("nl", 0)
+        | ("tab", 1) => 1.0,
         ("call", 1) => 0.5,
         ("not", 1) | ("\\+", 1) => 0.5,
         ("forall", 2) => 0.5,

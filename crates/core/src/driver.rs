@@ -9,23 +9,34 @@
 //! matching each call site's mode, and a `var/1` dispatcher is emitted
 //! under the original name. Fixed, recursive, and fact predicates are
 //! copied unchanged (with the reason recorded in the report).
+//!
+//! The run is staged for concurrency: **planning** (analyses, fixity, the
+//! mode oracle, and a level schedule over the call graph) is computed
+//! once and shared immutably; **reordering** dispatches one task per
+//! `(predicate, mode)` over a scoped worker pool, level by level, with
+//! version stats installed at each level boundary; **emission** then
+//! assembles the program and report strictly in bottom-up order. Because
+//! same-level predicates never call one another and every shared estimate
+//! is cached context-free, the output is byte-identical for any worker
+//! count.
 
 use crate::blocks::split_blocks;
 use crate::clause_order::{clause_is_mobile, order_clauses};
 use crate::config::ReorderConfig;
 use crate::costs::{solutions_to_p, Estimator};
 use crate::oracle::ModeOracle;
-use crate::report::{ModeReport, PredicateReport, ReorderReport};
+use crate::report::{ModeReport, PredicateReport, ReorderReport, RunStats};
 use crate::scan::{self, ScannedGoal};
 use crate::search;
-use crate::specialize::{
-    collapse_for_version, dedup_versions, dispatcher, rename_top_level_calls,
-};
+use crate::specialize::{collapse_for_version, dedup_versions, dispatcher, rename_top_level_calls};
 use prolog_analysis::fixity::{prolog_engine_builtin_seeds, FixityAnalysis};
-use prolog_analysis::{Mode, ProgramAnalysis, SemifixityAnalysis};
+use prolog_analysis::{CallGraph, Mode, ProgramAnalysis, SemifixityAnalysis};
 use prolog_markov::{ClauseChain, GoalStats};
 use prolog_syntax::{Body, Clause, PredId, SourceProgram, Symbol, Term};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// The reordering system.
 pub struct Reorderer<'p> {
@@ -45,7 +56,11 @@ pub struct ReorderResult {
 
 impl<'p> Reorderer<'p> {
     pub fn new(program: &'p SourceProgram, config: ReorderConfig) -> Reorderer<'p> {
-        Reorderer { program, config, measured: Default::default() }
+        Reorderer {
+            program,
+            config,
+            measured: Default::default(),
+        }
     }
 
     /// Supplies measured costs from a calibration pass (the paper's
@@ -61,11 +76,15 @@ impl<'p> Reorderer<'p> {
 
     /// Runs analysis, estimation, reordering, and specialisation.
     pub fn run(&self) -> ReorderResult {
+        let t_run = Instant::now();
+
+        // ---- Planning: analyses, fixity, the mode oracle, and the level
+        // schedule. Everything built here is shared immutably (or behind
+        // internal locks) by the reordering workers.
         let analysis = ProgramAnalysis::analyze(self.program);
         let mut seeds = prolog_engine_builtin_seeds();
         seeds.extend(analysis.declarations.fixed.iter().copied());
-        let fixity =
-            FixityAnalysis::compute_with_seeds(self.program, &analysis.callgraph, &seeds);
+        let fixity = FixityAnalysis::compute_with_seeds(self.program, &analysis.callgraph, &seeds);
         let oracle = ModeOracle::new(self.program, &analysis.declarations);
         let est = Estimator::new(
             self.program,
@@ -99,6 +118,133 @@ impl<'p> Reorderer<'p> {
             }
         }
 
+        // Fix each predicate's legal-mode list once so the task list, the
+        // level boundaries, and the reports all agree on task identity
+        // and order.
+        let mode_lists: HashMap<PredId, Vec<Mode>> = specializable
+            .iter()
+            .map(|&p| (p, oracle.legal_plus_minus_modes(p)))
+            .collect();
+        let order = analysis.callgraph.bottom_up_order();
+        let levels = schedule_levels(&analysis.callgraph, &order, &specializable);
+        let jobs = self.config.resolved_jobs();
+        let planning = t_run.elapsed();
+
+        // ---- Reordering: one task per (predicate, mode), level by level.
+        // Same-level predicates never call one another, so workers may
+        // compute them in any order; results are collected by position and
+        // each level boundary replays the serial sweep's bookkeeping
+        // (override installs, version naming) in bottom-up order.
+        let t_reorder = Instant::now();
+        // (callee, suffix) → emitted version name, filled level by level.
+        let mut version_names: HashMap<(PredId, String), Symbol> = HashMap::new();
+        let mut artifacts: HashMap<PredId, PredArtifact> = HashMap::new();
+        let mut task_count = 0usize;
+        for level in &levels {
+            let tasks: Vec<(PredId, &Mode)> = level
+                .iter()
+                .flat_map(|&pred| mode_lists[&pred].iter().map(move |m| (pred, m)))
+                .collect();
+            task_count += tasks.len();
+            let outcomes = run_tasks(jobs, tasks.len(), |i| {
+                let (pred, mode) = tasks[i];
+                let clauses = self.program.clauses_of(pred);
+                let original = est.stats(pred, mode);
+                let outcome = self.reorder_mode(
+                    pred,
+                    &clauses,
+                    mode,
+                    &fixity,
+                    &analysis.semifixity,
+                    &est,
+                    &oracle,
+                    &specializable,
+                    &version_names,
+                );
+                (original, outcome)
+            });
+
+            let mut next = outcomes.into_iter();
+            for &pred in level {
+                let mut per_mode: Vec<(Mode, Vec<Clause>)> = Vec::new();
+                let mut mode_infos: Vec<ModeInfo> = Vec::new();
+                for mode in &mode_lists[&pred] {
+                    let (original, outcome) =
+                        next.next().expect("one outcome per (predicate, mode) task");
+                    est.install_override(pred, mode.clone(), outcome.stats);
+                    per_mode.push((mode.clone(), outcome.clauses));
+                    mode_infos.push((
+                        mode.clone(),
+                        original,
+                        outcome.stats,
+                        outcome.clause_order,
+                        outcome.goal_orders,
+                        outcome.explored,
+                        outcome.rejected,
+                    ));
+                }
+
+                let (versions, mut suffix_map) = dedup_versions(pred, per_mode);
+                let single = versions.len() == 1;
+                if single {
+                    // Every legal mode produced identical code: keep the
+                    // single version under the original name and skip the
+                    // dispatcher entirely — the common case the paper notes
+                    // ("the reorderer produces only one or two distinct
+                    // versions").
+                    for name in suffix_map.values_mut() {
+                        *name = pred.name;
+                    }
+                }
+                for (suffix, name) in &suffix_map {
+                    version_names.insert((pred, suffix.clone()), *name);
+                }
+                let modes = mode_infos
+                    .into_iter()
+                    .map(
+                        |(
+                            mode,
+                            original,
+                            reordered,
+                            clause_order,
+                            goal_orders,
+                            explored,
+                            rejected,
+                        )| {
+                            let version = suffix_map
+                                .get(&mode.suffix())
+                                .map(|s| s.as_str().to_string())
+                                .unwrap_or_else(|| mode.suffix());
+                            ModeReport {
+                                mode,
+                                version,
+                                original,
+                                reordered,
+                                clause_order,
+                                goal_orders,
+                                explored,
+                                rejected,
+                            }
+                        },
+                    )
+                    .collect();
+                artifacts.insert(
+                    pred,
+                    PredArtifact {
+                        single,
+                        versions,
+                        suffix_map,
+                        modes,
+                    },
+                );
+            }
+        }
+        let reordering = t_reorder.elapsed();
+
+        // ---- Emission: assemble the program and report strictly in
+        // bottom-up order, so the output is byte-identical no matter how
+        // the reordering tasks were scheduled.
+        let t_emit = Instant::now();
         let mut out = SourceProgram {
             directives: self.program.directives.clone(),
             ..Default::default()
@@ -107,10 +253,7 @@ impl<'p> Reorderer<'p> {
             warnings: analysis.declarations.warnings.clone(),
             ..Default::default()
         };
-        // (callee, suffix) → emitted version name, filled bottom-up.
-        let mut version_names: HashMap<(PredId, String), Symbol> = HashMap::new();
-
-        for pred in analysis.callgraph.bottom_up_order() {
+        for pred in order {
             if !defined.contains(&pred) {
                 continue;
             }
@@ -132,88 +275,77 @@ impl<'p> Reorderer<'p> {
                 } else {
                     "no legal modes could be established".to_string()
                 };
-                report
-                    .predicates
-                    .push(PredicateReport { pred, skipped: Some(reason), modes: Vec::new() });
+                report.predicates.push(PredicateReport {
+                    pred,
+                    skipped: Some(reason),
+                    modes: Vec::new(),
+                });
                 continue;
             }
 
-            let mut per_mode: Vec<(Mode, Vec<Clause>)> = Vec::new();
-            let mut mode_infos: Vec<(Mode, GoalStats, GoalStats, Vec<usize>, Vec<Vec<usize>>, usize)> =
-                Vec::new();
-            for mode in oracle.legal_plus_minus_modes(pred) {
-                let original = est.stats(pred, &mode);
-                let outcome = self.reorder_mode(
-                    pred,
-                    &clauses,
-                    &mode,
-                    &fixity,
-                    &analysis.semifixity,
-                    &est,
-                    &oracle,
-                    &specializable,
-                    &version_names,
-                );
-                est.install_override(pred, mode.clone(), outcome.stats);
-                per_mode.push((mode.clone(), outcome.clauses));
-                mode_infos.push((
-                    mode,
-                    original,
-                    outcome.stats,
-                    outcome.clause_order,
-                    outcome.goal_orders,
-                    outcome.explored,
-                ));
-            }
-
-            let (versions, mut suffix_map) = dedup_versions(pred, per_mode);
-            if versions.len() == 1 {
-                // Every legal mode produced identical code: keep the single
-                // version under the original name and skip the dispatcher
-                // entirely — the common case the paper notes ("the
-                // reorderer produces only one or two distinct versions").
+            let PredArtifact {
+                single,
+                versions,
+                suffix_map,
+                modes,
+            } = artifacts
+                .remove(&pred)
+                .expect("artifact for every specialisable predicate");
+            if single {
                 let (_, version_clauses) = versions.into_iter().next().expect("one version");
                 for clause in version_clauses {
-                    out.clauses.push(crate::specialize::rename_head(&clause, pred.name));
-                }
-                for name in suffix_map.values_mut() {
-                    *name = pred.name;
+                    out.clauses
+                        .push(crate::specialize::rename_head(&clause, pred.name));
                 }
             } else {
-                for (name, version_clauses) in versions {
+                for (_, version_clauses) in versions {
                     out.clauses.extend(version_clauses);
-                    let _ = name;
                 }
                 out.clauses.push(dispatcher(pred, &suffix_map));
             }
-            for (suffix, name) in &suffix_map {
-                version_names.insert((pred, suffix.clone()), *name);
-            }
-
-            let modes = mode_infos
-                .into_iter()
-                .map(|(mode, original, reordered, clause_order, goal_orders, explored)| {
-                    let version = suffix_map
-                        .get(&mode.suffix())
-                        .map(|s| s.as_str().to_string())
-                        .unwrap_or_else(|| mode.suffix());
-                    ModeReport {
-                        mode,
-                        version,
-                        original,
-                        reordered,
-                        clause_order,
-                        goal_orders,
-                        explored,
-                    }
-                })
-                .collect();
-            report.predicates.push(PredicateReport { pred, skipped: None, modes });
+            report.predicates.push(PredicateReport {
+                pred,
+                skipped: None,
+                modes,
+            });
         }
+        let emission = t_emit.elapsed();
 
-        ReorderResult { program: out, report }
+        let ((estimate_hits, estimate_misses), (chain_hits, chain_misses)) = est.cache_counters();
+        let (mode_hits, mode_misses) = oracle.cache_counters();
+        report.stats = RunStats {
+            jobs,
+            tasks: task_count,
+            planning,
+            reordering,
+            emission,
+            total: t_run.elapsed(),
+            orders_explored: report
+                .predicates
+                .iter()
+                .flat_map(|p| &p.modes)
+                .map(|m| m.explored)
+                .sum(),
+            orders_rejected: report
+                .predicates
+                .iter()
+                .flat_map(|p| &p.modes)
+                .map(|m| m.rejected)
+                .sum(),
+            estimate_hits,
+            estimate_misses,
+            chain_hits,
+            chain_misses,
+            mode_hits,
+            mode_misses,
+        };
+        ReorderResult {
+            program: out,
+            report,
+        }
     }
 
+    #[allow(clippy::too_many_arguments)] // internal: the planning products travel together
     fn reorder_mode(
         &self,
         pred: PredId,
@@ -232,6 +364,7 @@ impl<'p> Reorderer<'p> {
         let mut e_total = 0.0;
         let mut total_cost = 1.0;
         let mut explored = 0;
+        let mut rejected = 0;
 
         for clause in clauses {
             let match_p = est.head_match_probability(pred, clause, mode).min(1.0);
@@ -252,11 +385,11 @@ impl<'p> Reorderer<'p> {
             for block in blocks {
                 let k = block.goals.len();
                 if block.mobile && self.config.reorder_goals && k > 1 {
-                    match search::best_order(&block.goals, &state, est, semifix, &self.config)
-                    {
+                    match search::best_order(&block.goals, &state, est, semifix, &self.config) {
                         Some(out) => {
                             state = out.exit_state.clone();
                             explored += out.explored;
+                            rejected += out.rejected;
                             order_map.extend(out.order.iter().map(|i| base + i));
                             assembled.extend(out.scanned);
                         }
@@ -284,6 +417,7 @@ impl<'p> Reorderer<'p> {
                 // This clause cannot be verified in this mode (it would be
                 // abstractly illegal — typically the head never matches such
                 // calls). Keep it verbatim; charge a nominal cost.
+                rejected += 1;
                 new_clauses.push((*clause).clone());
                 clause_stats.push((match_p * 0.5, 1.0));
                 goal_orders.push((0..conjuncts.len()).collect());
@@ -313,21 +447,26 @@ impl<'p> Reorderer<'p> {
             });
         }
 
-        let mobile: Vec<bool> =
-            clauses.iter().map(|c| clause_is_mobile(c, fixity)).collect();
+        let mobile: Vec<bool> = clauses
+            .iter()
+            .map(|c| clause_is_mobile(c, fixity))
+            .collect();
         let clause_order = if self.config.reorder_clauses {
             order_clauses(&clause_stats, &mobile)
         } else {
             (0..clauses.len()).collect()
         };
-        let ordered: Vec<Clause> =
-            clause_order.iter().map(|&i| new_clauses[i].clone()).collect();
+        let ordered: Vec<Clause> = clause_order
+            .iter()
+            .map(|&i| new_clauses[i].clone())
+            .collect();
         ModeOutcome {
             clauses: ordered,
             stats: GoalStats::new(solutions_to_p(e_total), total_cost),
             clause_order,
             goal_orders,
             explored,
+            rejected,
         }
     }
 }
@@ -338,6 +477,111 @@ struct ModeOutcome {
     clause_order: Vec<usize>,
     goal_orders: Vec<Vec<usize>>,
     explored: usize,
+    rejected: usize,
+}
+
+/// `(mode, original, reordered, clause_order, goal_orders, explored,
+/// rejected)` — a [`ModeReport`] before version names are known.
+type ModeInfo = (
+    Mode,
+    GoalStats,
+    GoalStats,
+    Vec<usize>,
+    Vec<Vec<usize>>,
+    usize,
+    usize,
+);
+
+/// Per-predicate product of the reordering stage, consumed by emission.
+struct PredArtifact {
+    /// All legal modes produced identical code: emit one version under the
+    /// original name, no dispatcher.
+    single: bool,
+    versions: Vec<(Symbol, Vec<Clause>)>,
+    suffix_map: HashMap<String, Symbol>,
+    modes: Vec<ModeReport>,
+}
+
+/// Runs `count` independent tasks on up to `jobs` scoped workers and
+/// collects the results in index order. `jobs <= 1` (or a single task)
+/// runs inline with no thread machinery — the serial path. Results are
+/// stored by task index, so the caller sees the same ordering no matter
+/// which worker computed what.
+fn run_tasks<T, F>(jobs: usize, count: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || count <= 1 {
+        return (0..count).map(task).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(count) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = task(i);
+                *slots[i].lock().expect("task slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("task slot poisoned")
+                .expect("every task index claimed")
+        })
+        .collect()
+}
+
+/// Groups the specialisable predicates into call-graph *levels*: a
+/// predicate's level is one more than its deepest callee's (SCC-mates
+/// excluded). A call edge forces a level gap, so two predicates on the
+/// same level cannot call one another — their `(predicate, mode)` tasks
+/// are independent, and every estimate flowing between levels goes
+/// through overrides installed at a lower level's boundary. Levels come
+/// out ascending with each level's predicates in bottom-up order, which
+/// makes the parallel schedule value-equivalent to the serial sweep.
+fn schedule_levels(
+    graph: &CallGraph,
+    bottom_up: &[PredId],
+    specializable: &HashSet<PredId>,
+) -> Vec<Vec<PredId>> {
+    let sccs = graph.sccs();
+    let mut scc_of: HashMap<PredId, usize> = HashMap::new();
+    for (i, component) in sccs.iter().enumerate() {
+        for &p in component {
+            scc_of.insert(p, i);
+        }
+    }
+    // `sccs()` is reverse-topological (callee components first), so every
+    // callee component's level is final before its callers are visited.
+    let mut scc_level = vec![0usize; sccs.len()];
+    for (i, component) in sccs.iter().enumerate() {
+        let mut level = 0;
+        for &p in component {
+            for &callee in graph.callees(p) {
+                if let Some(&j) = scc_of.get(&callee) {
+                    if j != i {
+                        level = level.max(scc_level[j] + 1);
+                    }
+                }
+            }
+        }
+        scc_level[i] = level;
+    }
+    let mut by_level: BTreeMap<usize, Vec<PredId>> = BTreeMap::new();
+    for &p in bottom_up {
+        if specializable.contains(&p) {
+            by_level.entry(scc_level[scc_of[&p]]).or_default().push(p);
+        }
+    }
+    by_level.into_values().collect()
 }
 
 /// Renames one scanned goal's call to the specialised version matching its
@@ -353,7 +597,9 @@ fn rename_scanned_goal(
     };
     let call_mode = call_mode.clone();
     rename_top_level_calls(&sg.goal, &mut |t: &Term| {
-        let Some(callee) = t.pred_id() else { return t.clone() };
+        let Some(callee) = t.pred_id() else {
+            return t.clone();
+        };
         if !specializable.contains(&callee) {
             return t.clone();
         }
@@ -411,9 +657,7 @@ mod tests {
     #[test]
     fn grandmother_uu_runs_female_first() {
         let result = run(FAMILY);
-        let gm_uu = result
-            .program
-            .clauses_of(PredId::new("grandmother_uu", 2));
+        let gm_uu = result.program.clauses_of(PredId::new("grandmother_uu", 2));
         assert_eq!(gm_uu.len(), 1);
         let goals = gm_uu[0].body.conjuncts();
         let first = match goals[0] {
@@ -442,7 +686,9 @@ mod tests {
         // grandparent has several distinct versions, so the call to it
         // must be mode-specialised
         assert!(
-            called.iter().any(|p| p.name.as_str().starts_with("grandparent_")),
+            called
+                .iter()
+                .any(|p| p.name.as_str().starts_with("grandparent_")),
             "expected a specialised grandparent call: {called:?}"
         );
     }
@@ -450,7 +696,10 @@ mod tests {
     #[test]
     fn report_predicts_improvement_for_grandmother_uu() {
         let result = run(FAMILY);
-        let pr = result.report.predicate(PredId::new("grandmother", 2)).unwrap();
+        let pr = result
+            .report
+            .predicate(PredId::new("grandmother", 2))
+            .unwrap();
         assert!(pr.skipped.is_none());
         let uu = pr
             .modes
@@ -494,7 +743,10 @@ mod tests {
     #[test]
     fn specialisation_can_be_disabled() {
         let program = parse_program(FAMILY).unwrap();
-        let config = ReorderConfig { specialize_modes: false, ..Default::default() };
+        let config = ReorderConfig {
+            specialize_modes: false,
+            ..Default::default()
+        };
         let result = Reorderer::new(&program, config).run();
         assert!(result
             .program

@@ -29,7 +29,10 @@ pub struct CalibrationConfig {
 
 impl Default for CalibrationConfig {
     fn default() -> Self {
-        CalibrationConfig { max_queries_per_mode: 64, max_calls_per_query: 1_000_000 }
+        CalibrationConfig {
+            max_queries_per_mode: 64,
+            max_calls_per_query: 1_000_000,
+        }
     }
 }
 
@@ -186,28 +189,23 @@ mod tests {
              d(U, [X|Y], [X|V]) :- d(U, Y, V).",
         )
         .unwrap();
-        let config = CalibrationConfig { max_calls_per_query: 2_000, ..Default::default() };
+        let config = CalibrationConfig {
+            max_calls_per_query: 2_000,
+            ..Default::default()
+        };
         let costs = calibrate(&p, &[PredId::new("d", 3)], &universe(&["a"]), &config);
         // (+,-,-) diverges: must be absent
         assert!(!costs.contains_key(&(PredId::new("d", 3), Mode::parse("+--").unwrap())));
-        // (+,+,-) measures fine when given list constants? Lists are not in
-        // the universe, so the bound list positions just fail: cheap but
-        // present.
-        assert!(costs.contains_key(&(PredId::new("d", 3), Mode::parse("---").unwrap())) == false
-            || true);
+        // Whatever modes did measure belong to the requested predicate.
+        assert!(costs.keys().all(|(pred, _)| *pred == PredId::new("d", 3)));
     }
 
     #[test]
     fn sampling_respects_the_budget() {
         let p = parse_program("big(X, Y).").unwrap();
         let _ = p;
-        let u: Vec<Term> = (0..50).map(|i| Term::Int(i)).collect();
-        let qs = sample_queries(
-            PredId::new("big", 2),
-            &Mode::parse("++").unwrap(),
-            &u,
-            64,
-        );
+        let u: Vec<Term> = (0..50).map(Term::Int).collect();
+        let qs = sample_queries(PredId::new("big", 2), &Mode::parse("++").unwrap(), &u, 64);
         assert_eq!(qs.len(), 64); // 2500 combinations sampled down to 64
     }
 }

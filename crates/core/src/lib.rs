@@ -65,5 +65,5 @@ pub use costs::Estimator;
 pub use driver::{ReorderResult, Reorderer};
 pub use empirical::{calibrate, CalibrationConfig, MeasuredCosts};
 pub use oracle::ModeOracle;
-pub use report::{ModeReport, PredicateReport, ReorderReport};
+pub use report::{ModeReport, PredicateReport, ReorderReport, RunStats};
 pub use unfold::{unfold_program, UnfoldConfig};

@@ -41,6 +41,11 @@ impl<'p> ModeOracle<'p> {
             .collect()
     }
 
+    /// `(hits, misses)` of the mode-inference pattern memo.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        self.inference.cache_counters()
+    }
+
     /// Expected number of distinct `u`/`i` version suffixes for `pred`.
     pub fn version_count(&self, pred: PredId) -> usize {
         let mut suffixes: Vec<String> = self
@@ -93,7 +98,9 @@ mod tests {
         let oracle = ModeOracle::new(&p, &d);
         let legal = oracle.legal_plus_minus_modes(id("inc", 2));
         assert_eq!(legal.len(), 2); // (+,-) and (+,+)
-        assert!(oracle.call(id("inc", 2), &Mode::parse("--").unwrap()).is_none());
+        assert!(oracle
+            .call(id("inc", 2), &Mode::parse("--").unwrap())
+            .is_none());
     }
 
     #[test]
@@ -106,8 +113,12 @@ mod tests {
         .unwrap();
         let d = Declarations::from_program(&p);
         let oracle = ModeOracle::new(&p, &d);
-        assert!(oracle.call(id("len", 2), &Mode::parse("+-").unwrap()).is_some());
-        assert!(oracle.call(id("len", 2), &Mode::parse("-+").unwrap()).is_none());
+        assert!(oracle
+            .call(id("len", 2), &Mode::parse("+-").unwrap())
+            .is_some());
+        assert!(oracle
+            .call(id("len", 2), &Mode::parse("-+").unwrap())
+            .is_none());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use prolog_analysis::Mode;
 use prolog_markov::GoalStats;
 use prolog_syntax::PredId;
 use std::fmt;
+use std::time::Duration;
 
 /// The full report for one reordering run.
 #[derive(Debug, Default)]
@@ -12,6 +13,12 @@ pub struct ReorderReport {
     /// Problems the system wants the programmer to know about (the paper's
     /// "informs the programmer when it cannot infer properties").
     pub warnings: Vec<String>,
+    /// Stage timings and search/cache counters. Deliberately excluded
+    /// from the report's `Display`: wall-clock and hit ratios vary with
+    /// the worker count and machine, while the report text must stay
+    /// byte-identical across `--jobs` settings. Rendered separately via
+    /// [`RunStats::render`] (the CLI's `--timings` flag).
+    pub stats: RunStats,
 }
 
 impl ReorderReport {
@@ -46,6 +53,81 @@ pub struct ModeReport {
     pub goal_orders: Vec<Vec<usize>>,
     /// Orders examined by the search (ablation metric).
     pub explored: usize,
+    /// Candidate placements the search rejected as illegal (culprit-state
+    /// violations and unscannable modes).
+    pub rejected: usize,
+}
+
+/// Wall-clock stage timings and run-wide counters for one reordering run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Worker threads used by the reordering stage.
+    pub jobs: usize,
+    /// `(predicate, mode)` reordering tasks dispatched.
+    pub tasks: usize,
+    /// Planning: program analyses, fixity, mode oracle, task scheduling.
+    pub planning: Duration,
+    /// Per-`(predicate, mode)` reordering (the parallel stage).
+    pub reordering: Duration,
+    /// Version dedup, dispatcher synthesis, program and report assembly.
+    pub emission: Duration,
+    pub total: Duration,
+    /// Orders examined across every search.
+    pub orders_explored: usize,
+    /// Placements rejected by legality across every search.
+    pub orders_rejected: usize,
+    /// Estimator `(predicate, mode)` memo hits/misses.
+    pub estimate_hits: u64,
+    pub estimate_misses: u64,
+    /// Conjunction-cost (chain) memo hits/misses.
+    pub chain_hits: u64,
+    pub chain_misses: u64,
+    /// Mode-inference pattern memo hits/misses.
+    pub mode_hits: u64,
+    pub mode_misses: u64,
+}
+
+impl RunStats {
+    fn ratio(hits: u64, misses: u64) -> f64 {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Human-readable timing/counter block (the CLI's `--timings` output).
+    pub fn render(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "stage timings ({} jobs, {} reordering tasks):\n",
+            self.jobs, self.tasks
+        ));
+        out.push_str(&format!("  planning    {:>9.3} ms\n", ms(self.planning)));
+        out.push_str(&format!("  reordering  {:>9.3} ms\n", ms(self.reordering)));
+        out.push_str(&format!("  emission    {:>9.3} ms\n", ms(self.emission)));
+        out.push_str(&format!("  total       {:>9.3} ms\n", ms(self.total)));
+        out.push_str(&format!(
+            "search: {} orders examined, {} placements rejected by legality\n",
+            self.orders_explored, self.orders_rejected
+        ));
+        out.push_str(&format!(
+            "caches: estimates {}/{} hit ({:.0}%), chain costs {}/{} hit ({:.0}%), \
+             mode patterns {}/{} hit ({:.0}%)\n",
+            self.estimate_hits,
+            self.estimate_hits + self.estimate_misses,
+            100.0 * Self::ratio(self.estimate_hits, self.estimate_misses),
+            self.chain_hits,
+            self.chain_hits + self.chain_misses,
+            100.0 * Self::ratio(self.chain_hits, self.chain_misses),
+            self.mode_hits,
+            self.mode_hits + self.mode_misses,
+            100.0 * Self::ratio(self.mode_hits, self.mode_misses),
+        ));
+        out
+    }
 }
 
 impl ModeReport {
@@ -61,7 +143,11 @@ impl ModeReport {
 
     /// Did the reorderer change anything for this mode?
     pub fn changed(&self) -> bool {
-        let identity_clauses = self.clause_order.iter().copied().eq(0..self.clause_order.len());
+        let identity_clauses = self
+            .clause_order
+            .iter()
+            .copied()
+            .eq(0..self.clause_order.len());
         let identity_goals = self
             .goal_orders
             .iter()
@@ -113,6 +199,7 @@ mod tests {
             clause_order: vec![0, 1],
             goal_orders: vec![vec![1, 0]],
             explored: 3,
+            rejected: 0,
         };
         assert!((m.predicted_speedup() - 4.0).abs() < 1e-12);
         assert!(m.changed());
@@ -124,7 +211,44 @@ mod tests {
             clause_order: vec![0, 1, 2],
             goal_orders: vec![vec![0, 1], vec![0]],
             explored: 1,
+            rejected: 0,
         };
         assert!(!id.changed());
+    }
+
+    #[test]
+    fn run_stats_render_covers_stages_and_counters() {
+        let stats = RunStats {
+            jobs: 4,
+            tasks: 44,
+            planning: Duration::from_millis(6),
+            reordering: Duration::from_millis(15),
+            emission: Duration::from_micros(130),
+            total: Duration::from_millis(22),
+            orders_explored: 70,
+            orders_rejected: 9,
+            estimate_hits: 126,
+            estimate_misses: 55,
+            chain_hits: 58,
+            chain_misses: 66,
+            mode_hits: 784,
+            mode_misses: 54,
+        };
+        let text = stats.render();
+        for needle in [
+            "4 jobs",
+            "44 reordering tasks",
+            "planning",
+            "reordering",
+            "emission",
+            "total",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(text.contains("70 orders examined"));
+        assert!(text.contains("9 placements rejected"));
+        assert!(text.contains("estimates 126/181 hit (70%)"));
+        // Empty counters must not divide by zero.
+        assert!(RunStats::default().render().contains("0/0 hit (0%)"));
     }
 }

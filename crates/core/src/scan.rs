@@ -86,7 +86,11 @@ pub fn scan_goal(
             for (arg, item) in t.args().iter().zip(output.items()) {
                 state.apply_output(arg, *item);
             }
-            Some(ScannedGoal { goal: goal.clone(), call_mode: Some(mode), stats })
+            Some(ScannedGoal {
+                goal: goal.clone(),
+                call_mode: Some(mode),
+                stats,
+            })
         }
         Body::Not(g) => {
             // Negation: inner goals run in their own scope and export no
@@ -197,7 +201,12 @@ mod tests {
             let program = parse_program(src).unwrap();
             let declarations = Declarations::from_program(&program);
             let recursion = RecursionAnalysis::compute(&CallGraph::build(&program));
-            Fixture { program, declarations, recursion, config: ReorderConfig::default() }
+            Fixture {
+                program,
+                declarations,
+                recursion,
+                config: ReorderConfig::default(),
+            }
         }
 
         fn with<R>(&self, f: impl FnOnce(&Estimator<'_>) -> R) -> R {
@@ -238,8 +247,7 @@ mod tests {
             let program = est.program();
             let clause = &program.clauses_of(prolog_syntax::PredId::new("chain", 2))[0];
             let mut st = head_state(&clause.head, &Mode::parse("+-").unwrap());
-            let scanned =
-                scan_sequence(&clause.body.conjuncts(), &mut st, est).expect("legal");
+            let scanned = scan_sequence(&clause.body.conjuncts(), &mut st, est).expect("legal");
             // first step called (+,-), second (+,-) because Y is now bound
             assert_eq!(scanned[0].call_mode, Some(Mode::parse("+-").unwrap()));
             assert_eq!(scanned[1].call_mode, Some(Mode::parse("+-").unwrap()));

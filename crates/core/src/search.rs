@@ -31,6 +31,9 @@ pub struct OrderOutcome {
     pub exit_state: AbstractState,
     /// Number of orders the search examined (for reports/ablation).
     pub explored: usize,
+    /// Candidate placements rejected by legality: culprit-state
+    /// violations and goals unscannable in the candidate prefix's mode.
+    pub rejected: usize,
 }
 
 /// Built-ins whose *meaning* depends on their arguments' instantiation:
@@ -40,10 +43,33 @@ pub struct OrderOutcome {
 fn builtin_is_instantiation_sensitive(name: &str) -> bool {
     matches!(
         name,
-        "var" | "nonvar" | "atom" | "atomic" | "number" | "integer" | "float" | "compound"
-            | "callable" | "ground" | "is_list" | "==" | "\\==" | "\\=" | "@<" | "@>"
-            | "@=<" | "@>=" | "compare" | "findall" | "bagof" | "setof" | "not" | "\\+"
-            | "call" | "forall" | "copy_term"
+        "var"
+            | "nonvar"
+            | "atom"
+            | "atomic"
+            | "number"
+            | "integer"
+            | "float"
+            | "compound"
+            | "callable"
+            | "ground"
+            | "is_list"
+            | "=="
+            | "\\=="
+            | "\\="
+            | "@<"
+            | "@>"
+            | "@=<"
+            | "@>="
+            | "compare"
+            | "findall"
+            | "bagof"
+            | "setof"
+            | "not"
+            | "\\+"
+            | "call"
+            | "forall"
+            | "copy_term"
     )
 }
 
@@ -98,27 +124,36 @@ pub fn best_order(
         cost: base.g,
         exit_state: base_state,
         explored: 1,
+        rejected: 0,
     };
     if n <= 1 {
         return Some(original);
     }
 
-    let found = if n <= config.exhaustive_threshold {
+    let (found, explored, rejected) = if n <= config.exhaustive_threshold {
         exhaustive(goals, entry, est, &trace, original.cost, config.cost_model)
     } else {
-        astar(goals, entry, est, &trace, config.max_search_nodes, config.cost_model)
+        astar(
+            goals,
+            entry,
+            est,
+            &trace,
+            config.max_search_nodes,
+            config.cost_model,
+        )
     };
     match found {
         // Require a strict improvement; ties keep the source order.
         Some(better) if better.cost < original.cost - 1e-9 => Some(OrderOutcome {
-            explored: better.explored + 1,
+            explored: explored + 1,
+            rejected,
             ..better
         }),
-        Some(same) => Some(OrderOutcome {
-            explored: same.explored + 1,
+        _ => Some(OrderOutcome {
+            explored: explored + 1,
+            rejected,
             ..original
         }),
-        None => Some(original),
     }
 }
 
@@ -139,36 +174,50 @@ struct Prefix {
 
 impl Prefix {
     fn new(model: crate::config::CostModelKind) -> Prefix {
-        Prefix { model, prod_p: 1.0, prod_q: 1.0, activations: 1.0, g: 0.0 }
+        Prefix {
+            model,
+            prod_p: 1.0,
+            prod_q: 1.0,
+            activations: 1.0,
+            g: 0.0,
+        }
     }
+
+    /// Positive floor for the running products: a long prefix of
+    /// near-certain goals (each clamped to `1 − 1e-6`) multiplies
+    /// `prod_q` below `f64::MIN_POSITIVE` after ~50 goals. Left to
+    /// underflow to `0.0`, `visits` becomes `inf` and poisons both the
+    /// branch-and-bound bound and every downstream comparison.
+    const FLOOR: f64 = 1e-300;
 
     fn push(&mut self, goal: &ScannedGoal) {
         let s = goal.stats.clamped();
         match self.model {
             crate::config::CostModelKind::MarkovChain => {
-                self.prod_q *= 1.0 - s.p;
+                self.prod_q = (self.prod_q * (1.0 - s.p)).max(Self::FLOOR);
                 let visits = self.prod_p / self.prod_q;
                 self.g += visits * s.cost;
                 self.prod_p *= s.p;
             }
             crate::config::CostModelKind::GeneratorTree => {
                 self.g += self.activations * s.cost;
-                self.activations *= s.p / (1.0 - s.p);
+                // Symmetric guard: Π E_j overflows to inf just as easily
+                // for a prefix of prolific generators.
+                self.activations = (self.activations * (s.p / (1.0 - s.p))).min(1.0 / Self::FLOOR);
             }
         }
     }
 }
 
 /// Does placing `goal` now satisfy its culprit-state constraint?
-fn culprits_ok(
-    goal_idx: usize,
-    state: &AbstractState,
-    trace: &[Vec<(usize, ModeItem)>],
-) -> bool {
-    trace[goal_idx].iter().all(|(v, item)| state.get(*v) == *item)
+fn culprits_ok(goal_idx: usize, state: &AbstractState, trace: &[Vec<(usize, ModeItem)>]) -> bool {
+    trace[goal_idx]
+        .iter()
+        .all(|(v, item)| state.get(*v) == *item)
 }
 
 /// Depth-first enumeration with legality pruning and branch-and-bound.
+/// Returns `(improvement, orders examined, placements rejected)`.
 fn exhaustive(
     goals: &[Body],
     entry: &AbstractState,
@@ -176,7 +225,7 @@ fn exhaustive(
     trace: &[Vec<(usize, ModeItem)>],
     bound: f64,
     model: crate::config::CostModelKind,
-) -> Option<OrderOutcome> {
+) -> (Option<OrderOutcome>, usize, usize) {
     struct Search<'a, 'p> {
         goals: &'a [Body],
         est: &'a Estimator<'p>,
@@ -184,6 +233,7 @@ fn exhaustive(
         best: Option<OrderOutcome>,
         bound: f64,
         explored: usize,
+        rejected: usize,
     }
 
     impl Search<'_, '_> {
@@ -206,6 +256,7 @@ fn exhaustive(
                         cost: prefix.g,
                         exit_state: state.clone(),
                         explored: 0,
+                        rejected: 0,
                     });
                 }
                 return;
@@ -215,11 +266,12 @@ fn exhaustive(
                     continue;
                 }
                 if !culprits_ok(i, state, self.trace) {
+                    self.rejected += 1;
                     continue;
                 }
                 let mut next_state = state.clone();
-                let Some(sg) = scan_goal(&self.goals[i], &mut next_state, self.est)
-                else {
+                let Some(sg) = scan_goal(&self.goals[i], &mut next_state, self.est) else {
+                    self.rejected += 1;
                     continue; // illegal order: prune this branch
                 };
                 let mut next_prefix = prefix.clone();
@@ -236,13 +288,27 @@ fn exhaustive(
         }
     }
 
-    let mut search = Search { goals, est, trace, best: None, bound, explored: 0 };
-    search.dfs(0, &mut Vec::new(), &mut Vec::new(), entry, &Prefix::new(model));
-    let explored = search.explored;
-    search.best.map(|b| OrderOutcome { explored, ..b })
+    let mut search = Search {
+        goals,
+        est,
+        trace,
+        best: None,
+        bound,
+        explored: 0,
+        rejected: 0,
+    };
+    search.dfs(
+        0,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        entry,
+        &Prefix::new(model),
+    );
+    (search.best, search.explored, search.rejected)
 }
 
 /// Best-first (uniform-cost) search over legal ordered prefixes.
+/// Returns `(solution, nodes expanded, placements rejected)`.
 fn astar(
     goals: &[Body],
     entry: &AbstractState,
@@ -250,7 +316,7 @@ fn astar(
     trace: &[Vec<(usize, ModeItem)>],
     max_nodes: usize,
     model: crate::config::CostModelKind,
-) -> Option<OrderOutcome> {
+) -> (Option<OrderOutcome>, usize, usize) {
     struct Node {
         order: Vec<usize>,
         scanned: Vec<ScannedGoal>,
@@ -288,27 +354,34 @@ fn astar(
     let mut heap = BinaryHeap::new();
     heap.push(Entry(0.0, 0));
     let mut expanded = 0;
+    let mut rejected = 0;
 
     while let Some(Entry(g, idx)) = heap.pop() {
         expanded += 1;
         if expanded > max_nodes {
-            return None; // search budget exhausted: caller keeps original
+            // Search budget exhausted: caller keeps the original order.
+            return (None, expanded, rejected);
         }
         let (order_len, used): (usize, u64) = {
             let node = &arena[idx];
-            (node.order.len(), node.order.iter().fold(0, |m, &i| m | 1 << i))
+            (
+                node.order.len(),
+                node.order.iter().fold(0, |m, &i| m | 1 << i),
+            )
         };
         if order_len == n {
             let node = &arena[idx];
-            return Some(OrderOutcome {
+            let found = OrderOutcome {
                 order: node.order.clone(),
                 scanned: node.scanned.clone(),
                 cost: g,
                 exit_state: node.state.clone(),
                 explored: expanded,
-            });
+                rejected,
+            };
+            return (Some(found), expanded, rejected);
         }
-        for i in 0..n {
+        for (i, goal) in goals.iter().enumerate() {
             if used & (1 << i) != 0 {
                 continue;
             }
@@ -317,24 +390,35 @@ fn astar(
                 (node.state.clone(), culprits_ok(i, &node.state, trace))
             };
             if !culps_ok {
+                rejected += 1;
                 continue;
             }
-            let Some(sg) = scan_goal(&goals[i], &mut next_state, est) else {
+            let Some(sg) = scan_goal(goal, &mut next_state, est) else {
+                rejected += 1;
                 continue;
             };
             let (mut order, mut scanned, mut prefix) = {
                 let node = &arena[idx];
-                (node.order.clone(), node.scanned.clone(), node.prefix.clone())
+                (
+                    node.order.clone(),
+                    node.scanned.clone(),
+                    node.prefix.clone(),
+                )
             };
             prefix.push(&sg);
             order.push(i);
             scanned.push(sg);
             let g_new = prefix.g;
-            arena.push(Node { order, scanned, state: next_state, prefix });
+            arena.push(Node {
+                order,
+                scanned,
+                state: next_state,
+                prefix,
+            });
             heap.push(Entry(g_new, arena.len() - 1));
         }
     }
-    None
+    (None, expanded, rejected)
 }
 
 #[cfg(test)]
@@ -351,15 +435,15 @@ mod tests {
         let declarations = Declarations::from_program(&program);
         let graph = CallGraph::build(&program);
         let recursion = RecursionAnalysis::compute(&graph);
-        let semifix =
-            prolog_analysis::SemifixityAnalysis::compute(&program, &graph);
-        let mut config = ReorderConfig::default();
-        config.exhaustive_threshold = threshold;
+        let semifix = prolog_analysis::SemifixityAnalysis::compute(&program, &graph);
+        let config = ReorderConfig {
+            exhaustive_threshold: threshold,
+            ..Default::default()
+        };
         let oracle = ModeOracle::new(&program, &declarations);
         let est = Estimator::new(&program, &oracle, &declarations, &recursion, &config);
         let clause = &program.clauses[0];
-        let goals: Vec<Body> =
-            clause.body.conjuncts().into_iter().cloned().collect();
+        let goals: Vec<Body> = clause.body.conjuncts().into_iter().cloned().collect();
         let entry = crate::scan::head_state(&clause.head, &Mode::parse(head_mode).unwrap());
         let out = best_order(&goals, &entry, &est, &semifix, &config).expect("scannable");
         out.order
@@ -440,5 +524,45 @@ mod tests {
     fn single_goal_is_trivial() {
         let order = choose("one(X) :- only(X). only(1).", "-", 6);
         assert_eq!(order, vec![0]);
+    }
+
+    /// Regression: a long run of near-certain goals (clamped to
+    /// `p = 1 − 1e-6`) used to underflow `prod_q` to `0.0` after ~50
+    /// pushes, turning the visit count — and thus `g` — into `inf` and
+    /// poisoning every branch-and-bound comparison downstream.
+    #[test]
+    fn markov_prefix_stays_finite_on_long_near_certain_chains() {
+        let near_certain = ScannedGoal {
+            goal: Body::True,
+            call_mode: None,
+            stats: prolog_markov::GoalStats::new(1.0, 1.0),
+        };
+        let mut prefix = Prefix::new(crate::config::CostModelKind::MarkovChain);
+        for i in 0..200 {
+            prefix.push(&near_certain);
+            assert!(
+                prefix.g.is_finite(),
+                "g became non-finite after {} goals",
+                i + 1
+            );
+        }
+        assert!(prefix.prod_q > 0.0, "prod_q underflowed to zero");
+        // The cost must still be usable as a branch-and-bound bound.
+        assert!(prefix.g < f64::MAX);
+    }
+
+    #[test]
+    fn generator_prefix_stays_finite_on_long_generator_chains() {
+        let generator = ScannedGoal {
+            goal: Body::True,
+            call_mode: None,
+            stats: prolog_markov::GoalStats::new(1.0, 1.0),
+        };
+        let mut prefix = Prefix::new(crate::config::CostModelKind::GeneratorTree);
+        for _ in 0..200 {
+            prefix.push(&generator);
+        }
+        assert!(prefix.activations.is_finite());
+        assert!(prefix.g.is_finite());
     }
 }

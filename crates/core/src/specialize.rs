@@ -31,7 +31,11 @@ pub fn rename_head(clause: &Clause, version: Symbol) -> Clause {
         Term::Atom(_) => Term::Atom(version),
         other => other.clone(),
     };
-    Clause { head, body: clause.body.clone(), var_names: clause.var_names.clone() }
+    Clause {
+        head,
+        body: clause.body.clone(),
+        var_names: clause.var_names.clone(),
+    }
 }
 
 /// Rewrites the plain calls of a body, goal by goal: `rename(goal_term)`
@@ -67,11 +71,7 @@ pub fn dispatcher(pred: PredId, versions: &HashMap<String, Symbol>) -> Clause {
 }
 
 /// Recursive dispatcher construction over argument positions.
-fn dispatch_tree(
-    args: &[Term],
-    suffix: String,
-    versions: &HashMap<String, Symbol>,
-) -> Body {
+fn dispatch_tree(args: &[Term], suffix: String, versions: &HashMap<String, Symbol>) -> Body {
     let depth = suffix.len();
     if depth == args.len() {
         return match versions.get(&suffix) {
@@ -100,13 +100,13 @@ fn dispatch_tree(
     Body::IfThenElse(Box::new(test), Box::new(unbound), Box::new(bound))
 }
 
+/// Distinct versions to emit, plus the suffix → version-name table.
+pub type VersionPlan = (Vec<(Symbol, Vec<Clause>)>, HashMap<String, Symbol>);
+
 /// Deduplicates version bodies: modes whose reordered clauses are
 /// identical share one version. Returns `(distinct versions to emit,
 /// suffix → version name)`.
-pub fn dedup_versions(
-    pred: PredId,
-    per_mode: Vec<(Mode, Vec<Clause>)>,
-) -> (Vec<(Symbol, Vec<Clause>)>, HashMap<String, Symbol>) {
+pub fn dedup_versions(pred: PredId, per_mode: Vec<(Mode, Vec<Clause>)>) -> VersionPlan {
     let mut emitted: Vec<(Symbol, Vec<Clause>)> = Vec::new();
     let mut by_shape: HashMap<String, Symbol> = HashMap::new();
     let mut suffix_map: HashMap<String, Symbol> = HashMap::new();
@@ -172,7 +172,10 @@ mod tests {
             version_name(id("aunt", 2), &Mode::parse("++").unwrap()).as_str(),
             "aunt_ii"
         );
-        assert_eq!(version_name(id("main", 0), &Mode::parse("").unwrap()).as_str(), "main");
+        assert_eq!(
+            version_name(id("main", 0), &Mode::parse("").unwrap()).as_str(),
+            "main"
+        );
     }
 
     #[test]

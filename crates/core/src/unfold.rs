@@ -27,7 +27,10 @@ pub struct UnfoldConfig {
 
 impl Default for UnfoldConfig {
     fn default() -> Self {
-        UnfoldConfig { max_rounds: 3, max_body_goals: 12 }
+        UnfoldConfig {
+            max_rounds: 3,
+            max_body_goals: 12,
+        }
     }
 }
 
@@ -87,10 +90,10 @@ pub fn unfold_program(program: &SourceProgram, config: &UnfoldConfig) -> (Source
                     new_goals.push((*goal).clone());
                     continue;
                 };
-                let Body::Call(goal_term) = goal else { unreachable!() };
-                if new_goals.len() + callee_clause.body.conjuncts().len()
-                    > config.max_body_goals
-                {
+                let Body::Call(goal_term) = goal else {
+                    unreachable!()
+                };
+                if new_goals.len() + callee_clause.body.conjuncts().len() > config.max_body_goals {
                     new_goals.push((*goal).clone());
                     continue;
                 }
@@ -114,7 +117,11 @@ pub fn unfold_program(program: &SourceProgram, config: &UnfoldConfig) -> (Source
             while var_names.len() < clause_vars {
                 var_names.push(format!("_U{}", var_names.len()));
             }
-            next.clauses.push(Clause { head: clause.head.clone(), body, var_names });
+            next.clauses.push(Clause {
+                head: clause.head.clone(),
+                body,
+                var_names,
+            });
         }
         current = next;
         if !changed {
@@ -128,11 +135,7 @@ pub fn unfold_program(program: &SourceProgram, config: &UnfoldConfig) -> (Source
 /// scratch store and returns the callee body goals under the resulting
 /// substitution, with callee-local variables rebased into the caller's
 /// variable space. `None` if the head cannot match.
-fn splice(
-    goal_term: &Term,
-    callee_clause: &Clause,
-    clause_vars: &mut usize,
-) -> Option<Vec<Body>> {
+fn splice(goal_term: &Term, callee_clause: &Clause, clause_vars: &mut usize) -> Option<Vec<Body>> {
     let callee_base = *clause_vars;
     let callee_nvars = callee_clause.num_vars();
     let mut store = Store::new();
@@ -142,7 +145,9 @@ fn splice(
         return None;
     }
     *clause_vars = callee_base + callee_nvars;
-    let body = callee_clause.body.map_vars(&mut |v| Term::Var(v + callee_base));
+    let body = callee_clause
+        .body
+        .map_vars(&mut |v| Term::Var(v + callee_base));
     let resolved = resolve_body(&body, &store);
     Some(
         resolved
@@ -196,7 +201,12 @@ mod tests {
         assert!(n >= 1);
         let top = out.clauses_of(prolog_syntax::PredId::new("top", 2));
         let goals = top[0].body.conjuncts();
-        assert_eq!(goals.len(), 2, "link expanded into two edge goals: {:?}", goals);
+        assert_eq!(
+            goals.len(),
+            2,
+            "link expanded into two edge goals: {:?}",
+            goals
+        );
         // semantics preserved
         let mut a = Engine::new();
         a.consult(
@@ -234,7 +244,10 @@ mod tests {
              step(1).",
         );
         assert_eq!(n, 0);
-        assert_eq!(out.clauses_of(prolog_syntax::PredId::new("walk", 1)).len(), 2);
+        assert_eq!(
+            out.clauses_of(prolog_syntax::PredId::new("walk", 1)).len(),
+            2
+        );
     }
 
     #[test]
@@ -272,8 +285,7 @@ mod tests {
         let program = parse_program(src).unwrap();
         let (unfolded, n) = unfold_program(&program, &UnfoldConfig::default());
         assert!(n >= 1);
-        let result =
-            crate::Reorderer::new(&unfolded, crate::ReorderConfig::default()).run();
+        let result = crate::Reorderer::new(&unfolded, crate::ReorderConfig::default()).run();
         let mut orig = Engine::new();
         orig.load(&program);
         let mut re = Engine::new();
@@ -292,7 +304,10 @@ mod tests {
 
     #[test]
     fn body_growth_is_bounded() {
-        let config = UnfoldConfig { max_rounds: 5, max_body_goals: 4 };
+        let config = UnfoldConfig {
+            max_rounds: 5,
+            max_body_goals: 4,
+        };
         let (out, _) = unfold_program(
             &parse_program(
                 "big(X) :- a(X), b(X), c(X), d(X).
@@ -304,6 +319,9 @@ mod tests {
             &config,
         );
         let big = out.clauses_of(prolog_syntax::PredId::new("big", 1));
-        assert!(big[0].body.conjuncts().len() <= 6, "growth must respect the cap");
+        assert!(
+            big[0].body.conjuncts().len() <= 6,
+            "growth must respect the cap"
+        );
     }
 }

@@ -20,12 +20,10 @@ use std::collections::HashSet;
 /// Ground argument positions count as instantiated; positions holding
 /// variables count only if the variable is in `bound`. Goals over unknown
 /// predicates get `f64::INFINITY` (no information ⇒ schedule last).
-pub fn warren_number(
-    domains: &DomainEstimator,
-    goal: &Term,
-    bound: &HashSet<usize>,
-) -> f64 {
-    let Some(pred) = goal.pred_id() else { return f64::INFINITY };
+pub fn warren_number(domains: &DomainEstimator, goal: &Term, bound: &HashSet<usize>) -> f64 {
+    let Some(pred) = goal.pred_id() else {
+        return f64::INFINITY;
+    };
     let tuples = domains.fact_count(pred);
     if tuples == 0 {
         return f64::INFINITY;
@@ -87,7 +85,9 @@ pub fn reorder_query(program: &SourceProgram, query: &Body) -> Body {
             _ => None,
         })
         .collect();
-    let Some(terms) = terms else { return query.clone() };
+    let Some(terms) = terms else {
+        return query.clone();
+    };
     let order = warren_order(&domains, &terms, &HashSet::new());
     let reordered: Vec<Body> = order.iter().map(|&i| goals[i].clone()).collect();
     Body::conjoin(&reordered)

@@ -3,9 +3,9 @@
 //! family of pure-plus-negation database programs, and any query, the
 //! reordered program produces exactly the same set of answers.
 
-use proptest::prelude::*;
 use prolog_engine::Engine;
 use prolog_syntax::parse_program;
+use proptest::prelude::*;
 use reorder::{ReorderConfig, Reorderer};
 
 /// A random two-layer database program: fact tables f/2 and g/2, and rule

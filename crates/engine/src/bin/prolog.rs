@@ -74,7 +74,11 @@ fn main() {
                     for s in &outcome.solutions {
                         println!("{s} ;");
                     }
-                    println!("true.  % {} solutions, {}", outcome.solutions.len(), outcome.counters);
+                    println!(
+                        "true.  % {} solutions, {}",
+                        outcome.solutions.len(),
+                        outcome.counters
+                    );
                 }
             }
             Err(QueryError::Parse(e)) => println!("syntax error: {e}"),

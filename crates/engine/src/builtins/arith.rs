@@ -32,7 +32,10 @@ impl Num {
     fn compare(self, other: Num) -> Ordering {
         match (self, other) {
             (Num::I(a), Num::I(b)) => a.cmp(&b),
-            (a, b) => a.as_f64().partial_cmp(&b.as_f64()).unwrap_or(Ordering::Equal),
+            (a, b) => a
+                .as_f64()
+                .partial_cmp(&b.as_f64())
+                .unwrap_or(Ordering::Equal),
         }
     }
 }
@@ -49,7 +52,10 @@ pub fn eval_arith(store: &Store, t: &Term) -> Result<Num, EngineError> {
         Term::Atom(a) => match a.as_str() {
             "pi" => Ok(Num::F(std::f64::consts::PI)),
             "e" => Ok(Num::F(std::f64::consts::E)),
-            _ => Err(EngineError::Type { expected: "evaluable", found: t.clone() }),
+            _ => Err(EngineError::Type {
+                expected: "evaluable",
+                found: t.clone(),
+            }),
         },
         Term::Struct(f, args) => {
             let name = f.as_str();
@@ -118,9 +124,10 @@ pub fn eval_arith(store: &Store, t: &Term) -> Result<Num, EngineError> {
                     let b = eval_arith(store, &args[1])?;
                     match (a, b) {
                         (Num::I(x), Num::I(y)) if y >= 0 => Ok(Num::I(
-                            x.checked_pow(y.min(u32::MAX as i64) as u32).ok_or_else(|| {
-                                EngineError::Arithmetic("integer overflow in ^".into())
-                            })?,
+                            x.checked_pow(y.min(u32::MAX as i64) as u32)
+                                .ok_or_else(|| {
+                                    EngineError::Arithmetic("integer overflow in ^".into())
+                                })?,
                         )),
                         (x, y) => Ok(Num::F(x.as_f64().powf(y.as_f64()))),
                     }
@@ -153,7 +160,10 @@ pub fn eval_arith(store: &Store, t: &Term) -> Result<Num, EngineError> {
                 ("sqrt", 1) => Ok(Num::F(eval_arith(store, &args[0])?.as_f64().sqrt())),
                 ("truncate", 1) => Ok(Num::I(eval_arith(store, &args[0])?.as_f64() as i64)),
                 ("float", 1) => Ok(Num::F(eval_arith(store, &args[0])?.as_f64())),
-                _ => Err(EngineError::Type { expected: "evaluable", found: t.clone() }),
+                _ => Err(EngineError::Type {
+                    expected: "evaluable",
+                    found: t.clone(),
+                }),
             }
         }
     }
@@ -173,9 +183,7 @@ fn bin(
     }
 }
 
-fn int_op(
-    f: impl Fn(i64, i64) -> Option<i64>,
-) -> impl Fn(i64, i64) -> Result<i64, EngineError> {
+fn int_op(f: impl Fn(i64, i64) -> Option<i64>) -> impl Fn(i64, i64) -> Result<i64, EngineError> {
     move |a, b| f(a, b).ok_or_else(|| EngineError::Arithmetic("integer overflow".into()))
 }
 
@@ -192,8 +200,14 @@ fn int_only(
     let b = eval_arith(store, &args[1])?;
     match (a, b) {
         (Num::I(x), Num::I(y)) => f(x, y).map(Num::I),
-        (Num::F(x), _) => Err(EngineError::Type { expected: "integer", found: Term::Float(x) }),
-        (_, Num::F(y)) => Err(EngineError::Type { expected: "integer", found: Term::Float(y) }),
+        (Num::F(x), _) => Err(EngineError::Type {
+            expected: "integer",
+            found: Term::Float(x),
+        }),
+        (_, Num::F(y)) => Err(EngineError::Type {
+            expected: "integer",
+            found: Term::Float(y),
+        }),
     }
 }
 

@@ -37,18 +37,25 @@ pub fn length2<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ct
                         ))
                     }
                     other => {
-                        return Ctl::Err(EngineError::Type { expected: "integer", found: other })
+                        return Ctl::Err(EngineError::Type {
+                            expected: "integer",
+                            found: other,
+                        })
                     }
                 };
                 let remaining = (want - n) as usize;
-                let fresh: Vec<Term> =
-                    (0..remaining).map(|_| Term::Var(m.store.new_var())).collect();
+                let fresh: Vec<Term> = (0..remaining)
+                    .map(|_| Term::Var(m.store.new_var()))
+                    .collect();
                 let tail = Term::list(fresh);
                 let ok = unify(&mut m.store, &cur, &tail, false);
                 return if ok { k(m) } else { Ctl::Fail };
             }
             other => {
-                return Ctl::Err(EngineError::Type { expected: "list", found: other })
+                return Ctl::Err(EngineError::Type {
+                    expected: "list",
+                    found: other,
+                })
             }
         }
     }
@@ -58,17 +65,23 @@ pub fn length2<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ct
 pub fn between3<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
     let lo = match m.store.deref(&args[0]) {
         Term::Int(n) => n,
-        Term::Var(_) => {
-            return Ctl::Err(EngineError::Instantiation("between/3 needs Low".into()))
+        Term::Var(_) => return Ctl::Err(EngineError::Instantiation("between/3 needs Low".into())),
+        other => {
+            return Ctl::Err(EngineError::Type {
+                expected: "integer",
+                found: other,
+            })
         }
-        other => return Ctl::Err(EngineError::Type { expected: "integer", found: other }),
     };
     let hi = match m.store.deref(&args[1]) {
         Term::Int(n) => n,
-        Term::Var(_) => {
-            return Ctl::Err(EngineError::Instantiation("between/3 needs High".into()))
+        Term::Var(_) => return Ctl::Err(EngineError::Instantiation("between/3 needs High".into())),
+        other => {
+            return Ctl::Err(EngineError::Type {
+                expected: "integer",
+                found: other,
+            })
         }
-        other => return Ctl::Err(EngineError::Type { expected: "integer", found: other }),
     };
     match m.store.deref(&args[2]) {
         Term::Int(x) => {
@@ -92,22 +105,23 @@ pub fn between3<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> C
             }
             Ctl::Fail
         }
-        other => Ctl::Err(EngineError::Type { expected: "integer", found: other }),
+        other => Ctl::Err(EngineError::Type {
+            expected: "integer",
+            found: other,
+        }),
     }
 }
 
 /// `sort/2` (dedup = true) and `msort/2` (dedup = false).
-pub fn sort2<'db>(
-    m: &mut Machine<'db>,
-    args: &[Term],
-    k: Cont<'_, 'db>,
-    dedup: bool,
-) -> Ctl {
+pub fn sort2<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>, dedup: bool) -> Ctl {
     let list = m.store.resolve(&args[0]);
     let Some(items) = list.as_list() else {
         return match list {
             Term::Var(_) => Ctl::Err(EngineError::Instantiation("sort/2 needs a list".into())),
-            other => Ctl::Err(EngineError::Type { expected: "list", found: other }),
+            other => Ctl::Err(EngineError::Type {
+                expected: "list",
+                found: other,
+            }),
         };
     };
     let mut owned: Vec<Term> = items.into_iter().cloned().collect();

@@ -46,12 +46,7 @@ pub fn negation<'db>(m: &mut Machine<'db>, goal: &Term, k: Cont<'_, 'db>) -> Ctl
 }
 
 /// `forall(+Cond, +Action)`: `\+ (Cond, \+ Action)`.
-pub fn forall<'db>(
-    m: &mut Machine<'db>,
-    cond: &Term,
-    action: &Term,
-    k: Cont<'_, 'db>,
-) -> Ctl {
+pub fn forall<'db>(m: &mut Machine<'db>, cond: &Term, action: &Term, k: Cont<'_, 'db>) -> Ctl {
     let c = match term_to_body(m, cond) {
         Ok(b) => b,
         Err(e) => return Ctl::Err(e),
@@ -88,12 +83,7 @@ pub fn findall<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ct
 /// (i.e. behaves as `findall` that fails on the empty set, plus sorting and
 /// deduplication for `setof`). The paper treats both as semifixed opaque
 /// calls, so grouping semantics never influence reordering decisions.
-pub fn bagof<'db>(
-    m: &mut Machine<'db>,
-    args: &[Term],
-    k: Cont<'_, 'db>,
-    sorted: bool,
-) -> Ctl {
+pub fn bagof<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>, sorted: bool) -> Ctl {
     // Strip `Var^Goal` witnesses.
     let mut goal = m.store.deref(&args[1]);
     loop {
@@ -125,11 +115,7 @@ pub fn bagof<'db>(
 }
 
 /// Proves `goal`, collecting a detached copy of `template` per solution.
-fn collect(
-    m: &mut Machine<'_>,
-    template: &Term,
-    goal: &Term,
-) -> Result<Vec<Term>, EngineError> {
+fn collect(m: &mut Machine<'_>, template: &Term, goal: &Term) -> Result<Vec<Term>, EngineError> {
     let body = term_to_body(m, goal)?;
     let mark = m.store.mark();
     let mut items = Vec::new();

@@ -100,7 +100,8 @@ pub fn is_builtin(id: PredId) -> bool {
     use std::collections::HashSet;
     use std::sync::OnceLock;
     static SET: OnceLock<HashSet<PredId>> = OnceLock::new();
-    SET.get_or_init(|| builtin_ids().into_iter().collect()).contains(&id)
+    SET.get_or_init(|| builtin_ids().into_iter().collect())
+        .contains(&id)
 }
 
 /// Built-ins with side effects that backtracking cannot undo — the seeds of
@@ -108,18 +109,12 @@ pub fn is_builtin(id: PredId) -> bool {
 pub fn has_side_effect(id: PredId) -> bool {
     matches!(
         id.name.as_str(),
-        "write" | "print" | "writeln" | "write_canonical" | "nl" | "tab" | "read" | "get"
-            | "put"
+        "write" | "print" | "writeln" | "write_canonical" | "nl" | "tab" | "read" | "get" | "put"
     ) && is_builtin(id)
 }
 
 /// Executes built-in `id` on `args`, calling `k` per solution.
-pub fn dispatch<'db>(
-    m: &mut Machine<'db>,
-    id: PredId,
-    args: &[Term],
-    k: Cont<'_, 'db>,
-) -> Ctl {
+pub fn dispatch<'db>(m: &mut Machine<'db>, id: PredId, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
     let name = id.name;
     // control
     if name == sym("true") {

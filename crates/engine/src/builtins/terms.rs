@@ -30,14 +30,22 @@ pub fn functor3<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> C
             let n = match arity {
                 Term::Int(n) if n >= 0 => n as usize,
                 Term::Int(_) => {
-                    return Ctl::Err(EngineError::Type { expected: "non-negative integer", found: arity })
+                    return Ctl::Err(EngineError::Type {
+                        expected: "non-negative integer",
+                        found: arity,
+                    })
                 }
                 Term::Var(_) => {
                     return Ctl::Err(EngineError::Instantiation(
                         "functor/3 needs Term, or Name and Arity, instantiated".into(),
                     ))
                 }
-                other => return Ctl::Err(EngineError::Type { expected: "integer", found: other }),
+                other => {
+                    return Ctl::Err(EngineError::Type {
+                        expected: "integer",
+                        found: other,
+                    })
+                }
             };
             let built = match (&name, n) {
                 (Term::Atom(_) | Term::Int(_) | Term::Float(_), 0) => name.clone(),
@@ -51,7 +59,10 @@ pub fn functor3<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> C
                     ))
                 }
                 (other, _) => {
-                    return Ctl::Err(EngineError::Type { expected: "atom", found: other.clone() })
+                    return Ctl::Err(EngineError::Type {
+                        expected: "atom",
+                        found: other.clone(),
+                    })
                 }
             };
             unify_k(m, &args[0], &built, k)
@@ -89,9 +100,16 @@ pub fn arg3<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
     let n = match m.store.deref(&args[0]) {
         Term::Int(n) => n,
         Term::Var(_) => {
-            return Ctl::Err(EngineError::Instantiation("arg/3 needs N instantiated".into()))
+            return Ctl::Err(EngineError::Instantiation(
+                "arg/3 needs N instantiated".into(),
+            ))
         }
-        other => return Ctl::Err(EngineError::Type { expected: "integer", found: other }),
+        other => {
+            return Ctl::Err(EngineError::Type {
+                expected: "integer",
+                found: other,
+            })
+        }
     };
     let t = m.store.deref(&args[1]);
     match &t {
@@ -102,10 +120,13 @@ pub fn arg3<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
             let arg = fargs[n as usize - 1].clone();
             unify_k(m, &args[2], &arg, k)
         }
-        Term::Var(_) => {
-            Ctl::Err(EngineError::Instantiation("arg/3 needs Term instantiated".into()))
-        }
-        other => Ctl::Err(EngineError::Type { expected: "compound", found: other.clone() }),
+        Term::Var(_) => Ctl::Err(EngineError::Instantiation(
+            "arg/3 needs Term instantiated".into(),
+        )),
+        other => Ctl::Err(EngineError::Type {
+            expected: "compound",
+            found: other.clone(),
+        }),
     }
 }
 
@@ -114,9 +135,7 @@ pub fn univ<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
     let t = m.store.deref(&args[0]);
     match &t {
         Term::Struct(f, fargs) => {
-            let list = Term::list(
-                std::iter::once(Term::Atom(*f)).chain(fargs.iter().cloned()),
-            );
+            let list = Term::list(std::iter::once(Term::Atom(*f)).chain(fargs.iter().cloned()));
             unify_k(m, &args[1], &list, k)
         }
         Term::Atom(_) | Term::Int(_) | Term::Float(_) => {
@@ -134,7 +153,10 @@ pub fn univ<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
             };
             let built = match items.split_first() {
                 None => {
-                    return Ctl::Err(EngineError::Type { expected: "non-empty list", found: list.clone() })
+                    return Ctl::Err(EngineError::Type {
+                        expected: "non-empty list",
+                        found: list.clone(),
+                    })
                 }
                 Some((head, rest)) => match head {
                     Term::Atom(a) if !rest.is_empty() => {
@@ -144,7 +166,10 @@ pub fn univ<'db>(m: &mut Machine<'db>, args: &[Term], k: Cont<'_, 'db>) -> Ctl {
                         (*head).clone()
                     }
                     other => {
-                        return Ctl::Err(EngineError::Type { expected: "atom", found: (*other).clone() })
+                        return Ctl::Err(EngineError::Type {
+                            expected: "atom",
+                            found: (*other).clone(),
+                        })
                     }
                 },
             };

@@ -64,11 +64,26 @@ mod tests {
 
     #[test]
     fn totals_and_differences() {
-        let a = Counters { user_calls: 10, builtin_calls: 5, unifications: 30 };
-        let b = Counters { user_calls: 4, builtin_calls: 2, unifications: 9 };
+        let a = Counters {
+            user_calls: 10,
+            builtin_calls: 5,
+            unifications: 30,
+        };
+        let b = Counters {
+            user_calls: 4,
+            builtin_calls: 2,
+            unifications: 9,
+        };
         assert_eq!(a.calls(), 15);
         let d = a.since(&b);
-        assert_eq!(d, Counters { user_calls: 6, builtin_calls: 3, unifications: 21 });
+        assert_eq!(
+            d,
+            Counters {
+                user_calls: 6,
+                builtin_calls: 3,
+                unifications: 21
+            }
+        );
         let mut c = b;
         c.add(&d);
         assert_eq!(c, a);

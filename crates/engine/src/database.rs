@@ -132,7 +132,10 @@ impl Database {
 
     /// All clauses of `id` in program order (empty if unknown).
     pub fn clauses(&self, id: PredId) -> &[Arc<Clause>] {
-        self.preds.get(&id).map(|p| p.clauses.as_slice()).unwrap_or(&[])
+        self.preds
+            .get(&id)
+            .map(|p| p.clauses.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Clauses to try for a call, respecting first-argument indexing when
@@ -143,7 +146,9 @@ impl Database {
         first_arg_key: Option<IndexKey>,
         indexing: bool,
     ) -> Vec<Arc<Clause>> {
-        let Some(pred) = self.preds.get(&id) else { return Vec::new() };
+        let Some(pred) = self.preds.get(&id) else {
+            return Vec::new();
+        };
         if !indexing || id.arity == 0 {
             return pred.clauses.clone();
         }
@@ -172,7 +177,10 @@ impl Database {
     /// Number of clauses whose body is `true` for the predicate — used by
     /// cost estimation for fact tables.
     pub fn fact_count(&self, id: PredId) -> usize {
-        self.clauses(id).iter().filter(|c| matches!(c.body, Body::True)).count()
+        self.clauses(id)
+            .iter()
+            .filter(|c| matches!(c.body, Body::True))
+            .count()
     }
 }
 

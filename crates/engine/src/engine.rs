@@ -19,7 +19,10 @@ pub struct Solution {
 impl Solution {
     /// The binding of a variable, by source name.
     pub fn get(&self, name: &str) -> Option<&Term> {
-        self.bindings.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+        self.bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
     }
 }
 
@@ -59,8 +62,7 @@ impl QueryOutcome {
     /// Solutions as a multiset-comparable, order-insensitive key — used by
     /// the set-equivalence checks (§II).
     pub fn solution_set(&self) -> Vec<String> {
-        let mut keys: Vec<String> =
-            self.solutions.iter().map(|s| s.to_string()).collect();
+        let mut keys: Vec<String> = self.solutions.iter().map(|s| s.to_string()).collect();
         keys.sort();
         keys
     }
@@ -96,7 +98,10 @@ impl Engine {
     }
 
     pub fn with_config(config: MachineConfig) -> Engine {
-        Engine { config, ..Engine::new() }
+        Engine {
+            config,
+            ..Engine::new()
+        }
     }
 
     /// Queues terms for the next query's `read/1` calls.
@@ -146,7 +151,8 @@ impl Engine {
         max_solutions: usize,
     ) -> Result<QueryOutcome, QueryError> {
         let (goal, var_names) = parse_term(goal_src).map_err(QueryError::Parse)?;
-        self.query_term(&goal, &var_names, max_solutions).map_err(QueryError::Engine)
+        self.query_term(&goal, &var_names, max_solutions)
+            .map_err(QueryError::Engine)
     }
 
     /// Runs a parsed query term whose variables `Var(i)` are named

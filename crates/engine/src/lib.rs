@@ -256,10 +256,7 @@ mod tests {
     #[test]
     fn univ_and_arg() {
         let mut e = engine("p.");
-        assert_eq!(
-            answers(&mut e, "foo(a, b) =.. L"),
-            vec!["L = [foo, a, b]"]
-        );
+        assert_eq!(answers(&mut e, "foo(a, b) =.. L"), vec!["L = [foo, a, b]"]);
         assert_eq!(answers(&mut e, "T =.. [foo, x]"), vec!["T = foo(x)"]);
         assert_eq!(answers(&mut e, "T =.. [42]"), vec!["T = 42"]);
         assert_eq!(answers(&mut e, "arg(2, foo(a, b, c), X)"), vec!["X = b"]);
@@ -285,7 +282,10 @@ mod tests {
             answers(&mut e, "findall(X, p(X), L)"),
             vec!["X = _G0, L = [1, 2, 3]"]
         );
-        assert_eq!(answers(&mut e, "findall(X, fail, L)"), vec!["X = _G0, L = []"]);
+        assert_eq!(
+            answers(&mut e, "findall(X, fail, L)"),
+            vec!["X = _G0, L = []"]
+        );
         let mut e = engine("q(f(_)).");
         assert_eq!(
             answers(&mut e, "findall(X, q(X), L)"),
@@ -316,10 +316,7 @@ mod tests {
     fn length_and_between() {
         let mut e = engine("p.");
         assert_eq!(answers(&mut e, "length([a,b,c], N)"), vec!["N = 3"]);
-        assert_eq!(
-            answers(&mut e, "length(L, 2)"),
-            vec!["L = [_G0, _G1]"]
-        );
+        assert_eq!(answers(&mut e, "length(L, 2)"), vec!["L = [_G0, _G1]"]);
         assert!(matches!(
             e.query("length(L, N)"),
             Err(QueryError::Engine(EngineError::Instantiation(_)))

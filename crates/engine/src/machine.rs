@@ -210,7 +210,10 @@ impl<'db> Machine<'db> {
         let id = match &goal {
             Term::Var(_) => return Ctl::Err(EngineError::VariableGoal),
             Term::Int(_) | Term::Float(_) => {
-                return Ctl::Err(EngineError::Type { expected: "callable", found: goal.clone() })
+                return Ctl::Err(EngineError::Type {
+                    expected: "callable",
+                    found: goal.clone(),
+                })
             }
             callable => callable.pred_id().expect("atoms and structs are callable"),
         };
@@ -245,7 +248,9 @@ impl<'db> Machine<'db> {
             .map(|a| self.store.deref(a))
             .as_ref()
             .and_then(IndexKey::of);
-        let clauses = self.db.matching_clauses(id, first_key, self.config.indexing);
+        let clauses = self
+            .db
+            .matching_clauses(id, first_key, self.config.indexing);
 
         let call_level = self.fresh_level();
         self.depth += 1;
@@ -302,20 +307,15 @@ impl<'db> Machine<'db> {
         self.copy_rec(&resolved, &mut map)
     }
 
-    fn copy_rec(
-        &mut self,
-        t: &Term,
-        map: &mut std::collections::HashMap<usize, usize>,
-    ) -> Term {
+    fn copy_rec(&mut self, t: &Term, map: &mut std::collections::HashMap<usize, usize>) -> Term {
         match t {
             Term::Var(v) => {
                 let fresh = *map.entry(*v).or_insert_with(|| self.store.new_var());
                 Term::Var(fresh)
             }
-            Term::Struct(name, args) => Term::struct_(
-                *name,
-                args.iter().map(|a| self.copy_rec(a, map)).collect(),
-            ),
+            Term::Struct(name, args) => {
+                Term::struct_(*name, args.iter().map(|a| self.copy_rec(a, map)).collect())
+            }
             other => other.clone(),
         }
     }

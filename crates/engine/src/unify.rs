@@ -45,7 +45,9 @@ pub fn unify(store: &mut Store, a: &Term, b: &Term, occurs_check: bool) -> bool 
             if f != g || fa.len() != ga.len() {
                 return false;
             }
-            fa.iter().zip(ga.iter()).all(|(x, y)| unify(store, x, y, occurs_check))
+            fa.iter()
+                .zip(ga.iter())
+                .all(|(x, y)| unify(store, x, y, occurs_check))
         }
         _ => false,
     }
@@ -70,7 +72,12 @@ pub fn identical(store: &Store, a: &Term, b: &Term) -> bool {
         (Term::Int(m), Term::Int(n)) => m == n,
         (Term::Float(x), Term::Float(y)) => x == y,
         (Term::Struct(f, fa), Term::Struct(g, ga)) => {
-            f == g && fa.len() == ga.len() && fa.iter().zip(ga.iter()).all(|(x, y)| identical(store, x, y))
+            f == g
+                && fa.len() == ga.len()
+                && fa
+                    .iter()
+                    .zip(ga.iter())
+                    .all(|(x, y)| identical(store, x, y))
         }
         _ => false,
     }

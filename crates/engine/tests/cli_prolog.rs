@@ -46,10 +46,7 @@ fn consults_a_file_and_answers_queries() {
 
 #[test]
 fn reports_failure_and_syntax_errors() {
-    let (stdout, _) = run_repl(
-        &[("p.pl", "p(1).")],
-        "p(2).\np((.\n:halt\n",
-    );
+    let (stdout, _) = run_repl(&[("p.pl", "p(1).")], "p(2).\np((.\n:halt\n");
     assert!(stdout.contains("false."), "stdout: {stdout}");
     assert!(stdout.contains("syntax error"), "stdout: {stdout}");
 }

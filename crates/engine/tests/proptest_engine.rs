@@ -3,9 +3,9 @@
 //! changes the *set* of solutions of a pure program, and neither does
 //! goal order when all goals are pure.
 
-use proptest::prelude::*;
 use prolog_engine::{Engine, MachineConfig};
 use prolog_syntax::{parse_program, SourceProgram};
+use proptest::prelude::*;
 
 // ------------------------------------------------------------------------
 // Random pure fact/rule programs over a tiny universe.

@@ -29,8 +29,7 @@ impl AbsorbingChain {
         assert_eq!(q.rows(), q.cols(), "Q must be square");
         assert_eq!(q.rows(), r.rows(), "Q and R must have equal heights");
         for i in 0..q.rows() {
-            let total: f64 =
-                q.row(i).iter().sum::<f64>() + r.row(i).iter().sum::<f64>();
+            let total: f64 = q.row(i).iter().sum::<f64>() + r.row(i).iter().sum::<f64>();
             assert!(
                 total <= 1.0 + 1e-9,
                 "row {i} has outgoing probability {total} > 1"
@@ -86,11 +85,7 @@ mod tests {
     /// The textbook gambler's-ruin chain with 3 transient states and
     /// p = 0.5 each way; absorbing at both ends.
     fn gamblers_ruin() -> AbsorbingChain {
-        let q = Matrix::from_rows(&[
-            &[0.0, 0.5, 0.0],
-            &[0.5, 0.0, 0.5],
-            &[0.0, 0.5, 0.0],
-        ]);
+        let q = Matrix::from_rows(&[&[0.0, 0.5, 0.0], &[0.5, 0.0, 0.5], &[0.0, 0.5, 0.0]]);
         // columns: ruin (from state 0), win (from state 2)
         let r = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 0.0], &[0.0, 0.5]]);
         AbsorbingChain::new(q, r)

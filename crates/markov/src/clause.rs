@@ -37,7 +37,10 @@ impl GoalStats {
     /// model "only approximates" execution).
     pub fn clamped(&self) -> GoalStats {
         const EPS: f64 = 1e-6;
-        GoalStats { p: self.p.clamp(EPS, 1.0 - EPS), cost: self.cost.max(0.0) }
+        GoalStats {
+            p: self.p.clamp(EPS, 1.0 - EPS),
+            cost: self.cost.max(0.0),
+        }
     }
 }
 
@@ -52,11 +55,18 @@ impl ClauseChain {
     /// [`GoalStats::clamped`]).
     pub fn new(goals: &[GoalStats]) -> ClauseChain {
         assert!(!goals.is_empty(), "clause chain needs at least one goal");
-        ClauseChain { goals: goals.iter().map(GoalStats::clamped).collect() }
+        ClauseChain {
+            goals: goals.iter().map(GoalStats::clamped).collect(),
+        }
     }
 
     pub fn len(&self) -> usize {
         self.goals.len()
+    }
+
+    /// The (clamped) per-goal stats, in chain order.
+    pub fn goals(&self) -> &[GoalStats] {
+        &self.goals
     }
 
     pub fn is_empty(&self) -> bool {
@@ -231,7 +241,10 @@ mod tests {
     use super::*;
 
     fn goals(ps: &[f64], cs: &[f64]) -> Vec<GoalStats> {
-        ps.iter().zip(cs).map(|(&p, &c)| GoalStats::new(p, c)).collect()
+        ps.iter()
+            .zip(cs)
+            .map(|(&p, &c)| GoalStats::new(p, c))
+            .collect()
     }
 
     #[test]
@@ -266,13 +279,13 @@ mod tests {
             .visits_from(0)
             .expect("chain absorbs");
         for (i, (a, b)) in closed.iter().zip(&matrix).enumerate() {
-            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "visit {i}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-6 * (1.0 + a.abs()),
+                "visit {i}: {a} vs {b}"
+            );
         }
         // v_S from matrix equals the closed-form product
-        assert!(
-            (matrix[4] - chain.expected_solutions()).abs()
-                < 1e-6 * (1.0 + matrix[4].abs())
-        );
+        assert!((matrix[4] - chain.expected_solutions()).abs() < 1e-6 * (1.0 + matrix[4].abs()));
     }
 
     #[test]

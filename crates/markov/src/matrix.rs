@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// A zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The identity matrix.
@@ -39,7 +43,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged matrix rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -52,7 +60,10 @@ impl Matrix {
 
     /// Matrix product.
     pub fn mul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "dimension mismatch in matrix product");
+        assert_eq!(
+            self.cols, other.rows,
+            "dimension mismatch in matrix product"
+        );
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -105,8 +116,7 @@ impl Matrix {
             perm.swap(col, pivot);
             let p = perm[col];
             // eliminate
-            for row in col + 1..n {
-                let r = perm[row];
+            for &r in &perm[col + 1..n] {
                 let factor = lu[(r, col)] / lu[(p, col)];
                 lu[(r, col)] = factor;
                 for j in col + 1..n {
@@ -235,11 +245,7 @@ mod tests {
 
     #[test]
     fn inverse_round_trips() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 7.0, 2.0],
-            &[3.0, 6.0, 1.0],
-            &[2.0, 5.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 7.0, 2.0], &[3.0, 6.0, 1.0], &[2.0, 5.0, 3.0]]);
         let inv = a.inverse().unwrap();
         let prod = a.mul(&inv);
         assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);

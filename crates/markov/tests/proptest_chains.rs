@@ -3,8 +3,8 @@
 //! function must be monotone in prefix extension (the admissibility
 //! requirement for the A* search, §VI-A.3).
 
-use proptest::prelude::*;
 use prolog_markov::{ClauseChain, GoalStats, Matrix};
+use proptest::prelude::*;
 
 fn goal_vec() -> impl Strategy<Value = Vec<GoalStats>> {
     prop::collection::vec(

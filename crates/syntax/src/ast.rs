@@ -67,9 +67,7 @@ impl Body {
                 Box::new(Body::from_term(&args[1])),
                 Box::new(Body::Fail),
             ),
-            Term::Struct(f, args)
-                if (*f == sym("\\+") || *f == sym("not")) && args.len() == 1 =>
-            {
+            Term::Struct(f, args) if (*f == sym("\\+") || *f == sym("not")) && args.len() == 1 => {
                 Body::Not(Box::new(Body::from_term(&args[0])))
             }
             other => Body::Call(other.clone()),
@@ -119,10 +117,9 @@ impl Body {
     pub fn conjoin(goals: &[Body]) -> Body {
         match goals.split_last() {
             None => Body::True,
-            Some((last, rest)) => rest
-                .iter()
-                .rev()
-                .fold(last.clone(), |acc, g| Body::And(Box::new(g.clone()), Box::new(acc))),
+            Some((last, rest)) => rest.iter().rev().fold(last.clone(), |acc, g| {
+                Body::And(Box::new(g.clone()), Box::new(acc))
+            }),
         }
     }
 
@@ -292,7 +289,10 @@ pub struct SourceProgram {
 impl SourceProgram {
     /// Clauses of one predicate, in textual order.
     pub fn clauses_of(&self, pred: PredId) -> Vec<&Clause> {
-        self.clauses.iter().filter(|c| c.pred_id() == pred).collect()
+        self.clauses
+            .iter()
+            .filter(|c| c.pred_id() == pred)
+            .collect()
     }
 
     /// The distinct predicates defined by this program, in order of first
@@ -374,10 +374,16 @@ mod tests {
     fn conjuncts_flatten_both_associations() {
         let abc_right = Body::And(
             Box::new(call("a", vec![])),
-            Box::new(Body::And(Box::new(call("b", vec![])), Box::new(call("c", vec![])))),
+            Box::new(Body::And(
+                Box::new(call("b", vec![])),
+                Box::new(call("c", vec![])),
+            )),
         );
         let abc_left = Body::And(
-            Box::new(Body::And(Box::new(call("a", vec![])), Box::new(call("b", vec![])))),
+            Box::new(Body::And(
+                Box::new(call("a", vec![])),
+                Box::new(call("b", vec![])),
+            )),
             Box::new(call("c", vec![])),
         );
         assert_eq!(abc_right.conjuncts().len(), 3);
@@ -411,7 +417,11 @@ mod tests {
         let b = Body::Or(Box::new(Body::Cut), Box::new(call("a", vec![])));
         assert!(b.contains_cut());
         // cut inside the condition of if-then-else is local
-        let b = Body::IfThenElse(Box::new(Body::Cut), Box::new(Body::True), Box::new(Body::Fail));
+        let b = Body::IfThenElse(
+            Box::new(Body::Cut),
+            Box::new(Body::True),
+            Box::new(Body::Fail),
+        );
         assert!(!b.contains_cut());
         // cut inside \+ is local
         let b = Body::Not(Box::new(Body::Cut));
@@ -431,9 +441,12 @@ mod tests {
     #[test]
     fn program_predicates_in_definition_order() {
         let mut p = SourceProgram::default();
-        p.clauses.push(Clause::fact(Term::app("b", vec![Term::atom("x")])));
-        p.clauses.push(Clause::fact(Term::app("a", vec![Term::atom("y")])));
-        p.clauses.push(Clause::fact(Term::app("b", vec![Term::atom("z")])));
+        p.clauses
+            .push(Clause::fact(Term::app("b", vec![Term::atom("x")])));
+        p.clauses
+            .push(Clause::fact(Term::app("a", vec![Term::atom("y")])));
+        p.clauses
+            .push(Clause::fact(Term::app("b", vec![Term::atom("z")])));
         assert_eq!(
             p.predicates(),
             vec![PredId::new("b", 1), PredId::new("a", 1)]

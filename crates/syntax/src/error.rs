@@ -24,7 +24,10 @@ pub struct ParseError {
 
 impl ParseError {
     pub fn new(pos: Pos, message: impl Into<String>) -> Self {
-        ParseError { pos, message: message.into() }
+        ParseError {
+            pos,
+            message: message.into(),
+        }
     }
 }
 

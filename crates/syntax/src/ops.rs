@@ -79,7 +79,11 @@ impl Default for OpTable {
 impl OpTable {
     /// An empty table (no operators at all).
     pub fn empty() -> Self {
-        OpTable { prefix: HashMap::new(), infix: HashMap::new(), postfix: HashMap::new() }
+        OpTable {
+            prefix: HashMap::new(),
+            infix: HashMap::new(),
+            postfix: HashMap::new(),
+        }
     }
 
     /// The standard DEC-10 operator table.
@@ -101,7 +105,11 @@ impl OpTable {
                 ],
             ),
             (500, OpType::Yfx, &["+", "-", "/\\", "\\/", "xor"]),
-            (400, OpType::Yfx, &["*", "/", "//", "mod", "rem", "<<", ">>"]),
+            (
+                400,
+                OpType::Yfx,
+                &["*", "/", "//", "mod", "rem", "<<", ">>"],
+            ),
             (200, OpType::Xfx, &["**"]),
             (200, OpType::Xfy, &["^"]),
             (200, OpType::Fy, &["-", "+", "\\"]),
@@ -164,16 +172,28 @@ mod tests {
 
     #[test]
     fn argument_precedence_bounds() {
-        let xfx = OpDef { prec: 700, op_type: OpType::Xfx };
+        let xfx = OpDef {
+            prec: 700,
+            op_type: OpType::Xfx,
+        };
         assert_eq!(xfx.left_max(), 699);
         assert_eq!(xfx.right_max(), 699);
-        let yfx = OpDef { prec: 500, op_type: OpType::Yfx };
+        let yfx = OpDef {
+            prec: 500,
+            op_type: OpType::Yfx,
+        };
         assert_eq!(yfx.left_max(), 500);
         assert_eq!(yfx.right_max(), 499);
-        let xfy = OpDef { prec: 1000, op_type: OpType::Xfy };
+        let xfy = OpDef {
+            prec: 1000,
+            op_type: OpType::Xfy,
+        };
         assert_eq!(xfy.left_max(), 999);
         assert_eq!(xfy.right_max(), 1000);
-        let fy = OpDef { prec: 900, op_type: OpType::Fy };
+        let fy = OpDef {
+            prec: 900,
+            op_type: OpType::Fy,
+        };
         assert_eq!(fy.right_max(), 900);
     }
 

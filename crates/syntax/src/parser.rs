@@ -136,7 +136,10 @@ impl Parser {
                 Some(TokenKind::Comma) => {
                     // ',' is an infix operator of precedence 1000 when the
                     // context allows it (i.e. outside argument lists).
-                    let def = crate::ops::OpDef { prec: 1000, op_type: crate::ops::OpType::Xfy };
+                    let def = crate::ops::OpDef {
+                        prec: 1000,
+                        op_type: crate::ops::OpType::Xfy,
+                    };
                     if def.prec <= max_prec && left_prec <= def.left_max() {
                         self.bump();
                         let (right, _) = self.term(def.right_max())?;
@@ -237,14 +240,12 @@ impl Parser {
                 // the prefix atom as a plain atom instead.
                 let treat_as_plain = match self.peek() {
                     Some(TokenKind::Atom(next)) => {
-                        self.ops.infix(next).is_some()
-                            && self.ops.prefix(next).is_none()
-                            && {
-                                // peek one further: `f(- , x)` style is rare;
-                                // an infix op right after a would-be prefix op
-                                // means the prefix atom is an operand.
-                                true
-                            }
+                        self.ops.infix(next).is_some() && self.ops.prefix(next).is_none() && {
+                            // peek one further: `f(- , x)` style is rare;
+                            // an infix op right after a would-be prefix op
+                            // means the prefix atom is an operand.
+                            true
+                        }
                     }
                     _ => false,
                 };
@@ -295,23 +296,25 @@ impl Parser {
         let colon_dash = sym(":-");
         let question = sym("?-");
         let item = match &term {
-            Term::Struct(f, args) if *f == colon_dash && args.len() == 2 => {
-                Item::Clause(Clause {
-                    head: args[0].clone(),
-                    body: Body::from_term(&args[1]),
-                    var_names,
+            Term::Struct(f, args) if *f == colon_dash && args.len() == 2 => Item::Clause(Clause {
+                head: args[0].clone(),
+                body: Body::from_term(&args[1]),
+                var_names,
+            }),
+            Term::Struct(f, args) if (*f == colon_dash || *f == question) && args.len() == 1 => {
+                Item::Directive(Directive {
+                    goal: args[0].clone(),
                 })
-            }
-            Term::Struct(f, args)
-                if (*f == colon_dash || *f == question) && args.len() == 1 =>
-            {
-                Item::Directive(Directive { goal: args[0].clone() })
             }
             head => {
                 if head.pred_id().is_none() {
                     return self.error(format!("clause head must be callable: {head}"));
                 }
-                Item::Clause(Clause { head: head.clone(), body: Body::True, var_names })
+                Item::Clause(Clause {
+                    head: head.clone(),
+                    body: Body::True,
+                    var_names,
+                })
             }
         };
         Ok(Some(item))
@@ -377,7 +380,10 @@ mod tests {
         );
         assert_eq!(
             t("f(g(x), Y)"),
-            Term::app("f", vec![Term::app("g", vec![Term::atom("x")]), Term::Var(0)])
+            Term::app(
+                "f",
+                vec![Term::app("g", vec![Term::atom("x")]), Term::Var(0)]
+            )
         );
     }
 
@@ -459,10 +465,7 @@ mod tests {
     #[test]
     fn lists_parse() {
         assert_eq!(t("[]"), Term::nil());
-        assert_eq!(
-            t("[1, 2]"),
-            Term::list(vec![Term::Int(1), Term::Int(2)])
-        );
+        assert_eq!(t("[1, 2]"), Term::list(vec![Term::Int(1), Term::Int(2)]));
         let (term, _) = parse_term("[H|T]").unwrap();
         assert_eq!(term, Term::cons(Term::Var(0), Term::Var(1)));
         let (term, _) = parse_term("[a, b|T]").unwrap();
@@ -474,10 +477,7 @@ mod tests {
 
     #[test]
     fn strings_read_as_code_lists() {
-        assert_eq!(
-            t("\"ab\""),
-            Term::list(vec![Term::Int(97), Term::Int(98)])
-        );
+        assert_eq!(t("\"ab\""), Term::list(vec![Term::Int(97), Term::Int(98)]));
     }
 
     #[test]
@@ -501,7 +501,10 @@ mod tests {
 
     #[test]
     fn prefix_minus_application() {
-        assert_eq!(t("-(1, 2)"), Term::app("-", vec![Term::Int(1), Term::Int(2)]));
+        assert_eq!(
+            t("-(1, 2)"),
+            Term::app("-", vec![Term::Int(1), Term::Int(2)])
+        );
         assert_eq!(t("- a"), Term::app("-", vec![Term::atom("a")]));
     }
 

@@ -60,13 +60,7 @@ fn write_var(out: &mut String, idx: usize, var_names: &[String]) {
     }
 }
 
-fn write_term(
-    out: &mut String,
-    term: &Term,
-    max_prec: u32,
-    ops: &OpTable,
-    var_names: &[String],
-) {
+fn write_term(out: &mut String, term: &Term, max_prec: u32, ops: &OpTable, var_names: &[String]) {
     match term {
         Term::Var(v) => write_var(out, *v, var_names),
         Term::Int(n) => {
@@ -137,8 +131,7 @@ fn write_term(
                 // `-(1)` must not print as `- 1`: the reader would fold it
                 // into a negative literal. Use functional notation for
                 // sign operators over numbers.
-                if matches!(name_str, "-" | "+")
-                    && matches!(args[0], Term::Int(_) | Term::Float(_))
+                if matches!(name_str, "-" | "+") && matches!(args[0], Term::Int(_) | Term::Float(_))
                 {
                     write_atom(out, name_str);
                     out.push('(');
@@ -249,7 +242,10 @@ mod tests {
         let (term, names) = parse_term(src).unwrap();
         let printed = term_to_string(&term, &names);
         let (reparsed, _) = parse_term(&printed).unwrap();
-        assert_eq!(term, reparsed, "round-trip failed: {src} printed as {printed}");
+        assert_eq!(
+            term, reparsed,
+            "round-trip failed: {src} printed as {printed}"
+        );
     }
 
     #[test]
@@ -306,10 +302,7 @@ mod tests {
     fn clause_printing() {
         let p = parse_program("grandmother(GC, GM) :- grandparent(GC, GM), female(GM).").unwrap();
         let s = clause_to_string(&p.clauses[0]);
-        assert_eq!(
-            s,
-            "grandmother(GC, GM) :- grandparent(GC, GM), female(GM)."
-        );
+        assert_eq!(s, "grandmother(GC, GM) :- grandparent(GC, GM), female(GM).");
     }
 
     #[test]

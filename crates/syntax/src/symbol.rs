@@ -23,7 +23,10 @@ struct Interner {
 fn interner() -> &'static RwLock<Interner> {
     static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        RwLock::new(Interner { map: HashMap::new(), names: Vec::new() })
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            names: Vec::new(),
+        })
     })
 }
 

@@ -23,7 +23,10 @@ pub struct PredId {
 
 impl PredId {
     pub fn new(name: impl Into<PredName>, arity: usize) -> PredId {
-        PredId { name: name.into().0, arity }
+        PredId {
+            name: name.into().0,
+            arity,
+        }
     }
 }
 
@@ -122,8 +125,14 @@ impl Term {
     /// callable (an atom or a structure).
     pub fn pred_id(&self) -> Option<PredId> {
         match self {
-            Term::Atom(name) => Some(PredId { name: *name, arity: 0 }),
-            Term::Struct(name, args) => Some(PredId { name: *name, arity: args.len() }),
+            Term::Atom(name) => Some(PredId {
+                name: *name,
+                arity: 0,
+            }),
+            Term::Struct(name, args) => Some(PredId {
+                name: *name,
+                arity: args.len(),
+            }),
             _ => None,
         }
     }
@@ -179,11 +188,7 @@ impl Term {
 
     fn collect_variables(&self, out: &mut Vec<usize>) {
         match self {
-            Term::Var(v) => {
-                if !out.contains(v) {
-                    out.push(*v);
-                }
-            }
+            Term::Var(v) if !out.contains(v) => out.push(*v),
             Term::Struct(_, args) => {
                 for arg in args.iter() {
                     arg.collect_variables(out);
@@ -219,9 +224,10 @@ impl Term {
     pub fn map_vars(&self, f: &mut impl FnMut(usize) -> Term) -> Term {
         match self {
             Term::Var(v) => f(*v),
-            Term::Struct(name, args) => {
-                Term::Struct(*name, Arc::new(args.iter().map(|a| a.map_vars(f)).collect()))
-            }
+            Term::Struct(name, args) => Term::Struct(
+                *name,
+                Arc::new(args.iter().map(|a| a.map_vars(f)).collect()),
+            ),
             other => other.clone(),
         }
     }
@@ -331,7 +337,10 @@ mod tests {
     fn variables_in_first_occurrence_order() {
         let t = Term::app(
             "f",
-            vec![Term::Var(2), Term::app("g", vec![Term::Var(0), Term::Var(2)])],
+            vec![
+                Term::Var(2),
+                Term::app("g", vec![Term::Var(0), Term::Var(2)]),
+            ],
         );
         assert_eq!(t.variables(), vec![2, 0]);
         assert_eq!(t.max_var(), Some(2));

@@ -46,8 +46,22 @@ pub enum TokenKind {
 pub fn is_symbol_char(c: char) -> bool {
     matches!(
         c,
-        '+' | '-' | '*' | '/' | '\\' | '^' | '<' | '>' | '=' | '~' | ':' | '.' | '?' | '@' | '#'
-            | '&' | '$'
+        '+' | '-'
+            | '*'
+            | '/'
+            | '\\'
+            | '^'
+            | '<'
+            | '>'
+            | '='
+            | '~'
+            | ':'
+            | '.'
+            | '?'
+            | '@'
+            | '#'
+            | '&'
+            | '$'
     )
 }
 
@@ -83,11 +97,20 @@ pub struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     pub fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, prev_was_name: false }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            prev_was_name: false,
+        }
     }
 
     fn here(&self) -> Pos {
-        Pos { line: self.line, col: self.col }
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -158,7 +181,9 @@ impl<'a> Lexer<'a> {
     pub fn next_token(&mut self) -> Result<Option<Token>> {
         let had_layout = self.skip_layout()?;
         let pos = self.here();
-        let Some(c) = self.peek() else { return Ok(None) };
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
         let was_name = std::mem::replace(&mut self.prev_was_name, false);
 
         let kind = match c {
@@ -245,9 +270,7 @@ impl<'a> Lexer<'a> {
                 if text == "." {
                     match self.peek() {
                         None => TokenKind::End,
-                        Some(c) if (c as char).is_ascii_whitespace() || c == b'%' => {
-                            TokenKind::End
-                        }
+                        Some(c) if (c as char).is_ascii_whitespace() || c == b'%' => TokenKind::End,
                         _ => {
                             self.prev_was_name = true;
                             TokenKind::Atom(text)
@@ -479,14 +502,8 @@ mod tests {
             kinds(r"'hello world'"),
             vec![TokenKind::Atom("hello world".into())]
         );
-        assert_eq!(
-            kinds("'don''t'"),
-            vec![TokenKind::Atom("don't".into())]
-        );
-        assert_eq!(
-            kinds(r"'a\nb'"),
-            vec![TokenKind::Atom("a\nb".into())]
-        );
+        assert_eq!(kinds("'don''t'"), vec![TokenKind::Atom("don't".into())]);
+        assert_eq!(kinds(r"'a\nb'"), vec![TokenKind::Atom("a\nb".into())]);
     }
 
     #[test]

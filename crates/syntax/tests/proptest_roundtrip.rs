@@ -2,9 +2,9 @@
 //! survive `print → parse` unchanged, with operators, lists, quoting, and
 //! variables all in play.
 
-use proptest::prelude::*;
 use prolog_syntax::pretty::term_to_string;
 use prolog_syntax::{parse_term, Term};
+use proptest::prelude::*;
 
 /// Strategy over atom names: unquoted, operator-looking, and
 /// quote-requiring ones.
@@ -32,17 +32,16 @@ fn term_strategy() -> impl Strategy<Value = Term> {
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
             // plain structures
-            ("[a-z][a-z0-9_]{0,5}", prop::collection::vec(inner.clone(), 1..4))
+            (
+                "[a-z][a-z0-9_]{0,5}",
+                prop::collection::vec(inner.clone(), 1..4)
+            )
                 .prop_map(|(name, args)| Term::app(&name, args)),
             // operator structures
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::app("+", vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::app("=", vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::app(",", vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::app(";", vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app("+", vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app("=", vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app(",", vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app(";", vec![a, b])),
             inner.clone().prop_map(|a| Term::app("-", vec![a])),
             inner.clone().prop_map(|a| Term::app("\\+", vec![a])),
             // lists, proper and partial

@@ -29,20 +29,30 @@ pub struct CorporateConfig {
 
 impl Default for CorporateConfig {
     fn default() -> Self {
-        CorporateConfig { seed: 42, employees: 120 }
+        CorporateConfig {
+            seed: 42,
+            employees: 120,
+        }
     }
 }
 
 const FIRST_NAMES: &[&str] = &[
-    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi", "ivan", "judy",
-    "ken", "laura", "mallory", "nick", "olivia", "peggy", "quentin", "rupert", "sybil",
-    "trent", "ursula", "victor", "wendy", "xavier", "yolanda", "zach", "amy", "brian",
-    "cathy", "derek", "ella", "fred", "gina", "hank", "iris", "jack", "kate", "liam",
-    "mona",
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi", "ivan", "judy", "ken",
+    "laura", "mallory", "nick", "olivia", "peggy", "quentin", "rupert", "sybil", "trent", "ursula",
+    "victor", "wendy", "xavier", "yolanda", "zach", "amy", "brian", "cathy", "derek", "ella",
+    "fred", "gina", "hank", "iris", "jack", "kate", "liam", "mona",
 ];
 
-const DEPARTMENTS: &[&str] =
-    &["sales", "engineering", "accounting", "hr", "legal", "support", "research", "ops"];
+const DEPARTMENTS: &[&str] = &[
+    "sales",
+    "engineering",
+    "accounting",
+    "hr",
+    "legal",
+    "support",
+    "research",
+    "ops",
+];
 
 /// The generated database plus its employee-id universe.
 #[derive(Debug, Clone)]

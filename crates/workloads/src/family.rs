@@ -168,9 +168,7 @@ mod tests {
         let config = FamilyConfig::default();
         let (program, people) = family_program(&config);
         assert_eq!(people.len(), 55, "55 constants represent people");
-        let count = |name: &str, arity: usize| {
-            program.clauses_of(PredId::new(name, arity)).len()
-        };
+        let count = |name: &str, arity: usize| program.clauses_of(PredId::new(name, arity)).len();
         assert_eq!(count("girl", 1), 10);
         assert_eq!(count("wife", 2), 19);
         assert_eq!(count("mother", 2), 34);
@@ -181,7 +179,10 @@ mod tests {
         let a = family_facts(&FamilyConfig::default());
         let b = family_facts(&FamilyConfig::default());
         assert_eq!(a.source, b.source);
-        let c = family_facts(&FamilyConfig { seed: 7, ..Default::default() });
+        let c = family_facts(&FamilyConfig {
+            seed: 7,
+            ..Default::default()
+        });
         assert_ne!(a.source, c.source);
     }
 

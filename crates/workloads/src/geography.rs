@@ -26,7 +26,11 @@ pub struct GeographyConfig {
 
 impl Default for GeographyConfig {
     fn default() -> Self {
-        GeographyConfig { seed: 80, countries: 40, mean_borders: 5 }
+        GeographyConfig {
+            seed: 80,
+            countries: 40,
+            mean_borders: 5,
+        }
     }
 }
 
@@ -42,18 +46,13 @@ pub struct Geography {
 /// Generates the database.
 pub fn geography(config: &GeographyConfig) -> Geography {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let countries: Vec<String> =
-        (1..=config.countries).map(|i| format!("c{i:02}")).collect();
+    let countries: Vec<String> = (1..=config.countries).map(|i| format!("c{i:02}")).collect();
     let mut src = String::new();
     for (i, c) in countries.iter().enumerate() {
         let _ = writeln!(src, "country({c}).");
         let _ = writeln!(src, "capital({c}, cap_{c}).");
         let _ = writeln!(src, "population({c}, {}).", rng.gen_range(5..1500));
-        let _ = writeln!(
-            src,
-            "continent({c}, {}).",
-            CONTINENTS[i % CONTINENTS.len()]
-        );
+        let _ = writeln!(src, "continent({c}, {}).", CONTINENTS[i % CONTINENTS.len()]);
     }
     // Borders: symmetric random pairs, ~mean_borders per country.
     let mut pairs: Vec<(usize, usize)> = Vec::new();
@@ -86,16 +85,13 @@ pub fn question_queries(geo: &Geography) -> Vec<(Term, Vec<String>)> {
         // "Which country's capital is cap_c2?"
         format!("(country(X), capital(X, cap_{c2}))"),
         // "Which countries in europe border an asian country?"
-        "(country(X), continent(X, europe), borders(X, Y), continent(Y, asia))"
-            .to_string(),
+        "(country(X), continent(X, europe), borders(X, Y), continent(Y, asia))".to_string(),
         // "Which countries with population above 800 border c1?"
         format!("(country(X), population(X, P), P > 800, borders(X, {c1}))"),
         // "Which pairs of bordering countries share a continent?"
-        "(country(X), country(Y), borders(X, Y), continent(X, K), continent(Y, K))"
-            .to_string(),
+        "(country(X), country(Y), borders(X, Y), continent(X, K), continent(Y, K))".to_string(),
         // "Which European countries border two different countries?"
-        "(country(X), continent(X, europe), borders(X, Y), borders(X, Z), Y \\== Z)"
-            .to_string(),
+        "(country(X), continent(X, europe), borders(X, Y), borders(X, Z), Y \\== Z)".to_string(),
     ];
     texts
         .iter()
@@ -116,10 +112,7 @@ mod tests {
     fn generated_shape() {
         let geo = geography(&GeographyConfig::default());
         assert_eq!(geo.countries.len(), 40);
-        assert_eq!(
-            geo.program.clauses_of(PredId::new("country", 1)).len(),
-            40
-        );
+        assert_eq!(geo.program.clauses_of(PredId::new("country", 1)).len(), 40);
         let borders = geo.program.clauses_of(PredId::new("borders", 2)).len();
         assert_eq!(borders, 2 * (40 * 5 / 2)); // symmetric closure
     }

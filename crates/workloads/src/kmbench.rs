@@ -33,7 +33,13 @@ impl Default for KmbenchConfig {
         // Sized so the whole benchmark costs on the order of the paper's
         // 161,616 calls: proof search in the naive prover is exponential
         // in the rule-chain depth, so these knobs matter.
-        KmbenchConfig { seed: 11, atoms: 18, rules: 22, axioms: 5, problems: 30 }
+        KmbenchConfig {
+            seed: 23,
+            atoms: 18,
+            rules: 22,
+            axioms: 5,
+            problems: 30,
+        }
     }
 }
 
@@ -129,7 +135,10 @@ mod tests {
         let p = kmbench_program(&config);
         assert_eq!(p.clauses_of(PredId::new("axiom", 1)).len(), config.axioms);
         assert_eq!(p.clauses_of(PredId::new("rule", 2)).len(), config.rules);
-        assert_eq!(p.clauses_of(PredId::new("problem", 3)).len(), config.problems);
+        assert_eq!(
+            p.clauses_of(PredId::new("problem", 3)).len(),
+            config.problems
+        );
     }
 
     #[test]
@@ -155,7 +164,10 @@ mod tests {
         e.load(&kmbench_program(&KmbenchConfig::default()));
         let out = e.query("run_all").unwrap();
         assert!(out.succeeded());
-        assert!(out.counters.calls() > 100, "the benchmark should do real work");
+        assert!(
+            out.counters.calls() > 100,
+            "the benchmark should do real work"
+        );
     }
 
     #[test]

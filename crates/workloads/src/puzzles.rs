@@ -70,7 +70,9 @@ pub fn meal_universe() -> (Vec<String>, Vec<String>, Vec<String>) {
     let v = |names: &[&str]| names.iter().map(|s| s.to_string()).collect();
     (
         v(&["soup", "salad", "pate", "melon", "prawns", "bread"]),
-        v(&["steak", "chicken", "sole", "pasta", "risotto", "tofu", "lamb", "pork"]),
+        v(&[
+            "steak", "chicken", "sole", "pasta", "risotto", "tofu", "lamb", "pork",
+        ]),
         v(&["cake", "fruit", "ice_cream", "cheese", "sorbet"]),
     )
 }

@@ -12,7 +12,9 @@ use prolog_workloads::queries::{mode_queries, QuerySpec};
 use reorder::{ReorderConfig, Reorderer};
 
 fn main() {
-    let pred = std::env::args().nth(1).unwrap_or_else(|| "aunt".to_string());
+    let pred = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "aunt".to_string());
     let config = FamilyConfig::default();
     let (program, people) = family_program(&config);
     println!(
@@ -24,8 +26,9 @@ fn main() {
     );
 
     let result = Reorderer::new(&program, ReorderConfig::default()).run();
-    if let Some(report) =
-        result.report.predicate(prolog_syntax::PredId::new(pred.as_str(), 2))
+    if let Some(report) = result
+        .report
+        .predicate(prolog_syntax::PredId::new(pred.as_str(), 2))
     {
         println!("\npredicted improvements for {pred}/2:");
         for m in &report.modes {
@@ -39,7 +42,10 @@ fn main() {
     }
 
     println!("\nmeasured user-predicate calls for {pred}/2 (every instantiation per mode):");
-    println!("{:<8} {:>10} {:>10} {:>8}", "mode", "original", "reordered", "ratio");
+    println!(
+        "{:<8} {:>10} {:>10} {:>8}",
+        "mode", "original", "reordered", "ratio"
+    );
     for mode_s in ["--", "-+", "+-", "++"] {
         let spec = QuerySpec {
             name: pred.clone(),
@@ -54,13 +60,22 @@ fn main() {
             for q in &queries {
                 let names: Vec<String> =
                     (0..q.variables().len()).map(|i| format!("V{i}")).collect();
-                calls +=
-                    e.query_term(q, &names, usize::MAX).expect("runs").counters.user_calls;
+                calls += e
+                    .query_term(q, &names, usize::MAX)
+                    .expect("runs")
+                    .counters
+                    .user_calls;
             }
             calls
         };
         let a = run(&program);
         let b = run(&result.program);
-        println!("{:<8} {:>10} {:>10} {:>8.2}", mode_s, a, b, a as f64 / b as f64);
+        println!(
+            "{:<8} {:>10} {:>10} {:>8.2}",
+            mode_s,
+            a,
+            b,
+            a as f64 / b as f64
+        );
     }
 }

@@ -26,7 +26,11 @@ fn main() {
             "  call {}  ->  output {} ({})",
             mode,
             summary.output,
-            if summary.clean { "abstractly clean" } else { "NOT clean" }
+            if summary.clean {
+                "abstractly clean"
+            } else {
+                "NOT clean"
+            }
         );
     }
     println!(

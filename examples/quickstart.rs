@@ -33,7 +33,10 @@ fn main() {
     // 1. Reorder.
     let result = Reorderer::new(&program, ReorderConfig::default()).run();
     println!("=== reorderer decisions ===\n{}", result.report);
-    println!("=== reordered program ===\n{}", program_to_string(&result.program));
+    println!(
+        "=== reordered program ===\n{}",
+        program_to_string(&result.program)
+    );
 
     // 2. Measure both on the same query.
     let mut original = Engine::new();

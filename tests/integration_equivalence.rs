@@ -23,8 +23,9 @@ fn assert_set_equivalent(original: &SourceProgram, queries: &[Term]) {
     let mut reord_engine = Engine::new();
     reord_engine.load(&result.program);
     for goal in queries {
-        let names: Vec<String> =
-            (0..goal.variables().len()).map(|i| format!("V{i}")).collect();
+        let names: Vec<String> = (0..goal.variables().len())
+            .map(|i| format!("V{i}"))
+            .collect();
         let a = orig_engine
             .query_term(goal, &names, usize::MAX)
             .unwrap_or_else(|e| panic!("original failed on {goal}: {e}"));
@@ -57,7 +58,11 @@ fn all_mode_queries(name: &str, arity: usize, universe: &[String]) -> Vec<Term> 
                 })
                 .collect(),
         );
-        let spec = QuerySpec { name: name.to_string(), mode, universe: sample.clone() };
+        let spec = QuerySpec {
+            name: name.to_string(),
+            mode,
+            universe: sample.clone(),
+        };
         out.extend(mode_queries(&spec));
     }
     out
@@ -68,10 +73,23 @@ fn family_tree_all_predicates_all_modes() {
     let (program, people) = family_program(&FamilyConfig::default());
     let mut queries = Vec::new();
     for pred in [
-        "female", "male", "father", "parent", "married", "siblings", "sister", "brother",
-        "grandmother", "cousins", "aunt",
+        "female",
+        "male",
+        "father",
+        "parent",
+        "married",
+        "siblings",
+        "sister",
+        "brother",
+        "grandmother",
+        "cousins",
+        "aunt",
     ] {
-        let arity = if pred == "female" || pred == "male" { 1 } else { 2 };
+        let arity = if pred == "female" || pred == "male" {
+            1
+        } else {
+            2
+        };
         queries.extend(all_mode_queries(pred, arity, &people));
     }
     assert_set_equivalent(&program, &queries);
@@ -113,7 +131,9 @@ fn meal_all_modes() {
     for ai in a.iter().take(3) {
         for mi in m.iter().take(3) {
             queries.push(
-                prolog_syntax::parse_term(&format!("meal({ai}, {mi}, D)")).unwrap().0,
+                prolog_syntax::parse_term(&format!("meal({ai}, {mi}, D)"))
+                    .unwrap()
+                    .0,
             );
             for di in d.iter().take(2) {
                 queries.push(
@@ -142,8 +162,15 @@ fn kmbench_driver_and_problems() {
         prolog_syntax::parse_term("run_all").unwrap().0,
         prolog_syntax::parse_term("run_problem(Id)").unwrap().0,
     ];
-    for id in prolog_workloads::kmbench::kmbench_problem_ids(&config).iter().take(6) {
-        queries.push(prolog_syntax::parse_term(&format!("run_problem({id})")).unwrap().0);
+    for id in prolog_workloads::kmbench::kmbench_problem_ids(&config)
+        .iter()
+        .take(6)
+    {
+        queries.push(
+            prolog_syntax::parse_term(&format!("run_problem({id})"))
+                .unwrap()
+                .0,
+        );
     }
     assert_set_equivalent(&program, &queries);
 }

@@ -68,7 +68,10 @@ fn predicted_and_measured_improvements_point_the_same_way() {
     // the (-,-) mode, the measured counts should at least not get worse.
     let program = parse_program(FAMILY).unwrap();
     let result = Reorderer::new(&program, ReorderConfig::default()).run();
-    let report = result.report.predicate(PredId::new("grandmother", 2)).unwrap();
+    let report = result
+        .report
+        .predicate(PredId::new("grandmother", 2))
+        .unwrap();
     let uu = report
         .modes
         .iter()
@@ -77,7 +80,11 @@ fn predicted_and_measured_improvements_point_the_same_way() {
     if uu.predicted_speedup() > 1.5 {
         let mut original = Engine::new();
         original.load(&program);
-        let before = original.query("grandmother(X, Y)").unwrap().counters.user_calls;
+        let before = original
+            .query("grandmother(X, Y)")
+            .unwrap()
+            .counters
+            .user_calls;
         let mut reordered = Engine::new();
         reordered.load(&result.program);
         let after = reordered
@@ -105,9 +112,15 @@ fn dispatchers_route_by_instantiation() {
     let one = &all.solutions[0];
     let x = one.get("X").unwrap().to_string();
     let y = one.get("Y").unwrap().to_string();
-    assert!(engine.has_solution(&format!("grandparent({x}, {y})")).unwrap());
-    assert!(engine.has_solution(&format!("grandparent({x}, Y)")).unwrap());
-    assert!(engine.has_solution(&format!("grandparent(X, {y})")).unwrap());
+    assert!(engine
+        .has_solution(&format!("grandparent({x}, {y})"))
+        .unwrap());
+    assert!(engine
+        .has_solution(&format!("grandparent({x}, Y)"))
+        .unwrap());
+    assert!(engine
+        .has_solution(&format!("grandparent(X, {y})"))
+        .unwrap());
     // A nonsense pair fails through the dispatcher as well.
     assert!(!engine.has_solution("grandparent(g1, g1)").unwrap());
 }
@@ -163,7 +176,10 @@ fn reordering_is_idempotent_on_its_own_output() {
 #[test]
 fn disabled_goal_reordering_still_specializes() {
     let program = parse_program(FAMILY).unwrap();
-    let config = ReorderConfig { reorder_goals: false, ..Default::default() };
+    let config = ReorderConfig {
+        reorder_goals: false,
+        ..Default::default()
+    };
     let result = Reorderer::new(&program, config).run();
     let mut engine = Engine::new();
     engine.load(&result.program);

@@ -33,7 +33,10 @@ fn intro_grandmother_reordering_pays() {
     let result = Reorderer::new(&program, ReorderConfig::default()).run();
 
     // The (-,-) version must lead with female/1.
-    let report = result.report.predicate(PredId::new("grandmother", 2)).unwrap();
+    let report = result
+        .report
+        .predicate(PredId::new("grandmother", 2))
+        .unwrap();
     let uu = report
         .modes
         .iter()
@@ -144,15 +147,11 @@ fn fixity_example_b_cannot_move() {
                     .conjuncts()
                     .iter()
                     .filter_map(|g| match g {
-                        Body::Call(t) => {
-                            Some(t.pred_id().unwrap().name.as_str().to_string())
-                        }
+                        Body::Call(t) => Some(t.pred_id().unwrap().name.as_str().to_string()),
                         _ => None,
                     })
                     .collect();
-                let pos = |n: &str| {
-                    order.iter().position(|x| x.starts_with(n)).unwrap()
-                };
+                let pos = |n: &str| order.iter().position(|x| x.starts_with(n)).unwrap();
                 assert!(pos("a") < pos("b") && pos("b") < pos("c"), "{order:?}");
             }
         }
@@ -225,7 +224,10 @@ fn permutation_safe_mode_works_unsafe_mode_guarded() {
     ";
     let mut e = Engine::new();
     e.consult(src).unwrap();
-    assert_eq!(e.query("permutation([1,2,3], P)").unwrap().solutions.len(), 6);
+    assert_eq!(
+        e.query("permutation([1,2,3], P)").unwrap().solutions.len(),
+        6
+    );
     // unsafe: first argument free — swapping the goals of the second
     // clause of permutation/2 would loop; even unswapped, mode (-,+) with
     // a partial second argument enumerates forever, with ever-longer
@@ -297,7 +299,10 @@ fn aunt_versions_use_paper_naming_and_dispatch() {
     let out = e.query("aunt(X, Y)").unwrap();
     let mut orig = Engine::new();
     orig.load(&program);
-    assert_eq!(out.solution_set(), orig.query("aunt(X, Y)").unwrap().solution_set());
+    assert_eq!(
+        out.solution_set(),
+        orig.query("aunt(X, Y)").unwrap().solution_set()
+    );
 }
 
 #[test]

@@ -28,8 +28,12 @@ fn row_modes_builtins_must_satisfy_demands() {
     // must satisfy demands."
     let (p, a) = analyze("double(X, Y) :- Y is X * 2.");
     let oracle = ModeOracle::new(&p, &a.declarations);
-    assert!(oracle.call(id("double", 2), &Mode::parse("+-").unwrap()).is_some());
-    assert!(oracle.call(id("double", 2), &Mode::parse("-+").unwrap()).is_none());
+    assert!(oracle
+        .call(id("double", 2), &Mode::parse("+-").unwrap())
+        .is_some());
+    assert!(oracle
+        .call(id("double", 2), &Mode::parse("-+").unwrap())
+        .is_none());
 }
 
 #[test]
@@ -41,8 +45,12 @@ fn row_modes_propagate_to_ancestors() {
          double(X, Y) :- Y is X * 2.",
     );
     let oracle = ModeOracle::new(&p, &a.declarations);
-    assert!(oracle.call(id("outer", 2), &Mode::parse("--").unwrap()).is_none());
-    assert!(oracle.call(id("outer", 2), &Mode::parse("+-").unwrap()).is_some());
+    assert!(oracle
+        .call(id("outer", 2), &Mode::parse("--").unwrap())
+        .is_none());
+    assert!(oracle
+        .call(id("outer", 2), &Mode::parse("+-").unwrap())
+        .is_some());
 }
 
 // --------------------------------------------------------------- fixity --
@@ -55,7 +63,10 @@ fn row_fixity_goal_immobile_within_clause() {
     let fixity = FixityAnalysis::compute(&p, &g);
     let blocks = split_blocks(&p.clauses[0].body.conjuncts(), &fixity);
     assert_eq!(blocks.len(), 3);
-    assert!(!blocks[1].mobile, "the write goal is its own immobile block");
+    assert!(
+        !blocks[1].mobile,
+        "the write goal is its own immobile block"
+    );
 }
 
 #[test]
@@ -69,16 +80,20 @@ fn row_fixity_clause_immobile_within_predicate() {
     );
     let g = CallGraph::build(&p);
     let fixity = FixityAnalysis::compute(&p, &g);
-    assert!(reorder::clause_order::clause_is_mobile(&p.clauses[0], &fixity));
-    assert!(!reorder::clause_order::clause_is_mobile(&p.clauses[1], &fixity));
+    assert!(reorder::clause_order::clause_is_mobile(
+        &p.clauses[0],
+        &fixity
+    ));
+    assert!(!reorder::clause_order::clause_is_mobile(
+        &p.clauses[1],
+        &fixity
+    ));
 }
 
 #[test]
 fn row_fixity_ancestors_become_fixed() {
     // "Propagation: ancestors become fixed."
-    let (p, _) = analyze(
-        "top(X) :- mid(X). mid(X) :- leaf(X). leaf(X) :- write(X).",
-    );
+    let (p, _) = analyze("top(X) :- mid(X). mid(X) :- leaf(X). leaf(X) :- write(X).");
     let g = CallGraph::build(&p);
     let fixity = FixityAnalysis::compute(&p, &g);
     for name in ["top", "mid", "leaf"] {
@@ -183,8 +198,14 @@ fn row_cut_bearing_clause_fixed_within_predicate() {
     let (p, _) = analyze("p(X) :- a(X), !. p(X) :- b(X). a(1). b(1).");
     let g = CallGraph::build(&p);
     let fixity = FixityAnalysis::compute(&p, &g);
-    assert!(!reorder::clause_order::clause_is_mobile(&p.clauses[0], &fixity));
-    assert!(reorder::clause_order::clause_is_mobile(&p.clauses[1], &fixity));
+    assert!(!reorder::clause_order::clause_is_mobile(
+        &p.clauses[0],
+        &fixity
+    ));
+    assert!(reorder::clause_order::clause_is_mobile(
+        &p.clauses[1],
+        &fixity
+    ));
 }
 
 // ----------------------------------------------------------- control ----
