@@ -21,6 +21,7 @@ use crate::modes::{builtin_legal_modes, LegalModes, Mode, ModeItem, ModePair};
 use prolog_syntax::{Body, PredId, SourceProgram, Term};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// One in-flight `call` activation on the current thread. `tainted` is set
 /// when a recursion cut-off for a key *below* this frame fires while this
@@ -38,6 +39,12 @@ thread_local! {
     /// private to the worker evaluating the pattern, while finished
     /// summaries are shared through the sharded memo table.
     static IN_FLIGHT: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+
+    /// Per-thread overflow memo used once the shared table is sealed.
+    /// Cleared at every [`ModeInference::begin_task`] so a unit of work
+    /// only ever sees the sealed shared entries plus its own computations.
+    static SCRATCH: RefCell<HashMap<(PredId, Mode), CallSummary>> =
+        RefCell::new(HashMap::new());
 }
 
 /// Result of abstractly calling one pattern.
@@ -50,6 +57,20 @@ pub struct CallSummary {
 }
 
 /// The inference engine. Create once per program; queries are memoised.
+///
+/// # Determinism under concurrency
+///
+/// Recursive call patterns are resolved with stack-based cut-offs, so a
+/// summary computed *inside* another pattern's evaluation can differ from
+/// the standalone (memoised) value of the same key. A result may therefore
+/// depend on which sibling patterns happen to be memoised already — fine
+/// while queries arrive in one fixed order, but racy once workers share
+/// the table. Callers that need byte-identical results for any thread
+/// schedule must [`Self::seal`] the table after a deterministic
+/// (single-threaded) warm-up: sealed, the shared table is read-only and
+/// each unit of work collects new summaries in a thread-local scratch
+/// cleared by [`Self::begin_task`], making every unit a pure function of
+/// the sealed entries.
 pub struct ModeInference<'p> {
     program: &'p SourceProgram,
     builtins: HashMap<PredId, LegalModes>,
@@ -57,6 +78,8 @@ pub struct ModeInference<'p> {
     /// paper's position for recursive predicates, §IV-D.7).
     declared: HashMap<PredId, LegalModes>,
     memo: ShardedCache<(PredId, Mode), CallSummary>,
+    /// Once set, `memo` is read-only; new summaries go to the scratch.
+    sealed: AtomicBool,
 }
 
 impl<'p> ModeInference<'p> {
@@ -66,7 +89,21 @@ impl<'p> ModeInference<'p> {
             builtins: builtin_legal_modes(),
             declared: HashMap::new(),
             memo: ShardedCache::new(),
+            sealed: AtomicBool::new(false),
         }
+    }
+
+    /// Freezes the shared memo table. Later summaries are kept in a
+    /// per-thread scratch (see [`Self::begin_task`]) instead, so results
+    /// stop depending on which thread computed what first.
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::Release);
+    }
+
+    /// Starts a deterministic unit of work on this thread by clearing its
+    /// scratch memo. Call at every task boundary once the table is sealed.
+    pub fn begin_task(&self) {
+        SCRATCH.with(|s| s.borrow_mut().clear());
     }
 
     /// Registers declared legal modes (consulted before inference).
@@ -107,6 +144,12 @@ impl<'p> ModeInference<'p> {
         let key = (pred, input.clone());
         if let Some(hit) = self.memo.get(&key) {
             return hit;
+        }
+        let sealed = self.sealed.load(Ordering::Acquire);
+        if sealed {
+            if let Some(hit) = SCRATCH.with(|s| s.borrow().get(&key).cloned()) {
+                return hit;
+            }
         }
         // Recursion cut-off: the pattern is already open somewhere below
         // on this thread. Every frame above it now carries a result that
@@ -163,7 +206,11 @@ impl<'p> ModeInference<'p> {
             .with(|frames| frames.borrow_mut().pop().map(|f| !f.tainted))
             .unwrap_or(false);
         if pure {
-            self.memo.insert(key, summary.clone());
+            if sealed {
+                SCRATCH.with(|s| s.borrow_mut().insert(key, summary.clone()));
+            } else {
+                self.memo.insert(key, summary.clone());
+            }
         }
         summary
     }

@@ -32,6 +32,7 @@ use prolog_markov::{ClauseChain, GoalStats};
 use prolog_syntax::{Clause, PredId, SourceProgram, Term};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::RwLock;
 
 /// Converts an expected solution count into the chain probability.
@@ -69,11 +70,30 @@ thread_local! {
     /// belongs to the worker walking the clause equations, while finished
     /// stats are shared through the sharded memo table.
     static IN_FLIGHT: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+
+    /// Per-thread overflow memo used once the shared table is sealed.
+    /// Cleared at every [`Estimator::begin_task`] so each reordering task
+    /// only ever sees the sealed shared entries plus its own computations.
+    static SCRATCH: RefCell<HashMap<(PredId, Mode), GoalStats>> =
+        RefCell::new(HashMap::new());
 }
 
 /// Bottom-up cost/probability estimator. Shared by every reordering
 /// worker: the memo tables are sharded and lock-striped, recursion state
 /// is thread-local, so concurrent `stats` calls are both safe and cheap.
+///
+/// # Determinism under concurrency
+///
+/// Recursion cut-offs make a stats value computed *inside* another
+/// pattern's evaluation differ from the standalone (memoised) value of
+/// the same key, so a result can depend on which sibling patterns were
+/// memoised first. The driver therefore warms the shared table in one
+/// deterministic serial pass, [`Self::seal`]s it, and has every worker
+/// call [`Self::begin_task`] at each task boundary: sealed, the shared
+/// table is read-only and new stats land in a per-thread scratch, making
+/// each task a pure function of the sealed entries and the installed
+/// overrides. (The chain-cost table needs none of this — its values are
+/// pure functions of the key.)
 pub struct Estimator<'p> {
     program: &'p SourceProgram,
     pub oracle: &'p ModeOracle<'p>,
@@ -91,6 +111,8 @@ pub struct Estimator<'p> {
     /// stats: candidate orders across clauses (and A* prefix re-expansions)
     /// frequently rebuild identical chains.
     chain_costs: ShardedCache<ChainKey, f64>,
+    /// Once set, `memo` is read-only; new stats go to the scratch.
+    sealed: AtomicBool,
 }
 
 impl<'p> Estimator<'p> {
@@ -111,7 +133,21 @@ impl<'p> Estimator<'p> {
             memo: ShardedCache::new(),
             overrides: RwLock::new(HashMap::new()),
             chain_costs: ShardedCache::new(),
+            sealed: AtomicBool::new(false),
         }
+    }
+
+    /// Freezes the shared stats memo. Later stats are kept per thread
+    /// (see [`Self::begin_task`]), so results stop depending on which
+    /// worker computed what first.
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::Release);
+    }
+
+    /// Starts a deterministic unit of work on this thread by clearing its
+    /// scratch memo. Call at every task boundary once the table is sealed.
+    pub fn begin_task(&self) {
+        SCRATCH.with(|s| s.borrow_mut().clear());
     }
 
     /// Installs the stats of a reordered version so later (upward)
@@ -142,6 +178,12 @@ impl<'p> Estimator<'p> {
         let key = (pred, mode.clone());
         if let Some(s) = self.memo.get(&key) {
             return s;
+        }
+        let sealed = self.sealed.load(Ordering::Acquire);
+        if sealed {
+            if let Some(s) = SCRATCH.with(|s| s.borrow().get(&key).copied()) {
+                return s;
+            }
         }
         // Recursion cut-off: the pattern is already open below on this
         // thread. Answer with its current fixpoint seed, and taint every
@@ -191,7 +233,11 @@ impl<'p> Estimator<'p> {
             (s, pop_pure())
         };
         if pure {
-            self.memo.insert(key, stats);
+            if sealed {
+                SCRATCH.with(|s| s.borrow_mut().insert(key, stats));
+            } else {
+                self.memo.insert(key, stats);
+            }
         }
         stats
     }

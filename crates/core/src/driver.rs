@@ -16,8 +16,11 @@
 //! `(predicate, mode)` over a scoped worker pool, level by level, with
 //! version stats installed at each level boundary; **emission** then
 //! assembles the program and report strictly in bottom-up order. Because
-//! same-level predicates never call one another and every shared estimate
-//! is cached context-free, the output is byte-identical for any worker
+//! same-level predicates never call one another, the shared memo tables
+//! are warmed serially and sealed before the workers start (recursion
+//! cut-offs make lazily-cached estimates depend on computation order —
+//! see [`crate::costs::Estimator`]), and anything not warmed is
+//! recomputed per task, the output is byte-identical for any worker
 //! count.
 
 use crate::blocks::split_blocks;
@@ -128,6 +131,25 @@ impl<'p> Reorderer<'p> {
         let order = analysis.callgraph.bottom_up_order();
         let levels = schedule_levels(&analysis.callgraph, &order, &specializable);
         let jobs = self.config.resolved_jobs();
+
+        // Warm the shared memo tables in one deterministic serial sweep,
+        // then seal them. Recursion cut-offs make lazily-computed stats
+        // and mode summaries depend on which sibling patterns were
+        // memoised first — harmless in a fixed serial order, racy once
+        // workers share the tables. Sealed, workers read the warmed
+        // entries and keep anything new in per-task thread-local scratch,
+        // so every task is a pure function of the plan and the overrides
+        // installed at level boundaries.
+        for &pred in &order {
+            if !defined.contains(&pred) {
+                continue;
+            }
+            for mode in oracle.legal_plus_minus_modes(pred) {
+                est.stats(pred, &mode);
+            }
+        }
+        est.seal();
+        oracle.seal();
         let planning = t_run.elapsed();
 
         // ---- Reordering: one task per (predicate, mode), level by level.
@@ -147,6 +169,8 @@ impl<'p> Reorderer<'p> {
                 .collect();
             task_count += tasks.len();
             let outcomes = run_tasks(jobs, tasks.len(), |i| {
+                est.begin_task();
+                oracle.begin_task();
                 let (pred, mode) = tasks[i];
                 let clauses = self.program.clauses_of(pred);
                 let original = est.stats(pred, mode);

@@ -46,6 +46,18 @@ impl<'p> ModeOracle<'p> {
         self.inference.cache_counters()
     }
 
+    /// Freezes the shared inference memo (see [`ModeInference::seal`]):
+    /// call after the deterministic planning warm-up, before workers run.
+    pub fn seal(&self) {
+        self.inference.seal();
+    }
+
+    /// Clears this thread's scratch memo at a task boundary (see
+    /// [`ModeInference::begin_task`]).
+    pub fn begin_task(&self) {
+        self.inference.begin_task();
+    }
+
     /// Expected number of distinct `u`/`i` version suffixes for `pred`.
     pub fn version_count(&self, pred: PredId) -> usize {
         let mut suffixes: Vec<String> = self

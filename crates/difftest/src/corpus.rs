@@ -1,0 +1,118 @@
+//! Persistence of shrunk reproducers.
+//!
+//! A corpus file is an ordinary Prolog source file whose `%` comment
+//! header carries the metadata needed to replay it:
+//!
+//! ```text
+//! % difftest reproducer
+//! % seed: 42
+//! % discrepancy: solution multiset mismatch on `p0_1(V0)`: 1 missing, 0 extra
+//! % query: p0_1(V0)
+//! f0(a).
+//! p0_1(X0) :- f0(X0).
+//! ```
+//!
+//! Because the header is comments, the file loads into any Prolog
+//! tooling unchanged; [`load_case`] re-parses it into a [`TestCase`]
+//! that the oracle (and the corpus replay test) can run directly.
+
+use crate::generate::{Features, Query, TestCase};
+use prolog_syntax::pretty::program_to_string;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Renders a case (plus the discrepancy that condemned it) to the corpus
+/// file format.
+pub fn render_case(case: &TestCase, discrepancy: &str) -> String {
+    let mut out = String::new();
+    out.push_str("% difftest reproducer\n");
+    out.push_str(&format!("% seed: {}\n", case.seed));
+    // The discrepancy may render over several lines; keep the headline.
+    let headline = discrepancy.lines().next().unwrap_or("");
+    out.push_str(&format!("% discrepancy: {headline}\n"));
+    for query in &case.queries {
+        out.push_str(&format!("% query: {query}\n"));
+    }
+    out.push_str(&program_to_string(&case.program));
+    out
+}
+
+/// Writes a shrunk reproducer under `dir`, named after its seed.
+/// Returns the path written.
+pub fn save_case(dir: &Path, case: &TestCase, discrepancy: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("seed-{}.pl", case.seed));
+    std::fs::write(&path, render_case(case, discrepancy))?;
+    Ok(path)
+}
+
+/// Re-parses a corpus file into a runnable case.
+///
+/// Feature flags are not persisted (they only feed coverage counters),
+/// so a loaded case reports `Features::default()`.
+pub fn load_case(path: &Path) -> io::Result<TestCase> {
+    let text = std::fs::read_to_string(path)?;
+    parse_case(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+fn parse_case(text: &str) -> Result<TestCase, String> {
+    let mut seed = 0u64;
+    let mut queries = Vec::new();
+    for line in text.lines() {
+        let Some(comment) = line.trim().strip_prefix('%') else {
+            continue;
+        };
+        let comment = comment.trim();
+        if let Some(value) = comment.strip_prefix("seed:") {
+            seed = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad seed line: {e}"))?;
+        } else if let Some(value) = comment.strip_prefix("query:") {
+            let (goal, var_names) = prolog_syntax::parse_term(value.trim())
+                .map_err(|e| format!("bad query `{}`: {e}", value.trim()))?;
+            queries.push(Query { goal, var_names });
+        }
+    }
+    if queries.is_empty() {
+        return Err("no `% query:` lines".to_string());
+    }
+    let program =
+        prolog_syntax::parse_program(text).map_err(|e| format!("program does not parse: {e}"))?;
+    Ok(TestCase {
+        seed,
+        program,
+        queries,
+        features: Features::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_case, GenConfig};
+
+    #[test]
+    fn render_then_parse_round_trips() {
+        for seed in [0, 7, 42] {
+            let case = generate_case(seed, &GenConfig::default());
+            let text = render_case(&case, "example discrepancy\nwith detail");
+            let loaded = parse_case(&text).expect("rendered case must parse");
+            assert_eq!(loaded.seed, seed);
+            assert_eq!(loaded.queries.len(), case.queries.len());
+            for (a, b) in loaded.queries.iter().zip(&case.queries) {
+                assert_eq!(a.to_string(), b.to_string(), "seed {seed}");
+            }
+            assert_eq!(
+                program_to_string(&loaded.program),
+                program_to_string(&case.program),
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,732 @@
+//! Seeded random Prolog program generator.
+//!
+//! Programs are drawn stratified: ground fact predicates over a small
+//! Herbrand domain at the bottom, then one or two layers of rule
+//! predicates whose bodies call strictly downwards — so generated
+//! programs always terminate (the only recursion is the bounded
+//! countdown predicate, always entered on a literal). Each program
+//! carries a query workload in several instantiation modes.
+//!
+//! Two invariants keep the oracle's error-skip rate low:
+//!
+//! 1. **Grounding repair**: every head variable of a rule clause is
+//!    guaranteed to appear in a surely-grounding body position (a plain
+//!    call to a fact/rule predicate, or as the result of `is/2`); a
+//!    repair pass appends a fact call for any that is not. Successful
+//!    calls therefore return ground answers, inductively.
+//! 2. **Typed arithmetic**: arithmetic comparisons only touch variables
+//!    known to hold integers (results of `is/2`); everything else uses
+//!    the structural operators `==`, `\==`, `@<`, which are total.
+
+use prolog_syntax::{Body, Clause, SourceProgram, Term};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::fmt;
+
+/// Tuning knobs for the generator. Defaults generate small programs
+/// (≈10–30 clauses) that a debug-build engine runs in milliseconds.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Fact predicates at the bottom of the program (at least 2).
+    pub max_fact_preds: usize,
+    /// Rule layers above the facts (each calls strictly downwards).
+    pub max_layers: usize,
+    /// Rule predicates per layer.
+    pub max_preds_per_layer: usize,
+    /// Clauses per rule predicate.
+    pub max_clauses: usize,
+    /// Top-level goals per clause body (before cut/repair insertion).
+    pub max_goals: usize,
+    /// Queries per generated case.
+    pub max_queries: usize,
+    /// Upper bound for literals fed to the recursive countdown predicate.
+    pub recursion_depth: i64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_fact_preds: 4,
+            max_layers: 2,
+            max_preds_per_layer: 3,
+            max_clauses: 3,
+            max_goals: 4,
+            max_queries: 6,
+            recursion_depth: 5,
+        }
+    }
+}
+
+/// One query of a case: a goal term whose `Var(i)` is named
+/// `var_names[i]`.
+#[derive(Debug, Clone)]
+pub struct Query {
+    pub goal: Term,
+    pub var_names: Vec<String>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&prolog_syntax::pretty::term_to_string(
+            &self.goal,
+            &self.var_names,
+        ))
+    }
+}
+
+/// Which restriction-surface constructs a generated program exercises.
+/// The CLI aggregates these over a run as coverage counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Features {
+    pub cut: bool,
+    pub negation: bool,
+    pub disjunction: bool,
+    pub if_then_else: bool,
+    pub arithmetic: bool,
+    pub fixed: bool,
+    pub recursion: bool,
+}
+
+impl Features {
+    /// `(label, present)` pairs, in display order.
+    pub fn items(&self) -> [(&'static str, bool); 7] {
+        [
+            ("cut", self.cut),
+            ("negation", self.negation),
+            ("disjunction", self.disjunction),
+            ("if-then-else", self.if_then_else),
+            ("arithmetic", self.arithmetic),
+            ("fixed", self.fixed),
+            ("recursion", self.recursion),
+        ]
+    }
+}
+
+impl fmt::Display for Features {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let present: Vec<&str> = self
+            .items()
+            .iter()
+            .filter(|(_, p)| *p)
+            .map(|(n, _)| *n)
+            .collect();
+        if present.is_empty() {
+            write!(f, "plain")
+        } else {
+            write!(f, "{}", present.join("+"))
+        }
+    }
+}
+
+/// A generated differential-test case.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// The seed that reproduces exactly this case via [`generate_case`].
+    pub seed: u64,
+    pub program: SourceProgram,
+    pub queries: Vec<Query>,
+    pub features: Features,
+}
+
+/// What a body goal may call, and how its arguments must be shaped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CalleeKind {
+    /// Ground tuples: any argument shape, grounds all its variables.
+    Fact,
+    /// Grounding rule predicate from a lower layer.
+    Rule,
+    /// `count/3`: first two arguments must be integer-valued.
+    Recursive,
+    /// `trace_out/1`: side-effecting, makes callers fixed.
+    SideEffect,
+}
+
+#[derive(Debug, Clone)]
+struct Callee {
+    name: String,
+    arity: usize,
+    kind: CalleeKind,
+}
+
+/// Generates the case for `seed`. The same seed always yields the same
+/// program, queries, and features.
+pub fn generate_case(seed: u64, config: &GenConfig) -> TestCase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = Generator {
+        rng: &mut rng,
+        config,
+        atoms: Vec::new(),
+        program: SourceProgram::default(),
+        features: Features::default(),
+    };
+    let (pool, query_preds) = gen.emit_program();
+    let queries = gen.emit_queries(&query_preds, &pool);
+    TestCase {
+        seed,
+        program: gen.program,
+        queries,
+        features: gen.features,
+    }
+}
+
+struct Generator<'a> {
+    rng: &'a mut StdRng,
+    config: &'a GenConfig,
+    /// The atom part of the Herbrand domain (integers 0..=3 are the rest).
+    atoms: Vec<&'static str>,
+    program: SourceProgram,
+    features: Features,
+}
+
+/// Per-clause bookkeeping while a body is being generated.
+struct ClauseCtx {
+    /// Number of variables allocated so far (names `X0`, `X1`, …).
+    nvars: usize,
+    /// Variables available for reuse (head vars + created ones).
+    available: Vec<usize>,
+    /// Variables guaranteed ground after the goals emitted so far.
+    surely_bound: Vec<usize>,
+    /// Subset of `surely_bound` known to hold integers.
+    int_vars: Vec<usize>,
+}
+
+impl ClauseCtx {
+    fn with_head_vars(n: usize) -> ClauseCtx {
+        ClauseCtx {
+            nvars: n,
+            available: (0..n).collect(),
+            surely_bound: Vec::new(),
+            int_vars: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self) -> usize {
+        let v = self.nvars;
+        self.nvars += 1;
+        self.available.push(v);
+        v
+    }
+
+    fn mark_bound(&mut self, v: usize) {
+        if !self.surely_bound.contains(&v) {
+            self.surely_bound.push(v);
+        }
+    }
+
+    fn var_names(&self) -> Vec<String> {
+        (0..self.nvars).map(|i| format!("X{i}")).collect()
+    }
+}
+
+impl Generator<'_> {
+    // -------------------------------------------------------------- misc --
+
+    fn pick<'s, T>(&mut self, items: &'s [T]) -> &'s T {
+        &items[self.rng.gen_range(0..items.len())]
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A random domain constant: an atom or a small integer.
+    fn constant(&mut self) -> Term {
+        if self.chance(0.6) {
+            let i = self.rng.gen_range(0..self.atoms.len());
+            Term::atom(self.atoms[i])
+        } else {
+            Term::Int(self.rng.gen_range(0..4i64))
+        }
+    }
+
+    // ----------------------------------------------------------- program --
+
+    /// Emits facts, the side-effect helper, the countdown predicate, and
+    /// the rule layers. Returns the full callee pool and the predicates
+    /// queries should target.
+    fn emit_program(&mut self) -> (Vec<Callee>, Vec<Callee>) {
+        const ATOMS: [&str; 5] = ["a", "b", "c", "d", "e"];
+        let n_atoms = self.rng.gen_range(2..ATOMS.len() + 1);
+        self.atoms = ATOMS[..n_atoms].to_vec();
+
+        let mut pool: Vec<Callee> = Vec::new();
+
+        // Fact predicates.
+        let n_facts = self.rng.gen_range(2..self.config.max_fact_preds.max(2) + 1);
+        for i in 0..n_facts {
+            let arity = self.rng.gen_range(1..4usize);
+            let name = format!("f{i}");
+            let n_tuples = self.rng.gen_range(1..7usize);
+            let mut last: Option<Vec<Term>> = None;
+            for _ in 0..n_tuples {
+                // Occasional duplicate tuples keep the multiset check honest.
+                let args = match &last {
+                    Some(prev) if self.chance(0.15) => prev.clone(),
+                    _ => (0..arity).map(|_| self.constant()).collect::<Vec<_>>(),
+                };
+                last = Some(args.clone());
+                self.program
+                    .clauses
+                    .push(Clause::fact(Term::app(&name, args)));
+            }
+            pool.push(Callee {
+                name,
+                arity,
+                kind: CalleeKind::Fact,
+            });
+        }
+
+        // Side-effecting helper: its callers become fixed.
+        if self.chance(0.35) {
+            self.program.clauses.push(Clause::rule(
+                Term::app("trace_out", vec![Term::Var(0)]),
+                Body::and(
+                    Body::call("write", vec![Term::Var(0)]),
+                    Body::call("nl", vec![]),
+                ),
+            ));
+            pool.push(Callee {
+                name: "trace_out".into(),
+                arity: 1,
+                kind: CalleeKind::SideEffect,
+            });
+            self.features.fixed = true;
+        }
+
+        // Bounded countdown recursion: count(N, Acc, R) adds N to Acc.
+        if self.chance(0.4) {
+            self.program.clauses.push(Clause::fact(Term::app(
+                "count",
+                vec![Term::Int(0), Term::Var(0), Term::Var(0)],
+            )));
+            let head = Term::app("count", vec![Term::Var(0), Term::Var(1), Term::Var(2)]);
+            let body = Body::conjoin(&[
+                Body::call(">", vec![Term::Var(0), Term::Int(0)]),
+                Body::call(
+                    "is",
+                    vec![
+                        Term::Var(3),
+                        Term::app("-", vec![Term::Var(0), Term::Int(1)]),
+                    ],
+                ),
+                Body::call(
+                    "is",
+                    vec![
+                        Term::Var(4),
+                        Term::app("+", vec![Term::Var(1), Term::Int(1)]),
+                    ],
+                ),
+                Body::call("count", vec![Term::Var(3), Term::Var(4), Term::Var(2)]),
+            ]);
+            self.program.clauses.push(Clause::rule(head, body));
+            pool.push(Callee {
+                name: "count".into(),
+                arity: 3,
+                kind: CalleeKind::Recursive,
+            });
+            self.features.recursion = true;
+            self.features.arithmetic = true;
+        }
+
+        // Rule layers, each calling strictly below itself.
+        let n_layers = self.rng.gen_range(1..self.config.max_layers.max(1) + 1);
+        let mut query_preds: Vec<Callee> = Vec::new();
+        for layer in 0..n_layers {
+            let n_preds = self
+                .rng
+                .gen_range(1..self.config.max_preds_per_layer.max(1) + 1);
+            let mut this_layer: Vec<Callee> = Vec::new();
+            for i in 0..n_preds {
+                let arity = self.rng.gen_range(1..4usize);
+                let name = format!("p{layer}_{i}");
+                let n_clauses = self.rng.gen_range(1..self.config.max_clauses.max(1) + 1);
+                for _ in 0..n_clauses {
+                    let clause = self.emit_rule_clause(&name, arity, &pool);
+                    self.program.clauses.push(clause);
+                }
+                this_layer.push(Callee {
+                    name,
+                    arity,
+                    kind: CalleeKind::Rule,
+                });
+            }
+            query_preds = this_layer.clone();
+            pool.extend(this_layer);
+        }
+        (pool, query_preds)
+    }
+
+    /// One clause of a rule predicate, honouring the grounding-repair
+    /// invariant (see module docs).
+    fn emit_rule_clause(&mut self, name: &str, arity: usize, pool: &[Callee]) -> Clause {
+        let mut ctx = ClauseCtx::with_head_vars(arity);
+        let mut head_args: Vec<Term> = (0..arity).map(Term::Var).collect();
+        // Occasionally constrain the head: a constant or a repeated var.
+        if self.chance(0.2) {
+            let i = self.rng.gen_range(0..arity);
+            head_args[i] = self.constant();
+        } else if arity >= 2 && self.chance(0.15) {
+            let i = self.rng.gen_range(1..arity);
+            head_args[i] = Term::Var(0);
+        }
+
+        let n_goals = self.rng.gen_range(1..self.config.max_goals.max(1) + 1);
+        let mut goals: Vec<Body> = Vec::new();
+        for _ in 0..n_goals {
+            let goal = self.emit_goal(&mut ctx, pool);
+            goals.push(goal);
+        }
+
+        // Cut: spliced at a random position with low probability.
+        if self.chance(0.15) {
+            let at = self.rng.gen_range(0..goals.len() + 1);
+            goals.insert(at, Body::Cut);
+            self.features.cut = true;
+        }
+
+        // Grounding repair: every head variable must be surely bound.
+        let head_term = Term::app(name, head_args);
+        for v in head_term.variables() {
+            if !ctx.surely_bound.contains(&v) {
+                let grounder = self.grounding_call(v, &mut ctx, pool);
+                goals.push(grounder);
+            }
+        }
+
+        let var_names = ctx.var_names();
+        Clause {
+            head: head_term,
+            body: Body::conjoin(&goals),
+            var_names,
+        }
+    }
+
+    /// A plain fact/rule call that surely grounds `v`.
+    fn grounding_call(&mut self, v: usize, ctx: &mut ClauseCtx, pool: &[Callee]) -> Body {
+        let grounding: Vec<Callee> = pool
+            .iter()
+            .filter(|c| matches!(c.kind, CalleeKind::Fact | CalleeKind::Rule))
+            .cloned()
+            .collect();
+        let callee = self.pick(&grounding).clone();
+        let slot = self.rng.gen_range(0..callee.arity);
+        let args: Vec<Term> = (0..callee.arity)
+            .map(|i| {
+                if i == slot {
+                    Term::Var(v)
+                } else if self.chance(0.5) {
+                    Term::Var(ctx.fresh())
+                } else {
+                    self.constant()
+                }
+            })
+            .collect();
+        for var in Term::app(&callee.name, args.clone()).variables() {
+            ctx.mark_bound(var);
+        }
+        Body::call(&callee.name, args)
+    }
+
+    /// One top-level body goal.
+    fn emit_goal(&mut self, ctx: &mut ClauseCtx, pool: &[Callee]) -> Body {
+        let roll = self.rng.gen_range(0..100u32);
+        match roll {
+            // Plain call: the workhorse, weighted heaviest.
+            0..=44 => self.emit_plain_call(ctx, pool),
+            // Arithmetic evaluation (needs nothing: literals always work).
+            45..=57 => self.emit_arith(ctx),
+            // Comparison test.
+            58..=69 => self.emit_test(ctx),
+            // Negation.
+            70..=79 => {
+                self.features.negation = true;
+                let inner = self.inner_call(ctx, pool, false);
+                Body::negate(inner)
+            }
+            // Disjunction of two calls.
+            80..=89 => {
+                self.features.disjunction = true;
+                let a = self.inner_call(ctx, pool, false);
+                let b = self.inner_call(ctx, pool, false);
+                Body::or(a, b)
+            }
+            // If-then-else.
+            _ => {
+                self.features.if_then_else = true;
+                let c = self.inner_call(ctx, pool, false);
+                let t = if self.chance(0.7) {
+                    self.inner_call(ctx, pool, false)
+                } else {
+                    Body::True
+                };
+                let e = if self.chance(0.7) {
+                    self.inner_call(ctx, pool, false)
+                } else {
+                    Body::Fail
+                };
+                Body::if_then_else(c, t, e)
+            }
+        }
+    }
+
+    /// A plain top-level call; its variable arguments become surely bound
+    /// (fact/rule/recursive callees ground their arguments on success).
+    fn emit_plain_call(&mut self, ctx: &mut ClauseCtx, pool: &[Callee]) -> Body {
+        let callee = self.pick(pool).clone();
+        let args = self.call_args(&callee, ctx);
+        if matches!(
+            callee.kind,
+            CalleeKind::Fact | CalleeKind::Rule | CalleeKind::Recursive
+        ) {
+            for v in Term::app(&callee.name, args.clone()).variables() {
+                ctx.mark_bound(v);
+                if callee.kind == CalleeKind::Recursive {
+                    // count/3 only traffics in integers.
+                    if !ctx.int_vars.contains(&v) {
+                        ctx.int_vars.push(v);
+                    }
+                }
+            }
+        }
+        Body::call(&callee.name, args)
+    }
+
+    /// A call used inside a control construct: argument variables do NOT
+    /// become surely bound (negation binds nothing; disjunction and
+    /// if-then-else bind only on some paths). When `bound_only`, every
+    /// argument is a surely-bound variable or a constant.
+    fn inner_call(&mut self, ctx: &mut ClauseCtx, pool: &[Callee], bound_only: bool) -> Body {
+        let choices: Vec<Callee> = pool
+            .iter()
+            .filter(|c| matches!(c.kind, CalleeKind::Fact | CalleeKind::Rule))
+            .cloned()
+            .collect();
+        let callee = self.pick(&choices).clone();
+        let args: Vec<Term> = (0..callee.arity)
+            .map(|_| {
+                if !ctx.surely_bound.is_empty() && self.chance(0.5) {
+                    Term::Var(*self.pick(&ctx.surely_bound.clone()))
+                } else if !bound_only && !ctx.available.is_empty() && self.chance(0.4) {
+                    Term::Var(*self.pick(&ctx.available.clone()))
+                } else {
+                    self.constant()
+                }
+            })
+            .collect();
+        Body::call(&callee.name, args)
+    }
+
+    /// Arguments for a plain call, shaped by the callee kind.
+    fn call_args(&mut self, callee: &Callee, ctx: &mut ClauseCtx) -> Vec<Term> {
+        match callee.kind {
+            CalleeKind::Recursive => {
+                // count(N, Acc, R): N and Acc must evaluate to integers at
+                // call time — literals keep the original program error-free.
+                let n = self
+                    .rng
+                    .gen_range(0..self.config.recursion_depth.max(1) + 1);
+                let acc = self.rng.gen_range(0..4i64);
+                let r = if !ctx.available.is_empty() && self.chance(0.3) {
+                    Term::Var(*self.pick(&ctx.available.clone()))
+                } else {
+                    Term::Var(ctx.fresh())
+                };
+                vec![Term::Int(n), Term::Int(acc), r]
+            }
+            CalleeKind::SideEffect => {
+                let arg = if !ctx.surely_bound.is_empty() && self.chance(0.7) {
+                    Term::Var(*self.pick(&ctx.surely_bound.clone()))
+                } else {
+                    self.constant()
+                };
+                vec![arg]
+            }
+            CalleeKind::Fact | CalleeKind::Rule => (0..callee.arity)
+                .map(|_| {
+                    let roll = self.rng.gen_range(0..100u32);
+                    if roll < 45 && !ctx.available.is_empty() {
+                        Term::Var(*self.pick(&ctx.available.clone()))
+                    } else if roll < 70 {
+                        Term::Var(ctx.fresh())
+                    } else {
+                        self.constant()
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// `V is E` over integer-valued operands; the result var is an
+    /// integer var usable in arithmetic comparisons.
+    fn emit_arith(&mut self, ctx: &mut ClauseCtx) -> Body {
+        self.features.arithmetic = true;
+        let operand = |gen: &mut Self, ctx: &ClauseCtx| {
+            if !ctx.int_vars.is_empty() && gen.chance(0.5) {
+                Term::Var(*gen.pick(&ctx.int_vars.clone()))
+            } else {
+                Term::Int(gen.rng.gen_range(0..5i64))
+            }
+        };
+        let a = operand(self, ctx);
+        let b = operand(self, ctx);
+        let op = *self.pick(&["+", "-", "*"]);
+        let v = ctx.fresh();
+        ctx.mark_bound(v);
+        ctx.int_vars.push(v);
+        Body::call("is", vec![Term::Var(v), Term::app(op, vec![a, b])])
+    }
+
+    /// A deterministic test goal: arithmetic comparison over integer vars
+    /// and literals, or a structural comparison (total on all terms).
+    fn emit_test(&mut self, ctx: &mut ClauseCtx) -> Body {
+        let int_operand = |gen: &mut Self, ctx: &ClauseCtx| {
+            if !ctx.int_vars.is_empty() && gen.chance(0.6) {
+                Term::Var(*gen.pick(&ctx.int_vars.clone()))
+            } else {
+                Term::Int(gen.rng.gen_range(0..5i64))
+            }
+        };
+        if !ctx.int_vars.is_empty() && self.chance(0.5) {
+            self.features.arithmetic = true;
+            let op = *self.pick(&["<", "=<", ">", ">=", "=:=", "=\\="]);
+            let a = int_operand(self, ctx);
+            let b = int_operand(self, ctx);
+            Body::call(op, vec![a, b])
+        } else {
+            let op = *self.pick(&["==", "\\==", "@<", "@=<"]);
+            let operand = |gen: &mut Self, ctx: &ClauseCtx| {
+                if !ctx.surely_bound.is_empty() && gen.chance(0.6) {
+                    Term::Var(*gen.pick(&ctx.surely_bound.clone()))
+                } else {
+                    gen.constant()
+                }
+            };
+            let a = operand(self, ctx);
+            let b = operand(self, ctx);
+            Body::call(op, vec![a, b])
+        }
+    }
+
+    // ----------------------------------------------------------- queries --
+
+    /// Query workload: each targeted predicate is exercised all-free,
+    /// all-bound, and in a random mixed instantiation.
+    fn emit_queries(&mut self, query_preds: &[Callee], pool: &[Callee]) -> Vec<Query> {
+        // Prefer top-layer predicates; fall back to anything callable.
+        let targets: Vec<Callee> = if query_preds.is_empty() {
+            pool.iter()
+                .filter(|c| c.kind == CalleeKind::Fact)
+                .cloned()
+                .collect()
+        } else {
+            query_preds.to_vec()
+        };
+        let mut queries = Vec::new();
+        for target in &targets {
+            if queries.len() >= self.config.max_queries {
+                break;
+            }
+            // All-free: the mode the paper's tables report first.
+            queries.push(self.query_with(target, &|_gen, _i| None));
+            if queries.len() >= self.config.max_queries {
+                break;
+            }
+            // All-bound.
+            queries.push(self.query_with(target, &|gen, _i| Some(gen.constant())));
+            if queries.len() >= self.config.max_queries {
+                break;
+            }
+            // Mixed.
+            if target.arity >= 2 {
+                queries.push(self.query_with(target, &|gen, _i| {
+                    if gen.chance(0.5) {
+                        Some(gen.constant())
+                    } else {
+                        None
+                    }
+                }));
+            }
+        }
+        queries
+    }
+
+    /// Builds one query; `bind(i)` returns `Some(constant)` for bound
+    /// argument positions and `None` for free ones.
+    fn query_with(
+        &mut self,
+        target: &Callee,
+        bind: &dyn Fn(&mut Self, usize) -> Option<Term>,
+    ) -> Query {
+        let mut var_names = Vec::new();
+        let args: Vec<Term> = (0..target.arity)
+            .map(|i| match bind(self, i) {
+                Some(c) => c,
+                None => {
+                    let v = var_names.len();
+                    var_names.push(format!("V{v}"));
+                    Term::Var(v)
+                }
+            })
+            .collect();
+        Query {
+            goal: Term::app(&target.name, args),
+            var_names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = GenConfig::default();
+        let a = generate_case(42, &config);
+        let b = generate_case(42, &config);
+        assert_eq!(
+            prolog_syntax::pretty::program_to_string(&a.program),
+            prolog_syntax::pretty::program_to_string(&b.program)
+        );
+        assert_eq!(a.queries.len(), b.queries.len());
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa.to_string(), qb.to_string());
+        }
+        let c = generate_case(43, &config);
+        assert_ne!(
+            prolog_syntax::pretty::program_to_string(&a.program),
+            prolog_syntax::pretty::program_to_string(&c.program),
+        );
+    }
+
+    #[test]
+    fn generated_programs_reparse() {
+        let config = GenConfig::default();
+        for seed in 0..50 {
+            let case = generate_case(seed, &config);
+            let text = prolog_syntax::pretty::program_to_string(&case.program);
+            let reparsed = prolog_syntax::parse_program(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: emitted program must parse: {e}\n{text}"));
+            assert_eq!(reparsed.clauses.len(), case.program.clauses.len());
+            assert!(!case.queries.is_empty(), "seed {seed}: no queries");
+        }
+    }
+
+    #[test]
+    fn feature_surface_is_reached_quickly() {
+        let config = GenConfig::default();
+        let mut seen = Features::default();
+        for seed in 0..200 {
+            let f = generate_case(seed, &config).features;
+            seen.cut |= f.cut;
+            seen.negation |= f.negation;
+            seen.disjunction |= f.disjunction;
+            seen.if_then_else |= f.if_then_else;
+            seen.arithmetic |= f.arithmetic;
+            seen.fixed |= f.fixed;
+            seen.recursion |= f.recursion;
+        }
+        for (name, present) in seen.items() {
+            assert!(present, "200 seeds never produced {name}");
+        }
+    }
+}

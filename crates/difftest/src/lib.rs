@@ -1,0 +1,36 @@
+//! Differential testing of the reordering pipeline.
+//!
+//! The paper's safety argument — fixity, semifixity, barriers, and legal
+//! modes guarantee the transformed program computes the same answers —
+//! is only as good as the workloads it is checked on. This crate widens
+//! the check from three hand-written workloads to an unbounded family of
+//! generated ones:
+//!
+//! * [`generate`] draws well-formed, mode-exercising Prolog programs from
+//!   a seeded stream: facts over small Herbrand domains, stratified rule
+//!   layers, bounded recursion, cut, negation, disjunction, if-then-else,
+//!   arithmetic and test built-ins, and fixed (side-effecting)
+//!   predicates — plus per-program query workloads in several
+//!   instantiation modes.
+//! * [`oracle`] runs each program and its reordered output through the
+//!   real engine and demands: identical solution multisets per query,
+//!   side-effect output preserved (as a line multiset), call counters
+//!   within a configurable budget, and byte-identical emission across
+//!   `--jobs 1/2/8`.
+//! * [`shrink`] minimises a failing case by deleting queries, clauses,
+//!   and goals while the discrepancy persists, so a failure is reported
+//!   as a small, seed-reproducible program.
+//! * [`corpus`] persists shrunk reproducers under `tests/corpus/` where a
+//!   replay test turns them into permanent regression fixtures.
+//!
+//! The `difftest` binary drives all four (see `src/bin/difftest.rs`).
+
+pub mod corpus;
+pub mod generate;
+pub mod oracle;
+pub mod shrink;
+
+pub use corpus::{load_case, render_case, save_case};
+pub use generate::{generate_case, Features, GenConfig, Query, TestCase};
+pub use oracle::{run_case, CaseOutcome, Discrepancy, InjectedBug, OracleConfig};
+pub use shrink::{shrink_case, ShrinkStats};

@@ -1,0 +1,204 @@
+//! Bounded greedy shrinking of a failing case.
+//!
+//! The shrinker never re-generates — it only deletes, so every candidate
+//! stays within the generator's well-formedness envelope (orphaned calls
+//! are fine: the oracle runs with `unknown_fails` on both sides). Order
+//! of attack:
+//!
+//! 1. reduce the workload to a single failing query;
+//! 2. delete whole clauses, one at a time, while the discrepancy
+//!    persists;
+//! 3. delete top-level body goals the same way;
+//! 4. repeat 2–3 to a fixpoint.
+//!
+//! Every candidate costs one oracle run (two engine loads plus the
+//! reordering pipeline), so the total number of runs is capped; a capped
+//! shrink still returns the smallest failing case found so far.
+
+use crate::generate::TestCase;
+use crate::oracle::{run_case, OracleConfig};
+use prolog_syntax::Body;
+
+/// What a shrink run did, for reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShrinkStats {
+    /// Oracle invocations spent (≤ the run budget).
+    pub oracle_runs: usize,
+    pub queries_removed: usize,
+    pub clauses_removed: usize,
+    pub goals_removed: usize,
+    /// `true` if the run budget expired before reaching a fixpoint.
+    pub budget_exhausted: bool,
+}
+
+struct Shrinker<'a> {
+    config: &'a OracleConfig,
+    max_runs: usize,
+    stats: ShrinkStats,
+}
+
+impl Shrinker<'_> {
+    /// One oracle run; `None` once the budget is spent.
+    fn still_fails(&mut self, case: &TestCase) -> Option<bool> {
+        if self.stats.oracle_runs >= self.max_runs {
+            self.stats.budget_exhausted = true;
+            return None;
+        }
+        self.stats.oracle_runs += 1;
+        Some(run_case(case, self.config).discrepancy.is_some())
+    }
+
+    fn reduce_queries(&mut self, case: &mut TestCase) {
+        // Prefer the strongest cut: a single query that fails alone.
+        for i in 0..case.queries.len() {
+            let mut candidate = case.clone();
+            let query = candidate.queries.swap_remove(i);
+            candidate.queries = vec![query];
+            match self.still_fails(&candidate) {
+                Some(true) => {
+                    self.stats.queries_removed += case.queries.len() - 1;
+                    *case = candidate;
+                    return;
+                }
+                Some(false) => continue,
+                None => return,
+            }
+        }
+        // The failure needs several queries (e.g. a budget divergence
+        // that only accumulates); fall back to one-at-a-time removal.
+        let mut i = 0;
+        while i < case.queries.len() && case.queries.len() > 1 {
+            let mut candidate = case.clone();
+            candidate.queries.remove(i);
+            match self.still_fails(&candidate) {
+                Some(true) => {
+                    self.stats.queries_removed += 1;
+                    *case = candidate;
+                }
+                Some(false) => i += 1,
+                None => return,
+            }
+        }
+    }
+
+    /// One pass of clause deletion; returns `true` if anything shrank.
+    fn clause_pass(&mut self, case: &mut TestCase) -> bool {
+        let mut shrank = false;
+        let mut i = 0;
+        while i < case.program.clauses.len() {
+            let mut candidate = case.clone();
+            candidate.program.clauses.remove(i);
+            match self.still_fails(&candidate) {
+                Some(true) => {
+                    self.stats.clauses_removed += 1;
+                    *case = candidate;
+                    shrank = true;
+                }
+                Some(false) => i += 1,
+                None => return shrank,
+            }
+        }
+        shrank
+    }
+
+    /// One pass of top-level goal deletion; returns `true` if anything
+    /// shrank.
+    fn goal_pass(&mut self, case: &mut TestCase) -> bool {
+        let mut shrank = false;
+        for ci in 0..case.program.clauses.len() {
+            let mut gi = 0;
+            loop {
+                let goals: Vec<Body> = case.program.clauses[ci]
+                    .body
+                    .conjuncts()
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                // A bare `true` body has nothing left to delete.
+                if gi >= goals.len() || goals == [Body::True] {
+                    break;
+                }
+                let mut remaining = goals;
+                remaining.remove(gi);
+                let mut candidate = case.clone();
+                candidate.program.clauses[ci].body = Body::conjoin(&remaining);
+                match self.still_fails(&candidate) {
+                    Some(true) => {
+                        self.stats.goals_removed += 1;
+                        *case = candidate;
+                        shrank = true;
+                    }
+                    Some(false) => gi += 1,
+                    None => return shrank,
+                }
+            }
+        }
+        shrank
+    }
+}
+
+/// Greedily minimises `case`, spending at most `max_runs` oracle runs.
+///
+/// The caller should only pass a case that currently fails; the shrinker
+/// preserves "some discrepancy persists" rather than the exact original
+/// discrepancy, which keeps minima small when one root cause shows up
+/// through several queries.
+pub fn shrink_case(
+    case: &TestCase,
+    config: &OracleConfig,
+    max_runs: usize,
+) -> (TestCase, ShrinkStats) {
+    let mut shrinker = Shrinker {
+        config,
+        max_runs,
+        stats: ShrinkStats::default(),
+    };
+    let mut best = case.clone();
+    shrinker.reduce_queries(&mut best);
+    loop {
+        let mut shrank = shrinker.clause_pass(&mut best);
+        shrank |= shrinker.goal_pass(&mut best);
+        if !shrank || shrinker.stats.budget_exhausted {
+            break;
+        }
+    }
+    (best, shrinker.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_case, GenConfig};
+    use crate::oracle::InjectedBug;
+
+    #[test]
+    fn shrinks_injected_bug_to_small_reproducer() {
+        let gen_config = GenConfig::default();
+        let oracle_config = OracleConfig {
+            check_jobs: false,
+            inject: InjectedBug::DropClause,
+            ..Default::default()
+        };
+        // Find an early seed the injected bug actually breaks.
+        let (seed, case) = (0..50)
+            .map(|s| (s, generate_case(s, &gen_config)))
+            .find(|(_, c)| run_case(c, &oracle_config).discrepancy.is_some())
+            .expect("an injected dropped clause should break an early seed");
+        let before = case.program.clauses.len();
+        let (min, stats) = shrink_case(&case, &oracle_config, 400);
+        assert!(
+            run_case(&min, &oracle_config).discrepancy.is_some(),
+            "seed {seed}: shrunk case no longer fails"
+        );
+        assert_eq!(
+            min.queries.len(),
+            1,
+            "seed {seed}: should isolate one query"
+        );
+        assert!(
+            min.program.clauses.len() < before,
+            "seed {seed}: removed no clauses ({before} before)"
+        );
+        assert!(stats.oracle_runs > 0);
+    }
+}

@@ -7,13 +7,90 @@
 //! `prop_oneof!`, `prop::collection::vec`, `any::<T>()`, and the
 //! `proptest!` / `prop_assert*` macros.
 //!
-//! Semantics differ from real proptest in two deliberate ways: inputs are
-//! drawn from a *deterministic* per-test stream (seeded from the test
-//! name, so failures reproduce exactly without a persistence file), and
-//! there is **no shrinking** — a failing case panics with the generated
-//! values in the assertion message instead of a minimised counterexample.
+//! Semantics differ from real proptest in two deliberate ways. Inputs
+//! are drawn from a *deterministic* per-test stream (seeded from the
+//! test name, so failures reproduce exactly without a persistence file).
+//! And shrinking is *greedy* rather than tree-based: on a failing case
+//! the runner asks each strategy for strictly-smaller candidates
+//! ([`strategy::Strategy::shrink`]), descends componentwise while the
+//! property keeps failing (bounded by a fixed candidate budget), prints
+//! the minimised counterexample, and re-runs it uncaught so the test
+//! fails with the real assertion. Integer ranges shrink toward their
+//! start, `any::<T>()` toward zero, and `prop::collection::vec` by
+//! dropping elements and shrinking survivors; `Just`, string patterns,
+//! and `prop_map` outputs do not shrink.
 
 pub mod strategy;
+
+pub mod runner {
+    //! Drives `proptest!`-declared properties: generation, failure
+    //! detection, and greedy minimisation.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Candidate evaluations spent minimising one failure. Greedy descent
+    /// usually needs far fewer; the cap bounds pathological strategies.
+    const SHRINK_BUDGET: usize = 512;
+
+    fn fails<V>(test: &impl Fn(&V), value: &V) -> bool {
+        catch_unwind(AssertUnwindSafe(|| test(value))).is_err()
+    }
+
+    /// Greedy descent: repeatedly replaces `current` with the first
+    /// shrink candidate that still fails, until no candidate fails or
+    /// the budget runs out. `test` signals failure by panicking.
+    pub fn minimize<S: Strategy>(
+        strategy: &S,
+        mut current: S::Value,
+        test: &impl Fn(&S::Value),
+    ) -> S::Value {
+        let mut budget = SHRINK_BUDGET;
+        'descend: while budget > 0 {
+            for candidate in strategy.shrink(&current) {
+                if budget == 0 {
+                    break 'descend;
+                }
+                budget -= 1;
+                if fails(test, &candidate) {
+                    current = candidate;
+                    continue 'descend;
+                }
+            }
+            break;
+        }
+        current
+    }
+
+    /// Runs `cases` draws of `strategy` through `test`. On failure the
+    /// case is minimised (quietly — candidate panics are expected and
+    /// suppressed), the counterexample printed, and the minimal case
+    /// re-run uncaught so the test dies with its real assertion message.
+    pub fn run_cases<S>(label: &str, cases: u32, strategy: &S, test: impl Fn(&S::Value))
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+    {
+        let mut rng = TestRng::deterministic(label);
+        for case in 0..cases {
+            let values = strategy.generate(&mut rng);
+            if !fails(&test, &values) {
+                continue;
+            }
+            let prev_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let minimal = minimize(strategy, values, &test);
+            std::panic::set_hook(prev_hook);
+            eprintln!(
+                "proptest: {label}: case {}/{cases} failed; minimal counterexample: {minimal:?}",
+                case + 1
+            );
+            test(&minimal);
+            unreachable!("proptest: {label}: minimal counterexample no longer fails");
+        }
+    }
+}
 
 pub mod test_runner {
     /// Run configuration. Mirrors `proptest::test_runner::Config`.
@@ -138,12 +215,40 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.end - self.size.start) as u64;
             let len = self.size.start + rng.below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        /// Length shrinking first (halve, then drop each element), then
+        /// in-place element shrinking — all candidates stay at or above
+        /// the strategy's minimum length.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.size.start;
+            let mut out = Vec::new();
+            if value.len() / 2 >= min && value.len() / 2 < value.len() {
+                out.push(value[..value.len() / 2].to_vec());
+            }
+            if value.len() > min {
+                for i in 0..value.len() {
+                    let mut shorter = value.clone();
+                    shorter.remove(i);
+                    out.push(shorter);
+                }
+            }
+            for i in 0..value.len() {
+                for candidate in self.element.shrink(&value[i]).into_iter().take(2) {
+                    let mut smaller = value.clone();
+                    smaller[i] = candidate;
+                    out.push(smaller);
+                }
+            }
+            out
         }
     }
 }
@@ -183,7 +288,8 @@ macro_rules! prop_assert_ne {
 }
 
 /// Declares property tests: each `fn` runs `config.cases` times with
-/// fresh inputs drawn from its strategies.
+/// fresh inputs drawn from its strategies; a failing case is minimised
+/// by greedy componentwise shrinking before the test dies with it.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -197,13 +303,16 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::Config = $config;
-                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
-                    module_path!(), "::", stringify!($name)
-                ));
-                for _case in 0..config.cases {
-                    $(let $pat = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
-                    $body
-                }
+                let __strategy = ($($strategy,)+);
+                $crate::runner::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config.cases,
+                    &__strategy,
+                    |__values| {
+                        let ($($pat,)+) = ::std::clone::Clone::clone(__values);
+                        $body
+                    },
+                );
             }
         )*
     };
@@ -262,6 +371,71 @@ mod tests {
             (inner.clone(), inner).prop_map(|(mut a, b)| { a.extend(b); a })
         })) {
             prop_assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn range_shrink_candidates_stay_in_range_and_decrease() {
+        let strategy = 10u32..100;
+        let candidates = strategy.shrink(&57);
+        assert!(!candidates.is_empty());
+        assert!(candidates.iter().all(|&c| (10..57).contains(&c)));
+        assert!(candidates.contains(&10), "should jump straight to start");
+        assert!(strategy.shrink(&10).is_empty(), "start is minimal");
+    }
+
+    #[test]
+    fn signed_full_range_shrinks_toward_zero() {
+        let strategy = any::<i32>();
+        let candidates = Strategy::shrink(&strategy, &-8);
+        assert!(candidates.contains(&0));
+        assert!(candidates.contains(&-4));
+        assert!(candidates.contains(&-7));
+        assert!(Strategy::shrink(&strategy, &0).is_empty());
+    }
+
+    #[test]
+    fn minimize_finds_boundary_of_failing_range() {
+        // Property: n < 10. Failing from 99, the minimum failing input
+        // is exactly the boundary.
+        let strategy = (0u32..100,);
+        let minimal = crate::runner::minimize(&strategy, (99,), &|v| assert!(v.0 < 10));
+        assert_eq!(minimal, (10,));
+    }
+
+    #[test]
+    fn minimize_isolates_offending_vec_element() {
+        // Property: no element equals 42. The minimum failing vector is
+        // the single offending element.
+        let strategy = (prop::collection::vec(0u8..100, 1..8),);
+        let minimal = crate::runner::minimize(&strategy, (vec![3, 42, 7, 42],), &|v| {
+            assert!(!v.0.contains(&42))
+        });
+        assert_eq!(minimal, (vec![42u8],));
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_length() {
+        let strategy = prop::collection::vec(0u8..100, 2..8);
+        let value = vec![5u8, 6, 7];
+        for candidate in strategy.shrink(&value) {
+            assert!(candidate.len() >= 2, "candidate {candidate:?} too short");
+        }
+        // At the minimum length only element shrinks remain.
+        for candidate in strategy.shrink(&vec![9u8, 9]) {
+            assert_eq!(candidate.len(), 2);
+        }
+    }
+
+    #[test]
+    fn componentwise_shrink_changes_one_position() {
+        let strategy = (0u8..50, 0u8..50);
+        for (a, b) in strategy.shrink(&(30, 40)) {
+            assert!(
+                (a == 30) ^ (b == 40) || (a < 30 && b == 40) || (a == 30 && b < 40),
+                "candidate ({a}, {b}) changed both positions"
+            );
+            assert!(a <= 30 && b <= 40);
         }
     }
 

@@ -1,17 +1,33 @@
 //! The [`Strategy`] trait and the combinators the workspace's property
-//! tests use. Strategies are generation-only: `generate` draws one value
-//! from the deterministic test stream; there is no shrink tree.
+//! tests use. `generate` draws one value from the deterministic test
+//! stream; `shrink` proposes strictly-smaller candidates for a failing
+//! value (no lazy shrink tree — the runner re-tests candidates greedily).
 
 use crate::test_runner::TestRng;
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::rc::Rc;
 
+/// Inserts `candidate` unless it is already present.
+fn push_unique<T: PartialEq>(out: &mut Vec<T>, candidate: T) {
+    if !out.contains(&candidate) {
+        out.push(candidate);
+    }
+}
+
 /// A recipe for generating values of `Self::Value`.
 pub trait Strategy {
     type Value;
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, each strictly "smaller" so
+    /// greedy descent terminates. The runner keeps a candidate only if
+    /// the property still fails on it; an empty list stops the descent.
+    /// Default: not shrinkable (`Just`, `prop_map` outputs, patterns).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transforms generated values.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -61,11 +77,15 @@ pub trait Strategy {
 /// Object-safe view used by [`BoxedStrategy`] and [`Union`].
 trait DynStrategy<V> {
     fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    fn shrink_dyn(&self, value: &V) -> Vec<V>;
 }
 
 impl<S: Strategy> DynStrategy<S::Value> for S {
     fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
+    }
+    fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -82,6 +102,9 @@ impl<V> Strategy for BoxedStrategy<V> {
     type Value = V;
     fn generate(&self, rng: &mut TestRng) -> V {
         self.0.generate_dyn(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.0.shrink_dyn(value)
     }
 }
 
@@ -120,6 +143,11 @@ impl<V> Strategy for Union<V> {
         let i = rng.below(self.arms.len() as u64) as usize;
         self.arms[i].generate(rng)
     }
+    /// The generating arm is unknown after the fact, so every arm gets to
+    /// propose candidates; the runner's re-test filters out nonsense.
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.arms.iter().flat_map(|arm| arm.shrink(value)).collect()
+    }
 }
 
 /// Output of [`Strategy::prop_map`].
@@ -151,6 +179,20 @@ macro_rules! impl_full_range {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
             }
+            /// Shrinks toward zero: zero itself, the halfway point, and
+            /// one step closer.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0 as $t];
+                push_unique(&mut out, v / 2);
+                #[allow(unused_comparisons)]
+                let step = if v > 0 { v - 1 } else { v + 1 };
+                push_unique(&mut out, step);
+                out
+            }
         }
     )*};
 }
@@ -162,6 +204,13 @@ impl Strategy for FullRange<bool> {
     fn generate(&self, rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
     }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 macro_rules! impl_range_strategy_int {
@@ -172,6 +221,19 @@ macro_rules! impl_range_strategy_int {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = self.end.wrapping_sub(self.start) as u64;
                 self.start.wrapping_add(rng.below(span) as $t)
+            }
+            /// Shrinks toward the range start: the start itself, the
+            /// halfway point, and one step closer.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                if v <= self.start {
+                    return Vec::new();
+                }
+                let mut out = vec![self.start];
+                let dist = v.wrapping_sub(self.start) as u64;
+                push_unique(&mut out, self.start.wrapping_add((dist / 2) as $t));
+                push_unique(&mut out, v - 1);
+                out
             }
         }
     )*};
@@ -185,6 +247,18 @@ impl Strategy for Range<f64> {
         assert!(self.start < self.end, "empty range strategy");
         self.start + rng.unit_f64() * (self.end - self.start)
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let v = *value;
+        let mut out = Vec::new();
+        if self.start < v {
+            out.push(self.start);
+            let mid = self.start + (v - self.start) / 2.0;
+            if mid < v && mid > self.start {
+                out.push(mid);
+            }
+        }
+        out
+    }
 }
 
 impl Strategy for Range<f32> {
@@ -192,30 +266,179 @@ impl Strategy for Range<f32> {
     fn generate(&self, rng: &mut TestRng) -> f32 {
         (self.start as f64 + rng.unit_f64() * (self.end - self.start) as f64) as f32
     }
-}
-
-// ---------------------------------------------------------------------
-// Tuples of strategies generate tuples of values.
-// ---------------------------------------------------------------------
-
-macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
-            type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
-            fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+    fn shrink(&self, value: &f32) -> Vec<f32> {
+        let v = *value;
+        let mut out = Vec::new();
+        if self.start < v {
+            out.push(self.start);
+            let mid = self.start + (v - self.start) / 2.0;
+            if mid < v && mid > self.start {
+                out.push(mid);
             }
         }
-    };
+        out
+    }
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
+// ---------------------------------------------------------------------
+// Tuples of strategies generate tuples of values. Shrinking is
+// componentwise (each candidate simplifies exactly one position), which
+// needs `Clone` on the component values — written out per arity because
+// macro repetition cannot express "this position varies, the rest are
+// cloned".
+// ---------------------------------------------------------------------
+
+impl<A: Strategy> Strategy for (A,)
+where
+    A::Value: Clone,
+{
+    type Value = (A::Value,);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng),)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        self.0.shrink(&value.0).into_iter().map(|a| (a,)).collect()
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+{
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        out.extend(self.0.shrink(&value.0).into_iter().map(|a| (a, value.1.clone())));
+        out.extend(self.1.shrink(&value.1).into_iter().map(|b| (value.0.clone(), b)));
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+    C::Value: Clone,
+{
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let (a, b, c) = value;
+        let mut out = Vec::new();
+        out.extend(self.0.shrink(a).into_iter().map(|x| (x, b.clone(), c.clone())));
+        out.extend(self.1.shrink(b).into_iter().map(|x| (a.clone(), x, c.clone())));
+        out.extend(self.2.shrink(c).into_iter().map(|x| (a.clone(), b.clone(), x)));
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+    C::Value: Clone,
+    D::Value: Clone,
+{
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let (a, b, c, d) = value;
+        let mut out = Vec::new();
+        out.extend(
+            self.0
+                .shrink(a)
+                .into_iter()
+                .map(|x| (x, b.clone(), c.clone(), d.clone())),
+        );
+        out.extend(
+            self.1
+                .shrink(b)
+                .into_iter()
+                .map(|x| (a.clone(), x, c.clone(), d.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink(c)
+                .into_iter()
+                .map(|x| (a.clone(), b.clone(), x, d.clone())),
+        );
+        out.extend(
+            self.3
+                .shrink(d)
+                .into_iter()
+                .map(|x| (a.clone(), b.clone(), c.clone(), x)),
+        );
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+    C::Value: Clone,
+    D::Value: Clone,
+    E::Value: Clone,
+{
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+            self.4.generate(rng),
+        )
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let (a, b, c, d, e) = value;
+        let mut out = Vec::new();
+        out.extend(
+            self.0
+                .shrink(a)
+                .into_iter()
+                .map(|x| (x, b.clone(), c.clone(), d.clone(), e.clone())),
+        );
+        out.extend(
+            self.1
+                .shrink(b)
+                .into_iter()
+                .map(|x| (a.clone(), x, c.clone(), d.clone(), e.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink(c)
+                .into_iter()
+                .map(|x| (a.clone(), b.clone(), x, d.clone(), e.clone())),
+        );
+        out.extend(
+            self.3
+                .shrink(d)
+                .into_iter()
+                .map(|x| (a.clone(), b.clone(), c.clone(), x, e.clone())),
+        );
+        out.extend(
+            self.4
+                .shrink(e)
+                .into_iter()
+                .map(|x| (a.clone(), b.clone(), c.clone(), d.clone(), x)),
+        );
+        out
+    }
+}
 
 // ---------------------------------------------------------------------
 // String patterns: `"[a-z][a-z0-9_]{0,6}"` as a Strategy<Value = String>.

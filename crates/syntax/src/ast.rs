@@ -33,6 +33,33 @@ pub enum Body {
 }
 
 impl Body {
+    /// A plain call `name(args…)` — the builder used by program
+    /// generators; zero arguments degenerate to an atom goal.
+    pub fn call(name: &str, args: Vec<Term>) -> Body {
+        Body::Call(Term::app(name, args))
+    }
+
+    /// Conjunction of two bodies.
+    pub fn and(a: Body, b: Body) -> Body {
+        Body::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction of two bodies.
+    pub fn or(a: Body, b: Body) -> Body {
+        Body::Or(Box::new(a), Box::new(b))
+    }
+
+    /// If-then-else `(c -> t ; e)`.
+    pub fn if_then_else(c: Body, t: Body, e: Body) -> Body {
+        Body::IfThenElse(Box::new(c), Box::new(t), Box::new(e))
+    }
+
+    /// Negation as failure `\+ g`. (Named to avoid clashing with
+    /// `std::ops::Not::not`.)
+    pub fn negate(g: Body) -> Body {
+        Body::Not(Box::new(g))
+    }
+
     /// Converts a term (as produced by the reader) into a typed body.
     /// `','`, `';'`, `'->'`, `'\+'`/`not`, `'!'`, `true`, and `fail`/`false`
     /// are given structure; everything else becomes a [`Body::Call`].

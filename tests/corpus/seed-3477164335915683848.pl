@@ -1,0 +1,29 @@
+% difftest reproducer
+% seed: 3477164335915683848
+% discrepancy: emission differs between --jobs 1 and --jobs 8
+% query: p1_0(V0)
+% query: p1_0(c)
+% query: p1_1(V0)
+% query: p1_1(a)
+f0(0).
+f0(a).
+f0(a).
+f0(a).
+
+f1(2, a).
+f1(b, a).
+
+f2(a, a, 1).
+
+count(0, _G0, _G0).
+count(_G0, _G1, _G2) :- _G0 > 0, _G3 is _G0 - 1, _G4 is _G1 + 1, count(_G3, _G4, _G2).
+
+p0_0(X0, X1, X2) :- X3 is 1 - 4, count(2, 3, X4), 0 < X3, X4 == a, f1(1, X0), f0(X1), f0(X2).
+p0_0(X0, X1, X2) :- (f1(X2, 3) -> true ; f1(X1, 0)), f0(X0), f1(X1, b), f0(X2).
+p0_0(X0, X1, X2) :- f0(X0), X0 \== X0, (f2(X0, X0, 0) ; f1(X0, X2)), c \== 2, f1(X1, X3), f0(X2).
+
+p1_0(X0) :- f0(X1), X1 @=< X1, \+ f2(X1, X1, b), f2(X1, X1, b), f0(X0).
+
+p1_1(X0) :- f2(2, X1, X1), f0(X0).
+p1_1(X0) :- (f2(X0, X0, 3) -> f1(X0, X0)), f0(X1), !.
+p1_1(X0) :- f0(X1), f1(2, X0).

@@ -1,0 +1,21 @@
+% difftest reproducer
+% seed: 7010184598893129283
+% discrepancy: emission differs between --jobs 1 and --jobs 8
+% query: p1_1(1, V0, V1)
+f0(b).
+
+f1(a, 1, c).
+f1(1, c, 0).
+f1(0, 2, 3).
+f1(2, 3, 2).
+
+count(0, _G0, _G0).
+count(_G0, _G1, _G2) :- _G0 > 0, _G3 is _G0 - 1, _G4 is _G1 + 1, count(_G3, _G4, _G2).
+
+p0_0(X0, X1) :- (f1(X0, X1, b) -> f1(c, c, X1)), f0(X0), f1(X1, a, X2).
+p0_0(X0, X1) :- f0(d), f0(c), \+ f0(2), f1(1, X0, X2), f1(X1, X3, b).
+
+p1_0(X0, X1, X2) :- f1(c, b, X3), f0(X4), X5 is 4 + 0, p0_0(3, X6), f1(X7, d, X0), f0(X1), f0(X2).
+p1_0(X0, X1, X2) :- (f0(0) -> f0(X1) ; f1(b, b, 1)), count(2, 0, X3), f0(0), f0(X4), p0_0(X0, X5), p0_0(X1, X6), f1(X7, X8, X2).
+
+p1_1(X0, X1, a) :- c @=< a, f1(X3, X0, X4), f1(2, X1, b).

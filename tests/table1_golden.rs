@@ -1,0 +1,145 @@
+//! Golden-file tests pinning the Table I restriction decisions.
+//!
+//! `table1_restrictions.rs` asserts individual properties; this suite
+//! pins the *complete* accept/reject decision surface for a set of
+//! fixture programs — which clauses stay fixed within their predicate
+//! and how each body splits into mobile runs and barriers (cut prefixes,
+//! negation, disjunction, if-then-else, fixed goals). Any change to the
+//! mobility rules shows up as a readable diff against
+//! `tests/golden/<fixture>.expected`.
+//!
+//! To re-pin after an intentional rule change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test table1_golden
+//! ```
+
+use prolog_analysis::{CallGraph, FixityAnalysis};
+use prolog_syntax::parse_program;
+use reorder::blocks::split_blocks;
+use reorder::clause_order::clause_is_mobile;
+use std::path::PathBuf;
+
+const FIXTURES: &[(&str, &str)] = &[
+    (
+        "cut_barrier",
+        "p(X) :- a(X), b(X), !, c(X), d(X).
+         p(X) :- c(X), d(X).
+         q(X) :- a(X), !, b(X), !, c(X).
+         a(1). b(1). c(1). d(1).",
+    ),
+    (
+        "negation_unit",
+        "only(X) :- gen(X), \\+ bad(X), check(X).
+         bad(2).
+         gen(1). gen(2).
+         check(1). check(2).",
+    ),
+    (
+        "disjunction_barrier",
+        "p(X) :- a(X), (b(X) ; c(X)), d(X).
+         nested(X) :- (a(X) ; b(X), c(X)), d(X).
+         a(1). b(1). c(1). d(1).",
+    ),
+    (
+        "if_then_else_barrier",
+        "p(X) :- a(X), (b(X) -> c(X) ; d(X)), a(X).
+         a(1). b(1). c(1). d(1).",
+    ),
+    (
+        "fixed_goals",
+        "p(X) :- a(X), write(X), b(X), c(X).
+         audit(X) :- a(X), p(X).
+         pure(X) :- a(X), b(X), c(X).
+         a(1). b(1). c(1).",
+    ),
+    (
+        "mixed_barriers",
+        "p(X, Y) :- a(X), b(Y), !, c(X), (d(X) ; a(Y)), \\+ b(X), c(Y).
+         a(1). b(1). c(1). d(1).",
+    ),
+];
+
+/// Renders every restriction decision for one fixture: per clause, its
+/// clause-level mobility, then each block with its verdict.
+fn render_decisions(name: &str, src: &str) -> String {
+    let program = parse_program(src).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+    let graph = CallGraph::build(&program);
+    let fixity = FixityAnalysis::compute(&program, &graph);
+    let mut out = format!("fixture: {name}\n");
+    for clause in &program.clauses {
+        if clause.is_fact() {
+            continue;
+        }
+        let verdict = if clause_is_mobile(clause, &fixity) {
+            "mobile"
+        } else {
+            "fixed "
+        };
+        out.push_str(&format!(
+            "clause [{verdict}] {}\n",
+            prolog_syntax::pretty::clause_to_string(clause)
+        ));
+        for block in split_blocks(&clause.body.conjuncts(), &fixity) {
+            let kind = if block.mobile { "mobile " } else { "barrier" };
+            let goals: Vec<String> = block
+                .goals
+                .iter()
+                .map(|g| prolog_syntax::pretty::term_to_string(&g.to_term(), &clause.var_names))
+                .collect();
+            out.push_str(&format!("  {kind}  {}\n", goals.join(", ")));
+        }
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(format!("{name}.expected"))
+}
+
+#[test]
+fn table1_decisions_match_golden_files() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for (name, src) in FIXTURES {
+        let actual = render_decisions(name, src);
+        let path = golden_path(name);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &actual).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden file {}; run UPDATE_GOLDEN=1 cargo test --test table1_golden",
+                path.display()
+            )
+        });
+        assert_eq!(
+            expected,
+            actual,
+            "{name}: Table I decisions drifted from {}.\n\
+             If the change is intentional, re-pin with \
+             UPDATE_GOLDEN=1 cargo test --test table1_golden",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn cut_prefix_is_pinned_as_barrier() {
+    // Sanity independent of the files: the cut fixture must freeze the
+    // pre-cut goals — if the renderer ever stops showing that, the
+    // golden files would silently pin the wrong behaviour.
+    let (name, src) = FIXTURES[0];
+    let rendered = render_decisions(name, src);
+    assert!(
+        rendered.contains("barrier  a(X), b(X), !"),
+        "cut prefix missing from:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("mobile   c(X), d(X)"),
+        "post-cut mobile block missing from:\n{rendered}"
+    );
+}
