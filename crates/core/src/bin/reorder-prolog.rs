@@ -4,11 +4,16 @@
 //!
 //! ```text
 //! usage: reorder-prolog INPUT.pl [-o OUTPUT.pl] [--report] [--timings]
-//!                       [--jobs N] [--no-specialize] [--no-goals]
-//!                       [--no-clauses] [--unfold] [--markov-model]
+//!                       [--timings-json] [--jobs N] [--no-specialize]
+//!                       [--no-goals] [--no-clauses] [--unfold]
+//!                       [--markov-model]
 //! ```
+//!
+//! `INPUT.pl` may be `-` to read the program from stdin. Parse errors
+//! exit nonzero with a `file:line:col: message` diagnostic.
 
-use reorder::{ReorderConfig, Reorderer, UnfoldConfig};
+use reorder::{ReorderConfig, UnfoldConfig};
+use std::io::Read;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,6 +21,7 @@ fn main() {
     let mut output: Option<String> = None;
     let mut report = false;
     let mut timings = false;
+    let mut timings_json = false;
     let mut unfold = false;
     let mut config = ReorderConfig::default();
 
@@ -42,6 +48,7 @@ fn main() {
             }
             "--report" => report = true,
             "--timings" => timings = true,
+            "--timings-json" => timings_json = true,
             "--no-specialize" => config.specialize_modes = false,
             "--no-goals" => config.reorder_goals = false,
             "--no-clauses" => config.reorder_clauses = false,
@@ -50,12 +57,15 @@ fn main() {
             "-h" | "--help" => {
                 eprintln!(
                     "usage: reorder-prolog INPUT.pl [-o OUTPUT.pl] [--report] \
-                     [--timings] [--jobs N] [--no-specialize] [--no-goals] \
-                     [--no-clauses] [--unfold] [--markov-model]\n\
+                     [--timings] [--timings-json] [--jobs N] [--no-specialize] \
+                     [--no-goals] [--no-clauses] [--unfold] [--markov-model]\n\
                      \n\
-                     --jobs N     worker threads for the reordering stage \
+                     INPUT.pl may be - to read the program from stdin\n\
+                     --jobs N        worker threads for the reordering stage \
                      (0 = all cores, 1 = serial; output is identical either way)\n\
-                     --timings    print per-stage wall-clock and cache counters \
+                     --timings       print per-stage wall-clock and cache counters \
+                     on stderr\n\
+                     --timings-json  print the same stats as one JSON object \
                      on stderr"
                 );
                 return;
@@ -73,48 +83,55 @@ fn main() {
         eprintln!("error: no input file (try --help)");
         std::process::exit(2);
     };
-    let src = match std::fs::read_to_string(&input) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot read {input}: {e}");
+    let (name, src) = if input == "-" {
+        let mut src = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut src) {
+            eprintln!("error: cannot read stdin: {e}");
             std::process::exit(1);
         }
-    };
-    let program = match prolog_syntax::parse_program(&src) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {input}: {e}");
-            std::process::exit(1);
+        ("<stdin>".to_string(), src)
+    } else {
+        match std::fs::read_to_string(&input) {
+            Ok(s) => (input.clone(), s),
+            Err(e) => {
+                eprintln!("error: cannot read {input}: {e}");
+                std::process::exit(1);
+            }
         }
     };
 
-    let program = if unfold {
-        let (unfolded, n) = reorder::unfold_program(&program, &UnfoldConfig::default());
-        eprintln!("% unfolded {n} goals");
-        unfolded
-    } else {
-        program
+    let unfold_config = unfold.then(UnfoldConfig::default);
+    let outcome = match reorder::reorder_source_with(&src, &config, unfold_config.as_ref()) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: {name}:{}:{}: {}", e.pos.line, e.pos.col, e.message);
+            std::process::exit(1);
+        }
     };
-    let result = Reorderer::new(&program, config).run();
+    if unfold {
+        eprintln!("% unfolded {} goals", outcome.unfolded_goals);
+    }
     if report {
-        eprintln!("{}", result.report);
+        eprintln!("{}", outcome.report);
     }
     if timings {
-        eprint!("{}", result.report.stats.render());
+        eprint!("{}", outcome.report.stats.render());
     }
-    for warning in &result.report.warnings {
+    if timings_json {
+        eprintln!("{}", outcome.report.stats.to_json());
+    }
+    for warning in &outcome.report.warnings {
         eprintln!("warning: {warning}");
     }
 
-    let text = prolog_syntax::pretty::program_to_string(&result.program);
     match output {
         Some(path) => {
-            if let Err(e) = std::fs::write(&path, text) {
+            if let Err(e) = std::fs::write(&path, &outcome.text) {
                 eprintln!("error: cannot write {path}: {e}");
                 std::process::exit(1);
             }
             eprintln!("% wrote {path}");
         }
-        None => print!("{text}"),
+        None => print!("{}", outcome.text),
     }
 }

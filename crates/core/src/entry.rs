@@ -1,0 +1,110 @@
+//! One-shot source-to-source entry point: Prolog text in, reordered
+//! Prolog text out.
+//!
+//! The `reorder-prolog` CLI and the `reordd` service both need the same
+//! parse → (optionally unfold) → reorder → pretty-print pipeline; this
+//! module is that pipeline behind a single call, so the two front ends
+//! can never disagree about what a program reorders to. Byte-identical
+//! output across callers is load-bearing: the server's content-addressed
+//! cache and the differential tests both compare emitted text directly.
+
+use crate::config::ReorderConfig;
+use crate::driver::Reorderer;
+use crate::report::ReorderReport;
+use crate::unfold::{unfold_program, UnfoldConfig};
+use prolog_syntax::ParseError;
+
+/// Product of [`reorder_source`]: the emitted program text plus the
+/// decision report (which carries [`crate::report::RunStats`]).
+#[derive(Debug)]
+pub struct SourceOutcome {
+    /// The reordered program, pretty-printed — exactly what the CLI
+    /// writes to its output.
+    pub text: String,
+    pub report: ReorderReport,
+    /// Goals inlined by the unfolding pre-pass (0 when disabled).
+    pub unfolded_goals: usize,
+}
+
+/// Parses `src`, runs the reordering pipeline under `config`, and
+/// pretty-prints the result. Returns the parse error (with its 1-based
+/// line/column position) when `src` is not a valid program.
+pub fn reorder_source(src: &str, config: &ReorderConfig) -> Result<SourceOutcome, ParseError> {
+    reorder_source_with(src, config, None)
+}
+
+/// [`reorder_source`] with an optional unfolding pre-pass (the CLI's
+/// `--unfold` flag).
+pub fn reorder_source_with(
+    src: &str,
+    config: &ReorderConfig,
+    unfold: Option<&UnfoldConfig>,
+) -> Result<SourceOutcome, ParseError> {
+    let program = prolog_syntax::parse_program(src)?;
+    let (program, unfolded_goals) = match unfold {
+        Some(unfold_config) => unfold_program(&program, unfold_config),
+        None => (program, 0),
+    };
+    let result = Reorderer::new(&program, config.clone()).run();
+    Ok(SourceOutcome {
+        text: prolog_syntax::pretty::program_to_string(&result.program),
+        report: result.report,
+        unfolded_goals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+        girl(ann). girl(sue).
+        wife(tom, amy). wife(jim, eve).
+        female(X) :- girl(X).
+        female(X) :- wife(_, X).
+        grandmother(GC, GM) :- grandparent(GC, GM), female(GM).
+        grandparent(GC, GP) :- parent(P, GP), parent(GC, P).
+        parent(C, P) :- mother(C, P).
+        parent(C, P) :- mother(C, M), wife(P, M).
+        mother(bob, ann). mother(tom, sue).
+    ";
+
+    #[test]
+    fn matches_the_manual_pipeline_byte_for_byte() {
+        let config = ReorderConfig::default();
+        let outcome = reorder_source(SRC, &config).unwrap();
+        let program = prolog_syntax::parse_program(SRC).unwrap();
+        let manual = Reorderer::new(&program, config).run();
+        assert_eq!(
+            outcome.text,
+            prolog_syntax::pretty::program_to_string(&manual.program)
+        );
+        assert!(outcome.text.contains("grandmother_uu"));
+        assert_eq!(outcome.unfolded_goals, 0);
+        assert!(outcome.report.stats.tasks > 0);
+    }
+
+    #[test]
+    fn surfaces_parse_errors_with_position() {
+        let err = reorder_source("p(1.\nq(", &ReorderConfig::default()).unwrap_err();
+        assert!(err.pos.line >= 1);
+        assert!(err.pos.col >= 1);
+    }
+
+    #[test]
+    fn unfold_pre_pass_is_reported() {
+        let src = "p(X) :- q(X), r(X). q(X) :- s(X). s(1). s(2). r(1).";
+        let outcome = reorder_source_with(
+            src,
+            &ReorderConfig::default(),
+            Some(&UnfoldConfig::default()),
+        )
+        .unwrap();
+        let plain = reorder_source(src, &ReorderConfig::default()).unwrap();
+        // The pre-pass either inlines something or leaves the program
+        // identical; both must stay deterministic.
+        if outcome.unfolded_goals == 0 {
+            assert_eq!(outcome.text, plain.text);
+        }
+    }
+}

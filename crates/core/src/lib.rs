@@ -52,6 +52,7 @@ pub mod config;
 pub mod costs;
 pub mod driver;
 pub mod empirical;
+pub mod entry;
 pub mod oracle;
 pub mod report;
 pub mod scan;
@@ -64,6 +65,7 @@ pub use config::{CostModelKind, ReorderConfig};
 pub use costs::Estimator;
 pub use driver::{ReorderResult, Reorderer};
 pub use empirical::{calibrate, CalibrationConfig, MeasuredCosts};
+pub use entry::{reorder_source, reorder_source_with, SourceOutcome};
 pub use oracle::ModeOracle;
 pub use report::{ModeReport, PredicateReport, ReorderReport, RunStats};
 pub use unfold::{unfold_program, UnfoldConfig};

@@ -88,6 +88,58 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    /// Machine-readable JSON encoding, one flat object with a stable key
+    /// order. Durations are integer microseconds. This is the **shared
+    /// encoder** behind both the CLI's `--timings-json` flag and the
+    /// `reordd` server's `stats` reply, so the two surfaces can never
+    /// drift apart.
+    pub fn to_json(&self) -> String {
+        let us = |d: Duration| d.as_micros();
+        format!(
+            "{{\"jobs\":{},\"tasks\":{},\"planning_us\":{},\"reordering_us\":{},\
+             \"emission_us\":{},\"total_us\":{},\"orders_explored\":{},\
+             \"orders_rejected\":{},\"estimate_hits\":{},\"estimate_misses\":{},\
+             \"chain_hits\":{},\"chain_misses\":{},\"mode_hits\":{},\"mode_misses\":{}}}",
+            self.jobs,
+            self.tasks,
+            us(self.planning),
+            us(self.reordering),
+            us(self.emission),
+            us(self.total),
+            self.orders_explored,
+            self.orders_rejected,
+            self.estimate_hits,
+            self.estimate_misses,
+            self.chain_hits,
+            self.chain_misses,
+            self.mode_hits,
+            self.mode_misses,
+        )
+    }
+
+    /// Accumulates another run's stats into this one: durations and
+    /// counters add, `jobs` keeps the most recent nonzero setting. The
+    /// server aggregates every pipeline run through this to serve its
+    /// `stats` reply.
+    pub fn merge(&mut self, other: &RunStats) {
+        if other.jobs != 0 {
+            self.jobs = other.jobs;
+        }
+        self.tasks += other.tasks;
+        self.planning += other.planning;
+        self.reordering += other.reordering;
+        self.emission += other.emission;
+        self.total += other.total;
+        self.orders_explored += other.orders_explored;
+        self.orders_rejected += other.orders_rejected;
+        self.estimate_hits += other.estimate_hits;
+        self.estimate_misses += other.estimate_misses;
+        self.chain_hits += other.chain_hits;
+        self.chain_misses += other.chain_misses;
+        self.mode_hits += other.mode_hits;
+        self.mode_misses += other.mode_misses;
+    }
+
     fn ratio(hits: u64, misses: u64) -> f64 {
         let total = hits + misses;
         if total == 0 {
@@ -250,5 +302,55 @@ mod tests {
         assert!(text.contains("estimates 126/181 hit (70%)"));
         // Empty counters must not divide by zero.
         assert!(RunStats::default().render().contains("0/0 hit (0%)"));
+    }
+
+    #[test]
+    fn run_stats_json_is_flat_and_stable() {
+        let stats = RunStats {
+            jobs: 2,
+            tasks: 7,
+            planning: Duration::from_micros(1500),
+            reordering: Duration::from_micros(2500),
+            emission: Duration::from_micros(30),
+            total: Duration::from_micros(4100),
+            orders_explored: 11,
+            orders_rejected: 3,
+            estimate_hits: 5,
+            estimate_misses: 4,
+            chain_hits: 2,
+            chain_misses: 1,
+            mode_hits: 9,
+            mode_misses: 8,
+        };
+        let json = stats.to_json();
+        assert_eq!(
+            json,
+            "{\"jobs\":2,\"tasks\":7,\"planning_us\":1500,\"reordering_us\":2500,\
+             \"emission_us\":30,\"total_us\":4100,\"orders_explored\":11,\
+             \"orders_rejected\":3,\"estimate_hits\":5,\"estimate_misses\":4,\
+             \"chain_hits\":2,\"chain_misses\":1,\"mode_hits\":9,\"mode_misses\":8}"
+        );
+    }
+
+    #[test]
+    fn run_stats_merge_accumulates() {
+        let mut total = RunStats::default();
+        let one = RunStats {
+            jobs: 4,
+            tasks: 3,
+            planning: Duration::from_micros(10),
+            total: Duration::from_micros(50),
+            orders_explored: 6,
+            estimate_hits: 2,
+            ..Default::default()
+        };
+        total.merge(&one);
+        total.merge(&one);
+        assert_eq!(total.jobs, 4);
+        assert_eq!(total.tasks, 6);
+        assert_eq!(total.planning, Duration::from_micros(20));
+        assert_eq!(total.total, Duration::from_micros(100));
+        assert_eq!(total.orders_explored, 12);
+        assert_eq!(total.estimate_hits, 4);
     }
 }

@@ -147,6 +147,25 @@ struct Callee {
     kind: CalleeKind,
 }
 
+/// Pretty-printed generated programs for load generation: `count`
+/// `(name, program text)` pairs seeded from `base_seed`. The `reordd`
+/// bench client mixes these in with the fixed evaluation workloads so
+/// the service sees structural variety (cut, negation, if-then-else,
+/// recursion) rather than seven static programs. Deterministic: the same
+/// `(count, base_seed)` always yields the same texts.
+pub fn corpus_texts(count: usize, base_seed: u64, config: &GenConfig) -> Vec<(String, String)> {
+    (0..count as u64)
+        .map(|i| {
+            let seed = base_seed.wrapping_add(i);
+            let case = generate_case(seed, config);
+            (
+                format!("gen-{seed}"),
+                prolog_syntax::pretty::program_to_string(&case.program),
+            )
+        })
+        .collect()
+}
+
 /// Generates the case for `seed`. The same seed always yields the same
 /// program, queries, and features.
 pub fn generate_case(seed: u64, config: &GenConfig) -> TestCase {

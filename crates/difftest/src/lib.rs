@@ -31,6 +31,6 @@ pub mod oracle;
 pub mod shrink;
 
 pub use corpus::{load_case, render_case, save_case};
-pub use generate::{generate_case, Features, GenConfig, Query, TestCase};
+pub use generate::{corpus_texts, generate_case, Features, GenConfig, Query, TestCase};
 pub use oracle::{run_case, CaseOutcome, Discrepancy, InjectedBug, OracleConfig};
 pub use shrink::{shrink_case, ShrinkStats};

@@ -1,0 +1,479 @@
+//! `reordd-bench` — concurrent load generator for the `reordd` daemon.
+//!
+//! ```text
+//! usage: reordd-bench --addr HOST:PORT [--connections N] [--requests N]
+//!                     [--gen N] [--seed S] [--malformed-pct P]
+//!                     [--dup-pct P] [--budget-ms N] [--no-verify]
+//!                     [--require-hits] [--shutdown]
+//! ```
+//!
+//! Drives N concurrent connections with a mix of valid, duplicate (cache
+//! exercising), and malformed requests drawn from the evaluation
+//! workloads (`prolog-workloads::corpus`) plus difftest-generated
+//! programs, then reports throughput, cold/cached latency percentiles,
+//! and the server's own stats. With `--no-verify` off (the default),
+//! every reordered response is checked byte-for-byte against the local
+//! pipeline — the service must be indistinguishable from
+//! `reorder-prolog`.
+//!
+//! Exit status: nonzero on any unexpected error, verification mismatch,
+//! or (with `--require-hits`) a zero server-side cache-hit count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reordd::{Client, ErrorCode, Request, Response, WireConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Opts {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    gen: usize,
+    seed: u64,
+    malformed_pct: u32,
+    dup_pct: u32,
+    budget_ms: Option<u64>,
+    verify: bool,
+    require_hits: bool,
+    shutdown: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            addr: String::new(),
+            connections: 8,
+            requests: 200,
+            gen: 8,
+            seed: 42,
+            malformed_pct: 10,
+            dup_pct: 50,
+            budget_ms: None,
+            verify: true,
+            require_hits: false,
+            shutdown: false,
+        }
+    }
+}
+
+const MALFORMED: &[&str] = &[
+    "p(1. q(",
+    ":- broken(((.",
+    "head :- body, .",
+    "p(X) :- q(X), ",
+    "\"unterminated",
+];
+
+#[derive(Default)]
+struct ThreadResult {
+    cold_us: Vec<u64>,
+    hit_us: Vec<u64>,
+    parse_errors: usize,
+    sheds: usize,
+    timeouts: usize,
+    unexpected: Vec<String>,
+    mismatches: usize,
+}
+
+fn main() {
+    let opts = parse_args();
+    let corpus = build_corpus(&opts);
+    eprintln!(
+        "reordd-bench: {} programs ({} generated), {} connections, {} requests -> {}",
+        corpus.len(),
+        opts.gen,
+        opts.connections,
+        opts.requests,
+        opts.addr
+    );
+
+    // Local ground truth for byte-identity checks: the same entry point
+    // the CLI uses.
+    let expected: HashMap<String, String> = if opts.verify {
+        let config = WireConfig::default().to_reorder_config(1);
+        corpus
+            .iter()
+            .map(|(name, text)| {
+                let outcome = reorder::reorder_source(text, &config)
+                    .unwrap_or_else(|e| panic!("corpus program {name} must parse: {e}"));
+                (name.clone(), outcome.text)
+            })
+            .collect()
+    } else {
+        HashMap::new()
+    };
+
+    let next_request = AtomicUsize::new(0);
+    let results: Mutex<Vec<ThreadResult>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for thread_id in 0..opts.connections {
+            let opts = &opts;
+            let corpus = &corpus;
+            let expected = &expected;
+            let next_request = &next_request;
+            let results = &results;
+            scope.spawn(move || {
+                let result = drive_connection(opts, corpus, expected, next_request, thread_id);
+                results.lock().unwrap().push(result);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let results = results.into_inner().unwrap();
+
+    let mut cold: Vec<u64> = Vec::new();
+    let mut hit: Vec<u64> = Vec::new();
+    let (mut parse_errors, mut sheds, mut timeouts, mut mismatches) = (0, 0, 0, 0);
+    let mut unexpected: Vec<String> = Vec::new();
+    for r in results {
+        cold.extend(r.cold_us);
+        hit.extend(r.hit_us);
+        parse_errors += r.parse_errors;
+        sheds += r.sheds;
+        timeouts += r.timeouts;
+        mismatches += r.mismatches;
+        unexpected.extend(r.unexpected);
+    }
+    cold.sort_unstable();
+    hit.sort_unstable();
+
+    let ok = cold.len() + hit.len();
+    println!(
+        "completed {} requests in {:.3} s ({:.1} req/s)",
+        opts.requests,
+        elapsed.as_secs_f64(),
+        opts.requests as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  ok: {ok} (cold {}, cached {}), parse errors (expected): {parse_errors}, \
+         shed: {sheds}, timeouts: {timeouts}, unexpected: {}",
+        cold.len(),
+        hit.len(),
+        unexpected.len()
+    );
+    print_latency("cold  ", &cold);
+    print_latency("cached", &hit);
+    if let (Some(&cold_p50), Some(&hit_p50)) = (percentile(&cold, 50), percentile(&hit, 50)) {
+        println!(
+            "  cold/cached p50 ratio: {:.1}x",
+            cold_p50 as f64 / (hit_p50 as f64).max(1.0)
+        );
+    }
+    if opts.verify {
+        println!(
+            "  verify: {}/{ok} byte-identical to the local pipeline",
+            ok - mismatches
+        );
+    }
+    for (i, e) in unexpected.iter().take(5).enumerate() {
+        eprintln!("  unexpected[{i}]: {e}");
+    }
+
+    let server_hits = report_server_stats(&opts);
+    if opts.shutdown {
+        match Client::connect(&opts.addr, Duration::from_secs(5))
+            .and_then(|mut c| c.call(&Request::Shutdown))
+        {
+            Ok(Response::ShuttingDown) => println!("server acknowledged shutdown"),
+            Ok(other) => eprintln!("warning: unexpected shutdown reply {other:?}"),
+            Err(e) => eprintln!("warning: shutdown request failed: {e}"),
+        }
+    }
+
+    let mut failed = false;
+    if !unexpected.is_empty() || mismatches > 0 {
+        eprintln!(
+            "FAIL: {} unexpected errors, {mismatches} mismatches",
+            unexpected.len()
+        );
+        failed = true;
+    }
+    if opts.require_hits && server_hits == Some(0) {
+        eprintln!("FAIL: --require-hits set but the server reports zero cache hits");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn drive_connection(
+    opts: &Opts,
+    corpus: &[(String, String)],
+    expected: &HashMap<String, String>,
+    next_request: &AtomicUsize,
+    thread_id: usize,
+) -> ThreadResult {
+    let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(thread_id as u64));
+    let mut result = ThreadResult::default();
+    let mut client: Option<Client> = None;
+    loop {
+        let i = next_request.fetch_add(1, Ordering::Relaxed);
+        if i >= opts.requests {
+            return result;
+        }
+        // Build the request: malformed / duplicate / round-robin.
+        let roll: u32 = rng.gen_range(0..100);
+        let (name, program) = if roll < opts.malformed_pct {
+            ("malformed", MALFORMED[i % MALFORMED.len()])
+        } else if roll < opts.malformed_pct + opts.dup_pct {
+            // Duplicates concentrate on two programs to exercise the
+            // cache and single-flight paths.
+            let (name, text) = &corpus[i % 2.min(corpus.len())];
+            (name.as_str(), text.as_str())
+        } else {
+            let (name, text) = &corpus[i % corpus.len()];
+            (name.as_str(), text.as_str())
+        };
+        let request = Request::Reorder {
+            program: program.to_string(),
+            config: WireConfig::default(),
+            budget_ms: opts.budget_ms,
+        };
+
+        // Send with reconnect-and-retry: sheds and transport errors are
+        // survivable; give up on a request after a few attempts.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if attempts > 5 {
+                result
+                    .unexpected
+                    .push(format!("request {i} ({name}): gave up after retries"));
+                break;
+            }
+            let c = match client.as_mut() {
+                Some(c) => c,
+                None => match Client::connect(&opts.addr, Duration::from_secs(10)) {
+                    Ok(c) => {
+                        client = Some(c);
+                        client.as_mut().unwrap()
+                    }
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(20 * attempts));
+                        continue;
+                    }
+                },
+            };
+            let t0 = Instant::now();
+            match c.call(&request) {
+                Ok(Response::Reordered {
+                    program: reordered,
+                    cached,
+                    ..
+                }) => {
+                    let us = t0.elapsed().as_micros() as u64;
+                    if cached {
+                        result.hit_us.push(us);
+                    } else {
+                        result.cold_us.push(us);
+                    }
+                    if name != "malformed" {
+                        if let Some(want) = expected.get(name) {
+                            if *want != reordered {
+                                result.mismatches += 1;
+                            }
+                        }
+                    } else {
+                        result
+                            .unexpected
+                            .push(format!("request {i}: malformed program was accepted"));
+                    }
+                    break;
+                }
+                Ok(Response::Error(err)) => match err.code {
+                    ErrorCode::Parse if name == "malformed" => {
+                        result.parse_errors += 1;
+                        break;
+                    }
+                    ErrorCode::Overload => {
+                        result.sheds += 1;
+                        client = None; // server closed after shedding
+                        std::thread::sleep(Duration::from_millis(10 * attempts));
+                    }
+                    ErrorCode::Timeout => {
+                        result.timeouts += 1;
+                        std::thread::sleep(Duration::from_millis(5));
+                        // retry: the computation lands in the cache
+                    }
+                    _ => {
+                        result.unexpected.push(format!(
+                            "request {i} ({name}): {:?} {}",
+                            err.code, err.message
+                        ));
+                        break;
+                    }
+                },
+                Ok(other) => {
+                    result
+                        .unexpected
+                        .push(format!("request {i} ({name}): unexpected reply {other:?}"));
+                    break;
+                }
+                Err(_) => {
+                    client = None;
+                    std::thread::sleep(Duration::from_millis(10 * attempts));
+                }
+            }
+        }
+    }
+}
+
+fn build_corpus(opts: &Opts) -> Vec<(String, String)> {
+    let mut corpus: Vec<(String, String)> = prolog_workloads::corpus()
+        .into_iter()
+        .map(|p| (p.name.to_string(), p.text))
+        .collect();
+    corpus.extend(prolog_difftest::corpus_texts(
+        opts.gen,
+        opts.seed,
+        &prolog_difftest::GenConfig::default(),
+    ));
+    corpus
+}
+
+fn percentile(sorted: &[u64], p: usize) -> Option<&u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.get((sorted.len() - 1) * p / 100)
+}
+
+fn print_latency(label: &str, sorted: &[u64]) {
+    match (
+        percentile(sorted, 50),
+        percentile(sorted, 90),
+        percentile(sorted, 99),
+        sorted.last(),
+    ) {
+        (Some(p50), Some(p90), Some(p99), Some(max)) => println!(
+            "  {label} latency p50/p90/p99/max: {p50}/{p90}/{p99}/{max} us (n={})",
+            sorted.len()
+        ),
+        _ => println!("  {label} latency: no samples"),
+    }
+}
+
+/// Fetches and prints the server's own stats; returns its cache-hit
+/// count when available.
+fn report_server_stats(opts: &Opts) -> Option<u64> {
+    let mut client = match Client::connect(&opts.addr, Duration::from_secs(5)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("warning: cannot fetch server stats: {e}");
+            return None;
+        }
+    };
+    match client.call(&Request::Stats) {
+        Ok(Response::Stats(body)) => {
+            let path = |keys: &[&str]| -> u64 {
+                let mut node = &body;
+                for k in keys {
+                    match node.get(k) {
+                        Some(next) => node = next,
+                        None => return 0,
+                    }
+                }
+                node.as_u64().unwrap_or(0)
+            };
+            let hits = path(&["cache", "hits"]);
+            println!(
+                "server stats: requests={} reorder={} cache_hits={hits} misses={} \
+                 coalesced={} shed={} evictions={} queue_peak={} pipeline_tasks={}",
+                path(&["requests", "total"]),
+                path(&["requests", "reorder"]),
+                path(&["cache", "misses"]),
+                path(&["cache", "coalesced"]),
+                path(&["shed"]),
+                path(&["cache", "evictions"]),
+                path(&["queue", "peak"]),
+                path(&["pipeline", "tasks"]),
+            );
+            // Server-side request latency excludes client queueing, so
+            // it is the honest cold-vs-cached comparison.
+            let cold_mean = path(&["latency", "cold", "mean_us"]);
+            let hit_mean = path(&["latency", "hit", "mean_us"]);
+            println!(
+                "server latency: cold mean {cold_mean} us (n={}), cached mean {hit_mean} us \
+                 (n={}), ratio {:.1}x",
+                path(&["latency", "cold", "count"]),
+                path(&["latency", "hit", "count"]),
+                cold_mean as f64 / (hit_mean as f64).max(1.0)
+            );
+            Some(hits)
+        }
+        Ok(other) => {
+            eprintln!("warning: unexpected stats reply {other:?}");
+            None
+        }
+        Err(e) => {
+            eprintln!("warning: stats request failed: {e}");
+            None
+        }
+    }
+}
+
+fn parse_args() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: reordd-bench --addr HOST:PORT [--connections N] [--requests N] \
+                     [--gen N] [--seed S] [--malformed-pct P] [--dup-pct P] \
+                     [--budget-ms N] [--no-verify] [--require-hits] [--shutdown]"
+                );
+                std::process::exit(0);
+            }
+            "--no-verify" => opts.verify = false,
+            "--require-hits" => opts.require_hits = true,
+            "--shutdown" => opts.shutdown = true,
+            "--addr" | "--connections" | "--requests" | "--gen" | "--seed" | "--malformed-pct"
+            | "--dup-pct" | "--budget-ms" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("error: {flag} needs a value");
+                    std::process::exit(2);
+                };
+                let num = || -> u64 {
+                    value.parse().unwrap_or_else(|_| {
+                        eprintln!("error: {flag} needs a number, got {value:?}");
+                        std::process::exit(2);
+                    })
+                };
+                match flag {
+                    "--addr" => opts.addr = value.clone(),
+                    "--connections" => opts.connections = num().max(1) as usize,
+                    "--requests" => opts.requests = num() as usize,
+                    "--gen" => opts.gen = num() as usize,
+                    "--seed" => opts.seed = num(),
+                    "--malformed-pct" => opts.malformed_pct = num().min(100) as u32,
+                    "--dup-pct" => opts.dup_pct = num().min(100) as u32,
+                    "--budget-ms" => opts.budget_ms = Some(num()),
+                    _ => unreachable!(),
+                }
+            }
+            other => {
+                eprintln!("error: unexpected argument {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if opts.addr.is_empty() {
+        eprintln!("error: --addr is required (try --help)");
+        std::process::exit(2);
+    }
+    if opts.malformed_pct + opts.dup_pct > 100 {
+        eprintln!("error: --malformed-pct + --dup-pct must be <= 100");
+        std::process::exit(2);
+    }
+    opts
+}

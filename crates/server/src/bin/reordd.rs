@@ -1,0 +1,106 @@
+//! The `reordd` daemon: serve reorder requests over TCP.
+//!
+//! ```text
+//! usage: reordd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!               [--budget-ms N] [--pipeline-jobs N] [--idle-ms N]
+//!               [--port-file PATH]
+//! ```
+//!
+//! Prints `reordd listening on HOST:PORT …` once bound (and writes the
+//! address to `--port-file` if given) so wrappers can bind port 0 and
+//! discover the ephemeral port. Drains gracefully on SIGTERM, SIGINT,
+//! or a `shutdown` request, exiting 0.
+
+use reordd::{install_signal_handlers, Server, ServerConfig};
+use std::io::Write;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7171".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut port_file: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: reordd [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--cache N] [--budget-ms N] [--pipeline-jobs N] [--idle-ms N] \
+                     [--port-file PATH]\n\
+                     \n\
+                     --addr HOST:PORT   bind address (default 127.0.0.1:7171; port 0 = ephemeral)\n\
+                     --workers N        connection-serving threads (default 4)\n\
+                     --queue N          accept-queue depth before shedding (default 64)\n\
+                     --cache N          result-cache entries (default 256)\n\
+                     --budget-ms N      max per-request time budget (default 10000)\n\
+                     --pipeline-jobs N  pipeline threads per request (default 1)\n\
+                     --idle-ms N        close idle connections after N ms (default 30000)\n\
+                     --port-file PATH   write the bound address to PATH after binding"
+                );
+                return;
+            }
+            "--addr" | "--workers" | "--queue" | "--cache" | "--budget-ms" | "--pipeline-jobs"
+            | "--idle-ms" | "--port-file" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("error: {flag} needs a value");
+                    std::process::exit(2);
+                };
+                let parse_num = || -> u64 {
+                    value.parse().unwrap_or_else(|_| {
+                        eprintln!("error: {flag} needs a number, got {value:?}");
+                        std::process::exit(2);
+                    })
+                };
+                match flag {
+                    "--addr" => config.addr = value.clone(),
+                    "--workers" => config.workers = parse_num().max(1) as usize,
+                    "--queue" => config.queue_capacity = parse_num() as usize,
+                    "--cache" => config.cache_capacity = parse_num() as usize,
+                    "--budget-ms" => config.budget = Duration::from_millis(parse_num()),
+                    "--pipeline-jobs" => config.pipeline_jobs = parse_num().max(1) as usize,
+                    "--idle-ms" => config.idle_timeout = Duration::from_millis(parse_num()),
+                    "--port-file" => port_file = Some(value.clone()),
+                    _ => unreachable!(),
+                }
+            }
+            other => {
+                eprintln!("error: unexpected argument {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    install_signal_handlers();
+    let workers = config.workers;
+    let queue = config.queue_capacity;
+    let cache = config.cache_capacity;
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr();
+    if let Some(path) = &port_file {
+        if let Err(e) = std::fs::write(path, addr.to_string()) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("reordd listening on {addr} ({workers} workers, queue {queue}, cache {cache})");
+    let _ = std::io::stdout().flush();
+
+    if let Err(e) = server.run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    println!("reordd drained, exiting");
+}

@@ -1,0 +1,421 @@
+//! Content-addressed result cache: LRU eviction, single-flight
+//! deduplication, per-request time budgets, and panic isolation.
+//!
+//! Keys are a 128-bit FNV-1a hash of the program text plus the
+//! output-affecting configuration knobs (see
+//! [`crate::proto::WireConfig::cache_key_part`]) — the paper's §I-E
+//! amortisation argument turned into a mechanism: one pipeline run pays
+//! for every later request with the same content.
+//!
+//! Concurrency model: the first requester of an absent key becomes the
+//! *leader* and spawns the computation on a dedicated thread; everyone
+//! (leader included) waits on a condvar with their own deadline. A
+//! deadline that expires yields a `timeout` reply while the computation
+//! keeps running to completion and lands in the cache — timed-out work
+//! is never wasted, and a retry is a cheap hit. Panics inside the
+//! pipeline are caught on the compute thread and cached as error
+//! outcomes (deterministic input → deterministic panic), so one
+//! poisonous program cannot take a worker down twice.
+
+use crate::proto::ErrorCode;
+use reorder::RunStats;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// 128-bit content key: two independent FNV-1a 64 passes. Collisions at
+/// realistic cache sizes are negligible (~2⁻⁶⁴ per pair).
+pub fn content_key(program: &str, config_part: &str) -> u128 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let fnv = |basis: u64| {
+        let mut hash = basis;
+        for chunk in [program.as_bytes(), b"\x00", config_part.as_bytes()] {
+            for &byte in chunk {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(PRIME);
+            }
+        }
+        hash
+    };
+    let high = fnv(OFFSET);
+    let low = fnv(OFFSET ^ 0x9e37_79b9_7f4a_7c15);
+    ((high as u128) << 64) | low as u128
+}
+
+/// What one pipeline run produced — cached verbatim, successes and
+/// deterministic failures alike.
+#[derive(Debug)]
+pub enum CachedOutcome {
+    Ok {
+        /// The reordered program text, byte-identical to what
+        /// `reorder-prolog` emits for the same input.
+        program: String,
+        /// The producing run's pipeline stats.
+        stats: RunStats,
+        /// Wall-clock cost of the producing run, microseconds.
+        cost_us: u64,
+    },
+    Err {
+        code: ErrorCode,
+        message: String,
+        /// Source position for `code == Parse`, zero otherwise.
+        line: u32,
+        col: u32,
+    },
+}
+
+/// How a lookup was satisfied.
+#[derive(Debug)]
+pub enum Fetch {
+    /// Served from the cache without waiting.
+    Hit(Arc<CachedOutcome>),
+    /// This request was the leader: it triggered the computation.
+    Computed(Arc<CachedOutcome>),
+    /// Deduplicated onto another request's in-flight computation.
+    Coalesced(Arc<CachedOutcome>),
+    /// The time budget expired first. The computation continues and will
+    /// populate the cache.
+    TimedOut,
+}
+
+/// Monotonic counters, snapshot under the cache lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    pub hits: u64,
+    pub misses: u64,
+    /// Requests deduplicated onto an in-flight computation.
+    pub coalesced: u64,
+    pub evictions: u64,
+    /// Budget expiries observed by waiters.
+    pub timeouts: u64,
+}
+
+enum Slot {
+    InFlight,
+    Ready {
+        value: Arc<CachedOutcome>,
+        last_used: u64,
+    },
+}
+
+struct State {
+    entries: HashMap<u128, Slot>,
+    /// Recency clock: bumped on every touch; LRU = smallest `last_used`.
+    tick: u64,
+    counters: CacheCounters,
+}
+
+/// The shared cache. Cheap to share: all methods take `&self`.
+pub struct ResultCache {
+    capacity: usize,
+    state: Mutex<State>,
+    ready: Condvar,
+}
+
+impl ResultCache {
+    /// `capacity` is the maximum number of *ready* entries (in-flight
+    /// computations are pinned and uncounted); clamped to at least 1.
+    pub fn new(capacity: usize) -> Arc<ResultCache> {
+        Arc::new(ResultCache {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                entries: HashMap::new(),
+                tick: 0,
+                counters: CacheCounters::default(),
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Looks `key` up, computing it via `compute` on a dedicated thread
+    /// when absent. Returns within `budget` (plus scheduling noise) even
+    /// if the computation takes longer.
+    pub fn get_or_compute<F>(self: &Arc<Self>, key: u128, budget: Duration, compute: F) -> Fetch
+    where
+        F: FnOnce() -> CachedOutcome + Send + 'static,
+    {
+        let deadline = Instant::now() + budget;
+        let mut leader = false;
+        {
+            let mut guard = self.state.lock().expect("cache lock poisoned");
+            let st = &mut *guard;
+            st.tick += 1;
+            let tick = st.tick;
+            match st.entries.get_mut(&key) {
+                Some(Slot::Ready { value, last_used }) => {
+                    *last_used = tick;
+                    st.counters.hits += 1;
+                    return Fetch::Hit(value.clone());
+                }
+                Some(Slot::InFlight) => {
+                    st.counters.coalesced += 1;
+                }
+                None => {
+                    st.entries.insert(key, Slot::InFlight);
+                    st.counters.misses += 1;
+                    leader = true;
+                }
+            }
+        }
+
+        if leader {
+            let cache = Arc::clone(self);
+            let spawned = std::thread::Builder::new()
+                .name("reordd-compute".to_string())
+                .spawn(move || cache.run_compute(key, compute));
+            if let Err(e) = spawned {
+                // Thread exhaustion. The closure is gone with the failed
+                // spawn; resolve the in-flight slot with an error so no
+                // waiter hangs, and let clients retry.
+                self.finish(
+                    key,
+                    CachedOutcome::Err {
+                        code: ErrorCode::Overload,
+                        message: format!("cannot spawn compute thread: {e}"),
+                        line: 0,
+                        col: 0,
+                    },
+                );
+            }
+        }
+
+        // Wait (leader and followers alike) for the slot to become ready.
+        let mut guard = self.state.lock().expect("cache lock poisoned");
+        loop {
+            let st = &mut *guard;
+            match st.entries.get_mut(&key) {
+                Some(Slot::Ready { value, last_used }) => {
+                    st.tick += 1;
+                    *last_used = st.tick;
+                    let value = value.clone();
+                    return if leader {
+                        Fetch::Computed(value)
+                    } else {
+                        Fetch::Coalesced(value)
+                    };
+                }
+                Some(Slot::InFlight) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        st.counters.timeouts += 1;
+                        return Fetch::TimedOut;
+                    }
+                    let remaining = deadline - now;
+                    let (reacquired, _) = self
+                        .ready
+                        .wait_timeout(guard, remaining)
+                        .expect("cache lock poisoned");
+                    guard = reacquired;
+                }
+                None => {
+                    // The entry was evicted between completion and our
+                    // wake-up (pathological capacity). Treat as timeout:
+                    // the caller retries and becomes a fresh leader.
+                    st.counters.timeouts += 1;
+                    return Fetch::TimedOut;
+                }
+            }
+        }
+    }
+
+    fn run_compute<F>(self: &Arc<Self>, key: u128, compute: F)
+    where
+        F: FnOnce() -> CachedOutcome,
+    {
+        let outcome = match catch_unwind(AssertUnwindSafe(compute)) {
+            Ok(outcome) => outcome,
+            Err(payload) => CachedOutcome::Err {
+                code: ErrorCode::Panic,
+                message: format!("pipeline panicked: {}", panic_message(&*payload)),
+                line: 0,
+                col: 0,
+            },
+        };
+        self.finish(key, outcome);
+    }
+
+    /// Resolves `key`'s in-flight slot with `outcome` and wakes every
+    /// waiter.
+    fn finish(&self, key: u128, outcome: CachedOutcome) {
+        let mut guard = self.state.lock().expect("cache lock poisoned");
+        let st = &mut *guard;
+        st.tick += 1;
+        let tick = st.tick;
+        st.entries.insert(
+            key,
+            Slot::Ready {
+                value: Arc::new(outcome),
+                last_used: tick,
+            },
+        );
+        self.evict_locked(st);
+        self.ready.notify_all();
+    }
+
+    /// Evicts least-recently-used ready entries until within capacity.
+    /// In-flight slots are never evicted.
+    fn evict_locked(&self, st: &mut State) {
+        loop {
+            let ready = st
+                .entries
+                .values()
+                .filter(|slot| matches!(slot, Slot::Ready { .. }))
+                .count();
+            if ready <= self.capacity {
+                return;
+            }
+            let victim = st
+                .entries
+                .iter()
+                .filter_map(|(k, slot)| match slot {
+                    Slot::Ready { last_used, .. } => Some((*k, *last_used)),
+                    Slot::InFlight => None,
+                })
+                .min_by_key(|&(_, used)| used)
+                .map(|(k, _)| k);
+            match victim {
+                Some(k) => {
+                    st.entries.remove(&k);
+                    st.counters.evictions += 1;
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        self.state.lock().expect("cache lock poisoned").counters
+    }
+
+    /// Number of ready entries.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("cache lock poisoned")
+            .entries
+            .values()
+            .filter(|slot| matches!(slot, Slot::Ready { .. }))
+            .count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `key` is ready in the cache (no recency touch — used by
+    /// the eviction tests).
+    pub fn contains(&self, key: u128) -> bool {
+        matches!(
+            self.state
+                .lock()
+                .expect("cache lock poisoned")
+                .entries
+                .get(&key),
+            Some(Slot::Ready { .. })
+        )
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(text: &str) -> CachedOutcome {
+        CachedOutcome::Ok {
+            program: text.to_string(),
+            stats: RunStats::default(),
+            cost_us: 1,
+        }
+    }
+
+    fn text_of(fetch: &Fetch) -> &str {
+        match fetch {
+            Fetch::Hit(v) | Fetch::Computed(v) | Fetch::Coalesced(v) => match v.as_ref() {
+                CachedOutcome::Ok { program, .. } => program,
+                CachedOutcome::Err { message, .. } => message,
+            },
+            Fetch::TimedOut => panic!("unexpected timeout"),
+        }
+    }
+
+    #[test]
+    fn content_key_is_stable_and_config_sensitive() {
+        let a = content_key("p(1).", "s1g1c1m0");
+        assert_eq!(a, content_key("p(1).", "s1g1c1m0"));
+        assert_ne!(a, content_key("p(2).", "s1g1c1m0"));
+        assert_ne!(a, content_key("p(1).", "s1g1c1m1"));
+        // The separator keeps (program, config) splits unambiguous.
+        assert_ne!(content_key("ab", "c"), content_key("a", "bc"));
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = ResultCache::new(8);
+        let key = content_key("p(1).", "");
+        let first = cache.get_or_compute(key, Duration::from_secs(5), || ok("out"));
+        assert!(matches!(first, Fetch::Computed(_)));
+        let second =
+            cache.get_or_compute(key, Duration::from_secs(5), || panic!("must not recompute"));
+        assert!(matches!(second, Fetch::Hit(_)));
+        assert_eq!(text_of(&second), "out");
+        let counters = cache.counters();
+        assert_eq!((counters.hits, counters.misses), (1, 1));
+    }
+
+    #[test]
+    fn panic_is_isolated_and_cached() {
+        let cache = ResultCache::new(8);
+        let key = content_key("boom.", "");
+        let fetch = cache.get_or_compute(key, Duration::from_secs(5), || panic!("kaboom"));
+        let Fetch::Computed(value) = fetch else {
+            panic!("expected computed outcome");
+        };
+        let CachedOutcome::Err { code, message, .. } = value.as_ref() else {
+            panic!("expected error outcome");
+        };
+        assert_eq!(*code, ErrorCode::Panic);
+        assert!(message.contains("kaboom"));
+        // Cached: the second request is a hit, not a re-panic.
+        let again =
+            cache.get_or_compute(key, Duration::from_secs(5), || panic!("must not recompute"));
+        assert!(matches!(again, Fetch::Hit(_)));
+    }
+
+    #[test]
+    fn budget_expiry_returns_timeout_and_result_lands_later() {
+        let cache = ResultCache::new(8);
+        let key = content_key("slow.", "");
+        let fetch = cache.get_or_compute(key, Duration::from_millis(10), || {
+            std::thread::sleep(Duration::from_millis(200));
+            ok("late")
+        });
+        assert!(matches!(fetch, Fetch::TimedOut));
+        // The computation finishes in the background and is retrievable.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if cache.contains(key) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "computation never landed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let hit =
+            cache.get_or_compute(key, Duration::from_secs(1), || panic!("must not recompute"));
+        assert_eq!(text_of(&hit), "late");
+        assert_eq!(cache.counters().timeouts, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! A minimal blocking client for the `reordd` protocol, shared by the
+//! bench driver and the integration tests.
+
+use crate::proto::{read_frame, write_frame, Request, Response, MAX_FRAME};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a `reordd` daemon. Requests are answered strictly
+/// in order, so a blocking send/receive pair per call is the protocol.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects with a timeout on connect and on each read/write.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads its reply.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream, MAX_FRAME)?
+            .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+        Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends raw bytes as one frame and reads a reply — for protocol
+    /// robustness tests (malformed payloads).
+    pub fn call_raw(&mut self, payload: &[u8]) -> io::Result<Response> {
+        write_frame(&mut self.stream, payload)?;
+        let reply = read_frame(&mut self.stream, MAX_FRAME)?
+            .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+        Response::decode(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Reads one reply without sending anything (for shed replies, which
+    /// the server initiates).
+    pub fn read_reply(&mut self) -> io::Result<Response> {
+        let payload = read_frame(&mut self.stream, MAX_FRAME)?
+            .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+        Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}

@@ -1,0 +1,35 @@
+//! `reordd` — the reordering pipeline as a long-running concurrent
+//! service.
+//!
+//! The paper's economics (§I-E) hinge on amortising analysis cost across
+//! many executions of the same program. This crate turns that into a
+//! deployable shape: a TCP daemon that runs the `reorder` pipeline
+//! behind a **content-addressed result cache** (one computation per
+//! distinct `(program, config)`, LRU-bounded, single-flight
+//! deduplicated), with **overload shedding** at a bounded accept queue,
+//! **per-request time budgets**, **panic isolation**, and a `stats`
+//! surface that reuses the pipeline's [`reorder::RunStats`] encoding.
+//!
+//! Wire format: length-prefixed JSON, specified in `PROTOCOL.md` and
+//! implemented in [`proto`] (`std`-only — no external dependencies).
+//!
+//! Binaries:
+//! * `reordd` — the daemon.
+//! * `reordd-bench` — a concurrent load generator over the evaluation
+//!   workloads (`prolog-workloads`) and difftest-generated programs,
+//!   reporting throughput and cold/cached latency percentiles.
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod service;
+
+pub use cache::{content_key, CacheCounters, CachedOutcome, Fetch, ResultCache};
+pub use client::Client;
+pub use metrics::Metrics;
+pub use proto::{
+    read_frame, write_frame, ErrorCode, Json, Request, Response, WireConfig, WireError, MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+pub use service::{install_signal_handlers, Server, ServerConfig};

@@ -1,0 +1,264 @@
+//! Service observability: request counters, queue gauges, latency
+//! accumulators, and the aggregated pipeline [`RunStats`].
+//!
+//! Everything is lock-free atomics except the pipeline aggregate (a
+//! mutex around `RunStats::merge`, touched once per cold request). The
+//! `stats` reply is one consistent-enough snapshot — counters are
+//! monotonic, so a reader racing a writer sees values at most one
+//! request stale, never torn.
+
+use crate::cache::CacheCounters;
+use crate::proto::Json;
+use reorder::RunStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Latency accumulator for one request class.
+#[derive(Default)]
+pub struct LatencyAccum {
+    sum_us: AtomicU64,
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyAccum {
+    pub fn record(&self, us: u64) {
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Json {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum_us.load(Ordering::Relaxed);
+        let mean = sum.checked_div(count).unwrap_or(0);
+        Json::Obj(vec![
+            ("count".to_string(), Json::Num(count as f64)),
+            ("mean_us".to_string(), Json::Num(mean as f64)),
+            (
+                "max_us".to_string(),
+                Json::Num(self.max_us.load(Ordering::Relaxed) as f64),
+            ),
+        ])
+    }
+}
+
+/// All service-level counters. One instance per daemon, shared by every
+/// worker.
+pub struct Metrics {
+    started: Instant,
+    pub connections: AtomicU64,
+    pub requests: AtomicU64,
+    pub reorders: AtomicU64,
+    pub stats_requests: AtomicU64,
+    pub pings: AtomicU64,
+    pub parse_errors: AtomicU64,
+    pub panics: AtomicU64,
+    pub timeouts: AtomicU64,
+    pub shed: AtomicU64,
+    pub bad_requests: AtomicU64,
+    /// Connections waiting in the accept queue right now (gauge).
+    pub queue_depth: AtomicU64,
+    pub queue_peak: AtomicU64,
+    /// Workers currently inside a request (gauge).
+    pub busy_workers: AtomicU64,
+    /// Latency of reorder requests served by a fresh pipeline run.
+    pub cold_latency: LatencyAccum,
+    /// Latency of reorder requests served from the cache.
+    pub hit_latency: LatencyAccum,
+    /// Every pipeline run's stats, merged (the per-stage latencies of
+    /// the `stats` reply — same encoder as `--timings-json`).
+    pipeline: Mutex<RunStats>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            reorders: AtomicU64::new(0),
+            stats_requests: AtomicU64::new(0),
+            pings: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            busy_workers: AtomicU64::new(0),
+            cold_latency: LatencyAccum::default(),
+            hit_latency: LatencyAccum::default(),
+            pipeline: Mutex::new(RunStats::default()),
+        }
+    }
+
+    /// Folds one pipeline run's stats into the aggregate.
+    pub fn record_pipeline(&self, stats: &RunStats) {
+        self.pipeline
+            .lock()
+            .expect("pipeline stats lock poisoned")
+            .merge(stats);
+    }
+
+    /// Sets the queue-depth gauge, tracking its peak.
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// The body of a `stats` reply.
+    pub fn snapshot(
+        &self,
+        cache: CacheCounters,
+        cache_entries: usize,
+        cache_capacity: usize,
+        queue_capacity: usize,
+        workers: usize,
+    ) -> Json {
+        let load = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
+        let pipeline_json = self
+            .pipeline
+            .lock()
+            .expect("pipeline stats lock poisoned")
+            .to_json();
+        let pipeline = Json::parse(&pipeline_json).expect("RunStats::to_json emits valid JSON");
+        Json::Obj(vec![
+            (
+                "uptime_us".to_string(),
+                Json::Num(self.started.elapsed().as_micros() as f64),
+            ),
+            (
+                "requests".to_string(),
+                Json::Obj(vec![
+                    ("total".to_string(), load(&self.requests)),
+                    ("reorder".to_string(), load(&self.reorders)),
+                    ("stats".to_string(), load(&self.stats_requests)),
+                    ("ping".to_string(), load(&self.pings)),
+                    ("parse_errors".to_string(), load(&self.parse_errors)),
+                    ("panics".to_string(), load(&self.panics)),
+                    ("timeouts".to_string(), load(&self.timeouts)),
+                    ("bad_requests".to_string(), load(&self.bad_requests)),
+                ]),
+            ),
+            ("connections".to_string(), load(&self.connections)),
+            ("shed".to_string(), load(&self.shed)),
+            (
+                "cache".to_string(),
+                Json::Obj(vec![
+                    ("hits".to_string(), Json::Num(cache.hits as f64)),
+                    ("misses".to_string(), Json::Num(cache.misses as f64)),
+                    ("coalesced".to_string(), Json::Num(cache.coalesced as f64)),
+                    ("evictions".to_string(), Json::Num(cache.evictions as f64)),
+                    ("timeouts".to_string(), Json::Num(cache.timeouts as f64)),
+                    ("entries".to_string(), Json::Num(cache_entries as f64)),
+                    ("capacity".to_string(), Json::Num(cache_capacity as f64)),
+                ]),
+            ),
+            (
+                "queue".to_string(),
+                Json::Obj(vec![
+                    ("depth".to_string(), load(&self.queue_depth)),
+                    ("peak".to_string(), load(&self.queue_peak)),
+                    ("capacity".to_string(), Json::Num(queue_capacity as f64)),
+                ]),
+            ),
+            (
+                "workers".to_string(),
+                Json::Obj(vec![
+                    ("total".to_string(), Json::Num(workers as f64)),
+                    ("busy".to_string(), load(&self.busy_workers)),
+                ]),
+            ),
+            (
+                "latency".to_string(),
+                Json::Obj(vec![
+                    ("cold".to_string(), self.cold_latency.snapshot()),
+                    ("hit".to_string(), self.hit_latency.snapshot()),
+                ]),
+            ),
+            ("pipeline".to_string(), pipeline),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn snapshot_has_the_documented_shape() {
+        let metrics = Metrics::new();
+        metrics.requests.fetch_add(3, Ordering::Relaxed);
+        metrics.reorders.fetch_add(2, Ordering::Relaxed);
+        metrics.set_queue_depth(5);
+        metrics.set_queue_depth(1);
+        metrics.cold_latency.record(1000);
+        metrics.cold_latency.record(3000);
+        metrics.hit_latency.record(10);
+        metrics.record_pipeline(&RunStats {
+            tasks: 4,
+            total: Duration::from_micros(1234),
+            ..Default::default()
+        });
+        let cache = CacheCounters {
+            hits: 7,
+            misses: 2,
+            ..Default::default()
+        };
+        let snap = metrics.snapshot(cache, 2, 64, 16, 4);
+        assert_eq!(
+            snap.get("requests")
+                .and_then(|r| r.get("total"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            snap.get("cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            snap.get("queue")
+                .and_then(|q| q.get("peak"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+        assert_eq!(
+            snap.get("queue")
+                .and_then(|q| q.get("depth"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("latency")
+                .and_then(|l| l.get("cold"))
+                .and_then(|c| c.get("mean_us"))
+                .and_then(Json::as_u64),
+            Some(2000)
+        );
+        // The pipeline aggregate uses the shared RunStats encoding.
+        assert_eq!(
+            snap.get("pipeline")
+                .and_then(|p| p.get("tasks"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            snap.get("pipeline")
+                .and_then(|p| p.get("total_us"))
+                .and_then(Json::as_u64),
+            Some(1234)
+        );
+    }
+}

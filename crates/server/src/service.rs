@@ -1,0 +1,485 @@
+//! The daemon proper: TCP accept loop, bounded handoff queue, worker
+//! pool, request dispatch, and graceful drain.
+//!
+//! Threading model — one acceptor (the caller of [`Server::run`]) plus
+//! `workers` connection threads plus transient compute threads owned by
+//! the cache:
+//!
+//! * The acceptor polls a nonblocking listener so it can notice the
+//!   shutdown flag (set by a `shutdown` request or SIGTERM/SIGINT)
+//!   within [`ACCEPT_POLL`].
+//! * Accepted connections go through a **bounded** queue. A full queue
+//!   sheds: the acceptor writes one `overload` error frame, closes, and
+//!   counts it — backpressure is explicit, never an unbounded backlog.
+//! * Workers serve a connection's requests strictly in order. Between
+//!   frames they poll the shutdown flag every [`READ_POLL`]; on drain
+//!   they finish the frame in flight, then close.
+//! * Reorder computations run on cache-owned threads
+//!   ([`crate::cache::ResultCache`]), so a per-request budget can expire
+//!   without abandoning a worker and a pipeline panic never unwinds
+//!   through connection state.
+
+use crate::cache::{content_key, CachedOutcome, Fetch, ResultCache};
+use crate::metrics::Metrics;
+use crate::proto::{write_frame, ErrorCode, Json, Request, Response, WireError, MAX_FRAME};
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Acceptor wake-up interval: the latency bound on noticing shutdown.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Worker read poll: how long a blocked read waits before rechecking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// How long a started frame may dribble in before the connection is
+/// dropped as stalled.
+const FRAME_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Set by the SIGTERM/SIGINT handler; observed by every accept-loop
+/// iteration. Public so the binary can install the handler.
+pub static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Daemon tuning. Defaults suit tests and small deployments; the binary
+/// exposes each as a flag.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Connection-serving worker threads.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before shedding starts.
+    pub queue_capacity: usize,
+    /// Result-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Maximum (and default) per-request time budget.
+    pub budget: Duration,
+    /// Pipeline worker threads per reorder run (`WireConfig::jobs == 0`
+    /// resolves to this). Kept at 1 by default: request-level
+    /// parallelism beats intra-request parallelism under load.
+    pub pipeline_jobs: usize,
+    /// Close connections idle for this long between frames.
+    pub idle_timeout: Duration,
+    /// Frame payload ceiling.
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            budget: Duration::from_secs(10),
+            pipeline_jobs: 1,
+            idle_timeout: Duration::from_secs(30),
+            max_frame: MAX_FRAME,
+        }
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    cache: Arc<ResultCache>,
+    metrics: Metrics,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound, not-yet-running daemon. Splitting bind from run lets callers
+/// learn the ephemeral port before serving.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let cache = ResultCache::new(config.cache_capacity);
+        let shared = Arc::new(Shared {
+            cache,
+            metrics: Metrics::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        Ok(Server {
+            listener,
+            local_addr,
+            shared,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until a `shutdown` request or signal, then drains: stops
+    /// accepting, finishes queued and in-flight connections, joins every
+    /// worker, and returns.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let workers = self.shared.config.workers.max(1);
+        std::thread::scope(|scope| {
+            for i in 0..workers {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("reordd-worker-{i}"))
+                    .spawn_scoped(scope, move || worker_loop(&shared))
+                    .expect("spawn worker");
+            }
+
+            // Accept loop (this thread).
+            while !self.shared.shutting_down() {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => enqueue(&self.shared, stream),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+            // Drain: wake every worker; each finishes the queue, then
+            // exits. The scope joins them.
+            self.shared.request_shutdown();
+        });
+        Ok(())
+    }
+}
+
+/// Hands an accepted connection to the workers, or sheds it with an
+/// `overload` reply when the queue is full.
+fn enqueue(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let depth = {
+        let mut queue = shared.queue.lock().expect("queue lock poisoned");
+        if queue.len() >= shared.config.queue_capacity {
+            drop(queue);
+            shed(shared, stream);
+            return;
+        }
+        queue.push_back(stream);
+        queue.len() as u64
+    };
+    shared.metrics.set_queue_depth(depth);
+    shared.queue_cv.notify_one();
+}
+
+fn shed(shared: &Arc<Shared>, mut stream: TcpStream) {
+    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+    // Best-effort: tell the client why before closing. A slow reader
+    // must not wedge the acceptor.
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let reply = Response::Error(WireError::new(
+        ErrorCode::Overload,
+        "accept queue full, request shed — retry with backoff",
+    ));
+    let _ = write_frame(&mut stream, &reply.encode());
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    shared.metrics.set_queue_depth(queue.len() as u64);
+                    break Some(stream);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                let (reacquired, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, READ_POLL)
+                    .expect("queue lock poisoned");
+                queue = reacquired;
+            }
+        };
+        let Some(stream) = stream else {
+            return;
+        };
+        shared.metrics.busy_workers.fetch_add(1, Ordering::Relaxed);
+        serve_connection(shared, stream);
+        shared.metrics.busy_workers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Outcome of one interruptible frame read.
+enum FrameRead {
+    Frame(Vec<u8>),
+    /// Peer closed, went idle past the limit, stalled mid-frame, or the
+    /// server is draining: close quietly.
+    Close,
+    /// The announced length exceeds the limit: report, then close.
+    TooLarge(usize),
+}
+
+/// Reads one frame with a poll-timeout so drain and idle limits apply.
+/// Never blocks longer than [`READ_POLL`] at a time.
+fn read_frame_interruptible(shared: &Shared, stream: &mut TcpStream) -> FrameRead {
+    let idle_deadline = Instant::now() + shared.config.idle_timeout;
+    let mut header = [0u8; 4];
+    match read_exact_poll(shared, stream, &mut header, idle_deadline, true) {
+        ReadStatus::Done => {}
+        ReadStatus::Closed => return FrameRead::Close,
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > shared.config.max_frame {
+        return FrameRead::TooLarge(len);
+    }
+    let mut payload = vec![0u8; len];
+    let frame_deadline = Instant::now() + FRAME_DEADLINE;
+    match read_exact_poll(shared, stream, &mut payload, frame_deadline, false) {
+        ReadStatus::Done => FrameRead::Frame(payload),
+        ReadStatus::Closed => FrameRead::Close,
+    }
+}
+
+enum ReadStatus {
+    Done,
+    Closed,
+}
+
+/// Fills `buf`, polling in [`READ_POLL`] slices. `interruptible` reads
+/// (between frames) also stop on drain; mid-frame reads only stop on the
+/// deadline, so a response already earned is still delivered.
+fn read_exact_poll(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+    interruptible: bool,
+) -> ReadStatus {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadStatus::Closed,
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Nothing new this slice. A clean boundary (nothing read
+                // yet) may close on drain; mid-frame only the deadline
+                // closes.
+                if interruptible && filled == 0 && shared.shutting_down() {
+                    return ReadStatus::Closed;
+                }
+                if Instant::now() >= deadline {
+                    return ReadStatus::Closed;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadStatus::Closed,
+        }
+    }
+    ReadStatus::Done
+}
+
+fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    loop {
+        let payload = match read_frame_interruptible(shared, &mut stream) {
+            FrameRead::Frame(payload) => payload,
+            FrameRead::Close => return,
+            FrameRead::TooLarge(len) => {
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let reply = Response::Error(WireError::new(
+                    ErrorCode::TooLarge,
+                    format!(
+                        "frame of {len} bytes exceeds limit {}",
+                        shared.config.max_frame
+                    ),
+                ));
+                let _ = write_frame(&mut stream, &reply.encode());
+                return; // cannot resync past unread bytes
+            }
+        };
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(err) => {
+                // Framing is intact (length-prefixed), so a bad payload
+                // is recoverable: reply and keep the connection.
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                if write_frame(&mut stream, &Response::Error(err).encode()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let last = matches!(request, Request::Shutdown);
+        let reply = dispatch(shared, request);
+        if write_frame(&mut stream, &reply.encode()).is_err() {
+            return;
+        }
+        if last || shared.shutting_down() {
+            return;
+        }
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, request: Request) -> Response {
+    match request {
+        Request::Ping => {
+            shared.metrics.pings.fetch_add(1, Ordering::Relaxed);
+            Response::Pong
+        }
+        Request::Stats => {
+            shared
+                .metrics
+                .stats_requests
+                .fetch_add(1, Ordering::Relaxed);
+            let body = shared.metrics.snapshot(
+                shared.cache.counters(),
+                shared.cache.len(),
+                shared.config.cache_capacity,
+                shared.config.queue_capacity,
+                shared.config.workers,
+            );
+            Response::Stats(body)
+        }
+        Request::Shutdown => {
+            shared.request_shutdown();
+            Response::ShuttingDown
+        }
+        Request::Reorder {
+            program,
+            config,
+            budget_ms,
+        } => {
+            shared.metrics.reorders.fetch_add(1, Ordering::Relaxed);
+            let budget = match budget_ms {
+                Some(ms) => Duration::from_millis(ms).min(shared.config.budget),
+                None => shared.config.budget,
+            };
+            let key = content_key(&program, &config.cache_key_part());
+            let reorder_config = config.to_reorder_config(shared.config.pipeline_jobs);
+            let metrics_shared = Arc::clone(shared);
+            let started = Instant::now();
+            let fetch = shared.cache.get_or_compute(key, budget, move || {
+                let t0 = Instant::now();
+                match reorder::reorder_source(&program, &reorder_config) {
+                    Ok(outcome) => {
+                        metrics_shared
+                            .metrics
+                            .record_pipeline(&outcome.report.stats);
+                        CachedOutcome::Ok {
+                            program: outcome.text,
+                            stats: outcome.report.stats,
+                            cost_us: t0.elapsed().as_micros() as u64,
+                        }
+                    }
+                    Err(e) => CachedOutcome::Err {
+                        code: ErrorCode::Parse,
+                        message: format!("parse error at {}: {}", e.pos, e.message),
+                        line: e.pos.line,
+                        col: e.pos.col,
+                    },
+                }
+            });
+            let elapsed_us = started.elapsed().as_micros() as u64;
+            let (value, cached) = match fetch {
+                Fetch::Hit(value) => (value, true),
+                Fetch::Computed(value) | Fetch::Coalesced(value) => (value, false),
+                Fetch::TimedOut => {
+                    shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Response::Error(WireError::new(
+                        ErrorCode::Timeout,
+                        format!(
+                            "request budget of {} ms expired; the computation continues \
+                             and will be cached — retry",
+                            budget.as_millis()
+                        ),
+                    ));
+                }
+            };
+            match value.as_ref() {
+                CachedOutcome::Ok { program, stats, .. } => {
+                    if cached {
+                        shared.metrics.hit_latency.record(elapsed_us);
+                    } else {
+                        shared.metrics.cold_latency.record(elapsed_us);
+                    }
+                    let pipeline =
+                        Json::parse(&stats.to_json()).expect("RunStats::to_json emits valid JSON");
+                    Response::Reordered {
+                        program: program.clone(),
+                        cached,
+                        elapsed_us,
+                        pipeline,
+                    }
+                }
+                CachedOutcome::Err {
+                    code,
+                    message,
+                    line,
+                    col,
+                } => {
+                    match code {
+                        ErrorCode::Parse => {
+                            shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed)
+                        }
+                        ErrorCode::Panic => shared.metrics.panics.fetch_add(1, Ordering::Relaxed),
+                        _ => 0,
+                    };
+                    Response::Error(WireError {
+                        code: *code,
+                        message: message.clone(),
+                        line: *line,
+                        col: *col,
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Installs SIGTERM/SIGINT handlers that flip [`SIGNALLED`]. The accept
+/// loop notices within [`ACCEPT_POLL`] and starts a graceful drain. Raw
+/// `signal(2)` through the C ABI — no crates, and the handler body is a
+/// single atomic store, which is async-signal-safe.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}

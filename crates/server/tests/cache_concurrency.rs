@@ -1,0 +1,156 @@
+//! Concurrency contract of the content-addressed result cache:
+//! single-flight deduplication, LRU eviction at capacity, and
+//! byte-identity of cached results with the library pipeline.
+
+use reordd::{content_key, CachedOutcome, Fetch, ResultCache, WireConfig};
+use reorder::{reorder_source, ReorderConfig, RunStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const BUDGET: Duration = Duration::from_secs(30);
+
+fn ok_outcome(program: &str) -> CachedOutcome {
+    CachedOutcome::Ok {
+        program: program.to_string(),
+        stats: RunStats::default(),
+        cost_us: 1,
+    }
+}
+
+fn program_of(fetch: &Fetch) -> &str {
+    match fetch {
+        Fetch::Hit(v) | Fetch::Computed(v) | Fetch::Coalesced(v) => match &**v {
+            CachedOutcome::Ok { program, .. } => program,
+            CachedOutcome::Err { message, .. } => panic!("unexpected error outcome: {message}"),
+        },
+        Fetch::TimedOut => panic!("unexpected timeout"),
+    }
+}
+
+#[test]
+fn single_flight_runs_the_pipeline_once() {
+    let cache = ResultCache::new(8);
+    let key = content_key("p(1).\np(2).\n", "s1g1c1m0");
+    let runs = Arc::new(AtomicUsize::new(0));
+
+    let fetches: Vec<Fetch> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let runs = Arc::clone(&runs);
+                scope.spawn(move || {
+                    cache.get_or_compute(key, BUDGET, move || {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        // Hold the slot open long enough that the other
+                        // threads must coalesce rather than race past.
+                        std::thread::sleep(Duration::from_millis(100));
+                        ok_outcome("once")
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        1,
+        "exactly one compute closure may run for a single key"
+    );
+    for fetch in &fetches {
+        assert_eq!(program_of(fetch), "once");
+    }
+    let leaders = fetches
+        .iter()
+        .filter(|f| matches!(f, Fetch::Computed(_)))
+        .count();
+    assert_eq!(leaders, 1, "exactly one request leads the computation");
+
+    let counters = cache.counters();
+    assert_eq!(counters.misses, 1);
+    assert_eq!(counters.coalesced, 7);
+    assert_eq!(counters.hits, 0);
+
+    // A later request for the same key is a plain hit.
+    let later = cache.get_or_compute(key, BUDGET, || panic!("must not recompute"));
+    assert!(matches!(later, Fetch::Hit(_)));
+    assert_eq!(cache.counters().hits, 1);
+}
+
+#[test]
+fn lru_evicts_the_least_recently_used_entry_at_capacity() {
+    let cache = ResultCache::new(2);
+    let keys: Vec<u128> = (0..3)
+        .map(|i| content_key(&format!("q({i})."), "s1g1c1m0"))
+        .collect();
+
+    for (i, &key) in keys.iter().take(2).enumerate() {
+        let fetch = cache.get_or_compute(key, BUDGET, move || ok_outcome(&format!("v{i}")));
+        assert!(matches!(fetch, Fetch::Computed(_)));
+    }
+    assert_eq!(cache.len(), 2);
+
+    // Touch key 0 so key 1 becomes the least recently used …
+    assert!(matches!(
+        cache.get_or_compute(keys[0], BUDGET, || panic!("must hit")),
+        Fetch::Hit(_)
+    ));
+    // … then inserting key 2 at capacity must evict key 1, not key 0.
+    let fetch = cache.get_or_compute(keys[2], BUDGET, || ok_outcome("v2"));
+    assert!(matches!(fetch, Fetch::Computed(_)));
+
+    assert_eq!(cache.len(), 2);
+    assert!(cache.contains(keys[0]), "recently-touched entry survives");
+    assert!(!cache.contains(keys[1]), "LRU entry is evicted");
+    assert!(cache.contains(keys[2]));
+    assert_eq!(cache.counters().evictions, 1);
+
+    // The evicted entry recomputes on its next request.
+    let fetch = cache.get_or_compute(keys[1], BUDGET, || ok_outcome("v1-again"));
+    assert!(matches!(fetch, Fetch::Computed(_)));
+    assert_eq!(program_of(&fetch), "v1-again");
+}
+
+#[test]
+fn cached_results_are_byte_identical_to_the_library_pipeline() {
+    let source = prolog_workloads::corpus_program("family")
+        .expect("family workload exists")
+        .text;
+    let wire = WireConfig::default();
+    let config: ReorderConfig = wire.to_reorder_config(1);
+    let direct = reorder_source(&source, &config)
+        .expect("family parses")
+        .text;
+
+    let cache = ResultCache::new(4);
+    let key = content_key(&source, &wire.cache_key_part());
+    let run = {
+        let source = source.clone();
+        let config = config.clone();
+        move || match reorder_source(&source, &config) {
+            Ok(outcome) => CachedOutcome::Ok {
+                program: outcome.text,
+                stats: outcome.report.stats,
+                cost_us: 1,
+            },
+            Err(e) => panic!("family must parse: {e}"),
+        }
+    };
+
+    let cold = cache.get_or_compute(key, BUDGET, run);
+    assert!(matches!(cold, Fetch::Computed(_)));
+    assert_eq!(
+        program_of(&cold),
+        direct,
+        "miss path must be byte-identical to reorder_source"
+    );
+
+    let warm = cache.get_or_compute(key, BUDGET, || panic!("must hit"));
+    assert!(matches!(warm, Fetch::Hit(_)));
+    assert_eq!(
+        program_of(&warm),
+        direct,
+        "hit path must be byte-identical to the miss path and the library"
+    );
+}

@@ -1,0 +1,297 @@
+//! End-to-end smoke tests against a real `reordd` process: protocol
+//! round-trips, cache behaviour, parse/malformed-input robustness,
+//! budget expiry, overload shedding, and graceful shutdown.
+
+use reordd::{Client, ErrorCode, Json, Request, Response, WireConfig};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A `reordd` child process bound to an ephemeral port.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra_args: &[&str]) -> Daemon {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let port_file = std::env::temp_dir().join(format!(
+            "reordd-smoke-{}-{}.port",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_file(&port_file);
+        let child = Command::new(env!("CARGO_BIN_EXE_reordd"))
+            .args(["--addr", "127.0.0.1:0", "--port-file"])
+            .arg(&port_file)
+            .args(extra_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn reordd");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(contents) = std::fs::read_to_string(&port_file) {
+                let trimmed = contents.trim();
+                if !trimmed.is_empty() {
+                    break trimmed.to_string();
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "reordd did not write its port file"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        let _ = std::fs::remove_file(&port_file);
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.addr.as_str(), CONNECT_TIMEOUT).expect("connect to reordd")
+    }
+
+    /// Sends `shutdown`, expects the acknowledgement, and waits for the
+    /// process to drain and exit 0.
+    fn shutdown_and_wait(mut self, client: &mut Client) {
+        match client.call(&Request::Shutdown) {
+            Ok(Response::ShuttingDown) => {}
+            other => panic!("expected shutting_down, got {other:?}"),
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().expect("wait for reordd") {
+                Some(status) => {
+                    assert!(status.success(), "reordd exited with {status}");
+                    return;
+                }
+                None => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "reordd did not exit after shutdown"
+                    );
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // Idempotent: kill errors if the child already exited cleanly.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn stat(body: &Json, path: &[&str]) -> u64 {
+    let mut node = body;
+    for key in path {
+        node = node
+            .get(key)
+            .unwrap_or_else(|| panic!("stats reply missing {path:?}"));
+    }
+    node.as_u64()
+        .unwrap_or_else(|| panic!("stats field {path:?} is not a number"))
+}
+
+fn reorder_request(program: &str) -> Request {
+    Request::Reorder {
+        program: program.to_string(),
+        config: WireConfig::default(),
+        budget_ms: None,
+    }
+}
+
+#[test]
+fn smoke_roundtrip_cache_and_robustness() {
+    let daemon = Daemon::spawn(&[]);
+    let mut client = daemon.client();
+
+    // Liveness.
+    assert!(matches!(client.call(&Request::Ping), Ok(Response::Pong)));
+
+    // First reorder is a cold run, byte-identical to the library (and so,
+    // transitively via the CLI tests, to `reorder-prolog`).
+    let source = prolog_workloads::corpus_program("family")
+        .expect("family workload exists")
+        .text;
+    let expected = reorder::reorder_source(&source, &WireConfig::default().to_reorder_config(1))
+        .expect("family parses")
+        .text;
+    let (program, cached, pipeline) = match client.call(&reorder_request(&source)) {
+        Ok(Response::Reordered {
+            program,
+            cached,
+            pipeline,
+            ..
+        }) => (program, cached, pipeline),
+        other => panic!("expected a result, got {other:?}"),
+    };
+    assert!(!cached, "first request must be a cold run");
+    assert_eq!(program, expected, "service output must match the library");
+    assert!(
+        pipeline.get("total_us").and_then(Json::as_u64).is_some(),
+        "cold result carries pipeline stats"
+    );
+
+    // Second identical request is a cache hit with identical bytes.
+    match client.call(&reorder_request(&source)) {
+        Ok(Response::Reordered {
+            program, cached, ..
+        }) => {
+            assert!(cached, "second request must hit the cache");
+            assert_eq!(program, expected, "hit must be byte-identical to miss");
+        }
+        other => panic!("expected a result, got {other:?}"),
+    }
+
+    // A malformed program gets a structured parse error with a position —
+    // and does not disturb the connection.
+    match client.call(&reorder_request("p(1).\nq(")) {
+        Ok(Response::Error(err)) => {
+            assert_eq!(err.code, ErrorCode::Parse);
+            assert_eq!(err.line, 2, "parse error reports the offending line");
+            assert!(err.col > 0);
+        }
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+
+    // A frame that is not even JSON gets `bad_request`; framing stays
+    // intact, so the connection remains usable.
+    match client.call_raw(b"this is not json") {
+        Ok(Response::Error(err)) => assert_eq!(err.code, ErrorCode::BadRequest),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    match client.call_raw(br#"{"v":1,"type":"no-such-type"}"#) {
+        Ok(Response::Error(err)) => assert_eq!(err.code, ErrorCode::BadRequest),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    assert!(
+        matches!(client.call(&Request::Ping), Ok(Response::Pong)),
+        "connection survives malformed payloads"
+    );
+
+    // Stats reflect all of the above.
+    let stats = match client.call(&Request::Stats) {
+        Ok(Response::Stats(body)) => body,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert_eq!(stat(&stats, &["requests", "reorder"]), 3);
+    assert_eq!(stat(&stats, &["cache", "hits"]), 1);
+    assert_eq!(stat(&stats, &["cache", "misses"]), 2); // family + malformed
+    assert_eq!(stat(&stats, &["requests", "parse_errors"]), 1);
+    assert_eq!(stat(&stats, &["requests", "bad_requests"]), 2);
+    assert_eq!(stat(&stats, &["requests", "panics"]), 0);
+    assert!(stat(&stats, &["cache", "entries"]) >= 2);
+    assert_eq!(stat(&stats, &["shed"]), 0);
+    assert!(
+        stat(&stats, &["pipeline", "total_us"]) > 0,
+        "stats carry aggregated pipeline timings"
+    );
+
+    daemon.shutdown_and_wait(&mut client);
+}
+
+#[test]
+fn zero_budget_times_out_then_retry_is_served_from_cache() {
+    let daemon = Daemon::spawn(&[]);
+    let mut client = daemon.client();
+
+    let source = prolog_workloads::corpus_program("kmbench")
+        .expect("kmbench workload exists")
+        .text;
+    let expected = reorder::reorder_source(&source, &WireConfig::default().to_reorder_config(1))
+        .expect("kmbench parses")
+        .text;
+
+    // A zero budget expires before any pipeline run can finish; the
+    // reply is a structured timeout, not a hang or a dropped connection.
+    let request = Request::Reorder {
+        program: source.clone(),
+        config: WireConfig::default(),
+        budget_ms: Some(0),
+    };
+    match client.call(&request) {
+        Ok(Response::Error(err)) => {
+            assert_eq!(err.code, ErrorCode::Timeout);
+            assert!(err.message.contains("retry"));
+        }
+        other => panic!("expected a timeout, got {other:?}"),
+    }
+
+    // The computation kept running and lands in the cache: retrying the
+    // same request (with a real budget) succeeds with identical bytes.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let program = loop {
+        match client.call(&reorder_request(&source)) {
+            Ok(Response::Reordered { program, .. }) => break program,
+            Ok(Response::Error(err)) if err.code == ErrorCode::Timeout => {
+                assert!(Instant::now() < deadline, "retry never completed");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            other => panic!("expected a result or timeout, got {other:?}"),
+        }
+    };
+    assert_eq!(program, expected);
+
+    // By now the entry is resident: one more request must be a hit.
+    match client.call(&reorder_request(&source)) {
+        Ok(Response::Reordered { cached, .. }) => assert!(cached),
+        other => panic!("expected a result, got {other:?}"),
+    }
+
+    let stats = match client.call(&Request::Stats) {
+        Ok(Response::Stats(body)) => body,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert!(stat(&stats, &["requests", "timeouts"]) >= 1);
+
+    daemon.shutdown_and_wait(&mut client);
+}
+
+#[test]
+fn overload_sheds_with_a_structured_reply_and_recovers() {
+    // One worker, queue depth one: a held connection plus one queued
+    // connection saturate the daemon.
+    let daemon = Daemon::spawn(&["--workers", "1", "--queue", "1"]);
+
+    // A occupies the only worker (connected, sending nothing).
+    let conn_a = daemon.client();
+    std::thread::sleep(Duration::from_millis(300));
+    // B fills the queue.
+    let mut conn_b = daemon.client();
+    std::thread::sleep(Duration::from_millis(200));
+    // C must be shed by the acceptor with a structured overload reply.
+    let mut conn_c = daemon.client();
+    match conn_c.read_reply() {
+        Ok(Response::Error(err)) => {
+            assert_eq!(err.code, ErrorCode::Overload);
+            assert!(err.message.contains("retry"));
+        }
+        other => panic!("expected an overload reply, got {other:?}"),
+    }
+
+    // Releasing A lets the worker pick up B: the daemon recovered
+    // without restarting anything.
+    drop(conn_a);
+    assert!(
+        matches!(conn_b.call(&Request::Ping), Ok(Response::Pong)),
+        "queued connection is served after the held one closes"
+    );
+    let stats = match conn_b.call(&Request::Stats) {
+        Ok(Response::Stats(body)) => body,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert!(
+        stat(&stats, &["shed"]) >= 1,
+        "the shed connection is counted"
+    );
+    assert_eq!(stat(&stats, &["workers", "total"]), 1);
+
+    daemon.shutdown_and_wait(&mut conn_b);
+}

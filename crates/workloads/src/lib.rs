@@ -18,13 +18,17 @@
 //!   workload, §I-E).
 //! * [`queries`] — helpers that enumerate the per-mode query sets the
 //!   paper uses ("one call for each possible instantiation").
+//! * [`corpus`] — every workload rendered to program text under a stable
+//!   name, for load generators and cross-tool byte comparisons.
 
 pub mod corporate;
+pub mod corpus;
 pub mod family;
 pub mod geography;
 pub mod kmbench;
 pub mod puzzles;
 pub mod queries;
 
+pub use corpus::{corpus, corpus_program, CorpusProgram};
 pub use family::{family_program, family_rules, FamilyConfig, FamilyFacts};
 pub use queries::{mode_queries, QuerySpec};

@@ -1,0 +1,111 @@
+//! End-to-end tests for the `reorder-prolog` binary: stdin input, parse
+//! diagnostics, and the machine-readable timings surface.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+const PROGRAM: &str = "girl(ann). girl(sue).\n\
+                       wife(tom, amy). wife(jim, eve).\n\
+                       female(X) :- girl(X).\n\
+                       female(X) :- wife(_, X).\n";
+
+fn run_cli(args: &[&str], stdin_text: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_reorder-prolog"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(stdin_text.as_bytes())
+        .unwrap();
+    child.wait_with_output().unwrap()
+}
+
+fn temp_file(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("reorder-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+#[test]
+fn stdin_input_matches_the_library_pipeline() {
+    let out = run_cli(&["-"], PROGRAM);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let expected = reorder::reorder_source(PROGRAM, &reorder::ReorderConfig::default())
+        .unwrap()
+        .text;
+    assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
+}
+
+#[test]
+fn stdin_and_file_input_agree_byte_for_byte() {
+    let path = temp_file("fam.pl", PROGRAM);
+    let from_file = run_cli(&[path.to_str().unwrap()], "");
+    let from_stdin = run_cli(&["-"], PROGRAM);
+    assert!(from_file.status.success());
+    assert_eq!(from_file.stdout, from_stdin.stdout);
+}
+
+#[test]
+fn parse_error_in_file_exits_nonzero_with_position() {
+    let path = temp_file("bad.pl", "p(1).\nq(oops.\n");
+    let out = run_cli(&[path.to_str().unwrap()], "");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty(), "no program on stdout");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let file = path.to_string_lossy();
+    assert!(
+        stderr.contains(&format!("{file}:2:")),
+        "diagnostic should carry file:line, got: {stderr}"
+    );
+    assert!(stderr.starts_with("error: "), "got: {stderr}");
+}
+
+#[test]
+fn parse_error_on_stdin_names_stdin() {
+    let out = run_cli(&["-"], "p(1).\n\nbroken(.\n");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("<stdin>:3:"),
+        "diagnostic should carry <stdin>:line, got: {stderr}"
+    );
+}
+
+#[test]
+fn timings_json_emits_the_shared_runstats_encoding() {
+    let out = run_cli(&["-", "--timings-json"], PROGRAM);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let json_line = stderr
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("a JSON object line on stderr");
+    assert!(json_line.ends_with('}'));
+    for key in [
+        "\"jobs\":",
+        "\"tasks\":",
+        "\"planning_us\":",
+        "\"reordering_us\":",
+        "\"emission_us\":",
+        "\"total_us\":",
+        "\"estimate_hits\":",
+    ] {
+        assert!(json_line.contains(key), "missing {key} in {json_line}");
+    }
+    // The human format stays human (and absent unless asked for).
+    assert!(!stderr.contains("stage timings"));
+    let human = run_cli(&["-", "--timings"], PROGRAM);
+    let human_err = String::from_utf8_lossy(&human.stderr);
+    assert!(human_err.contains("stage timings"));
+    assert!(!human_err.contains("\"planning_us\""));
+    // The program on stdout is unaffected by either flag.
+    assert_eq!(out.stdout, human.stdout);
+}
