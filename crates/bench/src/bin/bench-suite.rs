@@ -1,0 +1,121 @@
+//! `bench-suite` — one run of the paper's whole evaluation, serialised
+//! as a regression-gated trajectory file.
+//!
+//! ```text
+//! usage: bench-suite [--quick | --full] [--out PATH] [--no-reordd]
+//! ```
+//!
+//! Reproduces Tables II/III/IV and the ablation (predicate-call counts),
+//! times the pipeline at several `--jobs` settings with a byte-identity
+//! check, probes an in-process `reordd` for cold/cached latency and the
+//! queue-wait/service split, and writes everything as schema-versioned
+//! JSON (default `BENCH_PR4.json`). Compare two trajectories with
+//! `bench-diff`; CI runs `--quick` and diffs against the committed
+//! baseline. Depths only add rows — the counts of a row are identical at
+//! every depth, so a quick run diffs cleanly against a full baseline.
+
+use bench_harness::print_table;
+use bench_harness::suite::{encode_trajectory, git_rev, run_suite, Depth};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut depth = Depth::Default;
+    let mut out = "BENCH_PR4.json".to_string();
+    let mut probe_reordd = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => depth = Depth::Quick,
+            "--full" => depth = Depth::Full,
+            "--no-reordd" => probe_reordd = false,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = path.clone(),
+                    None => {
+                        eprintln!("error: --out needs a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: bench-suite [--quick | --full] [--out PATH] [--no-reordd]\n\
+                     \n\
+                     --quick      CI smoke subset (cheap modes only)\n\
+                     --full       the paper's complete protocol (includes the\n\
+                     \x20            3025-query (+,+) sweeps and measured-best search)\n\
+                     --out PATH   trajectory JSON path (default BENCH_PR4.json)\n\
+                     --no-reordd  skip the in-process reordd latency probe"
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unexpected argument {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("bench-suite: depth={} -> {out}", depth.as_str());
+    let suite = run_suite(depth, probe_reordd);
+
+    for section in &suite.sections {
+        print_table(section.name, "row", &section.rows);
+    }
+    println!("\n=== pipeline timings (family workload) ===");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}  identical",
+        "jobs", "total_us", "planning_us", "reorder_us", "emit_us"
+    );
+    for timing in &suite.pipeline_timings {
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>12}  {}",
+            timing.jobs,
+            timing.stats.total.as_micros(),
+            timing.stats.planning.as_micros(),
+            timing.stats.reordering.as_micros(),
+            timing.stats.emission.as_micros(),
+            if timing.output_identical { "yes" } else { "NO" },
+        );
+    }
+    if let Some(probe) = &suite.reordd {
+        println!("\n=== reordd probe ===");
+        println!(
+            "cold {} us, cached {} us, hit ratio {:.2}, queue-wait mean {} us, \
+             service mean {} us",
+            probe.cold_us,
+            probe.cached_us,
+            probe.cache_hit_ratio,
+            probe.queue_wait_mean_us,
+            probe.service_mean_us
+        );
+    }
+
+    // Hard gates: a trajectory with broken equivalence or nondeterministic
+    // parallel output must never become a baseline.
+    assert!(
+        suite
+            .sections
+            .iter()
+            .flat_map(|s| &s.rows)
+            .all(|r| r.equivalent),
+        "set-equivalence must hold for every row"
+    );
+    assert!(
+        suite.pipeline_timings.iter().all(|t| t.output_identical),
+        "pipeline output must be byte-identical across --jobs settings"
+    );
+
+    let json = encode_trajectory(&suite, &git_rev());
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench-suite: wrote {out} ({} bytes, wall {:.2} s)",
+        json.len(),
+        suite.wall_us as f64 / 1e6
+    );
+}

@@ -2,7 +2,7 @@
 //! files, for use with the command-line tools:
 //!
 //! ```text
-//! cargo run -p bench-harness --bin gen_samples
+//! cargo run -p prolog-bench --bin gen_samples
 //! cargo run -p reorder --bin reorder-prolog samples/family.pl --report
 //! ```
 

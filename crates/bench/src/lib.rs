@@ -7,6 +7,8 @@
 //! set on both, and compare **predicate call counts** — the paper's
 //! metric.
 
+pub mod suite;
+
 use prolog_engine::{Counters, Engine, MachineConfig};
 use prolog_syntax::{PredId, SourceProgram, Term};
 use prolog_workloads::queries::{mode_queries, QuerySpec};

@@ -1,0 +1,723 @@
+//! The benchmark-trajectory suite behind the `bench-suite` binary.
+//!
+//! One run reproduces the paper's evaluation (Tables II/III/IV and the
+//! ablation), times the pipeline at several `--jobs` settings, probes an
+//! in-process `reordd` for cold/cached latency, and serialises all of it
+//! into a schema-versioned trajectory JSON (`BENCH_PR4.json`). The
+//! trajectory is the regression gate: `bench-diff` compares two of these
+//! files and fails on call-count regressions, so the committed baseline
+//! pins the reorderer's measured quality, not just its output bytes.
+//!
+//! Call counts are deterministic (fixed workload seeds, fixed configs),
+//! so every [`Depth`] measures its rows identically and deeper runs only
+//! *add* rows — a `--quick` CI run diffs cleanly against a committed
+//! full-depth baseline.
+
+use crate::{measure_queries, measured_best, parse_queries, reorder_default, set_equivalent, Row};
+use prolog_analysis::Mode;
+use prolog_syntax::{PredId, SourceProgram, Term};
+use prolog_trace::fields::write_str;
+use prolog_workloads::corporate::{corporate_program, CorporateConfig};
+use prolog_workloads::family::{family_program, FamilyConfig};
+use prolog_workloads::kmbench::{kmbench_program, KmbenchConfig};
+use prolog_workloads::puzzles::{
+    meal_program, meal_universe, p58_program, p58_universe, team_program, team_universe,
+};
+use prolog_workloads::queries::{mode_queries, QuerySpec};
+use reorder::{ReorderConfig, ReorderResult, Reorderer, RunStats};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Version of the trajectory JSON layout. Bump when field names or the
+/// section structure change; `bench-diff` refuses to compare across
+/// versions.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Discriminator stored in the file so tooling can recognise it.
+pub const BENCH_KIND: &str = "reorder-bench-trajectory";
+
+/// How much of the evaluation to run. Depths only add rows — a row
+/// measured at one depth has identical counts at every other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Depth {
+    /// CI smoke: the cheap modes of each table, no exhaustive search.
+    Quick,
+    /// Everything except the 3025-query `(+,+)` sweeps, exhaustive
+    /// measured-best enumeration, and empirical calibration.
+    Default,
+    /// The paper's complete protocol.
+    Full,
+}
+
+impl Depth {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Depth::Quick => "quick",
+            Depth::Default => "default",
+            Depth::Full => "full",
+        }
+    }
+}
+
+/// One named group of measurement rows ("table2", "ablation", …).
+pub struct Section {
+    pub name: &'static str,
+    pub rows: Vec<Row>,
+}
+
+/// Stage timings for one `jobs` setting of the parallel pipeline.
+pub struct JobsTiming {
+    pub jobs: usize,
+    pub stats: RunStats,
+    /// Emitted program bytes identical to the `jobs` baseline run?
+    pub output_identical: bool,
+}
+
+/// Cold/cached latency and queueing split from an in-process `reordd`.
+pub struct ReorddProbe {
+    pub cold_us: u64,
+    pub cached_us: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_hit_ratio: f64,
+    pub queue_wait_mean_us: u64,
+    pub service_mean_us: u64,
+}
+
+/// Everything one `bench-suite` run measured.
+pub struct Suite {
+    pub depth: Depth,
+    pub sections: Vec<Section>,
+    pub pipeline_timings: Vec<JobsTiming>,
+    pub reordd: Option<ReorddProbe>,
+    pub wall_us: u64,
+}
+
+/// Table II — the family tree, per predicate and mode.
+pub fn table2_rows(depth: Depth) -> Vec<Section> {
+    let config = FamilyConfig::default();
+    let (program, people) = family_program(&config);
+    let result = reorder_default(&program);
+    let preds: &[&str] = match depth {
+        Depth::Quick => &["aunt", "grandmother"],
+        _ => &["aunt", "brother", "cousins", "grandmother"],
+    };
+    let modes: &[&str] = match depth {
+        Depth::Quick => &["--", "-+"],
+        Depth::Default => &["--", "-+", "+-"],
+        Depth::Full => &["--", "-+", "+-", "++"],
+    };
+    let mut rows = Vec::new();
+    for pred in preds {
+        let pred_report = result
+            .report
+            .predicate(PredId::new(*pred, 2))
+            .expect("family predicates are reordered");
+        for mode_s in modes {
+            let mode = Mode::parse(mode_s).unwrap();
+            let version = pred_report
+                .modes
+                .iter()
+                .find(|m| m.mode == mode)
+                .map(|m| m.version.clone())
+                .unwrap_or_else(|| pred.to_string());
+            let queries = mode_queries(&QuerySpec {
+                name: pred.to_string(),
+                mode: mode.clone(),
+                universe: people.clone(),
+            });
+            let version_queries = mode_queries(&QuerySpec {
+                name: version.clone(),
+                mode: mode.clone(),
+                universe: people.clone(),
+            });
+            let original = measure_queries(&program, &queries);
+            let reordered = measure_queries(&result.program, &version_queries);
+            let best = if depth == Depth::Full && queries.len() <= 56 {
+                measured_best(
+                    &result.program,
+                    PredId::new(version.as_str(), 2),
+                    &version_queries,
+                    60,
+                )
+            } else {
+                None
+            };
+            let pretty_mode = mode_s
+                .chars()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            rows.push(Row {
+                label: format!("{pred}({pretty_mode})"),
+                original: original.calls(),
+                reordered: reordered.calls(),
+                best,
+                equivalent: set_equivalent(&original, &reordered),
+            });
+        }
+    }
+    vec![Section {
+        name: "table2",
+        rows,
+    }]
+}
+
+/// Table III — the corporate database rules.
+pub fn table3_rows(_depth: Depth) -> Section {
+    let config = CorporateConfig::default();
+    let (program, _ids) = corporate_program(&config);
+    let result = reorder_default(&program);
+    let cases: &[(&str, &str)] = &[
+        ("benefits(-,-)", "benefits(E, B)"),
+        ("pay(-,-,-)", "pay(E, N, P)"),
+        ("pay(-,jane,-)", "pay(E, jane, P)"),
+        ("maternity(-,-)", "maternity(E, N)"),
+        ("maternity(-,jane)", "maternity(E, jane)"),
+        ("average_pay(-,-)", "average_pay(D, A)"),
+        ("tax(-,-)", "tax(E, T)"),
+        ("tax(e1,-)", "tax(e1, T)"),
+    ];
+    let rows = cases
+        .iter()
+        .map(|(label, query)| {
+            let queries = parse_queries(&[query]);
+            crate::compare_row(*label, &program, &result.program, &queries)
+        })
+        .collect();
+    Section {
+        name: "table3",
+        rows,
+    }
+}
+
+/// Resolves the specialised version serving `mode` in a reorder result.
+fn version_of(result: &ReorderResult, pred: PredId, mode: &str) -> String {
+    result
+        .report
+        .predicate(pred)
+        .and_then(|pr| {
+            let mode = Mode::parse(mode).unwrap();
+            pr.modes
+                .iter()
+                .find(|m| m.mode == mode)
+                .map(|m| m.version.clone())
+        })
+        .unwrap_or_else(|| pred.name.as_str().to_string())
+}
+
+/// Rewrites queries to target the mode-tuned version directly.
+fn retarget(queries: &[Term], version: &str) -> Vec<Term> {
+    queries
+        .iter()
+        .map(|q| Term::struct_(prolog_syntax::sym(version), q.args().to_vec()))
+        .collect()
+}
+
+fn compare_versions(
+    label: &str,
+    program: &SourceProgram,
+    reordered: &SourceProgram,
+    queries: &[Term],
+    version_queries: &[Term],
+) -> Row {
+    let a = measure_queries(program, queries);
+    let b = measure_queries(reordered, version_queries);
+    Row {
+        label: label.to_string(),
+        original: a.calls(),
+        reordered: b.calls(),
+        best: None,
+        equivalent: set_equivalent(&a, &b),
+    }
+}
+
+/// Table IV — several small programs.
+pub fn table4_rows(depth: Depth) -> Section {
+    let mut rows = Vec::new();
+
+    let p58 = p58_program();
+    let p58_re = reorder_default(&p58);
+    let qs = mode_queries(&QuerySpec {
+        name: "p58".into(),
+        mode: Mode::parse("++").unwrap(),
+        universe: p58_universe(),
+    });
+    let v = version_of(&p58_re, PredId::new("p58", 2), "++");
+    rows.push(compare_versions(
+        "p58(+,+)",
+        &p58,
+        &p58_re.program,
+        &qs,
+        &retarget(&qs, &v),
+    ));
+
+    let meal = meal_program();
+    let meal_re = reorder_default(&meal);
+    let qs = parse_queries(&["meal(A, M, D)"]);
+    let v = version_of(&meal_re, PredId::new("meal", 3), "---");
+    rows.push(compare_versions(
+        "meal(-,-,-)",
+        &meal,
+        &meal_re.program,
+        &qs,
+        &retarget(&qs, &v),
+    ));
+
+    let team = team_program();
+    let team_re = reorder_default(&team);
+    let qs = parse_queries(&["team(L, M)"]);
+    let v = version_of(&team_re, PredId::new("team", 2), "--");
+    rows.push(compare_versions(
+        "team(-,-)",
+        &team,
+        &team_re.program,
+        &qs,
+        &retarget(&qs, &v),
+    ));
+
+    if depth >= Depth::Default {
+        let (apps, mains, _) = meal_universe();
+        let mut partial = Vec::new();
+        for a in &apps {
+            for m in &mains {
+                partial.push(
+                    prolog_syntax::parse_term(&format!("meal({a}, {m}, D)"))
+                        .unwrap()
+                        .0,
+                );
+            }
+        }
+        let v = version_of(&meal_re, PredId::new("meal", 3), "++-");
+        rows.push(compare_versions(
+            "meal(+,+,-)",
+            &meal,
+            &meal_re.program,
+            &partial,
+            &retarget(&partial, &v),
+        ));
+
+        let qs = mode_queries(&QuerySpec {
+            name: "team".into(),
+            mode: Mode::parse("++").unwrap(),
+            universe: team_universe(),
+        });
+        let v = version_of(&team_re, PredId::new("team", 2), "++");
+        rows.push(compare_versions(
+            "team(+,+)",
+            &team,
+            &team_re.program,
+            &qs,
+            &retarget(&qs, &v),
+        ));
+
+        let km = kmbench_program(&KmbenchConfig::default());
+        let km_re = reorder_default(&km);
+        let qs = parse_queries(&["run_all"]);
+        rows.push(compare_versions(
+            "kmbench",
+            &km,
+            &km_re.program,
+            &qs,
+            &qs.clone(),
+        ));
+    }
+
+    Section {
+        name: "table4",
+        rows,
+    }
+}
+
+/// The design-choice ablation: each row reorders the family tree under
+/// one configuration and runs the headline `(-,-)` queries. `original`
+/// is the unreordered baseline in every row, so `ratio()` reads as the
+/// configuration's speedup.
+pub fn ablation_rows(depth: Depth) -> Section {
+    let (program, people) = family_program(&FamilyConfig::default());
+    let queries = parse_queries(&[
+        "aunt(X, Y)",
+        "cousins(X, Y)",
+        "grandmother(X, Y)",
+        "brother(X, Y)",
+        "sister(X, Y)",
+    ]);
+    let baseline = measure_queries(&program, &queries).calls();
+    let mut rows = Vec::new();
+    let mut push = |label: &str, result: &ReorderResult| {
+        let calls = measure_queries(&result.program, &queries).calls();
+        rows.push(Row {
+            label: label.to_string(),
+            original: baseline,
+            reordered: calls,
+            best: None,
+            equivalent: true,
+        });
+    };
+
+    push(
+        "full system",
+        &Reorderer::new(&program, ReorderConfig::default()).run(),
+    );
+    push(
+        "goal reordering only",
+        &Reorderer::new(
+            &program,
+            ReorderConfig {
+                reorder_clauses: false,
+                ..Default::default()
+            },
+        )
+        .run(),
+    );
+    push(
+        "clause reordering only",
+        &Reorderer::new(
+            &program,
+            ReorderConfig {
+                reorder_goals: false,
+                ..Default::default()
+            },
+        )
+        .run(),
+    );
+    push(
+        "no mode specialisation",
+        &Reorderer::new(
+            &program,
+            ReorderConfig {
+                specialize_modes: false,
+                ..Default::default()
+            },
+        )
+        .run(),
+    );
+
+    if depth >= Depth::Default {
+        push(
+            "best-first search only",
+            &Reorderer::new(
+                &program,
+                ReorderConfig {
+                    exhaustive_threshold: 0,
+                    ..Default::default()
+                },
+            )
+            .run(),
+        );
+        push(
+            "markov-chain cost model",
+            &Reorderer::new(
+                &program,
+                ReorderConfig {
+                    cost_model: reorder::CostModelKind::MarkovChain,
+                    ..Default::default()
+                },
+            )
+            .run(),
+        );
+    }
+
+    if depth == Depth::Full {
+        let universe: Vec<Term> = people.iter().map(|p| Term::atom(p)).collect();
+        let preds: Vec<PredId> = program
+            .predicates()
+            .into_iter()
+            .filter(|p| p.arity <= 2)
+            .collect();
+        let measured = reorder::calibrate(
+            &program,
+            &preds,
+            &universe,
+            &reorder::CalibrationConfig {
+                max_queries_per_mode: 16,
+                max_calls_per_query: 500_000,
+            },
+        );
+        push(
+            "empirically calibrated costs",
+            &Reorderer::new(&program, ReorderConfig::default())
+                .with_measured_costs(measured)
+                .run(),
+        );
+    }
+
+    Section {
+        name: "ablation",
+        rows,
+    }
+}
+
+/// Times the source-to-source pipeline on the family workload at each
+/// `jobs` setting and checks the emitted bytes stay identical — the
+/// determinism contract the parallel driver promises.
+pub fn pipeline_timings(jobs_list: &[usize]) -> Vec<JobsTiming> {
+    let source = prolog_workloads::corpus_program("family")
+        .expect("family workload exists")
+        .text;
+    let mut reference: Option<String> = None;
+    jobs_list
+        .iter()
+        .map(|&jobs| {
+            let config = ReorderConfig {
+                jobs,
+                ..Default::default()
+            };
+            let outcome = reorder::reorder_source(&source, &config).expect("family parses");
+            let output_identical = match &reference {
+                None => {
+                    reference = Some(outcome.text.clone());
+                    true
+                }
+                Some(r) => *r == outcome.text,
+            };
+            JobsTiming {
+                jobs,
+                stats: outcome.report.stats.clone(),
+                output_identical,
+            }
+        })
+        .collect()
+}
+
+/// Boots an in-process `reordd`, issues the same reorder twice (cold,
+/// then cached), and reads the daemon's own latency split back out of
+/// its `stats` reply.
+pub fn reordd_probe() -> ReorddProbe {
+    use reordd::{Client, Request, Response, Server, ServerConfig, WireConfig};
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        pipeline_jobs: 1,
+        ..Default::default()
+    })
+    .expect("bind in-process reordd");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client =
+        Client::connect(addr.as_str(), Duration::from_secs(10)).expect("connect to reordd");
+
+    let source = prolog_workloads::corpus_program("family")
+        .expect("family workload exists")
+        .text;
+    let request = Request::Reorder {
+        program: source,
+        config: WireConfig::default(),
+        budget_ms: None,
+    };
+    let call = |client: &mut Client| match client.call(&request) {
+        Ok(Response::Reordered {
+            cached, elapsed_us, ..
+        }) => (cached, elapsed_us),
+        other => panic!("expected a reorder result, got {other:?}"),
+    };
+    let (cached, cold_us) = call(&mut client);
+    assert!(!cached, "first probe request must be a cold run");
+    let (cached, cached_us) = call(&mut client);
+    assert!(cached, "second probe request must hit the cache");
+
+    let stats = match client.call(&Request::Stats) {
+        Ok(Response::Stats(body)) => body,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    let path = |keys: &[&str]| -> u64 {
+        let mut node = &stats;
+        for k in keys {
+            node = node
+                .get(k)
+                .unwrap_or_else(|| panic!("stats reply missing {keys:?}"));
+        }
+        node.as_u64().unwrap_or(0)
+    };
+    let hits = path(&["cache", "hits"]);
+    let misses = path(&["cache", "misses"]);
+    let probe = ReorddProbe {
+        cold_us,
+        cached_us,
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_hit_ratio: hits as f64 / ((hits + misses) as f64).max(1.0),
+        queue_wait_mean_us: path(&["latency", "queue_wait", "mean_us"]),
+        service_mean_us: path(&["latency", "service", "mean_us"]),
+    };
+    match client.call(&Request::Shutdown) {
+        Ok(Response::ShuttingDown) => {}
+        other => panic!("expected shutdown ack, got {other:?}"),
+    }
+    handle.join().expect("server thread").expect("server run");
+    probe
+}
+
+/// Runs the whole suite at `depth`.
+pub fn run_suite(depth: Depth, probe_reordd: bool) -> Suite {
+    let started = Instant::now();
+    let mut sections = table2_rows(depth);
+    sections.push(table3_rows(depth));
+    sections.push(table4_rows(depth));
+    sections.push(ablation_rows(depth));
+    let jobs_list: &[usize] = match depth {
+        Depth::Quick => &[1, 2],
+        _ => &[1, 2, 8],
+    };
+    let pipeline = pipeline_timings(jobs_list);
+    let reordd = probe_reordd.then(reordd_probe);
+    Suite {
+        depth,
+        sections,
+        pipeline_timings: pipeline,
+        reordd,
+        wall_us: started.elapsed().as_micros() as u64,
+    }
+}
+
+/// Serialises the suite as the trajectory JSON. Key order is part of the
+/// pinned schema (see `tests/bench_schema_golden.rs`).
+pub fn encode_trajectory(suite: &Suite, git_rev: &str) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "{{\"schema_version\":{BENCH_SCHEMA_VERSION},\"kind\":\"{BENCH_KIND}\",\"depth\":\"{}\",\"git_rev\":",
+        suite.depth.as_str()
+    );
+    write_str(&mut out, git_rev);
+    out.push_str(",\"sections\":[");
+    for (i, section) in suite.sections.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"name\":\"{}\",\"rows\":[", section.name);
+        for (j, row) in section.rows.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":");
+            write_str(&mut out, &row.label);
+            let _ = write!(
+                out,
+                ",\"original\":{},\"reordered\":{}",
+                row.original, row.reordered
+            );
+            match row.best {
+                Some(b) => {
+                    let _ = write!(out, ",\"best\":{b}");
+                }
+                None => out.push_str(",\"best\":null"),
+            }
+            let _ = write!(
+                out,
+                ",\"equivalent\":{},\"ratio\":{:.4}}}",
+                row.equivalent,
+                row.ratio()
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"pipeline_timings\":[");
+    for (i, timing) in suite.pipeline_timings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // The nested stats object reuses RunStats's own field encoder —
+        // the same bytes `--timings-json` and the reordd stats reply emit.
+        let _ = write!(
+            out,
+            "{{\"jobs\":{},\"output_identical\":{},\"stats\":{}}}",
+            timing.jobs,
+            timing.output_identical,
+            timing.stats.to_json()
+        );
+    }
+    out.push(']');
+    if let Some(probe) = &suite.reordd {
+        let _ = write!(
+            out,
+            ",\"reordd\":{{\"cold_us\":{},\"cached_us\":{},\"cache_hits\":{},\
+             \"cache_misses\":{},\"cache_hit_ratio\":{:.4},\"queue_wait_mean_us\":{},\
+             \"service_mean_us\":{}}}",
+            probe.cold_us,
+            probe.cached_us,
+            probe.cache_hits,
+            probe.cache_misses,
+            probe.cache_hit_ratio,
+            probe.queue_wait_mean_us,
+            probe.service_mean_us
+        );
+    }
+    let _ = write!(out, ",\"wall_us\":{}}}", suite.wall_us);
+    out
+}
+
+/// Best-effort short git revision, `"unknown"` outside a checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depths_are_ordered() {
+        assert!(Depth::Quick < Depth::Default);
+        assert!(Depth::Default < Depth::Full);
+    }
+
+    #[test]
+    fn trajectory_encoding_is_valid_json_with_pinned_top_level() {
+        let suite = Suite {
+            depth: Depth::Quick,
+            sections: vec![Section {
+                name: "table2",
+                rows: vec![Row {
+                    label: "aunt(-,-)".into(),
+                    original: 100,
+                    reordered: 50,
+                    best: None,
+                    equivalent: true,
+                }],
+            }],
+            pipeline_timings: vec![JobsTiming {
+                jobs: 1,
+                stats: RunStats::default(),
+                output_identical: true,
+            }],
+            reordd: Some(ReorddProbe {
+                cold_us: 1000,
+                cached_us: 10,
+                cache_hits: 1,
+                cache_misses: 1,
+                cache_hit_ratio: 0.5,
+                queue_wait_mean_us: 2,
+                service_mean_us: 500,
+            }),
+            wall_us: 12345,
+        };
+        let json = encode_trajectory(&suite, "abc1234");
+        let parsed = reordd::Json::parse(&json).expect("trajectory is valid JSON");
+        assert_eq!(
+            parsed.get("schema_version").and_then(reordd::Json::as_u64),
+            Some(BENCH_SCHEMA_VERSION)
+        );
+        match parsed.get("sections") {
+            Some(reordd::Json::Arr(sections)) => assert_eq!(sections.len(), 1),
+            other => panic!("sections must be an array, got {other:?}"),
+        }
+        assert_eq!(
+            parsed
+                .get("reordd")
+                .and_then(|r| r.get("cached_us"))
+                .and_then(reordd::Json::as_u64),
+            Some(10)
+        );
+        assert_eq!(
+            parsed.get("wall_us").and_then(reordd::Json::as_u64),
+            Some(12345)
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Golden schema tests: pin the two JSON surfaces downstream tooling
+//! consumes — the committed `BENCH_PR4.json` trajectory and the Chrome
+//! trace-event export — so a schema change is a deliberate diff here
+//! (and a `schema_version` bump), never an accident.
+
+use bench_harness::suite::{encode_trajectory, run_suite, Depth, BENCH_KIND, BENCH_SCHEMA_VERSION};
+use reordd::Json;
+
+fn keys(value: &Json) -> Vec<&str> {
+    match value {
+        Json::Obj(entries) => entries.iter().map(|(k, _)| k.as_str()).collect(),
+        other => panic!("expected an object, got {other:?}"),
+    }
+}
+
+fn arr(value: &Json) -> &[Json] {
+    match value {
+        Json::Arr(items) => items,
+        other => panic!("expected an array, got {other:?}"),
+    }
+}
+
+/// The golden trajectory schema, field order included (the encoder emits
+/// a stable order; tools may rely on it for diffs).
+fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
+    let mut top = vec![
+        "schema_version",
+        "kind",
+        "depth",
+        "git_rev",
+        "sections",
+        "pipeline_timings",
+    ];
+    if expect_reordd {
+        top.push("reordd");
+    }
+    top.push("wall_us");
+    assert_eq!(keys(doc), top, "top-level keys");
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_u64),
+        Some(BENCH_SCHEMA_VERSION)
+    );
+    assert_eq!(doc.get("kind").and_then(Json::as_str), Some(BENCH_KIND));
+
+    let sections = arr(doc.get("sections").expect("sections"));
+    assert!(!sections.is_empty());
+    let expected_sections = ["table2", "table3", "table4", "ablation"];
+    for (section, expected_name) in sections.iter().zip(expected_sections) {
+        assert_eq!(keys(section), ["name", "rows"]);
+        assert_eq!(
+            section.get("name").and_then(Json::as_str),
+            Some(expected_name)
+        );
+        for row in arr(section.get("rows").expect("rows")) {
+            assert_eq!(
+                keys(row),
+                [
+                    "label",
+                    "original",
+                    "reordered",
+                    "best",
+                    "equivalent",
+                    "ratio"
+                ],
+                "row keys in section {expected_name}"
+            );
+            assert!(row.get("original").and_then(Json::as_u64).is_some());
+            assert!(row.get("reordered").and_then(Json::as_u64).is_some());
+            assert!(row.get("equivalent").and_then(Json::as_bool).is_some());
+        }
+    }
+
+    for timing in arr(doc.get("pipeline_timings").expect("pipeline_timings")) {
+        assert_eq!(keys(timing), ["jobs", "output_identical", "stats"]);
+        // The stats object is RunStats::to_json verbatim — the same bytes
+        // `reorder-prolog --timings-json` and the reordd stats reply use.
+        assert_eq!(
+            keys(timing.get("stats").expect("stats")),
+            [
+                "jobs",
+                "tasks",
+                "planning_us",
+                "reordering_us",
+                "emission_us",
+                "total_us",
+                "orders_explored",
+                "orders_rejected",
+                "estimate_hits",
+                "estimate_misses",
+                "chain_hits",
+                "chain_misses",
+                "mode_hits",
+                "mode_misses",
+            ],
+            "RunStats::to_json keys"
+        );
+    }
+
+    if expect_reordd {
+        assert_eq!(
+            keys(doc.get("reordd").expect("reordd")),
+            [
+                "cold_us",
+                "cached_us",
+                "cache_hits",
+                "cache_misses",
+                "cache_hit_ratio",
+                "queue_wait_mean_us",
+                "service_mean_us",
+            ]
+        );
+    }
+    assert!(doc.get("wall_us").and_then(Json::as_u64).is_some());
+}
+
+/// The committed baseline at the repo root parses and matches the golden
+/// schema — regenerate it with `cargo run -p prolog-bench --bin
+/// bench-suite` whenever the encoder changes.
+#[test]
+fn committed_baseline_matches_golden_schema() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("committed BENCH_PR4.json must exist at the repo root: {e}"));
+    let doc = Json::parse(&text).expect("committed baseline parses");
+    check_trajectory_schema(&doc, true);
+    assert_eq!(doc.get("depth").and_then(Json::as_str), Some("default"));
+}
+
+/// A fresh quick run emits the same schema (modulo the optional reordd
+/// probe) and identical call counts on the rows it shares with the
+/// committed baseline — the determinism bench-diff relies on.
+#[test]
+fn fresh_quick_run_matches_schema_and_baseline_counts() {
+    let suite = run_suite(Depth::Quick, false);
+    let encoded = encode_trajectory(&suite, "test");
+    let doc = Json::parse(&encoded).expect("fresh trajectory parses");
+    check_trajectory_schema(&doc, false);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    let baseline = Json::parse(&std::fs::read_to_string(path).expect("baseline readable"))
+        .expect("baseline parses");
+    let mut shared = 0;
+    for (section, base_section) in arr(doc.get("sections").unwrap())
+        .iter()
+        .zip(arr(baseline.get("sections").unwrap()))
+    {
+        for row in arr(section.get("rows").unwrap()) {
+            let label = row.get("label").and_then(Json::as_str).unwrap();
+            let base_row = arr(base_section.get("rows").unwrap())
+                .iter()
+                .find(|r| r.get("label").and_then(Json::as_str) == Some(label))
+                .unwrap_or_else(|| panic!("quick row {label} must exist in the baseline"));
+            for field in ["original", "reordered"] {
+                assert_eq!(
+                    row.get(field).and_then(Json::as_u64),
+                    base_row.get(field).and_then(Json::as_u64),
+                    "call counts are deterministic: {label}/{field}"
+                );
+            }
+            shared += 1;
+        }
+    }
+    assert!(shared >= 10, "quick run shares >=10 rows with the baseline");
+}
+
+/// The Chrome trace-event export schema: envelope keys, duration-event
+/// pairing fields, instant scope, and counter shape.
+#[test]
+fn chrome_trace_export_matches_golden_schema() {
+    // Process-global tracing: serialise with anything else that toggles it.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    let _ = prolog_trace::drain();
+    prolog_trace::enable();
+    {
+        let _outer = prolog_trace::span_with("golden.outer", || {
+            prolog_trace::fields::Obj::new().u64("k", 7)
+        });
+        prolog_trace::instant("golden.tick");
+        prolog_trace::counter("golden.count", 2.0);
+    }
+    prolog_trace::disable();
+    let trace = prolog_trace::drain();
+    let json = trace.to_chrome_json();
+    let doc = Json::parse(&json).expect("chrome export parses");
+
+    assert_eq!(keys(&doc), ["schema_version", "dropped", "traceEvents"]);
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_u64),
+        Some(prolog_trace::TRACE_SCHEMA_VERSION)
+    );
+    assert_eq!(doc.get("dropped").and_then(Json::as_u64), Some(0));
+
+    let events = arr(doc.get("traceEvents").expect("traceEvents"));
+    let find = |name: &str, ph: &str| {
+        events
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Json::as_str) == Some(name)
+                    && e.get("ph").and_then(Json::as_str) == Some(ph)
+            })
+            .unwrap_or_else(|| panic!("no {ph} event named {name}"))
+    };
+
+    let begin = find("golden.outer", "B");
+    for field in ["name", "cat", "ph", "ts", "pid", "tid", "args"] {
+        assert!(begin.get(field).is_some(), "B event missing {field}");
+    }
+    assert_eq!(begin.get("cat").and_then(Json::as_str), Some("reorder"));
+    assert_eq!(begin.get("pid").and_then(Json::as_u64), Some(1));
+    let args = begin.get("args").expect("B args");
+    assert!(args.get("span_id").and_then(Json::as_u64).is_some());
+    assert_eq!(args.get("k").and_then(Json::as_u64), Some(7));
+
+    let end = find("golden.outer", "E");
+    assert_eq!(
+        end.get("args")
+            .and_then(|a| a.get("span_id"))
+            .and_then(Json::as_u64),
+        args.get("span_id").and_then(Json::as_u64),
+        "B/E pair shares a span_id"
+    );
+
+    let instant = find("golden.tick", "i");
+    assert_eq!(
+        instant.get("s").and_then(Json::as_str),
+        Some("t"),
+        "instants are thread-scoped"
+    );
+    assert_eq!(
+        instant
+            .get("args")
+            .and_then(|a| a.get("span_id"))
+            .and_then(Json::as_u64),
+        args.get("span_id").and_then(Json::as_u64),
+        "instant attributes to the enclosing span"
+    );
+
+    let counter = find("golden.count", "C");
+    assert_eq!(
+        counter
+            .get("args")
+            .and_then(|a| a.get("value"))
+            .and_then(Json::as_f64),
+        Some(2.0)
+    );
+}

@@ -6,7 +6,7 @@
 //! usage: reorder-prolog INPUT.pl [-o OUTPUT.pl] [--report] [--timings]
 //!                       [--timings-json] [--jobs N] [--no-specialize]
 //!                       [--no-goals] [--no-clauses] [--unfold]
-//!                       [--markov-model]
+//!                       [--markov-model] [--trace-out PATH] [--trace-summary]
 //! ```
 //!
 //! `INPUT.pl` may be `-` to read the program from stdin. Parse errors
@@ -23,6 +23,8 @@ fn main() {
     let mut timings = false;
     let mut timings_json = false;
     let mut unfold = false;
+    let mut trace_out: Option<String> = None;
+    let mut trace_summary = false;
     let mut config = ReorderConfig::default();
 
     let mut i = 0;
@@ -54,6 +56,15 @@ fn main() {
             "--no-clauses" => config.reorder_clauses = false,
             "--unfold" => unfold = true,
             "--markov-model" => config.cost_model = reorder::CostModelKind::MarkovChain,
+            "--trace-out" => {
+                i += 1;
+                trace_out = args.get(i).cloned();
+                if trace_out.is_none() {
+                    eprintln!("error: --trace-out needs a path");
+                    std::process::exit(2);
+                }
+            }
+            "--trace-summary" => trace_summary = true,
             "-h" | "--help" => {
                 eprintln!(
                     "usage: reorder-prolog INPUT.pl [-o OUTPUT.pl] [--report] \
@@ -66,7 +77,11 @@ fn main() {
                      --timings       print per-stage wall-clock and cache counters \
                      on stderr\n\
                      --timings-json  print the same stats as one JSON object \
-                     on stderr"
+                     on stderr\n\
+                     --trace-out PATH  enable tracing; write a Chrome trace-event \
+                     JSON of the run to PATH (load in chrome://tracing)\n\
+                     --trace-summary   enable tracing; print a per-span profile \
+                     table on stderr"
                 );
                 return;
             }
@@ -100,6 +115,9 @@ fn main() {
         }
     };
 
+    if trace_out.is_some() || trace_summary {
+        prolog_trace::enable();
+    }
     let unfold_config = unfold.then(UnfoldConfig::default);
     let outcome = match reorder::reorder_source_with(&src, &config, unfold_config.as_ref()) {
         Ok(outcome) => outcome,
@@ -122,6 +140,19 @@ fn main() {
     }
     for warning in &outcome.report.warnings {
         eprintln!("warning: {warning}");
+    }
+    if trace_out.is_some() || trace_summary {
+        let trace = prolog_trace::drain();
+        if let Some(path) = &trace_out {
+            if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+                eprintln!("error: cannot write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("% trace: {} events -> {path}", trace.records.len());
+        }
+        if trace_summary {
+            eprint!("{}", trace.summary());
+        }
     }
 
     match output {

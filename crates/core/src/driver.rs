@@ -80,10 +80,16 @@ impl<'p> Reorderer<'p> {
     /// Runs analysis, estimation, reordering, and specialisation.
     pub fn run(&self) -> ReorderResult {
         let t_run = Instant::now();
+        let _run_span = prolog_trace::span_with("reorder.run", || {
+            prolog_trace::fields::Obj::new()
+                .u64("clauses", self.program.clauses.len() as u64)
+                .u64("jobs", self.config.resolved_jobs() as u64)
+        });
 
         // ---- Planning: analyses, fixity, the mode oracle, and the level
         // schedule. Everything built here is shared immutably (or behind
         // internal locks) by the reordering workers.
+        let planning_span = prolog_trace::span("reorder.planning");
         let analysis = ProgramAnalysis::analyze(self.program);
         let mut seeds = prolog_engine_builtin_seeds();
         seeds.extend(analysis.declarations.fixed.iter().copied());
@@ -151,6 +157,7 @@ impl<'p> Reorderer<'p> {
         est.seal();
         oracle.seal();
         let planning = t_run.elapsed();
+        drop(planning_span);
 
         // ---- Reordering: one task per (predicate, mode), level by level.
         // Same-level predicates never call one another, so workers may
@@ -158,6 +165,9 @@ impl<'p> Reorderer<'p> {
         // each level boundary replays the serial sweep's bookkeeping
         // (override installs, version naming) in bottom-up order.
         let t_reorder = Instant::now();
+        let reordering_span = prolog_trace::span_with("reorder.reordering", || {
+            prolog_trace::fields::Obj::new().u64("levels", levels.len() as u64)
+        });
         // (callee, suffix) → emitted version name, filled level by level.
         let mut version_names: HashMap<(PredId, String), Symbol> = HashMap::new();
         let mut artifacts: HashMap<PredId, PredArtifact> = HashMap::new();
@@ -172,6 +182,11 @@ impl<'p> Reorderer<'p> {
                 est.begin_task();
                 oracle.begin_task();
                 let (pred, mode) = tasks[i];
+                let _task_span = prolog_trace::span_with("reorder.task", || {
+                    prolog_trace::fields::Obj::new()
+                        .str("pred", format!("{pred}"))
+                        .str("mode", mode.suffix())
+                });
                 let clauses = self.program.clauses_of(pred);
                 let original = est.stats(pred, mode);
                 let outcome = self.reorder_mode(
@@ -264,11 +279,13 @@ impl<'p> Reorderer<'p> {
             }
         }
         let reordering = t_reorder.elapsed();
+        drop(reordering_span);
 
         // ---- Emission: assemble the program and report strictly in
         // bottom-up order, so the output is byte-identical no matter how
         // the reordering tasks were scheduled.
         let t_emit = Instant::now();
+        let emission_span = prolog_trace::span("reorder.emission");
         let mut out = SourceProgram {
             directives: self.program.directives.clone(),
             ..Default::default()
@@ -334,6 +351,7 @@ impl<'p> Reorderer<'p> {
             });
         }
         let emission = t_emit.elapsed();
+        drop(emission_span);
 
         let ((estimate_hits, estimate_misses), (chain_hits, chain_misses)) = est.cache_counters();
         let (mode_hits, mode_misses) = oracle.cache_counters();
@@ -363,6 +381,7 @@ impl<'p> Reorderer<'p> {
             mode_hits,
             mode_misses,
         };
+        prolog_trace::instant_with("reorder.run_stats", || report.stats.to_fields());
         ReorderResult {
             program: out,
             report,

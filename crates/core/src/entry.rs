@@ -40,14 +40,25 @@ pub fn reorder_source_with(
     config: &ReorderConfig,
     unfold: Option<&UnfoldConfig>,
 ) -> Result<SourceOutcome, ParseError> {
+    let _pipeline_span = prolog_trace::span_with("reorder.pipeline", || {
+        prolog_trace::fields::Obj::new().u64("source_bytes", src.len() as u64)
+    });
+    let parse_span = prolog_trace::span("reorder.parse");
     let program = prolog_syntax::parse_program(src)?;
+    drop(parse_span);
     let (program, unfolded_goals) = match unfold {
-        Some(unfold_config) => unfold_program(&program, unfold_config),
+        Some(unfold_config) => {
+            let _unfold_span = prolog_trace::span("reorder.unfold");
+            unfold_program(&program, unfold_config)
+        }
         None => (program, 0),
     };
     let result = Reorderer::new(&program, config.clone()).run();
+    let emit_span = prolog_trace::span("reorder.emit_text");
+    let text = prolog_syntax::pretty::program_to_string(&result.program);
+    drop(emit_span);
     Ok(SourceOutcome {
-        text: prolog_syntax::pretty::program_to_string(&result.program),
+        text,
         report: result.report,
         unfolded_goals,
     })

@@ -92,29 +92,32 @@ impl RunStats {
     /// order. Durations are integer microseconds. This is the **shared
     /// encoder** behind both the CLI's `--timings-json` flag and the
     /// `reordd` server's `stats` reply, so the two surfaces can never
-    /// drift apart.
+    /// drift apart. Encoded with the structured-event builder from
+    /// `prolog-trace` ([`RunStats::to_fields`]), the same one span
+    /// arguments use.
     pub fn to_json(&self) -> String {
-        let us = |d: Duration| d.as_micros();
-        format!(
-            "{{\"jobs\":{},\"tasks\":{},\"planning_us\":{},\"reordering_us\":{},\
-             \"emission_us\":{},\"total_us\":{},\"orders_explored\":{},\
-             \"orders_rejected\":{},\"estimate_hits\":{},\"estimate_misses\":{},\
-             \"chain_hits\":{},\"chain_misses\":{},\"mode_hits\":{},\"mode_misses\":{}}}",
-            self.jobs,
-            self.tasks,
-            us(self.planning),
-            us(self.reordering),
-            us(self.emission),
-            us(self.total),
-            self.orders_explored,
-            self.orders_rejected,
-            self.estimate_hits,
-            self.estimate_misses,
-            self.chain_hits,
-            self.chain_misses,
-            self.mode_hits,
-            self.mode_misses,
-        )
+        self.to_fields().encode()
+    }
+
+    /// The stats as an ordered structured-event object — attachable to a
+    /// trace span or instant as-is.
+    pub fn to_fields(&self) -> prolog_trace::fields::Obj {
+        let us = |d: Duration| d.as_micros() as u64;
+        prolog_trace::fields::Obj::new()
+            .u64("jobs", self.jobs as u64)
+            .u64("tasks", self.tasks as u64)
+            .u64("planning_us", us(self.planning))
+            .u64("reordering_us", us(self.reordering))
+            .u64("emission_us", us(self.emission))
+            .u64("total_us", us(self.total))
+            .u64("orders_explored", self.orders_explored as u64)
+            .u64("orders_rejected", self.orders_rejected as u64)
+            .u64("estimate_hits", self.estimate_hits)
+            .u64("estimate_misses", self.estimate_misses)
+            .u64("chain_hits", self.chain_hits)
+            .u64("chain_misses", self.chain_misses)
+            .u64("mode_hits", self.mode_hits)
+            .u64("mode_misses", self.mode_misses)
     }
 
     /// Accumulates another run's stats into this one: durations and

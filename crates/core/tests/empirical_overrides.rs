@@ -1,0 +1,179 @@
+//! Calibration-override semantics (`reorder::empirical`): measured
+//! `(predicate, mode)` pairs replace the static estimates — and *only*
+//! those pairs — and modes the engine cannot finish within the
+//! calibration budget are discarded rather than guessed at.
+
+use prolog_analysis::{Mode, ProgramAnalysis};
+use prolog_syntax::{parse_program, PredId, Term};
+use reorder::costs::p_to_solutions;
+use reorder::{calibrate, CalibrationConfig, Estimator, ModeOracle, ReorderConfig, Reorderer};
+
+fn universe(names: &[&str]) -> Vec<Term> {
+    names.iter().map(|n| Term::atom(n)).collect()
+}
+
+/// `s(s(...(0)))`, `depth` constructors deep.
+fn peano(depth: usize) -> Term {
+    let mut t = Term::Int(0);
+    for _ in 0..depth {
+        t = Term::struct_(prolog_syntax::sym("s"), vec![t]);
+    }
+    t
+}
+
+#[test]
+fn overrides_replace_static_estimates_only_for_measured_pairs() {
+    let program = parse_program(
+        "r(X) :- f(X), g(X).
+         f(a). f(b). f(c).
+         g(a).",
+    )
+    .unwrap();
+    let f = PredId::new("f", 1);
+    let g = PredId::new("g", 1);
+
+    // Calibrate f/1 only.
+    let measured = calibrate(
+        &program,
+        &[f],
+        &universe(&["a", "b", "c"]),
+        &CalibrationConfig::default(),
+    );
+    assert!(
+        measured.keys().all(|(pred, _)| *pred == f),
+        "calibration must return only the requested predicates: {measured:?}"
+    );
+    let minus = Mode::parse("-").unwrap();
+    let plus = Mode::parse("+").unwrap();
+    assert!(measured.contains_key(&(f, minus.clone())));
+    assert!(measured.contains_key(&(f, plus.clone())));
+
+    // Static estimates first, then install the measured ones.
+    let analysis = ProgramAnalysis::analyze(&program);
+    let oracle = ModeOracle::new(&program, &analysis.declarations);
+    let config = ReorderConfig::default();
+    let est = Estimator::new(
+        &program,
+        &oracle,
+        &analysis.declarations,
+        &analysis.recursion,
+        &config,
+    );
+    let g_static = est.stats(g, &minus);
+    let f_static = est.stats(f, &minus);
+    for ((pred, mode), stats) in &measured {
+        est.install_override(*pred, mode.clone(), *stats);
+    }
+
+    // Measured pairs now answer with the measured numbers…
+    let f_now = est.stats(f, &minus);
+    assert_eq!(
+        f_now,
+        measured[&(f, minus.clone())],
+        "measured (f/1, -) must replace the static estimate"
+    );
+    assert!(
+        (p_to_solutions(f_now.p) - 3.0).abs() < 1e-9,
+        "f/1 free mode really has 3 solutions, got p={}",
+        f_now.p
+    );
+    // …even where the static estimate was already memoised beforehand.
+    assert_eq!(est.stats(f, &plus), measured[&(f, plus)]);
+    let _ = f_static;
+
+    // Unmeasured predicates keep their static estimates, bit for bit.
+    assert_eq!(
+        est.stats(g, &minus),
+        g_static,
+        "g/1 was not calibrated; its estimate must not move"
+    );
+}
+
+#[test]
+fn divergent_modes_are_discarded_at_the_call_budget() {
+    // r(0). r(s(X)) :- r(X). — mode (+) needs depth+1 calls for a peano
+    // argument; mode (-) enumerates forever (with ever-growing solution
+    // terms, so budgets here must stay small or the probe itself balloons).
+    let program = parse_program("r(0). r(s(X)) :- r(X).").unwrap();
+    let r = PredId::new("r", 1);
+    let deep = vec![peano(200)];
+    let minus = Mode::parse("-").unwrap();
+    let plus = Mode::parse("+").unwrap();
+
+    // Budget below the needed ~201 calls: the (+) measurement aborts and
+    // the mode is discarded, exactly like a truly divergent one.
+    let starved = calibrate(
+        &program,
+        &[r],
+        &deep,
+        &CalibrationConfig {
+            max_calls_per_query: 50,
+            ..Default::default()
+        },
+    );
+    assert!(
+        !starved.contains_key(&(r, plus.clone())),
+        "a (+) probe that exceeds max_calls_per_query must be discarded"
+    );
+
+    // Budget above it: the same mode measures fine.
+    let funded = calibrate(
+        &program,
+        &[r],
+        &deep,
+        &CalibrationConfig {
+            max_calls_per_query: 2_000,
+            ..Default::default()
+        },
+    );
+    let stats = funded
+        .get(&(r, plus))
+        .expect("with budget to spare, (+) measures");
+    assert!(
+        (150.0..=400.0).contains(&stats.cost),
+        "measured cost tracks the recursion depth, got {}",
+        stats.cost
+    );
+
+    // The unbounded (-) enumeration is discarded at every budget.
+    for costs in [&starved, &funded] {
+        assert!(
+            !costs.contains_key(&(r, minus.clone())),
+            "divergent (-) mode must never be reported"
+        );
+    }
+}
+
+#[test]
+fn reorderer_accepts_measured_costs_and_stays_equivalent() {
+    // End-to-end: with_measured_costs flows calibration into the driver
+    // and the reordered program still computes the same answers.
+    let src = "
+        pick(X) :- wide(X), narrow(X).
+        wide(a). wide(b). wide(c). wide(d).
+        narrow(d).
+    ";
+    let program = parse_program(src).unwrap();
+    let measured = calibrate(
+        &program,
+        &[PredId::new("wide", 1), PredId::new("narrow", 1)],
+        &universe(&["a", "b", "c", "d"]),
+        &CalibrationConfig::default(),
+    );
+    assert!(!measured.is_empty());
+    let result = Reorderer::new(&program, ReorderConfig::default())
+        .with_measured_costs(measured)
+        .run();
+    // narrow/1 (1 solution) should be scheduled before wide/1 (4).
+    let pick = result.program.clauses_of(PredId::new("pick", 1));
+    let body = format!(
+        "{:?}",
+        pick.first().expect("pick/1 survives reordering").body
+    );
+    let narrow_at = body.find("narrow").expect("narrow in body");
+    let wide_at = body.find("wide").expect("wide in body");
+    assert!(
+        narrow_at < wide_at,
+        "measured costs order the cheap generator first: {body}"
+    );
+}

@@ -45,6 +45,16 @@ impl Counters {
     }
 }
 
+/// Per-predicate attribution collected on top of [`Counters`] while
+/// tracing is enabled (see [`crate::Machine`]). `calls` counts call-port
+/// entries; `backtracks` counts failed clause attempts (head mismatch or
+/// body failure) that forced the search to try the next alternative.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PredProfile {
+    pub calls: u64,
+    pub backtracks: u64,
+}
+
 impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

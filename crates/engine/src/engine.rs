@@ -1,6 +1,6 @@
 //! The user-facing engine: load programs, run queries, read counters.
 
-use crate::counters::Counters;
+use crate::counters::{Counters, PredProfile};
 use crate::database::Database;
 use crate::error::EngineError;
 use crate::machine::{Flow, Machine, MachineConfig};
@@ -52,6 +52,10 @@ pub struct QueryOutcome {
     /// `true` if enumeration stopped at the solution limit rather than by
     /// exhausting the search space.
     pub truncated: bool,
+    /// Per-predicate call/backtrack attribution (`"name/arity"` rows,
+    /// sorted). Populated only when tracing was enabled when the query
+    /// started; empty otherwise.
+    pub profile: Vec<(String, PredProfile)>,
 }
 
 impl QueryOutcome {
@@ -194,6 +198,11 @@ impl Engine {
         input_terms: Vec<Term>,
         input_chars: Vec<char>,
     ) -> (Result<QueryOutcome, EngineError>, Counters) {
+        let _query_span = prolog_trace::span_with("engine.query", || {
+            prolog_trace::fields::Obj::new()
+                .str("goal", goal.to_string())
+                .u64("max_solutions", max_solutions as u64)
+        });
         let body = Body::from_term(goal);
         let mut machine = Machine::new(&self.db, self.config);
         machine.input_terms = input_terms.into_iter().collect();
@@ -232,6 +241,22 @@ impl Engine {
             }
         });
         let counters = machine.counters;
+        let profile = machine.take_profile();
+        for (pred, p) in &profile {
+            prolog_trace::instant_with("engine.pred", || {
+                prolog_trace::fields::Obj::new()
+                    .str("pred", pred.clone())
+                    .u64("calls", p.calls)
+                    .u64("backtracks", p.backtracks)
+            });
+        }
+        prolog_trace::instant_with("engine.query_counters", || {
+            prolog_trace::fields::Obj::new()
+                .u64("user_calls", counters.user_calls)
+                .u64("builtin_calls", counters.builtin_calls)
+                .u64("unifications", counters.unifications)
+                .u64("solutions", solutions.len() as u64)
+        });
         match run {
             Ok(_) => (
                 Ok(QueryOutcome {
@@ -239,6 +264,7 @@ impl Engine {
                     counters,
                     output: machine.output,
                     truncated,
+                    profile,
                 }),
                 counters,
             ),

@@ -12,12 +12,12 @@
 //! clauses.
 
 use crate::builtins;
-use crate::counters::Counters;
+use crate::counters::{Counters, PredProfile};
 use crate::database::{Database, IndexKey};
 use crate::error::EngineError;
 use crate::store::Store;
 use crate::unify::unify;
-use prolog_syntax::{Body, Term};
+use prolog_syntax::{Body, PredId, Term};
 
 /// Search-control signal threaded through the solver.
 #[derive(Debug)]
@@ -82,6 +82,10 @@ pub struct Machine<'db> {
     /// Pending character codes for `get/1`; empty yields -1 (EOF).
     pub input_chars: std::collections::VecDeque<char>,
     pub(crate) config: MachineConfig,
+    /// Per-predicate call/backtrack attribution; allocated only when
+    /// tracing was enabled at machine construction, so the hot path pays a
+    /// single `Option` check per event when tracing is off.
+    profile: Option<std::collections::HashMap<PredId, PredProfile>>,
     next_level: usize,
     pub(crate) depth: usize,
 }
@@ -96,8 +100,36 @@ impl<'db> Machine<'db> {
             input_terms: Default::default(),
             input_chars: Default::default(),
             config,
+            profile: prolog_trace::enabled().then(Default::default),
             next_level: 0,
             depth: 0,
+        }
+    }
+
+    /// Drains the per-predicate profile as deterministic `name/arity`-keyed
+    /// rows, sorted by predicate name. Empty when tracing was disabled at
+    /// construction.
+    pub fn take_profile(&mut self) -> Vec<(String, PredProfile)> {
+        let mut rows: Vec<(String, PredProfile)> = self
+            .profile
+            .take()
+            .map(|m| m.into_iter().map(|(id, p)| (id.to_string(), p)).collect())
+            .unwrap_or_default();
+        rows.sort();
+        rows
+    }
+
+    #[inline]
+    fn note_call(&mut self, id: PredId) {
+        if let Some(profile) = self.profile.as_mut() {
+            profile.entry(id).or_default().calls += 1;
+        }
+    }
+
+    #[inline]
+    fn note_backtrack(&mut self, id: PredId) {
+        if let Some(profile) = self.profile.as_mut() {
+            profile.entry(id).or_default().backtracks += 1;
         }
     }
 
@@ -232,6 +264,7 @@ impl<'db> Machine<'db> {
         }
 
         self.counters.user_calls += 1;
+        self.note_call(id);
         if let Some(err) = self.check_limits() {
             return Ctl::Err(err);
         }
@@ -272,6 +305,7 @@ impl<'db> Machine<'db> {
                 match self.solve(&body, call_level, k) {
                     Ctl::Fail => {
                         self.store.undo_to(mark);
+                        self.note_backtrack(id);
                     }
                     Ctl::CutTo(l) if l == call_level => {
                         self.store.undo_to(mark);
@@ -285,6 +319,7 @@ impl<'db> Machine<'db> {
                 }
             } else {
                 self.store.undo_to(mark);
+                self.note_backtrack(id);
             }
         }
         self.depth -= 1;

@@ -1,0 +1,63 @@
+//! Per-predicate call/backtrack attribution, collected only while tracing
+//! is enabled (the machine snapshots `prolog_trace::enabled()` at
+//! construction, so the hot path stays a single `Option` check when off).
+
+use prolog_engine::Engine;
+use std::sync::Mutex;
+
+// Tracing state is process-global; serialize the tests that toggle it.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+const SRC: &str = "
+    p(1). p(2). p(3).
+    q(3).
+    r(X) :- p(X), q(X).
+";
+
+#[test]
+fn profile_attributes_calls_and_backtracks_per_predicate() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    prolog_trace::enable();
+    let mut engine = Engine::new();
+    engine.consult(SRC).unwrap();
+    let outcome = engine.query("r(X)").unwrap();
+    prolog_trace::disable();
+    let _ = prolog_trace::drain();
+
+    assert_eq!(outcome.solutions.len(), 1);
+    let get = |name: &str| {
+        outcome
+            .profile
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| *p)
+            .unwrap_or_else(|| panic!("no profile row for {name}"))
+    };
+    // One call-port entry per goal invocation, matching `Counters`.
+    assert_eq!(get("r/1").calls, 1);
+    assert_eq!(get("p/1").calls, 1);
+    assert_eq!(get("q/1").calls, 3);
+    // p(1) and p(2) both fail downstream (q(1)/q(2) have no clauses), so
+    // the p/1 activation retries at least those two alternatives.
+    assert!(get("p/1").backtracks >= 2);
+    let total_calls: u64 = outcome.profile.iter().map(|(_, p)| p.calls).sum();
+    assert_eq!(total_calls, outcome.counters.user_calls);
+
+    // Rows are sorted, so the profile is deterministic across runs.
+    let names: Vec<&str> = outcome.profile.iter().map(|(n, _)| n.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted);
+}
+
+#[test]
+fn profile_is_empty_when_tracing_is_disabled() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    prolog_trace::disable();
+    let mut engine = Engine::new();
+    engine.consult(SRC).unwrap();
+    let outcome = engine.query("r(X)").unwrap();
+    assert!(outcome.succeeded());
+    assert!(outcome.profile.is_empty());
+    assert!(outcome.counters.user_calls > 0);
+}

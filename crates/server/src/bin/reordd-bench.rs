@@ -404,6 +404,20 @@ fn report_server_stats(opts: &Opts) -> Option<u64> {
                 path(&["latency", "hit", "count"]),
                 cold_mean as f64 / (hit_mean as f64).max(1.0)
             );
+            // Queue wait (time in the accept queue) and service time
+            // (dispatch to reply) are separate accumulators; reporting
+            // them apart shows whether latency came from load or from
+            // the pipeline itself.
+            println!(
+                "server queueing: queue-wait mean {} us / max {} us (n={}), \
+                 service mean {} us / max {} us (n={})",
+                path(&["latency", "queue_wait", "mean_us"]),
+                path(&["latency", "queue_wait", "max_us"]),
+                path(&["latency", "queue_wait", "count"]),
+                path(&["latency", "service", "mean_us"]),
+                path(&["latency", "service", "max_us"]),
+                path(&["latency", "service", "count"]),
+            );
             Some(hits)
         }
         Ok(other) => {

@@ -3,7 +3,7 @@
 //! ```text
 //! usage: reordd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!               [--budget-ms N] [--pipeline-jobs N] [--idle-ms N]
-//!               [--port-file PATH]
+//!               [--port-file PATH] [--trace-out PATH]
 //! ```
 //!
 //! Prints `reordd listening on HOST:PORT …` once bound (and writes the
@@ -22,6 +22,7 @@ fn main() {
         ..ServerConfig::default()
     };
     let mut port_file: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -31,7 +32,7 @@ fn main() {
                 eprintln!(
                     "usage: reordd [--addr HOST:PORT] [--workers N] [--queue N] \
                      [--cache N] [--budget-ms N] [--pipeline-jobs N] [--idle-ms N] \
-                     [--port-file PATH]\n\
+                     [--port-file PATH] [--trace-out PATH]\n\
                      \n\
                      --addr HOST:PORT   bind address (default 127.0.0.1:7171; port 0 = ephemeral)\n\
                      --workers N        connection-serving threads (default 4)\n\
@@ -40,12 +41,14 @@ fn main() {
                      --budget-ms N      max per-request time budget (default 10000)\n\
                      --pipeline-jobs N  pipeline threads per request (default 1)\n\
                      --idle-ms N        close idle connections after N ms (default 30000)\n\
-                     --port-file PATH   write the bound address to PATH after binding"
+                     --port-file PATH   write the bound address to PATH after binding\n\
+                     --trace-out PATH   enable tracing; write a Chrome trace-event JSON\n\
+                     \x20                  of the whole run to PATH on drain"
                 );
                 return;
             }
             "--addr" | "--workers" | "--queue" | "--cache" | "--budget-ms" | "--pipeline-jobs"
-            | "--idle-ms" | "--port-file" => {
+            | "--idle-ms" | "--port-file" | "--trace-out" => {
                 i += 1;
                 let Some(value) = args.get(i) else {
                     eprintln!("error: {flag} needs a value");
@@ -66,6 +69,7 @@ fn main() {
                     "--pipeline-jobs" => config.pipeline_jobs = parse_num().max(1) as usize,
                     "--idle-ms" => config.idle_timeout = Duration::from_millis(parse_num()),
                     "--port-file" => port_file = Some(value.clone()),
+                    "--trace-out" => trace_out = Some(value.clone()),
                     _ => unreachable!(),
                 }
             }
@@ -78,6 +82,9 @@ fn main() {
     }
 
     install_signal_handlers();
+    if trace_out.is_some() {
+        prolog_trace::enable();
+    }
     let workers = config.workers;
     let queue = config.queue_capacity;
     let cache = config.cache_capacity;
@@ -101,6 +108,13 @@ fn main() {
     if let Err(e) = server.run() {
         eprintln!("error: {e}");
         std::process::exit(1);
+    }
+    if let Some(path) = &trace_out {
+        let trace = prolog_trace::drain();
+        match std::fs::write(path, trace.to_chrome_json()) {
+            Ok(()) => println!("trace: {} events -> {path}", trace.records.len()),
+            Err(e) => eprintln!("error: cannot write trace to {path}: {e}"),
+        }
     }
     println!("reordd drained, exiting");
 }

@@ -63,6 +63,14 @@ pub struct Metrics {
     pub queue_peak: AtomicU64,
     /// Workers currently inside a request (gauge).
     pub busy_workers: AtomicU64,
+    /// Time accepted connections spent waiting in the accept queue
+    /// before a worker picked them up. Kept separate from the service
+    /// accumulators: under load, queue wait is the component the client
+    /// sees but the pipeline never causes.
+    pub queue_wait: LatencyAccum,
+    /// Service time of every successful reorder request (dispatch entry
+    /// to reply ready), cold and cached together — queue wait excluded.
+    pub service: LatencyAccum,
     /// Latency of reorder requests served by a fresh pipeline run.
     pub cold_latency: LatencyAccum,
     /// Latency of reorder requests served from the cache.
@@ -95,6 +103,8 @@ impl Metrics {
             queue_depth: AtomicU64::new(0),
             queue_peak: AtomicU64::new(0),
             busy_workers: AtomicU64::new(0),
+            queue_wait: LatencyAccum::default(),
+            service: LatencyAccum::default(),
             cold_latency: LatencyAccum::default(),
             hit_latency: LatencyAccum::default(),
             pipeline: Mutex::new(RunStats::default()),
@@ -181,6 +191,8 @@ impl Metrics {
             (
                 "latency".to_string(),
                 Json::Obj(vec![
+                    ("queue_wait".to_string(), self.queue_wait.snapshot()),
+                    ("service".to_string(), self.service.snapshot()),
                     ("cold".to_string(), self.cold_latency.snapshot()),
                     ("hit".to_string(), self.hit_latency.snapshot()),
                 ]),
@@ -205,6 +217,9 @@ mod tests {
         metrics.cold_latency.record(1000);
         metrics.cold_latency.record(3000);
         metrics.hit_latency.record(10);
+        metrics.queue_wait.record(500);
+        metrics.service.record(2000);
+        metrics.service.record(10);
         metrics.record_pipeline(&RunStats {
             tasks: 4,
             total: Duration::from_micros(1234),
@@ -246,6 +261,29 @@ mod tests {
                 .and_then(|c| c.get("mean_us"))
                 .and_then(Json::as_u64),
             Some(2000)
+        );
+        // Queue wait and service time are reported as separate
+        // accumulators, never folded into each other.
+        assert_eq!(
+            snap.get("latency")
+                .and_then(|l| l.get("queue_wait"))
+                .and_then(|q| q.get("mean_us"))
+                .and_then(Json::as_u64),
+            Some(500)
+        );
+        assert_eq!(
+            snap.get("latency")
+                .and_then(|l| l.get("service"))
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            snap.get("latency")
+                .and_then(|l| l.get("service"))
+                .and_then(|s| s.get("mean_us"))
+                .and_then(Json::as_u64),
+            Some(1005)
         );
         // The pipeline aggregate uses the shared RunStats encoding.
         assert_eq!(

@@ -85,7 +85,9 @@ struct Shared {
     config: ServerConfig,
     cache: Arc<ResultCache>,
     metrics: Metrics,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Accepted connections with their enqueue instant, so workers can
+    /// attribute queue wait separately from service time.
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
 }
@@ -179,10 +181,11 @@ fn enqueue(shared: &Arc<Shared>, stream: TcpStream) {
             shed(shared, stream);
             return;
         }
-        queue.push_back(stream);
+        queue.push_back((stream, Instant::now()));
         queue.len() as u64
     };
     shared.metrics.set_queue_depth(depth);
+    prolog_trace::counter("reordd.queue_depth", depth as f64);
     shared.queue_cv.notify_one();
 }
 
@@ -203,9 +206,9 @@ fn worker_loop(shared: &Arc<Shared>) {
         let stream = {
             let mut queue = shared.queue.lock().expect("queue lock poisoned");
             loop {
-                if let Some(stream) = queue.pop_front() {
+                if let Some(entry) = queue.pop_front() {
                     shared.metrics.set_queue_depth(queue.len() as u64);
-                    break Some(stream);
+                    break Some(entry);
                 }
                 if shared.shutting_down() {
                     break None;
@@ -217,9 +220,14 @@ fn worker_loop(shared: &Arc<Shared>) {
                 queue = reacquired;
             }
         };
-        let Some(stream) = stream else {
+        let Some((stream, enqueued_at)) = stream else {
             return;
         };
+        let wait_us = enqueued_at.elapsed().as_micros() as u64;
+        shared.metrics.queue_wait.record(wait_us);
+        prolog_trace::instant_with("reordd.queue_wait", || {
+            prolog_trace::fields::Obj::new().u64("wait_us", wait_us)
+        });
         shared.metrics.busy_workers.fetch_add(1, Ordering::Relaxed);
         serve_connection(shared, stream);
         shared.metrics.busy_workers.fetch_sub(1, Ordering::Relaxed);
@@ -336,7 +344,10 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         };
         let last = matches!(request, Request::Shutdown);
         let reply = dispatch(shared, request);
-        if write_frame(&mut stream, &reply.encode()).is_err() {
+        let encode_span = prolog_trace::span("reordd.encode");
+        let frame = reply.encode();
+        drop(encode_span);
+        if write_frame(&mut stream, &frame).is_err() {
             return;
         }
         if last || shared.shutting_down() {
@@ -375,6 +386,11 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> Response {
             budget_ms,
         } => {
             shared.metrics.reorders.fetch_add(1, Ordering::Relaxed);
+            let _request_span = prolog_trace::span_with("reordd.request", || {
+                prolog_trace::fields::Obj::new()
+                    .u64("program_bytes", program.len() as u64)
+                    .u64("budget_ms", budget_ms.unwrap_or(0))
+            });
             let budget = match budget_ms {
                 Some(ms) => Duration::from_millis(ms).min(shared.config.budget),
                 None => shared.config.budget,
@@ -383,7 +399,9 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> Response {
             let reorder_config = config.to_reorder_config(shared.config.pipeline_jobs);
             let metrics_shared = Arc::clone(shared);
             let started = Instant::now();
+            let fetch_span = prolog_trace::span("reordd.cache_fetch");
             let fetch = shared.cache.get_or_compute(key, budget, move || {
+                let _compute_span = prolog_trace::span("reordd.compute");
                 let t0 = Instant::now();
                 match reorder::reorder_source(&program, &reorder_config) {
                     Ok(outcome) => {
@@ -404,6 +422,7 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> Response {
                     },
                 }
             });
+            drop(fetch_span);
             let elapsed_us = started.elapsed().as_micros() as u64;
             let (value, cached) = match fetch {
                 Fetch::Hit(value) => (value, true),
@@ -422,11 +441,17 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> Response {
             };
             match value.as_ref() {
                 CachedOutcome::Ok { program, stats, .. } => {
+                    shared.metrics.service.record(elapsed_us);
                     if cached {
                         shared.metrics.hit_latency.record(elapsed_us);
                     } else {
                         shared.metrics.cold_latency.record(elapsed_us);
                     }
+                    prolog_trace::instant_with("reordd.served", || {
+                        prolog_trace::fields::Obj::new()
+                            .bool("cached", cached)
+                            .u64("elapsed_us", elapsed_us)
+                    });
                     let pipeline =
                         Json::parse(&stats.to_json()).expect("RunStats::to_json emits valid JSON");
                     Response::Reordered {

@@ -194,7 +194,57 @@ fn smoke_roundtrip_cache_and_robustness() {
         "stats carry aggregated pipeline timings"
     );
 
+    // Queue wait and service time are exposed as separate accumulators
+    // (the `stat` helper panics if either path is missing). Service time
+    // covers exactly the successful reorders — cold plus cached — while
+    // queue wait counts connections handed to a worker.
+    let service_count = stat(&stats, &["latency", "service", "count"]);
+    assert_eq!(
+        service_count,
+        stat(&stats, &["latency", "cold", "count"]) + stat(&stats, &["latency", "hit", "count"]),
+        "service time aggregates cold and cached requests"
+    );
+    assert_eq!(service_count, 2);
+    assert!(
+        stat(&stats, &["latency", "queue_wait", "count"]) >= 1,
+        "every accepted connection records its queue wait"
+    );
+    let _ = stat(&stats, &["latency", "queue_wait", "mean_us"]);
+    let _ = stat(&stats, &["latency", "queue_wait", "max_us"]);
+    let _ = stat(&stats, &["latency", "service", "mean_us"]);
+
     daemon.shutdown_and_wait(&mut client);
+}
+
+#[test]
+fn trace_out_writes_chrome_json_on_drain() {
+    let trace_path =
+        std::env::temp_dir().join(format!("reordd-smoke-{}.trace.json", std::process::id()));
+    let _ = std::fs::remove_file(&trace_path);
+    let daemon = Daemon::spawn(&["--trace-out", trace_path.to_str().unwrap()]);
+    let mut client = daemon.client();
+
+    let source = prolog_workloads::corpus_program("family")
+        .expect("family workload exists")
+        .text;
+    assert!(matches!(
+        client.call(&reorder_request(&source)),
+        Ok(Response::Reordered { .. })
+    ));
+    daemon.shutdown_and_wait(&mut client);
+
+    let json = std::fs::read_to_string(&trace_path).expect("trace file written on drain");
+    let _ = std::fs::remove_file(&trace_path);
+    assert!(json.starts_with("{\"schema_version\":"));
+    assert!(json.contains("\"traceEvents\":["));
+    // The request path's own spans are present alongside the pipeline's.
+    assert!(json.contains("\"reordd.request\""));
+    assert!(json.contains("\"reordd.cache_fetch\""));
+    assert!(json.contains("\"reordd.compute\""));
+    assert!(json.contains("\"reordd.encode\""));
+    assert!(json.contains("\"reordd.queue_wait\""));
+    assert!(json.contains("\"reorder.run\""));
+    assert!(json.ends_with("]}"));
 }
 
 #[test]

@@ -1,0 +1,182 @@
+//! Chrome trace-event export.
+//!
+//! Emits the JSON Object Format of the Trace Event specification: a top
+//! object with a `traceEvents` array (plus our `schema_version` and
+//! `dropped` metadata — extra keys are explicitly allowed and ignored by
+//! viewers). Load the file in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+//!
+//! Span begin/end map to `ph: "B"`/`"E"` duration events, instants to
+//! `ph: "i"` (thread scope), counters to `ph: "C"`. All events share
+//! `pid: 1`; `tid` is the crate's per-thread ordinal. Timestamps are
+//! microseconds since the process trace epoch, exactly the unit the
+//! format specifies.
+
+use crate::fields::{write_str, write_value, Obj};
+use crate::{Record, Trace, TRACE_SCHEMA_VERSION};
+use std::fmt::Write as _;
+
+/// Event category tag on every emitted event.
+const CATEGORY: &str = "reorder";
+
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(64 + trace.records.len() * 96);
+    let _ = write!(
+        out,
+        "{{\"schema_version\":{TRACE_SCHEMA_VERSION},\"dropped\":{},\"traceEvents\":[",
+        trace.dropped
+    );
+    for (i, record) in trace.records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_event(&mut out, record);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn write_common(out: &mut String, name: &str, ph: char, tid: u64, ts_us: u64) {
+    out.push_str("{\"name\":");
+    write_str(out, name);
+    let _ = write!(
+        out,
+        ",\"cat\":\"{CATEGORY}\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us}"
+    );
+}
+
+fn write_args(out: &mut String, id: Option<u64>, args: Option<&Obj>) {
+    let has_id = id.is_some();
+    let has_args = args.map(|a| !a.is_empty()).unwrap_or(false);
+    if !has_id && !has_args {
+        return;
+    }
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    if let Some(id) = id {
+        let _ = write!(out, "\"span_id\":{id}");
+        first = false;
+    }
+    if let Some(obj) = args {
+        for (key, value) in obj.fields() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_str(out, key);
+            out.push(':');
+            write_value(out, value);
+        }
+    }
+    out.push('}');
+}
+
+fn write_event(out: &mut String, record: &Record) {
+    match record {
+        Record::Begin {
+            id,
+            parent,
+            tid,
+            name,
+            ts_us,
+            args,
+        } => {
+            write_common(out, name, 'B', *tid, *ts_us);
+            let mut full = args.clone().unwrap_or_default();
+            if let Some(p) = parent {
+                full = full.u64("parent_span_id", *p);
+            }
+            write_args(out, Some(*id), Some(&full));
+            out.push('}');
+        }
+        Record::End {
+            id,
+            tid,
+            name,
+            ts_us,
+        } => {
+            write_common(out, name, 'E', *tid, *ts_us);
+            write_args(out, Some(*id), None);
+            out.push('}');
+        }
+        Record::Instant {
+            span,
+            tid,
+            name,
+            ts_us,
+            args,
+        } => {
+            write_common(out, name, 'i', *tid, *ts_us);
+            out.push_str(",\"s\":\"t\"");
+            let mut full = args.clone().unwrap_or_default();
+            if let Some(span) = span {
+                full = full.u64("span_id", *span);
+            }
+            write_args(out, None, Some(&full));
+            out.push('}');
+        }
+        Record::Counter {
+            tid,
+            name,
+            ts_us,
+            value,
+        } => {
+            write_common(out, name, 'C', *tid, *ts_us);
+            let _ = write!(out, ",\"args\":{{\"value\":{value}}}");
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::Obj;
+
+    #[test]
+    fn export_has_the_pinned_shape() {
+        let trace = Trace {
+            records: vec![
+                Record::Begin {
+                    id: 1,
+                    parent: None,
+                    tid: 1,
+                    name: "reorder.run",
+                    ts_us: 10,
+                    args: Some(Obj::new().u64("jobs", 2)),
+                },
+                Record::Instant {
+                    span: Some(1),
+                    tid: 1,
+                    name: "cache.warm",
+                    ts_us: 11,
+                    args: None,
+                },
+                Record::Counter {
+                    tid: 1,
+                    name: "queue_depth",
+                    ts_us: 12,
+                    value: 3.0,
+                },
+                Record::End {
+                    id: 1,
+                    tid: 1,
+                    name: "reorder.run",
+                    ts_us: 20,
+                },
+            ],
+            dropped: 0,
+        };
+        let json = trace.to_chrome_json();
+        assert!(json.starts_with("{\"schema_version\":1,\"dropped\":0,\"traceEvents\":["));
+        assert!(json.contains(
+            "{\"name\":\"reorder.run\",\"cat\":\"reorder\",\"ph\":\"B\",\"pid\":1,\
+             \"tid\":1,\"ts\":10,\"args\":{\"span_id\":1,\"jobs\":2}}"
+        ));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.ends_with("]}"));
+    }
+}

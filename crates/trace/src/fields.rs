@@ -1,0 +1,164 @@
+//! Structured-event fields: an ordered JSON object builder.
+//!
+//! Every machine-readable surface of the system — span arguments here,
+//! `reorder::RunStats::to_json` (and through it the `reordd` `stats`
+//! reply), the `bench-suite` trajectory writer — needs the same thing: a
+//! flat JSON object with a **stable key order** and no external
+//! dependencies. This module is that one encoder, so the surfaces can
+//! never drift apart on escaping or number formatting.
+
+use std::fmt::Write;
+
+/// One field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+/// An ordered list of `(key, value)` fields; encodes as one flat JSON
+/// object with keys in insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Obj {
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl Obj {
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    pub fn u64(mut self, key: &'static str, value: u64) -> Obj {
+        self.fields.push((key, Value::U64(value)));
+        self
+    }
+
+    pub fn i64(mut self, key: &'static str, value: i64) -> Obj {
+        self.fields.push((key, Value::I64(value)));
+        self
+    }
+
+    pub fn f64(mut self, key: &'static str, value: f64) -> Obj {
+        self.fields.push((key, Value::F64(value)));
+        self
+    }
+
+    pub fn str(mut self, key: &'static str, value: impl Into<String>) -> Obj {
+        self.fields.push((key, Value::Str(value.into())));
+        self
+    }
+
+    pub fn bool(mut self, key: &'static str, value: bool) -> Obj {
+        self.fields.push((key, Value::Bool(value)));
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn fields(&self) -> &[(&'static str, Value)] {
+        &self.fields
+    }
+
+    /// The value of a field, if present (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Encodes as one flat JSON object, keys in insertion order.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(16 + self.fields.len() * 16);
+        out.push('{');
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, key);
+            out.push(':');
+            write_value(&mut out, value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+pub fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        // JSON has no NaN/Inf; null is the honest encoding.
+        Value::F64(_) => out.push_str("null"),
+        Value::Str(s) => write_str(out, s),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Writes `s` as a JSON string literal with full escaping.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_in_insertion_order() {
+        let obj = Obj::new()
+            .u64("jobs", 4)
+            .f64("ratio", 1.5)
+            .str("name", "aunt/2")
+            .bool("ok", true)
+            .i64("delta", -3);
+        assert_eq!(
+            obj.encode(),
+            r#"{"jobs":4,"ratio":1.5,"name":"aunt/2","ok":true,"delta":-3}"#
+        );
+        assert_eq!(obj.get("jobs"), Some(&Value::U64(4)));
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn escapes_strings_and_guards_nonfinite() {
+        let obj = Obj::new().str("s", "a\"b\\c\nd\u{1}").f64("nan", f64::NAN);
+        assert_eq!(
+            obj.encode(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\\u0001\",\"nan\":null}"
+        );
+    }
+
+    #[test]
+    fn integers_encode_without_decimal_point() {
+        // RunStats::to_json byte-compatibility depends on this.
+        assert_eq!(Obj::new().u64("n", 0).encode(), r#"{"n":0}"#);
+        assert_eq!(
+            Obj::new().u64("n", u64::MAX).encode(),
+            format!(r#"{{"n":{}}}"#, u64::MAX)
+        );
+    }
+}

@@ -1,0 +1,472 @@
+//! Lightweight hierarchical tracing for the reordering system.
+//!
+//! The paper's argument is quantitative, and so is debugging the system
+//! that reproduces it: knowing *where* pipeline and engine time goes is
+//! what makes a slow run diagnosable (cf. Ledeniov & Markovitch on
+//! measurement-driven ordering, and Adachi's point that execution
+//! visibility is what makes Prolog behaviour debuggable). This crate is
+//! the shared instrumentation layer:
+//!
+//! * **Spans** — RAII begin/end pairs on a process-wide monotonic clock,
+//!   nested per thread, with optional structured arguments. Creating a
+//!   span while tracing is disabled is one relaxed atomic load and **no
+//!   allocation**; every instrumentation point in the reorderer, the
+//!   engine, and `reordd` stays in release builds at <5% overhead.
+//! * **Instants and counters** — point events attributed to the current
+//!   span.
+//! * **Export** — [`Trace::to_chrome_json`] emits Chrome trace-event
+//!   JSON (load it in `chrome://tracing` or Perfetto), and
+//!   [`Trace::summary`] renders a plain-text profile.
+//! * **Structured events** — the [`fields`] module is the stable-order
+//!   JSON object builder that `reorder::RunStats::to_json` (and through
+//!   it the `reordd` `stats` reply) encode with, so every JSON surface
+//!   of the system shares one encoder.
+//!
+//! Tracing is a process-wide singleton: [`enable`]/[`disable`], or the
+//! `PROLOG_TRACE=1` environment variable. Threads flush their buffered
+//! records into the global sink whenever their outermost span closes
+//! (and on thread exit), so [`drain`] sees every completed top-level
+//! span of every joined thread.
+//!
+//! Invariants (pinned by this crate's property tests):
+//! * per thread, begin/end records are well nested (stack discipline);
+//! * per thread, timestamps are monotonically nondecreasing;
+//! * every span id referenced by an end, instant, or child-begin record
+//!   was introduced by a begin record.
+
+pub mod chrome;
+pub mod fields;
+pub mod summary;
+
+use fields::Obj;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Schema version of the Chrome-trace export (`schema_version` in the
+/// emitted JSON). Bump when the event shape changes.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+// Enable state: 0 = unset (consult PROLOG_TRACE), 1 = on, 2 = off.
+static STATE: AtomicU8 = AtomicU8::new(0);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+/// Records dropped after the sink hit its cap (runaway-trace backstop).
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+/// Sink cap: ~4M records ≈ hundreds of MB of JSON; beyond that the
+/// trace is unloadable anyway.
+const SINK_CAP: usize = 1 << 22;
+/// Thread-local buffer flush threshold (records).
+const FLUSH_AT: usize = 1024;
+
+fn sink() -> &'static Mutex<Vec<Record>> {
+    static SINK: OnceLock<Mutex<Vec<Record>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process trace epoch (monotonic clock).
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Is tracing on? One relaxed atomic load on the fast path.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("PROLOG_TRACE")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
+    STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+    // Pin the epoch as early as possible so timestamps start near zero.
+    let _ = epoch();
+    on
+}
+
+/// Turns tracing on process-wide.
+pub fn enable() {
+    let _ = epoch();
+    STATE.store(1, Ordering::Relaxed);
+}
+
+/// Turns tracing off process-wide. Already-buffered records are kept
+/// until the next [`drain`].
+pub fn disable() {
+    STATE.store(2, Ordering::Relaxed);
+}
+
+/// One trace record. `tid` is a small per-thread ordinal (assigned at
+/// first use, stable for the thread's lifetime), not the OS thread id.
+#[derive(Debug, Clone)]
+pub enum Record {
+    Begin {
+        id: u64,
+        parent: Option<u64>,
+        tid: u64,
+        name: &'static str,
+        ts_us: u64,
+        args: Option<Obj>,
+    },
+    End {
+        id: u64,
+        tid: u64,
+        name: &'static str,
+        ts_us: u64,
+    },
+    Instant {
+        span: Option<u64>,
+        tid: u64,
+        name: &'static str,
+        ts_us: u64,
+        args: Option<Obj>,
+    },
+    Counter {
+        tid: u64,
+        name: &'static str,
+        ts_us: u64,
+        value: f64,
+    },
+}
+
+impl Record {
+    pub fn tid(&self) -> u64 {
+        match self {
+            Record::Begin { tid, .. }
+            | Record::End { tid, .. }
+            | Record::Instant { tid, .. }
+            | Record::Counter { tid, .. } => *tid,
+        }
+    }
+
+    pub fn ts_us(&self) -> u64 {
+        match self {
+            Record::Begin { ts_us, .. }
+            | Record::End { ts_us, .. }
+            | Record::Instant { ts_us, .. }
+            | Record::Counter { ts_us, .. } => *ts_us,
+        }
+    }
+}
+
+struct ThreadBuffer {
+    tid: u64,
+    stack: Vec<u64>,
+    records: Vec<Record>,
+}
+
+impl ThreadBuffer {
+    fn flush(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let mut global = sink().lock().expect("trace sink poisoned");
+        let room = SINK_CAP.saturating_sub(global.len());
+        if room < self.records.len() {
+            DROPPED.fetch_add((self.records.len() - room) as u64, Ordering::Relaxed);
+            global.extend(self.records.drain(..).take(room));
+            self.records.clear();
+        } else {
+            global.append(&mut self.records);
+        }
+    }
+}
+
+impl Drop for ThreadBuffer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static BUFFER: RefCell<ThreadBuffer> = RefCell::new(ThreadBuffer {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        stack: Vec::new(),
+        records: Vec::new(),
+    });
+}
+
+fn push_record(make: impl FnOnce(u64, Option<u64>) -> Record, pushes: Option<u64>, pops: bool) {
+    BUFFER.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        let parent = buf.stack.last().copied();
+        let record = make(buf.tid, parent);
+        buf.records.push(record);
+        if let Some(id) = pushes {
+            buf.stack.push(id);
+        }
+        if pops {
+            buf.stack.pop();
+        }
+        // Flush at the outermost boundary (so joined threads never hold
+        // completed spans back) or when the buffer grows large.
+        if buf.stack.is_empty() || buf.records.len() >= FLUSH_AT {
+            buf.flush();
+        }
+    });
+}
+
+/// RAII span: records a begin event now and the matching end event on
+/// drop. The no-op variant (tracing disabled) carries no data.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    live: Option<(u64, &'static str)>,
+}
+
+impl Span {
+    /// This span's id, when live — for correlating instants.
+    pub fn id(&self) -> Option<u64> {
+        self.live.map(|(id, _)| id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((id, name)) = self.live {
+            let ts_us = now_us();
+            push_record(
+                |tid, _| Record::End {
+                    id,
+                    tid,
+                    name,
+                    ts_us,
+                },
+                None,
+                true,
+            );
+        }
+    }
+}
+
+/// Opens a span. Zero-cost (one atomic load, no allocation) when
+/// tracing is disabled.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    span_impl(name, None)
+}
+
+/// Opens a span with structured arguments. `args` is only invoked when
+/// tracing is enabled, so argument construction costs nothing when off.
+#[inline]
+pub fn span_with(name: &'static str, args: impl FnOnce() -> Obj) -> Span {
+    if !enabled() {
+        return Span { live: None };
+    }
+    span_impl(name, Some(args()))
+}
+
+fn span_impl(name: &'static str, args: Option<Obj>) -> Span {
+    if !enabled() {
+        return Span { live: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let ts_us = now_us();
+    push_record(
+        |tid, parent| Record::Begin {
+            id,
+            parent,
+            tid,
+            name,
+            ts_us,
+            args,
+        },
+        Some(id),
+        false,
+    );
+    Span {
+        live: Some((id, name)),
+    }
+}
+
+/// Records a point event attributed to the current span.
+#[inline]
+pub fn instant(name: &'static str) {
+    instant_with(name, Obj::new)
+}
+
+/// Point event with structured arguments (built only when enabled).
+#[inline]
+pub fn instant_with(name: &'static str, args: impl FnOnce() -> Obj) {
+    if !enabled() {
+        return;
+    }
+    let args = args();
+    let ts_us = now_us();
+    push_record(
+        move |tid, parent| Record::Instant {
+            span: parent,
+            tid,
+            name,
+            ts_us,
+            args: Some(args),
+        },
+        None,
+        false,
+    );
+}
+
+/// Records a counter sample (rendered as a track in chrome://tracing).
+#[inline]
+pub fn counter(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let ts_us = now_us();
+    push_record(
+        move |tid, _| Record::Counter {
+            tid,
+            name,
+            ts_us,
+            value,
+        },
+        None,
+        false,
+    );
+}
+
+/// A drained set of trace records, ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub records: Vec<Record>,
+    /// Records lost to the sink cap (0 in any sane run).
+    pub dropped: u64,
+}
+
+impl Trace {
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Chrome trace-event JSON — see [`chrome`].
+    pub fn to_chrome_json(&self) -> String {
+        chrome::to_chrome_json(self)
+    }
+
+    /// Plain-text profile summary — see [`summary`].
+    pub fn summary(&self) -> String {
+        summary::render(self)
+    }
+}
+
+/// Takes every record flushed so far (current thread's buffer included)
+/// and resets the sink. Records from *other threads'* open spans remain
+/// buffered there until their outermost span closes.
+pub fn drain() -> Trace {
+    BUFFER.with(|cell| cell.borrow_mut().flush());
+    let mut global = sink().lock().expect("trace sink poisoned");
+    let mut records = std::mem::take(&mut *global);
+    drop(global);
+    // Per-thread order is already chronological; a stable sort by
+    // timestamp interleaves threads without breaking nesting.
+    records.sort_by_key(Record::ts_us);
+    Trace {
+        records,
+        dropped: DROPPED.swap(0, Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tracing is process-global; tests in this module serialise on the
+    // same lock the integration suite uses.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = guard();
+        disable();
+        let _ = drain();
+        {
+            let outer = span("outer");
+            assert!(outer.id().is_none());
+            instant("nothing");
+            counter("c", 1.0);
+        }
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_attribute() {
+        let _g = guard();
+        let _ = drain();
+        enable();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span_with("inner", || Obj::new().u64("k", 7));
+                instant("tick");
+            }
+            counter("depth", 1.0);
+        }
+        disable();
+        let trace = drain();
+        assert_eq!(trace.dropped, 0);
+        let mut names = Vec::new();
+        let mut inner_parent = None;
+        let mut outer_id = None;
+        for r in &trace.records {
+            match r {
+                Record::Begin {
+                    id, parent, name, ..
+                } => {
+                    names.push(format!("B:{name}"));
+                    if *name == "outer" {
+                        outer_id = Some(*id);
+                    }
+                    if *name == "inner" {
+                        inner_parent = *parent;
+                    }
+                }
+                Record::End { name, .. } => names.push(format!("E:{name}")),
+                Record::Instant { name, span, .. } => {
+                    names.push(format!("I:{name}"));
+                    assert!(span.is_some(), "instant attributes to the open span");
+                }
+                Record::Counter { name, .. } => names.push(format!("C:{name}")),
+            }
+        }
+        assert_eq!(
+            names,
+            ["B:outer", "B:inner", "I:tick", "E:inner", "C:depth", "E:outer"]
+        );
+        assert_eq!(inner_parent, outer_id, "inner's parent is outer");
+        // Draining again yields nothing.
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn cross_thread_records_carry_distinct_tids() {
+        let _g = guard();
+        let _ = drain();
+        enable();
+        {
+            let _here = span("main.work");
+        }
+        std::thread::spawn(|| {
+            let _there = span("worker.work");
+        })
+        .join()
+        .unwrap();
+        disable();
+        let trace = drain();
+        let tids: std::collections::HashSet<u64> = trace.records.iter().map(Record::tid).collect();
+        assert_eq!(tids.len(), 2, "two threads, two tids: {trace:?}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Plain-text profile summary: wall time per span name.
+//!
+//! The quick look that doesn't need a browser: for every span name,
+//! how often it ran, total/mean/max inclusive wall time, and how much
+//! of that was *self* time (inclusive minus the inclusive time of
+//! direct children). Sorted by total inclusive time, descending.
+
+use crate::{Record, Trace};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+#[derive(Default, Clone)]
+struct NameStats {
+    count: u64,
+    total_us: u64,
+    self_us: u64,
+    max_us: u64,
+}
+
+pub fn render(trace: &Trace) -> String {
+    // Reconstruct durations by matching begin/end per span id.
+    struct Open {
+        name: &'static str,
+        start_us: u64,
+        parent: Option<u64>,
+        child_us: u64,
+    }
+    let mut open: HashMap<u64, Open> = HashMap::new();
+    let mut by_name: HashMap<&'static str, NameStats> = HashMap::new();
+    let mut instants: HashMap<&'static str, u64> = HashMap::new();
+
+    for record in &trace.records {
+        match record {
+            Record::Begin {
+                id,
+                parent,
+                name,
+                ts_us,
+                ..
+            } => {
+                open.insert(
+                    *id,
+                    Open {
+                        name,
+                        start_us: *ts_us,
+                        parent: *parent,
+                        child_us: 0,
+                    },
+                );
+            }
+            Record::End { id, ts_us, .. } => {
+                let Some(span) = open.remove(id) else {
+                    continue;
+                };
+                let dur = ts_us.saturating_sub(span.start_us);
+                let stats = by_name.entry(span.name).or_default();
+                stats.count += 1;
+                stats.total_us += dur;
+                stats.self_us += dur.saturating_sub(span.child_us);
+                stats.max_us = stats.max_us.max(dur);
+                if let Some(parent) = span.parent.and_then(|p| open.get_mut(&p)) {
+                    parent.child_us += dur;
+                }
+            }
+            Record::Instant { name, .. } => *instants.entry(name).or_default() += 1,
+            Record::Counter { .. } => {}
+        }
+    }
+
+    let mut rows: Vec<(&'static str, NameStats)> = by_name.into_iter().collect();
+    rows.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then(a.0.cmp(b.0)));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "span", "count", "total_us", "self_us", "mean_us", "max_us"
+    );
+    for (name, s) in &rows {
+        let _ = writeln!(
+            out,
+            "{name:<32} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            s.count,
+            s.total_us,
+            s.self_us,
+            s.total_us / s.count.max(1),
+            s.max_us
+        );
+    }
+    if !open.is_empty() {
+        let _ = writeln!(out, "({} span(s) still open at drain)", open.len());
+    }
+    if !instants.is_empty() {
+        let mut names: Vec<_> = instants.into_iter().collect();
+        names.sort();
+        let _ = writeln!(out, "instants:");
+        for (name, n) in names {
+            let _ = writeln!(out, "  {name:<30} x{n}");
+        }
+    }
+    if trace.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {} record(s) dropped at the sink cap",
+            trace.dropped
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_time_excludes_children() {
+        let trace = Trace {
+            records: vec![
+                Record::Begin {
+                    id: 1,
+                    parent: None,
+                    tid: 1,
+                    name: "outer",
+                    ts_us: 0,
+                    args: None,
+                },
+                Record::Begin {
+                    id: 2,
+                    parent: Some(1),
+                    tid: 1,
+                    name: "inner",
+                    ts_us: 10,
+                    args: None,
+                },
+                Record::End {
+                    id: 2,
+                    tid: 1,
+                    name: "inner",
+                    ts_us: 40,
+                },
+                Record::End {
+                    id: 1,
+                    tid: 1,
+                    name: "outer",
+                    ts_us: 100,
+                },
+            ],
+            dropped: 0,
+        };
+        let text = trace.summary();
+        let outer = text.lines().find(|l| l.starts_with("outer")).unwrap();
+        let cols: Vec<&str> = outer.split_whitespace().collect();
+        assert_eq!(cols[1], "1"); // count
+        assert_eq!(cols[2], "100"); // total
+        assert_eq!(cols[3], "70"); // self = 100 - 30
+        let inner = text.lines().find(|l| l.starts_with("inner")).unwrap();
+        let cols: Vec<&str> = inner.split_whitespace().collect();
+        assert_eq!(cols[2], "30");
+        assert_eq!(cols[3], "30");
+    }
+}

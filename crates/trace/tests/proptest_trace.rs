@@ -1,0 +1,182 @@
+//! Property tests for the trace invariants documented in the crate root:
+//! per-thread well-nesting, per-thread timestamp monotonicity, and
+//! span-id referential integrity — over real workloads (difftest-generated
+//! programs pushed through the parallel reorderer and the engine), not
+//! hand-picked span shapes.
+
+use prolog_difftest::{generate_case, GenConfig};
+use prolog_engine::{Engine, MachineConfig};
+use prolog_trace::{disable, drain, enable, Record, Trace};
+use proptest::prelude::*;
+use reorder::{ReorderConfig, Reorderer};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Mutex, MutexGuard};
+
+/// Tracing is process-global, so property iterations must not overlap —
+/// with each other or with any other test toggling the singleton.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Checks the three crate invariants over a drained trace.
+fn check_invariants(trace: &Trace) {
+    assert_eq!(trace.dropped, 0, "no records may be dropped in tests");
+
+    // Referential integrity pass: every id referenced anywhere was
+    // introduced by a Begin record. (Begins are flushed strictly before
+    // the Ends/Instants that reference them within a thread, but drain()
+    // sorts by timestamp, so collect ids up front.)
+    let begun: HashSet<u64> = trace
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Begin { id, .. } => Some(*id),
+            _ => None,
+        })
+        .collect();
+
+    // Per-thread passes: stack discipline + nondecreasing timestamps.
+    let mut stacks: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut last_ts: HashMap<u64, u64> = HashMap::new();
+    for record in &trace.records {
+        let tid = record.tid();
+        let ts = record.ts_us();
+        let prev = last_ts.entry(tid).or_insert(0);
+        assert!(
+            ts >= *prev,
+            "tid {tid}: timestamp went backwards ({ts} < {prev})"
+        );
+        *prev = ts;
+
+        let stack = stacks.entry(tid).or_default();
+        match record {
+            Record::Begin { id, parent, .. } => {
+                assert_eq!(
+                    *parent,
+                    stack.last().copied(),
+                    "tid {tid}: begin {id} parent must be the enclosing open span"
+                );
+                if let Some(p) = parent {
+                    assert!(begun.contains(p), "tid {tid}: parent {p} never began");
+                }
+                stack.push(*id);
+            }
+            Record::End { id, name, .. } => {
+                assert!(begun.contains(id), "tid {tid}: end of unknown span {id}");
+                let open = stack.pop();
+                assert_eq!(
+                    open,
+                    Some(*id),
+                    "tid {tid}: end {name} ({id}) does not match innermost open span {open:?}"
+                );
+            }
+            Record::Instant { span, .. } => {
+                if let Some(s) = span {
+                    assert!(begun.contains(s), "tid {tid}: instant in unknown span {s}");
+                    assert!(
+                        stack.contains(s),
+                        "tid {tid}: instant attributed to span {s} which is not open"
+                    );
+                }
+            }
+            Record::Counter { .. } => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(
+            stack.is_empty(),
+            "tid {tid}: {} spans never ended: {stack:?}",
+            stack.len()
+        );
+    }
+}
+
+/// One end-to-end traced workload: reorder a generated program with a
+/// parallel pipeline, then run its queries on the engine (bounded).
+fn traced_workload(seed: u64, jobs: usize) -> Trace {
+    let case = generate_case(seed, &GenConfig::default());
+    let _ = drain(); // discard leakage from whatever ran before
+    enable();
+    let result = Reorderer::new(
+        &case.program,
+        ReorderConfig {
+            jobs,
+            ..ReorderConfig::default()
+        },
+    )
+    .run();
+    let mut engine = Engine::with_config(MachineConfig {
+        max_calls: 200_000,
+        ..MachineConfig::default()
+    });
+    engine.load(&result.program);
+    for query in &case.queries {
+        // Budget overruns on adversarial generated programs are fine —
+        // the trace must stay well-formed either way.
+        let _ = engine.query_term(&query.goal, &query.var_names, 64);
+    }
+    disable();
+    drain()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    #[test]
+    fn traces_are_well_formed_over_generated_programs(
+        seed in 0u64..1u64 << 48,
+        jobs in 1usize..5,
+    ) {
+        let _g = guard();
+        let trace = traced_workload(seed, jobs);
+        prop_assert!(!trace.records.is_empty(), "a traced run must record something");
+        check_invariants(&trace);
+    }
+
+    #[test]
+    fn parallel_worker_spans_interleave_but_stay_nested(seed in 0u64..1u64 << 48) {
+        let _g = guard();
+        let trace = traced_workload(seed, 4);
+        check_invariants(&trace);
+        // The pipeline span and the engine query span both appear.
+        let names: HashSet<&str> = trace
+            .records
+            .iter()
+            .map(|r| match r {
+                Record::Begin { name, .. }
+                | Record::End { name, .. }
+                | Record::Instant { name, .. }
+                | Record::Counter { name, .. } => *name,
+            })
+            .collect();
+        prop_assert!(names.contains("reorder.run"), "missing reorder.run in {names:?}");
+        prop_assert!(names.contains("engine.query"), "missing engine.query in {names:?}");
+    }
+}
+
+#[test]
+fn instants_attribute_to_an_open_span_across_threads() {
+    let _g = guard();
+    let _ = drain();
+    enable();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let _outer = prolog_trace::span("test.outer");
+                for _ in 0..i + 1 {
+                    let _inner = prolog_trace::span("test.inner");
+                    prolog_trace::instant("test.tick");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    disable();
+    let trace = drain();
+    check_invariants(&trace);
+    let tids: HashSet<u64> = trace.records.iter().map(Record::tid).collect();
+    assert!(tids.len() >= 4, "expected at least 4 tids, got {tids:?}");
+}

@@ -109,3 +109,71 @@ fn timings_json_emits_the_shared_runstats_encoding() {
     // The program on stdout is unaffected by either flag.
     assert_eq!(out.stdout, human.stdout);
 }
+
+/// The acceptance path for the tracing tentpole: a full run on the
+/// family workload with `--trace-out` writes Chrome trace-event JSON
+/// that parses, carries the golden envelope, pairs every B with an E,
+/// and contains the pipeline's stage spans.
+#[test]
+fn trace_out_on_the_family_workload_is_valid_chrome_json() {
+    use reordd::Json;
+
+    let family = concat!(env!("CARGO_MANIFEST_DIR"), "/../../samples/family.pl");
+    let trace_path = temp_file("family-trace.json", "");
+    let out = run_cli(
+        &[
+            family,
+            "-o",
+            "/dev/null",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let doc = Json::parse(&text).expect("trace parses as JSON");
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_u64),
+        Some(prolog_trace::TRACE_SCHEMA_VERSION)
+    );
+    assert_eq!(doc.get("dropped").and_then(Json::as_u64), Some(0));
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    assert!(!events.is_empty());
+
+    // Every event has the chrome-required fields; B/E counts balance.
+    let mut begins = 0i64;
+    let mut names = std::collections::HashSet::new();
+    for event in events {
+        for field in ["name", "cat", "ph", "ts", "pid", "tid"] {
+            assert!(event.get(field).is_some(), "event missing {field}");
+        }
+        let name = event.get("name").and_then(Json::as_str).unwrap();
+        names.insert(name.to_string());
+        match event.get("ph").and_then(Json::as_str).unwrap() {
+            "B" => begins += 1,
+            "E" => begins -= 1,
+            "i" => assert_eq!(event.get("s").and_then(Json::as_str), Some("t")),
+            "C" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+        assert!(begins >= 0, "E before its B");
+    }
+    assert_eq!(begins, 0, "every span must close");
+
+    for expected in [
+        "reorder.pipeline",
+        "reorder.parse",
+        "reorder.run",
+        "reorder.planning",
+        "reorder.emit_text",
+    ] {
+        assert!(
+            names.contains(expected),
+            "missing span {expected}: {names:?}"
+        );
+    }
+}
