@@ -2,7 +2,7 @@
 //! files.
 //!
 //! ```text
-//! usage: bench-diff BASELINE.json NEW.json [--threshold PCT]
+//! usage: bench-diff BASELINE.json NEW.json [--threshold PCT] [--min-ratio SECTION:R]...
 //! ```
 //!
 //! Joins the two files' section rows by `(section, label)` and exits
@@ -14,6 +14,20 @@
 //! subset-vs-full comparisons are exact on the shared rows. Wall times
 //! and latencies are never gated: they belong to the machine, the call
 //! counts belong to the algorithm.
+//!
+//! Zero is never neutral. A count that *grows from* a zero baseline or
+//! *collapses to* zero fails outright, whatever the threshold — a
+//! percentage of zero gates nothing, and a measurement that stopped
+//! calling anything is broken, not infinitely fast. Rows missing their
+//! `original`/`reordered` counts (or carrying non-integer values) are a
+//! schema error (exit 2), not an implicit zero: a malformed trajectory
+//! must never read as a pass.
+//!
+//! `--min-ratio SECTION:R` (repeatable) additionally gates every new-run
+//! row of `SECTION` on its `original/reordered` ratio, recomputed from
+//! the counts: below `R` fails. CI uses `--min-ratio calibration:1.0` to
+//! pin the closed-loop recalibration at "never slower than the original
+//! program".
 
 use bench_harness::suite::BENCH_SCHEMA_VERSION;
 use reordd::Json;
@@ -24,8 +38,23 @@ struct RowKey {
 }
 
 struct RowData {
+    original: u64,
     reordered: u64,
     equivalent: bool,
+}
+
+impl RowData {
+    /// `original / reordered`, recomputed from the counts (the stored
+    /// `ratio` field is presentation, not the source of truth). Same
+    /// zero conventions as `bench_harness::Row::ratio`: finite always,
+    /// `0/0` neutral, collapse-to-zero reads as `original`.
+    fn ratio(&self) -> f64 {
+        match (self.original, self.reordered) {
+            (0, 0) => 1.0,
+            (original, 0) => original as f64,
+            (original, reordered) => original as f64 / reordered as f64,
+        }
+    }
 }
 
 fn load(path: &str) -> Json {
@@ -60,7 +89,20 @@ fn rows(doc: &Json, path: &str) -> Vec<(RowKey, RowData)> {
                 .and_then(Json::as_str)
                 .unwrap_or("?")
                 .to_string();
-            let reordered = row.get("reordered").and_then(Json::as_u64).unwrap_or(0);
+            // Counts are required: defaulting an absent or non-integer
+            // count to 0 would let a malformed row sail under every
+            // gate (0 is never over any limit).
+            let count = |field: &str| -> u64 {
+                row.get(field).and_then(Json::as_u64).unwrap_or_else(|| {
+                    eprintln!(
+                        "error: {path}: row {name}/{label} has no integer \"{field}\" \
+                         (malformed trajectories do not gate as zero)"
+                    );
+                    std::process::exit(2);
+                })
+            };
+            let original = count("original");
+            let reordered = count("reordered");
             let equivalent = row
                 .get("equivalent")
                 .and_then(Json::as_bool)
@@ -71,6 +113,7 @@ fn rows(doc: &Json, path: &str) -> Vec<(RowKey, RowData)> {
                     label,
                 },
                 RowData {
+                    original,
                     reordered,
                     equivalent,
                 },
@@ -84,6 +127,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<String> = Vec::new();
     let mut threshold_pct = 10.0f64;
+    let mut min_ratios: Vec<(String, f64)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -97,8 +141,30 @@ fn main() {
                     }
                 };
             }
+            "--min-ratio" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|s| {
+                    let (section, ratio) = s.split_once(':')?;
+                    let ratio: f64 = ratio.parse().ok()?;
+                    (!section.is_empty() && ratio.is_finite() && ratio >= 0.0)
+                        .then(|| (section.to_string(), ratio))
+                });
+                match parsed {
+                    Some(pair) => min_ratios.push(pair),
+                    None => {
+                        eprintln!(
+                            "error: --min-ratio needs SECTION:RATIO with a \
+                             non-negative finite ratio (e.g. calibration:1.0)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             "-h" | "--help" => {
-                eprintln!("usage: bench-diff BASELINE.json NEW.json [--threshold PCT]");
+                eprintln!(
+                    "usage: bench-diff BASELINE.json NEW.json [--threshold PCT] \
+                     [--min-ratio SECTION:R]..."
+                );
                 return;
             }
             other => paths.push(other.to_string()),
@@ -133,6 +199,23 @@ fn main() {
     let mut regressions = 0usize;
     let mut improvements = 0usize;
     for (key, new_row) in &new_rows {
+        // The ratio floors gate the new run on its own, join or no join:
+        // a row below its section's floor is a regression even if the
+        // baseline never measured it.
+        for (section, floor) in &min_ratios {
+            if key.section == *section && new_row.ratio() < *floor {
+                eprintln!(
+                    "REGRESSION {}/{}: ratio {:.4} below the {floor:.4} floor \
+                     ({} original vs {} reordered calls)",
+                    key.section,
+                    key.label,
+                    new_row.ratio(),
+                    new_row.original,
+                    new_row.reordered
+                );
+                regressions += 1;
+            }
+        }
         let Some((_, base_row)) = base_rows
             .iter()
             .find(|(k, _)| k.section == key.section && k.label == key.label)
@@ -145,6 +228,26 @@ fn main() {
             eprintln!(
                 "REGRESSION {}/{}: set equivalence lost",
                 key.section, key.label
+            );
+            regressions += 1;
+            continue;
+        }
+        // The zero edges bypass the percentage threshold entirely: a
+        // percentage of zero gates nothing, and both directions signal
+        // a broken measurement, not a performance delta.
+        if base_row.reordered == 0 && new_row.reordered > 0 {
+            eprintln!(
+                "REGRESSION {}/{}: reordered calls grew from a zero baseline to {}",
+                key.section, key.label, new_row.reordered
+            );
+            regressions += 1;
+            continue;
+        }
+        if base_row.reordered > 0 && new_row.reordered == 0 {
+            eprintln!(
+                "REGRESSION {}/{}: reordered calls collapsed {} -> 0 \
+                 (the measurement stopped calling anything)",
+                key.section, key.label, base_row.reordered
             );
             regressions += 1;
             continue;

@@ -5,11 +5,12 @@
 //! usage: bench-suite [--quick | --full] [--out PATH] [--no-reordd]
 //! ```
 //!
-//! Reproduces Tables II/III/IV and the ablation (predicate-call counts),
-//! times the pipeline at several `--jobs` settings with a byte-identity
-//! check, probes an in-process `reordd` for cold/cached latency and the
+//! Reproduces Tables II/III/IV, the ablation, and the closed-loop
+//! calibration headline (predicate-call counts), times the pipeline at
+//! several `--jobs` settings with a byte-identity check, probes an
+//! in-process `reordd` for cold/cached latency and the
 //! queue-wait/service split, and writes everything as schema-versioned
-//! JSON (default `BENCH_PR4.json`). Compare two trajectories with
+//! JSON (default `BENCH_PR6.json`). Compare two trajectories with
 //! `bench-diff`; CI runs `--quick` and diffs against the committed
 //! baseline. Depths only add rows — the counts of a row are identical at
 //! every depth, so a quick run diffs cleanly against a full baseline.
@@ -20,7 +21,7 @@ use bench_harness::suite::{encode_trajectory, git_rev, run_suite, Depth};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut depth = Depth::Default;
-    let mut out = "BENCH_PR4.json".to_string();
+    let mut out = "BENCH_PR6.json".to_string();
     let mut probe_reordd = true;
     let mut i = 0;
     while i < args.len() {
@@ -45,7 +46,7 @@ fn main() {
                      --quick      CI smoke subset (cheap modes only)\n\
                      --full       the paper's complete protocol (includes the\n\
                      \x20            3025-query (+,+) sweeps and measured-best search)\n\
-                     --out PATH   trajectory JSON path (default BENCH_PR4.json)\n\
+                     --out PATH   trajectory JSON path (default BENCH_PR6.json)\n\
                      --no-reordd  skip the in-process reordd latency probe"
                 );
                 return;

@@ -92,11 +92,19 @@ pub struct Row {
 }
 
 impl Row {
+    /// `original / reordered`, the paper's speedup metric. Always
+    /// finite — the trajectory JSON prints it with `{:.4}`, and `inf` /
+    /// `NaN` are not valid JSON. A zero `reordered` count with a
+    /// nonzero `original` clamps the divisor to one call (reading as
+    /// "at least `original`×") instead of the old silently-neutral 1.0;
+    /// `0/0` stays 1.0. `bench-diff` treats a collapse to zero as a
+    /// regression regardless of this value — a measurement that stopped
+    /// calling anything is broken, not infinitely fast.
     pub fn ratio(&self) -> f64 {
-        if self.reordered == 0 {
-            1.0
-        } else {
-            self.original as f64 / self.reordered as f64
+        match (self.original, self.reordered) {
+            (0, 0) => 1.0,
+            (original, 0) => original as f64,
+            (original, reordered) => original as f64 / reordered as f64,
         }
     }
 }
@@ -331,6 +339,27 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted.len(), 24);
+    }
+
+    #[test]
+    fn ratio_stays_finite_on_zero_counts() {
+        let row = |original, reordered| Row {
+            label: "r".into(),
+            original,
+            reordered,
+            best: None,
+            equivalent: true,
+        };
+        assert_eq!(row(100, 50).ratio(), 2.0);
+        assert_eq!(row(0, 0).ratio(), 1.0);
+        // A collapse to zero reads as "at least original×", never inf/NaN:
+        // the trajectory JSON prints ratios raw, and inf is not JSON.
+        let collapsed = row(100, 0).ratio();
+        assert!(collapsed.is_finite());
+        assert_eq!(collapsed, 100.0);
+        let grown = row(0, 37).ratio();
+        assert!(grown.is_finite());
+        assert_eq!(grown, 0.0);
     }
 
     #[test]

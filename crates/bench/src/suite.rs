@@ -3,7 +3,7 @@
 //! One run reproduces the paper's evaluation (Tables II/III/IV and the
 //! ablation), times the pipeline at several `--jobs` settings, probes an
 //! in-process `reordd` for cold/cached latency, and serialises all of it
-//! into a schema-versioned trajectory JSON (`BENCH_PR4.json`). The
+//! into a schema-versioned trajectory JSON (`BENCH_PR6.json`). The
 //! trajectory is the regression gate: `bench-diff` compares two of these
 //! files and fails on call-count regressions, so the committed baseline
 //! pins the reorderer's measured quality, not just its output bytes.
@@ -24,7 +24,9 @@ use prolog_workloads::puzzles::{
     meal_program, meal_universe, p58_program, p58_universe, team_program, team_universe,
 };
 use prolog_workloads::queries::{mode_queries, QuerySpec};
-use reorder::{ReorderConfig, ReorderResult, Reorderer, RunStats};
+use reorder::{
+    calibrate_loop, CalibrationOptions, ReorderConfig, ReorderResult, Reorderer, RunStats,
+};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -43,7 +45,9 @@ pub enum Depth {
     /// CI smoke: the cheap modes of each table, no exhaustive search.
     Quick,
     /// Everything except the 3025-query `(+,+)` sweeps, exhaustive
-    /// measured-best enumeration, and empirical calibration.
+    /// measured-best enumeration, and the ablation's one-shot
+    /// calibrated-costs row. (The closed-loop `calibration` section
+    /// runs at every depth — CI gates it.)
     Default,
     /// The paper's complete protocol.
     Full,
@@ -143,13 +147,8 @@ pub fn table2_rows(depth: Depth) -> Vec<Section> {
             } else {
                 None
             };
-            let pretty_mode = mode_s
-                .chars()
-                .map(|c| c.to_string())
-                .collect::<Vec<_>>()
-                .join(",");
             rows.push(Row {
-                label: format!("{pred}({pretty_mode})"),
+                label: format!("{pred}({})", pretty_mode(mode_s)),
                 original: original.calls(),
                 reordered: reordered.calls(),
                 best,
@@ -448,6 +447,76 @@ pub fn ablation_rows(depth: Depth) -> Section {
     }
 }
 
+/// `"-+"` → `"-,+"`, the row-label convention of the tables.
+fn pretty_mode(mode_s: &str) -> String {
+    mode_s
+        .chars()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// The closed-loop recalibration headline: each row compares the
+/// **calibrated** reordering (`calibrate_loop`, the CLI's
+/// `--calibrate N`) against the unreordered program, on exactly the
+/// modes that regressed below 1.0 under purely static planning. Runs at
+/// every depth — Quick included — because CI's calibrate-smoke job
+/// gates these rows with `bench-diff --min-ratio calibration:1.0`: a
+/// calibrated mode slower than the original program is a bug, not a
+/// tolerance question.
+pub fn calibration_rows(_depth: Depth) -> Section {
+    let opts = CalibrationOptions {
+        rounds: 3,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+
+    let (family, people) = family_program(&FamilyConfig::default());
+    let family_cal = calibrate_loop(&family, &ReorderConfig::default(), &opts);
+    for (pred, mode_s) in [
+        ("brother", "--"),
+        ("brother", "+-"),
+        ("aunt", "+-"),
+        ("aunt", "-+"),
+        ("cousins", "-+"),
+    ] {
+        let mode = Mode::parse(mode_s).unwrap();
+        let version = version_of(&family_cal.result, PredId::new(pred, 2), mode_s);
+        let queries = mode_queries(&QuerySpec {
+            name: pred.to_string(),
+            mode: mode.clone(),
+            universe: people.clone(),
+        });
+        let version_queries = mode_queries(&QuerySpec {
+            name: version,
+            mode,
+            universe: people.clone(),
+        });
+        rows.push(compare_versions(
+            &format!("{pred}({})", pretty_mode(mode_s)),
+            &family,
+            &family_cal.result.program,
+            &queries,
+            &version_queries,
+        ));
+    }
+
+    let (corporate, _ids) = corporate_program(&CorporateConfig::default());
+    let corporate_cal = calibrate_loop(&corporate, &ReorderConfig::default(), &opts);
+    let queries = parse_queries(&["average_pay(D, A)"]);
+    rows.push(crate::compare_row(
+        "average_pay(-,-)",
+        &corporate,
+        &corporate_cal.result.program,
+        &queries,
+    ));
+
+    Section {
+        name: "calibration",
+        rows,
+    }
+}
+
 /// Times the source-to-source pipeline on the family workload at each
 /// `jobs` setting and checks the emitted bytes stay identical — the
 /// determinism contract the parallel driver promises.
@@ -555,6 +624,7 @@ pub fn run_suite(depth: Depth, probe_reordd: bool) -> Suite {
     sections.push(table3_rows(depth));
     sections.push(table4_rows(depth));
     sections.push(ablation_rows(depth));
+    sections.push(calibration_rows(depth));
     let jobs_list: &[usize] = match depth {
         Depth::Quick => &[1, 2],
         _ => &[1, 2, 8],

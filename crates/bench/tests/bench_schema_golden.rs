@@ -1,5 +1,5 @@
 //! Golden schema tests: pin the two JSON surfaces downstream tooling
-//! consumes — the committed `BENCH_PR4.json` trajectory and the Chrome
+//! consumes — the committed `BENCH_PR6.json` trajectory and the Chrome
 //! trace-event export — so a schema change is a deliberate diff here
 //! (and a `schema_version` bump), never an accident.
 
@@ -44,7 +44,12 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
 
     let sections = arr(doc.get("sections").expect("sections"));
     assert!(!sections.is_empty());
-    let expected_sections = ["table2", "table3", "table4", "ablation"];
+    let expected_sections = ["table2", "table3", "table4", "ablation", "calibration"];
+    assert_eq!(
+        sections.len(),
+        expected_sections.len(),
+        "every section is present at every depth"
+    );
     for (section, expected_name) in sections.iter().zip(expected_sections) {
         assert_eq!(keys(section), ["name", "rows"]);
         assert_eq!(
@@ -118,9 +123,9 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
 /// bench-suite` whenever the encoder changes.
 #[test]
 fn committed_baseline_matches_golden_schema() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
     let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("committed BENCH_PR4.json must exist at the repo root: {e}"));
+        .unwrap_or_else(|e| panic!("committed BENCH_PR6.json must exist at the repo root: {e}"));
     let doc = Json::parse(&text).expect("committed baseline parses");
     check_trajectory_schema(&doc, true);
     assert_eq!(doc.get("depth").and_then(Json::as_str), Some("default"));
@@ -136,7 +141,7 @@ fn fresh_quick_run_matches_schema_and_baseline_counts() {
     let doc = Json::parse(&encoded).expect("fresh trajectory parses");
     check_trajectory_schema(&doc, false);
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
     let baseline = Json::parse(&std::fs::read_to_string(path).expect("baseline readable"))
         .expect("baseline parses");
     let mut shared = 0;

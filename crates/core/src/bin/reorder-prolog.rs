@@ -6,13 +6,14 @@
 //! usage: reorder-prolog INPUT.pl [-o OUTPUT.pl] [--report] [--timings]
 //!                       [--timings-json] [--jobs N] [--no-specialize]
 //!                       [--no-goals] [--no-clauses] [--unfold]
+//!                       [--calibrate N] [--calibrate-report]
 //!                       [--markov-model] [--trace-out PATH] [--trace-summary]
 //! ```
 //!
 //! `INPUT.pl` may be `-` to read the program from stdin. Parse errors
 //! exit nonzero with a `file:line:col: message` diagnostic.
 
-use reorder::{ReorderConfig, UnfoldConfig};
+use reorder::{CalibrationOptions, ReorderConfig, UnfoldConfig};
 use std::io::Read;
 
 fn main() {
@@ -23,6 +24,8 @@ fn main() {
     let mut timings = false;
     let mut timings_json = false;
     let mut unfold = false;
+    let mut calibrate_rounds: Option<usize> = None;
+    let mut calibrate_report = false;
     let mut trace_out: Option<String> = None;
     let mut trace_summary = false;
     let mut config = ReorderConfig::default();
@@ -55,6 +58,17 @@ fn main() {
             "--no-goals" => config.reorder_goals = false,
             "--no-clauses" => config.reorder_clauses = false,
             "--unfold" => unfold = true,
+            "--calibrate" => {
+                i += 1;
+                calibrate_rounds = match args.get(i).map(|s| s.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("error: --calibrate needs a round count (>= 1)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--calibrate-report" => calibrate_report = true,
             "--markov-model" => config.cost_model = reorder::CostModelKind::MarkovChain,
             "--trace-out" => {
                 i += 1;
@@ -74,6 +88,12 @@ fn main() {
                      INPUT.pl may be - to read the program from stdin\n\
                      --jobs N        worker threads for the reordering stage \
                      (0 = all cores, 1 = serial; output is identical either way)\n\
+                     --calibrate N   run up to N measure -> re-plan rounds: \
+                     predicate costs are measured on the real engine and fed \
+                     back as estimates until the plan reaches a fixed point\n\
+                     --calibrate-report  print the calibration round log and \
+                     the static-vs-measured divergence table on stderr \
+                     (implies --calibrate 2 unless given)\n\
                      --timings       print per-stage wall-clock and cache counters \
                      on stderr\n\
                      --timings-json  print the same stats as one JSON object \
@@ -118,13 +138,40 @@ fn main() {
     if trace_out.is_some() || trace_summary {
         prolog_trace::enable();
     }
+    if calibrate_report && calibrate_rounds.is_none() {
+        calibrate_rounds = Some(CalibrationOptions::default().rounds);
+    }
+    if calibrate_rounds.is_some() && unfold {
+        eprintln!("error: --calibrate cannot be combined with --unfold");
+        std::process::exit(2);
+    }
     let unfold_config = unfold.then(UnfoldConfig::default);
-    let outcome = match reorder::reorder_source_with(&src, &config, unfold_config.as_ref()) {
-        Ok(outcome) => outcome,
-        Err(e) => {
-            eprintln!("error: {name}:{}:{}: {}", e.pos.line, e.pos.col, e.message);
-            std::process::exit(1);
+    let outcome = match calibrate_rounds {
+        Some(rounds) => {
+            let opts = CalibrationOptions {
+                rounds,
+                ..Default::default()
+            };
+            match reorder::calibrate_source(&src, &config, &opts) {
+                Ok((outcome, calibration)) => {
+                    if calibrate_report {
+                        eprint!("{}", calibration.render());
+                    }
+                    outcome
+                }
+                Err(e) => {
+                    eprintln!("error: {name}:{}:{}: {}", e.pos.line, e.pos.col, e.message);
+                    std::process::exit(1);
+                }
+            }
         }
+        None => match reorder::reorder_source_with(&src, &config, unfold_config.as_ref()) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("error: {name}:{}:{}: {}", e.pos.line, e.pos.col, e.message);
+                std::process::exit(1);
+            }
+        },
     };
     if unfold {
         eprintln!("% unfolded {} goals", outcome.unfolded_goals);

@@ -1,5 +1,7 @@
 //! Reorderer configuration.
 
+use prolog_syntax::PredId;
+
 /// Which conjunction cost model drives the order search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CostModelKind {
@@ -50,6 +52,13 @@ pub struct ReorderConfig {
     /// the serial path with no thread pool. Output is byte-identical
     /// regardless of the setting.
     pub jobs: usize,
+    /// Predicates pinned to their original definition: never specialised
+    /// or reordered, emitted verbatim. The calibration loop pins
+    /// predicates whose specialisation *measured* worse than the input
+    /// ordering (e.g. a dispatcher hop charged on every meta-call with no
+    /// offsetting gain). Kept sorted so configs compare and hash
+    /// deterministically.
+    pub pinned: Vec<PredId>,
 }
 
 impl ReorderConfig {
@@ -79,6 +88,7 @@ impl Default for ReorderConfig {
             recursive_fixpoint_iterations: 2,
             cost_model: CostModelKind::GeneratorTree,
             jobs: 0,
+            pinned: Vec::new(),
         }
     }
 }

@@ -119,6 +119,7 @@ impl<'p> Reorderer<'p> {
                 && has_rule
                 && pred.arity >= 1
                 && pred.arity <= 6
+                && !self.config.pinned.contains(&pred)
                 && !fixity.is_fixed(pred)
                 && !is_recursive(pred)
                 && !oracle.legal_plus_minus_modes(pred).is_empty()
@@ -210,7 +211,13 @@ impl<'p> Reorderer<'p> {
                 for mode in &mode_lists[&pred] {
                     let (original, outcome) =
                         next.next().expect("one outcome per (predicate, mode) task");
-                    est.install_override(pred, mode.clone(), outcome.stats);
+                    // Calibrated measurements are ground truth: a pair the
+                    // caller measured keeps its measured stats, and only
+                    // unmeasured pairs pick up the model's estimate of the
+                    // reordered version.
+                    if !self.measured.contains_key(&(pred, mode.clone())) {
+                        est.install_override(pred, mode.clone(), outcome.stats);
+                    }
                     per_mode.push((mode.clone(), outcome.clauses));
                     mode_infos.push((
                         mode.clone(),
@@ -303,7 +310,9 @@ impl<'p> Reorderer<'p> {
                 for c in &clauses {
                     out.clauses.push((*c).clone());
                 }
-                let reason = if fixity.is_fixed(pred) {
+                let reason = if self.config.pinned.contains(&pred) {
+                    "pinned: calibration kept the original definition".to_string()
+                } else if fixity.is_fixed(pred) {
                     "fixed: it (or a descendant) has side effects".to_string()
                 } else if is_recursive(pred) {
                     "recursive: reordering needs declarations (§IV-D.7)".to_string()

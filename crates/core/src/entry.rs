@@ -10,9 +10,10 @@
 
 use crate::config::ReorderConfig;
 use crate::driver::Reorderer;
+use crate::empirical::{calibrate_loop, CalibrationOptions, CalibrationOutcome, MeasuredCosts};
 use crate::report::ReorderReport;
 use crate::unfold::{unfold_program, UnfoldConfig};
-use prolog_syntax::ParseError;
+use prolog_syntax::{ParseError, PredId};
 
 /// Product of [`reorder_source`]: the emitted program text plus the
 /// decision report (which carries [`crate::report::RunStats`]).
@@ -64,6 +65,75 @@ pub fn reorder_source_with(
     })
 }
 
+/// Parses `src` and runs the closed calibration loop (measure → override
+/// → re-plan → validate, see [`calibrate_loop`]) instead of a single
+/// static pass. Returns the converged emission in the same
+/// [`SourceOutcome`] shape as [`reorder_source`], plus the loop's log
+/// (rounds, pins, divergence table) for reporting.
+///
+/// Like [`reorder_source`], the emitted text is a pure function of
+/// `(src, config, opts)` — the calibration measurements run on a
+/// deterministic engine — so cached and fresh results stay byte-identical
+/// for any `jobs` setting.
+pub fn calibrate_source(
+    src: &str,
+    config: &ReorderConfig,
+    opts: &CalibrationOptions,
+) -> Result<(SourceOutcome, CalibrationOutcome), ParseError> {
+    let _pipeline_span = prolog_trace::span_with("reorder.calibrate_pipeline", || {
+        prolog_trace::fields::Obj::new()
+            .u64("source_bytes", src.len() as u64)
+            .u64("rounds", opts.rounds as u64)
+    });
+    let program = prolog_syntax::parse_program(src)?;
+    let outcome = calibrate_loop(&program, config, opts);
+    let text = prolog_syntax::pretty::program_to_string(&outcome.result.program);
+    Ok((
+        SourceOutcome {
+            text,
+            report: outcome.result.report.clone(),
+            unfolded_goals: 0,
+        },
+        outcome,
+    ))
+}
+
+/// Replays a converged calibration without re-running the measurement
+/// engines: reorders `src` with a previously measured override set
+/// installed and `pinned` predicates kept at their original definition.
+///
+/// This is the fixed-point replay the calibration-loop tests pin down —
+/// the emission is byte-identical to the [`calibrate_source`] run that
+/// produced `measured` and `pinned`. A caller that holds a converged
+/// override set (the `reordd` daemon after a `calibrate` request) uses
+/// this to serve calibrated results at plain-reorder cost.
+pub fn reorder_source_calibrated(
+    src: &str,
+    config: &ReorderConfig,
+    measured: &MeasuredCosts,
+    pinned: &[PredId],
+) -> Result<SourceOutcome, ParseError> {
+    let _pipeline_span = prolog_trace::span_with("reorder.replay_pipeline", || {
+        prolog_trace::fields::Obj::new()
+            .u64("source_bytes", src.len() as u64)
+            .u64("overrides", measured.len() as u64)
+    });
+    let program = prolog_syntax::parse_program(src)?;
+    let config = ReorderConfig {
+        pinned: pinned.to_vec(),
+        ..config.clone()
+    };
+    let result = Reorderer::new(&program, config)
+        .with_measured_costs(measured.clone())
+        .run();
+    let text = prolog_syntax::pretty::program_to_string(&result.program);
+    Ok(SourceOutcome {
+        text,
+        report: result.report,
+        unfolded_goals: 0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +170,20 @@ mod tests {
         let err = reorder_source("p(1.\nq(", &ReorderConfig::default()).unwrap_err();
         assert!(err.pos.line >= 1);
         assert!(err.pos.col >= 1);
+    }
+
+    #[test]
+    fn calibrated_replay_matches_the_loop_byte_for_byte() {
+        let config = ReorderConfig::default();
+        let opts = CalibrationOptions {
+            rounds: 2,
+            ..Default::default()
+        };
+        let (outcome, calibration) = calibrate_source(SRC, &config, &opts).unwrap();
+        let replay =
+            reorder_source_calibrated(SRC, &config, &calibration.measured, &calibration.pinned)
+                .unwrap();
+        assert_eq!(replay.text, outcome.text);
     }
 
     #[test]

@@ -64,8 +64,14 @@ pub mod warren;
 pub use config::{CostModelKind, ReorderConfig};
 pub use costs::Estimator;
 pub use driver::{ReorderResult, Reorderer};
-pub use empirical::{calibrate, CalibrationConfig, MeasuredCosts};
-pub use entry::{reorder_source, reorder_source_with, SourceOutcome};
+pub use empirical::{
+    calibrate, calibrate_detailed, calibrate_loop, harvest_universe, ArgDomains, CalibrationConfig,
+    CalibrationOptions, CalibrationOutcome, CalibrationRound, DetailedCosts, DivergenceRow,
+    MeasuredCosts, PairMeasurement,
+};
+pub use entry::{
+    calibrate_source, reorder_source, reorder_source_calibrated, reorder_source_with, SourceOutcome,
+};
 pub use oracle::ModeOracle;
 pub use report::{ModeReport, PredicateReport, ReorderReport, RunStats};
 pub use unfold::{unfold_program, UnfoldConfig};

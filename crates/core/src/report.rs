@@ -7,7 +7,7 @@ use std::fmt;
 use std::time::Duration;
 
 /// The full report for one reordering run.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ReorderReport {
     pub predicates: Vec<PredicateReport>,
     /// Problems the system wants the programmer to know about (the paper's
@@ -28,7 +28,7 @@ impl ReorderReport {
 }
 
 /// Decisions for one predicate.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PredicateReport {
     pub pred: PredId,
     /// `Some(reason)` when the predicate was left untouched.
@@ -37,7 +37,7 @@ pub struct PredicateReport {
 }
 
 /// Decisions for one calling mode of one predicate.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ModeReport {
     pub mode: Mode,
     /// Name of the specialised version serving this mode.

@@ -53,8 +53,9 @@ pub struct QueryOutcome {
     /// exhausting the search space.
     pub truncated: bool,
     /// Per-predicate call/backtrack attribution (`"name/arity"` rows,
-    /// sorted). Populated only when tracing was enabled when the query
-    /// started; empty otherwise.
+    /// sorted). Populated when tracing was enabled when the query started
+    /// or the engine was configured with [`MachineConfig::profile`];
+    /// empty otherwise.
     pub profile: Vec<(String, PredProfile)>,
 }
 

@@ -36,7 +36,7 @@ pub mod machine;
 pub mod store;
 pub mod unify;
 
-pub use counters::Counters;
+pub use counters::{Counters, PredProfile};
 pub use database::{Database, IndexKey};
 pub use engine::{Engine, QueryError, QueryOutcome, Solution};
 pub use error::EngineError;

@@ -55,6 +55,12 @@ pub struct MachineConfig {
     /// If `true`, calling an undefined predicate fails silently instead of
     /// raising an existence error.
     pub unknown_fails: bool,
+    /// Collect the per-predicate call/backtrack profile for this machine
+    /// even when tracing is off. Calibration runs
+    /// ([`reorder::calibrate`]-style measurement passes) use this to
+    /// attribute calls to specialised versions without paying the global
+    /// tracing overhead.
+    pub profile: bool,
 }
 
 impl Default for MachineConfig {
@@ -65,6 +71,7 @@ impl Default for MachineConfig {
             max_calls: 50_000_000,
             max_depth: 100_000,
             unknown_fails: false,
+            profile: false,
         }
     }
 }
@@ -83,8 +90,9 @@ pub struct Machine<'db> {
     pub input_chars: std::collections::VecDeque<char>,
     pub(crate) config: MachineConfig,
     /// Per-predicate call/backtrack attribution; allocated only when
-    /// tracing was enabled at machine construction, so the hot path pays a
-    /// single `Option` check per event when tracing is off.
+    /// tracing was enabled at machine construction or the config asked
+    /// for profiling, so the hot path pays a single `Option` check per
+    /// event otherwise.
     profile: Option<std::collections::HashMap<PredId, PredProfile>>,
     next_level: usize,
     pub(crate) depth: usize,
@@ -100,7 +108,7 @@ impl<'db> Machine<'db> {
             input_terms: Default::default(),
             input_chars: Default::default(),
             config,
-            profile: prolog_trace::enabled().then(Default::default),
+            profile: (config.profile || prolog_trace::enabled()).then(Default::default),
             next_level: 0,
             depth: 0,
         }

@@ -90,6 +90,9 @@ pub struct CacheCounters {
     pub evictions: u64,
     /// Budget expiries observed by waiters.
     pub timeouts: u64,
+    /// Entries dropped by explicit invalidation ([`ResultCache::remove`])
+    /// — stale results displaced by a recalibration, not LRU pressure.
+    pub invalidations: u64,
 }
 
 enum Slot {
@@ -285,6 +288,22 @@ impl ResultCache {
         }
     }
 
+    /// Invalidates `key` if it holds a ready value, so the next request
+    /// for it recomputes. An in-flight computation is left to finish —
+    /// its waiters are owed an answer; the caller may invalidate the
+    /// landed entry afterwards. Returns whether an entry was dropped.
+    pub fn remove(&self, key: u128) -> bool {
+        let mut guard = self.state.lock().expect("cache lock poisoned");
+        let st = &mut *guard;
+        if matches!(st.entries.get(&key), Some(Slot::Ready { .. })) {
+            st.entries.remove(&key);
+            st.counters.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Counter snapshot.
     pub fn counters(&self) -> CacheCounters {
         self.state.lock().expect("cache lock poisoned").counters
@@ -393,6 +412,44 @@ mod tests {
         let again =
             cache.get_or_compute(key, Duration::from_secs(5), || panic!("must not recompute"));
         assert!(matches!(again, Fetch::Hit(_)));
+    }
+
+    #[test]
+    fn remove_invalidates_ready_entries_only() {
+        let cache = ResultCache::new(8);
+        let key = content_key("p(1).", "");
+        assert!(!cache.remove(key), "absent key is not an invalidation");
+        let _ = cache.get_or_compute(key, Duration::from_secs(5), || ok("out"));
+        assert!(cache.contains(key));
+        assert!(cache.remove(key));
+        assert!(!cache.contains(key));
+        assert!(!cache.remove(key), "second remove is a no-op");
+        assert_eq!(cache.counters().invalidations, 1);
+        assert_eq!(cache.counters().evictions, 0, "invalidation is not LRU");
+        // The next request recomputes rather than hitting stale state.
+        let fetch = cache.get_or_compute(key, Duration::from_secs(5), || ok("fresh"));
+        assert!(matches!(fetch, Fetch::Computed(_)));
+        assert_eq!(text_of(&fetch), "fresh");
+    }
+
+    #[test]
+    fn remove_leaves_in_flight_computations_alone() {
+        let cache = ResultCache::new(8);
+        let key = content_key("slow.", "");
+        let fetch = cache.get_or_compute(key, Duration::from_millis(10), || {
+            std::thread::sleep(Duration::from_millis(150));
+            ok("late")
+        });
+        assert!(matches!(fetch, Fetch::TimedOut));
+        // Still in flight: remove must refuse.
+        assert!(!cache.remove(key));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !cache.contains(key) {
+            assert!(Instant::now() < deadline, "computation never landed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Landed now: removable.
+        assert!(cache.remove(key));
     }
 
     #[test]

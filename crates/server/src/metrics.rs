@@ -51,6 +51,7 @@ pub struct Metrics {
     pub connections: AtomicU64,
     pub requests: AtomicU64,
     pub reorders: AtomicU64,
+    pub calibrates: AtomicU64,
     pub stats_requests: AtomicU64,
     pub pings: AtomicU64,
     pub parse_errors: AtomicU64,
@@ -93,6 +94,7 @@ impl Metrics {
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             reorders: AtomicU64::new(0),
+            calibrates: AtomicU64::new(0),
             stats_requests: AtomicU64::new(0),
             pings: AtomicU64::new(0),
             parse_errors: AtomicU64::new(0),
@@ -133,6 +135,7 @@ impl Metrics {
         cache_capacity: usize,
         queue_capacity: usize,
         workers: usize,
+        calibrations_stored: usize,
     ) -> Json {
         let load = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
         let pipeline_json = self
@@ -151,6 +154,7 @@ impl Metrics {
                 Json::Obj(vec![
                     ("total".to_string(), load(&self.requests)),
                     ("reorder".to_string(), load(&self.reorders)),
+                    ("calibrate".to_string(), load(&self.calibrates)),
                     ("stats".to_string(), load(&self.stats_requests)),
                     ("ping".to_string(), load(&self.pings)),
                     ("parse_errors".to_string(), load(&self.parse_errors)),
@@ -169,8 +173,19 @@ impl Metrics {
                     ("coalesced".to_string(), Json::Num(cache.coalesced as f64)),
                     ("evictions".to_string(), Json::Num(cache.evictions as f64)),
                     ("timeouts".to_string(), Json::Num(cache.timeouts as f64)),
+                    (
+                        "invalidations".to_string(),
+                        Json::Num(cache.invalidations as f64),
+                    ),
                     ("entries".to_string(), Json::Num(cache_entries as f64)),
                     ("capacity".to_string(), Json::Num(cache_capacity as f64)),
+                ]),
+            ),
+            (
+                "calibration".to_string(),
+                Json::Obj(vec![
+                    ("requests".to_string(), load(&self.calibrates)),
+                    ("stored".to_string(), Json::Num(calibrations_stored as f64)),
                 ]),
             ),
             (
@@ -230,7 +245,7 @@ mod tests {
             misses: 2,
             ..Default::default()
         };
-        let snap = metrics.snapshot(cache, 2, 64, 16, 4);
+        let snap = metrics.snapshot(cache, 2, 64, 16, 4, 1);
         assert_eq!(
             snap.get("requests")
                 .and_then(|r| r.get("total"))
@@ -242,6 +257,24 @@ mod tests {
                 .and_then(|c| c.get("hits"))
                 .and_then(Json::as_u64),
             Some(7)
+        );
+        assert_eq!(
+            snap.get("cache")
+                .and_then(|c| c.get("invalidations"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            snap.get("calibration")
+                .and_then(|c| c.get("stored"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("requests")
+                .and_then(|r| r.get("calibrate"))
+                .and_then(Json::as_u64),
+            Some(0)
         );
         assert_eq!(
             snap.get("queue")

@@ -28,6 +28,11 @@ pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 /// adversarial payloads without blowing its parse stack.
 const MAX_DEPTH: usize = 64;
 
+/// Calibration rounds assumed when a `calibrate` request omits
+/// `"rounds"` — matches `reorder-prolog --calibrate-report`'s implied
+/// round count.
+pub const DEFAULT_CALIBRATE_ROUNDS: usize = 2;
+
 // ---------------------------------------------------------------------------
 // JSON values
 // ---------------------------------------------------------------------------
@@ -441,6 +446,15 @@ impl WireConfig {
         )
     }
 
+    /// Cache-key component for results produced under a calibration
+    /// override set. The override-set fingerprint participates in the
+    /// hash, so a calibrated result can never collide with the
+    /// uncalibrated result — or with a result under a *different*
+    /// override set — for the same program and knobs.
+    pub fn cache_key_part_calibrated(&self, override_fingerprint: &str) -> String {
+        format!("{}|cal:{override_fingerprint}", self.cache_key_part())
+    }
+
     /// The effective pipeline configuration, with `jobs == 0` resolved
     /// to the server default.
     pub fn to_reorder_config(&self, default_jobs: usize) -> reorder::ReorderConfig {
@@ -473,6 +487,18 @@ pub enum Request {
         /// server's configured maximum.
         budget_ms: Option<u64>,
     },
+    /// Run the closed calibration loop on `program` server-side: measure
+    /// predicate costs on the real engine, re-plan to a fixed point, and
+    /// install the converged override set as the daemon's active
+    /// calibration for this `(program, config)`. Later `reorder`
+    /// requests for the same pair are served from the calibrated plan.
+    Calibrate {
+        program: String,
+        config: WireConfig,
+        /// Measure → re-plan round budget (≥ 1).
+        rounds: usize,
+        budget_ms: Option<u64>,
+    },
     Stats,
     Ping,
     Shutdown,
@@ -493,22 +519,22 @@ impl Request {
                     ("type".to_string(), Json::Str("reorder".to_string())),
                     ("program".to_string(), Json::Str(program.clone())),
                 ];
-                let defaults = WireConfig::default();
-                if *config != defaults {
-                    members.push((
-                        "config".to_string(),
-                        Json::Obj(vec![
-                            ("jobs".to_string(), Json::Num(config.jobs as f64)),
-                            ("specialize".to_string(), Json::Bool(config.specialize)),
-                            ("goals".to_string(), Json::Bool(config.goals)),
-                            ("clauses".to_string(), Json::Bool(config.clauses)),
-                            ("markov".to_string(), Json::Bool(config.markov)),
-                        ]),
-                    ));
-                }
-                if let Some(ms) = budget_ms {
-                    members.push(("budget_ms".to_string(), Json::Num(*ms as f64)));
-                }
+                push_config_and_budget(&mut members, config, budget_ms);
+                Json::Obj(members)
+            }
+            Request::Calibrate {
+                program,
+                config,
+                rounds,
+                budget_ms,
+            } => {
+                let mut members = vec![
+                    v,
+                    ("type".to_string(), Json::Str("calibrate".to_string())),
+                    ("program".to_string(), Json::Str(program.clone())),
+                    ("rounds".to_string(), Json::Num(*rounds as f64)),
+                ];
+                push_config_and_budget(&mut members, config, budget_ms);
                 Json::Obj(members)
             }
             Request::Stats => Json::Obj(vec![
@@ -552,40 +578,30 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             "reorder" => {
-                let program = json
-                    .get("program")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| WireError::bad_request("reorder needs a \"program\" string"))?
-                    .to_string();
-                let mut config = WireConfig::default();
-                if let Some(c) = json.get("config") {
-                    let flag = |key: &str, default: bool| -> Result<bool, WireError> {
-                        match c.get(key) {
-                            None => Ok(default),
-                            Some(v) => v.as_bool().ok_or_else(|| {
-                                WireError::bad_request(format!("config.{key} must be a boolean"))
-                            }),
-                        }
-                    };
-                    config.specialize = flag("specialize", config.specialize)?;
-                    config.goals = flag("goals", config.goals)?;
-                    config.clauses = flag("clauses", config.clauses)?;
-                    config.markov = flag("markov", config.markov)?;
-                    if let Some(jobs) = c.get("jobs") {
-                        config.jobs = jobs.as_u64().ok_or_else(|| {
-                            WireError::bad_request("config.jobs must be a non-negative integer")
-                        })? as usize;
-                    }
-                }
-                let budget_ms = match json.get("budget_ms") {
-                    None => None,
-                    Some(v) => Some(v.as_u64().ok_or_else(|| {
-                        WireError::bad_request("budget_ms must be a non-negative integer")
-                    })?),
-                };
+                let program = decode_program(&json, "reorder")?;
+                let config = decode_config(&json)?;
+                let budget_ms = decode_budget(&json)?;
                 Ok(Request::Reorder {
                     program,
                     config,
+                    budget_ms,
+                })
+            }
+            "calibrate" => {
+                let program = decode_program(&json, "calibrate")?;
+                let config = decode_config(&json)?;
+                let budget_ms = decode_budget(&json)?;
+                let rounds = match json.get("rounds") {
+                    None => DEFAULT_CALIBRATE_ROUNDS,
+                    Some(v) => match v.as_u64() {
+                        Some(n) if n >= 1 => n as usize,
+                        _ => return Err(WireError::bad_request("rounds must be an integer >= 1")),
+                    },
+                };
+                Ok(Request::Calibrate {
+                    program,
+                    config,
+                    rounds,
                     budget_ms,
                 })
             }
@@ -593,6 +609,71 @@ impl Request {
                 "unknown request type {other:?}"
             ))),
         }
+    }
+}
+
+/// Appends the optional `config` and `budget_ms` members shared by the
+/// `reorder` and `calibrate` encodings.
+fn push_config_and_budget(
+    members: &mut Vec<(String, Json)>,
+    config: &WireConfig,
+    budget_ms: &Option<u64>,
+) {
+    if *config != WireConfig::default() {
+        members.push((
+            "config".to_string(),
+            Json::Obj(vec![
+                ("jobs".to_string(), Json::Num(config.jobs as f64)),
+                ("specialize".to_string(), Json::Bool(config.specialize)),
+                ("goals".to_string(), Json::Bool(config.goals)),
+                ("clauses".to_string(), Json::Bool(config.clauses)),
+                ("markov".to_string(), Json::Bool(config.markov)),
+            ]),
+        ));
+    }
+    if let Some(ms) = budget_ms {
+        members.push(("budget_ms".to_string(), Json::Num(*ms as f64)));
+    }
+}
+
+fn decode_program(json: &Json, kind: &str) -> Result<String, WireError> {
+    json.get("program")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| WireError::bad_request(format!("{kind} needs a \"program\" string")))
+}
+
+fn decode_config(json: &Json) -> Result<WireConfig, WireError> {
+    let mut config = WireConfig::default();
+    if let Some(c) = json.get("config") {
+        let flag = |key: &str, default: bool| -> Result<bool, WireError> {
+            match c.get(key) {
+                None => Ok(default),
+                Some(v) => v.as_bool().ok_or_else(|| {
+                    WireError::bad_request(format!("config.{key} must be a boolean"))
+                }),
+            }
+        };
+        config.specialize = flag("specialize", config.specialize)?;
+        config.goals = flag("goals", config.goals)?;
+        config.clauses = flag("clauses", config.clauses)?;
+        config.markov = flag("markov", config.markov)?;
+        if let Some(jobs) = c.get("jobs") {
+            config.jobs = jobs.as_u64().ok_or_else(|| {
+                WireError::bad_request("config.jobs must be a non-negative integer")
+            })? as usize;
+        }
+    }
+    Ok(config)
+}
+
+fn decode_budget(json: &Json) -> Result<Option<u64>, WireError> {
+    match json.get("budget_ms") {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| WireError::bad_request("budget_ms must be a non-negative integer")),
     }
 }
 
@@ -690,6 +771,22 @@ pub enum Response {
         elapsed_us: u64,
         pipeline: Json,
     },
+    /// A calibration run's converged emission plus the loop's summary.
+    /// `invalidated` counts the stale cache entries this calibration
+    /// evicted (the uncalibrated result and any prior calibrated result
+    /// for the same program).
+    Calibrated {
+        program: String,
+        cached: bool,
+        elapsed_us: u64,
+        rounds: u64,
+        converged: bool,
+        /// Predicates the loop pinned to their original definition,
+        /// `name/arity`.
+        pinned: Vec<String>,
+        invalidated: u64,
+        pipeline: Json,
+    },
     Error(WireError),
     Stats(Json),
     Pong,
@@ -711,6 +808,30 @@ impl Response {
                 tag("result"),
                 ("cached".to_string(), Json::Bool(*cached)),
                 ("elapsed_us".to_string(), Json::Num(*elapsed_us as f64)),
+                ("pipeline".to_string(), pipeline.clone()),
+                ("program".to_string(), Json::Str(program.clone())),
+            ]),
+            Response::Calibrated {
+                program,
+                cached,
+                elapsed_us,
+                rounds,
+                converged,
+                pinned,
+                invalidated,
+                pipeline,
+            } => Json::Obj(vec![
+                v,
+                tag("calibrated"),
+                ("cached".to_string(), Json::Bool(*cached)),
+                ("elapsed_us".to_string(), Json::Num(*elapsed_us as f64)),
+                ("rounds".to_string(), Json::Num(*rounds as f64)),
+                ("converged".to_string(), Json::Bool(*converged)),
+                (
+                    "pinned".to_string(),
+                    Json::Arr(pinned.iter().map(|p| Json::Str(p.clone())).collect()),
+                ),
+                ("invalidated".to_string(), Json::Num(*invalidated as f64)),
                 ("pipeline".to_string(), pipeline.clone()),
                 ("program".to_string(), Json::Str(program.clone())),
             ]),
@@ -751,6 +872,36 @@ impl Response {
             "pong" => Ok(Response::Pong),
             "shutting_down" => Ok(Response::ShuttingDown),
             "stats" => Ok(Response::Stats(json.clone())),
+            "calibrated" => {
+                let pinned = match json.get("pinned") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|p| {
+                            p.as_str()
+                                .map(str::to_string)
+                                .ok_or("pinned entries must be strings")
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => Vec::new(),
+                };
+                Ok(Response::Calibrated {
+                    program: json
+                        .get("program")
+                        .and_then(Json::as_str)
+                        .ok_or("calibrated without program")?
+                        .to_string(),
+                    cached: json.get("cached").and_then(Json::as_bool).unwrap_or(false),
+                    elapsed_us: json.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0),
+                    rounds: json.get("rounds").and_then(Json::as_u64).unwrap_or(0),
+                    converged: json
+                        .get("converged")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                    pinned,
+                    invalidated: json.get("invalidated").and_then(Json::as_u64).unwrap_or(0),
+                    pipeline: json.get("pipeline").cloned().unwrap_or(Json::Null),
+                })
+            }
             "result" => Ok(Response::Reordered {
                 program: json
                     .get("program")
@@ -880,11 +1031,50 @@ mod tests {
                 },
                 budget_ms: Some(250),
             },
+            Request::Calibrate {
+                program: "p(1).\n".to_string(),
+                config: WireConfig::default(),
+                rounds: 3,
+                budget_ms: None,
+            },
+            Request::Calibrate {
+                program: "p(1).".to_string(),
+                config: WireConfig {
+                    markov: true,
+                    ..WireConfig::default()
+                },
+                rounds: 1,
+                budget_ms: Some(5000),
+            },
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode()).unwrap();
             assert_eq!(decoded, request);
         }
+    }
+
+    #[test]
+    fn calibrate_defaults_rounds_and_rejects_zero() {
+        let decoded = Request::decode(b"{\"type\":\"calibrate\",\"program\":\"p.\"}").unwrap();
+        assert_eq!(
+            decoded,
+            Request::Calibrate {
+                program: "p.".to_string(),
+                config: WireConfig::default(),
+                rounds: DEFAULT_CALIBRATE_ROUNDS,
+                budget_ms: None,
+            }
+        );
+        for payload in [
+            &b"{\"type\":\"calibrate\",\"program\":\"p.\",\"rounds\":0}"[..],
+            b"{\"type\":\"calibrate\",\"program\":\"p.\",\"rounds\":1.5}",
+        ] {
+            let err = Request::decode(payload).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest);
+            assert!(err.message.contains("rounds"), "{:?}", err.message);
+        }
+        let err = Request::decode(b"{\"type\":\"calibrate\"}").unwrap_err();
+        assert!(err.message.contains("program"), "{:?}", err.message);
     }
 
     #[test]
@@ -937,6 +1127,16 @@ mod tests {
                 line: 3,
                 col: 7,
             }),
+            Response::Calibrated {
+                program: "p(1).\n".to_string(),
+                cached: false,
+                elapsed_us: 9000,
+                rounds: 3,
+                converged: true,
+                pinned: vec!["dept_salary/2".to_string()],
+                invalidated: 2,
+                pipeline: Json::Obj(vec![("tasks".to_string(), Json::Num(3.0))]),
+            },
             Response::Error(WireError::new(ErrorCode::Overload, "queue full")),
         ];
         for response in responses {
@@ -958,5 +1158,29 @@ mod tests {
             ..WireConfig::default()
         };
         assert_ne!(a.cache_key_part(), c.cache_key_part());
+    }
+
+    #[test]
+    fn calibrated_cache_key_incorporates_the_override_set() {
+        let config = WireConfig::default();
+        // Same program + knobs, calibrated vs not: must never collide.
+        assert_ne!(
+            config.cache_key_part(),
+            config.cache_key_part_calibrated("fp1")
+        );
+        // Two different override sets are distinct keys too.
+        assert_ne!(
+            config.cache_key_part_calibrated("fp1"),
+            config.cache_key_part_calibrated("fp2")
+        );
+        // The knobs still participate under calibration.
+        let markov = WireConfig {
+            markov: true,
+            ..WireConfig::default()
+        };
+        assert_ne!(
+            config.cache_key_part_calibrated("fp1"),
+            markov.cache_key_part_calibrated("fp1")
+        );
     }
 }

@@ -21,8 +21,11 @@
 
 use crate::cache::{content_key, CachedOutcome, Fetch, ResultCache};
 use crate::metrics::Metrics;
-use crate::proto::{write_frame, ErrorCode, Json, Request, Response, WireError, MAX_FRAME};
-use std::collections::VecDeque;
+use crate::proto::{
+    write_frame, ErrorCode, Json, Request, Response, WireConfig, WireError, MAX_FRAME,
+};
+use prolog_syntax::PredId;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -85,11 +88,104 @@ struct Shared {
     config: ServerConfig,
     cache: Arc<ResultCache>,
     metrics: Metrics,
+    /// Active calibrations, keyed by the *uncalibrated* content key of
+    /// `(program, config)`. A `calibrate` request installs the converged
+    /// override set here; later `reorder` requests for the same pair
+    /// replay it, under a cache key that folds in the override-set
+    /// fingerprint (see [`WireConfig::cache_key_part_calibrated`]).
+    /// The most recent calibration for a pair wins.
+    calibrations: Mutex<HashMap<u128, Arc<StoredCalibration>>>,
     /// Accepted connections with their enqueue instant, so workers can
     /// attribute queue wait separately from service time.
     queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
+}
+
+/// The daemon's record of one converged calibration: the override set
+/// and pin list to replay, plus the loop summary echoed in `calibrated`
+/// replies.
+struct StoredCalibration {
+    /// Deterministic digest of the override set and pins — the component
+    /// the calibrated cache key incorporates, so calibrated and
+    /// uncalibrated results (or results under different override sets)
+    /// can never collide.
+    fingerprint: String,
+    measured: reorder::MeasuredCosts,
+    pinned: Vec<PredId>,
+    rounds: u64,
+    converged: bool,
+    /// Stale cache entries evicted when this calibration landed.
+    invalidated: u64,
+}
+
+impl Shared {
+    fn calibration_for(&self, base_key: u128) -> Option<Arc<StoredCalibration>> {
+        self.calibrations
+            .lock()
+            .expect("calibration store lock poisoned")
+            .get(&base_key)
+            .cloned()
+    }
+}
+
+/// Deterministic digest of a measured override set and pin list. Rows
+/// are sorted, so two semantically equal calibrations always fingerprint
+/// identically regardless of hash-map iteration order.
+fn override_fingerprint(measured: &reorder::MeasuredCosts, pinned: &[PredId]) -> String {
+    let mut rows: Vec<String> = measured
+        .iter()
+        .map(|((pred, mode), stats)| {
+            format!("{pred}:{}=p{:.9}c{:.6}", mode.suffix(), stats.p, stats.cost)
+        })
+        .collect();
+    rows.sort();
+    let mut pins: Vec<String> = pinned.iter().map(|p| p.to_string()).collect();
+    pins.sort();
+    let blob = format!("{}|pins:{}", rows.join(";"), pins.join(","));
+    format!("{:032x}", content_key(&blob, ""))
+}
+
+/// Installs a fresh calibration outcome as the active override set for
+/// `base_key`, invalidating the now-stale cache entries: the
+/// uncalibrated result and, when recalibration changed the override
+/// set, the previous calibrated result.
+fn store_calibration(
+    shared: &Arc<Shared>,
+    program: &str,
+    config: &WireConfig,
+    base_key: u128,
+    calibration: reorder::CalibrationOutcome,
+) {
+    let fingerprint = override_fingerprint(&calibration.measured, &calibration.pinned);
+    let mut invalidated = 0u64;
+    if shared.cache.remove(base_key) {
+        invalidated += 1;
+    }
+    if let Some(prior) = shared.calibration_for(base_key) {
+        if prior.fingerprint != fingerprint {
+            let prior_key = content_key(
+                program,
+                &config.cache_key_part_calibrated(&prior.fingerprint),
+            );
+            if shared.cache.remove(prior_key) {
+                invalidated += 1;
+            }
+        }
+    }
+    let stored = Arc::new(StoredCalibration {
+        fingerprint,
+        rounds: calibration.rounds.len() as u64,
+        converged: calibration.converged,
+        measured: calibration.measured,
+        pinned: calibration.pinned,
+        invalidated,
+    });
+    shared
+        .calibrations
+        .lock()
+        .expect("calibration store lock poisoned")
+        .insert(base_key, stored);
 }
 
 impl Shared {
@@ -119,6 +215,7 @@ impl Server {
         let shared = Arc::new(Shared {
             cache,
             metrics: Metrics::new(),
+            calibrations: Mutex::new(HashMap::new()),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -373,6 +470,11 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> Response {
                 shared.config.cache_capacity,
                 shared.config.queue_capacity,
                 shared.config.workers,
+                shared
+                    .calibrations
+                    .lock()
+                    .expect("calibration store lock poisoned")
+                    .len(),
             );
             Response::Stats(body)
         }
@@ -395,7 +497,16 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> Response {
                 Some(ms) => Duration::from_millis(ms).min(shared.config.budget),
                 None => shared.config.budget,
             };
-            let key = content_key(&program, &config.cache_key_part());
+            let base_key = content_key(&program, &config.cache_key_part());
+            // A stored calibration changes both the plan and the key:
+            // the override-set fingerprint participates in the hash, so
+            // a calibrated result never collides with the uncalibrated
+            // one for the same program text and knobs.
+            let calibration = shared.calibration_for(base_key);
+            let key = match &calibration {
+                Some(c) => content_key(&program, &config.cache_key_part_calibrated(&c.fingerprint)),
+                None => base_key,
+            };
             let reorder_config = config.to_reorder_config(shared.config.pipeline_jobs);
             let metrics_shared = Arc::clone(shared);
             let started = Instant::now();
@@ -403,7 +514,16 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> Response {
             let fetch = shared.cache.get_or_compute(key, budget, move || {
                 let _compute_span = prolog_trace::span("reordd.compute");
                 let t0 = Instant::now();
-                match reorder::reorder_source(&program, &reorder_config) {
+                let result = match &calibration {
+                    Some(c) => reorder::reorder_source_calibrated(
+                        &program,
+                        &reorder_config,
+                        &c.measured,
+                        &c.pinned,
+                    ),
+                    None => reorder::reorder_source(&program, &reorder_config),
+                };
+                match result {
                     Ok(outcome) => {
                         metrics_shared
                             .metrics
@@ -458,6 +578,137 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> Response {
                         program: program.clone(),
                         cached,
                         elapsed_us,
+                        pipeline,
+                    }
+                }
+                CachedOutcome::Err {
+                    code,
+                    message,
+                    line,
+                    col,
+                } => {
+                    match code {
+                        ErrorCode::Parse => {
+                            shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed)
+                        }
+                        ErrorCode::Panic => shared.metrics.panics.fetch_add(1, Ordering::Relaxed),
+                        _ => 0,
+                    };
+                    Response::Error(WireError {
+                        code: *code,
+                        message: message.clone(),
+                        line: *line,
+                        col: *col,
+                    })
+                }
+            }
+        }
+        Request::Calibrate {
+            program,
+            config,
+            rounds,
+            budget_ms,
+        } => {
+            shared.metrics.calibrates.fetch_add(1, Ordering::Relaxed);
+            let _request_span = prolog_trace::span_with("reordd.calibrate", || {
+                prolog_trace::fields::Obj::new()
+                    .u64("program_bytes", program.len() as u64)
+                    .u64("rounds", rounds as u64)
+            });
+            let budget = match budget_ms {
+                Some(ms) => Duration::from_millis(ms).min(shared.config.budget),
+                None => shared.config.budget,
+            };
+            let base_key = content_key(&program, &config.cache_key_part());
+            // The calibrate computation is content-addressed on its own
+            // key — the loop is deterministic in (program, knobs,
+            // rounds) — while its *side effect* (the stored override
+            // set) is keyed by `base_key`.
+            let cal_key = content_key(
+                &program,
+                &format!("{}|calreq:r{rounds}", config.cache_key_part()),
+            );
+            let reorder_config = config.to_reorder_config(shared.config.pipeline_jobs);
+            let compute_shared = Arc::clone(shared);
+            let started = Instant::now();
+            let fetch = shared.cache.get_or_compute(cal_key, budget, move || {
+                let _compute_span = prolog_trace::span("reordd.calibrate_compute");
+                let t0 = Instant::now();
+                let opts = reorder::CalibrationOptions {
+                    rounds,
+                    ..Default::default()
+                };
+                match reorder::calibrate_source(&program, &reorder_config, &opts) {
+                    Ok((outcome, calibration)) => {
+                        store_calibration(
+                            &compute_shared,
+                            &program,
+                            &config,
+                            base_key,
+                            calibration,
+                        );
+                        compute_shared
+                            .metrics
+                            .record_pipeline(&outcome.report.stats);
+                        CachedOutcome::Ok {
+                            program: outcome.text,
+                            stats: outcome.report.stats,
+                            cost_us: t0.elapsed().as_micros() as u64,
+                        }
+                    }
+                    Err(e) => CachedOutcome::Err {
+                        code: ErrorCode::Parse,
+                        message: format!("parse error at {}: {}", e.pos, e.message),
+                        line: e.pos.line,
+                        col: e.pos.col,
+                    },
+                }
+            });
+            let elapsed_us = started.elapsed().as_micros() as u64;
+            let (value, cached) = match fetch {
+                Fetch::Hit(value) => (value, true),
+                Fetch::Computed(value) | Fetch::Coalesced(value) => (value, false),
+                Fetch::TimedOut => {
+                    shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Response::Error(WireError::new(
+                        ErrorCode::Timeout,
+                        format!(
+                            "request budget of {} ms expired; the calibration continues \
+                             and will be cached — retry",
+                            budget.as_millis()
+                        ),
+                    ));
+                }
+            };
+            match value.as_ref() {
+                CachedOutcome::Ok { program, stats, .. } => {
+                    shared.metrics.service.record(elapsed_us);
+                    if cached {
+                        shared.metrics.hit_latency.record(elapsed_us);
+                    } else {
+                        shared.metrics.cold_latency.record(elapsed_us);
+                    }
+                    let pipeline =
+                        Json::parse(&stats.to_json()).expect("RunStats::to_json emits valid JSON");
+                    // The loop summary comes from the store, which the
+                    // compute closure populated; `invalidated` describes
+                    // that original landing, so a cached reply (which
+                    // evicted nothing) reports zero.
+                    let stored = shared.calibration_for(base_key);
+                    Response::Calibrated {
+                        program: program.clone(),
+                        cached,
+                        elapsed_us,
+                        rounds: stored.as_ref().map_or(rounds as u64, |c| c.rounds),
+                        converged: stored.as_ref().is_some_and(|c| c.converged),
+                        pinned: stored.as_ref().map_or_else(Vec::new, |c| {
+                            c.pinned.iter().map(|p| p.to_string()).collect()
+                        }),
+                        invalidated: if cached {
+                            0
+                        } else {
+                            stored.as_ref().map_or(0, |c| c.invalidated)
+                        },
                         pipeline,
                     }
                 }

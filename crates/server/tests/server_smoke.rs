@@ -217,6 +217,125 @@ fn smoke_roundtrip_cache_and_robustness() {
 }
 
 #[test]
+fn calibrate_installs_overrides_and_invalidates_stale_cache_entries() {
+    let daemon = Daemon::spawn(&[]);
+    let mut client = daemon.client();
+
+    let source = "girl(ann). girl(sue).\n\
+                  wife(tom, amy). wife(jim, eve).\n\
+                  female(X) :- girl(X).\n\
+                  female(X) :- wife(_, X).\n\
+                  grandmother(GC, GM) :- grandparent(GC, GM), female(GM).\n\
+                  grandparent(GC, GP) :- parent(P, GP), parent(GC, P).\n\
+                  parent(C, P) :- mother(C, P).\n\
+                  parent(C, P) :- mother(C, M), wife(P, M).\n\
+                  mother(bob, ann). mother(tom, sue).\n";
+
+    // Seed the cache with the uncalibrated result.
+    match client.call(&reorder_request(source)) {
+        Ok(Response::Reordered { cached, .. }) => assert!(!cached),
+        other => panic!("expected a result, got {other:?}"),
+    }
+    match client.call(&reorder_request(source)) {
+        Ok(Response::Reordered { cached, .. }) => assert!(cached),
+        other => panic!("expected a result, got {other:?}"),
+    }
+
+    // Calibrate: the reply matches the library loop byte for byte, and
+    // the stale uncalibrated cache entry is invalidated.
+    let calibrate = Request::Calibrate {
+        program: source.to_string(),
+        config: WireConfig::default(),
+        rounds: 3,
+        budget_ms: None,
+    };
+    let expected = reorder::calibrate_source(
+        source,
+        &WireConfig::default().to_reorder_config(1),
+        &reorder::CalibrationOptions {
+            rounds: 3,
+            ..Default::default()
+        },
+    )
+    .expect("program parses")
+    .0
+    .text;
+    let calibrated_text = match client.call(&calibrate) {
+        Ok(Response::Calibrated {
+            program,
+            cached,
+            rounds,
+            converged,
+            invalidated,
+            pipeline,
+            ..
+        }) => {
+            assert!(!cached, "first calibrate must run the loop");
+            assert_eq!(program, expected, "daemon loop must match the library");
+            assert!((1..=3).contains(&rounds));
+            assert!(converged, "the toy program must reach its fixed point");
+            assert!(
+                invalidated >= 1,
+                "the stale uncalibrated entry must be invalidated"
+            );
+            assert!(pipeline.get("total_us").and_then(Json::as_u64).is_some());
+            program
+        }
+        other => panic!("expected a calibrated result, got {other:?}"),
+    };
+
+    // A reorder for the same (program, config) now keys on the override
+    // set: it is a recompute (the old entry is gone, the new key cannot
+    // collide with it) and serves the calibrated plan.
+    match client.call(&reorder_request(source)) {
+        Ok(Response::Reordered {
+            program, cached, ..
+        }) => {
+            assert!(!cached, "invalidation must force a recompute");
+            assert_eq!(
+                program, calibrated_text,
+                "post-calibration reorders serve the calibrated plan"
+            );
+        }
+        other => panic!("expected a result, got {other:?}"),
+    }
+    match client.call(&reorder_request(source)) {
+        Ok(Response::Reordered {
+            program, cached, ..
+        }) => {
+            assert!(cached, "the calibrated entry is cached under its own key");
+            assert_eq!(program, calibrated_text);
+        }
+        other => panic!("expected a result, got {other:?}"),
+    }
+
+    // Re-calibrating the same request is a cache hit with nothing new to
+    // invalidate.
+    match client.call(&calibrate) {
+        Ok(Response::Calibrated {
+            cached,
+            invalidated,
+            ..
+        }) => {
+            assert!(cached);
+            assert_eq!(invalidated, 0);
+        }
+        other => panic!("expected a calibrated result, got {other:?}"),
+    }
+
+    let stats = match client.call(&Request::Stats) {
+        Ok(Response::Stats(body)) => body,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert_eq!(stat(&stats, &["requests", "calibrate"]), 2);
+    assert_eq!(stat(&stats, &["calibration", "requests"]), 2);
+    assert_eq!(stat(&stats, &["calibration", "stored"]), 1);
+    assert!(stat(&stats, &["cache", "invalidations"]) >= 1);
+
+    daemon.shutdown_and_wait(&mut client);
+}
+
+#[test]
 fn trace_out_writes_chrome_json_on_drain() {
     let trace_path =
         std::env::temp_dir().join(format!("reordd-smoke-{}.trace.json", std::process::id()));

@@ -45,6 +45,37 @@ fn stdin_input_matches_the_library_pipeline() {
 }
 
 #[test]
+fn calibrate_flags_run_the_loop_and_print_the_report() {
+    let out = run_cli(&["-", "--calibrate", "2", "--calibrate-report"], PROGRAM);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = String::from_utf8_lossy(&out.stdout);
+    prolog_syntax::parse_program(&text).expect("calibrated output parses");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("calibration:"), "stderr: {stderr}");
+    assert!(stderr.contains("divergence"), "stderr: {stderr}");
+    assert!(stderr.contains("round 0:"), "stderr: {stderr}");
+    // The CLI result matches the library loop byte for byte.
+    let (expected, _) = reorder::calibrate_source(
+        PROGRAM,
+        &reorder::ReorderConfig::default(),
+        &reorder::CalibrationOptions {
+            rounds: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(text, expected.text);
+}
+
+#[test]
+fn calibrate_rejects_a_missing_round_count() {
+    let out = run_cli(&["-", "--calibrate"], PROGRAM);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--calibrate needs"), "got: {stderr}");
+}
+
+#[test]
 fn stdin_and_file_input_agree_byte_for_byte() {
     let path = temp_file("fam.pl", PROGRAM);
     let from_file = run_cli(&[path.to_str().unwrap()], "");
