@@ -9,8 +9,10 @@
 //! calibration headline (predicate-call counts), times the pipeline at
 //! several `--jobs` settings with a byte-identity check, probes an
 //! in-process `reordd` for cold/cached latency and the
-//! queue-wait/service split, and writes everything as schema-versioned
-//! JSON (default `BENCH_PR6.json`). Compare two trajectories with
+//! queue-wait/service split, evaluates the fact-scaled workloads
+//! bottom-up under each body-ordering strategy, and writes everything as
+//! schema-versioned JSON (default `BENCH_PR8.json`). Compare two
+//! trajectories with
 //! `bench-diff`; CI runs `--quick` and diffs against the committed
 //! baseline. Depths only add rows — the counts of a row are identical at
 //! every depth, so a quick run diffs cleanly against a full baseline.
@@ -21,7 +23,7 @@ use bench_harness::suite::{encode_trajectory, git_rev, run_suite, Depth};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut depth = Depth::Default;
-    let mut out = "BENCH_PR6.json".to_string();
+    let mut out = "BENCH_PR8.json".to_string();
     let mut probe_reordd = true;
     let mut i = 0;
     while i < args.len() {
@@ -46,7 +48,7 @@ fn main() {
                      --quick      CI smoke subset (cheap modes only)\n\
                      --full       the paper's complete protocol (includes the\n\
                      \x20            3025-query (+,+) sweeps and measured-best search)\n\
-                     --out PATH   trajectory JSON path (default BENCH_PR6.json)\n\
+                     --out PATH   trajectory JSON path (default BENCH_PR8.json)\n\
                      --no-reordd  skip the in-process reordd latency probe"
                 );
                 return;
@@ -80,6 +82,25 @@ fn main() {
             timing.stats.emission.as_micros(),
             if timing.output_identical { "yes" } else { "NO" },
         );
+    }
+    if !suite.datalog.is_empty() {
+        println!("\n=== datalog bottom-up evaluation ===");
+        println!(
+            "{:<20} {:>10} {:>10} {:>7}  per-strategy tuples joined",
+            "workload", "facts", "derived", "strata"
+        );
+        for run in &suite.datalog {
+            let per_strategy = run
+                .strategies
+                .iter()
+                .map(|s| format!("{}={} ({} us)", s.strategy, s.tuples_joined, s.wall_us))
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!(
+                "{:<20} {:>10} {:>10} {:>7}  {}",
+                run.label, run.facts, run.facts_derived, run.strata, per_strategy
+            );
+        }
     }
     if let Some(probe) = &suite.reordd {
         println!("\n=== reordd probe ===");

@@ -2,8 +2,10 @@
 //!
 //! One run reproduces the paper's evaluation (Tables II/III/IV and the
 //! ablation), times the pipeline at several `--jobs` settings, probes an
-//! in-process `reordd` for cold/cached latency, and serialises all of it
-//! into a schema-versioned trajectory JSON (`BENCH_PR6.json`). The
+//! in-process `reordd` for cold/cached latency, evaluates the
+//! fact-scaled workloads bottom-up under each body-ordering strategy,
+//! and serialises all of it into a schema-versioned trajectory JSON
+//! (`BENCH_PR8.json`). The
 //! trajectory is the regression gate: `bench-diff` compares two of these
 //! files and fails on call-count regressions, so the committed baseline
 //! pins the reorderer's measured quality, not just its output bytes.
@@ -24,6 +26,7 @@ use prolog_workloads::puzzles::{
     meal_program, meal_universe, p58_program, p58_universe, team_program, team_universe,
 };
 use prolog_workloads::queries::{mode_queries, QuerySpec};
+use prolog_workloads::scaled::{corporate_scaled, family_scaled, ScaledWorkload};
 use reorder::{
     calibrate_loop, CalibrationOptions, ReorderConfig, ReorderResult, Reorderer, RunStats,
 };
@@ -32,8 +35,8 @@ use std::time::{Duration, Instant};
 
 /// Version of the trajectory JSON layout. Bump when field names or the
 /// section structure change; `bench-diff` refuses to compare across
-/// versions.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// versions. v2 added the `datalog` section and top-level object.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Discriminator stored in the file so tooling can recognise it.
 pub const BENCH_KIND: &str = "reorder-bench-trajectory";
@@ -88,11 +91,37 @@ pub struct ReorddProbe {
     pub service_mean_us: u64,
 }
 
+/// One body-ordering strategy's cost on one bottom-up evaluation.
+pub struct DatalogStrategyStats {
+    pub strategy: &'static str,
+    /// Index probes plus candidate tuples touched — the bottom-up
+    /// analogue of the paper's call counts.
+    pub tuples_joined: u64,
+    pub rounds: u64,
+    pub wall_us: u64,
+}
+
+/// One fact-scaled workload evaluated bottom-up under every strategy.
+pub struct DatalogRun {
+    /// `"family/100000"`-style label, shared with the section row.
+    pub label: String,
+    pub facts: u64,
+    pub facts_derived: u64,
+    pub strata: u64,
+    /// Per-round delta sizes of the chain-cost run.
+    pub delta_sizes: Vec<u64>,
+    pub strategies: Vec<DatalogStrategyStats>,
+    /// All strategies reached the same fixpoint.
+    pub equivalent: bool,
+}
+
 /// Everything one `bench-suite` run measured.
 pub struct Suite {
     pub depth: Depth,
     pub sections: Vec<Section>,
     pub pipeline_timings: Vec<JobsTiming>,
+    /// Bottom-up evaluation details behind the `datalog` section rows.
+    pub datalog: Vec<DatalogRun>,
     pub reordd: Option<ReorddProbe>,
     pub wall_us: u64,
 }
@@ -517,6 +546,84 @@ pub fn calibration_rows(_depth: Depth) -> Section {
     }
 }
 
+/// The bottom-up ablation: each fact-scaled workload is certified once
+/// and evaluated to fixpoint under every body-ordering strategy. The
+/// section row reads heuristic-vs-model: `original` is
+/// bound-variables-first tuples joined, `reordered` is chain-cost, so
+/// `ratio()` is the Markov-chain model's win over the classic Datalog
+/// heuristic. Tuple counts are deterministic (seeded workloads, total
+/// cost orders); wall times live only in the info object, which
+/// `bench-diff` does not gate.
+pub fn datalog_rows(depth: Depth) -> (Section, Vec<DatalogRun>) {
+    use prolog_datalog::{certify, evaluate, OrderStrategy};
+
+    let mut scales: Vec<ScaledWorkload> = vec![family_scaled(2_000), corporate_scaled(2_000)];
+    if depth >= Depth::Default {
+        scales.push(family_scaled(100_000));
+        scales.push(corporate_scaled(100_000));
+    }
+    if depth == Depth::Full {
+        scales.push(family_scaled(300_000));
+        scales.push(corporate_scaled(500_000));
+    }
+
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    for workload in &scales {
+        let cert = certify(&workload.program);
+        // As-written is part of the ablation only at the small scale: its
+        // family joins are quadratic (a 650x blowup at 2k facts already),
+        // so at 10^5+ facts it would dominate the suite's wall time.
+        let mut strategies = Vec::new();
+        if workload.requested_facts <= 2_000 {
+            strategies.push(OrderStrategy::AsWritten);
+        }
+        strategies.push(OrderStrategy::BoundFirst);
+        strategies.push(OrderStrategy::ChainCost);
+        let evals: Vec<_> = strategies
+            .into_iter()
+            .map(|strategy| evaluate(&cert, strategy))
+            .collect();
+        let equivalent = evals
+            .windows(2)
+            .all(|w| w[0].idb_fingerprint() == w[1].idb_fingerprint());
+        let bound_first = &evals[evals.len() - 2];
+        let chain = &evals[evals.len() - 1];
+        let label = format!("{}/{}", workload.name, workload.requested_facts);
+        rows.push(Row {
+            label: label.clone(),
+            original: bound_first.stats.tuples_joined,
+            reordered: chain.stats.tuples_joined,
+            best: None,
+            equivalent,
+        });
+        runs.push(DatalogRun {
+            label,
+            facts: workload.fact_count as u64,
+            facts_derived: chain.stats.facts_derived,
+            strata: chain.stats.strata,
+            delta_sizes: chain.stats.delta_sizes.clone(),
+            strategies: evals
+                .iter()
+                .map(|e| DatalogStrategyStats {
+                    strategy: e.strategy.label(),
+                    tuples_joined: e.stats.tuples_joined,
+                    rounds: e.stats.rounds,
+                    wall_us: e.stats.wall_us,
+                })
+                .collect(),
+            equivalent,
+        });
+    }
+    (
+        Section {
+            name: "datalog",
+            rows,
+        },
+        runs,
+    )
+}
+
 /// Times the source-to-source pipeline on the family workload at each
 /// `jobs` setting and checks the emitted bytes stay identical — the
 /// determinism contract the parallel driver promises.
@@ -625,6 +732,8 @@ pub fn run_suite(depth: Depth, probe_reordd: bool) -> Suite {
     sections.push(table4_rows(depth));
     sections.push(ablation_rows(depth));
     sections.push(calibration_rows(depth));
+    let (datalog_section, datalog) = datalog_rows(depth);
+    sections.push(datalog_section);
     let jobs_list: &[usize] = match depth {
         Depth::Quick => &[1, 2],
         _ => &[1, 2, 8],
@@ -635,6 +744,7 @@ pub fn run_suite(depth: Depth, probe_reordd: bool) -> Suite {
         depth,
         sections,
         pipeline_timings: pipeline,
+        datalog,
         reordd,
         wall_us: started.elapsed().as_micros() as u64,
     }
@@ -698,6 +808,38 @@ pub fn encode_trajectory(suite: &Suite, git_rev: &str) -> String {
         );
     }
     out.push(']');
+    out.push_str(",\"datalog\":[");
+    for (i, run) in suite.datalog.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"label\":");
+        write_str(&mut out, &run.label);
+        let _ = write!(
+            out,
+            ",\"facts\":{},\"facts_derived\":{},\"strata\":{},\"delta_sizes\":[",
+            run.facts, run.facts_derived, run.strata
+        );
+        for (j, d) in run.delta_sizes.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{d}");
+        }
+        out.push_str("],\"strategies\":[");
+        for (j, s) in run.strategies.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"strategy\":\"{}\",\"tuples_joined\":{},\"rounds\":{},\"wall_us\":{}}}",
+                s.strategy, s.tuples_joined, s.rounds, s.wall_us
+            );
+        }
+        let _ = write!(out, "],\"equivalent\":{}}}", run.equivalent);
+    }
+    out.push(']');
     if let Some(probe) = &suite.reordd {
         let _ = write!(
             out,
@@ -757,6 +899,20 @@ mod tests {
                 stats: RunStats::default(),
                 output_identical: true,
             }],
+            datalog: vec![DatalogRun {
+                label: "family/2000".into(),
+                facts: 2000,
+                facts_derived: 5000,
+                strata: 3,
+                delta_sizes: vec![4000, 900, 100],
+                strategies: vec![DatalogStrategyStats {
+                    strategy: "chain-cost",
+                    tuples_joined: 123,
+                    rounds: 4,
+                    wall_us: 77,
+                }],
+                equivalent: true,
+            }],
             reordd: Some(ReorddProbe {
                 cold_us: 1000,
                 cached_us: 10,
@@ -785,6 +941,16 @@ mod tests {
                 .and_then(reordd::Json::as_u64),
             Some(10)
         );
+        match parsed.get("datalog") {
+            Some(reordd::Json::Arr(runs)) => {
+                assert_eq!(runs.len(), 1);
+                assert_eq!(
+                    runs[0].get("facts").and_then(reordd::Json::as_u64),
+                    Some(2000)
+                );
+            }
+            other => panic!("datalog must be an array, got {other:?}"),
+        }
         assert_eq!(
             parsed.get("wall_us").and_then(reordd::Json::as_u64),
             Some(12345)

@@ -1,5 +1,5 @@
 //! Golden schema tests: pin the two JSON surfaces downstream tooling
-//! consumes — the committed `BENCH_PR6.json` trajectory and the Chrome
+//! consumes — the committed `BENCH_PR8.json` trajectory and the Chrome
 //! trace-event export — so a schema change is a deliberate diff here
 //! (and a `schema_version` bump), never an accident.
 
@@ -30,6 +30,7 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
         "git_rev",
         "sections",
         "pipeline_timings",
+        "datalog",
     ];
     if expect_reordd {
         top.push("reordd");
@@ -44,7 +45,14 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
 
     let sections = arr(doc.get("sections").expect("sections"));
     assert!(!sections.is_empty());
-    let expected_sections = ["table2", "table3", "table4", "ablation", "calibration"];
+    let expected_sections = [
+        "table2",
+        "table3",
+        "table4",
+        "ablation",
+        "calibration",
+        "datalog",
+    ];
     assert_eq!(
         sections.len(),
         expected_sections.len(),
@@ -101,6 +109,46 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
         );
     }
 
+    let datalog = arr(doc.get("datalog").expect("datalog"));
+    assert!(
+        !datalog.is_empty(),
+        "datalog info is present at every depth"
+    );
+    for run in datalog {
+        assert_eq!(
+            keys(run),
+            [
+                "label",
+                "facts",
+                "facts_derived",
+                "strata",
+                "delta_sizes",
+                "strategies",
+                "equivalent"
+            ],
+            "datalog run keys"
+        );
+        let strategies = arr(run.get("strategies").expect("strategies"));
+        // Bound-first and chain-cost always; as-written joins at the
+        // small scale only (quadratic blowup at 10^5+ facts).
+        assert!(
+            strategies.len() == 2 || strategies.len() == 3,
+            "two or three strategies per run"
+        );
+        let names: Vec<_> = strategies
+            .iter()
+            .map(|s| s.get("strategy").and_then(Json::as_str).unwrap())
+            .collect();
+        assert!(names.contains(&"bound-first") && names.contains(&"chain-cost"));
+        for strategy in strategies {
+            assert_eq!(
+                keys(strategy),
+                ["strategy", "tuples_joined", "rounds", "wall_us"]
+            );
+        }
+        assert_eq!(run.get("equivalent").and_then(Json::as_bool), Some(true));
+    }
+
     if expect_reordd {
         assert_eq!(
             keys(doc.get("reordd").expect("reordd")),
@@ -123,9 +171,9 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
 /// bench-suite` whenever the encoder changes.
 #[test]
 fn committed_baseline_matches_golden_schema() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
     let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("committed BENCH_PR6.json must exist at the repo root: {e}"));
+        .unwrap_or_else(|e| panic!("committed BENCH_PR8.json must exist at the repo root: {e}"));
     let doc = Json::parse(&text).expect("committed baseline parses");
     check_trajectory_schema(&doc, true);
     assert_eq!(doc.get("depth").and_then(Json::as_str), Some("default"));
@@ -141,7 +189,7 @@ fn fresh_quick_run_matches_schema_and_baseline_counts() {
     let doc = Json::parse(&encoded).expect("fresh trajectory parses");
     check_trajectory_schema(&doc, false);
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
     let baseline = Json::parse(&std::fs::read_to_string(path).expect("baseline readable"))
         .expect("baseline parses");
     let mut shared = 0;

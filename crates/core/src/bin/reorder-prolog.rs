@@ -8,13 +8,94 @@
 //!                       [--no-goals] [--no-clauses] [--unfold]
 //!                       [--calibrate N] [--calibrate-report]
 //!                       [--markov-model] [--trace-out PATH] [--trace-summary]
+//!                       [--backend sld|datalog] [--datalog-report]
+//!                       [--datalog-order STRATEGY]
 //! ```
 //!
 //! `INPUT.pl` may be `-` to read the program from stdin. Parse errors
 //! exit nonzero with a `file:line:col: message` diagnostic.
+//!
+//! `--backend datalog` routes the program through the bottom-up
+//! semi-naive backend instead of the SLD pipeline: the Datalog-safe
+//! fragment is certified, evaluated bottom-up, and the join orders the
+//! evaluator chose are written back onto the pure-conjunction clause
+//! bodies of the emitted program. `--datalog-report` prints the
+//! safety/stratification certificate and evaluation statistics on
+//! stderr (and implies `--backend datalog`).
 
+use prolog_datalog::{certify, evaluate, OrderStrategy};
+use prolog_syntax::ast::{Body, SourceProgram};
 use reorder::{CalibrationOptions, ReorderConfig, UnfoldConfig};
 use std::io::Read;
+
+/// Which evaluation pipeline `reorder-prolog` runs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// The paper's top-down pipeline (the default).
+    Sld,
+    /// The bottom-up semi-naive Datalog backend.
+    Datalog,
+}
+
+/// Writes the evaluator's chosen join orders back onto the source: each
+/// pure-conjunction rule body is re-emitted in its round-0 join order
+/// (delta-rewritten recursive occurrences keep their per-round orders
+/// internally; the round-0 order is the representative one). Clauses the
+/// certifier rejected, facts, and disjunction-expanded clauses are
+/// emitted unchanged.
+fn datalog_reordered(source: &SourceProgram, eval: &prolog_datalog::Evaluation) -> SourceProgram {
+    let mut out = source.clone();
+    for (ri, rule) in eval.program().rules.iter().enumerate() {
+        let Some(map) = &rule.conjunct_map else {
+            continue;
+        };
+        let order = &eval.rule_orders[ri];
+        if order.len() != map.len() {
+            continue;
+        }
+        let clause = &mut out.clauses[rule.clause_index];
+        // Mirror the certifier's goal list: a pure conjunction with any
+        // `true` conjuncts dropped (they compile to nothing).
+        let goals: Vec<Body> = clause
+            .body
+            .conjuncts()
+            .into_iter()
+            .filter(|g| !matches!(g, Body::True))
+            .cloned()
+            .collect();
+        if map.iter().any(|&gi| gi >= goals.len()) {
+            continue;
+        }
+        let mut chosen: Vec<usize> = order.iter().map(|&li| map[li]).collect();
+        for gi in 0..goals.len() {
+            if !chosen.contains(&gi) {
+                chosen.push(gi);
+            }
+        }
+        let reordered: Vec<Body> = chosen.into_iter().map(|gi| goals[gi].clone()).collect();
+        clause.body = Body::conjoin(&reordered);
+    }
+    out
+}
+
+/// The `--backend datalog` path: certify, evaluate bottom-up, emit the
+/// program with evaluator-chosen body orders. Returns the emitted text.
+fn run_datalog(src: &str, name: &str, strategy: OrderStrategy, report: bool) -> String {
+    let program = match prolog_syntax::parse_program(src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {name}:{}:{}: {}", e.pos.line, e.pos.col, e.message);
+            std::process::exit(1);
+        }
+    };
+    let cert = certify(&program);
+    let eval = evaluate(&cert, strategy);
+    if report {
+        eprint!("{}", prolog_datalog::render_certification(&cert));
+        eprint!("{}", prolog_datalog::render_evaluation(&eval));
+    }
+    prolog_syntax::pretty::program_to_string(&datalog_reordered(&program, &eval))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +109,9 @@ fn main() {
     let mut calibrate_report = false;
     let mut trace_out: Option<String> = None;
     let mut trace_summary = false;
+    let mut backend = Backend::Sld;
+    let mut datalog_report = false;
+    let mut datalog_order = OrderStrategy::ChainCost;
     let mut config = ReorderConfig::default();
 
     let mut i = 0;
@@ -79,6 +163,34 @@ fn main() {
                 }
             }
             "--trace-summary" => trace_summary = true,
+            "--backend" => {
+                i += 1;
+                backend = match args.get(i).map(String::as_str) {
+                    Some("sld") => Backend::Sld,
+                    Some("datalog") => Backend::Datalog,
+                    _ => {
+                        eprintln!("error: --backend needs `sld` or `datalog`");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--datalog-report" => {
+                datalog_report = true;
+                backend = Backend::Datalog;
+            }
+            "--datalog-order" => {
+                i += 1;
+                datalog_order = match args.get(i).and_then(|s| OrderStrategy::parse(s)) {
+                    Some(strategy) => strategy,
+                    None => {
+                        eprintln!(
+                            "error: --datalog-order needs as-written | bound-first | chain-cost"
+                        );
+                        std::process::exit(2);
+                    }
+                };
+                backend = Backend::Datalog;
+            }
             "-h" | "--help" => {
                 eprintln!(
                     "usage: reorder-prolog INPUT.pl [-o OUTPUT.pl] [--report] \
@@ -101,7 +213,15 @@ fn main() {
                      --trace-out PATH  enable tracing; write a Chrome trace-event \
                      JSON of the run to PATH (load in chrome://tracing)\n\
                      --trace-summary   enable tracing; print a per-span profile \
-                     table on stderr"
+                     table on stderr\n\
+                     --backend B     sld (default) or datalog: evaluate the \
+                     Datalog-safe fragment bottom-up (semi-naive) and emit the \
+                     program with the evaluator's chosen join orders\n\
+                     --datalog-report  print the safety/stratification \
+                     certificate and evaluation statistics on stderr \
+                     (implies --backend datalog)\n\
+                     --datalog-order S  join-order strategy: as-written | \
+                     bound-first | chain-cost (default; implies --backend datalog)"
                 );
                 return;
             }
@@ -137,6 +257,37 @@ fn main() {
 
     if trace_out.is_some() || trace_summary {
         prolog_trace::enable();
+    }
+    if backend == Backend::Datalog {
+        if calibrate_rounds.is_some() || unfold {
+            eprintln!("error: --backend datalog cannot be combined with --calibrate or --unfold");
+            std::process::exit(2);
+        }
+        let text = run_datalog(&src, &name, datalog_order, datalog_report);
+        if trace_out.is_some() || trace_summary {
+            let trace = prolog_trace::drain();
+            if let Some(path) = &trace_out {
+                if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+                    eprintln!("error: cannot write trace to {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("% trace: {} events -> {path}", trace.records.len());
+            }
+            if trace_summary {
+                eprint!("{}", trace.summary());
+            }
+        }
+        match output {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, &text) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("% wrote {path}");
+            }
+            None => print!("{text}"),
+        }
+        return;
     }
     if calibrate_report && calibrate_rounds.is_none() {
         calibrate_rounds = Some(CalibrationOptions::default().rounds);

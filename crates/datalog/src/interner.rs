@@ -1,0 +1,145 @@
+//! Ground-term interning.
+//!
+//! Bottom-up evaluation materialises relations holding millions of tuples;
+//! storing `Term`s directly would mean deep comparisons on every duplicate
+//! check and index probe. Instead every ground term that appears in a fact,
+//! a rule constant, or a derived tuple is interned once and relations hold
+//! dense `ConstId`s (`u32`), so tuple equality is word comparison and
+//! hash-join keys are flat integer slices.
+//!
+//! `Term` deliberately does not implement `Hash`/`Eq` (it contains floats),
+//! so the intern table is keyed by the term's canonical display string —
+//! which is exactly the equality the engine's solution strings use, keeping
+//! cross-backend comparison honest.
+
+use prolog_syntax::Term;
+use std::collections::HashMap;
+
+/// Identifier of an interned ground term.
+pub type ConstId = u32;
+
+/// An append-only table of ground terms, keyed by display syntax.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    terms: Vec<Term>,
+    by_text: HashMap<String, ConstId>,
+    /// Content hash of each term's display text. Evaluations under
+    /// different body orders intern derived values in different orders, so
+    /// ids are not comparable across runs — these hashes are, and they are
+    /// what relation fingerprints are built from.
+    hashes: Vec<u64>,
+}
+
+/// FNV-1a over bytes; stable across platforms and runs.
+fn text_hash(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Interner {
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns a ground term, returning its id. The caller must ensure
+    /// `term` is ground; variables would alias by display name.
+    pub fn intern(&mut self, term: &Term) -> ConstId {
+        debug_assert!(term.is_ground(), "interner only stores ground terms");
+        let text = term.to_string();
+        if let Some(&id) = self.by_text.get(&text) {
+            return id;
+        }
+        let id = self.terms.len() as ConstId;
+        self.terms.push(term.clone());
+        self.hashes.push(text_hash(&text));
+        self.by_text.insert(text, id);
+        id
+    }
+
+    /// An order-independent content hash for the term behind `id` —
+    /// comparable across interners built in different insertion orders.
+    pub fn content_hash(&self, id: ConstId) -> u64 {
+        self.hashes[id as usize]
+    }
+
+    /// Interns an integer without building a transient `Term` string twice.
+    pub fn intern_int(&mut self, n: i64) -> ConstId {
+        self.intern(&Term::Int(n))
+    }
+
+    /// Looks up a ground term without interning it (for query-side
+    /// constants: a term the program never mentions matches nothing).
+    pub fn lookup(&self, term: &Term) -> Option<ConstId> {
+        self.by_text.get(&term.to_string()).copied()
+    }
+
+    /// The term behind an id.
+    pub fn term(&self, id: ConstId) -> &Term {
+        &self.terms[id as usize]
+    }
+
+    /// The integer value of an id, if it names an integer.
+    pub fn as_int(&self, id: ConstId) -> Option<i64> {
+        match self.term(id) {
+            Term::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Standard order of terms (`@<` family) on interned ids.
+    pub fn compare(&self, a: ConstId, b: ConstId) -> std::cmp::Ordering {
+        if a == b {
+            return std::cmp::Ordering::Equal;
+        }
+        self.term(a).compare(self.term(b))
+    }
+
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_canonical() {
+        let mut i = Interner::new();
+        let a = i.intern(&Term::atom("alice"));
+        let b = i.intern(&Term::atom("bob"));
+        let a2 = i.intern(&Term::atom("alice"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.term(b).to_string(), "bob");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn compound_ground_terms_intern_structurally() {
+        let mut i = Interner::new();
+        let t1 = Term::app("pair", vec![Term::Int(1), Term::atom("x")]);
+        let t2 = Term::app("pair", vec![Term::Int(1), Term::atom("x")]);
+        assert_eq!(i.intern(&t1), i.intern(&t2));
+    }
+
+    #[test]
+    fn integer_round_trip_and_order() {
+        let mut i = Interner::new();
+        let three = i.intern_int(3);
+        let seven = i.intern_int(7);
+        assert_eq!(i.as_int(three), Some(3));
+        assert_eq!(i.as_int(seven), Some(7));
+        assert_eq!(i.compare(three, seven), std::cmp::Ordering::Less);
+        let x = i.intern(&Term::atom("x"));
+        assert_eq!(i.as_int(x), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! `prolog-datalog`: a bottom-up semi-naive Datalog backend with
+//! reordering-aware rule-body ordering.
+//!
+//! The paper's Markov-chain model (Gooley & Wah 1988) orders conjunctions
+//! for top-down SLD execution. The same literal-ordering problem governs
+//! bottom-up evaluation — the order a rule's body is joined in decides
+//! how many intermediate tuples exist — but at fact scales the SLD engine
+//! cannot reach. This crate adds that evaluation-strategy axis:
+//!
+//! * [`safety`] certifies the Datalog-safe fragment of a program (range
+//!   restriction, no unbounded value recursion, stratified negation, no
+//!   control effects) with a per-clause rejection diagnostic, reusing the
+//!   workspace's call-graph/recursion/fixity analyses;
+//! * [`relation`] stores certified facts in interned, arena-backed
+//!   relations with hash-join indexes keyed by bound-column signatures;
+//! * [`eval`] runs stratified semi-naive iteration, counting tuples
+//!   joined — the bottom-up analogue of the paper's call counts;
+//! * [`order`] chooses each rule body's join order: `as-written`,
+//!   `bound-first` (the classic Datalog heuristic, the degenerate form of
+//!   the paper's model), or `chain-cost` (the paper's
+//!   [`prolog_markov::ClauseChain`] generator cost over estimated
+//!   relation cardinalities) — selectable per run so the
+//!   heuristic-vs-model ablation is measurable in the bench trajectory.
+
+pub mod eval;
+pub mod interner;
+pub mod order;
+pub mod program;
+pub mod relation;
+pub mod report;
+pub mod safety;
+
+pub use eval::{evaluate, EvalStats, Evaluation};
+pub use interner::{ConstId, Interner};
+pub use order::{OrderStrategy, PlacementFailure};
+pub use program::{DatalogProgram, RelKind};
+pub use relation::Relation;
+pub use report::{render_certification, render_evaluation};
+pub use safety::{certify, Certification, PredClass, RejectReason, Rejection};

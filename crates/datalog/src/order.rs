@@ -1,0 +1,468 @@
+//! Rule-body literal ordering.
+//!
+//! Bottom-up joins face the same conjunct-ordering problem the paper
+//! solves for top-down SLD resolution: the number of intermediate tuples a
+//! rule generates depends on the order its body literals are joined in.
+//! Three strategies are selectable per evaluation so the ablation in the
+//! `datalog` trajectory section is measurable:
+//!
+//! * [`OrderStrategy::AsWritten`] — first eligible literal in source
+//!   order; the baseline.
+//! * [`OrderStrategy::BoundFirst`] — the classic Datalog "bound variables
+//!   first" heuristic (the degenerate form of the paper's model): among
+//!   eligible literals pick the one with the most already-bound variables,
+//!   ties broken by source position.
+//! * [`OrderStrategy::ChainCost`] — the paper's Markov-chain cost model,
+//!   reused from `prolog_markov`: each literal becomes a [`GoalStats`]
+//!   whose cost and success odds come from estimated relation
+//!   cardinalities, and candidate orders are scored with
+//!   [`ClauseChain::generator_cost`] — the expected number of goal
+//!   activations to enumerate every solution, which for joins is the
+//!   expected tuple count. Feasible orders are enumerated exhaustively
+//!   (with branch-and-bound pruning) for the small rule bodies Datalog
+//!   programs have, falling back to a greedy walk past a search budget.
+//!
+//! Eligibility is the bottom-up analogue of the paper's legal-mode
+//! constraint: tests, negation, and arithmetic may only run once their
+//! variables are bound; only positive relation literals generate bindings.
+
+use crate::program::{Arg, Lit};
+use prolog_markov::{ClauseChain, GoalStats};
+
+/// Body-ordering strategy, selectable per evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderStrategy {
+    /// Source order (first eligible literal wins).
+    AsWritten,
+    /// Most bound variables first — the cheap heuristic.
+    BoundFirst,
+    /// Markov chain costs over estimated cardinalities — the refined one.
+    #[default]
+    ChainCost,
+}
+
+impl OrderStrategy {
+    pub fn label(&self) -> &'static str {
+        match self {
+            OrderStrategy::AsWritten => "as-written",
+            OrderStrategy::BoundFirst => "bound-first",
+            OrderStrategy::ChainCost => "chain-cost",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<OrderStrategy> {
+        match s {
+            "as-written" => Some(OrderStrategy::AsWritten),
+            "bound-first" => Some(OrderStrategy::BoundFirst),
+            "chain-cost" => Some(OrderStrategy::ChainCost),
+            _ => None,
+        }
+    }
+}
+
+/// Estimates the execution profile of one literal given the current bound
+/// set: `(cost, fanout)` — expected work to run it once and expected
+/// number of successes. Implemented by the evaluator over live relations.
+pub trait LitEstimator {
+    fn stats(&mut self, lit: &Lit, bound: &[bool]) -> (f64, f64);
+}
+
+/// May `lit` run with `bound` variables bound? Positive literals always
+/// can (they generate); `=`/2 needs one side bound; everything else needs
+/// every variable it reads.
+pub fn eligible(lit: &Lit, bound: &[bool]) -> bool {
+    match lit {
+        Lit::Pos { .. } => true,
+        Lit::Unify { a, b } => {
+            let side = |arg: &Arg| match arg {
+                Arg::Const(_) => true,
+                Arg::Var(v) => bound[*v],
+            };
+            side(a) || side(b)
+        }
+        _ => lit.required_vars().iter().all(|v| bound[*v]),
+    }
+}
+
+fn mark_bound(lit: &Lit, bound: &mut [bool]) {
+    for v in lit.bound_vars() {
+        bound[v] = true;
+    }
+}
+
+/// Why a body admits no feasible placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementFailure {
+    /// No order can make this literal's variables bound before it runs.
+    Unplaceable(usize),
+    /// Every literal placed, but a head variable is never bound.
+    UnboundHeadVar(usize),
+}
+
+/// Range-restriction / placement feasibility: is there *some* order in
+/// which every literal is eligible when reached, and are all head
+/// variables bound afterwards? (Greedy placement is complete here because
+/// placing a literal never shrinks the bound set.)
+pub fn placement_check(
+    body: &[Lit],
+    nvars: usize,
+    head_vars: &[usize],
+) -> Result<(), PlacementFailure> {
+    let mut bound = vec![false; nvars];
+    let mut placed = vec![false; body.len()];
+    let mut remaining = body.len();
+    while remaining > 0 {
+        let mut progressed = false;
+        for (i, lit) in body.iter().enumerate() {
+            if !placed[i] && eligible(lit, &bound) {
+                placed[i] = true;
+                remaining -= 1;
+                mark_bound(lit, &mut bound);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            let stuck = placed.iter().position(|p| !p).expect("unplaced literal");
+            return Err(PlacementFailure::Unplaceable(stuck));
+        }
+    }
+    if let Some(v) = head_vars.iter().find(|v| !bound[**v]) {
+        return Err(PlacementFailure::UnboundHeadVar(*v));
+    }
+    Ok(())
+}
+
+/// Search budget for exhaustive chain-cost enumeration; beyond this many
+/// explored orders the planner degrades to a greedy walk.
+const CHAIN_SEARCH_BUDGET: usize = 50_000;
+
+/// Chooses an execution order (indexes into `body`) for one rule body.
+///
+/// `first` optionally forces a literal to run first — semi-naive delta
+/// occurrences must lead their join. `initial_bound` carries variables
+/// already bound (none, for a plain rule). The returned order always
+/// contains every literal exactly once and is feasible (certification
+/// guarantees a feasible order exists).
+pub fn choose_order(
+    body: &[Lit],
+    initial_bound: &[bool],
+    strategy: OrderStrategy,
+    est: &mut dyn LitEstimator,
+    first: Option<usize>,
+) -> Vec<usize> {
+    let mut bound = initial_bound.to_vec();
+    let mut order = Vec::with_capacity(body.len());
+    let mut placed = vec![false; body.len()];
+    if let Some(f) = first {
+        order.push(f);
+        placed[f] = true;
+        mark_bound(&body[f], &mut bound);
+    }
+    match strategy {
+        OrderStrategy::AsWritten => {
+            greedy(body, &mut bound, &mut placed, &mut order, |_, _| 0.0);
+        }
+        OrderStrategy::BoundFirst => {
+            // Maximising bound-variable count == minimising its negation;
+            // constants do not count as bound variables.
+            greedy(body, &mut bound, &mut placed, &mut order, |lit, bound| {
+                let n = lit.vars().iter().filter(|v| bound[**v]).count();
+                -(n as f64)
+            });
+        }
+        OrderStrategy::ChainCost => {
+            chain_cost_order(body, &mut bound, &mut placed, &mut order, est);
+        }
+    }
+    debug_assert_eq!(order.len(), body.len());
+    order
+}
+
+/// Greedy placement: repeatedly take the eligible literal minimising
+/// `score`, ties broken by source position.
+fn greedy(
+    body: &[Lit],
+    bound: &mut [bool],
+    placed: &mut [bool],
+    order: &mut Vec<usize>,
+    mut score: impl FnMut(&Lit, &[bool]) -> f64,
+) {
+    while order.len() < body.len() {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, lit) in body.iter().enumerate() {
+            if placed[i] || !eligible(lit, bound) {
+                continue;
+            }
+            let s = score(lit, bound);
+            if best.is_none_or(|(bs, _)| s < bs) {
+                best = Some((s, i));
+            }
+        }
+        let (_, pick) = best.expect("certified body must stay placeable");
+        placed[pick] = true;
+        order.push(pick);
+        mark_bound(&body[pick], bound);
+    }
+}
+
+/// Clamp a fanout the way [`GoalStats`] clamps probabilities, so the
+/// incremental pruning bound agrees with the final `ClauseChain` score.
+fn clamp_fanout(f: f64) -> f64 {
+    let p = (f / (1.0 + f)).clamp(1e-6, 1.0 - 1e-6);
+    p / (1.0 - p)
+}
+
+/// Converts an estimated `(cost, fanout)` into the paper's per-goal
+/// statistics: success odds `p/q = fanout` makes
+/// [`ClauseChain::generator_cost`] the expected tuples-joined count.
+fn goal_stats(cost: f64, fanout: f64) -> GoalStats {
+    let p = (fanout / (1.0 + fanout)).clamp(1e-6, 1.0 - 1e-6);
+    GoalStats::new(p, cost.max(1e-6))
+}
+
+struct ChainSearch<'a> {
+    body: &'a [Lit],
+    est: &'a mut dyn LitEstimator,
+    best_cost: f64,
+    best_order: Option<Vec<usize>>,
+    explored: usize,
+}
+
+fn chain_cost_order(
+    body: &[Lit],
+    bound: &mut [bool],
+    placed: &mut [bool],
+    order: &mut Vec<usize>,
+    est: &mut dyn LitEstimator,
+) {
+    // Score the forced prefix so pruning and final scores are comparable.
+    let mut prefix_stats: Vec<GoalStats> = Vec::new();
+    let mut prefix_cost = 0.0;
+    let mut prefix_activ = 1.0;
+    {
+        let mut pre = vec![false; bound.len()];
+        for &i in order.iter() {
+            let (c, f) = est.stats(&body[i], &pre);
+            prefix_stats.push(goal_stats(c, f));
+            prefix_cost += prefix_activ * c.max(1e-6);
+            prefix_activ *= clamp_fanout(f);
+            mark_bound(&body[i], &mut pre);
+        }
+    }
+    let mut search = ChainSearch {
+        body,
+        est,
+        best_cost: f64::INFINITY,
+        best_order: None,
+        explored: 0,
+    };
+    let mut suffix = Vec::new();
+    let mut stats = prefix_stats.clone();
+    dfs(
+        &mut search,
+        bound,
+        placed,
+        &mut suffix,
+        &mut stats,
+        prefix_cost,
+        prefix_activ,
+    );
+    if let Some(best) = search.best_order {
+        order.extend(best);
+    } else {
+        // Search budget exhausted before any complete order: degrade to a
+        // greedy most-selective-first walk.
+        let est = search.est;
+        greedy(body, bound, placed, order, |lit, bound| {
+            let (_, fanout) = est.stats(lit, bound);
+            fanout
+        });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    search: &mut ChainSearch,
+    bound: &mut [bool],
+    placed: &mut [bool],
+    suffix: &mut Vec<usize>,
+    stats: &mut Vec<GoalStats>,
+    cost_so_far: f64,
+    activ: f64,
+) {
+    if search.explored > CHAIN_SEARCH_BUDGET {
+        return;
+    }
+    if placed.iter().all(|p| *p) {
+        search.explored += 1;
+        // The official score comes from the markov chain model; the
+        // incremental `cost_so_far` is its algebraic lower bound used for
+        // pruning along the way.
+        let chain = ClauseChain::new(stats);
+        let total = chain.generator_cost();
+        if total < search.best_cost {
+            search.best_cost = total;
+            search.best_order = Some(suffix.clone());
+        }
+        return;
+    }
+    for i in 0..search.body.len() {
+        if placed[i] || !eligible(&search.body[i], bound) {
+            continue;
+        }
+        let (c, f) = search.est.stats(&search.body[i], bound);
+        let step_cost = cost_so_far + activ * c.max(1e-6);
+        if step_cost >= search.best_cost {
+            continue; // costs only grow along a path
+        }
+        let saved_bound = bound.to_vec();
+        placed[i] = true;
+        suffix.push(i);
+        stats.push(goal_stats(c, f));
+        mark_bound(&search.body[i], bound);
+        dfs(
+            search,
+            bound,
+            placed,
+            suffix,
+            stats,
+            step_cost,
+            activ * clamp_fanout(f),
+        );
+        stats.pop();
+        suffix.pop();
+        placed[i] = false;
+        bound.copy_from_slice(&saved_bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::PredId;
+
+    fn pos(name: &str, vars: &[usize]) -> Lit {
+        Lit::Pos {
+            pred: PredId::new(name, vars.len()),
+            args: vars.iter().map(|v| Arg::Var(*v)).collect(),
+        }
+    }
+
+    fn ord_ne(a: usize, b: usize) -> Lit {
+        Lit::Ord {
+            op: crate::program::OrdOp::Ne,
+            a: Arg::Var(a),
+            b: Arg::Var(b),
+        }
+    }
+
+    struct Fixed(Vec<(f64, f64)>);
+    impl LitEstimator for Fixed {
+        fn stats(&mut self, lit: &Lit, _bound: &[bool]) -> (f64, f64) {
+            match lit {
+                Lit::Pos { pred, .. } => {
+                    let i = pred.arity; // encode index via arity in tests
+                    self.0[i]
+                }
+                _ => (1.0, 0.5),
+            }
+        }
+    }
+
+    #[test]
+    fn placement_rejects_unbindable_test() {
+        // p(X) :- X \== a.  -- nothing binds X.
+        let body = vec![Lit::Ord {
+            op: crate::program::OrdOp::Ne,
+            a: Arg::Var(0),
+            b: Arg::Const(0),
+        }];
+        assert_eq!(
+            placement_check(&body, 1, &[0]),
+            Err(PlacementFailure::Unplaceable(0))
+        );
+    }
+
+    #[test]
+    fn placement_rejects_unbound_head_var() {
+        // p(X, Y) :- q(X).
+        let body = vec![pos("q", &[0])];
+        assert_eq!(
+            placement_check(&body, 2, &[0, 1]),
+            Err(PlacementFailure::UnboundHeadVar(1))
+        );
+    }
+
+    #[test]
+    fn placement_accepts_any_feasible_order() {
+        // p(X, Y) :- X \== Y, q(X), r(Y).  -- test written first is fine.
+        let body = vec![ord_ne(0, 1), pos("q", &[0]), pos("r", &[1])];
+        assert_eq!(placement_check(&body, 2, &[0, 1]), Ok(()));
+    }
+
+    #[test]
+    fn bound_first_prefers_literals_over_bound_vars() {
+        // body: q(X, Y), r(Y, Z), s(X)   after placing q, r has 1 bound
+        // var and so does s; tie falls to r (earlier position).
+        let body = vec![
+            Lit::Pos {
+                pred: PredId::new("q", 2),
+                args: vec![Arg::Var(0), Arg::Var(1)],
+            },
+            Lit::Pos {
+                pred: PredId::new("r", 2),
+                args: vec![Arg::Var(1), Arg::Var(2)],
+            },
+            Lit::Pos {
+                pred: PredId::new("s", 1),
+                args: vec![Arg::Var(0)],
+            },
+        ];
+        let mut est = Fixed(vec![(1.0, 1.0); 3]);
+        let order = choose_order(
+            &body,
+            &[false; 3],
+            OrderStrategy::BoundFirst,
+            &mut est,
+            None,
+        );
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chain_cost_picks_the_selective_generator_first() {
+        // Arity encodes the estimator row: lit with arity 1 is tiny (2
+        // rows), arity 2 is huge (1000 rows). Chain cost must start tiny.
+        let body = vec![
+            Lit::Pos {
+                pred: PredId::new("big", 2),
+                args: vec![Arg::Var(0), Arg::Var(1)],
+            },
+            Lit::Pos {
+                pred: PredId::new("small", 1),
+                args: vec![Arg::Var(0)],
+            },
+        ];
+        let mut est = Fixed(vec![(0.0, 0.0), (3.0, 2.0), (1001.0, 1000.0)]);
+        let order = choose_order(&body, &[false; 2], OrderStrategy::ChainCost, &mut est, None);
+        assert_eq!(order, vec![1, 0]);
+        // The as-written baseline keeps source order.
+        let order = choose_order(&body, &[false; 2], OrderStrategy::AsWritten, &mut est, None);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn forced_first_literal_leads_the_order() {
+        let body = vec![pos("q", &[0]), pos("r", &[0])];
+        let mut est = Fixed(vec![(1.0, 1.0); 3]);
+        let order = choose_order(
+            &body,
+            &[false; 1],
+            OrderStrategy::ChainCost,
+            &mut est,
+            Some(1),
+        );
+        assert_eq!(order[0], 1);
+        assert_eq!(order.len(), 2);
+    }
+}

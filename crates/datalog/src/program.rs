@@ -1,0 +1,275 @@
+//! The certified Datalog intermediate representation.
+//!
+//! The safety certifier (see [`crate::safety`]) lowers the Datalog-safe
+//! fragment of a Prolog program into this IR: relations (stored EDB facts
+//! and materialised IDB predicates), rules whose bodies are flat literal
+//! lists, and *test predicates* — demand-evaluated filters such as
+//! `unequal(X, Y) :- X \== Y` whose clauses contain no generators and
+//! therefore never need materialising.
+
+use crate::interner::ConstId;
+use prolog_syntax::PredId;
+use std::collections::HashMap;
+
+/// Identifier of a relation in a [`DatalogProgram`].
+pub type RelId = usize;
+
+/// A rule argument: a clause-local variable or an interned constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arg {
+    Var(usize),
+    Const(ConstId),
+}
+
+impl Arg {
+    pub fn var(&self) -> Option<usize> {
+        match self {
+            Arg::Var(v) => Some(*v),
+            Arg::Const(_) => None,
+        }
+    }
+}
+
+/// Arithmetic operators supported in the safe fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    IntDiv,
+    Mod,
+    Min,
+    Max,
+}
+
+/// An integer arithmetic expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    Arg(Arg),
+    Neg(Box<Expr>),
+    Abs(Box<Expr>),
+    Bin(ArithOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    pub fn collect_vars(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Arg(Arg::Var(v)) => out.push(*v),
+            Expr::Arg(Arg::Const(_)) => {}
+            Expr::Neg(e) | Expr::Abs(e) => e.collect_vars(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+/// Arithmetic comparison operators (`<`, `=<`, `>`, `>=`, `=:=`, `=\=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    ArithEq,
+    ArithNe,
+}
+
+/// Structural comparison operators (`==`, `\==`, `@<`, `@=<`, `@>`, `@>=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrdOp {
+    Eq,
+    Ne,
+    Before,
+    BeforeEq,
+    After,
+    AfterEq,
+}
+
+/// One body literal of a lowered rule.
+#[derive(Debug, Clone)]
+pub enum Lit {
+    /// A positive occurrence of a stored relation — the only generator.
+    Pos { pred: PredId, args: Vec<Arg> },
+    /// Negation as failure over a stored relation; all variables must be
+    /// bound before it runs (stratification places the relation below).
+    Neg { pred: PredId, args: Vec<Arg> },
+    /// A call to a demand-evaluated test predicate; all variables bound.
+    Call { pred: PredId, args: Vec<Arg> },
+    /// `Var is Expr`.
+    Is { var: usize, expr: Expr },
+    /// `A = B` where at least one side is bound at placement time.
+    Unify { a: Arg, b: Arg },
+    /// Arithmetic comparison over bound expressions.
+    Cmp { op: CmpOp, lhs: Expr, rhs: Expr },
+    /// Standard-order comparison over bound arguments.
+    Ord { op: OrdOp, a: Arg, b: Arg },
+}
+
+impl Lit {
+    /// Variables this literal mentions anywhere.
+    pub fn vars(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        match self {
+            Lit::Pos { args, .. } | Lit::Neg { args, .. } | Lit::Call { args, .. } => {
+                out.extend(args.iter().filter_map(Arg::var));
+            }
+            Lit::Is { var, expr } => {
+                out.push(*var);
+                expr.collect_vars(&mut out);
+            }
+            Lit::Unify { a, b } => {
+                out.extend(a.var());
+                out.extend(b.var());
+            }
+            Lit::Cmp { lhs, rhs, .. } => {
+                lhs.collect_vars(&mut out);
+                rhs.collect_vars(&mut out);
+            }
+            Lit::Ord { a, b, .. } => {
+                out.extend(a.var());
+                out.extend(b.var());
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Variables that must already be bound for this literal to run.
+    /// `Pos` needs none (it generates); `Unify` needs at least one side,
+    /// which the placement rule in [`crate::order`] handles specially.
+    pub fn required_vars(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        match self {
+            Lit::Pos { .. } | Lit::Unify { .. } => {}
+            Lit::Neg { args, .. } | Lit::Call { args, .. } => {
+                out.extend(args.iter().filter_map(Arg::var));
+            }
+            Lit::Is { expr, .. } => expr.collect_vars(&mut out),
+            Lit::Cmp { lhs, rhs, .. } => {
+                lhs.collect_vars(&mut out);
+                rhs.collect_vars(&mut out);
+            }
+            Lit::Ord { a, b, .. } => {
+                out.extend(a.var());
+                out.extend(b.var());
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Variables this literal binds when it succeeds.
+    pub fn bound_vars(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        match self {
+            Lit::Pos { args, .. } => out.extend(args.iter().filter_map(Arg::var)),
+            Lit::Is { var, .. } => out.push(*var),
+            Lit::Unify { a, b } => {
+                out.extend(a.var());
+                out.extend(b.var());
+            }
+            _ => {}
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The stored relation this literal reads, if any.
+    pub fn rel_pred(&self) -> Option<PredId> {
+        match self {
+            Lit::Pos { pred, .. } | Lit::Neg { pred, .. } => Some(*pred),
+            _ => None,
+        }
+    }
+}
+
+/// Whether a relation is stored facts (EDB) or materialised rules (IDB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelKind {
+    Edb,
+    Idb,
+}
+
+/// Declaration of one stored relation.
+#[derive(Debug, Clone)]
+pub struct RelDecl {
+    pub pred: PredId,
+    pub kind: RelKind,
+    /// Stratum number: 0 for EDB, `>= 1` for IDB; negation from stratum
+    /// `s` only reaches relations with stratum `< s`.
+    pub stratum: usize,
+}
+
+/// A lowered rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    pub head: PredId,
+    pub head_args: Vec<Arg>,
+    pub body: Vec<Lit>,
+    /// Number of clause-local variables.
+    pub nvars: usize,
+    /// Index of the originating clause in the source program.
+    pub clause_index: usize,
+    /// For clauses whose body was a pure conjunction: the index of the
+    /// source conjunct each body literal came from, so a chosen literal
+    /// order can be mapped back onto the source clause for emission.
+    /// `None` when the clause went through disjunction expansion.
+    pub conjunct_map: Option<Vec<usize>>,
+}
+
+/// One clause of a test predicate: head argument patterns plus filter
+/// literals over the head variables only.
+#[derive(Debug, Clone)]
+pub struct TestClause {
+    pub params: Vec<Arg>,
+    pub nvars: usize,
+    pub body: Vec<Lit>,
+}
+
+/// A demand-evaluated filter predicate.
+#[derive(Debug, Clone)]
+pub struct TestPred {
+    pub pred: PredId,
+    pub clauses: Vec<TestClause>,
+}
+
+/// One evaluation stratum: the relations fixed in it and the rules that
+/// derive them (rule indexes into [`DatalogProgram::rules`]).
+#[derive(Debug, Clone, Default)]
+pub struct Stratum {
+    pub rels: Vec<RelId>,
+    pub rules: Vec<usize>,
+}
+
+/// A certified bottom-up program: the Datalog-safe fragment of its source.
+#[derive(Debug, Clone, Default)]
+pub struct DatalogProgram {
+    pub rels: Vec<RelDecl>,
+    pub rel_of: HashMap<PredId, RelId>,
+    /// Ground facts (EDB tuples and ground IDB fact clauses).
+    pub facts: Vec<(RelId, Vec<ConstId>)>,
+    pub rules: Vec<Rule>,
+    /// Strata in evaluation order; stratum 0 is the EDB load.
+    pub strata: Vec<Stratum>,
+    pub tests: HashMap<PredId, TestPred>,
+    /// Interner holding every constant referenced by facts and rules.
+    pub interner: crate::interner::Interner,
+}
+
+impl DatalogProgram {
+    pub fn rel(&self, pred: PredId) -> Option<RelId> {
+        self.rel_of.get(&pred).copied()
+    }
+
+    pub fn num_edb_facts(&self) -> usize {
+        self.facts
+            .iter()
+            .filter(|(r, _)| self.rels[*r].kind == RelKind::Edb)
+            .count()
+    }
+}

@@ -1,0 +1,210 @@
+//! Arena-backed fact relations with hash-join indexes.
+//!
+//! A relation stores its tuples row-major in one flat `Vec<ConstId>` —
+//! the arena — plus a dedup set (bottom-up evaluation has set semantics)
+//! and lazily-built hash indexes keyed by *bound-column signatures*: the
+//! bitmask of columns a join probe has values for. Inserting a tuple
+//! updates every index already built, so semi-naive deltas (contiguous
+//! row-id ranges at the arena tail) never invalidate an index.
+
+use crate::interner::{ConstId, Interner};
+use std::collections::{HashMap, HashSet};
+
+/// Bitmask over a relation's columns (bit `i` set = column `i` bound).
+pub type ColMask = u32;
+
+/// One stored relation.
+#[derive(Debug, Default, Clone)]
+pub struct Relation {
+    arity: usize,
+    /// Row-major tuple arena: row `i` is `rows[i*arity .. (i+1)*arity]`.
+    rows: Vec<ConstId>,
+    num_rows: usize,
+    seen: HashSet<Box<[ConstId]>>,
+    /// Per-signature hash-join index: probe key (the bound columns, in
+    /// ascending column order) to matching row ids.
+    indexes: HashMap<ColMask, HashMap<Box<[ConstId]>, Vec<u32>>>,
+    /// Per-column distinct values, for join-cardinality estimation.
+    distinct: Vec<HashSet<ConstId>>,
+}
+
+impl Relation {
+    pub fn new(arity: usize) -> Relation {
+        assert!(arity <= 32, "relation arity limited to 32 columns");
+        Relation {
+            arity,
+            distinct: vec![HashSet::new(); arity],
+            ..Relation::default()
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    pub fn len(&self) -> usize {
+        self.num_rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.num_rows == 0
+    }
+
+    pub fn row(&self, i: usize) -> &[ConstId] {
+        &self.rows[i * self.arity..(i + 1) * self.arity]
+    }
+
+    pub fn contains(&self, tuple: &[ConstId]) -> bool {
+        self.seen.contains(tuple)
+    }
+
+    /// Inserts a tuple; returns `true` if it was new. Every index already
+    /// built on this relation is updated in place.
+    pub fn insert(&mut self, tuple: &[ConstId]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        if !self.seen.insert(tuple.into()) {
+            return false;
+        }
+        let row_id = self.num_rows as u32;
+        self.rows.extend_from_slice(tuple);
+        self.num_rows += 1;
+        for (col, set) in self.distinct.iter_mut().enumerate() {
+            set.insert(tuple[col]);
+        }
+        for (mask, index) in self.indexes.iter_mut() {
+            let key = mask_key(*mask, tuple);
+            index.entry(key).or_default().push(row_id);
+        }
+        true
+    }
+
+    /// Number of distinct values in a column.
+    pub fn distinct_in_col(&self, col: usize) -> usize {
+        self.distinct[col].len()
+    }
+
+    /// Builds (if absent) the index for a bound-column signature.
+    pub fn ensure_index(&mut self, mask: ColMask) {
+        if mask == 0 || self.indexes.contains_key(&mask) {
+            return;
+        }
+        let mut index: HashMap<Box<[ConstId]>, Vec<u32>> = HashMap::new();
+        for i in 0..self.num_rows {
+            let key = mask_key(mask, self.row(i));
+            index.entry(key).or_default().push(i as u32);
+        }
+        self.indexes.insert(mask, index);
+    }
+
+    /// Row ids matching `key` under `mask`. The index must have been built
+    /// with [`Relation::ensure_index`].
+    pub fn probe(&self, mask: ColMask, key: &[ConstId]) -> &[u32] {
+        static EMPTY: [u32; 0] = [];
+        self.indexes
+            .get(&mask)
+            .expect("index must be built before probing")
+            .get(key)
+            .map(|v| v.as_slice())
+            .unwrap_or(&EMPTY)
+    }
+
+    /// Exact number of rows matching `key` under `mask` (builds the index).
+    pub fn probe_count(&mut self, mask: ColMask, key: &[ConstId]) -> usize {
+        if mask == 0 {
+            return self.num_rows;
+        }
+        self.ensure_index(mask);
+        self.probe(mask, key).len()
+    }
+
+    /// Order-independent content fingerprint: equal iff the tuple sets are
+    /// equal, comparable across evaluations with different interner layouts.
+    pub fn fingerprint(&self, interner: &Interner) -> u64 {
+        let mut acc: u64 = self.num_rows as u64;
+        for i in 0..self.num_rows {
+            let mut h: u64 = 0x9e3779b97f4a7c15;
+            for (col, id) in self.row(i).iter().enumerate() {
+                h = h
+                    .rotate_left(13)
+                    .wrapping_add(interner.content_hash(*id))
+                    .wrapping_mul(0xff51afd7ed558ccd ^ (col as u64 + 1));
+            }
+            acc = acc.wrapping_add(h);
+        }
+        acc
+    }
+}
+
+/// Extracts the probe key (bound columns in ascending order) from a tuple.
+pub fn mask_key(mask: ColMask, tuple: &[ConstId]) -> Box<[ConstId]> {
+    let mut key = Vec::with_capacity(mask.count_ones() as usize);
+    for (col, value) in tuple.iter().enumerate() {
+        if mask & (1 << col) != 0 {
+            key.push(*value);
+        }
+    }
+    key.into_boxed_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups_and_counts_distinct() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(&[1, 2]));
+        assert!(r.insert(&[1, 3]));
+        assert!(!r.insert(&[1, 2]));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.distinct_in_col(0), 1);
+        assert_eq!(r.distinct_in_col(1), 2);
+        assert!(r.contains(&[1, 3]));
+        assert!(!r.contains(&[2, 2]));
+    }
+
+    #[test]
+    fn index_probe_finds_rows_and_survives_inserts() {
+        let mut r = Relation::new(2);
+        r.insert(&[1, 10]);
+        r.insert(&[2, 10]);
+        r.ensure_index(0b10); // index on column 1
+        assert_eq!(r.probe(0b10, &[10]).len(), 2);
+        // An insert after the index is built must show up in probes.
+        r.insert(&[3, 10]);
+        r.insert(&[3, 11]);
+        assert_eq!(r.probe(0b10, &[10]).len(), 3);
+        assert_eq!(r.probe(0b10, &[11]), &[3]);
+        assert_eq!(r.probe_count(0b11, &[3, 11]), 1);
+        assert_eq!(r.probe_count(0, &[]), 4);
+    }
+
+    #[test]
+    fn fingerprint_is_insertion_order_independent() {
+        let mut a = Interner::new();
+        let x = a.intern(&prolog_syntax::Term::atom("x"));
+        let y = a.intern(&prolog_syntax::Term::atom("y"));
+        let mut r1 = Relation::new(2);
+        r1.insert(&[x, y]);
+        r1.insert(&[y, x]);
+        let mut r2 = Relation::new(2);
+        r2.insert(&[y, x]);
+        r2.insert(&[x, y]);
+        assert_eq!(r1.fingerprint(&a), r2.fingerprint(&a));
+        // Column position matters: {(x,y)} != {(y,x)}.
+        let mut r3 = Relation::new(2);
+        r3.insert(&[x, y]);
+        let mut r4 = Relation::new(2);
+        r4.insert(&[y, x]);
+        assert_ne!(r3.fingerprint(&a), r4.fingerprint(&a));
+    }
+
+    #[test]
+    fn zero_arity_relation_holds_one_row() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(&[]));
+        assert!(!r.insert(&[]));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[]));
+    }
+}

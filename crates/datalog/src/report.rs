@@ -1,0 +1,78 @@
+//! Human-readable safety/stratification report (`--datalog-report`).
+
+use crate::eval::Evaluation;
+use crate::program::RelKind;
+use crate::safety::{Certification, PredClass};
+use std::fmt::Write as _;
+
+/// Renders the certification: per-predicate class and stratum, then every
+/// rejection with its diagnostic, in first-occurrence order.
+pub fn render_certification(cert: &Certification) -> String {
+    let mut out = String::new();
+    let accepted = cert
+        .order
+        .iter()
+        .filter(|p| cert.classes.contains_key(p))
+        .count();
+    let rejected = cert.rejected_preds().len();
+    let _ = writeln!(
+        out,
+        "datalog safety: {accepted} predicate(s) certified, {rejected} rejected"
+    );
+    for pred in &cert.order {
+        let Some(class) = cert.classes.get(pred) else {
+            continue;
+        };
+        match class {
+            PredClass::Edb => {
+                let facts = cert
+                    .program
+                    .rel(*pred)
+                    .map(|rid| cert.program.facts.iter().filter(|(r, _)| *r == rid).count())
+                    .unwrap_or(0);
+                let _ = writeln!(out, "  {pred}: EDB ({facts} facts, stratum 0)");
+            }
+            PredClass::Idb => {
+                let stratum = cert
+                    .program
+                    .rel(*pred)
+                    .map(|rid| cert.program.rels[rid].stratum)
+                    .unwrap_or(0);
+                let _ = writeln!(out, "  {pred}: IDB (stratum {stratum})");
+            }
+            PredClass::Test => {
+                let _ = writeln!(out, "  {pred}: test (demand-evaluated filter)");
+            }
+        }
+    }
+    if !cert.rejections.is_empty() {
+        let _ = writeln!(out, "rejected clauses:");
+        for r in &cert.rejections {
+            let _ = writeln!(out, "  {r}");
+        }
+    }
+    out
+}
+
+/// Renders evaluation statistics (appended to the report after a run).
+pub fn render_evaluation(eval: &Evaluation) -> String {
+    let mut out = String::new();
+    let s = &eval.stats;
+    let _ = writeln!(out, "evaluation ({} ordering):", eval.strategy.label());
+    let _ = writeln!(out, "  facts loaded:   {}", s.facts_loaded);
+    let _ = writeln!(out, "  facts derived:  {}", s.facts_derived);
+    let _ = writeln!(out, "  idb tuples:     {}", s.idb_tuples);
+    let _ = writeln!(out, "  tuples joined:  {}", s.tuples_joined);
+    let _ = writeln!(out, "  strata:         {}", s.strata);
+    let _ = writeln!(out, "  rounds:         {}", s.rounds);
+    let deltas: Vec<String> = s.delta_sizes.iter().map(|d| d.to_string()).collect();
+    let _ = writeln!(out, "  delta sizes:    [{}]", deltas.join(", "));
+    let _ = writeln!(out, "  wall time:      {} us", s.wall_us);
+    for decl in &eval.program().rels {
+        if decl.kind == RelKind::Idb {
+            let n = eval.relation(decl.pred).map(|r| r.len()).unwrap_or(0);
+            let _ = writeln!(out, "  {}: {} tuples", decl.pred, n);
+        }
+    }
+    out
+}

@@ -1,0 +1,1078 @@
+//! The Datalog safety certifier.
+//!
+//! Bottom-up evaluation terminates and agrees with SLD resolution only on
+//! a fragment of Prolog. This module identifies that fragment — using the
+//! workspace's static analyses (call graph, recursion cliques, fixity) —
+//! and lowers it to the [`crate::program`] IR, producing a precise,
+//! per-clause rejection diagnostic for everything outside it:
+//!
+//! * **range restriction** — every head variable and every variable read
+//!   by a test, negation, or arithmetic goal must be bindable by positive
+//!   body literals in *some* order (the bottom-up analogue of the paper's
+//!   legal-mode requirement);
+//! * **no unbounded value recursion** — arithmetic inside a recursive
+//!   clique (the `count/3` pattern) can derive infinitely many facts;
+//!   structure building is excluded by rejecting non-ground compound
+//!   arguments (function symbols);
+//! * **stratified negation** — negation must not cross a recursive
+//!   clique, so each relation is complete before anything negates it;
+//! * **no control effects** — cut, if-then-else, and side-effecting
+//!   built-ins have no bottom-up meaning and reject the clause.
+//!
+//! Predicates land in one of three classes: `EDB` (ground facts), `IDB`
+//! (materialised by rules), or *test* — demand-evaluated filters like
+//! `unequal(X, Y) :- X \== Y` or `male(X) :- not(female(X))` that are not
+//! range-restricted yet are perfectly evaluable once their arguments are
+//! bound. Rejections cascade: a clause calling a rejected predicate is
+//! itself rejected (`depends on rejected predicate`), so the certified
+//! program never references uncertified code.
+
+use crate::interner::Interner;
+use crate::order::{placement_check, PlacementFailure};
+use crate::program::{
+    Arg, ArithOp, CmpOp, DatalogProgram, Expr, Lit, OrdOp, RelDecl, RelKind, Rule, Stratum,
+    TestClause, TestPred,
+};
+use prolog_analysis::ProgramAnalysis;
+use prolog_syntax::{Body, Clause, PredId, SourceProgram, Term};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Why a clause (or predicate) is outside the Datalog-safe fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    Cut,
+    IfThenElse,
+    ComplexNegation,
+    NonAtomicArg,
+    SideEffect,
+    UnsupportedBuiltin(PredId),
+    NonIntegerArithmetic,
+    ArithmeticInRecursion,
+    NotRangeRestricted(String),
+    UnboundTestGoal,
+    UnstratifiedNegation,
+    RecursiveTestPredicate,
+    DisjunctionTooWide,
+    DependsOnRejected(PredId),
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Cut => write!(f, "cut is not expressible in Datalog"),
+            RejectReason::IfThenElse => write!(f, "if-then-else is not expressible in Datalog"),
+            RejectReason::ComplexNegation => write!(f, "negation of a non-atomic goal"),
+            RejectReason::NonAtomicArg => {
+                write!(f, "non-ground compound argument (function symbol)")
+            }
+            RejectReason::SideEffect => write!(f, "side-effecting predicate"),
+            RejectReason::UnsupportedBuiltin(p) => write!(f, "unsupported built-in {p}"),
+            RejectReason::NonIntegerArithmetic => write!(f, "non-integer arithmetic"),
+            RejectReason::ArithmeticInRecursion => {
+                write!(
+                    f,
+                    "arithmetic in a recursive clique (unbounded value recursion)"
+                )
+            }
+            RejectReason::NotRangeRestricted(v) => {
+                write!(f, "head variable {v} is not range-restricted")
+            }
+            RejectReason::UnboundTestGoal => {
+                write!(f, "test or negation with variables no generator can bind")
+            }
+            RejectReason::UnstratifiedNegation => {
+                write!(f, "negation through a recursive clique (not stratifiable)")
+            }
+            RejectReason::RecursiveTestPredicate => write!(f, "recursive test predicate"),
+            RejectReason::DisjunctionTooWide => {
+                write!(
+                    f,
+                    "disjunction expands to more than {MAX_ALTERNATIVES} conjunctive rules"
+                )
+            }
+            RejectReason::DependsOnRejected(p) => {
+                write!(f, "depends on rejected predicate {p}")
+            }
+        }
+    }
+}
+
+/// One rejection: a predicate, optionally a specific clause (1-based
+/// ordinal among the predicate's clauses), and the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    pub pred: PredId,
+    pub clause: Option<usize>,
+    pub reason: RejectReason,
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.clause {
+            Some(n) => write!(f, "{} clause {}: {}", self.pred, n, self.reason),
+            None => write!(f, "{}: {}", self.pred, self.reason),
+        }
+    }
+}
+
+/// How a certified predicate is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredClass {
+    /// Ground facts, loaded into stratum 0.
+    Edb,
+    /// Materialised bottom-up by rules.
+    Idb,
+    /// Demand-evaluated filter (never materialised).
+    Test,
+}
+
+/// The result of certifying a source program: the lowered safe fragment
+/// plus the classification and rejection record.
+#[derive(Debug, Clone, Default)]
+pub struct Certification {
+    pub program: DatalogProgram,
+    /// Certified predicates and their classes.
+    pub classes: HashMap<PredId, PredClass>,
+    /// Every predicate mentioned, in first-occurrence order (for reports).
+    pub order: Vec<PredId>,
+    pub rejections: Vec<Rejection>,
+}
+
+impl Certification {
+    /// Is the predicate inside the certified fragment?
+    pub fn is_safe(&self, pred: PredId) -> bool {
+        self.classes.contains_key(&pred)
+    }
+
+    /// `true` when the whole program certified with no rejections.
+    pub fn fully_safe(&self) -> bool {
+        self.rejections.is_empty()
+    }
+
+    /// Rejected predicates (deduplicated, first-occurrence order).
+    pub fn rejected_preds(&self) -> Vec<PredId> {
+        let rejected: HashSet<PredId> = self.rejections.iter().map(|r| r.pred).collect();
+        self.order
+            .iter()
+            .copied()
+            .filter(|p| rejected.contains(p))
+            .collect()
+    }
+
+    /// The first rejection recorded for a predicate, if any.
+    pub fn rejection_for(&self, pred: PredId) -> Option<&Rejection> {
+        self.rejections.iter().find(|r| r.pred == pred)
+    }
+}
+
+const MAX_ALTERNATIVES: usize = 64;
+
+/// A lowered rule alternative before classification.
+#[derive(Debug, Clone)]
+struct Alt {
+    head_args: Vec<Arg>,
+    body: Vec<Lit>,
+    nvars: usize,
+    clause_index: usize,
+    /// 1-based ordinal of the source clause among its predicate's clauses.
+    clause_ordinal: usize,
+    conjunct_map: Option<Vec<usize>>,
+    var_names: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+struct PredBuild {
+    facts: Vec<Vec<crate::interner::ConstId>>,
+    alts: Vec<Alt>,
+    clause_count: usize,
+    rejections: Vec<(Option<usize>, RejectReason)>,
+}
+
+/// Certifies `program`: classifies every predicate, lowers the safe
+/// fragment, stratifies it, and records a diagnostic per rejected clause.
+pub fn certify(program: &SourceProgram) -> Certification {
+    let _span = prolog_trace::span_with("datalog.certify", || {
+        prolog_trace::fields::Obj::new().u64("clauses", program.clauses.len() as u64)
+    });
+    let analysis = ProgramAnalysis::analyze(program);
+    let mut interner = Interner::new();
+
+    // ---- Pass 1: compile every clause, grouped by predicate. ----
+    let mut order: Vec<PredId> = Vec::new();
+    let mut builds: HashMap<PredId, PredBuild> = HashMap::new();
+    for (clause_index, clause) in program.clauses.iter().enumerate() {
+        let Some(pred) = clause.head.pred_id() else {
+            continue;
+        };
+        if !builds.contains_key(&pred) {
+            order.push(pred);
+        }
+        let build = builds.entry(pred).or_default();
+        build.clause_count += 1;
+        let ordinal = build.clause_count;
+        match compile_clause(clause, clause_index, ordinal, &mut interner) {
+            Ok(Compiled::Fact(tuple)) => build.facts.push(tuple),
+            Ok(Compiled::Rules(alts)) => build.alts.extend(alts),
+            Err(reason) => build.rejections.push((Some(ordinal), reason)),
+        }
+    }
+    // Undefined predicates called anywhere become empty EDB relations
+    // (bottom-up "unknown fails" semantics), unless they are built-ins —
+    // calls to those were already rejected during compilation.
+    let mut called: Vec<PredId> = Vec::new();
+    for build in builds.values() {
+        for alt in &build.alts {
+            for lit in &alt.body {
+                if let Some(p) = lit_pred(lit) {
+                    called.push(p);
+                }
+            }
+        }
+    }
+    for pred in called {
+        if let std::collections::hash_map::Entry::Vacant(e) = builds.entry(pred) {
+            e.insert(PredBuild::default());
+            order.push(pred);
+        }
+    }
+
+    // ---- Pass 2: predicate-level structural checks. ----
+    for pred in &order {
+        let build = builds.get_mut(pred).expect("build exists");
+        if build.clause_count > 0 && analysis.fixity.is_fixed(*pred) && build.rejections.is_empty()
+        {
+            build.rejections.push((None, RejectReason::SideEffect));
+            continue;
+        }
+        if analysis.recursion.is_recursive(*pred) {
+            for alt in &build.alts {
+                let has_arith = alt.body.iter().any(|l| matches!(l, Lit::Is { .. }));
+                if has_arith {
+                    build.rejections.push((
+                        Some(alt.clause_ordinal),
+                        RejectReason::ArithmeticInRecursion,
+                    ));
+                }
+            }
+        }
+    }
+
+    // ---- Pass 3: classification. ----
+    let mut classes: HashMap<PredId, PredClass> = HashMap::new();
+    let mut rejections: Vec<Rejection> = Vec::new();
+    let mut rejected: HashSet<PredId> = HashSet::new();
+    for pred in &order {
+        let build = &builds[pred];
+        if !build.rejections.is_empty() {
+            for (clause, reason) in &build.rejections {
+                rejections.push(Rejection {
+                    pred: *pred,
+                    clause: *clause,
+                    reason: reason.clone(),
+                });
+            }
+            rejected.insert(*pred);
+            continue;
+        }
+        if build.alts.is_empty() {
+            classes.insert(*pred, PredClass::Edb);
+            continue;
+        }
+        match classify_rules(build) {
+            Ok(class) => {
+                classes.insert(*pred, class);
+            }
+            Err((clause, reason)) => {
+                rejections.push(Rejection {
+                    pred: *pred,
+                    clause,
+                    reason,
+                });
+                rejected.insert(*pred);
+            }
+        }
+    }
+
+    // ---- Pass 4: rewrite test-predicate references and cascade. ----
+    // A `Pos` on a test predicate is really a demand call, which changes
+    // placement (a call generates nothing); a cascade rejection makes
+    // every dependent unsafe too. Loop to a fixpoint: the test set only
+    // grows and the rejected set only grows, so this terminates.
+    loop {
+        let tests: HashSet<PredId> = classes
+            .iter()
+            .filter(|(_, c)| **c == PredClass::Test)
+            .map(|(p, _)| *p)
+            .collect();
+        let mut newly_rejected: Vec<(PredId, Option<usize>, RejectReason)> = Vec::new();
+        let mut reclassified = false;
+        for pred in &order {
+            if rejected.contains(pred) || !classes.contains_key(pred) {
+                continue;
+            }
+            let build = &builds[pred];
+            for alt in &build.alts {
+                for lit in &alt.body {
+                    if let Some(dep) = lit_pred(lit) {
+                        if rejected.contains(&dep) {
+                            newly_rejected.push((
+                                *pred,
+                                Some(alt.clause_ordinal),
+                                RejectReason::DependsOnRejected(dep),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Re-check IDB placement with test references rewritten to calls:
+        // a rule whose generator turned out to be a test predicate is no
+        // longer range-restricted (or is itself a test).
+        if newly_rejected.is_empty() {
+            for pred in &order {
+                if classes.get(pred) != Some(&PredClass::Idb) || rejected.contains(pred) {
+                    continue;
+                }
+                let rewritten = PredBuild {
+                    facts: builds[pred].facts.clone(),
+                    alts: builds[pred]
+                        .alts
+                        .iter()
+                        .map(|alt| Alt {
+                            body: alt
+                                .body
+                                .iter()
+                                .map(|l| rewrite_test_refs(l, &tests))
+                                .collect(),
+                            ..alt.clone()
+                        })
+                        .collect(),
+                    clause_count: builds[pred].clause_count,
+                    rejections: Vec::new(),
+                };
+                match classify_rules(&rewritten) {
+                    Ok(PredClass::Idb) => {}
+                    Ok(class) => {
+                        classes.insert(*pred, class);
+                        reclassified = true;
+                    }
+                    Err((clause, reason)) => {
+                        newly_rejected.push((*pred, clause, reason));
+                    }
+                }
+            }
+        }
+        // Stratification-level checks run once everything else is quiet.
+        if newly_rejected.is_empty() && !reclassified {
+            newly_rejected = stratification_rejections(&order, &builds, &classes, &tests)
+                .into_iter()
+                .map(|(p, r)| (p, None, r))
+                .collect();
+        }
+        if newly_rejected.is_empty() && !reclassified {
+            break;
+        }
+        for (pred, clause, reason) in newly_rejected {
+            if rejected.insert(pred) {
+                rejections.push(Rejection {
+                    pred,
+                    clause,
+                    reason,
+                });
+                classes.remove(&pred);
+            }
+        }
+    }
+
+    // ---- Pass 5: build the certified program. ----
+    let tests_set: HashSet<PredId> = classes
+        .iter()
+        .filter(|(_, c)| **c == PredClass::Test)
+        .map(|(p, _)| *p)
+        .collect();
+    let strata_of = stratify(&order, &builds, &classes, &tests_set)
+        .expect("stratification verified during cascade");
+    let mut dl = DatalogProgram {
+        interner,
+        ..DatalogProgram::default()
+    };
+    // Relations: certified EDB + IDB predicates, first-occurrence order.
+    for pred in &order {
+        match classes.get(pred) {
+            Some(PredClass::Edb) => {
+                let rel = dl.rels.len();
+                dl.rels.push(RelDecl {
+                    pred: *pred,
+                    kind: RelKind::Edb,
+                    stratum: 0,
+                });
+                dl.rel_of.insert(*pred, rel);
+            }
+            Some(PredClass::Idb) => {
+                let rel = dl.rels.len();
+                dl.rels.push(RelDecl {
+                    pred: *pred,
+                    kind: RelKind::Idb,
+                    stratum: strata_of[pred],
+                });
+                dl.rel_of.insert(*pred, rel);
+            }
+            _ => {}
+        }
+    }
+    // Facts (EDB tuples and ground IDB fact clauses).
+    for pred in &order {
+        if let Some(&rel) = dl.rel_of.get(pred) {
+            for tuple in &builds[pred].facts {
+                dl.facts.push((rel, tuple.clone()));
+            }
+        }
+    }
+    // Rules, with test references rewritten to calls.
+    for pred in &order {
+        if classes.get(pred) != Some(&PredClass::Idb) {
+            continue;
+        }
+        for alt in &builds[pred].alts {
+            let body: Vec<Lit> = alt
+                .body
+                .iter()
+                .map(|l| rewrite_test_refs(l, &tests_set))
+                .collect();
+            dl.rules.push(Rule {
+                head: *pred,
+                head_args: alt.head_args.clone(),
+                body,
+                nvars: alt.nvars,
+                clause_index: alt.clause_index,
+                conjunct_map: alt.conjunct_map.clone(),
+            });
+        }
+    }
+    // Test predicates.
+    for pred in &order {
+        if classes.get(pred) != Some(&PredClass::Test) {
+            continue;
+        }
+        let clauses: Vec<TestClause> = builds[pred]
+            .facts
+            .iter()
+            .map(|tuple| TestClause {
+                params: tuple.iter().map(|c| Arg::Const(*c)).collect(),
+                nvars: 0,
+                body: Vec::new(),
+            })
+            .chain(builds[pred].alts.iter().map(|alt| {
+                TestClause {
+                    params: alt.head_args.clone(),
+                    nvars: alt.nvars,
+                    body: alt
+                        .body
+                        .iter()
+                        .map(|l| rewrite_test_refs(l, &tests_set))
+                        .collect(),
+                }
+            }))
+            .collect();
+        dl.tests.insert(
+            *pred,
+            TestPred {
+                pred: *pred,
+                clauses,
+            },
+        );
+    }
+    // Strata: stratum 0 is the EDB; IDB strata renumbered consecutively.
+    let max_stratum = dl.rels.iter().map(|r| r.stratum).max().unwrap_or(0);
+    dl.strata = vec![Stratum::default(); max_stratum + 1];
+    for (rid, decl) in dl.rels.iter().enumerate() {
+        dl.strata[decl.stratum].rels.push(rid);
+    }
+    for (ri, rule) in dl.rules.iter().enumerate() {
+        let stratum = dl.rels[dl.rel_of[&rule.head]].stratum;
+        dl.strata[stratum].rules.push(ri);
+    }
+
+    Certification {
+        program: dl,
+        classes,
+        order,
+        rejections,
+    }
+}
+
+/// The stored/test predicate a literal references, if any.
+fn lit_pred(lit: &Lit) -> Option<PredId> {
+    match lit {
+        Lit::Pos { pred, .. } | Lit::Neg { pred, .. } | Lit::Call { pred, .. } => Some(*pred),
+        _ => None,
+    }
+}
+
+fn rewrite_test_refs(lit: &Lit, tests: &HashSet<PredId>) -> Lit {
+    match lit {
+        Lit::Pos { pred, args } if tests.contains(pred) => Lit::Call {
+            pred: *pred,
+            args: args.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+enum Compiled {
+    Fact(Vec<crate::interner::ConstId>),
+    Rules(Vec<Alt>),
+}
+
+fn compile_clause(
+    clause: &Clause,
+    clause_index: usize,
+    clause_ordinal: usize,
+    interner: &mut Interner,
+) -> Result<Compiled, RejectReason> {
+    let head_args_terms: &[Term] = match &clause.head {
+        Term::Struct(_, args) => args,
+        _ => &[],
+    };
+    if clause.is_fact() && clause.head.is_ground() {
+        let tuple = head_args_terms.iter().map(|t| interner.intern(t)).collect();
+        return Ok(Compiled::Fact(tuple));
+    }
+    let head_args = head_args_terms
+        .iter()
+        .map(|t| compile_arg(t, interner))
+        .collect::<Result<Vec<_>, _>>()?;
+    let nvars = clause.num_vars();
+
+    // Pure conjunctions keep a literal-to-source-conjunct map so a chosen
+    // order can be written back onto the clause; disjunctions expand.
+    let alternatives = expand_body(&clause.body)?;
+    if alternatives.len() > MAX_ALTERNATIVES {
+        return Err(RejectReason::DisjunctionTooWide);
+    }
+    let pure_conjunction = alternatives.len() == 1 && !body_has_or(&clause.body);
+    let mut alts = Vec::new();
+    for goals in &alternatives {
+        let mut body = Vec::new();
+        let mut conjunct_map = Vec::new();
+        for (gi, goal) in goals.iter().enumerate() {
+            if let Some(lit) = compile_goal(goal, interner)? {
+                body.push(lit);
+                conjunct_map.push(gi);
+            }
+        }
+        alts.push(Alt {
+            head_args: head_args.clone(),
+            body,
+            nvars,
+            clause_index,
+            clause_ordinal,
+            conjunct_map: pure_conjunction.then_some(conjunct_map),
+            var_names: clause.var_names.clone(),
+        });
+    }
+    Ok(Compiled::Rules(alts))
+}
+
+fn body_has_or(body: &Body) -> bool {
+    match body {
+        Body::Or(_, _) => true,
+        Body::And(a, b) => body_has_or(a) || body_has_or(b),
+        _ => false,
+    }
+}
+
+/// Expands a body into its disjunction-free alternatives, each a list of
+/// leaf goals. `fail` prunes an alternative; `true` contributes nothing.
+fn expand_body(body: &Body) -> Result<Vec<Vec<Body>>, RejectReason> {
+    match body {
+        Body::True => Ok(vec![Vec::new()]),
+        Body::Fail => Ok(Vec::new()),
+        Body::Cut => Err(RejectReason::Cut),
+        Body::IfThenElse(_, _, _) => Err(RejectReason::IfThenElse),
+        Body::Not(_) | Body::Call(_) => Ok(vec![vec![body.clone()]]),
+        Body::And(a, b) => {
+            let left = expand_body(a)?;
+            let right = expand_body(b)?;
+            let mut out = Vec::new();
+            for l in &left {
+                for r in &right {
+                    let mut alt = l.clone();
+                    alt.extend(r.iter().cloned());
+                    out.push(alt);
+                    if out.len() > MAX_ALTERNATIVES {
+                        return Err(RejectReason::DisjunctionTooWide);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Body::Or(a, b) => {
+            let mut out = expand_body(a)?;
+            out.extend(expand_body(b)?);
+            if out.len() > MAX_ALTERNATIVES {
+                return Err(RejectReason::DisjunctionTooWide);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Compiles one leaf goal to a literal; `None` for `true`.
+fn compile_goal(goal: &Body, interner: &mut Interner) -> Result<Option<Lit>, RejectReason> {
+    match goal {
+        Body::True => Ok(None),
+        Body::Not(inner) => match &**inner {
+            Body::Call(t) => {
+                let pred = t.pred_id().ok_or(RejectReason::ComplexNegation)?;
+                if builtin_kind(pred) != BuiltinKind::UserPred {
+                    return Err(RejectReason::ComplexNegation);
+                }
+                let args = call_args(t, interner)?;
+                Ok(Some(Lit::Neg { pred, args }))
+            }
+            _ => Err(RejectReason::ComplexNegation),
+        },
+        Body::Call(t) => compile_call(t, interner).map(Some),
+        // `expand_body` only emits `Call`/`Not` leaves (plus `True`).
+        _ => Err(RejectReason::ComplexNegation),
+    }
+}
+
+#[derive(PartialEq, Eq)]
+enum BuiltinKind {
+    UserPred,
+    Supported,
+    Unsupported,
+}
+
+/// Built-ins the engine knows that the Datalog fragment does not model:
+/// I/O, meta-call, aggregation, type tests, and structure inspection.
+const UNSUPPORTED_BUILTINS: &[(&str, usize)] = &[
+    ("write", 1),
+    ("print", 1),
+    ("nl", 0),
+    ("read", 1),
+    ("get", 1),
+    ("put", 1),
+    ("tab", 1),
+    ("call", 1),
+    ("findall", 3),
+    ("bagof", 3),
+    ("setof", 3),
+    ("assert", 1),
+    ("asserta", 1),
+    ("assertz", 1),
+    ("retract", 1),
+    ("var", 1),
+    ("nonvar", 1),
+    ("atom", 1),
+    ("number", 1),
+    ("integer", 1),
+    ("atomic", 1),
+    ("compound", 1),
+    ("functor", 3),
+    ("arg", 3),
+    ("=..", 2),
+    ("copy_term", 2),
+    ("length", 2),
+    ("between", 3),
+    ("succ_or_zero", 1),
+    ("halt", 0),
+];
+
+fn builtin_kind(pred: PredId) -> BuiltinKind {
+    let name = pred.name.as_str();
+    match (name, pred.arity) {
+        ("is", 2)
+        | ("<", 2)
+        | ("=<", 2)
+        | (">", 2)
+        | (">=", 2)
+        | ("=:=", 2)
+        | ("=\\=", 2)
+        | ("==", 2)
+        | ("\\==", 2)
+        | ("@<", 2)
+        | ("@=<", 2)
+        | ("@>", 2)
+        | ("@>=", 2)
+        | ("=", 2)
+        | ("\\=", 2) => BuiltinKind::Supported,
+        _ if UNSUPPORTED_BUILTINS.contains(&(name, pred.arity)) => BuiltinKind::Unsupported,
+        _ => BuiltinKind::UserPred,
+    }
+}
+
+fn compile_call(t: &Term, interner: &mut Interner) -> Result<Lit, RejectReason> {
+    let pred = t.pred_id().ok_or(RejectReason::ComplexNegation)?;
+    let name = pred.name.as_str();
+    match builtin_kind(pred) {
+        BuiltinKind::Unsupported => return Err(RejectReason::UnsupportedBuiltin(pred)),
+        BuiltinKind::UserPred => {
+            let args = call_args(t, interner)?;
+            return Ok(Lit::Pos { pred, args });
+        }
+        BuiltinKind::Supported => {}
+    }
+    let args: &[Term] = match t {
+        Term::Struct(_, args) => args,
+        _ => &[],
+    };
+    match (name, pred.arity) {
+        ("is", 2) => match &args[0] {
+            Term::Var(v) => Ok(Lit::Is {
+                var: *v,
+                expr: compile_expr(&args[1], interner)?,
+            }),
+            // `3 is X + 1` style checks: compare instead of bind.
+            _ => Ok(Lit::Cmp {
+                op: CmpOp::ArithEq,
+                lhs: compile_expr(&args[0], interner)?,
+                rhs: compile_expr(&args[1], interner)?,
+            }),
+        },
+        ("<", 2) | ("=<", 2) | (">", 2) | (">=", 2) | ("=:=", 2) | ("=\\=", 2) => {
+            let op = match name {
+                "<" => CmpOp::Lt,
+                "=<" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                "=:=" => CmpOp::ArithEq,
+                _ => CmpOp::ArithNe,
+            };
+            Ok(Lit::Cmp {
+                op,
+                lhs: compile_expr(&args[0], interner)?,
+                rhs: compile_expr(&args[1], interner)?,
+            })
+        }
+        ("==", 2) | ("\\==", 2) | ("@<", 2) | ("@=<", 2) | ("@>", 2) | ("@>=", 2) => {
+            let op = match name {
+                "==" => OrdOp::Eq,
+                "\\==" => OrdOp::Ne,
+                "@<" => OrdOp::Before,
+                "@=<" => OrdOp::BeforeEq,
+                "@>" => OrdOp::After,
+                _ => OrdOp::AfterEq,
+            };
+            Ok(Lit::Ord {
+                op,
+                a: compile_arg(&args[0], interner)?,
+                b: compile_arg(&args[1], interner)?,
+            })
+        }
+        ("=", 2) => Ok(Lit::Unify {
+            a: compile_arg(&args[0], interner)?,
+            b: compile_arg(&args[1], interner)?,
+        }),
+        // `\=` over bound arguments is a disequality test.
+        ("\\=", 2) => Ok(Lit::Ord {
+            op: OrdOp::Ne,
+            a: compile_arg(&args[0], interner)?,
+            b: compile_arg(&args[1], interner)?,
+        }),
+        _ => unreachable!("supported builtin handled above"),
+    }
+}
+
+fn call_args(t: &Term, interner: &mut Interner) -> Result<Vec<Arg>, RejectReason> {
+    match t {
+        Term::Struct(_, args) => args.iter().map(|a| compile_arg(a, interner)).collect(),
+        _ => Ok(Vec::new()),
+    }
+}
+
+/// A variable or a ground constant; a compound with variables inside is a
+/// function symbol and leaves the fragment.
+fn compile_arg(t: &Term, interner: &mut Interner) -> Result<Arg, RejectReason> {
+    match t {
+        Term::Var(v) => Ok(Arg::Var(*v)),
+        _ if t.is_ground() => Ok(Arg::Const(interner.intern(t))),
+        _ => Err(RejectReason::NonAtomicArg),
+    }
+}
+
+fn compile_expr(t: &Term, interner: &mut Interner) -> Result<Expr, RejectReason> {
+    match t {
+        Term::Var(v) => Ok(Expr::Arg(Arg::Var(*v))),
+        Term::Int(_) => Ok(Expr::Arg(Arg::Const(interner.intern(t)))),
+        Term::Float(_) | Term::Atom(_) => Err(RejectReason::NonIntegerArithmetic),
+        Term::Struct(f, args) => {
+            let name = f.as_str();
+            match (name, args.len()) {
+                ("-", 1) => Ok(Expr::Neg(Box::new(compile_expr(&args[0], interner)?))),
+                ("abs", 1) => Ok(Expr::Abs(Box::new(compile_expr(&args[0], interner)?))),
+                ("+", 2)
+                | ("-", 2)
+                | ("*", 2)
+                | ("//", 2)
+                | ("mod", 2)
+                | ("min", 2)
+                | ("max", 2) => {
+                    let op = match name {
+                        "+" => ArithOp::Add,
+                        "-" => ArithOp::Sub,
+                        "*" => ArithOp::Mul,
+                        "//" => ArithOp::IntDiv,
+                        "mod" => ArithOp::Mod,
+                        "min" => ArithOp::Min,
+                        _ => ArithOp::Max,
+                    };
+                    Ok(Expr::Bin(
+                        op,
+                        Box::new(compile_expr(&args[0], interner)?),
+                        Box::new(compile_expr(&args[1], interner)?),
+                    ))
+                }
+                _ => Err(RejectReason::NonIntegerArithmetic),
+            }
+        }
+    }
+}
+
+/// Decides IDB vs test for a predicate with rule alternatives.
+fn classify_rules(build: &PredBuild) -> Result<PredClass, (Option<usize>, RejectReason)> {
+    // Materialisable: every alternative is range-restricted.
+    let mut first_failure: Option<(Option<usize>, RejectReason)> = None;
+    let mut all_restricted = true;
+    for alt in &build.alts {
+        let head_vars: Vec<usize> = alt.head_args.iter().filter_map(Arg::var).collect();
+        match placement_check(&alt.body, alt.nvars, &head_vars) {
+            Ok(()) => {}
+            Err(failure) => {
+                all_restricted = false;
+                if first_failure.is_none() {
+                    let reason = match failure {
+                        PlacementFailure::Unplaceable(_) => RejectReason::UnboundTestGoal,
+                        PlacementFailure::UnboundHeadVar(v) => RejectReason::NotRangeRestricted(
+                            alt.var_names
+                                .get(v)
+                                .cloned()
+                                .unwrap_or_else(|| format!("_{v}")),
+                        ),
+                    };
+                    first_failure = Some((Some(alt.clause_ordinal), reason));
+                }
+            }
+        }
+    }
+    if all_restricted {
+        return Ok(PredClass::Idb);
+    }
+    // Not materialisable — usable as a demand-evaluated test if every
+    // rule alternative is a pure filter over its head variables.
+    let test_shaped = build.alts.iter().all(|alt| {
+        let head_vars: HashSet<usize> = alt.head_args.iter().filter_map(Arg::var).collect();
+        alt.body.iter().all(|lit| {
+            !matches!(lit, Lit::Pos { .. } | Lit::Is { .. })
+                && lit.vars().iter().all(|v| head_vars.contains(v))
+        })
+    });
+    if test_shaped {
+        return Ok(PredClass::Test);
+    }
+    Err(first_failure.expect("a placement failure was recorded"))
+}
+
+/// Dependency edges (dep, negative?) of a certified predicate, with test
+/// calls expanded to the relations they read (always negatively — a test
+/// body has no generators, so its relation reads are via negation).
+fn materialized_deps(
+    pred: PredId,
+    builds: &HashMap<PredId, PredBuild>,
+    tests: &HashSet<PredId>,
+) -> Result<Vec<(PredId, bool)>, RejectReason> {
+    let mut out = Vec::new();
+    let build = &builds[&pred];
+    for alt in &build.alts {
+        for lit in &alt.body {
+            collect_lit_deps(lit, builds, tests, &mut Vec::new(), &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+fn collect_lit_deps(
+    lit: &Lit,
+    builds: &HashMap<PredId, PredBuild>,
+    tests: &HashSet<PredId>,
+    visiting: &mut Vec<PredId>,
+    out: &mut Vec<(PredId, bool)>,
+) -> Result<(), RejectReason> {
+    let (pred, negative) = match lit {
+        Lit::Pos { pred, .. } | Lit::Call { pred, .. } => (*pred, false),
+        Lit::Neg { pred, .. } => (*pred, true),
+        _ => return Ok(()),
+    };
+    if tests.contains(&pred) {
+        if visiting.contains(&pred) {
+            return Err(RejectReason::RecursiveTestPredicate);
+        }
+        visiting.push(pred);
+        for clause in builds[&pred].alts.iter() {
+            for l in &clause.body {
+                // Every relation a test reads must be complete before the
+                // caller's stratum runs: treat the edge as negative.
+                let mut inner = Vec::new();
+                collect_lit_deps(l, builds, tests, visiting, &mut inner)?;
+                out.extend(inner.into_iter().map(|(p, _)| (p, true)));
+            }
+        }
+        visiting.pop();
+        Ok(())
+    } else {
+        out.push((pred, negative));
+        Ok(())
+    }
+}
+
+/// Stratification violations (and recursive-test cycles) to reject.
+fn stratification_rejections(
+    order: &[PredId],
+    builds: &HashMap<PredId, PredBuild>,
+    classes: &HashMap<PredId, PredClass>,
+    tests: &HashSet<PredId>,
+) -> Vec<(PredId, RejectReason)> {
+    match stratify(order, builds, classes, tests) {
+        Ok(_) => Vec::new(),
+        Err(preds) => preds,
+    }
+}
+
+/// Computes strata for certified EDB/IDB predicates. `Err` carries the
+/// predicates that violate stratified negation (or form test cycles).
+fn stratify(
+    order: &[PredId],
+    builds: &HashMap<PredId, PredBuild>,
+    classes: &HashMap<PredId, PredClass>,
+    tests: &HashSet<PredId>,
+) -> Result<HashMap<PredId, usize>, Vec<(PredId, RejectReason)>> {
+    let nodes: Vec<PredId> = order
+        .iter()
+        .copied()
+        .filter(|p| matches!(classes.get(p), Some(PredClass::Edb | PredClass::Idb)))
+        .collect();
+    let index: HashMap<PredId, usize> = nodes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let mut edges: Vec<Vec<(usize, bool)>> = vec![Vec::new(); nodes.len()];
+    for (i, pred) in nodes.iter().enumerate() {
+        if classes.get(pred) != Some(&PredClass::Idb) {
+            continue;
+        }
+        match materialized_deps(*pred, builds, tests) {
+            Ok(deps) => {
+                for (dep, neg) in deps {
+                    if let Some(&j) = index.get(&dep) {
+                        edges[i].push((j, neg));
+                    }
+                }
+            }
+            Err(reason) => return Err(vec![(*pred, reason)]),
+        }
+    }
+    let sccs = tarjan_sccs(&edges);
+    let mut scc_of = vec![0usize; nodes.len()];
+    for (si, scc) in sccs.iter().enumerate() {
+        for &n in scc {
+            scc_of[n] = si;
+        }
+    }
+    // A negative edge inside an SCC is unstratifiable negation.
+    let mut bad: Vec<(PredId, RejectReason)> = Vec::new();
+    for (i, outs) in edges.iter().enumerate() {
+        for &(j, neg) in outs {
+            if neg && scc_of[i] == scc_of[j] {
+                for &n in &sccs[scc_of[i]] {
+                    bad.push((nodes[n], RejectReason::UnstratifiedNegation));
+                }
+            }
+        }
+    }
+    if !bad.is_empty() {
+        bad.sort_by_key(|(p, _)| index[p]);
+        bad.dedup_by_key(|(p, _)| *p);
+        return Err(bad);
+    }
+    // Tarjan emits SCCs in reverse topological order (callees first), so
+    // one pass assigns strata: stratum(p) = max over deps of
+    // stratum(dep) + (negative ? 1 : 0); IDB floors at 1, EDB at 0.
+    let mut stratum = vec![0usize; nodes.len()];
+    for scc in &sccs {
+        let mut s = 0;
+        for &n in scc {
+            if classes.get(&nodes[n]) == Some(&PredClass::Idb) {
+                s = s.max(1);
+            }
+            for &(j, neg) in &edges[n] {
+                if scc_of[j] != scc_of[n] {
+                    s = s.max(stratum[j] + usize::from(neg));
+                }
+            }
+        }
+        for &n in scc {
+            stratum[n] = s;
+        }
+    }
+    Ok(nodes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, stratum[i]))
+        .collect())
+}
+
+/// Iterative Tarjan strongly-connected components; returns SCCs in
+/// reverse topological order of the condensation.
+fn tarjan_sccs(edges: &[Vec<(usize, bool)>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS stack: (node, next-edge-position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+        while !work.is_empty() {
+            let (v, ei) = *work.last().expect("non-empty work stack");
+            if ei == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if ei < edges[v].len() {
+                let (w, _) = edges[v][ei];
+                work.last_mut().expect("non-empty work stack").1 += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    sccs
+}

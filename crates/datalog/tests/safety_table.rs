@@ -1,0 +1,229 @@
+//! Accept/reject table for the safety certifier, pinning each rejection
+//! diagnostic over the constructs the sample programs exercise: cut,
+//! negation, arithmetic, `count/3`-style recursion, aggregation, and
+//! structure recursion.
+
+use prolog_datalog::{certify, PredClass};
+use prolog_syntax::{parse_program, PredId};
+use prolog_workloads::{corporate_program, family_program, CorporateConfig, FamilyConfig};
+
+fn certify_src(src: &str) -> prolog_datalog::Certification {
+    certify(&parse_program(src).expect("test program parses"))
+}
+
+fn reason_of(cert: &prolog_datalog::Certification, name: &str, arity: usize) -> String {
+    cert.rejection_for(PredId::new(name, arity))
+        .unwrap_or_else(|| panic!("{name}/{arity} should be rejected"))
+        .to_string()
+}
+
+#[test]
+fn cut_is_rejected_with_a_pinned_diagnostic() {
+    let cert = certify_src(
+        "max(X, Y, X) :- X >= Y, !.\n\
+         max(X, Y, Y).\n",
+    );
+    assert_eq!(
+        reason_of(&cert, "max", 3),
+        "max/3 clause 1: cut is not expressible in Datalog"
+    );
+    assert!(!cert.is_safe(PredId::new("max", 3)));
+}
+
+#[test]
+fn if_then_else_is_rejected() {
+    let cert = certify_src(
+        "score(a, 60).\n\
+         grade(X, pass) :- score(X, S), (S >= 50 -> true ; fail).\n",
+    );
+    assert_eq!(
+        reason_of(&cert, "grade", 2),
+        "grade/2 clause 1: if-then-else is not expressible in Datalog"
+    );
+    // The facts stay certified even though the rule head is rejected.
+    assert_eq!(cert.classes[&PredId::new("score", 2)], PredClass::Edb);
+}
+
+#[test]
+fn count_recursion_is_rejected_as_unbounded_value_recursion() {
+    let cert = certify_src(
+        "count(0, X, X).\n\
+         count(N, A, R) :- N > 0, N1 is N - 1, A1 is A + 1, count(N1, A1, R).\n",
+    );
+    assert_eq!(
+        reason_of(&cert, "count", 3),
+        "count/3 clause 2: arithmetic in a recursive clique (unbounded value recursion)"
+    );
+}
+
+#[test]
+fn side_effecting_builtins_and_their_callers_are_rejected() {
+    let cert = certify_src(
+        "event(boot).\n\
+         log(X) :- write(X), nl.\n\
+         audit_log(X) :- event(X), log(X).\n",
+    );
+    assert_eq!(
+        reason_of(&cert, "log", 1),
+        "log/1 clause 1: unsupported built-in write/1"
+    );
+    // The caller reaches a side effect, so fixity rejects it wholesale.
+    assert_eq!(
+        reason_of(&cert, "audit_log", 1),
+        "audit_log/1: side-effecting predicate"
+    );
+    assert_eq!(cert.classes[&PredId::new("event", 1)], PredClass::Edb);
+}
+
+#[test]
+fn depending_on_a_rejected_predicate_cascades() {
+    let cert = certify_src(
+        "count(0, X, X).\n\
+         count(N, A, R) :- N > 0, N1 is N - 1, A1 is A + 1, count(N1, A1, R).\n\
+         uses_count(A, R) :- count(3, A, R).\n",
+    );
+    assert_eq!(
+        reason_of(&cert, "uses_count", 2),
+        "uses_count/2 clause 1: depends on rejected predicate count/3"
+    );
+}
+
+#[test]
+fn unstratified_negation_is_rejected() {
+    let cert = certify_src(
+        "person(a).\n\
+         p(X) :- person(X), \\+ q(X).\n\
+         q(X) :- person(X), \\+ p(X).\n",
+    );
+    assert_eq!(
+        reason_of(&cert, "p", 1),
+        "p/1: negation through a recursive clique (not stratifiable)"
+    );
+    assert_eq!(
+        reason_of(&cert, "q", 1),
+        "q/1: negation through a recursive clique (not stratifiable)"
+    );
+}
+
+#[test]
+fn stratified_negation_is_accepted() {
+    let cert = certify_src(
+        "person(a). person(b). person(c).\n\
+         married(a).\n\
+         bachelor(X) :- person(X), \\+ married(X).\n",
+    );
+    assert!(cert.fully_safe(), "rejections: {:?}", cert.rejections);
+    assert_eq!(cert.classes[&PredId::new("bachelor", 1)], PredClass::Idb);
+    let rid = cert.program.rel(PredId::new("bachelor", 1)).unwrap();
+    assert_eq!(cert.program.rels[rid].stratum, 1);
+}
+
+#[test]
+fn structure_recursion_is_rejected_as_a_function_symbol() {
+    let cert = certify_src(
+        "sum_list([], 0).\n\
+         sum_list([X|Xs], T) :- sum_list(Xs, T0), T is T0 + X.\n",
+    );
+    assert_eq!(
+        reason_of(&cert, "sum_list", 2),
+        "sum_list/2 clause 2: non-ground compound argument (function symbol)"
+    );
+}
+
+#[test]
+fn range_restriction_violations_name_the_head_variable() {
+    let cert = certify_src(
+        "q(a).\n\
+         broken(X, Y) :- q(X).\n",
+    );
+    assert_eq!(
+        reason_of(&cert, "broken", 2),
+        "broken/2 clause 1: head variable Y is not range-restricted"
+    );
+}
+
+#[test]
+fn unbindable_tests_are_rejected() {
+    let cert = certify_src(
+        "q(a).\n\
+         weird(X) :- q(X), Y > 3.\n",
+    );
+    assert_eq!(
+        reason_of(&cert, "weird", 1),
+        "weird/1 clause 1: test or negation with variables no generator can bind"
+    );
+}
+
+#[test]
+fn complex_negation_is_rejected() {
+    let cert = certify_src(
+        "a(x). b(x). q(x).\n\
+         noneg(X) :- q(X), \\+ (a(X), b(X)).\n",
+    );
+    assert_eq!(
+        reason_of(&cert, "noneg", 1),
+        "noneg/1 clause 1: negation of a non-atomic goal"
+    );
+}
+
+#[test]
+fn disjunction_expands_into_conjunctive_rules() {
+    let cert = certify_src(
+        "l(a). r(b).\n\
+         either(X) :- l(X) ; r(X).\n",
+    );
+    assert!(cert.fully_safe(), "rejections: {:?}", cert.rejections);
+    assert_eq!(cert.classes[&PredId::new("either", 1)], PredClass::Idb);
+    let rules = cert
+        .program
+        .rules
+        .iter()
+        .filter(|r| r.head == PredId::new("either", 1))
+        .count();
+    assert_eq!(rules, 2, "one rule per disjunct");
+}
+
+#[test]
+fn family_sample_certifies_completely() {
+    let (program, _) = family_program(&FamilyConfig::default());
+    let cert = certify(&program);
+    assert!(cert.fully_safe(), "rejections: {:?}", cert.rejections);
+    // Negation-based and comparison-based filters become test predicates.
+    assert_eq!(cert.classes[&PredId::new("male", 1)], PredClass::Test);
+    assert_eq!(cert.classes[&PredId::new("unequal", 2)], PredClass::Test);
+    assert_eq!(cert.classes[&PredId::new("female", 1)], PredClass::Idb);
+    assert_eq!(cert.classes[&PredId::new("mother", 2)], PredClass::Edb);
+    assert_eq!(cert.classes[&PredId::new("cousins", 2)], PredClass::Idb);
+}
+
+#[test]
+fn corporate_sample_rejects_exactly_the_aggregation_cluster() {
+    let (program, _) = corporate_program(&CorporateConfig::default());
+    let cert = certify(&program);
+    let rejected = cert.rejected_preds();
+    assert_eq!(
+        rejected,
+        vec![PredId::new("average_pay", 2), PredId::new("sum_list", 2)],
+        "rejections: {:?}",
+        cert.rejections
+    );
+    assert_eq!(
+        reason_of(&cert, "average_pay", 2),
+        "average_pay/2 clause 1: unsupported built-in findall/3"
+    );
+    // Everything the benchmarks query stays certified.
+    for (name, arity) in [
+        ("benefits", 2),
+        ("pay", 3),
+        ("maternity", 2),
+        ("tax", 2),
+        ("dept_salary", 2),
+    ] {
+        assert_eq!(
+            cert.classes.get(&PredId::new(name, arity)),
+            Some(&PredClass::Idb),
+            "{name}/{arity}"
+        );
+    }
+    assert_eq!(cert.classes[&PredId::new("salary", 2)], PredClass::Edb);
+}

@@ -1,0 +1,418 @@
+//! Cross-backend oracle: top-down SLD vs bottom-up semi-naive Datalog.
+//!
+//! Where [`crate::oracle`] compares a program against its reordered self
+//! on one engine, this module compares two *evaluation strategies* on one
+//! program: every query over the Datalog-safe fragment must produce the
+//! same solution set whether proved top-down by the SLD engine or read
+//! off the bottom-up fixpoint.
+//!
+//! Two semantic gaps are handled explicitly:
+//!
+//! * **Multiplicity.** SLD enumerates a solution once per proof; bottom-up
+//!   materialisation is set-semantics. The comparison deduplicates the
+//!   SLD multiset when [`BackendConfig::dedup`] is set (the default for
+//!   cross-backend runs). With `dedup` off the comparison is the raw
+//!   multiset — useful only to demonstrate that the gap is real.
+//! * **Floundering negation.** The SLD engine runs bodies as written, so
+//!   `\+ p(X)` before `X`'s generator quantifies over the wrong thing;
+//!   the certifier would happily reorder the generator first. Clauses
+//!   whose written order can reach a negation with an unbound variable —
+//!   and every predicate depending on them — are excluded from
+//!   comparison rather than compared under different semantics.
+
+use crate::generate::{Query, TestCase};
+use crate::oracle::multiset_minus;
+use prolog_datalog::{certify, evaluate, Evaluation, OrderStrategy};
+use prolog_engine::{Engine, MachineConfig};
+use prolog_syntax::{Body, Clause, PredId, SourceProgram, Term};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Cross-backend comparison tuning.
+#[derive(Debug, Clone)]
+pub struct BackendConfig {
+    /// Call budget for the SLD run; queries that exceed it are skipped.
+    pub max_calls: u64,
+    /// Activation-depth guard for the SLD run.
+    pub max_depth: usize,
+    /// Solution cap; queries that truncate are skipped.
+    pub max_solutions: usize,
+    /// Deduplicate the SLD solution multiset before comparing (bottom-up
+    /// evaluation is set-semantics). Off, the raw multiset is compared.
+    pub dedup: bool,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        BackendConfig {
+            max_calls: 200_000,
+            max_depth: 10_000,
+            max_solutions: 2_000,
+            dedup: true,
+        }
+    }
+}
+
+/// One way the backends can disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendDiscrepancy {
+    /// Two body-ordering strategies reached different fixpoints — a bug in
+    /// the evaluator or the planner, never a legitimate outcome.
+    StrategyDivergence { a: String, b: String },
+    /// Bottom-up and SLD solution sets differ on a query.
+    SolutionMismatch {
+        query: String,
+        /// In the SLD answer but not the fixpoint.
+        missing: Vec<String>,
+        /// In the fixpoint but not the SLD answer.
+        extra: Vec<String>,
+    },
+}
+
+impl fmt::Display for BackendDiscrepancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendDiscrepancy::StrategyDivergence { a, b } => {
+                write!(f, "fixpoints differ between {a} and {b} body orders")
+            }
+            BackendDiscrepancy::SolutionMismatch {
+                query,
+                missing,
+                extra,
+            } => {
+                write!(
+                    f,
+                    "backend mismatch on `{query}`: {} missing bottom-up, {} extra",
+                    missing.len(),
+                    extra.len()
+                )?;
+                for m in missing.iter().take(3) {
+                    write!(f, "\n  missing: {m}")?;
+                }
+                for e in extra.iter().take(3) {
+                    write!(f, "\n  extra:   {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// What one cross-backend case produced.
+#[derive(Debug, Clone)]
+pub struct BackendOutcome {
+    pub discrepancy: Option<BackendDiscrepancy>,
+    /// Queries compared end to end.
+    pub compared: usize,
+    /// Queries skipped: outside the certified fragment, excluded for
+    /// floundering risk, or the SLD side errored/truncated.
+    pub skipped: usize,
+    /// Predicates the certifier accepted / rejected.
+    pub certified_preds: usize,
+    pub rejected_preds: usize,
+}
+
+/// Runs one generated case across both backends.
+pub fn run_cross_backend(case: &TestCase, config: &BackendConfig) -> BackendOutcome {
+    let cert = certify(&case.program);
+    let rejected_preds = cert.rejected_preds().len();
+    let certified_preds = cert.classes.len();
+
+    // The fixpoint must not depend on how rule bodies were ordered.
+    let reference = evaluate(&cert, OrderStrategy::BoundFirst);
+    let refined = evaluate(&cert, OrderStrategy::ChainCost);
+    let mut outcome = BackendOutcome {
+        discrepancy: None,
+        compared: 0,
+        skipped: 0,
+        certified_preds,
+        rejected_preds,
+    };
+    if reference.idb_fingerprint() != refined.idb_fingerprint() {
+        outcome.discrepancy = Some(BackendDiscrepancy::StrategyDivergence {
+            a: OrderStrategy::BoundFirst.label().to_string(),
+            b: OrderStrategy::ChainCost.label().to_string(),
+        });
+        return outcome;
+    }
+
+    let excluded = flounder_risk_preds(&case.program);
+    let machine_config = MachineConfig {
+        max_calls: config.max_calls,
+        max_depth: config.max_depth,
+        unknown_fails: true,
+        ..Default::default()
+    };
+    let mut engine = Engine::with_config(machine_config);
+    engine.load(&case.program);
+
+    for query in &case.queries {
+        match compare_query(query, &refined, &mut engine, &excluded, config) {
+            Verdict::Agree => outcome.compared += 1,
+            Verdict::Skipped => outcome.skipped += 1,
+            Verdict::Diverged(d) => {
+                outcome.discrepancy = Some(d);
+                return outcome;
+            }
+        }
+    }
+    outcome
+}
+
+enum Verdict {
+    Agree,
+    Skipped,
+    Diverged(BackendDiscrepancy),
+}
+
+fn compare_query(
+    query: &Query,
+    eval: &Evaluation,
+    engine: &mut Engine,
+    excluded: &HashSet<PredId>,
+    config: &BackendConfig,
+) -> Verdict {
+    let Some(pred) = query.goal.pred_id() else {
+        return Verdict::Skipped;
+    };
+    if excluded.contains(&pred) {
+        return Verdict::Skipped;
+    }
+    // Outside the materialised fragment (rejected pred, or a test
+    // predicate probed with unbound variables): nothing to compare.
+    let Some(bottom_up) = eval.query(&query.goal, &query.var_names) else {
+        return Verdict::Skipped;
+    };
+
+    engine.config.max_calls = config.max_calls;
+    let sld = match engine.query_term(&query.goal, &query.var_names, config.max_solutions) {
+        Ok(out) if out.truncated => return Verdict::Skipped,
+        Ok(out) => out,
+        // Illegal instantiation mode or over budget: out of scope.
+        Err(_) => return Verdict::Skipped,
+    };
+    let mut sld_set = sld.solution_set();
+    if config.dedup {
+        sld_set.dedup();
+    }
+    if bottom_up != sld_set {
+        return Verdict::Diverged(BackendDiscrepancy::SolutionMismatch {
+            query: query.to_string(),
+            missing: multiset_minus(&sld_set, &bottom_up),
+            extra: multiset_minus(&bottom_up, &sld_set),
+        });
+    }
+    Verdict::Agree
+}
+
+/// Predicates whose SLD execution can reach a negation with an unbound
+/// variable (so negation-as-failure and stratified semantics may
+/// disagree), plus everything that depends on them.
+fn flounder_risk_preds(program: &SourceProgram) -> HashSet<PredId> {
+    let defined: HashSet<PredId> = program.predicates().into_iter().collect();
+    let mut risky: HashSet<PredId> = program
+        .clauses
+        .iter()
+        .filter(|c| clause_can_flounder(c, &defined))
+        .map(|c| c.pred_id())
+        .collect();
+
+    // Transitive closure over the call graph (through any control
+    // construct): a caller of a risky predicate is risky.
+    loop {
+        let mut grew = false;
+        for clause in &program.clauses {
+            let head = clause.pred_id();
+            if risky.contains(&head) {
+                continue;
+            }
+            let mut called = Vec::new();
+            collect_called(&clause.body, &mut called);
+            if called.iter().any(|p| risky.contains(p)) {
+                risky.insert(head);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    risky
+}
+
+/// Walks the written conjunct order tracking which variables are surely
+/// bound; a negation mentioning an unbound variable is a flounder risk.
+/// Only user-predicate calls and `is/2` results count as binding — the
+/// same conservative rule the generator itself uses.
+fn clause_can_flounder(clause: &Clause, defined: &HashSet<PredId>) -> bool {
+    let mut bound: HashSet<usize> = HashSet::new();
+    for goal in clause.body.conjuncts() {
+        match goal {
+            Body::Call(term) => {
+                let binds = match (term.pred_id(), term) {
+                    (Some(p), Term::Struct(name, args)) => {
+                        if defined.contains(&p) {
+                            true
+                        } else if name.as_str() == "is" && args.len() == 2 {
+                            bound.extend(args[0].variables());
+                            false
+                        } else {
+                            false
+                        }
+                    }
+                    _ => false,
+                };
+                if binds {
+                    bound.extend(term.variables());
+                }
+            }
+            Body::Not(inner) if inner.variables().iter().any(|v| !bound.contains(v)) => {
+                return true;
+            }
+            // Branches bind only on some paths: check each for floundering
+            // with the bindings so far, and bind nothing afterwards.
+            Body::Or(a, b)
+                if (branch_can_flounder(a, &bound) || branch_can_flounder(b, &bound)) =>
+            {
+                return true;
+            }
+            Body::IfThenElse(c, t, e)
+                if (branch_can_flounder(c, &bound)
+                    || branch_can_flounder(t, &bound)
+                    || branch_can_flounder(e, &bound)) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn branch_can_flounder(body: &Body, bound: &HashSet<usize>) -> bool {
+    match body {
+        Body::Not(inner) => inner.variables().iter().any(|v| !bound.contains(v)),
+        Body::And(a, b) | Body::Or(a, b) => {
+            branch_can_flounder(a, bound) || branch_can_flounder(b, bound)
+        }
+        Body::IfThenElse(c, t, e) => {
+            branch_can_flounder(c, bound)
+                || branch_can_flounder(t, bound)
+                || branch_can_flounder(e, bound)
+        }
+        _ => false,
+    }
+}
+
+/// Every predicate called anywhere in a body, through all constructs.
+fn collect_called(body: &Body, out: &mut Vec<PredId>) {
+    match body {
+        Body::Call(term) => {
+            if let Some(p) = term.pred_id() {
+                out.push(p);
+            }
+        }
+        Body::And(a, b) | Body::Or(a, b) => {
+            collect_called(a, out);
+            collect_called(b, out);
+        }
+        Body::IfThenElse(c, t, e) => {
+            collect_called(c, out);
+            collect_called(t, out);
+            collect_called(e, out);
+        }
+        Body::Not(inner) => collect_called(inner, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_case, GenConfig};
+    use prolog_syntax::parse_program;
+
+    fn case_from(src: &str, queries: &[&str]) -> TestCase {
+        let program = parse_program(src).expect("parses");
+        let queries = queries
+            .iter()
+            .map(|q| {
+                let (goal, var_names) = prolog_syntax::parse_term(q).expect("query parses");
+                Query { goal, var_names }
+            })
+            .collect();
+        TestCase {
+            seed: 0,
+            program,
+            queries,
+            features: Default::default(),
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_first_generated_seeds() {
+        let gen_config = GenConfig::default();
+        let config = BackendConfig::default();
+        let mut compared_total = 0;
+        for seed in 0..25 {
+            let case = generate_case(seed, &gen_config);
+            let out = run_cross_backend(&case, &config);
+            assert!(
+                out.discrepancy.is_none(),
+                "seed {seed}: {}\nprogram:\n{}",
+                out.discrepancy.unwrap(),
+                prolog_syntax::pretty::program_to_string(&case.program)
+            );
+            compared_total += out.compared;
+        }
+        assert!(
+            compared_total > 0,
+            "25 seeds and no query landed in the safe fragment"
+        );
+    }
+
+    #[test]
+    fn dedup_mode_absorbs_duplicate_sld_derivations() {
+        // overlap(a) has two SLD proofs but one bottom-up tuple: the raw
+        // multiset comparison must flag it, the dedup-aware one must not.
+        let case = case_from(
+            "p(a). q(a).\n\
+             overlap(X) :- p(X).\n\
+             overlap(X) :- q(X).\n",
+            &["overlap(X)"],
+        );
+        let strict = run_cross_backend(
+            &case,
+            &BackendConfig {
+                dedup: false,
+                ..Default::default()
+            },
+        );
+        match strict.discrepancy {
+            Some(BackendDiscrepancy::SolutionMismatch { ref missing, .. }) => {
+                assert_eq!(missing, &vec!["X = a".to_string()]);
+            }
+            other => panic!("expected a multiset mismatch, got {other:?}"),
+        }
+
+        let lenient = run_cross_backend(&case, &BackendConfig::default());
+        assert!(lenient.discrepancy.is_none());
+        assert_eq!(lenient.compared, 1);
+    }
+
+    #[test]
+    fn floundering_negation_is_excluded_not_compared() {
+        // SLD runs `\+ p(X)` with X unbound (fails: p(a) exists); the
+        // stratified reading binds X from q first (succeeds for b).
+        // Comparing them would report a false mismatch.
+        let case = case_from(
+            "p(a). q(a). q(b).\n\
+             odd(X) :- \\+ p(X), q(X).\n",
+            &["odd(X)"],
+        );
+        let out = run_cross_backend(&case, &BackendConfig::default());
+        assert!(out.discrepancy.is_none());
+        assert_eq!(out.compared, 0);
+        assert_eq!(out.skipped, 1);
+    }
+}

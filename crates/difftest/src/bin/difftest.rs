@@ -12,7 +12,8 @@
 //! how CI checks that an injected bug (`--inject-bug`) is caught.
 
 use prolog_difftest::{
-    generate_case, run_case, shrink_case, CaseOutcome, GenConfig, InjectedBug, OracleConfig,
+    generate_case, run_case, run_cross_backend, shrink_case, BackendConfig, CaseOutcome, GenConfig,
+    InjectedBug, OracleConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,8 +28,12 @@ struct Options {
     expect_discrepancies: bool,
     shrink_budget: usize,
     quiet: bool,
+    /// Compare the SLD engine against the bottom-up Datalog backend
+    /// instead of running the reordering-equivalence oracle.
+    cross_backend: bool,
     gen_config: GenConfig,
     oracle_config: OracleConfig,
+    backend_config: BackendConfig,
 }
 
 impl Default for Options {
@@ -42,8 +47,10 @@ impl Default for Options {
             expect_discrepancies: false,
             shrink_budget: 600,
             quiet: false,
+            cross_backend: false,
             gen_config: GenConfig::default(),
             oracle_config: OracleConfig::default(),
+            backend_config: BackendConfig::default(),
         }
     }
 }
@@ -62,6 +69,11 @@ usage: difftest [options]
   --inject-bug KIND      corrupt the reordered program: swap-goals |
                          drop-clause | swap-clauses (disables corpus writes)
   --expect-discrepancies invert the exit status (harness self-check)
+  --cross-backend        compare the SLD engine against the bottom-up
+                         Datalog backend on each case's safe fragment
+  --no-dedup             cross-backend: compare the raw SLD solution
+                         multiset (bottom-up is set-semantics, so
+                         duplicate SLD derivations become mismatches)
   --no-jobs-check        skip the jobs 1/2/8 emission-determinism check
   --shrink-budget N      max oracle runs spent shrinking one failure (default 600)
   --quiet                only print failures and the final summary
@@ -107,6 +119,8 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or_else(|| format!("--inject-bug: unknown kind `{raw}`"))?;
             }
             "--expect-discrepancies" => opts.expect_discrepancies = true,
+            "--cross-backend" => opts.cross_backend = true,
+            "--no-dedup" => opts.backend_config.dedup = false,
             "--no-jobs-check" => opts.oracle_config.check_jobs = false,
             "--shrink-budget" => {
                 opts.shrink_budget =
@@ -121,6 +135,9 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     opts.oracle_config.inject = opts.inject;
+    opts.backend_config.max_calls = opts.oracle_config.max_calls;
+    opts.backend_config.max_depth = opts.oracle_config.max_depth;
+    opts.backend_config.max_solutions = opts.oracle_config.max_solutions;
     Ok(opts)
 }
 
@@ -158,6 +175,59 @@ impl Coverage {
     }
 }
 
+/// `--cross-backend`: run every case's safe fragment on both backends.
+fn run_backend_mode(opts: &Options, seeds: &[u64]) -> ExitCode {
+    let mut discrepancies = 0u64;
+    let mut compared = 0usize;
+    let mut skipped = 0usize;
+    let mut certified = 0usize;
+    let mut rejected = 0usize;
+    for (i, &case_seed) in seeds.iter().enumerate() {
+        let case = generate_case(case_seed, &opts.gen_config);
+        let outcome = run_cross_backend(&case, &opts.backend_config);
+        compared += outcome.compared;
+        skipped += outcome.skipped;
+        certified += outcome.certified_preds;
+        rejected += outcome.rejected_preds;
+        if let Some(discrepancy) = outcome.discrepancy {
+            discrepancies += 1;
+            println!("\ncase {i} FAILED (generator seed {case_seed}):");
+            println!("  {discrepancy}");
+            println!("--- program ---");
+            print!(
+                "{}",
+                prolog_syntax::pretty::program_to_string(&case.program)
+            );
+            println!("--- replay with: difftest --cross-backend --case-seed {case_seed} ---");
+        }
+    }
+    println!(
+        "\ndifftest --cross-backend: {} case(s), {} quer{} compared, {} skipped, \
+         {} predicate(s) certified, {} rejected, {} discrepanc{}",
+        seeds.len(),
+        compared,
+        if compared == 1 { "y" } else { "ies" },
+        skipped,
+        certified,
+        rejected,
+        discrepancies,
+        if discrepancies == 1 { "y" } else { "ies" }
+    );
+    let failed = if opts.expect_discrepancies {
+        if discrepancies == 0 {
+            eprintln!("difftest: expected discrepancies, found none (harness self-check FAILED)");
+        }
+        discrepancies == 0
+    } else {
+        discrepancies > 0
+    };
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
@@ -182,6 +252,10 @@ fn main() -> ExitCode {
             opts.seed,
             opts.inject
         );
+    }
+
+    if opts.cross_backend {
+        return run_backend_mode(&opts, &seeds);
     }
 
     let mut coverage = Coverage::default();

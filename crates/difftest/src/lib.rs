@@ -22,14 +22,21 @@
 //!   as a small, seed-reproducible program.
 //! * [`corpus`] persists shrunk reproducers under `tests/corpus/` where a
 //!   replay test turns them into permanent regression fixtures.
+//! * [`backends`] cross-checks each generated program's Datalog-safe
+//!   fragment against the bottom-up semi-naive backend: the same
+//!   solution sets top-down and bottom-up (modulo multiplicity — bottom-up
+//!   is set-semantics), and the same fixpoint under every body-ordering
+//!   strategy.
 //!
 //! The `difftest` binary drives all four (see `src/bin/difftest.rs`).
 
+pub mod backends;
 pub mod corpus;
 pub mod generate;
 pub mod oracle;
 pub mod shrink;
 
+pub use backends::{run_cross_backend, BackendConfig, BackendDiscrepancy, BackendOutcome};
 pub use corpus::{load_case, render_case, save_case};
 pub use generate::{corpus_texts, generate_case, Features, GenConfig, Query, TestCase};
 pub use oracle::{run_case, CaseOutcome, Discrepancy, InjectedBug, OracleConfig};

@@ -382,7 +382,7 @@ fn compare_query(
 }
 
 /// Multiset difference `a − b` over sorted string vectors.
-fn multiset_minus(a: &[String], b: &[String]) -> Vec<String> {
+pub(crate) fn multiset_minus(a: &[String], b: &[String]) -> Vec<String> {
     let mut out = Vec::new();
     let (mut i, mut j) = (0, 0);
     while i < a.len() {

@@ -28,7 +28,10 @@ pub mod geography;
 pub mod kmbench;
 pub mod puzzles;
 pub mod queries;
+pub mod scaled;
 
+pub use corporate::{corporate_program, corporate_rules, CorporateConfig, CorporateFacts};
 pub use corpus::{corpus, corpus_program, CorpusProgram};
 pub use family::{family_program, family_rules, FamilyConfig, FamilyFacts};
 pub use queries::{mode_queries, QuerySpec};
+pub use scaled::{corporate_scaled, corporate_scaled_rules, family_scaled, ScaledWorkload};

@@ -1,0 +1,163 @@
+//! Fact-scaled workload families for the bottom-up backend.
+//!
+//! The paper's samples carry dozens of facts — enough to exercise an SLD
+//! engine, far too few for join-order effects to show up in a bottom-up
+//! evaluation. These generators keep the rule bases (so certification and
+//! cross-backend comparisons stay meaningful) and scale the extensional
+//! database to 10^5–10^6 facts, deterministically from the requested size.
+//!
+//! * [`family_scaled`] preserves the paper's Fig. 6 fact-shape ratios
+//!   (19 wife : 10 girl : 34 mother per 63 facts) so the tree stays
+//!   three-generational at any size; `family_scaled(63)` reproduces the
+//!   paper's exact counts.
+//! * [`corporate_scaled`] emits the 7-facts-per-employee directory and
+//!   adds two audit rules written broad-generator-first, where a
+//!   selective constant-bound probe (`position(E, manager)`,
+//!   `dept(E, engineering)`) should lead the join instead.
+
+use crate::corporate::{corporate_facts, corporate_rules, CorporateConfig};
+use crate::family::{family_facts, family_rules, FamilyConfig};
+use prolog_syntax::{parse_program, SourceProgram};
+
+/// A generated program plus the fact-count it was scaled to.
+#[derive(Debug, Clone)]
+pub struct ScaledWorkload {
+    /// Workload family ("family" or "corporate").
+    pub name: &'static str,
+    /// Requested scale.
+    pub requested_facts: usize,
+    /// Facts actually emitted (exact for family; rounded up to a whole
+    /// employee record for corporate).
+    pub fact_count: usize,
+    pub program: SourceProgram,
+}
+
+/// Rounds `n * num / 63` to nearest — 63 is the paper's total fact count,
+/// so the default ratios scale exactly.
+fn paper_ratio(n: usize, num: usize) -> usize {
+    (n * num + 31) / 63
+}
+
+/// A family tree scaled to exactly `n` facts (`wife/2` + `girl/1` +
+/// `mother/2`), deterministic in `n`. Requires `n >= 10` so every
+/// generation is populated.
+pub fn family_scaled(n: usize) -> ScaledWorkload {
+    assert!(n >= 10, "family_scaled needs at least 10 facts");
+    let couples = paper_ratio(n, 19).max(2);
+    let config = FamilyConfig {
+        // Distinct trees at distinct scales, stable for a given scale.
+        seed: 1988 ^ (n as u64),
+        couples,
+        founder_couples: (couples * 6 / 19).max(1),
+        girls: paper_ratio(n, 10).max(1),
+        boys: paper_ratio(n, 7).max(1),
+        mother_facts: 0, // set below: the remainder makes the total exact
+    };
+    let mother_facts = n - config.couples - config.girls;
+    let config = FamilyConfig {
+        mother_facts,
+        ..config
+    };
+    let facts = family_facts(&config);
+    let src = format!("{}\n{}", family_rules(), facts.source);
+    let program = parse_program(&src).expect("scaled family program parses");
+    ScaledWorkload {
+        name: "family",
+        requested_facts: n,
+        fact_count: config.couples + config.girls + config.mother_facts,
+        program,
+    }
+}
+
+/// The corporate rule base plus two audit rules whose bodies are written
+/// generator-first — the shape where bound-variables-first has no signal
+/// (no variable is bound before the first goal) and the chain-cost model
+/// can lead with the selective constant-bound probe instead.
+pub fn corporate_scaled_rules() -> String {
+    format!(
+        "{}\n\
+         audit(E, N) :- employee(E), name(E, N), position(E, manager), years(E, Y), Y >= 25.\n\
+         senior_staff(E, N) :- name(E, N), dept(E, engineering), years(E, Y), Y >= 20.\n",
+        corporate_rules()
+    )
+}
+
+/// A corporate directory scaled to at least `n` facts (7 per employee,
+/// rounded up to a whole record), deterministic in `n`.
+pub fn corporate_scaled(n: usize) -> ScaledWorkload {
+    assert!(
+        n >= 7,
+        "corporate_scaled needs at least one employee record"
+    );
+    let employees = n.div_ceil(7);
+    let config = CorporateConfig {
+        seed: 42 ^ (n as u64),
+        employees,
+    };
+    let facts = corporate_facts(&config);
+    let src = format!("{}\n{}", corporate_scaled_rules(), facts.source);
+    let program = parse_program(&src).expect("scaled corporate program parses");
+    ScaledWorkload {
+        name: "corporate",
+        requested_facts: n,
+        fact_count: employees * 7,
+        program,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::PredId;
+
+    #[test]
+    fn family_scale_63_reproduces_the_paper_counts() {
+        let w = family_scaled(63);
+        assert_eq!(w.fact_count, 63);
+        let count = |name: &str, arity: usize| w.program.clauses_of(PredId::new(name, arity)).len();
+        assert_eq!(count("wife", 2), 19);
+        assert_eq!(count("girl", 1), 10);
+        assert_eq!(count("mother", 2), 34);
+    }
+
+    #[test]
+    fn family_scaled_counts_are_exact_and_golden() {
+        let w = family_scaled(1000);
+        assert_eq!(w.fact_count, 1000);
+        let count = |name: &str, arity: usize| w.program.clauses_of(PredId::new(name, arity)).len();
+        // Golden shape at n=1000: 19/63, 10/63, and the remainder.
+        assert_eq!(count("wife", 2), 302);
+        assert_eq!(count("girl", 1), 159);
+        assert_eq!(count("mother", 2), 539);
+    }
+
+    #[test]
+    fn corporate_scaled_counts_are_golden() {
+        let w = corporate_scaled(700);
+        assert_eq!(w.fact_count, 700);
+        let count = |name: &str, arity: usize| w.program.clauses_of(PredId::new(name, arity)).len();
+        assert_eq!(count("employee", 1), 100);
+        assert_eq!(count("salary", 2), 100);
+        assert_eq!(count("position", 2), 100);
+        // The audit rules ride along with the scaled rule base.
+        assert_eq!(count("audit", 2), 1);
+        assert_eq!(count("senior_staff", 2), 1);
+    }
+
+    #[test]
+    fn scaled_generation_is_deterministic() {
+        let a = family_scaled(500);
+        let b = family_scaled(500);
+        assert_eq!(a.program.clauses.len(), b.program.clauses.len());
+        assert_eq!(
+            format!("{:?}", a.program.clauses.first()),
+            format!("{:?}", b.program.clauses.first())
+        );
+        let c = corporate_scaled(490);
+        let d = corporate_scaled(490);
+        assert_eq!(
+            format!("{:?}", c.program.clauses.last()),
+            format!("{:?}", d.program.clauses.last())
+        );
+    }
+}

@@ -141,6 +141,58 @@ fn timings_json_emits_the_shared_runstats_encoding() {
     assert_eq!(out.stdout, human.stdout);
 }
 
+#[test]
+fn datalog_backend_reorders_bodies_and_reports() {
+    const DATALOG: &str = "parent(a, b). parent(b, c). parent(a, d).\n\
+                           sibling(X, Y) :- parent(P, X), parent(P, Y), X \\== Y.\n\
+                           anc(X, Y) :- parent(X, Y).\n\
+                           anc(X, Y) :- anc(X, Z), parent(Z, Y).\n\
+                           max(X, Y, X) :- X >= Y, !.\n\
+                           max(_, Y, Y).\n";
+    let out = run_cli(&["-", "--backend", "datalog", "--datalog-report"], DATALOG);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = String::from_utf8_lossy(&out.stdout);
+    prolog_syntax::parse_program(&text).expect("datalog output parses");
+    // The safe fragment is emitted (possibly reordered); the rejected
+    // clause passes through unchanged.
+    assert!(text.contains("sibling(X, Y) :- "), "got: {text}");
+    assert!(text.contains("max(X, Y, X) :- X >= Y, !."), "got: {text}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("datalog safety: 3 predicate(s) certified, 1 rejected"),
+        "got: {stderr}"
+    );
+    assert!(
+        stderr.contains("max/3 clause 1: cut is not expressible in Datalog"),
+        "got: {stderr}"
+    );
+    assert!(
+        stderr.contains("evaluation (chain-cost ordering):"),
+        "got: {stderr}"
+    );
+    assert!(stderr.contains("facts derived:  6"), "got: {stderr}");
+}
+
+#[test]
+fn datalog_order_strategies_are_selectable_and_as_written_is_identity() {
+    const DATALOG: &str = "p(a). p(b). q(b).\n\
+                           r(X) :- p(X), q(X).\n";
+    let as_written = run_cli(&["-", "--datalog-order", "as-written"], DATALOG);
+    assert!(
+        as_written.status.success(),
+        "stderr: {:?}",
+        as_written.stderr
+    );
+    let text = String::from_utf8_lossy(&as_written.stdout);
+    assert!(text.contains("r(X) :- p(X), q(X)."), "got: {text}");
+    let bad = run_cli(&["-", "--datalog-order", "sideways"], DATALOG);
+    assert_eq!(bad.status.code(), Some(2));
+    let incompatible = run_cli(&["-", "--backend", "datalog", "--calibrate", "2"], DATALOG);
+    assert_eq!(incompatible.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&incompatible.stderr);
+    assert!(stderr.contains("cannot be combined"), "got: {stderr}");
+}
+
 /// The acceptance path for the tracing tentpole: a full run on the
 /// family workload with `--trace-out` writes Chrome trace-event JSON
 /// that parses, carries the golden envelope, pairs every B with an E,
