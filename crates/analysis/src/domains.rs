@@ -20,6 +20,11 @@ pub struct DomainEstimator {
     domains: HashMap<(PredId, usize), HashSet<String>>,
     /// pred → number of facts.
     fact_counts: HashMap<PredId, usize>,
+    /// Predicates with at least one clause of any kind (fact or rule).
+    /// Distinguishes "defined by rules, fact count unknowable" from
+    /// "no clauses at all, known empty" — a zero fact count alone
+    /// conflates the two.
+    defined: HashSet<PredId>,
     /// Distinct constants anywhere in the program (fallback domain).
     universe: HashSet<String>,
 }
@@ -29,6 +34,7 @@ impl DomainEstimator {
     pub fn build(program: &SourceProgram) -> DomainEstimator {
         let mut est = DomainEstimator::default();
         for clause in &program.clauses {
+            est.defined.insert(clause.pred_id());
             if !clause.is_fact() {
                 continue;
             }
@@ -51,6 +57,14 @@ impl DomainEstimator {
     /// Number of facts of `pred`.
     pub fn fact_count(&self, pred: PredId) -> usize {
         self.fact_counts.get(&pred).copied().unwrap_or(0)
+    }
+
+    /// `true` if the program has at least one clause (fact *or* rule)
+    /// for `pred`. An undefined predicate is known empty — every call
+    /// fails immediately — whereas a rule-defined predicate merely has
+    /// no facts to estimate from.
+    pub fn is_defined(&self, pred: PredId) -> bool {
+        self.defined.contains(&pred)
     }
 
     /// Domain size of one argument position; falls back to the program's
@@ -156,5 +170,16 @@ mod tests {
     fn rules_do_not_contribute_facts() {
         let e = estimator("p(a). p(X) :- q(X). q(b).");
         assert_eq!(e.fact_count(id("p", 1)), 1);
+    }
+
+    #[test]
+    fn definedness_separates_rules_from_absence() {
+        let e = estimator("p(X) :- q(X). q(b).");
+        assert!(e.is_defined(id("p", 1)), "rule-only predicate is defined");
+        assert!(e.is_defined(id("q", 1)));
+        assert!(!e.is_defined(id("missing", 1)), "no clauses at all");
+        // Both report zero facts — definedness is what tells them apart.
+        assert_eq!(e.fact_count(id("p", 1)), 0);
+        assert_eq!(e.fact_count(id("missing", 1)), 0);
     }
 }

@@ -112,6 +112,7 @@ fn main() {
         &CalibrationConfig {
             max_queries_per_mode: 16,
             max_calls_per_query: 500_000,
+            ..Default::default()
         },
     );
     let calibrated = Reorderer::new(&program, ReorderConfig::default())

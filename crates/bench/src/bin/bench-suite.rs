@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! usage: bench-suite [--quick | --full] [--out PATH] [--no-reordd]
+//!                    [--engine interp|compiled]
 //! ```
 //!
 //! Reproduces Tables II/III/IV, the ablation, and the closed-loop
@@ -10,12 +11,18 @@
 //! several `--jobs` settings with a byte-identity check, probes an
 //! in-process `reordd` for cold/cached latency and the
 //! queue-wait/service split, evaluates the fact-scaled workloads
-//! bottom-up under each body-ordering strategy, and writes everything as
-//! schema-versioned JSON (default `BENCH_PR8.json`). Compare two
-//! trajectories with
+//! bottom-up under each body-ordering strategy, runs the `engine`
+//! section (interp-vs-compiled call identity plus wall times), and
+//! writes everything as schema-versioned JSON (default
+//! `BENCH_PR9.json`). Compare two trajectories with
 //! `bench-diff`; CI runs `--quick` and diffs against the committed
 //! baseline. Depths only add rows — the counts of a row are identical at
 //! every depth, so a quick run diffs cleanly against a full baseline.
+//!
+//! `--engine compiled` runs every measurement on the compiled engine
+//! instead of the interpreter. Call counts are engine-independent (the
+//! `engine` section gates exactly that identity), so the trajectory's
+//! gated numbers come out the same — the suite just finishes sooner.
 
 use bench_harness::print_table;
 use bench_harness::suite::{encode_trajectory, git_rev, run_suite, Depth};
@@ -23,7 +30,7 @@ use bench_harness::suite::{encode_trajectory, git_rev, run_suite, Depth};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut depth = Depth::Default;
-    let mut out = "BENCH_PR8.json".to_string();
+    let mut out = "BENCH_PR9.json".to_string();
     let mut probe_reordd = true;
     let mut i = 0;
     while i < args.len() {
@@ -31,6 +38,19 @@ fn main() {
             "--quick" => depth = Depth::Quick,
             "--full" => depth = Depth::Full,
             "--no-reordd" => probe_reordd = false,
+            "--engine" => {
+                i += 1;
+                match args
+                    .get(i)
+                    .and_then(|s| prolog_engine::EngineKind::parse(s))
+                {
+                    Some(kind) => bench_harness::set_default_engine(kind),
+                    None => {
+                        eprintln!("error: --engine needs `interp` or `compiled`");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--out" => {
                 i += 1;
                 match args.get(i) {
@@ -44,12 +64,15 @@ fn main() {
             "-h" | "--help" => {
                 eprintln!(
                     "usage: bench-suite [--quick | --full] [--out PATH] [--no-reordd]\n\
+                     \x20                  [--engine interp|compiled]\n\
                      \n\
                      --quick      CI smoke subset (cheap modes only)\n\
                      --full       the paper's complete protocol (includes the\n\
                      \x20            3025-query (+,+) sweeps and measured-best search)\n\
-                     --out PATH   trajectory JSON path (default BENCH_PR8.json)\n\
-                     --no-reordd  skip the in-process reordd latency probe"
+                     --out PATH   trajectory JSON path (default BENCH_PR9.json)\n\
+                     --no-reordd  skip the in-process reordd latency probe\n\
+                     --engine E   engine for all measurements: interp (default)\n\
+                     \x20            or compiled (identical counts, lower wall time)"
                 );
                 return;
             }
@@ -99,6 +122,23 @@ fn main() {
             println!(
                 "{:<20} {:>10} {:>10} {:>7}  {}",
                 run.label, run.facts, run.facts_derived, run.strata, per_strategy
+            );
+        }
+    }
+    if !suite.engine.is_empty() {
+        println!("\n=== engine: interp vs compiled ===");
+        println!(
+            "{:<20} {:>12} {:>12} {:>8}  identical",
+            "workload", "interp_us", "compiled_us", "speedup"
+        );
+        for run in &suite.engine {
+            println!(
+                "{:<20} {:>12} {:>12} {:>8.2}  {}",
+                run.label,
+                run.interp_us,
+                run.compiled_us,
+                run.speedup,
+                if run.identical { "yes" } else { "NO" },
             );
         }
     }

@@ -9,10 +9,32 @@
 
 pub mod suite;
 
-use prolog_engine::{Counters, Engine, MachineConfig};
+use prolog_engine::{Counters, Engine, EngineKind, MachineConfig};
 use prolog_syntax::{PredId, SourceProgram, Term};
 use prolog_workloads::queries::{mode_queries, QuerySpec};
 use reorder::{ReorderConfig, ReorderResult, Reorderer};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide engine used by [`measure_queries`] (and therefore every
+/// table/section of the suite): `bench-suite --engine compiled` flips
+/// it. Call counts — the paper's metric — are engine-independent (the
+/// `engine` trajectory section gates exactly that), so the trajectory's
+/// gated numbers are identical either way; only wall time changes.
+static DEFAULT_ENGINE_COMPILED: AtomicBool = AtomicBool::new(false);
+
+/// Selects the engine all default-config measurements run on.
+pub fn set_default_engine(kind: EngineKind) {
+    DEFAULT_ENGINE_COMPILED.store(kind == EngineKind::Compiled, Ordering::Relaxed);
+}
+
+/// The engine [`measure_queries`] currently uses.
+pub fn default_engine() -> EngineKind {
+    if DEFAULT_ENGINE_COMPILED.load(Ordering::Relaxed) {
+        EngineKind::Compiled
+    } else {
+        EngineKind::Interp
+    }
+}
 
 /// Result of running a query set against one program.
 #[derive(Debug, Clone)]
@@ -42,7 +64,25 @@ impl Measurement {
 /// Runs `queries` (each a goal term) against a fresh engine loaded with
 /// `program`.
 pub fn measure_queries(program: &SourceProgram, queries: &[Term]) -> Measurement {
-    let mut engine = Engine::with_config(MachineConfig::default());
+    measure_queries_with(
+        program,
+        queries,
+        MachineConfig {
+            engine: default_engine(),
+            ..Default::default()
+        },
+    )
+}
+
+/// [`measure_queries`] with an explicit machine configuration — the
+/// `engine` trajectory section runs the same query set under the
+/// interpreter and the compiled engine and demands identical counters.
+pub fn measure_queries_with(
+    program: &SourceProgram,
+    queries: &[Term],
+    config: MachineConfig,
+) -> Measurement {
+    let mut engine = Engine::with_config(config);
     engine.load(program);
     let mut counters = Counters::default();
     let mut solutions = Vec::with_capacity(queries.len());

@@ -4,8 +4,9 @@
 //! ablation), times the pipeline at several `--jobs` settings, probes an
 //! in-process `reordd` for cold/cached latency, evaluates the
 //! fact-scaled workloads bottom-up under each body-ordering strategy,
-//! and serialises all of it into a schema-versioned trajectory JSON
-//! (`BENCH_PR8.json`). The
+//! compares the interpreter against the compiled engine on the same
+//! workloads (the `engine` section), and serialises all of it into a
+//! schema-versioned trajectory JSON (`BENCH_PR9.json`). The
 //! trajectory is the regression gate: `bench-diff` compares two of these
 //! files and fails on call-count regressions, so the committed baseline
 //! pins the reorderer's measured quality, not just its output bytes.
@@ -15,8 +16,12 @@
 //! *add* rows — a `--quick` CI run diffs cleanly against a committed
 //! full-depth baseline.
 
-use crate::{measure_queries, measured_best, parse_queries, reorder_default, set_equivalent, Row};
+use crate::{
+    default_engine, measure_queries, measure_queries_with, measured_best, parse_queries,
+    reorder_default, set_equivalent, Row,
+};
 use prolog_analysis::Mode;
+use prolog_engine::{EngineKind, MachineConfig};
 use prolog_syntax::{PredId, SourceProgram, Term};
 use prolog_trace::fields::write_str;
 use prolog_workloads::corporate::{corporate_program, CorporateConfig};
@@ -35,8 +40,10 @@ use std::time::{Duration, Instant};
 
 /// Version of the trajectory JSON layout. Bump when field names or the
 /// section structure change; `bench-diff` refuses to compare across
-/// versions. v2 added the `datalog` section and top-level object.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// versions. v2 added the `datalog` section and top-level object; v3
+/// added the `engine` section (interp-vs-compiled call identity) and
+/// top-level wall-time array.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Discriminator stored in the file so tooling can recognise it.
 pub const BENCH_KIND: &str = "reorder-bench-trajectory";
@@ -115,6 +122,22 @@ pub struct DatalogRun {
     pub equivalent: bool,
 }
 
+/// One workload's interp-vs-compiled wall-clock detail, behind the
+/// `engine` section's call-identity rows. Wall times belong to the
+/// machine, not the algorithm, so they live here — `bench-diff` never
+/// gates this array.
+pub struct EngineRun {
+    /// Workload label, shared with the section row.
+    pub label: String,
+    pub interp_us: u64,
+    pub compiled_us: u64,
+    /// `interp_us / compiled_us` — how much faster the compiled engine
+    /// ran the identical query set.
+    pub speedup: f64,
+    /// Counters *and* per-query solution sets identical across engines.
+    pub identical: bool,
+}
+
 /// Everything one `bench-suite` run measured.
 pub struct Suite {
     pub depth: Depth,
@@ -122,6 +145,8 @@ pub struct Suite {
     pub pipeline_timings: Vec<JobsTiming>,
     /// Bottom-up evaluation details behind the `datalog` section rows.
     pub datalog: Vec<DatalogRun>,
+    /// Wall-clock details behind the `engine` section rows.
+    pub engine: Vec<EngineRun>,
     pub reordd: Option<ReorddProbe>,
     pub wall_us: u64,
 }
@@ -460,6 +485,7 @@ pub fn ablation_rows(depth: Depth) -> Section {
             &reorder::CalibrationConfig {
                 max_queries_per_mode: 16,
                 max_calls_per_query: 500_000,
+                ..Default::default()
             },
         );
         push(
@@ -496,6 +522,10 @@ fn pretty_mode(mode_s: &str) -> String {
 pub fn calibration_rows(_depth: Depth) -> Section {
     let opts = CalibrationOptions {
         rounds: 3,
+        sample: reorder::CalibrationConfig {
+            engine: default_engine(),
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut rows = Vec::new();
@@ -624,6 +654,101 @@ pub fn datalog_rows(depth: Depth) -> (Section, Vec<DatalogRun>) {
     )
 }
 
+/// The cross-engine section: every workload of Tables II–IV runs the
+/// same query set on the interpreter and on the compiled engine.
+///
+/// The section rows are an *identity* gate, not a speedup table:
+/// `original` is the interpreter's user-call count, `reordered` the
+/// compiled engine's, so a healthy row has ratio exactly 1.0 and
+/// `equivalent` (counters **and** solution sets identical) true. CI
+/// pins this with `bench-diff --min-ratio engine:1.0` — a compiled
+/// engine that calls *more* than the interpreter drops below the floor,
+/// one that calls *less* breaks equivalence against the committed
+/// baseline, and `bench-suite` itself refuses to emit a trajectory with
+/// a non-equivalent row. Wall times (where the compiled engine is
+/// supposed to win) go to the [`EngineRun`] info array, which is never
+/// gated.
+pub fn engine_rows(depth: Depth) -> (Section, Vec<EngineRun>) {
+    let mut workloads: Vec<(&'static str, SourceProgram, Vec<Term>)> = Vec::new();
+    let (family, _) = family_program(&FamilyConfig::default());
+    workloads.push((
+        "family",
+        family,
+        parse_queries(&[
+            "aunt(X, Y)",
+            "brother(X, Y)",
+            "cousins(X, Y)",
+            "grandmother(X, Y)",
+        ]),
+    ));
+    let (corporate, _) = corporate_program(&CorporateConfig::default());
+    workloads.push((
+        "corporate",
+        corporate,
+        parse_queries(&[
+            "benefits(E, B)",
+            "pay(E, N, P)",
+            "maternity(E, N)",
+            "tax(E, T)",
+            "average_pay(D, A)",
+        ]),
+    ));
+    workloads.push(("p58", p58_program(), parse_queries(&["p58(X, Y)"])));
+    workloads.push(("meal", meal_program(), parse_queries(&["meal(A, M, D)"])));
+    workloads.push(("team", team_program(), parse_queries(&["team(L, M)"])));
+    if depth >= Depth::Default {
+        workloads.push((
+            "kmbench",
+            kmbench_program(&KmbenchConfig::default()),
+            parse_queries(&["run_all"]),
+        ));
+    }
+
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    for (label, program, queries) in &workloads {
+        // Wall time is the better of two one-shot runs (each builds a
+        // fresh engine, so compilation cost is paid inside both).
+        let measure = |kind: EngineKind| {
+            let config = MachineConfig {
+                engine: kind,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let measurement = measure_queries_with(program, queries, config);
+            let first = t0.elapsed();
+            let t1 = Instant::now();
+            let _ = measure_queries_with(program, queries, config);
+            (measurement, first.min(t1.elapsed()).as_micros() as u64)
+        };
+        let (interp, interp_us) = measure(EngineKind::Interp);
+        let (compiled, compiled_us) = measure(EngineKind::Compiled);
+        let identical =
+            interp.counters == compiled.counters && interp.solutions == compiled.solutions;
+        rows.push(Row {
+            label: label.to_string(),
+            original: interp.calls(),
+            reordered: compiled.calls(),
+            best: None,
+            equivalent: identical,
+        });
+        runs.push(EngineRun {
+            label: label.to_string(),
+            interp_us,
+            compiled_us,
+            speedup: interp_us as f64 / (compiled_us as f64).max(1.0),
+            identical,
+        });
+    }
+    (
+        Section {
+            name: "engine",
+            rows,
+        },
+        runs,
+    )
+}
+
 /// Times the source-to-source pipeline on the family workload at each
 /// `jobs` setting and checks the emitted bytes stay identical — the
 /// determinism contract the parallel driver promises.
@@ -734,6 +859,8 @@ pub fn run_suite(depth: Depth, probe_reordd: bool) -> Suite {
     sections.push(calibration_rows(depth));
     let (datalog_section, datalog) = datalog_rows(depth);
     sections.push(datalog_section);
+    let (engine_section, engine) = engine_rows(depth);
+    sections.push(engine_section);
     let jobs_list: &[usize] = match depth {
         Depth::Quick => &[1, 2],
         _ => &[1, 2, 8],
@@ -745,6 +872,7 @@ pub fn run_suite(depth: Depth, probe_reordd: bool) -> Suite {
         sections,
         pipeline_timings: pipeline,
         datalog,
+        engine,
         reordd,
         wall_us: started.elapsed().as_micros() as u64,
     }
@@ -840,6 +968,20 @@ pub fn encode_trajectory(suite: &Suite, git_rev: &str) -> String {
         let _ = write!(out, "],\"equivalent\":{}}}", run.equivalent);
     }
     out.push(']');
+    out.push_str(",\"engine\":[");
+    for (i, run) in suite.engine.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"label\":");
+        write_str(&mut out, &run.label);
+        let _ = write!(
+            out,
+            ",\"interp_us\":{},\"compiled_us\":{},\"speedup\":{:.4},\"identical\":{}}}",
+            run.interp_us, run.compiled_us, run.speedup, run.identical
+        );
+    }
+    out.push(']');
     if let Some(probe) = &suite.reordd {
         let _ = write!(
             out,
@@ -913,6 +1055,13 @@ mod tests {
                 }],
                 equivalent: true,
             }],
+            engine: vec![EngineRun {
+                label: "kmbench".into(),
+                interp_us: 80_000,
+                compiled_us: 40_000,
+                speedup: 2.0,
+                identical: true,
+            }],
             reordd: Some(ReorddProbe {
                 cold_us: 1000,
                 cached_us: 10,
@@ -950,6 +1099,20 @@ mod tests {
                 );
             }
             other => panic!("datalog must be an array, got {other:?}"),
+        }
+        match parsed.get("engine") {
+            Some(reordd::Json::Arr(runs)) => {
+                assert_eq!(runs.len(), 1);
+                assert_eq!(
+                    runs[0].get("compiled_us").and_then(reordd::Json::as_u64),
+                    Some(40_000)
+                );
+                assert_eq!(
+                    runs[0].get("identical").and_then(reordd::Json::as_bool),
+                    Some(true)
+                );
+            }
+            other => panic!("engine must be an array, got {other:?}"),
         }
         assert_eq!(
             parsed.get("wall_us").and_then(reordd::Json::as_u64),

@@ -1,5 +1,5 @@
 //! Golden schema tests: pin the two JSON surfaces downstream tooling
-//! consumes — the committed `BENCH_PR8.json` trajectory and the Chrome
+//! consumes — the committed `BENCH_PR9.json` trajectory and the Chrome
 //! trace-event export — so a schema change is a deliberate diff here
 //! (and a `schema_version` bump), never an accident.
 
@@ -31,6 +31,7 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
         "sections",
         "pipeline_timings",
         "datalog",
+        "engine",
     ];
     if expect_reordd {
         top.push("reordd");
@@ -52,6 +53,7 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
         "ablation",
         "calibration",
         "datalog",
+        "engine",
     ];
     assert_eq!(
         sections.len(),
@@ -149,6 +151,19 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
         assert_eq!(run.get("equivalent").and_then(Json::as_bool), Some(true));
     }
 
+    let engine = arr(doc.get("engine").expect("engine"));
+    assert!(!engine.is_empty(), "engine info is present at every depth");
+    for run in engine {
+        assert_eq!(
+            keys(run),
+            ["label", "interp_us", "compiled_us", "speedup", "identical"],
+            "engine run keys"
+        );
+        // The identity gate: both engines produced the same counters and
+        // solutions on every workload.
+        assert_eq!(run.get("identical").and_then(Json::as_bool), Some(true));
+    }
+
     if expect_reordd {
         assert_eq!(
             keys(doc.get("reordd").expect("reordd")),
@@ -171,9 +186,9 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
 /// bench-suite` whenever the encoder changes.
 #[test]
 fn committed_baseline_matches_golden_schema() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
     let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("committed BENCH_PR8.json must exist at the repo root: {e}"));
+        .unwrap_or_else(|e| panic!("committed BENCH_PR9.json must exist at the repo root: {e}"));
     let doc = Json::parse(&text).expect("committed baseline parses");
     check_trajectory_schema(&doc, true);
     assert_eq!(doc.get("depth").and_then(Json::as_str), Some("default"));
@@ -189,7 +204,7 @@ fn fresh_quick_run_matches_schema_and_baseline_counts() {
     let doc = Json::parse(&encoded).expect("fresh trajectory parses");
     check_trajectory_schema(&doc, false);
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
     let baseline = Json::parse(&std::fs::read_to_string(path).expect("baseline readable"))
         .expect("baseline parses");
     let mut shared = 0;

@@ -18,15 +18,26 @@ use std::collections::HashSet;
 /// Warren's number for one goal given the currently-bound variables:
 /// `tuples / Π |domain_i|` over instantiated argument positions.
 /// Ground argument positions count as instantiated; positions holding
-/// variables count only if the variable is in `bound`. Goals over unknown
-/// predicates get `f64::INFINITY` (no information ⇒ schedule last).
+/// variables count only if the variable is in `bound`.
+///
+/// A zero fact count covers two opposite situations and they must not
+/// share a number. A predicate with **no clauses at all** is known
+/// empty: the call fails immediately, the cheapest goal there is — it
+/// gets `0.0` and schedules first, pruning the conjunction before any
+/// generator runs. A predicate **defined only by rules** gives the
+/// fact-based estimator no information — it gets `f64::INFINITY` and
+/// schedules last (as do non-callable goals).
 pub fn warren_number(domains: &DomainEstimator, goal: &Term, bound: &HashSet<usize>) -> f64 {
     let Some(pred) = goal.pred_id() else {
         return f64::INFINITY;
     };
     let tuples = domains.fact_count(pred);
     if tuples == 0 {
-        return f64::INFINITY;
+        return if domains.is_defined(pred) {
+            f64::INFINITY // rule-defined: no information
+        } else {
+            0.0 // known empty: fails immediately, schedule first
+        };
     }
     let mut number = tuples as f64;
     for (i, arg) in goal.args().iter().enumerate() {
@@ -179,6 +190,57 @@ mod tests {
         // number falls from 8 to 1.
         let order = warren_order(&domains, &terms, &HashSet::new());
         assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_relations_schedule_first_not_last() {
+        // `absent/1` has no clauses: it is known empty, so Warren's
+        // greedy order must place it before the generator — the whole
+        // conjunction fails in one call instead of once per tuple.
+        // (Before the fix, tuples == 0 returned INFINITY, conflating
+        // "known empty" with "rule-defined, no information" and
+        // scheduling the guaranteed-failing goal dead last.)
+        let p = parse_program("gen(a1). gen(a2). gen(a3). gen(a4).").unwrap();
+        let domains = DomainEstimator::build(&p);
+        let (q, _) = parse_term("(gen(X), absent(X))").unwrap();
+        let terms: Vec<Term> = Body::from_term(&q)
+            .conjuncts()
+            .iter()
+            .map(|g| match g {
+                Body::Call(t) => t.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            warren_number(&domains, &terms[1], &HashSet::new()),
+            0.0,
+            "no clauses at all means known empty"
+        );
+        let order = warren_order(&domains, &terms, &HashSet::new());
+        assert_eq!(order, vec![1, 0], "the empty relation goes first");
+    }
+
+    #[test]
+    fn rule_defined_predicates_still_schedule_last() {
+        // `derived/1` has a rule but no facts: the estimator has no
+        // information, which is not the same as knowing it is empty.
+        let p = parse_program("gen(a1). gen(a2). derived(X) :- gen(X).").unwrap();
+        let domains = DomainEstimator::build(&p);
+        let (q, _) = parse_term("(derived(X), gen(X))").unwrap();
+        let terms: Vec<Term> = Body::from_term(&q)
+            .conjuncts()
+            .iter()
+            .map(|g| match g {
+                Body::Call(t) => t.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            warren_number(&domains, &terms[0], &HashSet::new()),
+            f64::INFINITY
+        );
+        let order = warren_order(&domains, &terms, &HashSet::new());
+        assert_eq!(order, vec![1, 0], "the fact-backed generator goes first");
     }
 
     #[test]

@@ -4,18 +4,16 @@
 //! file stays as a permanent regression fixture — this test is what
 //! keeps it honest. An empty (or absent) corpus passes trivially.
 
-use prolog_difftest::{load_case, run_case, OracleConfig};
+use prolog_difftest::{load_case, run_case, run_cross_engine, EngineCompareConfig, OracleConfig};
 use std::path::PathBuf;
 
 fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
 }
 
-#[test]
-fn every_corpus_case_passes_the_oracle() {
-    let dir = corpus_dir();
-    let Ok(entries) = std::fs::read_dir(&dir) else {
-        return; // no corpus yet
+fn corpus_paths() -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(corpus_dir()) else {
+        return Vec::new(); // no corpus yet
     };
     let mut paths: Vec<PathBuf> = entries
         .filter_map(|e| e.ok())
@@ -23,10 +21,15 @@ fn every_corpus_case_passes_the_oracle() {
         .filter(|p| p.extension().is_some_and(|ext| ext == "pl"))
         .collect();
     paths.sort();
+    paths
+}
+
+#[test]
+fn every_corpus_case_passes_the_oracle() {
     let config = OracleConfig::default();
     let mut failures = Vec::new();
-    for path in &paths {
-        let case = load_case(path).unwrap_or_else(|e| panic!("{e}"));
+    for path in corpus_paths() {
+        let case = load_case(&path).unwrap_or_else(|e| panic!("{e}"));
         let outcome = run_case(&case, &config);
         if let Some(discrepancy) = outcome.discrepancy {
             failures.push(format!("{}: {discrepancy}", path.display()));
@@ -35,6 +38,29 @@ fn every_corpus_case_passes_the_oracle() {
     assert!(
         failures.is_empty(),
         "{} corpus case(s) still fail the oracle:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// Corpus cases also replay across engines: whatever once broke the
+/// reorderer is exactly the kind of program the clause compiler must not
+/// trip over either, and `difftest --cross-engine` saves its own
+/// divergences here too.
+#[test]
+fn every_corpus_case_agrees_across_engines() {
+    let config = EngineCompareConfig::default();
+    let mut failures = Vec::new();
+    for path in corpus_paths() {
+        let case = load_case(&path).unwrap_or_else(|e| panic!("{e}"));
+        let outcome = run_cross_engine(&case, &config);
+        if let Some(discrepancy) = outcome.discrepancy {
+            failures.push(format!("{}: {discrepancy}", path.display()));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus case(s) diverge between engines:\n{}",
         failures.len(),
         failures.join("\n")
     );

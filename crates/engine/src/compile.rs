@@ -1,0 +1,724 @@
+//! WAM-lite clause compilation (ROADMAP item 1; Warren 1981, the paper's
+//! [25]).
+//!
+//! Each clause is lowered once, at first call, to a flat form the machine
+//! can execute without rebuilding terms:
+//!
+//! * **Head code** — one [`HeadOp`] per argument register, mirroring the
+//!   classic `get_constant` / `get_variable` / `get_value` /
+//!   `get_structure` instructions. Read mode walks the caller's term in
+//!   place; write mode materialises the head subterm from a pre-lowered
+//!   [`Template`] whose ground parts are shared `Arc`s, so nothing is
+//!   deep-cloned per call the way `offset_vars` was.
+//! * **Body code** — a flat [`Instr`] block per clause: `call` builds each
+//!   goal from a template on demand (built-ins thereby fall back to the
+//!   interpreter's dispatch per goal), with `cut` / `fail` and nested
+//!   blocks for disjunction, if-then-else, and negation preserving the
+//!   interpreter's exact continuation semantics.
+//! * **Dispatch** — a per-predicate [`PredCode`] with precomputed
+//!   `switch_on_term` / `switch_on_constant` buckets over interned
+//!   symbols, reproducing the database's first-argument index without a
+//!   per-call allocation.
+//!
+//! The compiled engine is **behaviour-identical** to the interpreter by
+//! construction: clause cells are allocated in the same order (store
+//! indices are observable through `==`/`@<`), bindings are made in the
+//! same direction and trail order, and every counter and profile event
+//! fires at the same point. `difftest --cross-engine` holds it to that.
+
+use crate::database::IndexKey;
+use crate::store::Store;
+use crate::unify::unify;
+use prolog_syntax::{Body, Clause, PredId, Symbol, Term};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A pre-lowered term builder: `build` reproduces exactly what
+/// `term.offset_vars(base)` would, but shares ground subterms (`Arc`
+/// bump) instead of rebuilding them.
+#[derive(Debug, Clone)]
+pub enum Template {
+    /// A clause variable: builds `Var(base + slot)`.
+    Slot(u32),
+    /// A variable-free term: builds a clone (O(1) on compounds).
+    Ground(Term),
+    /// A compound with at least one variable below it.
+    Struct(Symbol, Vec<Template>),
+}
+
+impl Template {
+    fn lower(t: &Term) -> Template {
+        if t.is_ground() {
+            return Template::Ground(t.clone());
+        }
+        match t {
+            Term::Var(v) => Template::Slot(*v as u32),
+            Term::Struct(f, args) => {
+                Template::Struct(*f, args.iter().map(Template::lower).collect())
+            }
+            // Atomics are ground and handled above.
+            _ => unreachable!("non-ground atomic term"),
+        }
+    }
+
+    /// Materialises the term with clause variables rebased onto the
+    /// activation's store cells.
+    pub fn build(&self, base: usize) -> Term {
+        match self {
+            Template::Slot(slot) => Term::Var(base + *slot as usize),
+            Template::Ground(t) => t.clone(),
+            Template::Struct(f, args) => {
+                Term::struct_(*f, args.iter().map(|a| a.build(base)).collect())
+            }
+        }
+    }
+}
+
+/// One head-unification instruction. The compiler emits exactly one per
+/// argument register; `get_structure` recurses into unify ops for read
+/// mode and carries a [`Template`] for write mode.
+#[derive(Debug, Clone)]
+pub enum HeadOp {
+    /// `get_constant c, Ai` — the argument must deref to `c` (or be an
+    /// unbound variable, which is bound to it). Atoms/ints/floats only.
+    Const(Term),
+    /// `get_variable Xn, Ai` — the *first* occurrence of clause variable
+    /// `n`: the cell is provably unbound, so this is a plain bind with
+    /// the same younger-to-older direction generic unification uses.
+    FirstVar(u32),
+    /// `get_value Xn, Ai` — a later occurrence: full unification against
+    /// the (possibly bound) cell.
+    BoundVar(u32),
+    /// `get_structure f/n, Ai` — read mode recurses into the sub-ops on
+    /// a matching caller structure; write mode (unbound argument) binds
+    /// it to the template-built head subterm.
+    Struct(Symbol, Vec<HeadOp>, Template),
+}
+
+/// One body instruction. A block's implicit end is `proceed`: control
+/// returns to the activation's continuation.
+#[derive(Debug, Clone)]
+pub enum Instr {
+    /// `put` the goal args from a template and call the predicate — user
+    /// code re-enters compiled dispatch, built-ins take the interpreter's
+    /// dispatch path per goal.
+    Call(Template),
+    /// `!` — converts the continuation's failure into a cut to the
+    /// activation level.
+    Cut,
+    /// `fail` — the rest of the block is dead.
+    Fail,
+    /// `(a ; b)` with the interpreter's mark/undo semantics.
+    Or(Box<[Instr]>, Box<[Instr]>),
+    /// `(c -> t ; e)` — the condition runs once at a fresh level.
+    IfThenElse(Box<[Instr]>, Box<[Instr]>, Box<[Instr]>),
+    /// `\+ g` — negation as failure, never exporting bindings.
+    Not(Box<[Instr]>),
+}
+
+/// A compiled clause: flat head ops + flat body code.
+#[derive(Debug, Clone)]
+pub struct CompiledClause {
+    /// The source clause (for disassembly headers and `num_vars`).
+    pub clause: Arc<Clause>,
+    /// Cells to allocate per activation.
+    pub num_vars: usize,
+    /// One op per argument register, in order.
+    pub head_ops: Box<[HeadOp]>,
+    /// The body block.
+    pub code: Box<[Instr]>,
+}
+
+/// A predicate's compiled code object: clauses plus first-argument
+/// dispatch tables. `candidates` returns slices, so dispatch never
+/// allocates.
+#[derive(Debug)]
+pub struct PredCode {
+    pub id: PredId,
+    pub clauses: Vec<CompiledClause>,
+    /// Every clause position, in program order (the unindexed path).
+    all: Vec<u32>,
+    /// `switch_on_constant`/`switch_on_structure`: for each first-argument
+    /// key seen in a clause head, the positions to try (key bucket merged
+    /// with variable-headed clauses, program order).
+    switch: HashMap<IndexKey, Vec<u32>>,
+    /// Positions whose head's first argument is a variable (or a float):
+    /// these match any key, including ones absent from `switch`.
+    var_clauses: Vec<u32>,
+}
+
+impl PredCode {
+    /// Compiles a predicate's clauses, building the dispatch tables to
+    /// reproduce [`crate::Database::matching_clauses`] exactly.
+    pub fn compile(id: PredId, clauses: &[Arc<Clause>]) -> PredCode {
+        let compiled: Vec<CompiledClause> = clauses.iter().map(compile_clause).collect();
+        let all: Vec<u32> = (0..clauses.len() as u32).collect();
+        let mut keyed: HashMap<IndexKey, Vec<u32>> = HashMap::new();
+        let mut var_clauses: Vec<u32> = Vec::new();
+        for (pos, clause) in clauses.iter().enumerate() {
+            match clause.head.args().first().and_then(IndexKey::of) {
+                Some(k) => keyed.entry(k).or_default().push(pos as u32),
+                None => var_clauses.push(pos as u32),
+            }
+        }
+        let switch = keyed
+            .into_iter()
+            .map(|(k, mut bucket)| {
+                bucket.extend_from_slice(&var_clauses);
+                bucket.sort_unstable();
+                (k, bucket)
+            })
+            .collect();
+        PredCode {
+            id,
+            clauses: compiled,
+            all,
+            switch,
+            var_clauses,
+        }
+    }
+
+    /// Clause positions to try for a call, in program order — the
+    /// zero-allocation mirror of `Database::matching_clauses`.
+    #[inline]
+    pub fn candidates(&self, key: Option<IndexKey>, indexing: bool) -> &[u32] {
+        if !indexing || self.id.arity == 0 {
+            return &self.all;
+        }
+        match key {
+            None => &self.all,
+            Some(k) => self
+                .switch
+                .get(&k)
+                .map(Vec::as_slice)
+                .unwrap_or(&self.var_clauses),
+        }
+    }
+
+    /// Checks the internal invariants the machine relies on: every slot
+    /// index is within the clause's cell count, every argument register
+    /// has exactly one head op, and every dispatch-table position names a
+    /// real clause. Used by the property-test suite.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.clauses.len() as u32;
+        for (pos, cc) in self.clauses.iter().enumerate() {
+            if cc.head_ops.len() != self.id.arity {
+                return Err(format!(
+                    "{}: clause {pos} has {} head ops for arity {}",
+                    self.id,
+                    cc.head_ops.len(),
+                    self.id.arity
+                ));
+            }
+            let check_slot = |slot: u32| -> Result<(), String> {
+                if (slot as usize) < cc.num_vars {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{}: clause {pos} references slot X{slot} beyond its {} cells",
+                        self.id, cc.num_vars
+                    ))
+                }
+            };
+            for op in cc.head_ops.iter() {
+                validate_head_op(op, &check_slot)?;
+            }
+            validate_block(&cc.code, &check_slot)?;
+        }
+        for positions in self
+            .switch
+            .values()
+            .chain(std::iter::once(&self.all))
+            .chain(std::iter::once(&self.var_clauses))
+        {
+            for &pos in positions {
+                if pos >= n {
+                    return Err(format!(
+                        "{}: dispatch table references clause {pos} of {n}",
+                        self.id
+                    ));
+                }
+            }
+            if positions.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("{}: dispatch bucket is not sorted", self.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn validate_head_op(
+    op: &HeadOp,
+    check_slot: &dyn Fn(u32) -> Result<(), String>,
+) -> Result<(), String> {
+    match op {
+        HeadOp::Const(_) => Ok(()),
+        HeadOp::FirstVar(slot) | HeadOp::BoundVar(slot) => check_slot(*slot),
+        HeadOp::Struct(_, sub, template) => {
+            for op in sub.iter() {
+                validate_head_op(op, check_slot)?;
+            }
+            validate_template(template, check_slot)
+        }
+    }
+}
+
+fn validate_template(
+    t: &Template,
+    check_slot: &dyn Fn(u32) -> Result<(), String>,
+) -> Result<(), String> {
+    match t {
+        Template::Slot(slot) => check_slot(*slot),
+        Template::Ground(_) => Ok(()),
+        Template::Struct(_, args) => args
+            .iter()
+            .try_for_each(|a| validate_template(a, check_slot)),
+    }
+}
+
+fn validate_block(
+    block: &[Instr],
+    check_slot: &dyn Fn(u32) -> Result<(), String>,
+) -> Result<(), String> {
+    for instr in block {
+        match instr {
+            Instr::Call(t) => validate_template(t, check_slot)?,
+            Instr::Cut | Instr::Fail => {}
+            Instr::Or(a, b) => {
+                validate_block(a, check_slot)?;
+                validate_block(b, check_slot)?;
+            }
+            Instr::IfThenElse(c, t, e) => {
+                validate_block(c, check_slot)?;
+                validate_block(t, check_slot)?;
+                validate_block(e, check_slot)?;
+            }
+            Instr::Not(g) => validate_block(g, check_slot)?,
+        }
+    }
+    Ok(())
+}
+
+fn compile_clause(clause: &Arc<Clause>) -> CompiledClause {
+    let mut seen = std::collections::HashSet::new();
+    let head_ops: Box<[HeadOp]> = clause
+        .head
+        .args()
+        .iter()
+        .map(|arg| lower_head_arg(arg, &mut seen))
+        .collect();
+    let mut code = Vec::new();
+    lower_body(&clause.body, &mut code);
+    CompiledClause {
+        num_vars: clause.num_vars(),
+        head_ops,
+        code: code.into_boxed_slice(),
+        clause: clause.clone(),
+    }
+}
+
+/// Lowers one head position, threading first-occurrence tracking in
+/// left-to-right depth-first order — the order both generic unification
+/// and the op runner visit positions, so "first occurrence" is exactly
+/// "cell still unbound".
+fn lower_head_arg(arg: &Term, seen: &mut std::collections::HashSet<usize>) -> HeadOp {
+    match arg {
+        Term::Var(v) => {
+            if seen.insert(*v) {
+                HeadOp::FirstVar(*v as u32)
+            } else {
+                HeadOp::BoundVar(*v as u32)
+            }
+        }
+        Term::Atom(_) | Term::Int(_) | Term::Float(_) => HeadOp::Const(arg.clone()),
+        Term::Struct(f, args) => {
+            let template = Template::lower(arg);
+            let sub = args.iter().map(|a| lower_head_arg(a, seen)).collect();
+            HeadOp::Struct(*f, sub, template)
+        }
+    }
+}
+
+fn lower_body(body: &Body, out: &mut Vec<Instr>) {
+    match body {
+        Body::True => {}
+        Body::Fail => out.push(Instr::Fail),
+        Body::Cut => out.push(Instr::Cut),
+        Body::Call(goal) => out.push(Instr::Call(Template::lower(goal))),
+        Body::And(a, b) => {
+            lower_body(a, out);
+            lower_body(b, out);
+        }
+        Body::Or(a, b) => out.push(Instr::Or(lower_block(a), lower_block(b))),
+        Body::IfThenElse(c, t, e) => out.push(Instr::IfThenElse(
+            lower_block(c),
+            lower_block(t),
+            lower_block(e),
+        )),
+        Body::Not(g) => out.push(Instr::Not(lower_block(g))),
+    }
+}
+
+fn lower_block(body: &Body) -> Box<[Instr]> {
+    let mut out = Vec::new();
+    lower_body(body, &mut out);
+    out.into_boxed_slice()
+}
+
+/// Runs the head code against the caller's argument registers. Binding
+/// direction, trail order, and failure points match generic unification
+/// exactly; the compiled path is only taken with the occurs check off
+/// (occurs-check configurations fall back to the interpreter wholesale).
+#[inline]
+pub(crate) fn match_head(store: &mut Store, args: &[Term], ops: &[HeadOp], base: usize) -> bool {
+    ops.iter()
+        .zip(args.iter())
+        .all(|(op, arg)| run_head_op(store, op, arg, base))
+}
+
+fn run_head_op(store: &mut Store, op: &HeadOp, arg: &Term, base: usize) -> bool {
+    match op {
+        HeadOp::Const(c) => match store.deref(arg) {
+            Term::Var(v) => {
+                store.bind(v, c.clone());
+                true
+            }
+            t => t == *c,
+        },
+        HeadOp::FirstVar(slot) => {
+            let cell = base + *slot as usize;
+            match store.deref(arg) {
+                // The cell is fresh and unbound; keep generic unify's
+                // younger-to-older direction (the caller's term can reach
+                // cells of this very activation through an earlier
+                // write-mode binding, so the direction is observable).
+                Term::Var(v) => {
+                    use std::cmp::Ordering::*;
+                    match v.cmp(&cell) {
+                        Greater => store.bind(v, Term::Var(cell)),
+                        Less => store.bind(cell, Term::Var(v)),
+                        Equal => {}
+                    }
+                    true
+                }
+                t => {
+                    store.bind(cell, t);
+                    true
+                }
+            }
+        }
+        HeadOp::BoundVar(slot) => unify(store, arg, &Term::Var(base + *slot as usize), false),
+        HeadOp::Struct(f, sub_ops, template) => match store.deref(arg) {
+            // Write mode: the caller passed an unbound variable — build
+            // the head subterm (≡ `offset_vars(base)` structurally) and
+            // bind, exactly as generic unify clones the head side.
+            Term::Var(v) => {
+                store.bind(v, template.build(base));
+                true
+            }
+            // Read mode: recurse pairwise, left to right, short-circuiting.
+            Term::Struct(g, gargs) => {
+                g == *f
+                    && gargs.len() == sub_ops.len()
+                    && sub_ops
+                        .iter()
+                        .zip(gargs.iter())
+                        .all(|(op, a)| run_head_op(store, op, a, base))
+            }
+            _ => false,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Disassembly: a stable, reviewable text form of the compiled code.
+// ---------------------------------------------------------------------
+
+/// Pretty-prints a predicate's compiled code. The format is pinned by
+/// golden snapshots under `tests/golden/` so codegen changes show up as
+/// reviewable diffs.
+pub fn disasm(code: &PredCode) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "predicate {} ({} clause{})",
+        code.id,
+        code.clauses.len(),
+        if code.clauses.len() == 1 { "" } else { "s" }
+    );
+    let _ = writeln!(out, "  switch_on_term:");
+    let _ = writeln!(out, "    var -> {}", render_positions(&code.all));
+    let mut buckets: Vec<(String, &Vec<u32>)> = code
+        .switch
+        .iter()
+        .map(|(k, v)| (render_key(k), v))
+        .collect();
+    buckets.sort();
+    if buckets.is_empty() {
+        let _ = writeln!(out, "    (no constant or structure buckets)");
+    }
+    for (key, positions) in buckets {
+        let _ = writeln!(out, "    {key} -> {}", render_positions(positions));
+    }
+    let _ = writeln!(out, "    other -> {}", render_positions(&code.var_clauses));
+    for (pos, cc) in code.clauses.iter().enumerate() {
+        let _ = writeln!(out, "  clause {pos} ({} slots):", cc.num_vars);
+        for (i, op) in cc.head_ops.iter().enumerate() {
+            render_head_op(&mut out, op, i, 4);
+        }
+        render_block(&mut out, &cc.code, 4);
+        let _ = writeln!(out, "    proceed");
+    }
+    out
+}
+
+fn render_positions(positions: &[u32]) -> String {
+    let items: Vec<String> = positions.iter().map(|p| p.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn render_key(key: &IndexKey) -> String {
+    match key {
+        IndexKey::Atom(a) => format!("atom {a}"),
+        IndexKey::Int(n) => format!("int {n}"),
+        IndexKey::Struct(f, n) => format!("struct {f}/{n}"),
+    }
+}
+
+fn render_head_op(out: &mut String, op: &HeadOp, reg: usize, indent: usize) {
+    let pad = " ".repeat(indent);
+    match op {
+        HeadOp::Const(c) => {
+            let _ = writeln!(out, "{pad}get_constant {}, A{reg}", render_const(c));
+        }
+        HeadOp::FirstVar(slot) => {
+            let _ = writeln!(out, "{pad}get_variable X{slot}, A{reg}");
+        }
+        HeadOp::BoundVar(slot) => {
+            let _ = writeln!(out, "{pad}get_value X{slot}, A{reg}");
+        }
+        HeadOp::Struct(f, sub, _) => {
+            let _ = writeln!(out, "{pad}get_structure {f}/{}, A{reg}", sub.len());
+            for op in sub.iter() {
+                render_unify_op(out, op, indent + 2);
+            }
+        }
+    }
+}
+
+fn render_unify_op(out: &mut String, op: &HeadOp, indent: usize) {
+    let pad = " ".repeat(indent);
+    match op {
+        HeadOp::Const(c) => {
+            let _ = writeln!(out, "{pad}unify_constant {}", render_const(c));
+        }
+        HeadOp::FirstVar(slot) => {
+            let _ = writeln!(out, "{pad}unify_variable X{slot}");
+        }
+        HeadOp::BoundVar(slot) => {
+            let _ = writeln!(out, "{pad}unify_value X{slot}");
+        }
+        HeadOp::Struct(f, sub, _) => {
+            let _ = writeln!(out, "{pad}unify_structure {f}/{}", sub.len());
+            for op in sub.iter() {
+                render_unify_op(out, op, indent + 2);
+            }
+        }
+    }
+}
+
+fn render_const(c: &Term) -> String {
+    match c {
+        Term::Atom(a) => a.to_string(),
+        Term::Int(n) => n.to_string(),
+        Term::Float(f) => format!("{f:?}"),
+        _ => unreachable!("constants are atomic"),
+    }
+}
+
+fn render_block(out: &mut String, block: &[Instr], indent: usize) {
+    let pad = " ".repeat(indent);
+    for instr in block {
+        match instr {
+            Instr::Call(t) => {
+                let _ = writeln!(out, "{pad}call {}", render_template(t));
+            }
+            Instr::Cut => {
+                let _ = writeln!(out, "{pad}cut");
+            }
+            Instr::Fail => {
+                let _ = writeln!(out, "{pad}fail");
+            }
+            Instr::Or(a, b) => {
+                let _ = writeln!(out, "{pad}disjunction:");
+                let _ = writeln!(out, "{pad}  left:");
+                render_block(out, a, indent + 4);
+                let _ = writeln!(out, "{pad}  right:");
+                render_block(out, b, indent + 4);
+            }
+            Instr::IfThenElse(c, t, e) => {
+                let _ = writeln!(out, "{pad}if_then_else:");
+                let _ = writeln!(out, "{pad}  cond:");
+                render_block(out, c, indent + 4);
+                let _ = writeln!(out, "{pad}  then:");
+                render_block(out, t, indent + 4);
+                let _ = writeln!(out, "{pad}  else:");
+                render_block(out, e, indent + 4);
+            }
+            Instr::Not(g) => {
+                let _ = writeln!(out, "{pad}negation:");
+                render_block(out, g, indent + 4);
+            }
+        }
+    }
+}
+
+fn render_template(t: &Template) -> String {
+    match t {
+        Template::Slot(slot) => format!("X{slot}"),
+        Template::Ground(term) => render_ground(term),
+        Template::Struct(f, args) => {
+            let rendered: Vec<String> = args.iter().map(render_template).collect();
+            format!("{f}({})", rendered.join(", "))
+        }
+    }
+}
+
+fn render_ground(t: &Term) -> String {
+    match t {
+        Term::Atom(a) => a.to_string(),
+        Term::Int(n) => n.to_string(),
+        Term::Float(f) => format!("{f:?}"),
+        Term::Struct(f, args) => {
+            let rendered: Vec<String> = args.iter().map(render_ground).collect();
+            format!("{f}({})", rendered.join(", "))
+        }
+        Term::Var(_) => unreachable!("ground templates have no variables"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+
+    fn code_for(src: &str, name: &str, arity: usize) -> PredCode {
+        let program = parse_program(src).unwrap();
+        let mut db = crate::Database::new();
+        db.load(&program);
+        let id = PredId::new(name, arity);
+        PredCode::compile(id, db.clauses(id))
+    }
+
+    #[test]
+    fn head_ops_distinguish_first_and_later_occurrences() {
+        let code = code_for("p(X, Y, X).", "p", 3);
+        let cc = &code.clauses[0];
+        assert!(matches!(cc.head_ops[0], HeadOp::FirstVar(0)));
+        assert!(matches!(cc.head_ops[1], HeadOp::FirstVar(1)));
+        assert!(matches!(cc.head_ops[2], HeadOp::BoundVar(0)));
+    }
+
+    #[test]
+    fn structure_heads_get_templates_and_sub_ops() {
+        let code = code_for("p(f(a, X)) :- q(X).", "p", 1);
+        let cc = &code.clauses[0];
+        let HeadOp::Struct(f, sub, template) = &cc.head_ops[0] else {
+            panic!("expected get_structure");
+        };
+        assert_eq!(f.to_string(), "f");
+        assert!(matches!(sub[0], HeadOp::Const(Term::Atom(_))));
+        assert!(matches!(sub[1], HeadOp::FirstVar(0)));
+        assert!(matches!(template, Template::Struct(_, _)));
+    }
+
+    #[test]
+    fn ground_subterms_lower_to_shared_templates() {
+        let code = code_for("p(f(g(1, 2), X)).", "p", 1);
+        let HeadOp::Struct(_, sub, _) = &code.clauses[0].head_ops[0] else {
+            panic!("expected get_structure");
+        };
+        // The fully-ground g(1,2) argument is one constant-ish subtree in
+        // the template but still gets read-mode sub-ops.
+        assert!(
+            matches!(&sub[0], HeadOp::Struct(_, inner, Template::Ground(_)) if inner.len() == 2)
+        );
+    }
+
+    #[test]
+    fn switch_tables_mirror_database_candidates() {
+        let src = "p(a, 1). p(b, 2). p(a, 3). p(X, 4).";
+        let program = parse_program(src).unwrap();
+        let mut db = crate::Database::new();
+        db.load(&program);
+        let id = PredId::new("p", 2);
+        let code = PredCode::compile(id, db.clauses(id));
+        for key in [
+            Some(IndexKey::of(&Term::atom("a")).unwrap()),
+            Some(IndexKey::of(&Term::atom("b")).unwrap()),
+            Some(IndexKey::of(&Term::atom("zzz")).unwrap()),
+            Some(IndexKey::of(&Term::Int(7)).unwrap()),
+            None,
+        ] {
+            for indexing in [true, false] {
+                let expected: Vec<usize> = db
+                    .matching_clauses(id, key, indexing)
+                    .iter()
+                    .map(|c| {
+                        db.clauses(id)
+                            .iter()
+                            .position(|d| Arc::ptr_eq(c, d))
+                            .unwrap()
+                    })
+                    .collect();
+                let got: Vec<usize> = code
+                    .candidates(key, indexing)
+                    .iter()
+                    .map(|&p| p as usize)
+                    .collect();
+                assert_eq!(got, expected, "key {key:?} indexing {indexing}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_code_validates() {
+        let code = code_for(
+            "p(X, f(X, Y)) :- (q(X) ; r(Y)), \\+ s(X), (t(X) -> u(Y) ; v(X)), !.",
+            "p",
+            2,
+        );
+        code.validate().unwrap();
+    }
+
+    #[test]
+    fn disasm_is_stable_and_covers_every_instruction() {
+        let code = code_for(
+            "p(a, X) :- q(X), !.
+             p(f(Y), Y) :- (q(Y) ; r(Y)), \\+ s(Y).
+             p(Z, b) :- (q(Z) -> r(Z) ; fail).",
+            "p",
+            2,
+        );
+        let text = disasm(&code);
+        for needle in [
+            "predicate p/2 (3 clauses)",
+            "switch_on_term:",
+            "get_constant a, A0",
+            "get_variable X0, A0",
+            "get_structure f/1, A0",
+            "unify_variable X0",
+            "get_value X0, A1",
+            "call q(X0)",
+            "cut",
+            "fail",
+            "disjunction:",
+            "negation:",
+            "if_then_else:",
+            "proceed",
+        ] {
+            assert!(text.contains(needle), "disasm missing {needle:?}:\n{text}");
+        }
+    }
+}

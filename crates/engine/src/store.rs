@@ -59,6 +59,13 @@ impl Store {
         TrailMark(self.trail.len())
     }
 
+    /// Number of trailed bindings currently live — the machine's
+    /// invariant suite asserts this returns to zero once a query's
+    /// search is exhausted.
+    pub fn trail_len(&self) -> usize {
+        self.trail.len()
+    }
+
     /// Undoes all bindings made since `mark`.
     pub fn undo_to(&mut self, mark: TrailMark) {
         while self.trail.len() > mark.0 {

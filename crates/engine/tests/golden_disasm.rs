@@ -1,0 +1,94 @@
+//! Golden-file tests pinning the compiled form of the paper's family
+//! predicates (Fig. 6). The disassembly is the compiler's contract made
+//! readable: head-unification ops, switch-on-term dispatch buckets, and
+//! flat body code. Any change to the lowering shows up as a diff
+//! against `tests/golden/disasm_<pred>.expected`.
+//!
+//! To re-pin after an intentional compiler change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p prolog-engine --test golden_disasm
+//! ```
+
+use prolog_engine::{disasm, Database};
+use prolog_syntax::{parse_program, PredId};
+use std::path::PathBuf;
+
+/// The rule part of the family program, as `family_rules()` emits it
+/// (inlined: the engine crate sits below the workloads crate). The
+/// dispatch tables of the pinned predicates depend only on the rules,
+/// not on the seeded fact base.
+const FAMILY_RULES: &str = "
+    female(X) :- girl(X).
+    female(X) :- wife(_, X).
+    male(X) :- not(female(X)).
+    father(X, Y) :- mother(X, M), wife(Y, M).
+    parent(X, Y) :- mother(X, Y).
+    parent(X, Y) :- father(X, Y).
+    married(X, Y) :- wife(X, Y).
+    married(X, Y) :- wife(Y, X).
+    siblings(X, Y) :- mother(X, M), mother(Y, M), unequal(X, Y).
+    sister(X, Y) :- siblings(X, Y), female(Y).
+    brother(X, Y) :- siblings(X, Y), male(Y).
+    grandmother(X, Y) :- parent(X, Z), mother(Z, Y).
+    cousins(X, Y) :- parent(X, Z), parent(Y, W), siblings(W, Z).
+    cousins(X, Y) :- parent(X, Z), parent(Y, W), siblings(W, V), married(V, Z).
+    aunt(X, Y) :- parent(X, P), sister(P, Y).
+    aunt(X, Y) :- parent(X, P), brother(P, B), wife(B, Y).
+    unequal(X, Y) :- X \\== Y.
+    ";
+
+const PINNED: &[&str] = &["brother", "aunt", "cousins"];
+
+fn golden_path(pred: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(format!("disasm_{pred}.expected"))
+}
+
+#[test]
+fn family_disassembly_matches_golden_files() {
+    let mut db = Database::new();
+    db.load(&parse_program(FAMILY_RULES).expect("family rules parse"));
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for pred in PINNED {
+        let code = db.code_for(PredId::new(*pred, 2));
+        let actual = disasm(&code);
+        let path = golden_path(pred);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &actual).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden file {}; run UPDATE_GOLDEN=1 cargo test -p prolog-engine \
+                 --test golden_disasm",
+                path.display()
+            )
+        });
+        assert_eq!(
+            expected,
+            actual,
+            "{pred}: compiled form drifted from {}.\n\
+             If the change is intentional, re-pin with \
+             UPDATE_GOLDEN=1 cargo test -p prolog-engine --test golden_disasm",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn pinned_disassembly_shows_the_expected_shapes() {
+    // Sanity independent of the files: if the renderer stopped emitting
+    // dispatch tables or head ops, the goldens would pin the wrong thing.
+    let mut db = Database::new();
+    db.load(&parse_program(FAMILY_RULES).expect("family rules parse"));
+    let brother = disasm(&db.code_for(PredId::new("brother", 2)));
+    assert!(brother.contains("predicate brother/2"), "{brother}");
+    assert!(brother.contains("get_variable"), "{brother}");
+    assert!(brother.contains("call siblings("), "{brother}");
+    let cousins = disasm(&db.code_for(PredId::new("cousins", 2)));
+    assert!(cousins.contains("clause 1"), "two clauses: {cousins}");
+    assert!(cousins.contains("call married("), "{cousins}");
+}

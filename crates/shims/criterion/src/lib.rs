@@ -25,11 +25,17 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
     }
 
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { function: None, parameter: Some(parameter.to_string()) }
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
     }
 }
 
@@ -89,7 +95,12 @@ impl Bencher {
             total += elapsed;
             iters += batch;
         }
-        self.result = Some(Sample { mean: total / iters.max(1) as u32, min, max, iters });
+        self.result = Some(Sample {
+            mean: total / iters.max(1) as u32,
+            min,
+            max,
+            iters,
+        });
     }
 }
 
@@ -100,12 +111,17 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { measurement_time: Duration::from_millis(500) }
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+        }
     }
 }
 
 fn run_one(name: &str, measurement_time: Duration, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { measurement_time, result: None };
+    let mut b = Bencher {
+        measurement_time,
+        result: None,
+    };
     f(&mut b);
     match b.result {
         Some(s) => println!(
@@ -132,7 +148,10 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
     }
 }
 
@@ -148,7 +167,11 @@ impl BenchmarkGroup<'_> {
         id: impl fmt::Display,
         mut f: F,
     ) -> &mut Self {
-        run_one(&format!("{}/{id}", self.name), self.criterion.measurement_time, &mut f);
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.criterion.measurement_time,
+            &mut f,
+        );
         self
     }
 
@@ -158,9 +181,11 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_one(&format!("{}/{id}", self.name), self.criterion.measurement_time, &mut |b| {
-            f(b, input)
-        });
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.criterion.measurement_time,
+            &mut |b| f(b, input),
+        );
         self
     }
 

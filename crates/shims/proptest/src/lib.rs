@@ -134,7 +134,9 @@ pub mod test_runner {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
                 z ^ (z >> 31)
             };
-            TestRng { s: [next(), next(), next(), next()] }
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -254,12 +256,12 @@ pub mod collection {
 }
 
 pub mod prelude {
+    /// Mirrors proptest's `prelude::prop` crate alias (`prop::collection::vec`).
+    pub use crate as prop;
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
-    /// Mirrors proptest's `prelude::prop` crate alias (`prop::collection::vec`).
-    pub use crate as prop;
 }
 
 /// Union of alternative strategies, equal weight per arm.

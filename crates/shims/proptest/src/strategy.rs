@@ -133,7 +133,9 @@ impl<V> Union<V> {
 
 impl<V> Clone for Union<V> {
     fn clone(&self) -> Self {
-        Union { arms: self.arms.clone() }
+        Union {
+            arms: self.arms.clone(),
+        }
     }
 }
 
@@ -312,8 +314,18 @@ where
     }
     fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
         let mut out = Vec::new();
-        out.extend(self.0.shrink(&value.0).into_iter().map(|a| (a, value.1.clone())));
-        out.extend(self.1.shrink(&value.1).into_iter().map(|b| (value.0.clone(), b)));
+        out.extend(
+            self.0
+                .shrink(&value.0)
+                .into_iter()
+                .map(|a| (a, value.1.clone())),
+        );
+        out.extend(
+            self.1
+                .shrink(&value.1)
+                .into_iter()
+                .map(|b| (value.0.clone(), b)),
+        );
         out
     }
 }
@@ -326,14 +338,33 @@ where
 {
     type Value = (A::Value, B::Value, C::Value);
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
     }
     fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
         let (a, b, c) = value;
         let mut out = Vec::new();
-        out.extend(self.0.shrink(a).into_iter().map(|x| (x, b.clone(), c.clone())));
-        out.extend(self.1.shrink(b).into_iter().map(|x| (a.clone(), x, c.clone())));
-        out.extend(self.2.shrink(c).into_iter().map(|x| (a.clone(), b.clone(), x)));
+        out.extend(
+            self.0
+                .shrink(a)
+                .into_iter()
+                .map(|x| (x, b.clone(), c.clone())),
+        );
+        out.extend(
+            self.1
+                .shrink(b)
+                .into_iter()
+                .map(|x| (a.clone(), x, c.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink(c)
+                .into_iter()
+                .map(|x| (a.clone(), b.clone(), x)),
+        );
         out
     }
 }
@@ -489,7 +520,11 @@ fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
             vec![c]
         };
         let (min, max) = if i < chars.len() && chars[i] == '{' {
-            let close = chars[i..].iter().position(|&c| c == '}').expect("unclosed {") + i;
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unclosed {")
+                + i;
             let body: String = chars[i + 1..close].iter().collect();
             let (lo, hi) = match body.split_once(',') {
                 Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),

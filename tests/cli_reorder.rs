@@ -17,12 +17,13 @@ fn run_cli(args: &[&str], stdin_text: &str) -> Output {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary runs");
-    child
+    // Ignore write errors: the error-path cases exit during argument
+    // parsing without reading stdin, so the pipe may already be closed.
+    let _ = child
         .stdin
         .as_mut()
         .unwrap()
-        .write_all(stdin_text.as_bytes())
-        .unwrap();
+        .write_all(stdin_text.as_bytes());
     child.wait_with_output().unwrap()
 }
 
