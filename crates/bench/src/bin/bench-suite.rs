@@ -14,7 +14,7 @@
 //! bottom-up under each body-ordering strategy, runs the `engine`
 //! section (interp-vs-compiled call identity plus wall times), and
 //! writes everything as schema-versioned JSON (default
-//! `BENCH_PR9.json`). Compare two trajectories with
+//! `BENCH_PR10.json`). Compare two trajectories with
 //! `bench-diff`; CI runs `--quick` and diffs against the committed
 //! baseline. Depths only add rows — the counts of a row are identical at
 //! every depth, so a quick run diffs cleanly against a full baseline.
@@ -30,7 +30,7 @@ use bench_harness::suite::{encode_trajectory, git_rev, run_suite, Depth};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut depth = Depth::Default;
-    let mut out = "BENCH_PR9.json".to_string();
+    let mut out = "BENCH_PR10.json".to_string();
     let mut probe_reordd = true;
     let mut i = 0;
     while i < args.len() {
@@ -69,7 +69,7 @@ fn main() {
                      --quick      CI smoke subset (cheap modes only)\n\
                      --full       the paper's complete protocol (includes the\n\
                      \x20            3025-query (+,+) sweeps and measured-best search)\n\
-                     --out PATH   trajectory JSON path (default BENCH_PR9.json)\n\
+                     --out PATH   trajectory JSON path (default BENCH_PR10.json)\n\
                      --no-reordd  skip the in-process reordd latency probe\n\
                      --engine E   engine for all measurements: interp (default)\n\
                      \x20            or compiled (identical counts, lower wall time)"
@@ -152,6 +152,27 @@ fn main() {
             probe.cache_hit_ratio,
             probe.queue_wait_mean_us,
             probe.service_mean_us
+        );
+    }
+    if let Some(serving) = &suite.serving {
+        println!("\n=== serving probe (open loop + warm start) ===");
+        println!(
+            "{}x{}: {}/{} ok ({} cached, {} dropped, {} retries), \
+             p50/p99/p999 {}/{}/{} us",
+            serving.connections,
+            serving.rounds,
+            serving.ok,
+            serving.attempted,
+            serving.cached,
+            serving.dropped,
+            serving.retries,
+            serving.p50_us,
+            serving.p99_us,
+            serving.p999_us
+        );
+        println!(
+            "warm restart: {}% served from cache ({} disk hits)",
+            serving.warm_cached_pct, serving.warm_disk_hits
         );
     }
 

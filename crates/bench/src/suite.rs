@@ -6,7 +6,7 @@
 //! fact-scaled workloads bottom-up under each body-ordering strategy,
 //! compares the interpreter against the compiled engine on the same
 //! workloads (the `engine` section), and serialises all of it into a
-//! schema-versioned trajectory JSON (`BENCH_PR9.json`). The
+//! schema-versioned trajectory JSON (`BENCH_PR10.json`). The
 //! trajectory is the regression gate: `bench-diff` compares two of these
 //! files and fails on call-count regressions, so the committed baseline
 //! pins the reorderer's measured quality, not just its output bytes.
@@ -42,8 +42,11 @@ use std::time::{Duration, Instant};
 /// section structure change; `bench-diff` refuses to compare across
 /// versions. v2 added the `datalog` section and top-level object; v3
 /// added the `engine` section (interp-vs-compiled call identity) and
-/// top-level wall-time array.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+/// top-level wall-time array; v4 added the `serving` section (open-loop
+/// percentiles + warm-start hit ratio). The number is owned by the
+/// `reordd` crate — the serving rows' producer (`reordd-bench
+/// --trajectory-out`) and this consumer must never drift apart.
+pub const BENCH_SCHEMA_VERSION: u64 = reordd::TRAJECTORY_SCHEMA_VERSION;
 
 /// Discriminator stored in the file so tooling can recognise it.
 pub const BENCH_KIND: &str = "reorder-bench-trajectory";
@@ -98,6 +101,30 @@ pub struct ReorddProbe {
     pub service_mean_us: u64,
 }
 
+/// Serving economics measured end to end: open-loop load against a
+/// store-backed daemon (cold), a graceful drain (which flushes the
+/// persistent tier), and a restart over the same directory that must
+/// serve the repeated workload warm. Latencies belong to the machine
+/// and are never gated; the section rows gate health (`ok/attempted`)
+/// and the warm-start hit percentage.
+pub struct ServingProbe {
+    pub connections: u64,
+    pub rounds: u64,
+    pub attempted: u64,
+    pub ok: u64,
+    pub cached: u64,
+    pub dropped: u64,
+    pub retries: u64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub p999_us: u64,
+    /// Percentage of the warm (post-restart) run answered from cache.
+    pub warm_cached_pct: u64,
+    /// Disk-tier hits the restarted daemon reported — proof the warm
+    /// start was fed by the store, not silent recomputation.
+    pub warm_disk_hits: u64,
+}
+
 /// One body-ordering strategy's cost on one bottom-up evaluation.
 pub struct DatalogStrategyStats {
     pub strategy: &'static str,
@@ -148,6 +175,8 @@ pub struct Suite {
     /// Wall-clock details behind the `engine` section rows.
     pub engine: Vec<EngineRun>,
     pub reordd: Option<ReorddProbe>,
+    /// Open-loop + warm-start details behind the `serving` section rows.
+    pub serving: Option<ServingProbe>,
     pub wall_us: u64,
 }
 
@@ -849,6 +878,142 @@ pub fn reordd_probe() -> ReorddProbe {
     probe
 }
 
+/// Load shape of the serving probe. Identical at every depth so the
+/// `open-loop/64x4` row joins across quick/default/full trajectories.
+const SERVING_CONNECTIONS: usize = 64;
+const SERVING_ROUNDS: usize = 4;
+
+/// Boots a store-backed `reordd`, drives it open-loop over the workload
+/// corpus, drains it (flushing the persistent tier), restarts over the
+/// same directory, and drives the identical load again — which must now
+/// be answered warm, from the recovered store.
+pub fn serving_probe() -> (Section, ServingProbe) {
+    use reordd::loadgen::{open_loop, quantile, NodePlan, OpenLoopPlan};
+    use reordd::{Client, Json, Request, Response, Server, ServerConfig, WireConfig};
+    use std::collections::HashMap;
+
+    let store_dir =
+        std::env::temp_dir().join(format!("reordd-serving-probe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let programs: Vec<String> = prolog_workloads::corpus()
+        .into_iter()
+        .map(|p| p.text)
+        .collect();
+    let reorder_config = WireConfig::default().to_reorder_config(1);
+    let expected: HashMap<String, String> = programs
+        .iter()
+        .map(|text| {
+            let outcome =
+                reorder::reorder_source(text, &reorder_config).expect("corpus programs parse");
+            (text.clone(), outcome.text)
+        })
+        .collect();
+
+    let boot = || {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 256,
+            store_dir: Some(store_dir.clone()),
+            ..Default::default()
+        })
+        .expect("bind serving-probe reordd");
+        let addr = server.local_addr().to_string();
+        (addr, std::thread::spawn(move || server.run()))
+    };
+    let drive = |addr: &str| {
+        open_loop(&OpenLoopPlan {
+            nodes: vec![NodePlan {
+                addr: addr.to_string(),
+                programs: programs.clone(),
+            }],
+            connections: SERVING_CONNECTIONS,
+            rounds: SERVING_ROUNDS,
+            budget_ms: None,
+            expected: expected.clone(),
+            deadline: Duration::from_secs(120),
+        })
+        .expect("open-loop driver")
+    };
+    let disk_hits = |addr: &str| -> u64 {
+        let mut client =
+            Client::connect(addr, Duration::from_secs(10)).expect("connect to serving probe");
+        match client.call(&Request::Stats) {
+            Ok(Response::Stats(body)) => body
+                .get("cache")
+                .and_then(|c| c.get("disk_hits"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    };
+    let shut = |addr: &str, handle: std::thread::JoinHandle<std::io::Result<()>>| {
+        let mut client =
+            Client::connect(addr, Duration::from_secs(10)).expect("connect to serving probe");
+        match client.call(&Request::Shutdown) {
+            Ok(Response::ShuttingDown) => {}
+            other => panic!("expected shutdown ack, got {other:?}"),
+        }
+        handle.join().expect("server thread").expect("server run");
+    };
+
+    // Cold pass: every corpus program computed exactly once (single
+    // flight), the rest served by the memory tier; the drain flushes
+    // the store.
+    let (addr, handle) = boot();
+    let cold = drive(&addr);
+    shut(&addr, handle);
+
+    // Warm pass: the same load against the recovered store.
+    let (addr, handle) = boot();
+    let warm = drive(&addr);
+    let warm_disk_hits = disk_hits(&addr);
+    shut(&addr, handle);
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let warm_cached_pct = (warm.cached * 100).checked_div(warm.ok).unwrap_or(0);
+    let q = |per_mille: u64| quantile(&cold.latencies_us, per_mille).map_or(0, |q| q.value);
+    let probe = ServingProbe {
+        connections: SERVING_CONNECTIONS as u64,
+        rounds: SERVING_ROUNDS as u64,
+        attempted: cold.attempted,
+        ok: cold.ok,
+        cached: cold.cached,
+        dropped: cold.dropped,
+        retries: cold.retries,
+        p50_us: q(500),
+        p99_us: q(990),
+        p999_us: q(999),
+        warm_cached_pct,
+        warm_disk_hits,
+    };
+    let section = Section {
+        name: "serving",
+        rows: vec![
+            // ok/attempted: exactly 1.0 when nothing dropped or errored,
+            // so `--min-ratio serving:1.0` pins "zero dropped requests".
+            Row {
+                label: format!("open-loop/{SERVING_CONNECTIONS}x{SERVING_ROUNDS}"),
+                original: cold.ok,
+                reordered: cold.attempted,
+                best: None,
+                equivalent: cold.clean() && warm.clean(),
+            },
+            // warm%/90: at or above 1.0 iff the restart actually served
+            // >=90% of the repeated workload from the persistent tier.
+            Row {
+                label: "warm-start".to_string(),
+                original: warm_cached_pct,
+                reordered: 90,
+                best: None,
+                equivalent: warm.clean() && warm_disk_hits > 0,
+            },
+        ],
+    };
+    (section, probe)
+}
+
 /// Runs the whole suite at `depth`.
 pub fn run_suite(depth: Depth, probe_reordd: bool) -> Suite {
     let started = Instant::now();
@@ -867,6 +1032,14 @@ pub fn run_suite(depth: Depth, probe_reordd: bool) -> Suite {
     };
     let pipeline = pipeline_timings(jobs_list);
     let reordd = probe_reordd.then(reordd_probe);
+    // The serving probe binds sockets and writes a temp store, so it
+    // rides the same switch as the reordd probe (`--no-reordd` runs in
+    // network-less environments skip both).
+    let serving = probe_reordd.then(|| {
+        let (section, probe) = serving_probe();
+        sections.push(section);
+        probe
+    });
     Suite {
         depth,
         sections,
@@ -874,6 +1047,7 @@ pub fn run_suite(depth: Depth, probe_reordd: bool) -> Suite {
         datalog,
         engine,
         reordd,
+        serving,
         wall_us: started.elapsed().as_micros() as u64,
     }
 }
@@ -997,6 +1171,26 @@ pub fn encode_trajectory(suite: &Suite, git_rev: &str) -> String {
             probe.service_mean_us
         );
     }
+    if let Some(serving) = &suite.serving {
+        let _ = write!(
+            out,
+            ",\"serving\":{{\"connections\":{},\"rounds\":{},\"attempted\":{},\"ok\":{},\
+             \"cached\":{},\"dropped\":{},\"retries\":{},\"p50_us\":{},\"p99_us\":{},\
+             \"p999_us\":{},\"warm_cached_pct\":{},\"warm_disk_hits\":{}}}",
+            serving.connections,
+            serving.rounds,
+            serving.attempted,
+            serving.ok,
+            serving.cached,
+            serving.dropped,
+            serving.retries,
+            serving.p50_us,
+            serving.p99_us,
+            serving.p999_us,
+            serving.warm_cached_pct,
+            serving.warm_disk_hits
+        );
+    }
     let _ = write!(out, ",\"wall_us\":{}}}", suite.wall_us);
     out
 }
@@ -1071,6 +1265,20 @@ mod tests {
                 queue_wait_mean_us: 2,
                 service_mean_us: 500,
             }),
+            serving: Some(ServingProbe {
+                connections: 64,
+                rounds: 4,
+                attempted: 256,
+                ok: 256,
+                cached: 245,
+                dropped: 0,
+                retries: 0,
+                p50_us: 900,
+                p99_us: 4000,
+                p999_us: 4100,
+                warm_cached_pct: 100,
+                warm_disk_hits: 11,
+            }),
             wall_us: 12345,
         };
         let json = encode_trajectory(&suite, "abc1234");
@@ -1114,6 +1322,13 @@ mod tests {
             }
             other => panic!("engine must be an array, got {other:?}"),
         }
+        assert_eq!(
+            parsed
+                .get("serving")
+                .and_then(|s| s.get("warm_cached_pct"))
+                .and_then(reordd::Json::as_u64),
+            Some(100)
+        );
         assert_eq!(
             parsed.get("wall_us").and_then(reordd::Json::as_u64),
             Some(12345)

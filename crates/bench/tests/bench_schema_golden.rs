@@ -1,5 +1,5 @@
 //! Golden schema tests: pin the two JSON surfaces downstream tooling
-//! consumes — the committed `BENCH_PR9.json` trajectory and the Chrome
+//! consumes — the committed `BENCH_PR10.json` trajectory and the Chrome
 //! trace-event export — so a schema change is a deliberate diff here
 //! (and a `schema_version` bump), never an accident.
 
@@ -35,6 +35,7 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
     ];
     if expect_reordd {
         top.push("reordd");
+        top.push("serving");
     }
     top.push("wall_us");
     assert_eq!(keys(doc), top, "top-level keys");
@@ -46,7 +47,9 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
 
     let sections = arr(doc.get("sections").expect("sections"));
     assert!(!sections.is_empty());
-    let expected_sections = [
+    // The serving section rides the reordd probe switch: it boots real
+    // store-backed daemons, which `--no-reordd` environments skip.
+    let mut expected_sections = vec![
         "table2",
         "table3",
         "table4",
@@ -55,6 +58,9 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
         "datalog",
         "engine",
     ];
+    if expect_reordd {
+        expected_sections.push("serving");
+    }
     assert_eq!(
         sections.len(),
         expected_sections.len(),
@@ -177,6 +183,35 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
                 "service_mean_us",
             ]
         );
+        assert_eq!(
+            keys(doc.get("serving").expect("serving")),
+            [
+                "connections",
+                "rounds",
+                "attempted",
+                "ok",
+                "cached",
+                "dropped",
+                "retries",
+                "p50_us",
+                "p99_us",
+                "p999_us",
+                "warm_cached_pct",
+                "warm_disk_hits",
+            ]
+        );
+        // The serving gates the committed baseline must always clear:
+        // nothing dropped, and the restart served >=90% warm.
+        let serving = doc.get("serving").unwrap();
+        assert_eq!(
+            serving.get("dropped").and_then(Json::as_u64),
+            Some(0),
+            "baseline serving run dropped requests"
+        );
+        assert!(
+            serving.get("warm_cached_pct").and_then(Json::as_u64) >= Some(90),
+            "baseline warm start below the 90% floor"
+        );
     }
     assert!(doc.get("wall_us").and_then(Json::as_u64).is_some());
 }
@@ -186,9 +221,9 @@ fn check_trajectory_schema(doc: &Json, expect_reordd: bool) {
 /// bench-suite` whenever the encoder changes.
 #[test]
 fn committed_baseline_matches_golden_schema() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json");
     let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("committed BENCH_PR9.json must exist at the repo root: {e}"));
+        .unwrap_or_else(|e| panic!("committed BENCH_PR10.json must exist at the repo root: {e}"));
     let doc = Json::parse(&text).expect("committed baseline parses");
     check_trajectory_schema(&doc, true);
     assert_eq!(doc.get("depth").and_then(Json::as_str), Some("default"));
@@ -204,7 +239,7 @@ fn fresh_quick_run_matches_schema_and_baseline_counts() {
     let doc = Json::parse(&encoded).expect("fresh trajectory parses");
     check_trajectory_schema(&doc, false);
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json");
     let baseline = Json::parse(&std::fs::read_to_string(path).expect("baseline readable"))
         .expect("baseline parses");
     let mut shared = 0;

@@ -3,6 +3,7 @@
 //! ```text
 //! usage: reordd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!               [--budget-ms N] [--pipeline-jobs N] [--idle-ms N]
+//!               [--frame-ms N] [--max-conns N] [--store DIR]
 //!               [--port-file PATH] [--trace-out PATH]
 //! ```
 //!
@@ -32,15 +33,22 @@ fn main() {
                 eprintln!(
                     "usage: reordd [--addr HOST:PORT] [--workers N] [--queue N] \
                      [--cache N] [--budget-ms N] [--pipeline-jobs N] [--idle-ms N] \
+                     [--frame-ms N] [--max-conns N] [--store DIR] \
                      [--port-file PATH] [--trace-out PATH]\n\
                      \n\
                      --addr HOST:PORT   bind address (default 127.0.0.1:7171; port 0 = ephemeral)\n\
-                     --workers N        connection-serving threads (default 4)\n\
-                     --queue N          accept-queue depth before shedding (default 64)\n\
-                     --cache N          result-cache entries (default 256)\n\
+                     --workers N        request-dispatch threads (default 4)\n\
+                     --queue N          request-queue depth before shedding (default 64)\n\
+                     --cache N          result-cache entries, memory tier (default 256)\n\
                      --budget-ms N      max per-request time budget (default 10000)\n\
                      --pipeline-jobs N  pipeline threads per request (default 1)\n\
                      --idle-ms N        close idle connections after N ms (default 30000)\n\
+                     --frame-ms N       drop connections stalled mid-frame after N ms\n\
+                     \x20                  (default 10000; the slow-loris bound)\n\
+                     --max-conns N      connection ceiling before accepts are shed\n\
+                     \x20                  (default 12000)\n\
+                     --store DIR        persistent result-cache tier in DIR; results\n\
+                     \x20                  survive restarts (warm start)\n\
                      --port-file PATH   write the bound address to PATH after binding\n\
                      --trace-out PATH   enable tracing; write a Chrome trace-event JSON\n\
                      \x20                  of the whole run to PATH on drain"
@@ -48,7 +56,8 @@ fn main() {
                 return;
             }
             "--addr" | "--workers" | "--queue" | "--cache" | "--budget-ms" | "--pipeline-jobs"
-            | "--idle-ms" | "--port-file" | "--trace-out" => {
+            | "--idle-ms" | "--frame-ms" | "--max-conns" | "--store" | "--port-file"
+            | "--trace-out" => {
                 i += 1;
                 let Some(value) = args.get(i) else {
                     eprintln!("error: {flag} needs a value");
@@ -68,6 +77,9 @@ fn main() {
                     "--budget-ms" => config.budget = Duration::from_millis(parse_num()),
                     "--pipeline-jobs" => config.pipeline_jobs = parse_num().max(1) as usize,
                     "--idle-ms" => config.idle_timeout = Duration::from_millis(parse_num()),
+                    "--frame-ms" => config.frame_deadline = Duration::from_millis(parse_num()),
+                    "--max-conns" => config.max_connections = parse_num().max(1) as usize,
+                    "--store" => config.store_dir = Some(value.clone().into()),
                     "--port-file" => port_file = Some(value.clone()),
                     "--trace-out" => trace_out = Some(value.clone()),
                     _ => unreachable!(),
@@ -88,6 +100,10 @@ fn main() {
     let workers = config.workers;
     let queue = config.queue_capacity;
     let cache = config.cache_capacity;
+    let store = config
+        .store_dir
+        .as_ref()
+        .map_or_else(|| "memory-only".to_string(), |d| d.display().to_string());
     let server = match Server::bind(config) {
         Ok(server) => server,
         Err(e) => {
@@ -102,7 +118,9 @@ fn main() {
             std::process::exit(1);
         }
     }
-    println!("reordd listening on {addr} ({workers} workers, queue {queue}, cache {cache})");
+    println!(
+        "reordd listening on {addr} ({workers} workers, queue {queue}, cache {cache}, store {store})"
+    );
     let _ = std::io::stdout().flush();
 
     if let Err(e) = server.run() {

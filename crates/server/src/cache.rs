@@ -18,6 +18,7 @@
 //! poisonous program cannot take a worker down twice.
 
 use crate::proto::ErrorCode;
+use crate::store::{DiskStore, StoreStats};
 use reorder::RunStats;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -87,6 +88,9 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Requests deduplicated onto an in-flight computation.
     pub coalesced: u64,
+    /// Memory misses satisfied from the persistent store instead of a
+    /// recomputation — the warm-start currency.
+    pub disk_hits: u64,
     pub evictions: u64,
     /// Budget expiries observed by waiters.
     pub timeouts: u64,
@@ -111,16 +115,32 @@ struct State {
 }
 
 /// The shared cache. Cheap to share: all methods take `&self`.
+///
+/// With a [`DiskStore`] attached the memory LRU becomes the *read-through
+/// tier*: a memory miss probes the store before computing, completed
+/// computations are written behind, invalidations tombstone through, and
+/// LRU evictions deliberately do **not** touch disk — disk capacity is
+/// what lets a small memory tier front a large working set.
 pub struct ResultCache {
     capacity: usize,
     state: Mutex<State>,
     ready: Condvar,
+    store: Option<Arc<DiskStore>>,
 }
 
 impl ResultCache {
     /// `capacity` is the maximum number of *ready* entries (in-flight
     /// computations are pinned and uncounted); clamped to at least 1.
     pub fn new(capacity: usize) -> Arc<ResultCache> {
+        Self::build(capacity, None)
+    }
+
+    /// A cache backed by a persistent store.
+    pub fn with_store(capacity: usize, store: Arc<DiskStore>) -> Arc<ResultCache> {
+        Self::build(capacity, Some(store))
+    }
+
+    fn build(capacity: usize, store: Option<Arc<DiskStore>>) -> Arc<ResultCache> {
         Arc::new(ResultCache {
             capacity: capacity.max(1),
             state: Mutex::new(State {
@@ -129,7 +149,21 @@ impl ResultCache {
                 counters: CacheCounters::default(),
             }),
             ready: Condvar::new(),
+            store,
         })
+    }
+
+    /// Flushes the persistent tier (graceful-drain path). No-op without
+    /// a store.
+    pub fn flush_store(&self) -> std::io::Result<()> {
+        match &self.store {
+            Some(store) => store.flush(),
+            None => Ok(()),
+        }
+    }
+
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
     }
 
     /// Looks `key` up, computing it via `compute` on a dedicated thread
@@ -156,14 +190,33 @@ impl ResultCache {
                     st.counters.coalesced += 1;
                 }
                 None => {
+                    // The miss is not counted yet: the persistent tier
+                    // may still turn this into a (disk) hit. The
+                    // InFlight marker already coalesces concurrent
+                    // requesters onto this probe.
                     st.entries.insert(key, Slot::InFlight);
-                    st.counters.misses += 1;
                     leader = true;
                 }
             }
         }
 
         if leader {
+            // Probe the persistent tier outside the lock — disk I/O must
+            // never stall concurrent memory hits.
+            if let Some(outcome) = self.store.as_ref().and_then(|s| s.get(key)) {
+                self.state
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .counters
+                    .disk_hits += 1;
+                let value = self.finish_with(key, outcome, false);
+                return Fetch::Hit(value);
+            }
+            self.state
+                .lock()
+                .expect("cache lock poisoned")
+                .counters
+                .misses += 1;
             let cache = Arc::clone(self);
             let spawned = std::thread::Builder::new()
                 .name("reordd-compute".to_string())
@@ -240,21 +293,39 @@ impl ResultCache {
     }
 
     /// Resolves `key`'s in-flight slot with `outcome` and wakes every
-    /// waiter.
+    /// waiter, writing the result behind to the persistent tier.
     fn finish(&self, key: u128, outcome: CachedOutcome) {
-        let mut guard = self.state.lock().expect("cache lock poisoned");
-        let st = &mut *guard;
-        st.tick += 1;
-        let tick = st.tick;
-        st.entries.insert(
-            key,
-            Slot::Ready {
-                value: Arc::new(outcome),
-                last_used: tick,
-            },
-        );
-        self.evict_locked(st);
-        self.ready.notify_all();
+        self.finish_with(key, outcome, true);
+    }
+
+    /// `persist: false` is the disk-hit path — the record is already on
+    /// disk, so re-appending it would only grow dead bytes.
+    fn finish_with(&self, key: u128, outcome: CachedOutcome, persist: bool) -> Arc<CachedOutcome> {
+        let value = Arc::new(outcome);
+        {
+            let mut guard = self.state.lock().expect("cache lock poisoned");
+            let st = &mut *guard;
+            st.tick += 1;
+            let tick = st.tick;
+            st.entries.insert(
+                key,
+                Slot::Ready {
+                    value: value.clone(),
+                    last_used: tick,
+                },
+            );
+            self.evict_locked(st);
+            self.ready.notify_all();
+        }
+        // Persist outside the cache lock: the store has its own mutex,
+        // and nesting them would make disk latency every waiter's
+        // problem. Transient outcome classes are filtered by the store.
+        if persist {
+            if let Some(store) = &self.store {
+                store.put(key, &value);
+            }
+        }
+        value
     }
 
     /// Evicts least-recently-used ready entries until within capacity.
@@ -288,16 +359,38 @@ impl ResultCache {
         }
     }
 
-    /// Invalidates `key` if it holds a ready value, so the next request
-    /// for it recomputes. An in-flight computation is left to finish —
-    /// its waiters are owed an answer; the caller may invalidate the
-    /// landed entry afterwards. Returns whether an entry was dropped.
+    /// Invalidates `key` in *both* tiers, so the next request for it
+    /// recomputes — a calibration invalidation that only cleared memory
+    /// would resurrect the stale result from disk on the next restart.
+    /// An in-flight computation is left to finish — its waiters are owed
+    /// an answer; the caller may invalidate the landed entry afterwards.
+    /// Returns whether an entry was dropped from either tier.
     pub fn remove(&self, key: u128) -> bool {
-        let mut guard = self.state.lock().expect("cache lock poisoned");
-        let st = &mut *guard;
-        if matches!(st.entries.get(&key), Some(Slot::Ready { .. })) {
-            st.entries.remove(&key);
-            st.counters.invalidations += 1;
+        let removed_memory = {
+            let mut guard = self.state.lock().expect("cache lock poisoned");
+            let st = &mut *guard;
+            match st.entries.get(&key) {
+                Some(Slot::InFlight) => return false,
+                Some(Slot::Ready { .. }) => {
+                    st.entries.remove(&key);
+                    true
+                }
+                None => false,
+            }
+        };
+        // Tombstone through outside the cache lock (same ordering rule
+        // as `finish_with`).
+        let removed_disk = self
+            .store
+            .as_ref()
+            .map(|store| store.remove(key))
+            .unwrap_or(false);
+        if removed_memory || removed_disk {
+            self.state
+                .lock()
+                .expect("cache lock poisoned")
+                .counters
+                .invalidations += 1;
             true
         } else {
             false
@@ -474,5 +567,82 @@ mod tests {
             cache.get_or_compute(key, Duration::from_secs(1), || panic!("must not recompute"));
         assert_eq!(text_of(&hit), "late");
         assert_eq!(cache.counters().timeouts, 1);
+    }
+
+    fn temp_store(tag: &str) -> (std::path::PathBuf, Arc<DiskStore>) {
+        let dir =
+            std::env::temp_dir().join(format!("reordd-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(DiskStore::open(&dir).unwrap());
+        (dir, store)
+    }
+
+    #[test]
+    fn disk_tier_serves_memory_misses_without_recompute() {
+        let (dir, store) = temp_store("readthrough");
+        let key = content_key("p(1).", "");
+        {
+            let cache = ResultCache::with_store(8, store.clone());
+            let first = cache.get_or_compute(key, Duration::from_secs(5), || ok("out"));
+            assert!(matches!(first, Fetch::Computed(_)));
+            cache.flush_store().unwrap();
+        }
+        // A fresh memory tier over the same store: the lookup is a hit
+        // (served, not recomputed), charged to disk_hits, not misses.
+        let cache = ResultCache::with_store(8, store);
+        let fetch =
+            cache.get_or_compute(key, Duration::from_secs(5), || panic!("must not recompute"));
+        assert!(matches!(fetch, Fetch::Hit(_)));
+        assert_eq!(text_of(&fetch), "out");
+        let counters = cache.counters();
+        assert_eq!(counters.disk_hits, 1);
+        assert_eq!(counters.misses, 0);
+        assert_eq!(counters.hits, 0, "disk hits are their own class");
+        // Promoted into memory: the next request is a plain hit.
+        let again =
+            cache.get_or_compute(key, Duration::from_secs(5), || panic!("must not recompute"));
+        assert!(matches!(again, Fetch::Hit(_)));
+        assert_eq!(cache.counters().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_spares_the_disk_tier() {
+        let (dir, store) = temp_store("evict");
+        let cache = ResultCache::with_store(1, store);
+        let key_a = content_key("a.", "");
+        let key_b = content_key("b.", "");
+        let _ = cache.get_or_compute(key_a, Duration::from_secs(5), || ok("A"));
+        // Capacity 1: computing B evicts A from memory only.
+        let _ = cache.get_or_compute(key_b, Duration::from_secs(5), || ok("B"));
+        assert!(!cache.contains(key_a), "A must be evicted from memory");
+        let fetch = cache.get_or_compute(key_a, Duration::from_secs(5), || {
+            panic!("must not recompute")
+        });
+        assert!(matches!(fetch, Fetch::Hit(_)), "A survives on disk");
+        assert_eq!(text_of(&fetch), "A");
+        assert_eq!(cache.counters().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_tombstones_through_to_disk() {
+        let (dir, store) = temp_store("tombstone");
+        let key = content_key("stale.", "");
+        {
+            let cache = ResultCache::with_store(8, store.clone());
+            let _ = cache.get_or_compute(key, Duration::from_secs(5), || ok("stale"));
+            assert!(cache.remove(key));
+            assert_eq!(cache.counters().invalidations, 1);
+            cache.flush_store().unwrap();
+        }
+        // Even a fresh cache over the same store must recompute: the
+        // invalidation reached disk.
+        let cache = ResultCache::with_store(8, store);
+        let fetch = cache.get_or_compute(key, Duration::from_secs(5), || ok("fresh"));
+        assert!(matches!(fetch, Fetch::Computed(_)));
+        assert_eq!(text_of(&fetch), "fresh");
+        assert_eq!(cache.counters().disk_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -43,6 +43,13 @@ impl Client {
         Response::decode(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
+    /// Sends one request without waiting for the reply; pair with
+    /// [`Client::read_reply`]. Lets callers keep a slow request in
+    /// flight while driving other connections.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        write_frame(&mut self.stream, &request.encode())
+    }
+
     /// Reads one reply without sending anything (for shed replies, which
     /// the server initiates).
     pub fn read_reply(&mut self) -> io::Result<Response> {

@@ -1,0 +1,284 @@
+//! Per-connection state machine for the async core: incremental frame
+//! assembly over the `len:u32be ++ payload` wire format, buffered
+//! nonblocking writes, and the idle/stall deadlines the reactor
+//! enforces.
+//!
+//! The state machine is deliberately tiny:
+//!
+//! ```text
+//! Reading --frame complete--> Waiting --reply ready--> Writing
+//!    ^                                                    |
+//!    +-------------------- buffer drained ----------------+
+//! ```
+//!
+//! One request is in flight per connection at a time — the protocol
+//! answers strictly in order, so parsing ahead would only buy reordering
+//! bugs. Bytes a pipelining client sends early stay in the assembler
+//! (and, past that, in the kernel socket buffer: a `Waiting` connection
+//! drops read interest, which is TCP backpressure).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Incremental decoder for length-prefixed frames. Feed it whatever the
+/// socket produced; pull complete frames out. Oversized announcements
+/// are detected from the header alone — before buffering the body.
+pub struct FrameAssembler {
+    max_frame: usize,
+    buf: Vec<u8>,
+    /// Read cursor into `buf`; consumed bytes are compacted lazily.
+    pos: usize,
+}
+
+impl FrameAssembler {
+    pub fn new(max_frame: usize) -> FrameAssembler {
+        FrameAssembler {
+            max_frame,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Appends raw socket bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact once the consumed prefix dominates, so long-lived
+        // connections don't grow the buffer without bound.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame. `Err(len)` reports an announced
+    /// length over the limit — the stream cannot be resynchronised past
+    /// it, so the caller replies `too_large` and closes.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, usize> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let header: [u8; 4] = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .expect("4-byte slice");
+        let len = u32::from_be_bytes(header) as usize;
+        if len > self.max_frame {
+            return Err(len);
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let start = self.pos + 4;
+        let payload = self.buf[start..start + len].to_vec();
+        self.pos = start + len;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some(payload))
+    }
+
+    /// Any buffered bytes at all — even one header byte counts as a
+    /// started frame for the stall deadline.
+    pub fn mid_frame(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+}
+
+/// Where a connection is in its request cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Reading request bytes (or idle between frames).
+    Reading,
+    /// A request was handed to the worker pool; the reply is owed.
+    Waiting,
+    /// Flushing a reply; `close_after` ends the connection once drained.
+    Writing { close_after: bool },
+}
+
+/// What one nonblocking read pass produced.
+pub enum ReadOutcome {
+    /// Some bytes arrived (now in the assembler).
+    Progress,
+    /// The socket has nothing more right now.
+    WouldBlock,
+    /// Peer closed its write half cleanly.
+    Eof,
+    /// Transport error; the connection is dead.
+    Err(io::Error),
+}
+
+/// One live connection owned by the reactor.
+pub struct Connection {
+    pub stream: TcpStream,
+    pub assembler: FrameAssembler,
+    pub state: ConnState,
+    /// Pending output (whole frames) and the flush cursor.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Last moment bytes moved in either direction.
+    pub last_activity: Instant,
+    /// When the currently-dribbling frame started, for the stall
+    /// deadline. `None` at a clean frame boundary.
+    pub frame_started: Option<Instant>,
+    /// Peer closed its write half; close once our output drains.
+    pub peer_eof: bool,
+}
+
+impl Connection {
+    pub fn new(stream: TcpStream, max_frame: usize) -> Connection {
+        Connection {
+            stream,
+            assembler: FrameAssembler::new(max_frame),
+            state: ConnState::Reading,
+            out: Vec::new(),
+            out_pos: 0,
+            last_activity: Instant::now(),
+            frame_started: None,
+            peer_eof: false,
+        }
+    }
+
+    /// Drains the socket into the assembler until `WouldBlock`/EOF.
+    pub fn read_some(&mut self) -> ReadOutcome {
+        let mut buf = [0u8; 8192];
+        let mut progressed = false;
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.peer_eof = true;
+                    return if progressed {
+                        ReadOutcome::Progress
+                    } else {
+                        ReadOutcome::Eof
+                    };
+                }
+                Ok(n) => {
+                    self.assembler.push(&buf[..n]);
+                    self.last_activity = Instant::now();
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return if progressed {
+                        ReadOutcome::Progress
+                    } else {
+                        ReadOutcome::WouldBlock
+                    };
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return ReadOutcome::Err(e),
+            }
+        }
+    }
+
+    /// Queues one already-encoded reply frame (header + payload).
+    pub fn queue_frame(&mut self, payload: &[u8], close_after: bool) {
+        self.out
+            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        self.out.extend_from_slice(payload);
+        self.state = ConnState::Writing { close_after };
+    }
+
+    /// Flushes pending output. `Ok(true)` = fully drained.
+    pub fn write_some(&mut self) -> io::Result<bool> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        Ok(true)
+    }
+
+    pub fn has_output(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut f = (payload.len() as u32).to_be_bytes().to_vec();
+        f.extend_from_slice(payload);
+        f
+    }
+
+    #[test]
+    fn assembles_a_frame_fed_one_byte_at_a_time() {
+        let mut asm = FrameAssembler::new(1024);
+        let wire = frame(b"hello");
+        for (i, b) in wire.iter().enumerate() {
+            assert!(
+                matches!(asm.next_frame(), Ok(None)),
+                "no frame before byte {i}"
+            );
+            asm.push(&[*b]);
+        }
+        assert_eq!(asm.next_frame().unwrap().as_deref(), Some(&b"hello"[..]));
+        assert!(matches!(asm.next_frame(), Ok(None)));
+        assert!(!asm.mid_frame());
+    }
+
+    #[test]
+    fn pops_pipelined_frames_in_order() {
+        let mut asm = FrameAssembler::new(1024);
+        let mut wire = frame(b"first");
+        wire.extend(frame(b""));
+        wire.extend(frame(b"third"));
+        asm.push(&wire);
+        assert_eq!(asm.next_frame().unwrap().as_deref(), Some(&b"first"[..]));
+        assert_eq!(asm.next_frame().unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(asm.next_frame().unwrap().as_deref(), Some(&b"third"[..]));
+        assert!(matches!(asm.next_frame(), Ok(None)));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_from_the_header_alone() {
+        let mut asm = FrameAssembler::new(16);
+        asm.push(&17u32.to_be_bytes());
+        assert_eq!(asm.next_frame(), Err(17));
+        // At the limit is fine.
+        let mut asm = FrameAssembler::new(16);
+        asm.push(&frame(&[0u8; 16]));
+        assert_eq!(asm.next_frame().unwrap().map(|p| p.len()), Some(16));
+    }
+
+    #[test]
+    fn mid_frame_reflects_partial_headers_and_payloads() {
+        let mut asm = FrameAssembler::new(1024);
+        assert!(!asm.mid_frame());
+        asm.push(&[0]);
+        assert!(asm.mid_frame(), "one header byte is a started frame");
+        asm.push(&[0, 0, 5, b'a', b'b']);
+        assert!(asm.mid_frame(), "half a payload is a started frame");
+        asm.push(b"cde");
+        assert_eq!(asm.next_frame().unwrap().as_deref(), Some(&b"abcde"[..]));
+        assert!(!asm.mid_frame(), "clean boundary after the pop");
+    }
+
+    #[test]
+    fn compaction_keeps_long_streams_bounded() {
+        let mut asm = FrameAssembler::new(1024);
+        let wire = frame(&[7u8; 100]);
+        for _ in 0..1000 {
+            asm.push(&wire);
+            assert!(asm.next_frame().unwrap().is_some());
+        }
+        assert!(
+            asm.buf.capacity() < 1_000_000,
+            "buffer must not grow with total traffic (cap {})",
+            asm.buf.capacity()
+        );
+    }
+}

@@ -21,9 +21,23 @@
 
 pub mod cache;
 pub mod client;
+pub mod conn;
+pub mod loadgen;
 pub mod metrics;
 pub mod proto;
+pub mod reactor;
+pub mod ring;
 pub mod service;
+pub mod store;
+
+/// Version of the benchmark trajectory document the serving rows are
+/// published into. Owned here (rather than in the bench crate) so the
+/// serving section's producer and the schema gate can never drift apart;
+/// `crates/bench` re-exports it as `BENCH_SCHEMA_VERSION`.
+///
+/// v4: `serving` section (open-loop percentiles + warm-start hit ratio)
+/// added alongside the v3 sections.
+pub const TRAJECTORY_SCHEMA_VERSION: u64 = 4;
 
 pub use cache::{content_key, CacheCounters, CachedOutcome, Fetch, ResultCache};
 pub use client::Client;
@@ -32,4 +46,6 @@ pub use proto::{
     read_frame, write_frame, ErrorCode, Json, Request, Response, WireConfig, WireError, MAX_FRAME,
     PROTOCOL_VERSION,
 };
+pub use ring::Ring;
 pub use service::{install_signal_handlers, Server, ServerConfig};
+pub use store::{DiskStore, StoreStats};

@@ -1,0 +1,732 @@
+//! Open-loop load generation against one or more `reordd` nodes, plus
+//! honest small-sample percentile reporting.
+//!
+//! The closed-loop driver in `reordd-bench` measures latency with a
+//! bounded number of outstanding requests — useful, but it hides queue
+//! growth: a slow server slows the *clients* down. The open-loop driver
+//! here instead opens `connections` sockets up front (the async core's
+//! whole point is that idle ones are ~free) and runs each through
+//! `rounds` sequential requests on a single event-loop thread, so 10k
+//! concurrent connections need 10k file descriptors, not 10k threads.
+//!
+//! Retries are part of the contract: `overload` and `timeout` replies
+//! are the server *working as designed* (shedding, budget expiry with
+//! the computation still landing in the cache), so the driver retries
+//! them with backoff and only counts a request as `dropped` after the
+//! attempt cap or the wall deadline. Latency is measured from the first
+//! send to the final reply — retries make a request slower, never
+//! invisible.
+
+use crate::cache::content_key;
+use crate::conn::FrameAssembler;
+use crate::proto::{ErrorCode, Request, Response, WireConfig, MAX_FRAME};
+use crate::reactor::{fd_of, Event, Interest, Poller};
+use crate::ring::Ring;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Percentiles
+// ---------------------------------------------------------------------------
+
+/// A nearest-rank quantile together with the quantile the sample size
+/// could actually resolve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantile {
+    pub value: u64,
+    /// 1-based nearest rank within the sorted sample.
+    pub rank: usize,
+    /// The quantile (in per-mille) `value` truly represents:
+    /// `rank / n * 1000`. With 10 samples a requested p99.9 resolves to
+    /// the maximum — effective 1000.0‰ — and reporting that honestly
+    /// beats pretending the tail was measured.
+    pub effective_per_mille: f64,
+}
+
+/// Nearest-rank quantile at `per_mille` (p50 = 500, p99 = 990,
+/// p99.9 = 999) over an ascending-sorted sample. `None` on an empty
+/// sample.
+pub fn quantile(sorted: &[u64], per_mille: u64) -> Option<Quantile> {
+    let n = sorted.len();
+    if n == 0 {
+        return None;
+    }
+    // ceil(n * q / 1000), clamped to [1, n]: the classic nearest-rank
+    // definition. The previous formula `(n - 1) * p / 100` rounded the
+    // rank *down*, so p99 of 10 samples quietly reported the 90th
+    // percentile.
+    let rank = (n as u64 * per_mille).div_ceil(1000).clamp(1, n as u64) as usize;
+    Some(Quantile {
+        value: sorted[rank - 1],
+        rank,
+        effective_per_mille: rank as f64 * 1000.0 / n as f64,
+    })
+}
+
+/// Formats a quantile for reports: the value plus, when the sample was
+/// too small to resolve the request, the effective quantile.
+pub fn quantile_label(sorted: &[u64], per_mille: u64) -> String {
+    match quantile(sorted, per_mille) {
+        None => "n/a".to_string(),
+        Some(q) => {
+            if (q.effective_per_mille - per_mille as f64).abs() < 0.5 {
+                format!("{} us", q.value)
+            } else {
+                format!(
+                    "{} us (effective p{:.1} at n={})",
+                    q.value,
+                    q.effective_per_mille / 10.0,
+                    sorted.len()
+                )
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharding
+// ---------------------------------------------------------------------------
+
+pub struct NodePlan {
+    pub addr: String,
+    pub programs: Vec<String>,
+}
+
+/// Splits `programs` across `nodes` by consistent-hash routing on the
+/// content key — the fleet-deployment shape, where every client agrees
+/// on placement without coordination.
+pub fn shard_programs(nodes: &[String], programs: &[String]) -> Vec<NodePlan> {
+    let ring = Ring::new(nodes.to_vec());
+    let part = WireConfig::default().cache_key_part();
+    let mut plans: Vec<NodePlan> = nodes
+        .iter()
+        .map(|addr| NodePlan {
+            addr: addr.clone(),
+            programs: Vec::new(),
+        })
+        .collect();
+    for program in programs {
+        let node = ring.route(content_key(program, &part));
+        plans[node].programs.push(program.clone());
+    }
+    plans
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop driver
+// ---------------------------------------------------------------------------
+
+/// What to run: the node fleet with per-node program assignments, and
+/// the load shape.
+pub struct OpenLoopPlan {
+    /// One entry per node; every node must have at least one program.
+    pub nodes: Vec<NodePlan>,
+    /// Total concurrent connections, spread round-robin across nodes.
+    pub connections: usize,
+    /// Sequential requests per connection.
+    pub rounds: usize,
+    pub budget_ms: Option<u64>,
+    /// Program text → expected reordered bytes; replies are verified
+    /// byte-for-byte when the program is present.
+    pub expected: HashMap<String, String>,
+    /// Wall-clock cap; incomplete requests count as dropped past it.
+    pub deadline: Duration,
+}
+
+#[derive(Debug, Default, Clone)]
+pub struct NodeReport {
+    pub addr: String,
+    pub attempted: u64,
+    pub ok: u64,
+    pub cached: u64,
+    pub retries: u64,
+    pub dropped: u64,
+    pub verify_failures: u64,
+}
+
+#[derive(Debug, Default)]
+pub struct OpenLoopReport {
+    pub attempted: u64,
+    pub ok: u64,
+    pub cached: u64,
+    pub dropped: u64,
+    pub retries: u64,
+    pub verify_failures: u64,
+    /// Per-request latency (first send → final reply), ascending.
+    pub latencies_us: Vec<u64>,
+    pub wall: Duration,
+    pub nodes: Vec<NodeReport>,
+}
+
+impl OpenLoopReport {
+    /// Every attempted request answered, byte-identical where checked.
+    pub fn clean(&self) -> bool {
+        self.dropped == 0 && self.verify_failures == 0 && self.ok == self.attempted
+    }
+}
+
+/// Per-request retry cap; past it the request counts as dropped.
+const MAX_ATTEMPTS: u32 = 200;
+/// Reactor tick while driving load.
+const TICK_MS: i32 = 20;
+
+enum Phase {
+    /// Flushing the request frame.
+    Sending,
+    /// Frame flushed; a reply is owed.
+    AwaitingReply,
+    /// Retrying after `overload`/`timeout`; resend at the instant.
+    Backoff(Instant),
+    Done,
+}
+
+struct LoadConn {
+    node: usize,
+    /// This connection's index within its node, staggering its walk
+    /// through the node's corpus.
+    intra: usize,
+    stream: Option<TcpStream>,
+    asm: FrameAssembler,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Current request number, `0..rounds`.
+    round: usize,
+    attempts: u32,
+    /// First-send instant of the current request (survives retries).
+    t0: Instant,
+    /// Encoded wire frame of the current request, kept for resends.
+    frame: Vec<u8>,
+    /// Current program text, for verification.
+    program: String,
+    phase: Phase,
+    interest: Interest,
+}
+
+impl LoadConn {
+    fn desired_interest(&self) -> Interest {
+        match self.phase {
+            Phase::Sending => Interest {
+                readable: true,
+                writable: true,
+            },
+            // READ during backoff too: an early server close should
+            // surface rather than fester until the resend.
+            Phase::AwaitingReply | Phase::Backoff(_) => Interest::READ,
+            Phase::Done => Interest::NONE,
+        }
+    }
+}
+
+struct Driver<'a> {
+    plan: &'a OpenLoopPlan,
+    poller: Poller,
+    conns: Vec<LoadConn>,
+    report: OpenLoopReport,
+    done: usize,
+}
+
+/// Runs the plan on one event-loop thread. `Err` only on setup failures
+/// (poller, initial connects); per-request trouble lands in the report.
+pub fn open_loop(plan: &OpenLoopPlan) -> io::Result<OpenLoopReport> {
+    assert!(!plan.nodes.is_empty(), "open_loop needs at least one node");
+    for node in &plan.nodes {
+        assert!(
+            !node.programs.is_empty(),
+            "node {} has no programs assigned",
+            node.addr
+        );
+    }
+
+    let started = Instant::now();
+    let deadline = started + plan.deadline;
+    let mut driver = Driver {
+        plan,
+        poller: Poller::new()?,
+        conns: Vec::with_capacity(plan.connections),
+        report: OpenLoopReport {
+            attempted: (plan.connections * plan.rounds) as u64,
+            nodes: plan
+                .nodes
+                .iter()
+                .map(|n| NodeReport {
+                    addr: n.addr.clone(),
+                    ..NodeReport::default()
+                })
+                .collect(),
+            ..OpenLoopReport::default()
+        },
+        done: 0,
+    };
+
+    let mut per_node = vec![0usize; plan.nodes.len()];
+    for c in 0..plan.connections {
+        let node = c % plan.nodes.len();
+        let stream = connect_with_retry(&plan.nodes[node].addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_nonblocking(true)?;
+        driver
+            .poller
+            .register(fd_of(&stream), c as u64, Interest::NONE)?;
+        let intra = per_node[node];
+        per_node[node] += 1;
+        driver.conns.push(LoadConn {
+            node,
+            intra,
+            stream: Some(stream),
+            asm: FrameAssembler::new(MAX_FRAME),
+            out: Vec::new(),
+            out_pos: 0,
+            round: 0,
+            attempts: 0,
+            t0: started,
+            frame: Vec::new(),
+            program: String::new(),
+            phase: Phase::Done,
+            interest: Interest::NONE,
+        });
+    }
+
+    for idx in 0..driver.conns.len() {
+        driver.start_round(idx);
+    }
+
+    let mut events: Vec<Event> = Vec::new();
+    while driver.done < driver.conns.len() {
+        if Instant::now() >= deadline {
+            driver.abandon_remaining();
+            break;
+        }
+        driver.poller.wait(&mut events, TICK_MS)?;
+        for &ev in events.iter() {
+            driver.handle_event(ev);
+        }
+        // Backoff scan: cheap even at 10k connections, once per tick.
+        let now = Instant::now();
+        for idx in 0..driver.conns.len() {
+            if matches!(driver.conns[idx].phase, Phase::Backoff(at) if at <= now) {
+                driver.begin_send(idx);
+            }
+        }
+    }
+
+    let mut report = driver.report;
+    report.latencies_us.sort_unstable();
+    report.wall = started.elapsed();
+    Ok(report)
+}
+
+impl Driver<'_> {
+    /// Builds and starts sending the connection's next request.
+    fn start_round(&mut self, idx: usize) {
+        let conn = &mut self.conns[idx];
+        let node = &self.plan.nodes[conn.node];
+        let program = node.programs[(conn.intra + conn.round) % node.programs.len()].clone();
+        let payload = Request::Reorder {
+            program: program.clone(),
+            config: WireConfig::default(),
+            budget_ms: self.plan.budget_ms,
+        }
+        .encode();
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        conn.frame = frame;
+        conn.program = program;
+        conn.attempts = 0;
+        conn.t0 = Instant::now();
+        self.report.nodes[conn.node].attempted += 1;
+        self.begin_send(idx);
+    }
+
+    /// (Re)sends the current request frame.
+    fn begin_send(&mut self, idx: usize) {
+        let conn = &mut self.conns[idx];
+        conn.attempts += 1;
+        conn.out = conn.frame.clone();
+        conn.out_pos = 0;
+        conn.phase = Phase::Sending;
+        self.flush(idx);
+    }
+
+    fn flush(&mut self, idx: usize) {
+        let conn = &mut self.conns[idx];
+        let Some(stream) = conn.stream.as_mut() else {
+            return;
+        };
+        loop {
+            if conn.out_pos == conn.out.len() {
+                conn.out.clear();
+                conn.out_pos = 0;
+                conn.phase = Phase::AwaitingReply;
+                break;
+            }
+            match stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => return self.transport_retry(idx),
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return self.transport_retry(idx),
+            }
+        }
+        self.sync_interest(idx);
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        let idx = ev.token as usize;
+        if idx >= self.conns.len() || matches!(self.conns[idx].phase, Phase::Done) {
+            return;
+        }
+        if ev.writable && matches!(self.conns[idx].phase, Phase::Sending) {
+            self.flush(idx);
+            if matches!(self.conns[idx].phase, Phase::Done) {
+                return;
+            }
+        }
+        if ev.readable || ev.closed {
+            self.read_replies(idx);
+        }
+    }
+
+    fn read_replies(&mut self, idx: usize) {
+        let mut buf = [0u8; 8192];
+        loop {
+            let conn = &mut self.conns[idx];
+            let Some(stream) = conn.stream.as_mut() else {
+                return;
+            };
+            match stream.read(&mut buf) {
+                Ok(0) => return self.transport_retry(idx),
+                Ok(n) => {
+                    conn.asm.push(&buf[..n]);
+                    // One request in flight per connection, so at most
+                    // one reply frame is pending; pop until quiet.
+                    loop {
+                        match self.conns[idx].asm.next_frame() {
+                            Ok(Some(frame)) => self.handle_reply(idx, &frame),
+                            Ok(None) => break,
+                            Err(_) => return self.fail_request(idx, "oversized reply frame"),
+                        }
+                        if matches!(self.conns[idx].phase, Phase::Done) {
+                            return;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return self.transport_retry(idx),
+            }
+        }
+    }
+
+    fn handle_reply(&mut self, idx: usize, frame: &[u8]) {
+        match Response::decode(frame) {
+            Ok(Response::Reordered {
+                program: reordered,
+                cached,
+                ..
+            }) => {
+                let conn = &self.conns[idx];
+                let node = conn.node;
+                let latency = conn.t0.elapsed().as_micros() as u64;
+                self.report.ok += 1;
+                self.report.nodes[node].ok += 1;
+                if cached {
+                    self.report.cached += 1;
+                    self.report.nodes[node].cached += 1;
+                }
+                self.report.latencies_us.push(latency);
+                if let Some(want) = self.plan.expected.get(&self.conns[idx].program) {
+                    if *want != reordered {
+                        self.report.verify_failures += 1;
+                        self.report.nodes[node].verify_failures += 1;
+                    }
+                }
+                self.advance(idx);
+            }
+            Ok(Response::Error(err)) => match err.code {
+                ErrorCode::Overload => self.schedule_retry(idx, Duration::from_millis(5)),
+                // The budget expired but the computation continues and
+                // will be cached — a prompt retry usually hits.
+                ErrorCode::Timeout => self.schedule_retry(idx, Duration::from_millis(2)),
+                _ => self.fail_request(idx, err.code.as_str()),
+            },
+            Ok(_) => self.fail_request(idx, "unexpected reply variant"),
+            Err(_) => self.fail_request(idx, "undecodable reply"),
+        }
+    }
+
+    fn schedule_retry(&mut self, idx: usize, base: Duration) {
+        self.report.retries += 1;
+        self.report.nodes[self.conns[idx].node].retries += 1;
+        let conn = &mut self.conns[idx];
+        if conn.attempts >= MAX_ATTEMPTS {
+            return self.fail_request(idx, "attempt cap");
+        }
+        let backoff = (base * conn.attempts).min(Duration::from_millis(100));
+        conn.phase = Phase::Backoff(Instant::now() + backoff);
+        self.sync_interest(idx);
+    }
+
+    /// Transport-level failure: reconnect and resend the in-flight
+    /// request on the fresh socket.
+    fn transport_retry(&mut self, idx: usize) {
+        self.report.retries += 1;
+        self.report.nodes[self.conns[idx].node].retries += 1;
+        let node_addr = self.plan.nodes[self.conns[idx].node].addr.clone();
+        if let Some(old) = self.conns[idx].stream.take() {
+            let _ = self.poller.deregister(fd_of(&old));
+        }
+        self.conns[idx].asm = FrameAssembler::new(MAX_FRAME);
+        if self.conns[idx].attempts >= MAX_ATTEMPTS {
+            return self.fail_request(idx, "attempt cap after transport error");
+        }
+        match connect_with_retry(&node_addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                if stream.set_nonblocking(true).is_err()
+                    || self
+                        .poller
+                        .register(fd_of(&stream), idx as u64, Interest::NONE)
+                        .is_err()
+                {
+                    return self.abandon_conn(idx);
+                }
+                self.conns[idx].stream = Some(stream);
+                self.conns[idx].interest = Interest::NONE;
+                self.begin_send(idx);
+            }
+            Err(_) => self.abandon_conn(idx),
+        }
+    }
+
+    /// Terminal failure for the current request only.
+    fn fail_request(&mut self, idx: usize, _why: &str) {
+        self.report.dropped += 1;
+        self.report.nodes[self.conns[idx].node].dropped += 1;
+        self.advance(idx);
+    }
+
+    /// The node is unreachable: every remaining request on this
+    /// connection is dropped.
+    fn abandon_conn(&mut self, idx: usize) {
+        let conn = &mut self.conns[idx];
+        let remaining = (self.plan.rounds - conn.round) as u64;
+        self.report.dropped += remaining;
+        self.report.nodes[conn.node].dropped += remaining;
+        // Rounds past the current one were never started; count their
+        // attempts now so node totals still sum to the plan.
+        self.report.nodes[conn.node].attempted += remaining.saturating_sub(1);
+        self.finish_conn(idx);
+    }
+
+    fn advance(&mut self, idx: usize) {
+        let conn = &mut self.conns[idx];
+        conn.round += 1;
+        if conn.round >= self.plan.rounds {
+            self.finish_conn(idx);
+        } else {
+            self.start_round(idx);
+        }
+    }
+
+    fn finish_conn(&mut self, idx: usize) {
+        let conn = &mut self.conns[idx];
+        if let Some(stream) = conn.stream.take() {
+            let _ = self.poller.deregister(fd_of(&stream));
+        }
+        conn.phase = Phase::Done;
+        conn.interest = Interest::NONE;
+        self.done += 1;
+    }
+
+    fn abandon_remaining(&mut self) {
+        for idx in 0..self.conns.len() {
+            if !matches!(self.conns[idx].phase, Phase::Done) {
+                self.abandon_conn(idx);
+            }
+        }
+    }
+
+    fn sync_interest(&mut self, idx: usize) {
+        let conn = &mut self.conns[idx];
+        let want = conn.desired_interest();
+        if want == conn.interest {
+            return;
+        }
+        if let Some(stream) = conn.stream.as_ref() {
+            if self
+                .poller
+                .reregister(fd_of(stream), idx as u64, want)
+                .is_ok()
+            {
+                self.conns[idx].interest = want;
+            }
+        }
+    }
+}
+
+fn connect_with_retry(addr: &str) -> io::Result<TcpStream> {
+    let mut last = None;
+    for attempt in 0..8u32 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(25 * (attempt as u64 + 1)));
+            }
+        }
+    }
+    Err(last.unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{read_frame, write_frame, Json, WireError};
+    use std::net::TcpListener;
+
+    #[test]
+    fn quantile_uses_nearest_rank_not_floor() {
+        let sorted: Vec<u64> = (1..=10).collect();
+        // The old floor formula gave index (10-1)*99/100 = 8 → value 9:
+        // a p90 masquerading as p99. Nearest-rank gives the max.
+        let p99 = quantile(&sorted, 990).unwrap();
+        assert_eq!(p99.value, 10);
+        assert_eq!(p99.rank, 10);
+        let p50 = quantile(&sorted, 500).unwrap();
+        assert_eq!(p50.value, 5);
+        assert_eq!(p50.effective_per_mille, 500.0);
+    }
+
+    #[test]
+    fn small_samples_report_the_effective_quantile() {
+        let one = [42u64];
+        let q = quantile(&one, 999).unwrap();
+        assert_eq!(q.value, 42);
+        assert_eq!(q.effective_per_mille, 1000.0, "n=1: everything is max");
+        assert!(quantile_label(&one, 999).contains("effective p100.0"));
+
+        let thousand: Vec<u64> = (1..=1000).collect();
+        let q = quantile(&thousand, 999).unwrap();
+        assert_eq!(q.rank, 999);
+        assert_eq!(q.value, 999);
+        assert_eq!(q.effective_per_mille, 999.0);
+        assert_eq!(quantile_label(&thousand, 999), "999 us");
+
+        assert!(quantile(&[], 500).is_none());
+        assert_eq!(quantile_label(&[], 500), "n/a");
+    }
+
+    #[test]
+    fn shard_programs_matches_ring_routing_and_partitions() {
+        let nodes = vec!["a:1".to_string(), "b:2".to_string(), "c:3".to_string()];
+        let programs: Vec<String> = (0..60).map(|i| format!("p{i}(x).")).collect();
+        let plans = shard_programs(&nodes, &programs);
+        assert_eq!(plans.len(), 3);
+        let total: usize = plans.iter().map(|p| p.programs.len()).sum();
+        assert_eq!(total, programs.len(), "sharding must partition");
+        let ring = Ring::new(nodes.clone());
+        let part = WireConfig::default().cache_key_part();
+        for (idx, plan) in plans.iter().enumerate() {
+            for program in &plan.programs {
+                assert_eq!(ring.route(content_key(program, &part)), idx);
+            }
+        }
+    }
+
+    /// A blocking fake `reordd` that sheds each connection's first
+    /// request with `overload` (connection kept open — the async
+    /// server's request-level shedding), then echoes the program
+    /// doubled. Exercises the retry path without the real pipeline.
+    fn spawn_fake_server() -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                std::thread::spawn(move || {
+                    let mut shed_next = true;
+                    while let Ok(Some(frame)) = read_frame(&mut stream, MAX_FRAME) {
+                        let reply = match Request::decode(&frame) {
+                            Ok(Request::Reorder { program, .. }) => {
+                                if std::mem::take(&mut shed_next) {
+                                    Response::Error(WireError::new(ErrorCode::Overload, "shed"))
+                                } else {
+                                    Response::Reordered {
+                                        program: format!("{program}{program}"),
+                                        cached: false,
+                                        elapsed_us: 1,
+                                        pipeline: Json::Obj(vec![]),
+                                    }
+                                }
+                            }
+                            _ => Response::Error(WireError::bad_request("unexpected")),
+                        };
+                        if write_frame(&mut stream, &reply.encode()).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn open_loop_retries_sheds_to_zero_drops_and_verifies_bytes() {
+        let addr = spawn_fake_server();
+        let programs: Vec<String> = (0..3).map(|i| format!("t{i}(a).")).collect();
+        let expected: HashMap<String, String> = programs
+            .iter()
+            .map(|p| (p.clone(), format!("{p}{p}")))
+            .collect();
+        let plan = OpenLoopPlan {
+            nodes: vec![NodePlan {
+                addr,
+                programs: programs.clone(),
+            }],
+            connections: 4,
+            rounds: 3,
+            budget_ms: None,
+            expected,
+            deadline: Duration::from_secs(30),
+        };
+        let report = open_loop(&plan).unwrap();
+        assert_eq!(report.attempted, 12);
+        assert_eq!(report.ok, 12, "shed requests must retry to completion");
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.verify_failures, 0);
+        assert!(report.clean());
+        assert_eq!(
+            report.retries, 4,
+            "each connection's first request is shed exactly once"
+        );
+        assert_eq!(report.latencies_us.len(), 12);
+        assert!(report.latencies_us.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(report.nodes.len(), 1);
+        assert_eq!(report.nodes[0].attempted, 12);
+        assert_eq!(report.nodes[0].ok, 12);
+    }
+
+    #[test]
+    fn verify_failures_are_counted_not_fatal() {
+        let addr = spawn_fake_server();
+        let programs = vec!["v0(a).".to_string()];
+        let mut expected = HashMap::new();
+        expected.insert("v0(a).".to_string(), "something else".to_string());
+        let plan = OpenLoopPlan {
+            nodes: vec![NodePlan { addr, programs }],
+            connections: 1,
+            rounds: 2,
+            budget_ms: None,
+            expected,
+            deadline: Duration::from_secs(30),
+        };
+        let report = open_loop(&plan).unwrap();
+        assert_eq!(report.ok, 2);
+        assert_eq!(report.verify_failures, 2);
+        assert!(!report.clean());
+    }
+}

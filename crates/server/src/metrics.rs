@@ -9,6 +9,7 @@
 
 use crate::cache::CacheCounters;
 use crate::proto::Json;
+use crate::store::StoreStats;
 use reorder::RunStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -128,6 +129,7 @@ impl Metrics {
     }
 
     /// The body of a `stats` reply.
+    #[allow(clippy::too_many_arguments)]
     pub fn snapshot(
         &self,
         cache: CacheCounters,
@@ -136,6 +138,7 @@ impl Metrics {
         queue_capacity: usize,
         workers: usize,
         calibrations_stored: usize,
+        store: Option<StoreStats>,
     ) -> Json {
         let load = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
         let pipeline_json = self
@@ -144,7 +147,25 @@ impl Metrics {
             .expect("pipeline stats lock poisoned")
             .to_json();
         let pipeline = Json::parse(&pipeline_json).expect("RunStats::to_json emits valid JSON");
-        Json::Obj(vec![
+        // The persistent tier's block is present iff a store is
+        // configured, so clients can feature-detect it (placed right
+        // after `cache`, whose read-through misses it absorbs).
+        let store_json = store.map(|s| {
+            Json::Obj(vec![
+                ("entries".to_string(), Json::Num(s.entries as f64)),
+                ("segments".to_string(), Json::Num(s.segments as f64)),
+                ("live_bytes".to_string(), Json::Num(s.live_bytes as f64)),
+                ("dead_bytes".to_string(), Json::Num(s.dead_bytes as f64)),
+                ("appends".to_string(), Json::Num(s.appends as f64)),
+                ("flushes".to_string(), Json::Num(s.flushes as f64)),
+                ("compactions".to_string(), Json::Num(s.compactions as f64)),
+                (
+                    "recovered_dropped_bytes".to_string(),
+                    Json::Num(s.recovered_dropped_bytes as f64),
+                ),
+            ])
+        });
+        let mut body = Json::Obj(vec![
             (
                 "uptime_us".to_string(),
                 Json::Num(self.started.elapsed().as_micros() as f64),
@@ -171,6 +192,7 @@ impl Metrics {
                     ("hits".to_string(), Json::Num(cache.hits as f64)),
                     ("misses".to_string(), Json::Num(cache.misses as f64)),
                     ("coalesced".to_string(), Json::Num(cache.coalesced as f64)),
+                    ("disk_hits".to_string(), Json::Num(cache.disk_hits as f64)),
                     ("evictions".to_string(), Json::Num(cache.evictions as f64)),
                     ("timeouts".to_string(), Json::Num(cache.timeouts as f64)),
                     (
@@ -213,7 +235,15 @@ impl Metrics {
                 ]),
             ),
             ("pipeline".to_string(), pipeline),
-        ])
+        ]);
+        if let (Json::Obj(fields), Some(store)) = (&mut body, store_json) {
+            let at = fields
+                .iter()
+                .position(|(k, _)| k == "cache")
+                .map_or(fields.len(), |i| i + 1);
+            fields.insert(at, ("store".to_string(), store));
+        }
+        body
     }
 }
 
@@ -243,9 +273,16 @@ mod tests {
         let cache = CacheCounters {
             hits: 7,
             misses: 2,
+            disk_hits: 3,
             ..Default::default()
         };
-        let snap = metrics.snapshot(cache, 2, 64, 16, 4, 1);
+        let store = StoreStats {
+            entries: 9,
+            segments: 1,
+            live_bytes: 4096,
+            ..Default::default()
+        };
+        let snap = metrics.snapshot(cache, 2, 64, 16, 4, 1, Some(store));
         assert_eq!(
             snap.get("requests")
                 .and_then(|r| r.get("total"))
@@ -264,6 +301,22 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(0)
         );
+        assert_eq!(
+            snap.get("cache")
+                .and_then(|c| c.get("disk_hits"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            snap.get("store")
+                .and_then(|s| s.get("entries"))
+                .and_then(Json::as_u64),
+            Some(9)
+        );
+        // Without a persistent tier the `store` block is absent, so
+        // clients can feature-detect it.
+        let memory_only = metrics.snapshot(CacheCounters::default(), 0, 64, 16, 4, 0, None);
+        assert!(memory_only.get("store").is_none());
         assert_eq!(
             snap.get("calibration")
                 .and_then(|c| c.get("stored"))

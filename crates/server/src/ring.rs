@@ -1,0 +1,173 @@
+//! Consistent-hash ring for sharding reorder requests across a fleet of
+//! `reordd` nodes by content key.
+//!
+//! The cache is content-addressed, so the routing invariant that matters
+//! is *stability*: the same program (plus config) must land on the same
+//! node every time, or the fleet's aggregate hit ratio collapses to the
+//! single-node one. Virtual nodes (`VNODES` replicas per physical node,
+//! hashed as `"host:port#i"`) smooth the key-space split so no node owns
+//! a dominant arc, and adding or removing one node only remaps the arcs
+//! it owned — the classic consistent-hashing economy.
+//!
+//! Routing hashes nothing new: it takes the high 64 bits of the 128-bit
+//! FNV content key the cache already computes, and binary-searches the
+//! sorted ring for the first vnode at or past it (wrapping).
+
+/// Virtual nodes per physical node. 64 keeps the worst/best arc ratio
+/// within a few percent for small fleets without bloating the ring.
+const VNODES: usize = 64;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Avalanche finalizer (the 64-bit murmur3 `fmix`). Raw FNV over short,
+/// near-identical strings like `"host:port#7"` leaves the high bits
+/// correlated, which shows up directly as lopsided arcs; one round of
+/// mixing restores an even spread.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// A consistent-hash ring over node addresses (`host:port` strings).
+pub struct Ring {
+    /// (ring position, node index) sorted by position.
+    points: Vec<(u64, usize)>,
+    nodes: Vec<String>,
+}
+
+impl Ring {
+    /// Builds a ring. Order of `nodes` fixes the index each address
+    /// reports in stats; ring placement depends only on the address
+    /// text, so every client computes the same ring.
+    pub fn new(nodes: Vec<String>) -> Ring {
+        let mut points = Vec::with_capacity(nodes.len() * VNODES);
+        for (idx, node) in nodes.iter().enumerate() {
+            for replica in 0..VNODES {
+                points.push((mix64(fnv64(format!("{node}#{replica}").as_bytes())), idx));
+            }
+        }
+        // Position ties (hash collisions across nodes) resolve by node
+        // index so the ring is deterministic regardless of sort order.
+        points.sort_unstable();
+        Ring { points, nodes }
+    }
+
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Index (into `nodes()`) of the node owning `key`.
+    pub fn route(&self, key: u128) -> usize {
+        assert!(!self.points.is_empty(), "routing on an empty ring");
+        let point = (key >> 64) as u64;
+        // First vnode at or past the key's position, wrapping to the
+        // start of the ring.
+        let at = self.points.partition_point(|&(pos, _)| pos < point);
+        let (_, idx) = self.points[at % self.points.len()];
+        idx
+    }
+
+    /// Address of the node owning `key`.
+    pub fn route_addr(&self, key: u128) -> &str {
+        &self.nodes[self.route(key)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::content_key;
+
+    fn three_nodes() -> Ring {
+        Ring::new(vec![
+            "10.0.0.1:7070".to_string(),
+            "10.0.0.2:7070".to_string(),
+            "10.0.0.3:7070".to_string(),
+        ])
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        let ring = three_nodes();
+        for i in 0..500u64 {
+            let key = content_key(&format!("p{i}(a)."), "cfg");
+            let first = ring.route(key);
+            assert!(first < 3);
+            assert_eq!(first, ring.route(key), "same key, same node");
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_spread_load_roughly_evenly() {
+        let ring = three_nodes();
+        let mut counts = [0usize; 3];
+        for i in 0..3000u64 {
+            counts[ring.route(content_key(&format!("q{i}(b)."), "cfg"))] += 1;
+        }
+        for (idx, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 500,
+                "node {idx} owns only {count}/3000 keys — ring is lopsided: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_only_remaps_its_own_keys() {
+        let full = three_nodes();
+        let reduced = Ring::new(vec![
+            "10.0.0.1:7070".to_string(),
+            "10.0.0.2:7070".to_string(),
+        ]);
+        let mut moved = 0usize;
+        let total = 2000usize;
+        for i in 0..total {
+            let key = content_key(&format!("r{i}(c)."), "cfg");
+            let before = full.route_addr(key);
+            let after = reduced.route_addr(key);
+            if before == "10.0.0.3:7070" {
+                // Orphaned keys must land somewhere in the smaller ring.
+                assert_ne!(after, "10.0.0.3:7070");
+            } else if before != after {
+                moved += 1;
+            }
+        }
+        assert_eq!(
+            moved, 0,
+            "keys on surviving nodes must not move when another node leaves"
+        );
+    }
+
+    #[test]
+    fn ring_is_independent_of_declaration_order() {
+        let a = three_nodes();
+        let b = Ring::new(vec![
+            "10.0.0.3:7070".to_string(),
+            "10.0.0.1:7070".to_string(),
+            "10.0.0.2:7070".to_string(),
+        ]);
+        for i in 0..500u64 {
+            let key = content_key(&format!("s{i}(d)."), "cfg");
+            assert_eq!(
+                a.route_addr(key),
+                b.route_addr(key),
+                "placement must depend on address text, not argument order"
+            );
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Adversarial-I/O tests against the non-blocking connection state
+//! machine: frames dribbled a byte at a time, header/payload splits,
+//! pipelining, slow-loris half-frames vs the frame deadline, oversized
+//! length announcements, and torn writes. All over raw `TcpStream`s —
+//! the point is exactly the byte patterns a well-behaved client never
+//! produces.
+
+use reordd::{read_frame, Client, ErrorCode, Request, Response, MAX_FRAME};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A `reordd` child process bound to an ephemeral port.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra_args: &[&str]) -> Daemon {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let port_file = std::env::temp_dir().join(format!(
+            "reordd-asyncio-{}-{}.port",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_file(&port_file);
+        let child = Command::new(env!("CARGO_BIN_EXE_reordd"))
+            .args(["--addr", "127.0.0.1:0", "--port-file"])
+            .arg(&port_file)
+            .args(extra_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn reordd");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(contents) = std::fs::read_to_string(&port_file) {
+                let trimmed = contents.trim();
+                if !trimmed.is_empty() {
+                    break trimmed.to_string();
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "reordd did not write its port file"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        let _ = std::fs::remove_file(&port_file);
+        Daemon { child, addr }
+    }
+
+    fn raw(&self) -> TcpStream {
+        let stream = TcpStream::connect(&self.addr).expect("connect raw socket");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream
+            .set_write_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.addr.as_str(), CONNECT_TIMEOUT).expect("connect to reordd")
+    }
+
+    fn shutdown_and_wait(mut self, client: &mut Client) {
+        match client.call(&Request::Shutdown) {
+            Ok(Response::ShuttingDown) => {}
+            other => panic!("expected shutting_down, got {other:?}"),
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().expect("wait for reordd") {
+                Some(status) => {
+                    assert!(status.success(), "reordd exited with {status}");
+                    return;
+                }
+                None => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "reordd did not exit after shutdown"
+                    );
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One length-prefixed frame as raw bytes.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn read_response(stream: &mut TcpStream) -> Response {
+    let payload = read_frame(stream, MAX_FRAME)
+        .expect("read reply frame")
+        .expect("peer closed instead of replying");
+    Response::decode(&payload).expect("reply decodes")
+}
+
+/// Reads until EOF, failing if the peer keeps the socket open past the
+/// read timeout.
+fn expect_eof(stream: &mut TcpStream) {
+    let mut buf = [0u8; 256];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(_) => {} // drain whatever was still in flight
+            Err(e) => panic!("expected EOF, got read error {e}"),
+        }
+    }
+}
+
+#[test]
+fn dribbled_frame_is_assembled_and_answered() {
+    let daemon = Daemon::spawn(&[]);
+    let mut stream = daemon.raw();
+
+    // The worst well-formed client: one byte per write, with pauses.
+    for &byte in &frame(&Request::Ping.encode()) {
+        stream.write_all(&[byte]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(matches!(read_response(&mut stream), Response::Pong));
+
+    let mut client = daemon.client();
+    daemon.shutdown_and_wait(&mut client);
+}
+
+#[test]
+fn header_and_payload_split_across_writes() {
+    let daemon = Daemon::spawn(&[]);
+    let mut stream = daemon.raw();
+
+    let bytes = frame(&Request::Ping.encode());
+    // Two bytes of the length header…
+    stream.write_all(&bytes[..2]).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    // …the rest of the header plus half the payload…
+    let mid = 4 + (bytes.len() - 4) / 2;
+    stream.write_all(&bytes[2..mid]).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    // …and the remainder.
+    stream.write_all(&bytes[mid..]).unwrap();
+    assert!(matches!(read_response(&mut stream), Response::Pong));
+
+    let mut client = daemon.client();
+    daemon.shutdown_and_wait(&mut client);
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let daemon = Daemon::spawn(&[]);
+    let mut stream = daemon.raw();
+
+    // Three requests in a single write: the connection must answer all
+    // of them, strictly in order, without waiting for the client.
+    let mut burst = Vec::new();
+    burst.extend_from_slice(&frame(&Request::Ping.encode()));
+    burst.extend_from_slice(&frame(&Request::Stats.encode()));
+    burst.extend_from_slice(&frame(&Request::Ping.encode()));
+    stream.write_all(&burst).unwrap();
+
+    assert!(matches!(read_response(&mut stream), Response::Pong));
+    assert!(matches!(read_response(&mut stream), Response::Stats(_)));
+    assert!(matches!(read_response(&mut stream), Response::Pong));
+
+    let mut client = daemon.client();
+    daemon.shutdown_and_wait(&mut client);
+}
+
+#[test]
+fn slow_loris_half_frame_is_cut_at_the_frame_deadline() {
+    // Tight frame deadline, long idle timeout: the cut below can only be
+    // the mid-frame bound, not idleness.
+    let daemon = Daemon::spawn(&["--frame-ms", "300", "--idle-ms", "60000"]);
+
+    // An innocent bystander: connected, idle, no partial frame. It must
+    // survive the loris's eviction.
+    let mut bystander = daemon.client();
+
+    let mut loris = daemon.raw();
+    let bytes = frame(&Request::Ping.encode());
+    loris.write_all(&bytes[..6]).unwrap(); // header + 2 payload bytes
+    loris.flush().unwrap();
+    let started = Instant::now();
+    expect_eof(&mut loris);
+    let cut_after = started.elapsed();
+    assert!(
+        cut_after < Duration::from_secs(10),
+        "mid-frame connection must be cut near the deadline, took {cut_after:?}"
+    );
+
+    assert!(
+        matches!(bystander.call(&Request::Ping), Ok(Response::Pong)),
+        "idle connection without a partial frame survives the loris cut"
+    );
+    daemon.shutdown_and_wait(&mut bystander);
+}
+
+#[test]
+fn oversized_length_announcement_is_refused_and_closed() {
+    let daemon = Daemon::spawn(&[]);
+    let mut stream = daemon.raw();
+
+    // A length far past MAX_FRAME, from the header alone — no payload
+    // bytes are ever sent, and none are needed to refuse it.
+    stream
+        .write_all(&(u32::MAX - 1).to_be_bytes())
+        .expect("write oversized header");
+    match read_response(&mut stream) {
+        Response::Error(err) => {
+            assert_eq!(err.code, ErrorCode::TooLarge);
+        }
+        other => panic!("expected too_large, got {other:?}"),
+    }
+    // Resync is impossible mid-announcement, so the server closes.
+    expect_eof(&mut stream);
+
+    let mut client = daemon.client();
+    daemon.shutdown_and_wait(&mut client);
+}
+
+#[test]
+fn torn_write_then_abandon_is_survived() {
+    let daemon = Daemon::spawn(&[]);
+
+    // Half a frame, then the socket vanishes — once dropped cleanly,
+    // once after only the header.
+    for cut in [6usize, 4] {
+        let mut stream = daemon.raw();
+        let bytes = frame(&Request::Ping.encode());
+        stream.write_all(&bytes[..cut]).unwrap();
+        stream.flush().unwrap();
+        drop(stream);
+    }
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The daemon shrugged: a fresh connection gets full service.
+    let mut client = daemon.client();
+    assert!(matches!(client.call(&Request::Ping), Ok(Response::Pong)));
+    daemon.shutdown_and_wait(&mut client);
+}
+
+#[test]
+fn idle_connections_are_cheap_and_do_not_starve_service() {
+    // One worker: if idle connections cost threads or queue slots, this
+    // configuration would seize up.
+    let daemon = Daemon::spawn(&["--workers", "1"]);
+
+    let idle: Vec<TcpStream> = (0..300).map(|_| daemon.raw()).collect();
+    // With 300 idle connections parked on the reactor, a working client
+    // still gets served promptly.
+    let mut client = daemon.client();
+    let started = Instant::now();
+    assert!(matches!(client.call(&Request::Ping), Ok(Response::Pong)));
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "ping behind 300 idle connections took {:?}",
+        started.elapsed()
+    );
+
+    let stats = match client.call(&Request::Stats) {
+        Ok(Response::Stats(body)) => body,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    let accepted = stats
+        .get("connections")
+        .and_then(reordd::Json::as_u64)
+        .expect("stats report accepted connections");
+    assert!(
+        accepted >= 301,
+        "all idle connections were accepted: {accepted}"
+    );
+    drop(idle);
+    daemon.shutdown_and_wait(&mut client);
+}

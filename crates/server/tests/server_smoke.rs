@@ -423,21 +423,49 @@ fn zero_budget_times_out_then_retry_is_served_from_cache() {
     daemon.shutdown_and_wait(&mut client);
 }
 
+/// A program whose reorder run takes many seconds: hundreds of clauses,
+/// each at the exhaustive-search width. Occupying the single worker with
+/// it (under a bounding budget) makes overload deterministic.
+fn slow_program() -> String {
+    let mut text = String::new();
+    for c in 0..300 {
+        let goals: Vec<String> = (0..6).map(|g| format!("q{c}_{g}(A,B,C,D,E,F,G)")).collect();
+        text.push_str(&format!("p{c}(A,B,C,D,E,F,G) :- {}.\n", goals.join(", ")));
+        for g in 0..6 {
+            text.push_str(&format!("q{c}_{g}(a,b,c,d,e,f,g).\n"));
+        }
+    }
+    text
+}
+
 #[test]
-fn overload_sheds_with_a_structured_reply_and_recovers() {
-    // One worker, queue depth one: a held connection plus one queued
-    // connection saturate the daemon.
+fn overload_sheds_the_request_and_the_connection_survives() {
+    // One worker, queue depth one: a slow request holds the worker, one
+    // queued request fills the queue, and the next request must be shed.
     let daemon = Daemon::spawn(&["--workers", "1", "--queue", "1"]);
 
-    // A occupies the only worker (connected, sending nothing).
-    let conn_a = daemon.client();
-    std::thread::sleep(Duration::from_millis(300));
-    // B fills the queue.
+    // A occupies the only worker: a many-second reorder, bounded by its
+    // budget so the worker frees itself even if the box is fast.
+    let mut conn_a = daemon.client();
+    conn_a
+        .send(&Request::Reorder {
+            program: slow_program(),
+            config: WireConfig::default(),
+            budget_ms: Some(5_000),
+        })
+        .expect("send slow request");
+    std::thread::sleep(Duration::from_millis(400));
+
+    // B fills the one queue slot.
     let mut conn_b = daemon.client();
+    conn_b.send(&Request::Ping).expect("send queued ping");
     std::thread::sleep(Duration::from_millis(200));
-    // C must be shed by the acceptor with a structured overload reply.
+
+    // C's request must be shed with a structured overload reply — and
+    // the connection must stay open: shedding is per request now, so a
+    // retry needs no reconnect.
     let mut conn_c = daemon.client();
-    match conn_c.read_reply() {
+    match conn_c.call(&Request::Ping) {
         Ok(Response::Error(err)) => {
             assert_eq!(err.code, ErrorCode::Overload);
             assert!(err.message.contains("retry"));
@@ -445,22 +473,27 @@ fn overload_sheds_with_a_structured_reply_and_recovers() {
         other => panic!("expected an overload reply, got {other:?}"),
     }
 
-    // Releasing A lets the worker pick up B: the daemon recovered
-    // without restarting anything.
-    drop(conn_a);
+    // Once the worker frees (budget expiry at the latest), B's queued
+    // ping is served — the daemon recovered without restarting anything.
     assert!(
-        matches!(conn_b.call(&Request::Ping), Ok(Response::Pong)),
-        "queued connection is served after the held one closes"
+        matches!(conn_b.read_reply(), Ok(Response::Pong)),
+        "queued request is served when the worker frees"
     );
-    let stats = match conn_b.call(&Request::Stats) {
+    // And C retries on the SAME socket, successfully.
+    let stats = match conn_c.call(&Request::Stats) {
         Ok(Response::Stats(body)) => body,
-        other => panic!("expected stats, got {other:?}"),
+        other => panic!("expected stats on the previously-shed connection, got {other:?}"),
     };
-    assert!(
-        stat(&stats, &["shed"]) >= 1,
-        "the shed connection is counted"
-    );
+    assert!(stat(&stats, &["shed"]) >= 1, "the shed request is counted");
     assert_eq!(stat(&stats, &["workers", "total"]), 1);
 
-    daemon.shutdown_and_wait(&mut conn_b);
+    // A's slow request resolves as a result or a structured timeout —
+    // never a dropped connection.
+    match conn_a.read_reply() {
+        Ok(Response::Reordered { .. }) => {}
+        Ok(Response::Error(err)) => assert_eq!(err.code, ErrorCode::Timeout),
+        other => panic!("expected a result or timeout, got {other:?}"),
+    }
+
+    daemon.shutdown_and_wait(&mut conn_c);
 }

@@ -1,0 +1,284 @@
+//! Persistent-cache warm-start tests: a drained daemon's results must
+//! survive into its next incarnation via `--store`, and calibration
+//! invalidations must tombstone through to disk so a restart can never
+//! resurrect a stale plan.
+
+use reordd::{Client, Json, Request, Response, WireConfig};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra_args: &[&str]) -> Daemon {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let port_file = std::env::temp_dir().join(format!(
+            "reordd-warm-{}-{}.port",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_file(&port_file);
+        let child = Command::new(env!("CARGO_BIN_EXE_reordd"))
+            .args(["--addr", "127.0.0.1:0", "--port-file"])
+            .arg(&port_file)
+            .args(extra_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn reordd");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(contents) = std::fs::read_to_string(&port_file) {
+                let trimmed = contents.trim();
+                if !trimmed.is_empty() {
+                    break trimmed.to_string();
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "reordd did not write its port file"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        let _ = std::fs::remove_file(&port_file);
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.addr.as_str(), CONNECT_TIMEOUT).expect("connect to reordd")
+    }
+
+    /// Kills the daemon the way an init system would: SIGTERM, then wait
+    /// for the graceful drain (which must flush the store) and exit 0.
+    fn sigterm_and_wait(mut self) {
+        let status = Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .expect("send SIGTERM");
+        assert!(status.success(), "kill -TERM failed");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().expect("wait for reordd") {
+                Some(status) => {
+                    assert!(
+                        status.success(),
+                        "reordd exited with {status} after SIGTERM"
+                    );
+                    return;
+                }
+                None => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "reordd did not drain after SIGTERM"
+                    );
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    fn shutdown_and_wait(mut self, client: &mut Client) {
+        match client.call(&Request::Shutdown) {
+            Ok(Response::ShuttingDown) => {}
+            other => panic!("expected shutting_down, got {other:?}"),
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().expect("wait for reordd") {
+                Some(status) => {
+                    assert!(status.success(), "reordd exited with {status}");
+                    return;
+                }
+                None => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "reordd did not exit after shutdown"
+                    );
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn stat(body: &Json, path: &[&str]) -> u64 {
+    let mut node = body;
+    for key in path {
+        node = node
+            .get(key)
+            .unwrap_or_else(|| panic!("stats reply missing {path:?}"));
+    }
+    node.as_u64()
+        .unwrap_or_else(|| panic!("stats field {path:?} is not a number"))
+}
+
+fn reorder_request(program: &str) -> Request {
+    Request::Reorder {
+        program: program.to_string(),
+        config: WireConfig::default(),
+        budget_ms: None,
+    }
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("reordd-warm-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const SMALL: &str = "likes(ann, milk). likes(bob, beer).\n\
+                     happy(X) :- likes(X, beer).\n";
+
+#[test]
+fn sigterm_then_restart_serves_the_workload_warm_from_disk() {
+    let store = temp_store("restart");
+    let store_arg = store.to_str().unwrap().to_string();
+
+    let source = prolog_workloads::corpus_program("family")
+        .expect("family workload exists")
+        .text;
+    let expected = reorder::reorder_source(&source, &WireConfig::default().to_reorder_config(1))
+        .expect("family parses")
+        .text;
+
+    // First life: compute two programs cold, then die by SIGTERM — the
+    // graceful drain must flush the write-behind store buffer.
+    {
+        let daemon = Daemon::spawn(&["--store", &store_arg]);
+        let mut client = daemon.client();
+        for program in [source.as_str(), SMALL] {
+            match client.call(&reorder_request(program)) {
+                Ok(Response::Reordered { cached, .. }) => {
+                    assert!(!cached, "first life computes cold")
+                }
+                other => panic!("expected a result, got {other:?}"),
+            }
+        }
+        daemon.sigterm_and_wait();
+    }
+    assert!(
+        std::fs::read_dir(&store)
+            .map(|d| d.count() > 0)
+            .unwrap_or(false),
+        "the drain left segments behind in {store:?}"
+    );
+
+    // Second life: the same requests are served as cache hits — fed by
+    // the disk tier, byte-identical to the cold computation.
+    {
+        let daemon = Daemon::spawn(&["--store", &store_arg]);
+        let mut client = daemon.client();
+        match client.call(&reorder_request(&source)) {
+            Ok(Response::Reordered {
+                program, cached, ..
+            }) => {
+                assert!(cached, "restart must serve the workload from the store");
+                assert_eq!(program, expected, "warm bytes match the cold computation");
+            }
+            other => panic!("expected a result, got {other:?}"),
+        }
+        match client.call(&reorder_request(SMALL)) {
+            Ok(Response::Reordered { cached, .. }) => assert!(cached),
+            other => panic!("expected a result, got {other:?}"),
+        }
+
+        let stats = match client.call(&Request::Stats) {
+            Ok(Response::Stats(body)) => body,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert_eq!(stat(&stats, &["cache", "misses"]), 0, "no recomputation");
+        assert!(
+            stat(&stats, &["cache", "disk_hits"]) >= 2,
+            "the hits came off the disk tier"
+        );
+        assert!(stat(&stats, &["store", "entries"]) >= 2);
+        daemon.shutdown_and_wait(&mut client);
+    }
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn calibration_invalidation_tombstones_through_restart() {
+    let store = temp_store("tombstone");
+    let store_arg = store.to_str().unwrap().to_string();
+
+    let source = "girl(ann). girl(sue).\n\
+                  wife(tom, amy). wife(jim, eve).\n\
+                  female(X) :- girl(X).\n\
+                  female(X) :- wife(_, X).\n\
+                  grandmother(GC, GM) :- grandparent(GC, GM), female(GM).\n\
+                  grandparent(GC, GP) :- parent(P, GP), parent(GC, P).\n\
+                  parent(C, P) :- mother(C, P).\n\
+                  parent(C, P) :- mother(C, M), wife(P, M).\n\
+                  mother(bob, ann). mother(tom, sue).\n";
+
+    // First life: seed the plain entry, then calibrate — which installs
+    // an override set and invalidates the now-stale plain entry, a
+    // deletion that must reach the disk tier too.
+    {
+        let daemon = Daemon::spawn(&["--store", &store_arg]);
+        let mut client = daemon.client();
+        match client.call(&reorder_request(source)) {
+            Ok(Response::Reordered { cached, .. }) => assert!(!cached),
+            other => panic!("expected a result, got {other:?}"),
+        }
+        match client.call(&Request::Calibrate {
+            program: source.to_string(),
+            config: WireConfig::default(),
+            rounds: 3,
+            budget_ms: None,
+        }) {
+            Ok(Response::Calibrated { invalidated, .. }) => {
+                assert!(invalidated >= 1, "calibration invalidates the stale entry")
+            }
+            other => panic!("expected a calibrated result, got {other:?}"),
+        }
+        daemon.sigterm_and_wait();
+    }
+
+    // Second life: calibration overrides live in memory and died with
+    // the process, so this reorder uses the plain cache key again. The
+    // invalidation above must have tombstoned that key on disk — serving
+    // the pre-calibration bytes from the store here would be a stale
+    // result. A recompute is the only correct answer.
+    {
+        let daemon = Daemon::spawn(&["--store", &store_arg]);
+        let mut client = daemon.client();
+        let expected = reorder::reorder_source(source, &WireConfig::default().to_reorder_config(1))
+            .expect("program parses")
+            .text;
+        match client.call(&reorder_request(source)) {
+            Ok(Response::Reordered {
+                program, cached, ..
+            }) => {
+                assert!(
+                    !cached,
+                    "a tombstoned entry must not be resurrected by restart"
+                );
+                assert_eq!(program, expected);
+            }
+            other => panic!("expected a result, got {other:?}"),
+        }
+        let stats = match client.call(&Request::Stats) {
+            Ok(Response::Stats(body)) => body,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert_eq!(stat(&stats, &["cache", "disk_hits"]), 0);
+        daemon.shutdown_and_wait(&mut client);
+    }
+    let _ = std::fs::remove_dir_all(&store);
+}
